@@ -1,0 +1,79 @@
+// Ablation A4: what would runtime contract checking cost if it were left on?
+//
+// Verus erases all ghost code at compile time, so verification is free at
+// run time — that is why Figure 1b/c's verified/unverified curves coincide.
+// vnros' executable contracts can be left enabled; this google-benchmark
+// binary quantifies exactly what that would cost on the map/unmap/resolve
+// hot paths, i.e. the runtime price a *dynamic* checking deployment would
+// pay and a static one does not.
+//
+//   ./build/bench/ablate_contract_overhead
+#include <benchmark/benchmark.h>
+
+#include "src/base/contracts.h"
+#include "src/pt/frame_source.h"
+#include "src/pt/page_table.h"
+
+namespace vnros {
+namespace {
+
+struct Fixture {
+  PhysMem mem{1u << 14};
+  SimpleFrameSource frames{mem, (1u << 14) - 512};
+  PageTable pt;
+
+  Fixture()
+      : pt([this] {
+          auto r = PageTable::create(mem, frames);
+          VNROS_CHECK(r.ok());
+          return std::move(r.value());
+        }()) {}
+};
+
+void BM_MapUnmap(benchmark::State& state) {
+  ScopedContracts contracts(state.range(0) != 0);
+  Fixture f;
+  u64 i = 0;
+  for (auto _ : state) {
+    VAddr va{(i % 4096) * kPageSize};
+    benchmark::DoNotOptimize(f.pt.map_frame(va, PAddr::from_frame(8 + i % 1000), kPageSize,
+                                            Perms::rw()));
+    benchmark::DoNotOptimize(f.pt.unmap(va));
+    ++i;
+  }
+  state.SetLabel(state.range(0) != 0 ? "contracts=on" : "contracts=off");
+}
+BENCHMARK(BM_MapUnmap)->Arg(0)->Arg(1);
+
+void BM_Resolve(benchmark::State& state) {
+  ScopedContracts contracts(state.range(0) != 0);
+  Fixture f;
+  for (u64 i = 0; i < 64; ++i) {
+    VNROS_CHECK(
+        f.pt.map_frame(VAddr{i * kPageSize}, PAddr::from_frame(8 + i), kPageSize, Perms::rw())
+            .ok());
+  }
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pt.resolve(VAddr{(i % 64) * kPageSize + (i % kPageSize)}));
+    ++i;
+  }
+  state.SetLabel(state.range(0) != 0 ? "contracts=on" : "contracts=off");
+}
+BENCHMARK(BM_Resolve)->Arg(0)->Arg(1);
+
+void BM_ContractCheckItself(benchmark::State& state) {
+  ScopedContracts contracts(state.range(0) != 0);
+  u64 x = 1;
+  for (auto _ : state) {
+    VNROS_REQUIRES(x != 0);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetLabel(state.range(0) != 0 ? "contracts=on" : "contracts=off");
+}
+BENCHMARK(BM_ContractCheckItself)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace vnros
+
+BENCHMARK_MAIN();

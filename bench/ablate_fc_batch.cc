@@ -1,0 +1,110 @@
+// Ablation A2: flat-combining batch size.
+//
+// NR "achieves ... write-concurrency through flat combining, which batches
+// operations from multiple threads and logs them atomically" (§4.1). This
+// sweep caps the combiner's batch size and measures write throughput and
+// the realized average batch, showing how much of NR's write path comes
+// from batching.
+//
+//   ./build/bench/ablate_fc_batch
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/hw/topology.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+
+struct CounterDs {
+  struct WriteOp {
+    u64 delta = 0;
+  };
+  struct ReadOp {};
+  using Response = u64;
+  u64 value = 0;
+  Response dispatch(ReadOp) const { return value; }
+  Response dispatch_mut(const WriteOp& op) { return value += op.delta; }
+};
+
+// Variant whose mutation costs ~a microsecond: widens the combining window,
+// so batching is visible even when hardware parallelism is limited.
+struct SlowCounterDs {
+  struct WriteOp {
+    u64 delta = 0;
+  };
+  struct ReadOp {};
+  using Response = u64;
+  u64 value = 0;
+  Response dispatch(ReadOp) const { return value; }
+  Response dispatch_mut(const WriteOp& op) {
+    volatile u64 sink = 0;
+    for (int i = 0; i < 1500; ++i) {
+      sink = sink + 1;
+    }
+    return value += op.delta + (sink & 0);
+  }
+};
+
+template <typename Ds>
+void run(usize batch_cap, u32 threads, u64 ops_per_thread) {
+  Topology topo(threads, threads);  // one replica: pure combining pressure
+  NrConfig config;
+  config.max_combiner_batch = batch_cap;
+  NodeReplicated<Ds> nr(topo, Ds{}, config);
+
+  std::vector<std::thread> workers;
+  auto start = std::chrono::steady_clock::now();
+  for (u32 t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto token = nr.register_thread(t);
+      for (u64 i = 0; i < ops_per_thread; ++i) {
+        nr.execute_mut(token, typename Ds::WriteOp{1});
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  auto stats = nr.stats_snapshot();
+  double avg_batch = stats.combines == 0
+                         ? 0.0
+                         : static_cast<double>(stats.combined_ops) /
+                               static_cast<double>(stats.combines);
+  // Combining sessions that batched >1 op (lower bound from the counters).
+  u64 multi = stats.combined_ops - stats.combines;
+  std::printf("%-10s %-14.0f %-12.3f %-10lu %lu\n",
+              batch_cap == 0 ? "unbounded" : std::to_string(batch_cap).c_str(),
+              static_cast<double>(threads) * ops_per_thread / secs / 1000.0, avg_batch,
+              stats.combines, multi);
+}
+
+}  // namespace vnros
+
+int main() {
+  constexpr vnros::u32 kThreads = 8;
+  std::printf("# Ablation A2: flat-combining batch-size cap (%u threads)\n", kThreads);
+  std::printf("\n== cheap ops (counter increment) ==\n");
+  std::printf("%-10s %-14s %-12s %-10s %s\n", "batch_cap", "kops/s", "avg_batch", "combines",
+              "batched_extra_ops");
+  for (vnros::usize cap : {vnros::usize{1}, vnros::usize{2}, vnros::usize{4}, vnros::usize{8},
+                           vnros::usize{0}}) {
+    vnros::run<vnros::CounterDs>(cap, kThreads, 30'000);
+  }
+  std::printf("\n== slow ops (~1 us each; wider combining window) ==\n");
+  std::printf("%-10s %-14s %-12s %-10s %s\n", "batch_cap", "kops/s", "avg_batch", "combines",
+              "batched_extra_ops");
+  for (vnros::usize cap : {vnros::usize{1}, vnros::usize{2}, vnros::usize{4}, vnros::usize{8},
+                           vnros::usize{0}}) {
+    vnros::run<vnros::SlowCounterDs>(cap, kThreads, 2'000);
+  }
+  std::printf(
+      "\n# interpretation: batching needs overlapping publishers; on hosts with\n"
+      "# few hardware threads overlap only arises at preemption points, so the\n"
+      "# batched_extra_ops column (not avg_batch) is the evidence to read there.\n"
+      "# With real parallelism avg_batch climbs toward the thread count and\n"
+      "# batch_cap=1 degenerates NR's write path into a ticket lock.\n");
+  return 0;
+}

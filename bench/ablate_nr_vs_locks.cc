@@ -1,0 +1,90 @@
+// Ablation A1: the NR design choice (§4.1) versus conventional locking.
+//
+// The same map workload of Figure 1b runs over three concurrency wrappers
+// around the same verified page table: node replication (the NrOS design),
+// a single global mutex, and a readers-writer lock. The paper's background
+// claim: "conventional OS designs suffer from degraded performance due to
+// lock contention" while NR "achieves near-linear scalability".
+//
+//   ./build/bench/ablate_nr_vs_locks
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/frame_alloc.h"
+#include "src/nr/baselines.h"
+#include "src/pt/address_space.h"
+
+namespace vnros {
+namespace {
+
+constexpr u32 kMaxCores = 16;
+constexpr u64 kOpsPerThread = 300;
+
+template <template <typename> class Repl>
+double throughput_kops(u32 threads, bool read_heavy) {
+  Topology topo(kMaxCores, kMaxCores / 2);
+  PhysMem mem(1u << 15);
+  FrameAllocator frames(mem, topo);
+  AddressSpace<PageTable, Repl> as(mem, frames, topo);
+
+  // Pre-populate some mappings for the read mix to resolve.
+  auto tok0 = as.register_thread(0);
+  for (u64 i = 0; i < 64; ++i) {
+    (void)as.map(tok0, VAddr{u64{1} << 40 | (i * kPageSize)}, PAddr::from_frame(i + 1),
+                 kPageSize, Perms::rw());
+  }
+
+  std::vector<std::thread> workers;
+  auto start = std::chrono::steady_clock::now();
+  for (u32 t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto token = as.register_thread(t % kMaxCores);
+      for (u64 i = 0; i < kOpsPerThread; ++i) {
+        if (read_heavy && i % 10 != 0) {
+          // 90% resolves: where NR's per-replica read path shines.
+          (void)as.resolve(token, VAddr{u64{1} << 40 | ((i % 64) * kPageSize)});
+        } else {
+          VAddr va{(u64{t} + 2) << 34 | (i * kPageSize)};
+          (void)as.map(token, va, PAddr::from_frame((i % 1000) + 100), kPageSize, Perms::rw());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return static_cast<double>(threads) * kOpsPerThread / secs / 1000.0;
+}
+
+void sweep(bool read_heavy) {
+  std::printf("\n== %s workload ==\n", read_heavy ? "read-heavy (90% resolve)" : "write-only (map)");
+  std::printf("%-8s %-16s %-16s %-16s\n", "threads", "NR_kops/s", "mutex_kops/s", "rwlock_kops/s");
+  for (u32 threads : {1u, 2u, 4u, 8u, 16u}) {
+    double nr = throughput_kops<NodeReplicated>(threads, read_heavy);
+    double mu = throughput_kops<MutexReplicated>(threads, read_heavy);
+    double rw = throughput_kops<RwLockReplicated>(threads, read_heavy);
+    std::printf("%-8u %-16.1f %-16.1f %-16.1f\n", threads, nr, mu, rw);
+  }
+}
+
+}  // namespace
+}  // namespace vnros
+
+int main() {
+  std::printf("# Ablation A1: node replication vs global mutex vs rwlock\n");
+  std::printf("# (same verified page table under each concurrency wrapper)\n");
+  vnros::sweep(false);
+  vnros::sweep(true);
+  std::printf(
+      "\n# interpretation: NR's advantage is *parallel* reads on replicas across\n"
+      "# NUMA nodes; it needs real cores to show. On hosts with few hardware\n"
+      "# threads the global mutex's lower constant cost wins instead — which is\n"
+      "# itself the paper's point in reverse: NR trades single-thread overhead\n"
+      "# (log append + replay) for multi-core scalability. Compare the read-heavy\n"
+      "# NR column's growth with its own write-only column to see the replica-\n"
+      "# local read path working even when parallelism is emulated.\n");
+  return 0;
+}

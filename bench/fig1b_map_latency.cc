@@ -1,0 +1,9 @@
+// Figure 1b: map latency vs core count, NrOS-Verified vs NrOS-Unverified.
+//
+//   ./build/bench/fig1b_map_latency
+#include "bench/map_unmap_common.h"
+
+int main() {
+  vnros::run_sweep("Fig. 1b", "map", /*do_unmap=*/false);
+  return 0;
+}

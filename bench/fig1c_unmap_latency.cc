@@ -1,0 +1,10 @@
+// Figure 1c: unmap latency vs core count (including TLB shootdown),
+// NrOS-Verified vs NrOS-Unverified.
+//
+//   ./build/bench/fig1c_unmap_latency
+#include "bench/map_unmap_common.h"
+
+int main() {
+  vnros::run_sweep("Fig. 1c", "unmap", /*do_unmap=*/true);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// §5 evaluation text: "the proof-to-code ratio is 10:1 ... SeL4 and CertiKOS
+// are 19:1 and 20:1 ... SeKVM ~10:1 ... Verve 3:1."
+//
+// The analogue here: specification/verification lines (spec state machines,
+// interpretation functions, VC files, the checking framework, contracts)
+// versus implementation lines, counted over src/. The interesting paper
+// claim this checks is the *library effect* (§5): library-style code (ulib,
+// app, net protocols) needs a far lower spec ratio than the layered
+// page-table refinement — we print the ratio per module to show exactly
+// that gradient.
+//
+//   ./build/bench/ratio_proof_to_code
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+namespace fs = std::filesystem;
+using usize = std::size_t;
+
+namespace {
+
+// Counts non-empty, non-comment-only lines.
+usize count_loc(const fs::path& file) {
+  std::ifstream in(file);
+  std::string line;
+  usize n = 0;
+  while (std::getline(in, line)) {
+    usize i = line.find_first_not_of(" \t");
+    if (i == std::string::npos) {
+      continue;
+    }
+    if (line[i] == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      continue;
+    }
+    ++n;
+  }
+  return n;
+}
+
+// Classifies a source file as specification/verification or implementation.
+bool is_spec_file(const fs::path& p) {
+  std::string name = p.filename().string();
+  std::string dir = p.parent_path().filename().string();
+  if (dir == "spec") {
+    return true;  // the whole verification framework
+  }
+  if (name.find("_vcs") != std::string::npos || name == "vcs.h" || name == "self_vcs.h" ||
+      name == "all_vcs.cc") {
+    return true;  // verification conditions
+  }
+  if (name == "hl_spec.h" || name == "interp.h" || name == "interp.cc" ||
+      name == "contracts.h" || name == "contracts.cc") {
+    return true;  // specs, interpretation functions, contract machinery
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const fs::path root = fs::path(VNROS_SOURCE_DIR) / "src";
+  std::map<std::string, std::pair<usize, usize>> per_module;  // module -> (spec, impl)
+  usize spec_total = 0, impl_total = 0;
+
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    auto ext = entry.path().extension();
+    if (ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    std::string module = entry.path().parent_path().filename().string();
+    if (module == "src") {
+      module = "(root)";
+    }
+    usize loc = count_loc(entry.path());
+    if (is_spec_file(entry.path())) {
+      per_module[module].first += loc;
+      spec_total += loc;
+    } else {
+      per_module[module].second += loc;
+      impl_total += loc;
+    }
+  }
+
+  std::printf("# Proof(spec/check)-to-code ratio, per module and total\n");
+  std::printf("# (paper §5: page-table prototype 10:1; seL4 19:1; CertiKOS 20:1;\n");
+  std::printf("#  SeKVM ~10:1; Verve 3:1 — and the prediction that *library* code\n");
+  std::printf("#  needs much less proof than layered refinements)\n\n");
+  std::printf("%-10s %10s %10s %8s\n", "module", "spec_loc", "impl_loc", "ratio");
+  for (const auto& [module, counts] : per_module) {
+    double ratio = counts.second == 0
+                       ? 0.0
+                       : static_cast<double>(counts.first) / static_cast<double>(counts.second);
+    std::printf("%-10s %10zu %10zu %7.2f:1\n", module.c_str(), counts.first, counts.second,
+                ratio);
+  }
+  std::printf("%-10s %10zu %10zu %7.2f:1\n", "TOTAL", spec_total, impl_total,
+              static_cast<double>(spec_total) / static_cast<double>(impl_total));
+
+  std::printf(
+      "\n# expected gradient: pt (layered refinement) carries the highest ratio;\n"
+      "# ulib/app/net (library-style code) the lowest — the paper's §5 argument\n"
+      "# for why full-OS scope is cheaper than extrapolating 10:1 suggests.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 1: comparison of OS verification projects.
+//
+// The five published systems' rows are the paper's (static facts); the vnros
+// column is *live*: each property is claimed only if the corresponding
+// verification-condition categories exist and pass right now. Rerunning this
+// binary re-derives the table from the code.
+//
+//   ./build/bench/table1_projects
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/spec/vc.h"
+
+namespace {
+
+using vnros::VcCategory;
+using vnros::VcRunSummary;
+
+struct Row {
+  const char* property;
+  // seL4, Verve, Hyperkernel, CertiKOS, SeKVM+VRM (paper's Table 1 entries).
+  const char* published[5];
+  // Which live VC categories back the vnros cell (all must be covered).
+  std::vector<VcCategory> backing;
+};
+
+const char* vnros_cell(const VcRunSummary& summary, const std::vector<VcCategory>& backing) {
+  if (backing.empty()) {
+    return "x";  // property out of scope (the paper defers security too)
+  }
+  for (VcCategory c : backing) {
+    if (!summary.category_covered(c)) {
+      return "x";
+    }
+  }
+  return "#";  // checked (executable analogue of "verified")
+}
+
+}  // namespace
+
+int main() {
+  vnros::VcRegistry registry;
+  vnros::register_all_vcs(registry);
+  std::printf("# Table 1 reproduction: Comparison of OS verification projects\n");
+  std::printf("# legend: # = yes/checked, (#) = partial, x = no\n");
+  std::printf("# (vnros column derived live from %zu verification conditions)\n\n",
+              registry.size());
+  auto summary = registry.run_all();
+
+  const Row rows[] = {
+      {"Kernel memory safety",
+       {"#", "#", "#", "#", "#"},
+       {VcCategory::kMemorySafety}},
+      {"Specification refinement",
+       {"#", "#", "#", "#", "#"},
+       {VcCategory::kRefinement}},
+      {"Security properties",
+       {"#", "x", "#", "(#)", "#"},
+       {}},  // out of scope here, exactly as the paper defers it (§1)
+      {"Multi-processor support",
+       {"x", "x", "x", "#", "#"},
+       {VcCategory::kConcurrency}},
+      {"Process-centric spec",
+       {"x", "x", "x", "x", "x"},
+       {VcCategory::kRefinement, VcCategory::kProcessManagement,
+        VcCategory::kMemoryManagement}},
+  };
+
+  std::printf("%-26s %-6s %-6s %-12s %-9s %-10s %s\n", "", "seL4", "Verve", "Hyperkernel",
+              "CertiKOS", "SeKVM+VRM", "vnros");
+  for (const auto& row : rows) {
+    std::printf("%-26s %-6s %-6s %-12s %-9s %-10s %s\n", row.property, row.published[0],
+                row.published[1], row.published[2], row.published[3], row.published[4],
+                vnros_cell(summary, row.backing));
+  }
+
+  std::printf(
+      "\n# The paper's thesis row is the last one: none of the published projects\n"
+      "# give applications a process-centric spec; the vnros cell is backed by the\n"
+      "# live syscall-contract, process and memory-management checks.\n");
+  std::printf("# note: 'checked' here = bounded exhaustive + property checking, the\n"
+              "# C++ substitute for static proof (see DESIGN.md substitution table).\n");
+  return summary.all_passed() ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Table 2: verified OS components per project.
+//
+// Same scheme as table1_projects: published rows are static facts from the
+// paper, the vnros column is derived live from the VC registry — a component
+// row is claimed only while its category has existing, passing checks.
+//
+//   ./build/bench/table2_components
+#include <cstdio>
+#include <vector>
+
+#include "src/spec/vc.h"
+
+namespace {
+
+using vnros::usize;
+using vnros::VcCategory;
+
+struct Row {
+  const char* component;
+  // seL4, Verve, Hyperkernel, CertiKOS, SeKVM+VRM (paper's Table 2 entries).
+  const char* published[5];
+  VcCategory backing;
+};
+
+}  // namespace
+
+int main() {
+  vnros::VcRegistry registry;
+  vnros::register_all_vcs(registry);
+  std::printf("# Table 2 reproduction: Verified OS components\n");
+  std::printf("# legend: # = yes/checked, (#) = partial, x = no\n\n");
+  auto summary = registry.run_all();
+
+  const Row rows[] = {
+      {"Scheduler", {"#", "#", "#", "#", "#"}, VcCategory::kScheduler},
+      {"Memory management", {"#", "#", "#", "#", "#"}, VcCategory::kMemoryManagement},
+      {"Filesystem", {"x", "x", "(#)", "x", "x"}, VcCategory::kFilesystem},
+      {"Complex drivers", {"x", "#", "x", "x", "#"}, VcCategory::kDrivers},
+      {"Process management", {"#", "x", "#", "#", "#"}, VcCategory::kProcessManagement},
+      {"Threads and synchronization", {"x", "#", "x", "#", "x"}, VcCategory::kThreadsSync},
+      {"Network stack", {"x", "x", "x", "x", "x"}, VcCategory::kNetworkStack},
+      {"System libraries", {"x", "x", "x", "x", "x"}, VcCategory::kSystemLibraries},
+  };
+
+  std::printf("%-30s %-6s %-6s %-12s %-9s %-10s %s\n", "", "seL4", "Verve", "Hyperkernel",
+              "CertiKOS", "SeKVM+VRM", "vnros");
+  usize vnros_count = 0;
+  for (const auto& row : rows) {
+    bool covered = summary.category_covered(row.backing);
+    vnros_count += covered ? 1 : 0;
+    std::printf("%-30s %-6s %-6s %-12s %-9s %-10s %s\n", row.component, row.published[0],
+                row.published[1], row.published[2], row.published[3], row.published[4],
+                covered ? "#" : "x");
+  }
+  // The paper's motivating application sits on top of all eight rows.
+  std::printf("%-30s %-6s %-6s %-12s %-9s %-10s %s\n", "(client application)", "x", "x", "x",
+              "x", "x", summary.category_covered(VcCategory::kApplication) ? "#" : "x");
+
+  std::printf("\n# vnros covers %zu/8 component rows — the paper's point is exactly that\n",
+              vnros_count);
+  std::printf("# no published project covers the full set an application needs (the\n"
+              "# bottom rows), which is what this reproduction builds and checks.\n");
+  return summary.all_passed() ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Crash-consistency deep dive: what the journaled filesystem guarantees,
+// shown by crashing the same workload at different persistence levels.
+//
+// The invariant on display (the one the S3-style storage node builds on):
+// after ANY crash, recovery lands on a prefix of the acknowledged operation
+// history, and that prefix always includes everything before the last fsync.
+//
+//   ./build/examples/crash_recovery
+#include <cstdio>
+#include <string>
+
+#include "src/hw/block_device.h"
+#include "src/kernel/fs.h"
+
+using namespace vnros;  // NOLINT: example brevity
+
+namespace {
+
+std::vector<u8> bytes(const std::string& s) { return std::vector<u8>(s.begin(), s.end()); }
+
+// The workload: three phases, with an fsync after phase two.
+void run_workload(MemFs& fs) {
+  (void)fs.mkdir("/log");
+  (void)fs.create("/log/phase1");
+  (void)fs.write("/log/phase1", 0, bytes("phase one data"));
+
+  (void)fs.create("/log/phase2");
+  (void)fs.write("/log/phase2", 0, bytes("phase two data"));
+  (void)fs.fsync();  // <- durability barrier
+
+  (void)fs.create("/log/phase3");
+  (void)fs.write("/log/phase3", 0, bytes("phase three data (never fsynced)"));
+}
+
+void report(const char* title, const FsAbsState& state) {
+  std::printf("%s\n", title);
+  if (state.files.empty() && state.dirs.empty()) {
+    std::printf("    (empty filesystem)\n");
+  }
+  for (const auto& d : state.dirs) {
+    std::printf("    dir  %s\n", d.c_str());
+  }
+  for (const auto& [path, data] : state.files) {
+    std::printf("    file %-14s %3zu bytes\n", path.c_str(), data.size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== vnros crash recovery: the journaled filesystem under power loss ==\n\n");
+
+  // --- Scenario A: crash where nothing unflushed survives ---------------------
+  {
+    BlockDevice disk(8192);
+    auto fsr = MemFs::format(disk);
+    VNROS_CHECK(fsr.ok());
+    MemFs fs = std::move(fsr.value());
+    run_workload(fs);
+    report("state at the moment of the crash (in memory):", fs.view());
+
+    disk.crash(0);  // 0% of unflushed sectors survive
+    auto rec = MemFs::recover(disk);
+    VNROS_CHECK(rec.ok());
+    report("\nrecovered after a total-loss crash (persist=0%):", rec.value().view());
+    std::printf("  -> everything up to the fsync survived; phase3 (unsynced) is gone.\n");
+    VNROS_CHECK(rec.value().stat("/log/phase2").ok());
+  }
+
+  // --- Scenario B: a kinder crash -----------------------------------------------
+  {
+    std::printf("\n----------------------------------------------------------\n");
+    BlockDevice disk(8192, /*rng_seed=*/7);
+    auto fsr = MemFs::format(disk);
+    VNROS_CHECK(fsr.ok());
+    MemFs fs = std::move(fsr.value());
+    run_workload(fs);
+    disk.crash(900'000);  // 90% of unflushed sectors happen to persist
+    auto rec = MemFs::recover(disk);
+    VNROS_CHECK(rec.ok());
+    report("\nrecovered after a lucky crash (persist=90%):", rec.value().view());
+    std::printf("  -> possibly more survived, but never a torn/corrupt state:\n");
+    std::printf("     recovery stops at the first hole in the journal (CRC + epoch).\n");
+    VNROS_CHECK(rec.value().stat("/log/phase2").ok());  // the guarantee is unchanged
+  }
+
+  // --- Scenario C: crash mid-compaction --------------------------------------------
+  {
+    std::printf("\n----------------------------------------------------------\n");
+    BlockDevice disk(1024, /*rng_seed=*/3);  // small disk: journal fills fast
+    auto fsr = MemFs::format(disk);
+    VNROS_CHECK(fsr.ok());
+    MemFs fs = std::move(fsr.value());
+    (void)fs.create("/churn");
+    std::vector<u8> chunk(2048, 0xAB);
+    for (int i = 0; i < 200; ++i) {
+      VNROS_CHECK(fs.write("/churn", (i % 4) * chunk.size(), chunk).ok());
+    }
+    std::printf("\nforced %lu journal compaction(s) on a small disk\n",
+                fs.stats().checkpoints);
+    disk.crash(500'000);
+    auto rec = MemFs::recover(disk);
+    VNROS_CHECK(rec.ok());
+    auto st = rec.value().stat("/churn");
+    std::printf("recovered across epochs: /churn %s (%lu bytes)\n",
+                st.ok() ? "present" : "absent (valid prefix)",
+                st.ok() ? st.value().size : 0);
+    std::printf("  -> epoch tags make compaction atomic: old state or new, never a mix.\n");
+  }
+
+  std::printf("\ncrash recovery demo complete.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// A POSIX-style application on the client application contract (§3): the
+// full syscall surface in one program — processes, files, memory mapping,
+// signals, futexes, sockets, console — everything marshalled through the
+// same byte-frame boundary a real kernel crossing would use.
+//
+//   ./build/examples/posix_app
+#include <cstdio>
+#include <string>
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall.h"
+
+using namespace vnros;  // NOLINT: example brevity
+
+namespace {
+
+std::vector<u8> bytes(const std::string& s) { return std::vector<u8>(s.begin(), s.end()); }
+
+}  // namespace
+
+int main() {
+  std::printf("== vnros posix-style app: one process family, every syscall ==\n\n");
+
+  Kernel kernel;
+  SyscallDispatcher dispatcher(kernel);
+  Sys init(dispatcher, kInvalidPid, 0);
+
+  // --- process management -----------------------------------------------------
+  auto shell_pid = init.spawn();
+  VNROS_CHECK(shell_pid.ok());
+  Sys shell(dispatcher, shell_pid.value(), 0);
+  (void)shell.console_write("shell: started\n");
+
+  auto worker_pid = shell.spawn();
+  VNROS_CHECK(worker_pid.ok());
+  Sys worker(dispatcher, worker_pid.value(), 1);
+  std::printf("shell pid %lu spawned worker pid %lu\n", shell_pid.value(), worker_pid.value());
+
+  // --- files: the worker produces, the shell consumes ---------------------------
+  VNROS_CHECK(worker.mkdir("/tmp").ok());
+  auto out = worker.open("/tmp/result", kOpenCreate);
+  VNROS_CHECK(out.ok());
+  VNROS_CHECK(worker.write(out.value(), bytes("42\n")).ok());
+  VNROS_CHECK(worker.fsync().ok());
+  VNROS_CHECK(worker.close(out.value()).ok());
+  std::printf("worker wrote /tmp/result and fsynced\n");
+
+  // --- memory: mmap + user-buffer file IO -----------------------------------------
+  auto buf = worker.mmap(kPageSize, true);
+  VNROS_CHECK(buf.ok());
+  auto in = worker.open("/tmp/result", 0);
+  auto n = worker.read_user(in.value(), buf.value(), 3);
+  VNROS_CHECK(n.ok() && n.value() == 3);
+  std::printf("worker mapped a page at %#lx and read the file into it via the page table\n",
+              buf.value().value);
+  (void)worker.close(in.value());
+
+  // --- signals -----------------------------------------------------------------------
+  VNROS_CHECK(shell.kill(worker_pid.value(), kSigUsr1).ok());
+  auto sig = worker.take_signal();
+  std::printf("shell signalled the worker; worker received signal %u\n", sig.value());
+
+  // --- futex: simulated threads block and wake -----------------------------------------
+  auto lock_page = worker.mmap(kPageSize, true);
+  VNROS_CHECK(lock_page.ok());
+  Process* worker_proc = kernel.procs().get(worker_pid.value());
+  VNROS_CHECK(worker_proc->vm().write_u32(lock_page.value(), 1).ok());
+  auto sched_tok = kernel.sched().register_core(0);
+  (void)kernel.sched().add_thread(sched_tok, 100, worker_pid.value(), 1, 0);
+  VNROS_CHECK(worker.futex_wait(lock_page.value(), 1, 100).ok());
+  std::printf("simulated thread 100 blocked on a futex word\n");
+  VNROS_CHECK(worker_proc->vm().write_u32(lock_page.value(), 0).ok());
+  auto woken = worker.futex_wake(lock_page.value(), 1);
+  std::printf("released: futex_wake woke %lu thread(s)\n", woken.value());
+
+  // --- sockets: worker serves an echo, shell calls it -----------------------------------
+  auto server = worker.udp_socket();
+  VNROS_CHECK(worker.udp_bind(server.value(), 7).ok());  // the echo port
+  auto client = shell.udp_socket();
+  VNROS_CHECK(shell.udp_sendto(client.value(), kernel.net_addr(), 7, bytes("echo me")).ok());
+  auto req = worker.udp_recvfrom(server.value());
+  VNROS_CHECK(req.ok());
+  VNROS_CHECK(
+      worker.udp_sendto(server.value(), req.value().src_addr, req.value().src_port,
+                        req.value().payload)
+          .ok());
+  auto echoed = shell.udp_recvfrom(client.value());
+  VNROS_CHECK(echoed.ok());
+  std::printf("udp echo through the simulated NIC: \"%s\"\n",
+              std::string(echoed.value().payload.begin(), echoed.value().payload.end()).c_str());
+
+  // --- orderly shutdown --------------------------------------------------------------------
+  VNROS_CHECK(worker.exit_proc(0).ok());
+  auto code = shell.waitpid(worker_pid.value());
+  std::printf("worker exited; shell reaped exit code %d\n", code.value());
+  (void)shell.console_write("shell: done\n");
+
+  std::printf("\nkernel console transcript:\n%s", kernel.console().contents().c_str());
+  std::printf("\nposix-style app complete.\n");
+  return 0;
+}

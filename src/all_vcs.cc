@@ -1,0 +1,28 @@
+// The whole-system verification project: every module's verification
+// conditions in one registry. bench/fig1a_vc_cdf runs this universe and
+// prints the timing CDF; the Table 1/2 reports derive vnros' coverage from
+// which categories pass.
+#include "src/app/vcs.h"
+#include "src/hw/vcs.h"
+#include "src/kernel/vcs.h"
+#include "src/net/vcs.h"
+#include "src/nr/vcs.h"
+#include "src/pt/vcs.h"
+#include "src/spec/self_vcs.h"
+#include "src/spec/vc.h"
+#include "src/ulib/vcs.h"
+
+namespace vnros {
+
+void register_all_vcs(VcRegistry& registry) {
+  register_spec_vcs(registry);
+  register_hw_vcs(registry);
+  register_nr_vcs(registry);
+  register_pt_vcs(registry);
+  register_kernel_vcs(registry);
+  register_net_vcs(registry);
+  register_ulib_vcs(registry);
+  register_app_vcs(registry);
+}
+
+}  // namespace vnros

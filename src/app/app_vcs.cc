@@ -1,0 +1,441 @@
+// Verification conditions for the block-store application — the paper's
+// "verified storage node on a verified OS" end-to-end story. Every check
+// goes through the full stack: client Sys -> UDP -> fabric -> server Sys ->
+// filesystem -> journal -> block device.
+#include "src/app/vcs.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/blockstore.h"
+#include "src/base/rng.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall.h"
+
+namespace vnros {
+namespace {
+
+// One simulated machine with a ready-to-use process and Sys facade.
+struct Host {
+  Kernel kernel;
+  SyscallDispatcher disp;
+  Pid pid;
+  Sys sys;
+
+  explicit Host(Network* net, BlockDevice* disk = nullptr, bool recover = false)
+      : kernel(make_config(net, disk, recover)),
+        disp(kernel),
+        pid(boot_pid(disp)),
+        sys(disp, pid, 0) {}
+
+  static KernelConfig make_config(Network* net, BlockDevice* disk, bool recover) {
+    KernelConfig config;
+    config.network = net;
+    config.disk = disk;
+    config.recover_fs = recover;
+    return config;
+  }
+
+  static Pid boot_pid(SyscallDispatcher& disp) {
+    Sys boot(disp, kInvalidPid, 0);
+    auto pid = boot.spawn();
+    VNROS_CHECK(pid.ok());
+    return pid.value();
+  }
+};
+
+std::vector<u8> random_value(Rng& rng, usize max_len = 2000) {
+  std::vector<u8> v(rng.next_range(1, max_len));
+  for (auto& b : v) {
+    b = static_cast<u8>(rng.next_u64());
+  }
+  return v;
+}
+
+std::string random_key(Rng& rng) {
+  static const char* keys[] = {"alpha", "beta", "gamma", "delta", "epsilon",
+                               "zeta",  "eta",  "theta", "iota",  "kappa"};
+  return keys[rng.next_below(10)];
+}
+
+// --- Local (single-host) behaviour ------------------------------------------------
+
+VcOutcome vc_put_get_roundtrip() {
+  Network net;
+  Host host(&net);
+  BlockStoreNode node(host.sys, 9000);
+  if (!node.init().ok()) {
+    return VcOutcome::fail("init failed");
+  }
+  std::vector<u8> v1{1, 2, 3, 4, 5};
+  std::vector<u8> v2{9, 9};
+  if (!node.put("key", v1).ok()) {
+    return VcOutcome::fail("put failed");
+  }
+  auto got = node.get("key");
+  if (!got.ok() || got.value() != v1) {
+    return VcOutcome::fail("get returned wrong bytes");
+  }
+  // Overwrite.
+  if (!node.put("key", v2).ok()) {
+    return VcOutcome::fail("overwrite failed");
+  }
+  got = node.get("key");
+  if (!got.ok() || got.value() != v2) {
+    return VcOutcome::fail("overwrite not visible");
+  }
+  // Delete.
+  if (!node.del("key").ok()) {
+    return VcOutcome::fail("del failed");
+  }
+  auto missing = node.get("key");
+  if (missing.ok() || missing.error() != ErrorCode::kNotFound) {
+    return VcOutcome::fail("deleted key still readable");
+  }
+  // DEL is "ensure absent": deleting again is a success (idempotency).
+  if (!node.del("key").ok()) {
+    return VcOutcome::fail("idempotent delete failed");
+  }
+  // Empty-ish and binary keys work too (hex encoding).
+  std::string weird_key("\x00\xFFpath/../:*", 10);
+  if (!node.put(weird_key, v1).ok() || !node.get(weird_key).ok()) {
+    return VcOutcome::fail("binary key mishandled");
+  }
+  return VcOutcome::pass();
+}
+
+// --- End-to-end refinement over the network ----------------------------------------
+
+VcOutcome vc_refines_map(u64 seed, FabricConfig fabric, usize ops) {
+  Network net(fabric, seed ^ 0xFAB);
+  Host server(&net);
+  Host client_host(&net);
+  BlockStoreNode node(server.sys, 9000);
+  if (!node.init().ok()) {
+    return VcOutcome::fail("server init failed");
+  }
+  BlockStoreClient client(client_host.sys, server.kernel.net_addr(), 9000,
+                          [&] { node.serve_once(); });
+  if (!client.init().ok()) {
+    return VcOutcome::fail("client init failed");
+  }
+
+  Rng rng(seed);
+  std::map<std::string, std::vector<u8>> model;
+  for (usize i = 0; i < ops; ++i) {
+    std::string key = random_key(rng);
+    switch (rng.next_below(3)) {
+      case 0: {
+        std::vector<u8> value = random_value(rng);
+        auto r = client.put(key, value);
+        if (!r.ok()) {
+          return VcOutcome::fail("put failed: " + std::string(error_name(r.error())));
+        }
+        model[key] = value;
+        break;
+      }
+      case 1: {
+        auto r = client.get(key);
+        auto it = model.find(key);
+        if (it == model.end()) {
+          if (r.ok() || r.error() != ErrorCode::kNotFound) {
+            return VcOutcome::fail("get of absent key did not return NotFound");
+          }
+        } else if (!r.ok() || r.value() != it->second) {
+          return VcOutcome::fail("get returned bytes differing from the last acked put");
+        }
+        break;
+      }
+      case 2: {
+        // DEL is "ensure absent": succeeds whether or not the key existed.
+        auto r = client.del(key);
+        if (!r.ok()) {
+          return VcOutcome::fail("del failed: " + std::string(error_name(r.error())));
+        }
+        model.erase(key);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (node.view() != model) {
+    return VcOutcome::fail("node abstract state diverged from the model");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Crash recovery -------------------------------------------------------------------
+
+VcOutcome vc_crash_recovery(u64 seed) {
+  Network net;
+  BlockDevice disk(16384, seed);
+  std::map<std::string, std::vector<u8>> acked;
+  {
+    Host host(&net, &disk, /*recover=*/false);
+    BlockStoreNode node(host.sys, 9000);
+    if (!node.init().ok()) {
+      return VcOutcome::fail("init failed");
+    }
+    Rng rng(seed);
+    for (int i = 0; i < 25; ++i) {
+      std::string key = random_key(rng) + std::to_string(i);
+      std::vector<u8> value = random_value(rng, 800);
+      if (!node.put(key, value).ok()) {
+        return VcOutcome::fail("put failed");
+      }
+      acked[key] = value;  // put acks only after fsync
+    }
+    // Power failure: everything unflushed is at the mercy of the cache.
+    disk.crash(300'000);
+  }
+  // Reboot: a fresh kernel mounts the same disk with journal recovery.
+  Network net2;
+  Host rebooted(&net2, &disk, /*recover=*/true);
+  BlockStoreNode node(rebooted.sys, 9000);
+  if (!node.init().ok()) {
+    return VcOutcome::fail("re-init after recovery failed");
+  }
+  auto recovered = node.view();
+  for (const auto& [key, value] : acked) {
+    auto it = recovered.find(key);
+    if (it == recovered.end()) {
+      return VcOutcome::fail("acknowledged block lost across crash: " + key);
+    }
+    if (it->second != value) {
+      return VcOutcome::fail("block bytes corrupted across crash: " + key);
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// --- Corruption detection ----------------------------------------------------------------
+
+VcOutcome vc_corruption_detected() {
+  Network net;
+  Host host(&net);
+  BlockStoreNode node(host.sys, 9000);
+  if (!node.init().ok()) {
+    return VcOutcome::fail("init failed");
+  }
+  std::vector<u8> value(300, 0x42);
+  if (!node.put("victim", value).ok()) {
+    return VcOutcome::fail("put failed");
+  }
+  // Flip one payload byte behind the node's back (bit rot).
+  std::string path = BlockStoreNode::key_path("victim");
+  auto fd = host.sys.open(path, 0);
+  if (!fd.ok()) {
+    return VcOutcome::fail("tamper open failed");
+  }
+  (void)host.sys.lseek(fd.value(), 100, SeekWhence::kSet);
+  std::vector<u8> flip{0x43};
+  (void)host.sys.write(fd.value(), flip);
+  (void)host.sys.close(fd.value());
+
+  auto got = node.get("victim");
+  if (got.ok()) {
+    return VcOutcome::fail("corrupted block returned as data");
+  }
+  if (got.error() != ErrorCode::kCorrupted) {
+    return VcOutcome::fail("corruption surfaced as wrong error");
+  }
+  // Truncation is also corruption, not a short read.
+  if (!node.put("victim2", value).ok()) {
+    return VcOutcome::fail("second put failed");
+  }
+  (void)host.sys.truncate(BlockStoreNode::key_path("victim2"), 50);
+  auto trunc = node.get("victim2");
+  if (trunc.ok() || trunc.error() != ErrorCode::kCorrupted) {
+    return VcOutcome::fail("truncated block not detected");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Replication -----------------------------------------------------------------------------
+
+VcOutcome vc_replication_push() {
+  Network net;
+  Host primary_host(&net);
+  Host replica_host(&net);
+  Host client_host(&net);
+
+  BlockStoreNode replica(replica_host.sys, 9001);
+  if (!replica.init().ok()) {
+    return VcOutcome::fail("replica init failed");
+  }
+  BlockStoreNode primary(primary_host.sys, 9000,
+                         {BsPeer{replica_host.kernel.net_addr(), 9001}});
+  if (!primary.init().ok()) {
+    return VcOutcome::fail("primary init failed");
+  }
+  BlockStoreClient client(client_host.sys, primary_host.kernel.net_addr(), 9000, [&] {
+    primary.serve_once();
+    replica.serve_once();
+  });
+  (void)client.init();
+
+  std::vector<u8> value{7, 7, 7, 7};
+  if (!client.put("replicated", value).ok()) {
+    return VcOutcome::fail("put failed");
+  }
+  // Drain any pending replication pushes.
+  for (int i = 0; i < 32; ++i) {
+    primary.serve_once();
+    replica.serve_once();
+  }
+  auto got = replica.get("replicated");
+  if (!got.ok() || got.value() != value) {
+    return VcOutcome::fail("block not replicated to the peer");
+  }
+  if (primary.stats().replicas_pushed == 0 || replica.stats().replicas_applied == 0) {
+    return VcOutcome::fail("replication counters not advanced");
+  }
+  return VcOutcome::pass();
+}
+
+
+// Overwrite durability: an acked overwrite (not just the first put) survives
+// a crash — the newest acknowledged value is the one recovered.
+VcOutcome vc_overwrite_then_crash(u64 seed) {
+  Network net;
+  BlockDevice disk(16384, seed);
+  std::vector<u8> v1(200, 0x01), v2(300, 0x02), v3(100, 0x03);
+  {
+    Host host(&net, &disk, false);
+    BlockStoreNode node(host.sys, 9000);
+    if (!node.init().ok()) {
+      return VcOutcome::fail("init failed");
+    }
+    if (!node.put("k", v1).ok() || !node.put("k", v2).ok() || !node.put("k", v3).ok()) {
+      return VcOutcome::fail("puts failed");
+    }
+    disk.crash(0);
+  }
+  Network net2;
+  Host rebooted(&net2, &disk, true);
+  BlockStoreNode node(rebooted.sys, 9000);
+  if (!node.init().ok()) {
+    return VcOutcome::fail("re-init failed");
+  }
+  auto got = node.get("k");
+  if (!got.ok() || got.value() != v3) {
+    return VcOutcome::fail("recovered value is not the last acknowledged overwrite");
+  }
+  return VcOutcome::pass();
+}
+
+// The abstract view stays exact through heavy mixed churn (local API).
+VcOutcome vc_view_matches_after_churn(u64 seed) {
+  Network net;
+  Host host(&net);
+  BlockStoreNode node(host.sys, 9000);
+  if (!node.init().ok()) {
+    return VcOutcome::fail("init failed");
+  }
+  Rng rng(seed);
+  std::map<std::string, std::vector<u8>> model;
+  for (int i = 0; i < 200; ++i) {
+    std::string key = random_key(rng);
+    if (rng.chance(3, 5)) {
+      auto value = random_value(rng, 300);
+      if (!node.put(key, value).ok()) {
+        return VcOutcome::fail("put failed");
+      }
+      model[key] = value;
+    } else {
+      if (!node.del(key).ok()) {
+        return VcOutcome::fail("del failed");
+      }
+      model.erase(key);
+    }
+  }
+  if (node.view() != model) {
+    return VcOutcome::fail("abstract view diverged from the op-by-op model");
+  }
+  return VcOutcome::pass();
+}
+
+
+// Anti-entropy: a replica that missed pushes (or rotted a block) converges
+// to the primary after one sync pass, and a second pass repairs nothing.
+VcOutcome vc_anti_entropy_sync(u64 seed) {
+  Network net;
+  Host primary_host(&net);
+  Host replica_host(&net);
+  Host syncer_host(&net);
+  BlockStoreNode primary(primary_host.sys, 9000);  // no push peers: replica starts stale
+  BlockStoreNode replica(replica_host.sys, 9001);
+  if (!primary.init().ok() || !replica.init().ok()) {
+    return VcOutcome::fail("init failed");
+  }
+  Rng rng(seed);
+  for (int i = 0; i < 12; ++i) {
+    std::string key = "blk" + std::to_string(i);
+    if (!primary.put(key, random_value(rng, 400)).ok()) {
+      return VcOutcome::fail("put failed");
+    }
+  }
+  // Give the replica one stale block (old checksum must be repaired too).
+  if (!replica.put("blk3", std::vector<u8>{0x0}).ok()) {
+    return VcOutcome::fail("stale put failed");
+  }
+  BlockStoreClient syncer(syncer_host.sys, primary_host.kernel.net_addr(), 9000,
+                          [&] { primary.serve_once(); });
+  auto repaired = syncer.sync_into(replica);
+  if (!repaired.ok()) {
+    return VcOutcome::fail("sync failed: " + std::string(error_name(repaired.error())));
+  }
+  if (repaired.value() != 12) {
+    return VcOutcome::fail("expected 12 repairs (11 missing + 1 divergent), got " +
+                           std::to_string(repaired.value()));
+  }
+  if (replica.view() != primary.view()) {
+    return VcOutcome::fail("replica did not converge to the primary");
+  }
+  auto second = syncer.sync_into(replica);
+  if (!second.ok() || second.value() != 0) {
+    return VcOutcome::fail("second sync pass was not a no-op");
+  }
+  return VcOutcome::pass();
+}
+
+}  // namespace
+
+void register_app_vcs(VcRegistry& reg) {
+  reg.add("app/put_get_roundtrip", VcCategory::kApplication,
+          [] { return vc_put_get_roundtrip(); });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("app/refines_map_clean_seed" + std::to_string(seed), VcCategory::kApplication,
+            [seed] { return vc_refines_map(seed, FabricConfig{}, 60); });
+    reg.add("app/refines_map_lossy_seed" + std::to_string(seed), VcCategory::kApplication,
+            [seed] {
+              FabricConfig fabric;
+              fabric.loss_ppm = 200'000;  // 20% loss: retries must cover it
+              fabric.dup_ppm = 50'000;
+              return vc_refines_map(seed ^ 0x10557, fabric, 40);
+            });
+  }
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    reg.add("app/crash_recovery_seed" + std::to_string(seed), VcCategory::kApplication,
+            [seed] { return vc_crash_recovery(seed); });
+  }
+  reg.add("app/corruption_detected", VcCategory::kApplication,
+          [] { return vc_corruption_detected(); });
+  reg.add("app/replication_push", VcCategory::kApplication,
+          [] { return vc_replication_push(); });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("app/overwrite_then_crash_seed" + std::to_string(seed), VcCategory::kApplication,
+            [seed] { return vc_overwrite_then_crash(seed); });
+    reg.add("app/view_matches_after_churn_seed" + std::to_string(seed),
+            VcCategory::kApplication, [seed] { return vc_view_matches_after_churn(seed); });
+  }
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("app/anti_entropy_sync_seed" + std::to_string(seed), VcCategory::kApplication,
+            [seed] { return vc_anti_entropy_sync(seed); });
+  }
+}
+
+}  // namespace vnros

@@ -1,0 +1,153 @@
+// The verified client application: a data-storage node of a distributed
+// block store (§1: "consider the data-storage node in a distributed block
+// store like GFS or S3 ... Amazon even describes their use of lightweight
+// formal methods to verify such a storage node").
+//
+// The node is written entirely against the Sys syscall facade — the client
+// application contract of §3. It never touches kernel internals: blocks are
+// files (create/write/fsync/read/unlink), the wire is UDP sockets, and
+// durability comes from fsync before acknowledging. That is the paper's
+// whole point: with the OS contract verified below and this logic verified
+// above, the stack composes.
+//
+// Abstract spec (checked by app/* VCs): the node refines the map
+// key -> bytes with operations
+//   put(k, v):  ack  =>  get(k) returns exactly v until overwritten/deleted,
+//               and v survives a crash (fsync-before-ack);
+//   get(k):     returns the last acknowledged put, kNotFound if none,
+//               kCorrupted (never garbage) if storage bits rotted;
+//   del(k):     ack  =>  get(k) returns kNotFound.
+//
+// Replication: a put to the primary is forwarded to its peers (best-effort
+// push; the client retries end-to-end, so at-least-once overall).
+#ifndef VNROS_SRC_APP_BLOCKSTORE_H_
+#define VNROS_SRC_APP_BLOCKSTORE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/kernel/syscall.h"
+
+namespace vnros {
+
+// Wire protocol opcodes.
+enum class BsOp : u8 {
+  kPut = 1,
+  kGet = 2,
+  kDel = 3,
+  kPing = 4,
+  kPutReplica = 5,  // replication push: applied locally, never re-forwarded
+  kList = 6,        // anti-entropy: enumerate (key, crc32c) pairs
+};
+
+// One entry of a kList reply: enough to detect a missing or divergent block
+// without shipping its bytes.
+struct BlockKeyInfo {
+  std::string key;
+  u32 crc = 0;
+
+  bool operator==(const BlockKeyInfo&) const = default;
+};
+
+struct BsPeer {
+  NetAddr addr = 0;
+  Port port = 0;
+};
+
+struct BlockStoreStats {
+  u64 puts = 0;
+  u64 gets = 0;
+  u64 dels = 0;
+  u64 corrupt_reads = 0;
+  u64 replicas_pushed = 0;
+  u64 replicas_applied = 0;
+};
+
+class BlockStoreNode {
+ public:
+  // `sys` is this node's (process's) view of its OS. The node binds `port`.
+  BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers = {});
+
+  // Creates /blocks and binds the service socket. Idempotent across
+  // restarts of the same filesystem (recovery path).
+  Result<Unit> init();
+
+  // Serves at most one pending request; returns whether one was served.
+  bool serve_once();
+
+  // Local storage operations (also reachable via the wire).
+  Result<Unit> put(std::string_view key, std::span<const u8> value);
+  Result<std::vector<u8>> get(std::string_view key) const;
+  Result<Unit> del(std::string_view key);
+
+  // Abstract view: every (key, bytes) currently stored and intact.
+  std::map<std::string, std::vector<u8>> view() const;
+
+  // Anti-entropy inventory: (key, crc32c) for every intact block.
+  std::vector<BlockKeyInfo> list() const;
+
+  const BlockStoreStats& stats() const { return stats_; }
+  Port port() const { return port_; }
+
+  // Path of the file backing `key` ("/blocks/<hex>"): public so tests can
+  // inject storage corruption at the right place.
+  static std::string key_path(std::string_view key);
+
+ private:
+  Result<Unit> put_local(std::string_view key, std::span<const u8> value);
+  void push_replicas(std::string_view key, std::span<const u8> value);
+
+  Sys& sys_;
+  Port port_;
+  std::vector<BsPeer> peers_;
+  Fd sock_ = kInvalidFd;
+  mutable BlockStoreStats stats_;
+};
+
+// Client library: request/response over UDP with timeout + retry (the
+// fabric may drop datagrams; operations are idempotent, so at-least-once
+// retries preserve the abstract map semantics).
+class BlockStoreClient {
+ public:
+  // `pump` advances the simulated world (drives the server and the fabric)
+  // between poll attempts — the simulation's stand-in for wall-clock time.
+  BlockStoreClient(Sys& sys, NetAddr server, Port server_port, std::function<void()> pump);
+
+  Result<Unit> init();
+
+  Result<Unit> put(std::string_view key, std::span<const u8> value);
+  Result<std::vector<u8>> get(std::string_view key);
+  Result<Unit> del(std::string_view key);
+  Result<Unit> ping();
+  Result<std::vector<BlockKeyInfo>> list();
+
+  // Anti-entropy repair: pulls every block that `target` is missing (or
+  // holds with a different checksum) from the server this client talks to,
+  // writing it into `target` via its local API. Returns blocks repaired.
+  Result<u64> sync_into(BlockStoreNode& target);
+
+  u64 retries() const { return retries_; }
+
+ private:
+  static constexpr usize kMaxAttempts = 16;
+  static constexpr usize kPollsPerAttempt = 64;
+
+  // Sends `request` until a reply with its req_id arrives; returns payload.
+  Result<std::vector<u8>> rpc(BsOp op, std::string_view key, std::span<const u8> value);
+
+  Sys& sys_;
+  NetAddr server_;
+  Port server_port_;
+  std::function<void()> pump_;
+  Fd sock_ = kInvalidFd;
+  u64 next_req_id_ = 1;
+  u64 retries_ = 0;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_APP_BLOCKSTORE_H_

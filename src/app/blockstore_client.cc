@@ -1,0 +1,156 @@
+#include "src/app/blockstore.h"
+
+#include <map>
+
+#include "src/base/serde.h"
+
+namespace vnros {
+
+BlockStoreClient::BlockStoreClient(Sys& sys, NetAddr server, Port server_port,
+                                   std::function<void()> pump)
+    : sys_(sys), server_(server), server_port_(server_port), pump_(std::move(pump)) {}
+
+Result<Unit> BlockStoreClient::init() {
+  auto sock = sys_.udp_socket();
+  if (!sock.ok()) {
+    return sock.error();
+  }
+  sock_ = sock.value();
+  // First send auto-binds an ephemeral port; recvfrom needs a bound socket,
+  // so bind eagerly by sending a ping during the first rpc instead.
+  return Unit{};
+}
+
+Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
+                                              std::span<const u8> value) {
+  if (sock_ == kInvalidFd) {
+    auto r = init();  // lazy socket creation: init() is optional for callers
+    if (!r.ok()) {
+      return r.error();
+    }
+  }
+  u64 req_id = next_req_id_++;
+  Writer w;
+  w.put_u8(static_cast<u8>(op));
+  w.put_u64(req_id);
+  w.put_string(key);
+  if (op == BsOp::kPut || op == BsOp::kPutReplica) {
+    w.put_bytes(value);
+  }
+
+  for (usize attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+    }
+    auto sent = sys_.udp_sendto(sock_, server_, server_port_, w.bytes());
+    if (!sent.ok()) {
+      return sent.error();
+    }
+    for (usize poll = 0; poll < kPollsPerAttempt; ++poll) {
+      if (pump_) {
+        pump_();
+      }
+      auto reply = sys_.udp_recvfrom(sock_);
+      if (!reply.ok()) {
+        continue;
+      }
+      Reader r(reply.value().payload);
+      auto rid = r.get_u64();
+      auto err = r.get_u32();
+      auto payload = r.get_bytes();
+      if (!rid || !err || !payload) {
+        continue;  // malformed reply: ignore, retry
+      }
+      if (*rid != req_id) {
+        continue;  // stale reply from an earlier (retried) request
+      }
+      if (static_cast<ErrorCode>(*err) != ErrorCode::kOk) {
+        return static_cast<ErrorCode>(*err);
+      }
+      return std::move(*payload);
+    }
+  }
+  return ErrorCode::kTimedOut;
+}
+
+Result<Unit> BlockStoreClient::put(std::string_view key, std::span<const u8> value) {
+  auto r = rpc(BsOp::kPut, key, value);
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Unit{};
+}
+
+Result<std::vector<u8>> BlockStoreClient::get(std::string_view key) {
+  return rpc(BsOp::kGet, key, {});
+}
+
+Result<Unit> BlockStoreClient::del(std::string_view key) {
+  auto r = rpc(BsOp::kDel, key, {});
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Unit{};
+}
+
+Result<std::vector<BlockKeyInfo>> BlockStoreClient::list() {
+  auto raw = rpc(BsOp::kList, "", {});
+  if (!raw.ok()) {
+    return raw.error();
+  }
+  Reader r(raw.value());
+  auto count = r.get_u32();
+  if (!count) {
+    return ErrorCode::kCorrupted;
+  }
+  std::vector<BlockKeyInfo> out;
+  out.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto key = r.get_string();
+    auto crc = r.get_u32();
+    if (!key || !crc) {
+      return ErrorCode::kCorrupted;
+    }
+    out.push_back(BlockKeyInfo{std::move(*key), *crc});
+  }
+  return out;
+}
+
+Result<u64> BlockStoreClient::sync_into(BlockStoreNode& target) {
+  auto remote = list();
+  if (!remote.ok()) {
+    return remote.error();
+  }
+  // What the target already holds, by checksum.
+  std::map<std::string, u32> local;
+  for (const auto& e : target.list()) {
+    local[e.key] = e.crc;
+  }
+  u64 repaired = 0;
+  for (const auto& e : remote.value()) {
+    auto it = local.find(e.key);
+    if (it != local.end() && it->second == e.crc) {
+      continue;  // already in sync
+    }
+    auto value = get(e.key);
+    if (!value.ok()) {
+      return value.error();
+    }
+    auto put_result = target.put(e.key, value.value());
+    if (!put_result.ok()) {
+      return put_result.error();
+    }
+    ++repaired;
+  }
+  return repaired;
+}
+
+Result<Unit> BlockStoreClient::ping() {
+  auto r = rpc(BsOp::kPing, "", {});
+  if (!r.ok()) {
+    return r.error();
+  }
+  return Unit{};
+}
+
+}  // namespace vnros

@@ -1,0 +1,274 @@
+#include "src/app/blockstore.h"
+
+#include "src/base/contracts.h"
+#include "src/base/crc.h"
+#include "src/base/serde.h"
+
+namespace vnros {
+namespace {
+
+// Block file layout: [u32 crc32c(payload)][u32 len][payload]. The length is
+// stored (not derived from file size) so truncation is detected as
+// corruption, not silently returned short.
+constexpr usize kBlockHeader = 8;
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+std::string BlockStoreNode::key_path(std::string_view key) {
+  std::string path = "/blocks/";
+  for (char c : key) {
+    path.push_back(kHexDigits[(static_cast<u8>(c) >> 4) & 0xF]);
+    path.push_back(kHexDigits[static_cast<u8>(c) & 0xF]);
+  }
+  return path;
+}
+
+BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers)
+    : sys_(sys), port_(port), peers_(std::move(peers)) {}
+
+Result<Unit> BlockStoreNode::init() {
+  auto md = sys_.mkdir("/blocks");
+  if (!md.ok() && md.error() != ErrorCode::kAlreadyExists) {
+    return md.error();
+  }
+  auto sock = sys_.udp_socket();
+  if (!sock.ok()) {
+    return sock.error();
+  }
+  sock_ = sock.value();
+  auto bound = sys_.udp_bind(sock_, port_);
+  if (!bound.ok()) {
+    return bound.error();
+  }
+  return Unit{};
+}
+
+Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8> value) {
+  std::string path = key_path(key);
+  auto fd = sys_.open(path, kOpenCreate | kOpenTrunc);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  Writer w;
+  w.put_u32(crc32c(value));
+  w.put_u32(static_cast<u32>(value.size()));
+  w.put_raw(value);
+  auto written = sys_.write(fd.value(), w.bytes());
+  (void)sys_.close(fd.value());
+  if (!written.ok()) {
+    return written.error();
+  }
+  if (written.value() != w.size()) {
+    return ErrorCode::kNoSpace;
+  }
+  // Durability before acknowledgement: the put is only acked after fsync, so
+  // an acked put survives any later crash (app/crash_recovery VCs).
+  return sys_.fsync();
+}
+
+Result<Unit> BlockStoreNode::put(std::string_view key, std::span<const u8> value) {
+  auto r = put_local(key, value);
+  if (!r.ok()) {
+    return r;
+  }
+  ++stats_.puts;
+  push_replicas(key, value);
+  return Unit{};
+}
+
+void BlockStoreNode::push_replicas(std::string_view key, std::span<const u8> value) {
+  if (peers_.empty() || sock_ == kInvalidFd) {
+    return;
+  }
+  Writer w;
+  w.put_u8(static_cast<u8>(BsOp::kPutReplica));
+  w.put_u64(0);  // replication pushes are unacked (client-level retries cover loss)
+  w.put_string(key);
+  w.put_bytes(value);
+  for (const auto& peer : peers_) {
+    if (sys_.udp_sendto(sock_, peer.addr, peer.port, w.bytes()).ok()) {
+      ++stats_.replicas_pushed;
+    }
+  }
+}
+
+Result<std::vector<u8>> BlockStoreNode::get(std::string_view key) const {
+  std::string path = key_path(key);
+  auto fd = sys_.open(path, 0);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  auto st = sys_.fstat(fd.value());
+  if (!st.ok()) {
+    (void)sys_.close(fd.value());
+    return st.error();
+  }
+  auto raw = sys_.read(fd.value(), st.value().size);
+  (void)sys_.close(fd.value());
+  if (!raw.ok()) {
+    return raw.error();
+  }
+  ++stats_.gets;
+  Reader r(raw.value());
+  auto crc = r.get_u32();
+  auto len = r.get_u32();
+  if (!crc || !len || raw.value().size() != kBlockHeader + *len) {
+    ++stats_.corrupt_reads;
+    return ErrorCode::kCorrupted;
+  }
+  std::span<const u8> payload(raw.value().data() + kBlockHeader, *len);
+  if (crc32c(payload) != *crc) {
+    ++stats_.corrupt_reads;
+    return ErrorCode::kCorrupted;  // never return bytes that fail the checksum
+  }
+  return std::vector<u8>(payload.begin(), payload.end());
+}
+
+Result<Unit> BlockStoreNode::del(std::string_view key) {
+  // "Ensure absent" semantics (like S3 DELETE): deleting a missing key is a
+  // success. This is what makes DEL idempotent, so the client's at-least-once
+  // retries (a reply can be lost after the delete applied) stay correct.
+  auto r = sys_.unlink(key_path(key));
+  if (!r.ok() && r.error() != ErrorCode::kNotFound) {
+    return r;
+  }
+  ++stats_.dels;
+  return sys_.fsync();
+}
+
+std::vector<BlockKeyInfo> BlockStoreNode::list() const {
+  std::vector<BlockKeyInfo> out;
+  for (const auto& [key, value] : view()) {
+    out.push_back(BlockKeyInfo{key, crc32c(value)});
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<u8>> BlockStoreNode::view() const {
+  std::map<std::string, std::vector<u8>> out;
+  auto names = sys_.readdir("/blocks");
+  if (!names.ok()) {
+    return out;
+  }
+  for (const auto& name : names.value()) {
+    // Decode the hex filename back into the key.
+    std::string key;
+    if (name.size() % 2 != 0) {
+      continue;
+    }
+    bool ok = true;
+    for (usize i = 0; i < name.size(); i += 2) {
+      auto nib = [&](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      int hi = nib(name[i]);
+      int lo = nib(name[i + 1]);
+      if (hi < 0 || lo < 0) {
+        ok = false;
+        break;
+      }
+      key.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    if (!ok) {
+      continue;
+    }
+    auto value = get(key);
+    if (value.ok()) {
+      out[key] = value.value();
+    }
+  }
+  return out;
+}
+
+bool BlockStoreNode::serve_once() {
+  VNROS_CHECK(sock_ != kInvalidFd);
+  auto dgram = sys_.udp_recvfrom(sock_);
+  if (!dgram.ok()) {
+    return false;
+  }
+  Reader r(dgram.value().payload);
+  auto op = r.get_u8();
+  auto req_id = r.get_u64();
+  auto key = r.get_string();
+  if (!op || !req_id || !key) {
+    return true;  // malformed request: drop (no reply address semantics)
+  }
+
+  ErrorCode err = ErrorCode::kInvalidArgument;
+  std::vector<u8> value_out;
+  switch (static_cast<BsOp>(*op)) {
+    case BsOp::kPut: {
+      auto value = r.get_bytes();
+      if (value && r.exhausted()) {
+        err = put(*key, *value).error();
+      }
+      break;
+    }
+    case BsOp::kPutReplica: {
+      auto value = r.get_bytes();
+      if (value && r.exhausted()) {
+        err = put_local(*key, *value).error();
+        if (err == ErrorCode::kOk) {
+          ++stats_.replicas_applied;
+        }
+      }
+      // Replication pushes carry req_id 0: apply silently, no reply.
+      if (*req_id == 0) {
+        return true;
+      }
+      break;
+    }
+    case BsOp::kGet: {
+      if (r.exhausted()) {
+        auto v = get(*key);
+        err = v.error();
+        if (v.ok()) {
+          err = ErrorCode::kOk;
+          value_out = std::move(v.value());
+        }
+      }
+      break;
+    }
+    case BsOp::kDel: {
+      if (r.exhausted()) {
+        err = del(*key).error();
+      }
+      break;
+    }
+    case BsOp::kPing: {
+      if (r.exhausted()) {
+        err = ErrorCode::kOk;
+      }
+      break;
+    }
+    case BsOp::kList: {
+      if (r.exhausted()) {
+        Writer lw;
+        auto entries = list();
+        lw.put_u32(static_cast<u32>(entries.size()));
+        for (const auto& e : entries) {
+          lw.put_string(e.key);
+          lw.put_u32(e.crc);
+        }
+        value_out = lw.take();
+        err = ErrorCode::kOk;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  Writer reply;
+  reply.put_u64(*req_id);
+  reply.put_u32(static_cast<u32>(err));
+  reply.put_bytes(value_out);
+  (void)sys_.udp_sendto(sock_, dgram.value().src_addr, dgram.value().src_port, reply.bytes());
+  return true;
+}
+
+}  // namespace vnros

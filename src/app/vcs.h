@@ -1,0 +1,17 @@
+// Registration hook for the block-store application verification conditions.
+#ifndef VNROS_SRC_APP_VCS_H_
+#define VNROS_SRC_APP_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers app/* VCs: the storage node refines the abstract key->bytes map
+// end-to-end over the network, acknowledged puts survive crashes, storage
+// corruption is detected (never returned as data), and replication pushes
+// blocks to peers.
+void register_app_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_APP_VCS_H_

@@ -1,0 +1,20 @@
+#include "src/base/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vnros {
+namespace contract_detail {
+
+std::atomic<bool> g_contracts_enabled{false};
+std::atomic<unsigned long long> g_contracts_checked{0};
+
+void contract_failed(const char* kind, const char* condition, const char* file, int line) {
+  std::fprintf(stderr, "vnros: %s clause violated: %s\n  at %s:%d\n", kind, condition, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace contract_detail
+}  // namespace vnros

@@ -1,0 +1,53 @@
+#include "src/base/crc.h"
+
+#include <array>
+
+namespace vnros {
+namespace {
+
+constexpr std::array<u32, 256> make_crc32c_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<u64, 256> make_crc64_table() {
+  std::array<u64, 256> table{};
+  for (u64 i = 0; i < 256; ++i) {
+    u64 crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0xC96C5795D7870F42ull : 0ull);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc32cTable = make_crc32c_table();
+constexpr auto kCrc64Table = make_crc64_table();
+
+}  // namespace
+
+u32 crc32c(std::span<const u8> data, u32 seed) {
+  u32 crc = ~seed;
+  for (u8 byte : data) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+u64 crc64(std::span<const u8> data, u64 seed) {
+  u64 crc = ~seed;
+  for (u8 byte : data) {
+    crc = (crc >> 8) ^ kCrc64Table[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace vnros

@@ -1,0 +1,24 @@
+// Checksums used by the storage stack.
+//
+// crc32c (Castagnoli) guards filesystem journal records and block-store
+// payloads; crc64 guards whole-device snapshots in tests. Both are plain
+// table-driven software implementations so results are identical on any host.
+#ifndef VNROS_SRC_BASE_CRC_H_
+#define VNROS_SRC_BASE_CRC_H_
+
+#include <span>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+// CRC-32C (polynomial 0x1EDC6F41, reflected). `seed` allows incremental use:
+// crc32c(b, crc32c(a)) == crc32c(a ++ b).
+u32 crc32c(std::span<const u8> data, u32 seed = 0);
+
+// CRC-64/XZ (polynomial 0x42F0E1EBA9EA3693, reflected).
+u64 crc64(std::span<const u8> data, u64 seed = 0);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_BASE_CRC_H_

@@ -1,0 +1,36 @@
+#include "src/base/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace vnros {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void log_message(LogLevel level, const char* module, const char* fmt, ...) {
+  char body[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s %s] %s\n", level_tag(level), module, body);
+}
+
+}  // namespace vnros

@@ -1,0 +1,43 @@
+// Minimal leveled logging.
+//
+// The default level is kWarn so tests and benchmarks stay quiet; examples
+// raise it to kInfo to narrate what the system does. printf-style because the
+// toolchain (GCC 12) predates usable std::format.
+#ifndef VNROS_SRC_BASE_LOG_H_
+#define VNROS_SRC_BASE_LOG_H_
+
+#include <cstdarg>
+
+namespace vnros {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Core sink; prefer the VNROS_LOG_* macros which skip argument evaluation
+// when the level is filtered out.
+void log_message(LogLevel level, const char* module, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace vnros
+
+#define VNROS_LOG_AT(level, module, ...)                   \
+  do {                                                     \
+    if (static_cast<int>(::vnros::log_level()) >=          \
+        static_cast<int>(level)) {                         \
+      ::vnros::log_message(level, module, __VA_ARGS__);    \
+    }                                                      \
+  } while (0)
+
+#define VNROS_LOG_ERROR(module, ...) VNROS_LOG_AT(::vnros::LogLevel::kError, module, __VA_ARGS__)
+#define VNROS_LOG_WARN(module, ...) VNROS_LOG_AT(::vnros::LogLevel::kWarn, module, __VA_ARGS__)
+#define VNROS_LOG_INFO(module, ...) VNROS_LOG_AT(::vnros::LogLevel::kInfo, module, __VA_ARGS__)
+#define VNROS_LOG_DEBUG(module, ...) VNROS_LOG_AT(::vnros::LogLevel::kDebug, module, __VA_ARGS__)
+
+#endif  // VNROS_SRC_BASE_LOG_H_

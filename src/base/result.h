@@ -1,0 +1,106 @@
+// Error handling: kernel-style error codes plus a small Result<T> sum type.
+//
+// vnros never throws across module boundaries; fallible operations return
+// Result<T> (or ErrorCode for void-like operations). This mirrors the paper's
+// syscall model where every transition either succeeds with a value or fails
+// with a specified error, and the spec covers both branches.
+#ifndef VNROS_SRC_BASE_RESULT_H_
+#define VNROS_SRC_BASE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+enum class ErrorCode : u32 {
+  kOk = 0,
+  kNoMemory,          // out of physical frames / heap
+  kAlreadyMapped,     // map over an existing mapping
+  kNotMapped,         // unmap/resolve of an unmapped address
+  kInvalidArgument,   // misaligned / non-canonical / malformed input
+  kNotFound,          // no such file, process, socket, ...
+  kAlreadyExists,     // create of an existing path
+  kBadFd,             // fd not open in this process
+  kNotPermitted,      // permission bits forbid the access
+  kWouldBlock,        // non-blocking op cannot complete now
+  kBusy,              // resource temporarily held (e.g. combiner full)
+  kNoSpace,           // device or table capacity exhausted
+  kIsDirectory,       // file op on a directory
+  kNotDirectory,      // directory op on a file
+  kNotEmpty,          // rmdir of a non-empty directory
+  kPipeClosed,        // peer endpoint gone
+  kTimedOut,          // blocking op exceeded its deadline
+  kInterrupted,       // blocked op woken by a signal
+  kConnRefused,       // no listener at destination
+  kConnReset,         // peer aborted the connection
+  kNotConnected,      // send/recv on an unconnected stream socket
+  kCorrupted,         // checksum / journal integrity failure
+  kCrashed,           // device lost state at a simulated crash point
+  kUnsupported,       // operation not implemented for this object
+};
+
+// Human-readable error name, stable for logs and tests.
+constexpr const char* error_name(ErrorCode e) {
+  switch (e) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kNoMemory: return "NoMemory";
+    case ErrorCode::kAlreadyMapped: return "AlreadyMapped";
+    case ErrorCode::kNotMapped: return "NotMapped";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kBadFd: return "BadFd";
+    case ErrorCode::kNotPermitted: return "NotPermitted";
+    case ErrorCode::kWouldBlock: return "WouldBlock";
+    case ErrorCode::kBusy: return "Busy";
+    case ErrorCode::kNoSpace: return "NoSpace";
+    case ErrorCode::kIsDirectory: return "IsDirectory";
+    case ErrorCode::kNotDirectory: return "NotDirectory";
+    case ErrorCode::kNotEmpty: return "NotEmpty";
+    case ErrorCode::kPipeClosed: return "PipeClosed";
+    case ErrorCode::kTimedOut: return "TimedOut";
+    case ErrorCode::kInterrupted: return "Interrupted";
+    case ErrorCode::kConnRefused: return "ConnRefused";
+    case ErrorCode::kConnReset: return "ConnReset";
+    case ErrorCode::kNotConnected: return "NotConnected";
+    case ErrorCode::kCorrupted: return "Corrupted";
+    case ErrorCode::kCrashed: return "Crashed";
+    case ErrorCode::kUnsupported: return "Unsupported";
+  }
+  return "Unknown";
+}
+
+// Result<T>: either a value or an ErrorCode. Minimal expected<>-style type;
+// ok() must be checked before value() (enforced by contracts in debug).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}                    // NOLINT(google-explicit-constructor)
+  Result(ErrorCode error) : repr_(error) {}                       // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  ErrorCode error() const { return ok() ? ErrorCode::kOk : std::get<ErrorCode>(repr_); }
+
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T value_or(T fallback) const { return ok() ? std::get<T>(repr_) : std::move(fallback); }
+
+ private:
+  std::variant<T, ErrorCode> repr_;
+};
+
+// Unit type for Result<Unit>-style "fallible void" signatures where callers
+// want uniform Result handling.
+struct Unit {
+  constexpr auto operator<=>(const Unit&) const = default;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_BASE_RESULT_H_

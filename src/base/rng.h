@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Everything stochastic in vnros — property-based refinement checks, fault
+// injection, network loss — draws from a seeded Rng so every failure is
+// replayable from its seed. Tests print the seed on failure.
+#ifndef VNROS_SRC_BASE_RNG_H_
+#define VNROS_SRC_BASE_RNG_H_
+
+#include <array>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    // SplitMix64 expansion of the seed into xoshiro state; never all-zero.
+    u64 x = seed + 0x9E3779B97F4A7C15ull;
+    for (auto& s : state_) {
+      u64 z = (x += 0x9E3779B97F4A7C15ull);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  // Uniform in [0, bound); bound must be nonzero. Uses rejection sampling to
+  // avoid modulo bias (matters for exhaustive-ish sweeps).
+  u64 next_below(u64 bound) {
+    VNROS_CHECK(bound != 0);
+    const u64 threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    for (;;) {
+      u64 r = next_u64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  u64 next_range(u64 lo, u64 hi) {
+    VNROS_CHECK(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  // Bernoulli(p) with p expressed in parts-per-million.
+  bool chance_ppm(u64 ppm) { return next_below(1'000'000) < ppm; }
+
+  // Bernoulli with probability numer/denom.
+  bool chance(u64 numer, u64 denom) {
+    VNROS_CHECK(denom != 0);
+    return next_below(denom) < numer;
+  }
+
+  double next_unit_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_BASE_RNG_H_

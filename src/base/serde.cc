@@ -1,0 +1,3 @@
+// serde is header-only; this translation unit exists so the library has at
+// least one object file and the header is compiled standalone once.
+#include "src/base/serde.h"

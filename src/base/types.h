@@ -1,0 +1,103 @@
+// Core integer and address types shared by every vnros module.
+//
+// Virtual and physical addresses are distinct strong types: mixing them up is
+// the classic page-table bug class, and the whole point of this codebase is
+// that such bugs are ruled out (here: by the type system; in the paper: by
+// Verus' type system plus refinement proofs).
+#ifndef VNROS_SRC_BASE_TYPES_H_
+#define VNROS_SRC_BASE_TYPES_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace vnros {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+using isize = std::ptrdiff_t;
+
+// x86-64 page geometry.
+inline constexpr u64 kPageShift = 12;
+inline constexpr u64 kPageSize = u64{1} << kPageShift;          // 4 KiB
+inline constexpr u64 kLargePageSize = u64{1} << 21;             // 2 MiB
+inline constexpr u64 kHugePageSize = u64{1} << 30;              // 1 GiB
+inline constexpr u64 kPageMask = kPageSize - 1;
+
+// Canonical 48-bit virtual address space (4-level paging).
+inline constexpr u64 kVaddrBits = 48;
+inline constexpr u64 kMaxVaddrExclusive = u64{1} << kVaddrBits;
+
+// A virtual address as seen by a process.
+struct VAddr {
+  u64 value = 0;
+
+  constexpr VAddr() = default;
+  constexpr explicit VAddr(u64 v) : value(v) {}
+
+  constexpr auto operator<=>(const VAddr&) const = default;
+
+  constexpr bool is_page_aligned() const { return (value & kPageMask) == 0; }
+  constexpr bool is_aligned(u64 alignment) const { return (value % alignment) == 0; }
+  constexpr bool is_canonical() const { return value < kMaxVaddrExclusive; }
+  constexpr VAddr align_down(u64 alignment) const { return VAddr{value - value % alignment}; }
+  constexpr VAddr offset(u64 delta) const { return VAddr{value + delta}; }
+  constexpr u64 page_offset() const { return value & kPageMask; }
+  constexpr VAddr page_base() const { return VAddr{value & ~kPageMask}; }
+};
+
+// A physical address in simulated machine memory.
+struct PAddr {
+  u64 value = 0;
+
+  constexpr PAddr() = default;
+  constexpr explicit PAddr(u64 v) : value(v) {}
+
+  constexpr auto operator<=>(const PAddr&) const = default;
+
+  constexpr bool is_page_aligned() const { return (value & kPageMask) == 0; }
+  constexpr bool is_aligned(u64 alignment) const { return (value % alignment) == 0; }
+  constexpr PAddr offset(u64 delta) const { return PAddr{value + delta}; }
+  constexpr u64 frame_number() const { return value >> kPageShift; }
+  constexpr u64 page_offset() const { return value & kPageMask; }
+  constexpr PAddr page_base() const { return PAddr{value & ~kPageMask}; }
+
+  static constexpr PAddr from_frame(u64 frame) { return PAddr{frame << kPageShift}; }
+};
+
+// Identifiers used across the kernel. Strong enough to avoid swapping a pid
+// for a core id in a call; cheap enough to pass by value everywhere.
+using CoreId = u32;
+using NodeId = u32;   // NUMA node
+using Pid = u64;
+using Tid = u64;
+using Fd = i32;
+
+inline constexpr Pid kInvalidPid = ~u64{0};
+inline constexpr Fd kInvalidFd = -1;
+
+}  // namespace vnros
+
+template <>
+struct std::hash<vnros::VAddr> {
+  std::size_t operator()(const vnros::VAddr& a) const noexcept {
+    return std::hash<vnros::u64>{}(a.value);
+  }
+};
+
+template <>
+struct std::hash<vnros::PAddr> {
+  std::size_t operator()(const vnros::PAddr& a) const noexcept {
+    return std::hash<vnros::u64>{}(a.value);
+  }
+};
+
+#endif  // VNROS_SRC_BASE_TYPES_H_

@@ -1,0 +1,70 @@
+#include "src/hw/block_device.h"
+
+#include <cstring>
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+
+Result<Unit> BlockDevice::read(u64 sector, std::span<u8> out) {
+  if (out.size() != kSectorSize) {
+    return ErrorCode::kInvalidArgument;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sector >= num_sectors()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ++stats_.reads;
+  auto it = cache_.find(sector);
+  if (it != cache_.end()) {
+    std::memcpy(out.data(), it->second.data(), kSectorSize);
+  } else {
+    std::memcpy(out.data(), stable_.data() + sector * kSectorSize, kSectorSize);
+  }
+  return Unit{};
+}
+
+Result<Unit> BlockDevice::write(u64 sector, std::span<const u8> data) {
+  if (data.size() != kSectorSize) {
+    return ErrorCode::kInvalidArgument;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sector >= num_sectors()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ++stats_.writes;
+  cache_[sector].assign(data.begin(), data.end());
+  return Unit{};
+}
+
+void BlockDevice::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.flushes;
+  for (const auto& [sector, bytes] : cache_) {
+    std::memcpy(stable_.data() + sector * kSectorSize, bytes.data(), kSectorSize);
+  }
+  cache_.clear();
+}
+
+void BlockDevice::crash(u64 persist_ppm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.crashes;
+  for (const auto& [sector, bytes] : cache_) {
+    if (rng_.chance_ppm(persist_ppm)) {
+      std::memcpy(stable_.data() + sector * kSectorSize, bytes.data(), kSectorSize);
+    }
+  }
+  cache_.clear();
+}
+
+usize BlockDevice::dirty_sectors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+std::vector<u8> BlockDevice::snapshot_stable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stable_;
+}
+
+}  // namespace vnros

@@ -1,0 +1,81 @@
+// Block device model with a volatile write cache and a crash model.
+//
+// The paper's component list includes disk controllers and a filesystem with
+// persistence; Amazon's S3 storage-node verification (the paper's motivating
+// application) is fundamentally about crash consistency. This device gives
+// the filesystem and block store something honest to be correct *against*:
+//
+//   - write() lands in a volatile cache, not on stable media;
+//   - flush() moves all cached sectors to stable media (a write barrier);
+//   - crash() throws away the volatile cache — except that, to model
+//     controller reordering, each cached sector independently *may* have
+//     reached media (decided by a seeded Rng).
+//
+// A filesystem is crash-consistent iff recovery from any crash()-produced
+// media state yields a state reachable by the abstract spec; the fs and
+// blockstore test suites check exactly that.
+#ifndef VNROS_SRC_HW_BLOCK_DEVICE_H_
+#define VNROS_SRC_HW_BLOCK_DEVICE_H_
+
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+inline constexpr u64 kSectorSize = 512;
+
+struct BlockDeviceStats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 flushes = 0;
+  u64 crashes = 0;
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(u64 num_sectors, u64 rng_seed = 0x5EC70Full)
+      : stable_(num_sectors * kSectorSize, 0), rng_(rng_seed) {}
+
+  u64 num_sectors() const { return stable_.size() / kSectorSize; }
+
+  // Reads observe the device's current view: cached sector if present,
+  // otherwise stable media (a controller serves reads from its cache).
+  Result<Unit> read(u64 sector, std::span<u8> out);
+
+  // Writes go to the volatile cache only.
+  Result<Unit> write(u64 sector, std::span<const u8> data);
+
+  // Write barrier: all cached sectors become stable, cache empties.
+  void flush();
+
+  // Simulated power failure. Each cached sector independently persists with
+  // probability `persist_ppm` parts-per-million (0 = nothing un-flushed
+  // survives, 1'000'000 = crash behaves like flush). Afterwards the cache is
+  // empty and the device is usable again ("reboot").
+  void crash(u64 persist_ppm = 500'000);
+
+  // Exact count of dirty (cached, unflushed) sectors.
+  usize dirty_sectors() const;
+
+  const BlockDeviceStats& stats() const { return stats_; }
+
+  // Test hook: a stable-media snapshot for golden comparisons.
+  std::vector<u8> snapshot_stable() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<u8> stable_;                           // persistent media
+  std::unordered_map<u64, std::vector<u8>> cache_;   // sector -> pending bytes
+  Rng rng_;
+  BlockDeviceStats stats_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_BLOCK_DEVICE_H_

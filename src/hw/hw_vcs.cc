@@ -1,0 +1,311 @@
+// Verification conditions for the hardware models — the "device driver"
+// obligations of Table 2. The drivers above these models are only correct if
+// the models honour their own specs: flush is a write barrier, crash loses
+// only unflushed sectors, the RX ring drops (never corrupts) on overflow,
+// raise/ack is exact, serial output preserves order.
+#include "src/hw/vcs.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/hw/block_device.h"
+#include "src/hw/interrupts.h"
+#include "src/hw/mmu.h"
+#include "src/hw/network.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/timer.h"
+#include "src/hw/topology.h"
+
+namespace vnros {
+namespace {
+
+std::vector<u8> sector_of(u8 fill) { return std::vector<u8>(kSectorSize, fill); }
+
+VcOutcome vc_block_flush_barrier(u64 seed) {
+  BlockDevice dev(256, seed);
+  // Writes before a flush survive any crash; writes after may vanish.
+  (void)dev.write(10, sector_of(0xAA));
+  (void)dev.write(11, sector_of(0xBB));
+  dev.flush();
+  (void)dev.write(12, sector_of(0xCC));
+  dev.crash(0);  // adversarial crash: nothing unflushed survives
+
+  std::vector<u8> buf(kSectorSize);
+  (void)dev.read(10, buf);
+  if (buf != sector_of(0xAA)) {
+    return VcOutcome::fail("flushed sector 10 lost");
+  }
+  (void)dev.read(11, buf);
+  if (buf != sector_of(0xBB)) {
+    return VcOutcome::fail("flushed sector 11 lost");
+  }
+  (void)dev.read(12, buf);
+  if (buf == sector_of(0xCC)) {
+    return VcOutcome::fail("unflushed sector survived a 0%-persistence crash");
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_block_read_sees_cache() {
+  BlockDevice dev(64);
+  (void)dev.write(5, sector_of(0x11));
+  std::vector<u8> buf(kSectorSize);
+  (void)dev.read(5, buf);
+  if (buf != sector_of(0x11)) {
+    return VcOutcome::fail("read did not observe the cached write");
+  }
+  if (dev.dirty_sectors() != 1) {
+    return VcOutcome::fail("dirty accounting wrong");
+  }
+  dev.flush();
+  if (dev.dirty_sectors() != 0) {
+    return VcOutcome::fail("flush left dirty sectors");
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_block_bounds() {
+  BlockDevice dev(8);
+  std::vector<u8> buf(kSectorSize);
+  if (dev.read(8, buf).ok() || dev.write(9, buf).ok()) {
+    return VcOutcome::fail("out-of-range sector accepted");
+  }
+  std::vector<u8> small(10);
+  if (dev.read(0, small).ok()) {
+    return VcOutcome::fail("partial-sector read accepted");
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_net_ring_overflow_drops() {
+  FabricConfig config;
+  config.rx_ring_capacity = 4;
+  Network net(config);
+  NetDevice& a = net.attach();
+  NetDevice& b = net.attach();
+  for (int i = 0; i < 10; ++i) {
+    (void)a.send(b.addr(), {static_cast<u8>(i)});
+  }
+  if (b.rx_pending() != 4) {
+    return VcOutcome::fail("ring kept more frames than its capacity");
+  }
+  if (b.stats().rx_dropped_full != 6) {
+    return VcOutcome::fail("overflow drops not accounted");
+  }
+  // The frames kept are the earliest, intact.
+  for (u8 i = 0; i < 4; ++i) {
+    auto f = b.poll_rx();
+    if (!f || f->payload != std::vector<u8>{i}) {
+      return VcOutcome::fail("kept frames corrupted or reordered");
+    }
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_net_broadcast() {
+  Network net;
+  NetDevice& a = net.attach();
+  NetDevice& b = net.attach();
+  NetDevice& c = net.attach();
+  (void)a.send(kLinkBroadcast, {0x5A});
+  if (b.rx_pending() != 1 || c.rx_pending() != 1 || a.rx_pending() != 0) {
+    return VcOutcome::fail("broadcast delivery wrong (sender must not self-receive)");
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_irq_raise_ack() {
+  InterruptController irq(2);
+  if (irq.next_pending(0) != kNumIrqVectors) {
+    return VcOutcome::fail("spurious pending interrupt");
+  }
+  irq.raise(0, 5);
+  irq.raise(0, 3);
+  irq.raise(0, 5);  // level-triggered: idempotent
+  if (irq.next_pending(0) != 3) {
+    return VcOutcome::fail("priority (lowest vector first) violated");
+  }
+  if (!irq.ack(0, 3) || irq.ack(0, 3)) {
+    return VcOutcome::fail("ack semantics wrong");
+  }
+  if (irq.next_pending(0) != 5) {
+    return VcOutcome::fail("remaining vector lost");
+  }
+  if (irq.next_pending(1) != kNumIrqVectors) {
+    return VcOutcome::fail("interrupt leaked across cores");
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_serial_ordering() {
+  SerialConsole console;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&console, t] {
+      for (int i = 0; i < 100; ++i) {
+        console.write(std::string(1, static_cast<char>('A' + t)));
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  std::string out = console.contents();
+  if (out.size() != 400) {
+    return VcOutcome::fail("bytes lost under concurrent writes");
+  }
+  for (char c = 'A'; c <= 'D'; ++c) {
+    if (std::count(out.begin(), out.end(), c) != 100) {
+      return VcOutcome::fail("per-writer byte counts wrong");
+    }
+  }
+  return VcOutcome::pass();
+}
+
+
+u64 rng_ppm(u8 cycle) { return (cycle % 3) * 400'000ull; }
+
+// The four walk indices plus the page offset reconstruct the address: the
+// arithmetic every level of the walker depends on, checked for random and
+// boundary addresses.
+VcOutcome vc_mmu_index_decomposition(u64 seed) {
+  Rng rng(seed);
+  std::vector<u64> vals = {0, 1, kPageSize - 1, kPageSize, kMaxVaddrExclusive - 1};
+  for (int i = 0; i < 500; ++i) {
+    vals.push_back(rng.next_below(kMaxVaddrExclusive));
+  }
+  for (u64 v : vals) {
+    VAddr va{v};
+    u64 rebuilt = (pml4_index(va) << 39) | (pdpt_index(va) << 30) | (pd_index(va) << 21) |
+                  (pt_index(va) << 12) | va.page_offset();
+    if (rebuilt != v) {
+      return VcOutcome::fail("index decomposition lost bits");
+    }
+    if (pml4_index(va) >= kPtEntries || pdpt_index(va) >= kPtEntries ||
+        pd_index(va) >= kPtEntries || pt_index(va) >= kPtEntries) {
+      return VcOutcome::fail("index out of table range");
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// Topology partitions cores: every core belongs to exactly one node, and the
+// per-node core lists cover all cores exactly once.
+VcOutcome vc_topology_partition() {
+  for (u32 cores : {1u, 2u, 7u, 8u, 28u}) {
+    for (u32 per_node : {0u, 1u, 3u, 14u}) {
+      Topology topo(cores, per_node);
+      std::vector<u32> seen(cores, 0);
+      for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        for (CoreId c : topo.cores_on_node(n)) {
+          if (topo.node_of_core(c) != n) {
+            return VcOutcome::fail("node_of_core disagrees with cores_on_node");
+          }
+          ++seen[c];
+        }
+      }
+      for (u32 c = 0; c < cores; ++c) {
+        if (seen[c] != 1) {
+          return VcOutcome::fail("core not in exactly one node");
+        }
+      }
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// A device stays usable through repeated crash/reboot cycles, and stable
+// bytes never regress to older values once flushed.
+VcOutcome vc_block_crash_reboot_cycles(u64 seed) {
+  BlockDevice dev(64, seed);
+  std::vector<u8> gen(kSectorSize, 0);
+  for (u8 cycle = 1; cycle <= 10; ++cycle) {
+    std::fill(gen.begin(), gen.end(), cycle);
+    if (!dev.write(5, gen).ok()) {
+      return VcOutcome::fail("write failed after crash cycle");
+    }
+    dev.flush();
+    dev.crash(rng_ppm(cycle));
+    std::vector<u8> back(kSectorSize);
+    (void)dev.read(5, back);
+    if (back != gen) {
+      return VcOutcome::fail("flushed generation lost in cycle " + std::to_string(cycle));
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// PhysMem frame spans alias the same storage as element accessors.
+VcOutcome vc_physmem_span_aliasing() {
+  PhysMem mem(4);
+  auto span = mem.frame_span(PAddr::from_frame(2));
+  span[100] = 0xEE;
+  if (mem.read_u8(PAddr::from_frame(2).offset(100)) != 0xEE) {
+    return VcOutcome::fail("span write invisible to read_u8");
+  }
+  mem.write_u64(PAddr::from_frame(2).offset(8), 0x0102030405060708ull);
+  if (span[8] != 0x08) {
+    return VcOutcome::fail("write_u64 invisible to span (little-endian byte 0)");
+  }
+  return VcOutcome::pass();
+}
+
+
+// Conservation: on a fabric with loss only (no dup), frames sent == frames
+// delivered + frames lost + ring drops.
+VcOutcome vc_net_loss_accounting(u64 seed) {
+  FabricConfig config;
+  config.loss_ppm = 250'000;
+  Network net(config, seed);
+  NetDevice& a = net.attach();
+  NetDevice& b = net.attach();
+  const u64 kSent = 2000;
+  for (u64 i = 0; i < kSent; ++i) {
+    (void)a.send(b.addr(), {static_cast<u8>(i)});
+  }
+  u64 delivered = b.stats().rx_frames;
+  u64 dropped_ring = b.stats().rx_dropped_full;
+  if (delivered + dropped_ring + net.frames_lost() != kSent) {
+    return VcOutcome::fail("frame conservation violated");
+  }
+  if (net.frames_lost() == 0) {
+    return VcOutcome::fail("25% loss fabric lost nothing across 2000 frames");
+  }
+  return VcOutcome::pass();
+}
+
+}  // namespace
+
+void register_hw_vcs(VcRegistry& reg) {
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("hw/block_flush_barrier_seed" + std::to_string(seed), VcCategory::kDrivers,
+            [seed] { return vc_block_flush_barrier(seed); });
+  }
+  reg.add("hw/block_read_sees_cache", VcCategory::kDrivers,
+          [] { return vc_block_read_sees_cache(); });
+  reg.add("hw/block_bounds", VcCategory::kDrivers, [] { return vc_block_bounds(); });
+  reg.add("hw/net_ring_overflow_drops", VcCategory::kDrivers,
+          [] { return vc_net_ring_overflow_drops(); });
+  reg.add("hw/net_broadcast", VcCategory::kDrivers, [] { return vc_net_broadcast(); });
+  reg.add("hw/irq_raise_ack", VcCategory::kDrivers, [] { return vc_irq_raise_ack(); });
+  reg.add("hw/serial_ordering", VcCategory::kDrivers, [] { return vc_serial_ordering(); });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("hw/mmu_index_decomposition_seed" + std::to_string(seed), VcCategory::kMemorySafety,
+            [seed] { return vc_mmu_index_decomposition(seed); });
+  }
+  reg.add("hw/topology_partition", VcCategory::kDrivers, [] { return vc_topology_partition(); });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("hw/block_crash_reboot_cycles_seed" + std::to_string(seed), VcCategory::kDrivers,
+            [seed] { return vc_block_crash_reboot_cycles(seed); });
+  }
+  reg.add("hw/physmem_span_aliasing", VcCategory::kMemorySafety,
+          [] { return vc_physmem_span_aliasing(); });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("hw/net_loss_accounting_seed" + std::to_string(seed), VcCategory::kDrivers,
+            [seed] { return vc_net_loss_accounting(seed); });
+  }
+}
+
+}  // namespace vnros

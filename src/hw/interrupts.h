@@ -1,0 +1,83 @@
+// Interrupt controller and serial console models.
+//
+// Small but real: the interrupt controller is a per-core pending bitmask with
+// raise/ack semantics (a LAPIC reduced to its correctness-relevant core), and
+// the serial console is the paper's "serial/graphical output" driver target.
+// Both have specs simple enough that their VCs are exhaustive.
+#ifndef VNROS_SRC_HW_INTERRUPTS_H_
+#define VNROS_SRC_HW_INTERRUPTS_H_
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+inline constexpr u32 kNumIrqVectors = 64;
+
+// Per-core pending-interrupt state. raise() is idempotent per vector (level-
+// triggered); ack() clears. pending() returns the lowest pending vector,
+// modelling fixed priority.
+class InterruptController {
+ public:
+  explicit InterruptController(u32 num_cores) : pending_(num_cores) {}
+
+  void raise(CoreId core, u32 vector) {
+    VNROS_CHECK(core < pending_.size());
+    VNROS_CHECK(vector < kNumIrqVectors);
+    pending_[core].mask.fetch_or(u64{1} << vector, std::memory_order_acq_rel);
+  }
+
+  // Lowest pending vector for `core`, or kNumIrqVectors if none.
+  u32 next_pending(CoreId core) const {
+    VNROS_CHECK(core < pending_.size());
+    u64 mask = pending_[core].mask.load(std::memory_order_acquire);
+    if (mask == 0) {
+      return kNumIrqVectors;
+    }
+    return static_cast<u32>(__builtin_ctzll(mask));
+  }
+
+  // Acks (clears) `vector`; returns whether it was pending.
+  bool ack(CoreId core, u32 vector) {
+    VNROS_CHECK(core < pending_.size());
+    VNROS_CHECK(vector < kNumIrqVectors);
+    u64 bit = u64{1} << vector;
+    u64 prev = pending_[core].mask.fetch_and(~bit, std::memory_order_acq_rel);
+    return (prev & bit) != 0;
+  }
+
+ private:
+  struct PerCore {
+    std::atomic<u64> mask{0};
+  };
+  std::vector<PerCore> pending_;
+};
+
+// Serial output sink; spec: the observed byte stream equals the concatenation
+// of all writes in order.
+class SerialConsole {
+ public:
+  void write(std::string_view s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_.append(s);
+  }
+
+  std::string contents() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return out_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string out_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_INTERRUPTS_H_

@@ -1,0 +1,171 @@
+#include "src/hw/mmu.h"
+
+namespace vnros {
+namespace {
+
+ErrorCode fault_to_error(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNotPresent: return ErrorCode::kNotMapped;
+    case FaultKind::kProtection: return ErrorCode::kNotPermitted;
+    case FaultKind::kNonCanonical: return ErrorCode::kInvalidArgument;
+  }
+  return ErrorCode::kInvalidArgument;
+}
+
+// Effective permissions accumulate restrictively down the walk: an access is
+// writable/user/executable only if *every* level allows it (SDM §4.6).
+struct WalkPerms {
+  bool writable = true;
+  bool user = true;
+  bool executable = true;
+
+  void intersect(u64 entry) {
+    writable = writable && (entry & kPteWritable) != 0;
+    user = user && (entry & kPteUser) != 0;
+    executable = executable && (entry & kPteNoExecute) == 0;
+  }
+};
+
+bool access_allowed(const WalkPerms& perms, Access access, Ring ring) {
+  if (ring == Ring::kUser && !perms.user) {
+    return false;
+  }
+  switch (access) {
+    case Access::kRead: return true;
+    case Access::kWrite: return perms.writable;
+    case Access::kExecute: return perms.executable;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<PageFault> Mmu::probe_fault(PAddr cr3, VAddr va, Access access, Ring ring) const {
+  auto r = translate(cr3, va, access, ring);
+  if (r.ok()) {
+    return std::nullopt;
+  }
+  FaultKind kind = FaultKind::kNotPresent;
+  if (r.error() == ErrorCode::kNotPermitted) {
+    kind = FaultKind::kProtection;
+  } else if (r.error() == ErrorCode::kInvalidArgument) {
+    kind = FaultKind::kNonCanonical;
+  }
+  return PageFault{kind, va, access};
+}
+
+Result<Translation> Mmu::translate(PAddr cr3, VAddr va, Access access, Ring ring) const {
+  if (!va.is_canonical()) {
+    ++stats_.faults;
+    return fault_to_error(FaultKind::kNonCanonical);
+  }
+  ++stats_.walks;
+  VNROS_CHECK(cr3.is_page_aligned());
+
+  WalkPerms perms;
+
+  // Level 4: PML4. Never a leaf.
+  PAddr pml4e_addr = cr3.offset(pml4_index(va) * 8);
+  ++stats_.walk_loads;
+  u64 pml4e = mem_.read_u64(pml4e_addr);
+  if ((pml4e & kPtePresent) == 0) {
+    ++stats_.faults;
+    return fault_to_error(FaultKind::kNotPresent);
+  }
+  perms.intersect(pml4e);
+
+  // Level 3: PDPT. PS=1 means a 1 GiB leaf.
+  PAddr pdpt = PAddr{pml4e & kPteAddrMask};
+  PAddr pdpte_addr = pdpt.offset(pdpt_index(va) * 8);
+  ++stats_.walk_loads;
+  u64 pdpte = mem_.read_u64(pdpte_addr);
+  if ((pdpte & kPtePresent) == 0) {
+    ++stats_.faults;
+    return fault_to_error(FaultKind::kNotPresent);
+  }
+  perms.intersect(pdpte);
+  if ((pdpte & kPtePageSize) != 0) {
+    if (!access_allowed(perms, access, ring)) {
+      ++stats_.faults;
+      return fault_to_error(FaultKind::kProtection);
+    }
+    PAddr base{pdpte & kPteAddrMask & ~(kHugePageSize - 1)};
+    return Translation{
+        .paddr = base.offset(va.value & (kHugePageSize - 1)),
+        .frame_base = base,
+        .page_size = kHugePageSize,
+        .writable = perms.writable,
+        .user_accessible = perms.user,
+        .executable = perms.executable,
+    };
+  }
+
+  // Level 2: PD. PS=1 means a 2 MiB leaf.
+  PAddr pd = PAddr{pdpte & kPteAddrMask};
+  PAddr pde_addr = pd.offset(pd_index(va) * 8);
+  ++stats_.walk_loads;
+  u64 pde = mem_.read_u64(pde_addr);
+  if ((pde & kPtePresent) == 0) {
+    ++stats_.faults;
+    return fault_to_error(FaultKind::kNotPresent);
+  }
+  perms.intersect(pde);
+  if ((pde & kPtePageSize) != 0) {
+    if (!access_allowed(perms, access, ring)) {
+      ++stats_.faults;
+      return fault_to_error(FaultKind::kProtection);
+    }
+    PAddr base{pde & kPteAddrMask & ~(kLargePageSize - 1)};
+    return Translation{
+        .paddr = base.offset(va.value & (kLargePageSize - 1)),
+        .frame_base = base,
+        .page_size = kLargePageSize,
+        .writable = perms.writable,
+        .user_accessible = perms.user,
+        .executable = perms.executable,
+    };
+  }
+
+  // Level 1: PT. Always a 4 KiB leaf.
+  PAddr pt = PAddr{pde & kPteAddrMask};
+  PAddr pte_addr = pt.offset(pt_index(va) * 8);
+  ++stats_.walk_loads;
+  u64 pte = mem_.read_u64(pte_addr);
+  if ((pte & kPtePresent) == 0) {
+    ++stats_.faults;
+    return fault_to_error(FaultKind::kNotPresent);
+  }
+  perms.intersect(pte);
+  if (!access_allowed(perms, access, ring)) {
+    ++stats_.faults;
+    return fault_to_error(FaultKind::kProtection);
+  }
+  PAddr base{pte & kPteAddrMask};
+  return Translation{
+      .paddr = base.offset(va.page_offset()),
+      .frame_base = base,
+      .page_size = kPageSize,
+      .writable = perms.writable,
+      .user_accessible = perms.user,
+      .executable = perms.executable,
+  };
+}
+
+Result<u64> Mmu::load_u64(PAddr cr3, VAddr va, Ring ring) const {
+  auto t = translate(cr3, va, Access::kRead, ring);
+  if (!t.ok()) {
+    return t.error();
+  }
+  return mem_.read_u64(t.value().paddr);
+}
+
+Result<Unit> Mmu::store_u64(PAddr cr3, VAddr va, u64 value, Ring ring) {
+  auto t = translate(cr3, va, Access::kWrite, ring);
+  if (!t.ok()) {
+    return t.error();
+  }
+  mem_.write_u64(t.value().paddr, value);
+  return Unit{};
+}
+
+}  // namespace vnros

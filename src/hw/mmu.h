@@ -1,0 +1,120 @@
+// x86-64 MMU model: 4-level page-table walk over simulated physical memory.
+//
+// This is the paper's *hardware spec* (§5): "a description of how the MMU
+// translates memory addresses by interpreting the page table bits in memory,
+// i.e., walking the page table". The OS implementation in src/pt writes raw
+// 64-bit entries into PhysMem; this walker interprets exactly those bits with
+// the real x86-64 entry layout (present/write/user/PS/NX, 52-bit frame
+// address field), including 2 MiB and 1 GiB large pages.
+//
+// Refinement obligation discharged against this model: for every virtual
+// address, Mmu::translate() over the implementation's in-memory tree agrees
+// with the abstract map of the high-level spec (src/pt/interp.h).
+#ifndef VNROS_SRC_HW_MMU_H_
+#define VNROS_SRC_HW_MMU_H_
+
+#include <optional>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/hw/phys_mem.h"
+
+namespace vnros {
+
+// x86-64 page-table entry bit layout (Intel SDM Vol. 3, §4.5).
+inline constexpr u64 kPtePresent = u64{1} << 0;
+inline constexpr u64 kPteWritable = u64{1} << 1;
+inline constexpr u64 kPteUser = u64{1} << 2;
+inline constexpr u64 kPteWriteThrough = u64{1} << 3;
+inline constexpr u64 kPteCacheDisable = u64{1} << 4;
+inline constexpr u64 kPteAccessed = u64{1} << 5;
+inline constexpr u64 kPteDirty = u64{1} << 6;
+inline constexpr u64 kPtePageSize = u64{1} << 7;  // PS: leaf at PDPT/PD level
+inline constexpr u64 kPteGlobal = u64{1} << 8;
+inline constexpr u64 kPteNoExecute = u64{1} << 63;
+// Physical-address field: bits 12..51.
+inline constexpr u64 kPteAddrMask = 0x000F'FFFF'FFFF'F000ull;
+
+// Number of entries per table and index extraction for each level.
+inline constexpr u64 kPtEntries = 512;
+
+constexpr u64 pml4_index(VAddr va) { return (va.value >> 39) & 0x1FF; }
+constexpr u64 pdpt_index(VAddr va) { return (va.value >> 30) & 0x1FF; }
+constexpr u64 pd_index(VAddr va) { return (va.value >> 21) & 0x1FF; }
+constexpr u64 pt_index(VAddr va) { return (va.value >> 12) & 0x1FF; }
+
+// What kind of access is being translated; determines protection faults.
+enum class Access : u8 {
+  kRead,
+  kWrite,
+  kExecute,
+};
+
+// Privilege of the access.
+enum class Ring : u8 {
+  kSupervisor,
+  kUser,
+};
+
+// Why a translation failed.
+enum class FaultKind : u8 {
+  kNotPresent,   // a walk entry had P=0
+  kProtection,   // present but W/U/NX bits forbid the access
+  kNonCanonical, // address above the 48-bit canonical hole
+};
+
+struct PageFault {
+  FaultKind kind;
+  VAddr vaddr;
+  Access access;
+};
+
+// Successful translation: physical target plus the effective permissions and
+// mapping granularity, as hardware would load them into the TLB.
+struct Translation {
+  PAddr paddr;             // full physical address of the access
+  PAddr frame_base;        // base of the mapped frame
+  u64 page_size;           // 4 KiB / 2 MiB / 1 GiB
+  bool writable;
+  bool user_accessible;
+  bool executable;
+
+  bool operator==(const Translation&) const = default;
+};
+
+// Statistics for the latency model and benchmarks.
+struct MmuStats {
+  u64 walks = 0;           // full page-table walks performed
+  u64 walk_loads = 0;      // individual PTE loads during walks
+  u64 faults = 0;
+};
+
+class Mmu {
+ public:
+  explicit Mmu(PhysMem& mem) : mem_(mem) {}
+
+  // Walks the 4-level table rooted at `cr3` for `va`. On success returns the
+  // Translation; on failure the PageFault. Does not consult any TLB —
+  // Tlb (src/hw/tlb.h) layers caching on top.
+  Result<Translation> translate(PAddr cr3, VAddr va, Access access, Ring ring) const;
+
+  // Like translate() but also reports the fault detail.
+  std::optional<PageFault> probe_fault(PAddr cr3, VAddr va, Access access, Ring ring) const;
+
+  // Convenience accessors that perform a translated memory access, as a CPU
+  // would: translate, then touch PhysMem. Used by the kernel's user-memory
+  // copy routines and by refinement checks of the read/write transitions.
+  Result<u64> load_u64(PAddr cr3, VAddr va, Ring ring) const;
+  Result<Unit> store_u64(PAddr cr3, VAddr va, u64 value, Ring ring);
+
+  const MmuStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MmuStats{}; }
+
+ private:
+  PhysMem& mem_;
+  mutable MmuStats stats_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_MMU_H_

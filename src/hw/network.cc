@@ -1,0 +1,106 @@
+#include "src/hw/network.h"
+
+#include <utility>
+
+namespace vnros {
+
+Result<Unit> NetDevice::send(LinkAddr dst, std::vector<u8> payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.tx_frames;
+  }
+  net_.transmit(Frame{addr_, dst, std::move(payload)});
+  return Unit{};
+}
+
+std::optional<Frame> NetDevice::poll_rx() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rx_ring_.empty()) {
+    return std::nullopt;
+  }
+  Frame f = std::move(rx_ring_.front());
+  rx_ring_.pop_front();
+  return f;
+}
+
+usize NetDevice::rx_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rx_ring_.size();
+}
+
+void NetDevice::deliver(Frame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rx_ring_.size() >= ring_capacity_) {
+    ++stats_.rx_dropped_full;  // a full RX ring drops, like real NICs
+    return;
+  }
+  ++stats_.rx_frames;
+  rx_ring_.push_back(std::move(frame));
+}
+
+NetDevice& Network::attach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto addr = static_cast<LinkAddr>(devices_.size());
+  devices_.push_back(
+      std::unique_ptr<NetDevice>(new NetDevice(*this, addr, config_.rx_ring_capacity)));
+  return *devices_.back();
+}
+
+void Network::transmit(Frame frame) {
+  std::vector<Frame> to_deliver;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.chance_ppm(config_.loss_ppm)) {
+      ++frames_lost_;
+      // The lost frame may still release previously held frames below.
+    } else if (rng_.chance_ppm(config_.reorder_ppm)) {
+      held_.push_back(frame);  // delivered after a later frame
+    } else {
+      to_deliver.push_back(frame);
+      if (rng_.chance_ppm(config_.dup_ppm)) {
+        to_deliver.push_back(frame);
+      }
+    }
+    // Any send flushes previously held frames *after* the current one,
+    // producing an observable reordering.
+    for (auto& h : held_) {
+      to_deliver.push_back(std::move(h));
+    }
+    held_.clear();
+  }
+  for (const auto& f : to_deliver) {
+    deliver_to(f.dst, f);
+  }
+}
+
+void Network::deliver_to(LinkAddr dst, const Frame& frame) {
+  std::vector<NetDevice*> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dst == kLinkBroadcast) {
+      for (auto& dev : devices_) {
+        if (dev->addr() != frame.src) {
+          targets.push_back(dev.get());
+        }
+      }
+    } else if (dst < devices_.size()) {
+      targets.push_back(devices_[dst].get());
+    }
+  }
+  for (NetDevice* dev : targets) {
+    dev->deliver(frame);
+  }
+}
+
+void Network::release_held() {
+  std::vector<Frame> to_deliver;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_deliver.swap(held_);
+  }
+  for (const auto& f : to_deliver) {
+    deliver_to(f.dst, f);
+  }
+}
+
+}  // namespace vnros

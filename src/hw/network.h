@@ -1,0 +1,115 @@
+// Network devices and fabric.
+//
+// The paper's component list includes a network controller driver and §6
+// calls out a verified high-performance network stack as an open artifact.
+// This model provides the hardware half: NetDevice endpoints (NIC with an RX
+// ring) attached to a Network fabric that delivers frames with configurable
+// loss, duplication, reordering and latency. The protocol stack in src/net
+// is verified against its specs *under* this adversarial fabric — reliability
+// has to come from the protocol, not from the wire.
+#ifndef VNROS_SRC_HW_NETWORK_H_
+#define VNROS_SRC_HW_NETWORK_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+// Link-layer address: a flat endpoint id (the fabric is a single segment).
+using LinkAddr = u32;
+inline constexpr LinkAddr kLinkBroadcast = 0xFFFF'FFFF;
+
+struct Frame {
+  LinkAddr src = 0;
+  LinkAddr dst = 0;
+  std::vector<u8> payload;
+};
+
+struct NetDeviceStats {
+  u64 tx_frames = 0;
+  u64 rx_frames = 0;
+  u64 rx_dropped_full = 0;  // RX ring overflow
+};
+
+struct FabricConfig {
+  u64 loss_ppm = 0;         // per-frame drop probability
+  u64 dup_ppm = 0;          // per-frame duplication probability
+  u64 reorder_ppm = 0;      // per-frame "delay behind the next frame" probability
+  usize rx_ring_capacity = 1024;
+};
+
+class Network;
+
+// One NIC. send() hands a frame to the fabric; poll_rx() pops the next
+// received frame, as a driver's RX-ring consumer would.
+class NetDevice {
+ public:
+  LinkAddr addr() const { return addr_; }
+
+  Result<Unit> send(LinkAddr dst, std::vector<u8> payload);
+
+  std::optional<Frame> poll_rx();
+
+  usize rx_pending() const;
+
+  const NetDeviceStats& stats() const { return stats_; }
+
+ private:
+  friend class Network;
+
+  NetDevice(Network& net, LinkAddr addr, usize ring_capacity)
+      : net_(net), addr_(addr), ring_capacity_(ring_capacity) {}
+
+  void deliver(Frame frame);
+
+  Network& net_;
+  LinkAddr addr_;
+  usize ring_capacity_;
+  mutable std::mutex mu_;
+  std::deque<Frame> rx_ring_;
+  NetDeviceStats stats_;
+};
+
+// The shared segment connecting all devices. Delivery is synchronous but
+// subject to the configured fault model; "reordering" holds a frame back and
+// releases it after the next send.
+class Network {
+ public:
+  explicit Network(FabricConfig config = {}, u64 rng_seed = 0x4E45'5457'4F52'4Bull)
+      : config_(config), rng_(rng_seed) {}
+
+  // Creates a new endpoint attached to this fabric.
+  NetDevice& attach();
+
+  const FabricConfig& config() const { return config_; }
+  void set_config(FabricConfig config) { config_ = config; }
+
+  // Delivers any frames held back for reordering. Tests call this to drain.
+  void release_held();
+
+  u64 frames_lost() const { return frames_lost_; }
+
+ private:
+  friend class NetDevice;
+
+  void transmit(Frame frame);
+  void deliver_to(LinkAddr dst, const Frame& frame);
+
+  FabricConfig config_;
+  Rng rng_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<NetDevice>> devices_;
+  std::vector<Frame> held_;  // frames delayed for reordering
+  u64 frames_lost_ = 0;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_NETWORK_H_

@@ -1,0 +1,2 @@
+// PhysMem is header-only; this file anchors the translation unit.
+#include "src/hw/phys_mem.h"

@@ -1,0 +1,27 @@
+// Virtual time.
+//
+// The scheduler, futex timeouts and protocol retransmissions all run against
+// this clock rather than wall time, so every test is deterministic: time
+// advances only when the simulation says so.
+#ifndef VNROS_SRC_HW_TIMER_H_
+#define VNROS_SRC_HW_TIMER_H_
+
+#include <atomic>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+class VirtualClock {
+ public:
+  u64 now() const { return ticks_.load(std::memory_order_acquire); }
+
+  void advance(u64 delta) { ticks_.fetch_add(delta, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<u64> ticks_{0};
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_TIMER_H_

@@ -1,0 +1,122 @@
+#include "src/hw/tlb.h"
+
+#include <atomic>
+
+namespace vnros {
+
+std::optional<Translation> CoreTlb::lookup(VAddr va) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Probe each granularity's aligned base. Entry keys are tagged with the
+  // page size via the low bits being the aligned base (bases of different
+  // sizes can collide only if they are the same address, in which case the
+  // stored page_size disambiguates -- we simply check coverage).
+  for (u64 size : {kPageSize, kLargePageSize, kHugePageSize}) {
+    u64 base = va.value & ~(size - 1);
+    auto it = entries_.find(base);
+    if (it != entries_.end() && it->second.page_size == size) {
+      ++stats_.hits;
+      Translation t = it->second;
+      // The cached entry stores the frame translation; reconstitute the full
+      // physical address for this access.
+      t.paddr = t.frame_base.offset(va.value & (size - 1));
+      return t;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void CoreTlb::insert(VAddr va, const Translation& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= capacity_) {
+    // Capacity eviction: drop an arbitrary entry (hardware uses pseudo-LRU;
+    // any eviction policy is sound because a TLB is a cache).
+    entries_.erase(entries_.begin());
+  }
+  u64 base = va.value & ~(t.page_size - 1);
+  entries_[base] = t;
+}
+
+void CoreTlb::invalidate_page(VAddr page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (u64 size : {kPageSize, kLargePageSize, kHugePageSize}) {
+    u64 base = page.value & ~(size - 1);
+    auto it = entries_.find(base);
+    if (it != entries_.end() && it->second.page_size == size) {
+      entries_.erase(it);
+      ++stats_.invalidations;
+    }
+  }
+}
+
+void CoreTlb::flush_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  ++stats_.flushes;
+}
+
+TlbSystem::TlbSystem(const Topology& topo, usize capacity_per_core) {
+  for (u32 i = 0; i < topo.num_cores(); ++i) {
+    tlbs_.emplace_back(capacity_per_core);
+  }
+}
+
+CoreTlb& TlbSystem::core(CoreId core_id) {
+  VNROS_CHECK(core_id < tlbs_.size());
+  return tlbs_[core_id];
+}
+
+Result<Translation> TlbSystem::translate(Mmu& mmu, PAddr cr3, CoreId core_id, VAddr va,
+                                         Access access, Ring ring) {
+  CoreTlb& tlb = core(core_id);
+  if (auto cached = tlb.lookup(va)) {
+    // Permission bits are cached with the translation; hardware raises a
+    // protection fault from the TLB without re-walking.
+    const Translation& t = *cached;
+    bool ok = true;
+    if (ring == Ring::kUser && !t.user_accessible) {
+      ok = false;
+    }
+    if (access == Access::kWrite && !t.writable) {
+      ok = false;
+    }
+    if (access == Access::kExecute && !t.executable) {
+      ok = false;
+    }
+    if (ok) {
+      return t;
+    }
+    return ErrorCode::kNotPermitted;
+  }
+  auto walked = mmu.translate(cr3, va, access, ring);
+  if (walked.ok()) {
+    tlb.insert(va, walked.value());
+  }
+  return walked;
+}
+
+void TlbSystem::shootdown(CoreId initiator, VAddr page) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++shootdown_stats_.shootdowns;
+    shootdown_stats_.ipis += tlbs_.size() > 0 ? tlbs_.size() - 1 : 0;
+  }
+  for (usize i = 0; i < tlbs_.size(); ++i) {
+    tlbs_[i].invalidate_page(page);
+    if (i != initiator && ipi_cost_cycles_ > 0) {
+      // Cost model for the remote interrupt + invlpg on the target core.
+      std::atomic<u64> sink{0};
+      for (u64 c = 0; c < ipi_cost_cycles_; ++c) {
+        sink.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void TlbSystem::flush_all() {
+  for (auto& tlb : tlbs_) {
+    tlb.flush_all();
+  }
+}
+
+}  // namespace vnros

@@ -1,0 +1,103 @@
+// TLB model: per-core translation caches plus IPI-based shootdown.
+//
+// Part of the hardware spec (§5: "...or using cached translations from the
+// TLB"). The correctness-relevant behaviour modelled here is staleness: a
+// translation cached before an unmap stays visible on other cores until the
+// OS performs a shootdown. The page-table refinement checks exercise exactly
+// this: an unmap without shootdown leaves the combined (PT + TLB) machine
+// observably different from the abstract spec, and the verified unmap path
+// must therefore invalidate remote TLBs before completing.
+#ifndef VNROS_SRC_HW_TLB_H_
+#define VNROS_SRC_HW_TLB_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "src/base/types.h"
+#include "src/hw/mmu.h"
+#include "src/hw/topology.h"
+
+namespace vnros {
+
+struct TlbStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 invalidations = 0;
+  u64 flushes = 0;
+};
+
+// A single core's TLB. Not internally synchronized: the owning core fills and
+// consults it; remote shootdown goes through TlbSystem which serializes with
+// a per-core mutex (modelling the IPI handler running on the target core).
+class CoreTlb {
+ public:
+  explicit CoreTlb(usize capacity = 512) : capacity_(capacity) {}
+
+  // Looks up `va` at any cached granularity (4K/2M/1G).
+  std::optional<Translation> lookup(VAddr va);
+
+  void insert(VAddr va, const Translation& t);
+
+  // Drops any entry covering `page` (any granularity).
+  void invalidate_page(VAddr page);
+
+  void flush_all();
+
+  const TlbStats& stats() const { return stats_; }
+
+ private:
+  friend class TlbSystem;
+
+  // Entries are keyed by the page-size-aligned base of the mapping.
+  std::unordered_map<u64, Translation> entries_;
+  usize capacity_;
+  TlbStats stats_;
+  std::mutex mu_;  // serializes owner accesses with remote shootdowns
+};
+
+// All cores' TLBs plus the shootdown protocol.
+struct ShootdownStats {
+  u64 shootdowns = 0;     // shootdown operations initiated
+  u64 ipis = 0;           // per-target-core interrupts delivered
+};
+
+class TlbSystem {
+ public:
+  explicit TlbSystem(const Topology& topo, usize capacity_per_core = 512);
+
+  CoreTlb& core(CoreId core_id);
+
+  // Translates `va` for `core_id`, consulting that core's TLB first and
+  // walking the page table (filling the TLB) on a miss. This is the combined
+  // "CPU memory access" of the hardware spec.
+  Result<Translation> translate(Mmu& mmu, PAddr cr3, CoreId core_id, VAddr va, Access access,
+                                Ring ring);
+
+  // Invalidates `page` on every core (initiator invalidates locally; each
+  // remote core costs one IPI). The OS unmap path must call this before
+  // declaring the unmap complete.
+  void shootdown(CoreId initiator, VAddr page);
+
+  // Full flush on all cores (e.g. address-space teardown).
+  void flush_all();
+
+  const ShootdownStats& shootdown_stats() const { return shootdown_stats_; }
+
+  // Optional cost model: busy-work cycles charged per remote IPI, so
+  // benchmarks can show the shootdown component of unmap latency
+  // (bench/ablate_tlb_shootdown sweeps this).
+  void set_ipi_cost_cycles(u64 cycles) { ipi_cost_cycles_ = cycles; }
+
+ private:
+  // deque: CoreTlb holds a mutex and is immovable.
+  std::deque<CoreTlb> tlbs_;
+  ShootdownStats shootdown_stats_;
+  std::mutex stats_mu_;
+  u64 ipi_cost_cycles_ = 0;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_TLB_H_

@@ -1,0 +1,55 @@
+// Machine topology: cores and their NUMA-node assignment.
+//
+// Node replication places one replica of each kernel data structure per NUMA
+// node (§4.1); the topology tells NodeReplicated how many replicas to build
+// and which replica a given core uses. The paper's testbed is a 28-core
+// machine; the simulation supports arbitrary core counts so the Figure 1b/c
+// sweeps can run the full 1..28 range on any host.
+#ifndef VNROS_SRC_HW_TOPOLOGY_H_
+#define VNROS_SRC_HW_TOPOLOGY_H_
+
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+class Topology {
+ public:
+  // `cores_per_node` == 0 means a single node holding all cores.
+  Topology(u32 num_cores, u32 cores_per_node)
+      : num_cores_(num_cores),
+        cores_per_node_(cores_per_node == 0 ? num_cores : cores_per_node) {
+    VNROS_CHECK(num_cores > 0);
+  }
+
+  static Topology single_node(u32 num_cores) { return Topology(num_cores, 0); }
+
+  u32 num_cores() const { return num_cores_; }
+
+  u32 num_nodes() const { return (num_cores_ + cores_per_node_ - 1) / cores_per_node_; }
+
+  NodeId node_of_core(CoreId core) const {
+    VNROS_CHECK(core < num_cores_);
+    return core / cores_per_node_;
+  }
+
+  std::vector<CoreId> cores_on_node(NodeId node) const {
+    std::vector<CoreId> cores;
+    for (CoreId c = 0; c < num_cores_; ++c) {
+      if (node_of_core(c) == node) {
+        cores.push_back(c);
+      }
+    }
+    return cores;
+  }
+
+ private:
+  u32 num_cores_;
+  u32 cores_per_node_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_TOPOLOGY_H_

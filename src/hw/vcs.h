@@ -1,0 +1,16 @@
+// Registration hook for the hardware-model / driver verification conditions.
+#ifndef VNROS_SRC_HW_VCS_H_
+#define VNROS_SRC_HW_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers hw/* VCs: block-device write-barrier and crash semantics, NIC RX
+// ring behaviour, TLB caching/invalidation model, interrupt controller
+// raise/ack, serial console ordering, MMU walk counters.
+void register_hw_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_HW_VCS_H_

@@ -1,0 +1,123 @@
+#include "src/kernel/frame_alloc.h"
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+
+FrameAllocator::FrameAllocator(PhysMem& mem, const Topology& topo, u64 reserved_low)
+    : mem_(mem) {
+  const u64 first = reserved_low;
+  const u64 managed = mem.num_frames() > first ? mem.num_frames() - first : 0;
+  total_frames_ = managed;
+  const u32 nodes = topo.num_nodes();
+  const u64 per_node = managed / nodes;
+  u64 next = first;
+  for (u32 n = 0; n < nodes; ++n) {
+    Pool pool;
+    pool.first_frame = next;
+    pool.num_frames = (n == nodes - 1) ? (first + managed - next) : per_node;
+    pool.bitmap.assign((pool.num_frames + 63) / 64, 0);
+    pool.free_count = pool.num_frames;
+    next += pool.num_frames;
+    pools_.push_back(std::move(pool));
+  }
+}
+
+Result<PAddr> FrameAllocator::alloc_on_node(NodeId preferred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VNROS_CHECK(preferred < pools_.size());
+  for (usize attempt = 0; attempt < pools_.size(); ++attempt) {
+    usize idx = (preferred + attempt) % pools_.size();
+    auto r = alloc_from_pool(pools_[idx]);
+    if (r.ok()) {
+      ++stats_.allocations;
+      if (attempt != 0) {
+        ++stats_.remote_fallbacks;
+      }
+      mem_.zero_frame(r.value());
+      return r;
+    }
+  }
+  return ErrorCode::kNoMemory;
+}
+
+Result<PAddr> FrameAllocator::alloc_from_pool(Pool& pool) {
+  if (pool.free_count == 0) {
+    return ErrorCode::kNoMemory;
+  }
+  if (!pool.freelist.empty()) {
+    u64 frame = pool.freelist.back();
+    pool.freelist.pop_back();
+    u64 rel = frame - pool.first_frame;
+    VNROS_INVARIANT((pool.bitmap[rel / 64] >> (rel % 64) & 1) == 0);
+    pool.bitmap[rel / 64] |= u64{1} << (rel % 64);
+    --pool.free_count;
+    return PAddr::from_frame(frame);
+  }
+  // Bitmap scan from the rotating cursor.
+  const u64 words = pool.bitmap.size();
+  for (u64 step = 0; step < words; ++step) {
+    u64 w = (pool.cursor + step) % words;
+    u64 bits = pool.bitmap[w];
+    if (bits == ~u64{0}) {
+      continue;
+    }
+    u64 bit = static_cast<u64>(__builtin_ctzll(~bits));
+    u64 rel = w * 64 + bit;
+    if (rel >= pool.num_frames) {
+      continue;  // padding bits of the last word
+    }
+    pool.bitmap[w] |= u64{1} << bit;
+    pool.cursor = w;
+    --pool.free_count;
+    return PAddr::from_frame(pool.first_frame + rel);
+  }
+  return ErrorCode::kNoMemory;
+}
+
+void FrameAllocator::free(PAddr frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 fn = frame.frame_number();
+  for (auto& pool : pools_) {
+    if (fn >= pool.first_frame && fn < pool.first_frame + pool.num_frames) {
+      u64 rel = fn - pool.first_frame;
+      u64 bit = u64{1} << (rel % 64);
+      // Freeing an unallocated frame is the double-free bug class.
+      VNROS_CHECK((pool.bitmap[rel / 64] & bit) != 0);
+      pool.bitmap[rel / 64] &= ~bit;
+      pool.freelist.push_back(fn);
+      ++pool.free_count;
+      ++stats_.frees;
+      return;
+    }
+  }
+  VNROS_CHECK(false && "free of a frame outside every pool");
+}
+
+u64 FrameAllocator::free_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 total = 0;
+  for (const auto& pool : pools_) {
+    total += pool.free_count;
+  }
+  return total;
+}
+
+bool FrameAllocator::is_allocated(PAddr frame) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 fn = frame.frame_number();
+  for (const auto& pool : pools_) {
+    if (fn >= pool.first_frame && fn < pool.first_frame + pool.num_frames) {
+      u64 rel = fn - pool.first_frame;
+      return (pool.bitmap[rel / 64] >> (rel % 64) & 1) != 0;
+    }
+  }
+  return false;
+}
+
+FrameAllocStats FrameAllocator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vnros

@@ -1,0 +1,158 @@
+// The filesystem (Table 2 "filesystem" row): an inode-based in-memory tree
+// with a write-ahead journal on the simulated block device and crash
+// recovery.
+//
+// Persistence model (what the crash-consistency VCs check):
+//   - every mutating operation appends one journal record (CRC-protected,
+//     epoch-tagged) before being acknowledged;
+//   - fsync() is the only durability barrier (BlockDevice::flush);
+//   - after a simulated crash (volatile cache partially lost), recover()
+//     replays the longest valid journal prefix. The recovered state is
+//     therefore the state after some prefix of acknowledged operations, and
+//     the prefix provably includes everything acknowledged before the last
+//     completed fsync — exactly the contract applications (and the paper's
+//     S3 storage-node example) rely on.
+//   - when the journal area fills, fsync() compacts: a full-state checkpoint
+//     is written and the journal restarts under a new epoch. Crash at any
+//     point of compaction recovers either the old or the new state, never a
+//     mix (epoch tagging).
+//
+// The abstract state is FsAbsState: which directories exist and what bytes
+// each file holds. kernel/fs_* VCs drive MemFs and the FsModel reference
+// interpreter in lockstep and diff the abstractions after every step.
+#ifndef VNROS_SRC_KERNEL_FS_H_
+#define VNROS_SRC_KERNEL_FS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/hw/block_device.h"
+
+namespace vnros {
+
+struct FileStat {
+  u64 inode = 0;
+  u64 size = 0;
+  bool is_dir = false;
+
+  bool operator==(const FileStat&) const = default;
+};
+
+// Abstract filesystem state ("/" is implicit and always a directory).
+struct FsAbsState {
+  std::set<std::string> dirs;                         // absolute paths
+  std::map<std::string, std::vector<u8>> files;       // absolute path -> bytes
+
+  bool operator==(const FsAbsState&) const = default;
+};
+
+struct FsStats {
+  u64 journal_records = 0;
+  u64 journal_bytes = 0;
+  u64 checkpoints = 0;
+  u64 fsyncs = 0;
+};
+
+class MemFs {
+ public:
+  // Purely in-memory filesystem (no persistence; journaling disabled).
+  MemFs();
+
+  // mkfs: formats `dev` (superblock + empty journal) and attaches.
+  static Result<MemFs> format(BlockDevice& dev);
+
+  // Mounts `dev` after a crash or clean shutdown: loads the checkpoint (if
+  // any) and replays the longest valid journal prefix of the current epoch.
+  static Result<MemFs> recover(BlockDevice& dev);
+
+  MemFs(MemFs&&) = default;
+  MemFs& operator=(MemFs&&) = default;
+
+  // --- Namespace operations -------------------------------------------------
+  Result<Unit> mkdir(std::string_view path);
+  Result<Unit> rmdir(std::string_view path);            // must be empty
+  Result<Unit> create(std::string_view path);           // empty regular file
+  Result<Unit> unlink(std::string_view path);           // remove regular file
+  Result<Unit> rename(std::string_view from, std::string_view to);
+  Result<std::vector<std::string>> readdir(std::string_view path) const;
+  Result<FileStat> stat(std::string_view path) const;
+
+  // --- Data operations -------------------------------------------------------
+  // Reads up to out.size() bytes from `offset`; returns bytes read (0 at or
+  // past EOF — the read_spec's min(buffer.len, size - offset) semantics).
+  Result<u64> read(std::string_view path, u64 offset, std::span<u8> out) const;
+
+  // Writes at `offset`, zero-filling any gap, extending the file. Returns
+  // bytes written (always data.size() on success).
+  Result<u64> write(std::string_view path, u64 offset, std::span<const u8> data);
+
+  Result<Unit> truncate(std::string_view path, u64 new_size);
+
+  // Durability barrier; may compact the journal into a checkpoint.
+  Result<Unit> fsync();
+
+  // --- Introspection ----------------------------------------------------------
+  FsAbsState view() const;
+  FsStats stats() const;
+  bool has_device() const { return dev_ != nullptr; }
+  u64 journal_head_sector() const { return journal_head_; }
+
+ private:
+  struct Inode {
+    bool is_dir = false;
+    std::vector<u8> data;                 // file payload
+    std::map<std::string, u64> entries;   // dir contents: name -> ino
+  };
+
+  explicit MemFs(BlockDevice* dev);
+
+  // Path helpers. Canonical absolute paths: "/a/b"; "/" is the root.
+  static Result<std::vector<std::string>> split_path(std::string_view path);
+  Result<u64> lookup(std::string_view path) const;                    // ino of path
+  Result<std::pair<u64, std::string>> lookup_parent(std::string_view path) const;
+
+  // The unjournaled core of each mutation (used by both the public ops and
+  // journal replay, so replay is bit-identical to first execution).
+  Result<Unit> do_mkdir(std::string_view path);
+  Result<Unit> do_rmdir(std::string_view path);
+  Result<Unit> do_create(std::string_view path);
+  Result<Unit> do_unlink(std::string_view path);
+  Result<Unit> do_rename(std::string_view from, std::string_view to);
+  Result<u64> do_write(std::string_view path, u64 offset, std::span<const u8> data);
+  Result<Unit> do_truncate(std::string_view path, u64 new_size);
+
+  // Journaling.
+  Result<Unit> journal_append(std::span<const u8> payload);
+  Result<Unit> write_superblock();
+  Result<Unit> checkpoint_locked();
+  std::vector<u8> serialize_state_locked() const;
+  Result<Unit> load_state(std::span<const u8> bytes);
+  Result<Unit> replay_journal();
+
+  u64 journal_start_sector() const;
+  u64 journal_capacity_sectors() const;
+
+  // unique_ptr keeps MemFs movable (factories return it by value).
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  BlockDevice* dev_ = nullptr;
+  std::map<u64, Inode> inodes_;
+  u64 next_ino_ = 2;  // 1 is the root
+  u64 epoch_ = 1;
+  bool ckpt_valid_ = false;
+  u64 ckpt_sectors_ = 0;
+  u64 journal_head_ = 0;  // absolute sector of the next record
+  FsStats stats_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_FS_H_

@@ -1,0 +1,94 @@
+#include "src/kernel/futex.h"
+
+namespace vnros {
+
+ErrorCode FutexTable::wait(const std::atomic<u32>* addr, u32 expected) {
+  Bucket& b = bucket_for(addr);
+  std::unique_lock<std::mutex> lock(b.mu);
+  // The value check under the bucket lock is the futex's whole point: a
+  // waker that changed the value and then called wake() must either see us
+  // queued or we must see the new value here — no lost wakeups.
+  if (addr->load(std::memory_order_acquire) != expected) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.immediate_returns;
+    return ErrorCode::kWouldBlock;
+  }
+  Waiter self{addr, false};
+  b.waiters.push_back(&self);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.waits;
+  }
+  b.cv.wait(lock, [&] { return self.woken; });
+  return ErrorCode::kOk;
+}
+
+usize FutexTable::wake(const std::atomic<u32>* addr, usize n) {
+  Bucket& b = bucket_for(addr);
+  usize woken = 0;
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    for (auto it = b.waiters.begin(); it != b.waiters.end() && woken < n;) {
+      if ((*it)->addr == addr) {
+        (*it)->woken = true;
+        it = b.waiters.erase(it);
+        ++woken;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (woken > 0) {
+    b.cv.notify_all();
+  }
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.wakes;
+  stats_.woken_threads += woken;
+  return woken;
+}
+
+FutexStats FutexTable::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+ErrorCode SimFutex::wait(const ThreadToken& t, Pid pid, VAddr uaddr, u32 current, u32 expected,
+                         Tid tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current != expected) {
+    return ErrorCode::kWouldBlock;
+  }
+  ErrorCode err = sched_.block(t, tid);
+  if (err != ErrorCode::kOk) {
+    return err;
+  }
+  queues_[{pid, uaddr.value}].push_back(tid);
+  return ErrorCode::kOk;
+}
+
+usize SimFutex::wake(const ThreadToken& t, Pid pid, VAddr uaddr, usize n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find({pid, uaddr.value});
+  if (it == queues_.end()) {
+    return 0;
+  }
+  usize woken = 0;
+  while (woken < n && !it->second.empty()) {
+    Tid tid = it->second.front();
+    it->second.pop_front();
+    sched_.wake(t, tid);
+    ++woken;
+  }
+  if (it->second.empty()) {
+    queues_.erase(it);
+  }
+  return woken;
+}
+
+usize SimFutex::waiters(Pid pid, VAddr uaddr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find({pid, uaddr.value});
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace vnros

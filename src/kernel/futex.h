@@ -1,0 +1,99 @@
+// Futex (Table 2 "threads and synchronization"; §3: "we might expose futexes
+// from the kernel and then verify a userspace mutex implementation on top").
+//
+// Two variants share the futex spec ("wait(addr, expected) sleeps iff the
+// word still equals expected when the queue lock is held; wake(addr, n)
+// releases at most n waiters; no waiter is lost if a wake follows the word
+// change that the waiter observed"):
+//
+//   - FutexTable: blocks real host threads (condvar under a bucket lock).
+//     The verified user-space primitives in src/ulib run on this one, so
+//     their linearizability tests exercise true parallelism.
+//   - SimFutex: parks simulated kernel threads via the NR Scheduler; used by
+//     the process-model syscalls, fully deterministic.
+#ifndef VNROS_SRC_KERNEL_FUTEX_H_
+#define VNROS_SRC_KERNEL_FUTEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/kernel/scheduler.h"
+
+namespace vnros {
+
+struct FutexStats {
+  u64 waits = 0;
+  u64 immediate_returns = 0;  // value already differed
+  u64 wakes = 0;
+  u64 woken_threads = 0;
+};
+
+// Host-thread futex.
+class FutexTable {
+ public:
+  // Blocks the calling thread while *addr == expected. Returns kOk when
+  // woken, kWouldBlock if the value already differed at queue time.
+  ErrorCode wait(const std::atomic<u32>* addr, u32 expected);
+
+  // Wakes up to `n` waiters on addr; returns how many were woken.
+  usize wake(const std::atomic<u32>* addr, usize n);
+
+  FutexStats stats() const;
+
+ private:
+  struct Waiter {
+    const std::atomic<u32>* addr;
+    bool woken = false;
+  };
+
+  static constexpr usize kBuckets = 64;
+
+  struct Bucket {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Waiter*> waiters;
+  };
+
+  Bucket& bucket_for(const std::atomic<u32>* addr) {
+    auto h = reinterpret_cast<usize>(addr) >> 2;
+    return buckets_[h % kBuckets];
+  }
+
+  Bucket buckets_[kBuckets];
+  mutable std::mutex stats_mu_;
+  FutexStats stats_;
+};
+
+// Simulated-thread futex: parks Tids in per-(pid, uaddr) queues and defers
+// blocking/waking to the replicated scheduler.
+class SimFutex {
+ public:
+  explicit SimFutex(Scheduler& sched) : sched_(sched) {}
+
+  // `current` reads the futex word (the caller resolves it through the
+  // process's VmManager). If it equals `expected`, the thread is blocked in
+  // the scheduler and queued; otherwise kWouldBlock.
+  ErrorCode wait(const ThreadToken& t, Pid pid, VAddr uaddr, u32 current, u32 expected,
+                 Tid tid);
+
+  // Wakes up to n queued waiters; returns the count.
+  usize wake(const ThreadToken& t, Pid pid, VAddr uaddr, usize n);
+
+  usize waiters(Pid pid, VAddr uaddr) const;
+
+ private:
+  using Key = std::pair<Pid, u64>;
+
+  Scheduler& sched_;
+  mutable std::mutex mu_;
+  std::map<Key, std::deque<Tid>> queues_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_FUTEX_H_

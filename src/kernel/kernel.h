@@ -1,0 +1,121 @@
+// The Kernel aggregate: one simulated machine running the vnros kernel.
+//
+// Owns the hardware substrate (physical memory, MMU model, TLBs, block
+// device, NIC, virtual clock) and the kernel services built on it (frame
+// allocator, NR-replicated scheduler and process directory, journaled
+// filesystem, futexes, network stack). The Sys syscall facade
+// (src/kernel/syscall.h) is the only interface applications use — that is
+// the paper's client application contract.
+#ifndef VNROS_SRC_KERNEL_KERNEL_H_
+#define VNROS_SRC_KERNEL_KERNEL_H_
+
+#include <memory>
+
+#include "src/base/contracts.h"
+#include "src/hw/block_device.h"
+#include "src/hw/interrupts.h"
+#include "src/hw/mmu.h"
+#include "src/hw/network.h"
+#include "src/hw/phys_mem.h"
+#include "src/hw/timer.h"
+#include "src/hw/tlb.h"
+#include "src/hw/topology.h"
+#include "src/kernel/frame_alloc.h"
+#include "src/kernel/fs.h"
+#include "src/kernel/pipe.h"
+#include "src/kernel/futex.h"
+#include "src/kernel/process.h"
+#include "src/kernel/scheduler.h"
+#include "src/net/ip.h"
+#include "src/net/rtp.h"
+#include "src/net/udp.h"
+
+namespace vnros {
+
+struct KernelConfig {
+  u32 cores = 4;
+  u32 cores_per_node = 2;
+  u64 phys_frames = 8192;     // 32 MiB
+  u64 disk_sectors = 16384;   // 8 MiB
+  Network* network = nullptr; // attach to a shared fabric (multi-host setups)
+  BlockDevice* disk = nullptr;  // attach an existing disk (reboot scenarios)
+  bool recover_fs = false;      // mount via journal recovery instead of mkfs
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig config = {})
+      : topo_(config.cores, config.cores_per_node),
+        mem_(config.phys_frames),
+        mmu_(mem_),
+        tlbs_(topo_),
+        owned_disk_(config.disk == nullptr ? std::make_unique<BlockDevice>(config.disk_sectors)
+                                           : nullptr),
+        disk_(config.disk != nullptr ? *config.disk : *owned_disk_),
+        frames_(mem_, topo_),
+        sched_(topo_),
+        procs_(mem_, frames_, topo_),
+        irq_(config.cores),
+        owned_net_(config.network == nullptr ? std::make_unique<Network>() : nullptr),
+        net_(config.network != nullptr ? *config.network : *owned_net_),
+        nic_(net_.attach()),
+        ip_(nic_),
+        udp_(ip_),
+        rtp_(ip_, clock_) {
+    auto fs = config.recover_fs ? MemFs::recover(disk_) : MemFs::format(disk_);
+    VNROS_CHECK(fs.ok());
+    fs_ = std::move(fs.value());
+    simfutex_ = std::make_unique<SimFutex>(sched_);
+  }
+
+  const Topology& topo() const { return topo_; }
+  PhysMem& mem() { return mem_; }
+  Mmu& mmu() { return mmu_; }
+  TlbSystem& tlbs() { return tlbs_; }
+  BlockDevice& disk() { return disk_; }
+  FrameAllocator& frames() { return frames_; }
+  Scheduler& sched() { return sched_; }
+  ProcessManager& procs() { return procs_; }
+  MemFs& fs() { return fs_; }
+  FutexTable& futex() { return futex_; }
+  PipeTable& pipes() { return pipes_; }
+  SimFutex& simfutex() { return *simfutex_; }
+  VirtualClock& clock() { return clock_; }
+  InterruptController& irq() { return irq_; }
+  SerialConsole& console() { return console_; }
+  Network& network() { return net_; }
+  NetDevice& nic() { return nic_; }
+  IpStack& ip() { return ip_; }
+  UdpStack& udp() { return udp_; }
+  RtpStack& rtp() { return rtp_; }
+
+  NetAddr net_addr() const { return nic_.addr(); }
+
+ private:
+  Topology topo_;
+  PhysMem mem_;
+  Mmu mmu_;
+  TlbSystem tlbs_;
+  std::unique_ptr<BlockDevice> owned_disk_;
+  BlockDevice& disk_;
+  FrameAllocator frames_;
+  Scheduler sched_;
+  ProcessManager procs_;
+  MemFs fs_;
+  FutexTable futex_;
+  PipeTable pipes_;
+  std::unique_ptr<SimFutex> simfutex_;
+  VirtualClock clock_;
+  InterruptController irq_;
+  SerialConsole console_;
+  std::unique_ptr<Network> owned_net_;
+  Network& net_;
+  NetDevice& nic_;
+  IpStack ip_;
+  UdpStack udp_;
+  RtpStack rtp_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,242 @@
+// NrFs: the filesystem served through node replication (§4.1 — NrOS's main
+// services, the file system included, are sequential structures scaled with
+// NR).
+//
+// FsDs wraps the in-memory MemFs as an NR Dispatch structure: every mutation
+// is a logged WriteOp replayed identically on every replica (MemFs is
+// deterministic, including inode-number assignment), reads are served
+// replica-locally under the distributed reader lock. Persistence composes at
+// a different layer (the journaled MemFs over a BlockDevice); NrFs is the
+// scalability half of the design, and kernel/nrfs_* VCs check that the
+// replicas never diverge and that NrFs is observationally equivalent to a
+// single MemFs.
+#ifndef VNROS_SRC_KERNEL_NRFS_H_
+#define VNROS_SRC_KERNEL_NRFS_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/kernel/fs.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+
+struct FsDs {
+  struct MkdirOp {
+    std::string path;
+  };
+  struct RmdirOp {
+    std::string path;
+  };
+  struct CreateOp {
+    std::string path;
+  };
+  struct UnlinkOp {
+    std::string path;
+  };
+  struct RenameOp {
+    std::string from;
+    std::string to;
+  };
+  struct WriteDataOp {
+    std::string path;
+    u64 offset = 0;
+    std::vector<u8> data;
+  };
+  struct TruncateOp {
+    std::string path;
+    u64 size = 0;
+  };
+
+  struct WriteOp {
+    std::variant<std::monostate, MkdirOp, RmdirOp, CreateOp, UnlinkOp, RenameOp, WriteDataOp,
+                 TruncateOp>
+        op;
+  };
+
+  struct ReadDataOp {
+    std::string path;
+    u64 offset = 0;
+    u64 len = 0;
+  };
+  struct ReaddirOp {
+    std::string path;
+  };
+  struct StatOp {
+    std::string path;
+  };
+  struct ReadOp {
+    std::variant<std::monostate, ReadDataOp, ReaddirOp, StatOp> op;
+  };
+
+  struct Response {
+    ErrorCode err = ErrorCode::kOk;
+    u64 length = 0;                   // bytes read / written
+    std::vector<u8> data;             // read payload
+    std::vector<std::string> names;   // readdir
+    FileStat stat;
+
+    bool operator==(const Response&) const = default;
+  };
+
+  // Each replica holds its own in-memory tree; copying a (fresh) FsDs for a
+  // new replica starts it empty — the log replay reconstructs identical
+  // state everywhere.
+  MemFs fs;
+
+  FsDs() = default;
+  FsDs(const FsDs&) : fs() {}
+  FsDs& operator=(const FsDs&) = delete;
+
+  Response dispatch(const ReadOp& op) const {
+    Response resp;
+    if (const auto* rd = std::get_if<ReadDataOp>(&op.op)) {
+      std::vector<u8> buf(rd->len);
+      auto r = fs.read(rd->path, rd->offset, buf);
+      resp.err = r.error();
+      if (r.ok()) {
+        resp.err = ErrorCode::kOk;
+        resp.length = r.value();
+        buf.resize(r.value());
+        resp.data = std::move(buf);
+      }
+      return resp;
+    }
+    if (const auto* dd = std::get_if<ReaddirOp>(&op.op)) {
+      auto r = fs.readdir(dd->path);
+      resp.err = r.error();
+      if (r.ok()) {
+        resp.err = ErrorCode::kOk;
+        resp.names = r.value();
+      }
+      return resp;
+    }
+    if (const auto* st = std::get_if<StatOp>(&op.op)) {
+      auto r = fs.stat(st->path);
+      resp.err = r.error();
+      if (r.ok()) {
+        resp.err = ErrorCode::kOk;
+        resp.stat = r.value();
+      }
+      return resp;
+    }
+    resp.err = ErrorCode::kInvalidArgument;
+    return resp;
+  }
+
+  Response dispatch_mut(const WriteOp& op) {
+    Response resp;
+    if (const auto* m = std::get_if<MkdirOp>(&op.op)) {
+      resp.err = fs.mkdir(m->path).error();
+    } else if (const auto* r = std::get_if<RmdirOp>(&op.op)) {
+      resp.err = fs.rmdir(r->path).error();
+    } else if (const auto* c = std::get_if<CreateOp>(&op.op)) {
+      resp.err = fs.create(c->path).error();
+    } else if (const auto* u = std::get_if<UnlinkOp>(&op.op)) {
+      resp.err = fs.unlink(u->path).error();
+    } else if (const auto* rn = std::get_if<RenameOp>(&op.op)) {
+      resp.err = fs.rename(rn->from, rn->to).error();
+    } else if (const auto* w = std::get_if<WriteDataOp>(&op.op)) {
+      auto r = fs.write(w->path, w->offset, w->data);
+      resp.err = r.error();
+      if (r.ok()) {
+        resp.err = ErrorCode::kOk;
+        resp.length = r.value();
+      }
+    } else if (const auto* t = std::get_if<TruncateOp>(&op.op)) {
+      resp.err = fs.truncate(t->path, t->size).error();
+    } else {
+      resp.err = ErrorCode::kInvalidArgument;
+    }
+    return resp;
+  }
+};
+
+// User-facing replicated filesystem with a MemFs-shaped API.
+class NrFs {
+ public:
+  explicit NrFs(const Topology& topo, NrConfig config = {})
+      : repl_(topo, FsDs{}, config) {}
+
+  ThreadToken register_thread(CoreId core) { return repl_.register_thread(core); }
+
+  ErrorCode mkdir(const ThreadToken& t, std::string path) {
+    FsDs::WriteOp op;
+    op.op = FsDs::MkdirOp{std::move(path)};
+    return repl_.execute_mut(t, op).err;
+  }
+  ErrorCode rmdir(const ThreadToken& t, std::string path) {
+    FsDs::WriteOp op;
+    op.op = FsDs::RmdirOp{std::move(path)};
+    return repl_.execute_mut(t, op).err;
+  }
+  ErrorCode create(const ThreadToken& t, std::string path) {
+    FsDs::WriteOp op;
+    op.op = FsDs::CreateOp{std::move(path)};
+    return repl_.execute_mut(t, op).err;
+  }
+  ErrorCode unlink(const ThreadToken& t, std::string path) {
+    FsDs::WriteOp op;
+    op.op = FsDs::UnlinkOp{std::move(path)};
+    return repl_.execute_mut(t, op).err;
+  }
+  ErrorCode rename(const ThreadToken& t, std::string from, std::string to) {
+    FsDs::WriteOp op;
+    op.op = FsDs::RenameOp{std::move(from), std::move(to)};
+    return repl_.execute_mut(t, op).err;
+  }
+  Result<u64> write(const ThreadToken& t, std::string path, u64 offset, std::vector<u8> data) {
+    FsDs::WriteOp op;
+    op.op = FsDs::WriteDataOp{std::move(path), offset, std::move(data)};
+    auto resp = repl_.execute_mut(t, op);
+    if (resp.err != ErrorCode::kOk) {
+      return resp.err;
+    }
+    return resp.length;
+  }
+  ErrorCode truncate(const ThreadToken& t, std::string path, u64 size) {
+    FsDs::WriteOp op;
+    op.op = FsDs::TruncateOp{std::move(path), size};
+    return repl_.execute_mut(t, op).err;
+  }
+
+  Result<std::vector<u8>> read(const ThreadToken& t, std::string path, u64 offset, u64 len) {
+    FsDs::ReadOp op;
+    op.op = FsDs::ReadDataOp{std::move(path), offset, len};
+    auto resp = repl_.execute(t, op);
+    if (resp.err != ErrorCode::kOk) {
+      return resp.err;
+    }
+    return std::move(resp.data);
+  }
+  Result<std::vector<std::string>> readdir(const ThreadToken& t, std::string path) {
+    FsDs::ReadOp op;
+    op.op = FsDs::ReaddirOp{std::move(path)};
+    auto resp = repl_.execute(t, op);
+    if (resp.err != ErrorCode::kOk) {
+      return resp.err;
+    }
+    return std::move(resp.names);
+  }
+  Result<FileStat> stat(const ThreadToken& t, std::string path) {
+    FsDs::ReadOp op;
+    op.op = FsDs::StatOp{std::move(path)};
+    auto resp = repl_.execute(t, op);
+    if (resp.err != ErrorCode::kOk) {
+      return resp.err;
+    }
+    return resp.stat;
+  }
+
+  void sync(const ThreadToken& t) { repl_.sync(t); }
+  usize num_replicas() const { return repl_.num_replicas(); }
+  const FsDs& peek(usize replica) const { return repl_.peek(replica); }
+
+ private:
+  NodeReplicated<FsDs> repl_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_NRFS_H_

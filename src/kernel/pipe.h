@@ -1,0 +1,128 @@
+// Kernel pipes: bounded FIFO byte channels between processes.
+//
+// Spec (kernel/pipe_* VCs):
+//   P1 (stream): the concatenation of all successful reads equals the
+//       concatenation of all successful writes, in order (FIFO bytes);
+//   P2 (bounds): at most `capacity` bytes are buffered; a write beyond it
+//       returns the accepted prefix length (short write), never blocks the
+//       simulation;
+//   P3 (EOF): read on an empty pipe returns kWouldBlock while a writer
+//       exists, 0 bytes (EOF) once every writer closed;
+//   P4 (EPIPE): write with no reader left fails with kPipeClosed.
+#ifndef VNROS_SRC_KERNEL_PIPE_H_
+#define VNROS_SRC_KERNEL_PIPE_H_
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+using PipeId = u64;
+
+class PipeTable {
+ public:
+  static constexpr usize kCapacity = 64 * 1024;
+
+  // Creates a pipe with one reader and one writer endpoint reference.
+  PipeId create() {
+    std::lock_guard<std::mutex> lock(mu_);
+    PipeId id = next_id_++;
+    pipes_[id] = Pipe{};
+    return id;
+  }
+
+  // Writes up to the free capacity; returns bytes accepted (0 iff full).
+  Result<u64> write(PipeId id, std::span<const u8> data) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Pipe* p = find(id);
+    if (p == nullptr) {
+      return ErrorCode::kBadFd;
+    }
+    if (p->readers == 0) {
+      return ErrorCode::kPipeClosed;  // P4
+    }
+    usize room = kCapacity - p->buffer.size();
+    usize n = data.size() < room ? data.size() : room;
+    p->buffer.insert(p->buffer.end(), data.begin(), data.begin() + static_cast<isize>(n));
+    return static_cast<u64>(n);
+  }
+
+  // Reads up to out.size() bytes. Empty + writers alive -> kWouldBlock;
+  // empty + no writers -> 0 (EOF).
+  Result<u64> read(PipeId id, std::span<u8> out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Pipe* p = find(id);
+    if (p == nullptr) {
+      return ErrorCode::kBadFd;
+    }
+    if (p->buffer.empty()) {
+      if (p->writers > 0) {
+        return ErrorCode::kWouldBlock;  // P3 first half
+      }
+      return u64{0};  // P3 second half: EOF
+    }
+    usize n = out.size() < p->buffer.size() ? out.size() : p->buffer.size();
+    for (usize i = 0; i < n; ++i) {
+      out[i] = p->buffer[i];
+    }
+    p->buffer.erase(p->buffer.begin(), p->buffer.begin() + static_cast<isize>(n));
+    return static_cast<u64>(n);
+  }
+
+  // Endpoint reference counting (dup/close). The pipe itself is destroyed
+  // once both sides are gone.
+  void add_reader(PipeId id) { bump(id, +1, 0); }
+  void add_writer(PipeId id) { bump(id, 0, +1); }
+  void close_reader(PipeId id) { bump(id, -1, 0); }
+  void close_writer(PipeId id) { bump(id, 0, -1); }
+
+  usize buffered(PipeId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pipes_.find(id);
+    return it == pipes_.end() ? 0 : it->second.buffer.size();
+  }
+
+  bool exists(PipeId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pipes_.count(id) != 0;
+  }
+
+ private:
+  struct Pipe {
+    std::deque<u8> buffer;
+    u32 readers = 1;
+    u32 writers = 1;
+  };
+
+  Pipe* find(PipeId id) {
+    auto it = pipes_.find(id);
+    return it == pipes_.end() ? nullptr : &it->second;
+  }
+
+  void bump(PipeId id, int dr, int dw) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pipes_.find(id);
+    if (it == pipes_.end()) {
+      return;
+    }
+    it->second.readers = static_cast<u32>(static_cast<int>(it->second.readers) + dr);
+    it->second.writers = static_cast<u32>(static_cast<int>(it->second.writers) + dw);
+    if (it->second.readers == 0 && it->second.writers == 0) {
+      pipes_.erase(it);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::map<PipeId, Pipe> pipes_;
+  PipeId next_id_ = 1;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_PIPE_H_

@@ -1,0 +1,173 @@
+#include "src/kernel/process.h"
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+
+ProcessDirectoryDs::Response ProcessDirectoryDs::dispatch(const ReadOp& op) const {
+  const auto& get = std::get<GetMeta>(op.op);
+  auto it = procs.find(get.pid);
+  if (it == procs.end()) {
+    return Response{ErrorCode::kNotFound, get.pid, 0, 0, {}};
+  }
+  return Response{ErrorCode::kOk, get.pid, it->second.exit_code, 0, it->second};
+}
+
+ProcessDirectoryDs::Response ProcessDirectoryDs::dispatch_mut(const WriteOp& op) {
+  if (const auto* s = std::get_if<Spawn>(&op.op)) {
+    if (s->parent != kInvalidPid) {
+      auto p = procs.find(s->parent);
+      if (p == procs.end() || p->second.state != ProcState::kAlive) {
+        return Response{ErrorCode::kNotFound, kInvalidPid, 0, 0, {}};
+      }
+    }
+    Pid pid = next_pid++;
+    procs[pid] = Meta{s->parent, ProcState::kAlive, 0, 0};
+    return Response{ErrorCode::kOk, pid, 0, 0, procs[pid]};
+  }
+
+  if (const auto* e = std::get_if<Exit>(&op.op)) {
+    auto it = procs.find(e->pid);
+    if (it == procs.end() || it->second.state != ProcState::kAlive) {
+      return Response{ErrorCode::kNotFound, e->pid, 0, 0, {}};
+    }
+    it->second.state = ProcState::kZombie;
+    it->second.exit_code = e->code;
+    return Response{ErrorCode::kOk, e->pid, e->code, 0, it->second};
+  }
+
+  if (const auto* r = std::get_if<Reap>(&op.op)) {
+    auto it = procs.find(r->child);
+    if (it == procs.end() || it->second.state == ProcState::kReaped) {
+      return Response{ErrorCode::kNotFound, r->child, 0, 0, {}};
+    }
+    if (it->second.parent != r->parent) {
+      return Response{ErrorCode::kNotPermitted, r->child, 0, 0, {}};
+    }
+    if (it->second.state == ProcState::kAlive) {
+      return Response{ErrorCode::kWouldBlock, r->child, 0, 0, {}};
+    }
+    i32 code = it->second.exit_code;
+    it->second.state = ProcState::kReaped;
+    return Response{ErrorCode::kOk, r->child, code, 0, it->second};
+  }
+
+  if (const auto* k = std::get_if<Kill>(&op.op)) {
+    if (k->signal == 0 || k->signal >= 64) {
+      return Response{ErrorCode::kInvalidArgument, k->pid, 0, 0, {}};
+    }
+    auto it = procs.find(k->pid);
+    if (it == procs.end() || it->second.state != ProcState::kAlive) {
+      return Response{ErrorCode::kNotFound, k->pid, 0, 0, {}};
+    }
+    if (k->signal == kSigKill) {
+      it->second.state = ProcState::kZombie;
+      it->second.exit_code = -static_cast<i32>(kSigKill);
+      return Response{ErrorCode::kOk, k->pid, it->second.exit_code, kSigKill, it->second};
+    }
+    it->second.pending_signals |= u64{1} << k->signal;
+    return Response{ErrorCode::kOk, k->pid, 0, k->signal, it->second};
+  }
+
+  if (const auto* ts = std::get_if<TakeSignal>(&op.op)) {
+    auto it = procs.find(ts->pid);
+    if (it == procs.end() || it->second.state != ProcState::kAlive) {
+      return Response{ErrorCode::kNotFound, ts->pid, 0, 0, {}};
+    }
+    if (it->second.pending_signals == 0) {
+      return Response{ErrorCode::kOk, ts->pid, 0, 0, it->second};
+    }
+    u32 sig = static_cast<u32>(__builtin_ctzll(it->second.pending_signals));
+    it->second.pending_signals &= ~(u64{1} << sig);
+    return Response{ErrorCode::kOk, ts->pid, 0, sig, it->second};
+  }
+
+  return Response{ErrorCode::kInvalidArgument, kInvalidPid, 0, 0, {}};
+}
+
+Result<Pid> ProcessManager::spawn(const ThreadToken& t, Pid parent) {
+  ProcessDirectoryDs::WriteOp op;
+  op.op = ProcessDirectoryDs::Spawn{parent};
+  auto resp = dir_.execute_mut(t, op);
+  if (resp.err != ErrorCode::kOk) {
+    return resp.err;
+  }
+  {
+    std::lock_guard<std::mutex> lock(objects_mu_);
+    objects_[resp.pid] = std::make_unique<Process>(resp.pid, mem_, frames_);
+  }
+  VNROS_ENSURES(resp.pid != kInvalidPid);
+  return resp.pid;
+}
+
+Result<Unit> ProcessManager::exit(const ThreadToken& t, Pid pid, i32 code) {
+  ProcessDirectoryDs::WriteOp op;
+  op.op = ProcessDirectoryDs::Exit{pid, code};
+  auto resp = dir_.execute_mut(t, op);
+  if (resp.err != ErrorCode::kOk) {
+    return resp.err;
+  }
+  destroy_object(pid);
+  return Unit{};
+}
+
+Result<i32> ProcessManager::wait(const ThreadToken& t, Pid parent, Pid child) {
+  ProcessDirectoryDs::WriteOp op;
+  op.op = ProcessDirectoryDs::Reap{parent, child};
+  auto resp = dir_.execute_mut(t, op);
+  if (resp.err != ErrorCode::kOk) {
+    return resp.err;
+  }
+  return resp.exit_code;
+}
+
+Result<Unit> ProcessManager::kill(const ThreadToken& t, Pid pid, u32 signal) {
+  ProcessDirectoryDs::WriteOp op;
+  op.op = ProcessDirectoryDs::Kill{pid, signal};
+  auto resp = dir_.execute_mut(t, op);
+  if (resp.err != ErrorCode::kOk) {
+    return resp.err;
+  }
+  if (signal == kSigKill) {
+    destroy_object(pid);
+  }
+  return Unit{};
+}
+
+Result<u32> ProcessManager::take_signal(const ThreadToken& t, Pid pid) {
+  ProcessDirectoryDs::WriteOp op;
+  op.op = ProcessDirectoryDs::TakeSignal{pid};
+  auto resp = dir_.execute_mut(t, op);
+  if (resp.err != ErrorCode::kOk) {
+    return resp.err;
+  }
+  return resp.signal;
+}
+
+Result<ProcessDirectoryDs::Meta> ProcessManager::meta(const ThreadToken& t, Pid pid) {
+  ProcessDirectoryDs::ReadOp op;
+  op.op = ProcessDirectoryDs::GetMeta{pid};
+  auto resp = dir_.execute(t, op);
+  if (resp.err != ErrorCode::kOk) {
+    return resp.err;
+  }
+  return resp.meta;
+}
+
+Process* ProcessManager::get(Pid pid) {
+  std::lock_guard<std::mutex> lock(objects_mu_);
+  auto it = objects_.find(pid);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+void ProcessManager::destroy_object(Pid pid) {
+  std::lock_guard<std::mutex> lock(objects_mu_);
+  objects_.erase(pid);
+}
+
+usize ProcessManager::live_objects() const {
+  std::lock_guard<std::mutex> lock(objects_mu_);
+  return objects_.size();
+}
+
+}  // namespace vnros

@@ -1,0 +1,162 @@
+// Process management (Table 2 "process management"): spawning, waiting,
+// signals, killing.
+//
+// Following the NrOS split, the *metadata* every core must agree on (pid
+// allocation, parent links, alive/zombie state, pending signals) is a
+// sequential structure replicated with NR (ProcessDirectoryDs); the
+// heavyweight per-process objects (address space, fd table) live beside it,
+// created after the directory transition commits.
+//
+// Spec (kernel/proc_* VCs): the directory refines the abstract process tree
+// machine — pids are unique and never reused within a run; exit turns alive
+// into zombie exactly once and preserves the exit code until reaped; wait
+// returns a child's code iff that child is a zombie and the caller is its
+// parent; kill(SIGKILL) forces zombie with code -signal; signals to zombies
+// or unknown pids fail cleanly.
+#ifndef VNROS_SRC_KERNEL_PROCESS_H_
+#define VNROS_SRC_KERNEL_PROCESS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/kernel/vm.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+
+enum class ProcState : u8 {
+  kAlive,
+  kZombie,   // exited, code retained for the parent
+  kReaped,   // wait() consumed it (terminal)
+};
+
+// Conventional signal numbers (subset).
+inline constexpr u32 kSigKill = 9;
+inline constexpr u32 kSigUsr1 = 10;
+inline constexpr u32 kSigTerm = 15;
+
+// The NR-replicated process directory.
+struct ProcessDirectoryDs {
+  struct Meta {
+    Pid parent = kInvalidPid;
+    ProcState state = ProcState::kAlive;
+    i32 exit_code = 0;
+    u64 pending_signals = 0;  // bitmask by signal number
+
+    bool operator==(const Meta&) const = default;
+  };
+
+  struct Spawn {
+    Pid parent;
+  };
+  struct Exit {
+    Pid pid;
+    i32 code;
+  };
+  struct Reap {
+    Pid parent;
+    Pid child;
+  };
+  struct Kill {
+    Pid pid;
+    u32 signal;
+  };
+  struct TakeSignal {
+    Pid pid;
+  };
+
+  struct WriteOp {
+    std::variant<std::monostate, Spawn, Exit, Reap, Kill, TakeSignal> op;
+  };
+  struct GetMeta {
+    Pid pid;
+  };
+  struct ReadOp {
+    std::variant<GetMeta> op;
+  };
+  struct Response {
+    ErrorCode err = ErrorCode::kOk;
+    Pid pid = kInvalidPid;
+    i32 exit_code = 0;
+    u32 signal = 0;
+    Meta meta;
+  };
+
+  std::map<Pid, Meta> procs;
+  Pid next_pid = 1;
+
+  Response dispatch(const ReadOp& op) const;
+  Response dispatch_mut(const WriteOp& op);
+
+  bool operator==(const ProcessDirectoryDs&) const = default;
+};
+
+// Heavyweight per-process state (not replicated; node-local by construction).
+class Process {
+ public:
+  Process(Pid pid, PhysMem& mem, FrameAllocator& frames) : pid_(pid), vm_(mem, frames) {}
+
+  Pid pid() const { return pid_; }
+  VmManager& vm() { return vm_; }
+
+ private:
+  Pid pid_;
+  VmManager vm_;
+};
+
+class ProcessManager {
+ public:
+  ProcessManager(PhysMem& mem, FrameAllocator& frames, const Topology& topo,
+                 NrConfig config = {})
+      : mem_(mem), frames_(frames), dir_(topo, ProcessDirectoryDs{}, config) {}
+
+  ThreadToken register_core(CoreId core) { return dir_.register_thread(core); }
+
+  // Creates a process: directory transition first, then the local object.
+  Result<Pid> spawn(const ThreadToken& t, Pid parent);
+
+  // Marks `pid` exited; its address space is torn down immediately, the
+  // directory entry stays as a zombie for the parent.
+  Result<Unit> exit(const ThreadToken& t, Pid pid, i32 code);
+
+  // Reaps `child`: returns its exit code iff it is a zombie child of
+  // `parent`; kWouldBlock while the child is still alive.
+  Result<i32> wait(const ThreadToken& t, Pid parent, Pid child);
+
+  // Posts `signal` to `pid`. SIGKILL forces an exit with code -signal.
+  Result<Unit> kill(const ThreadToken& t, Pid pid, u32 signal);
+
+  // Pops the lowest pending signal (0 if none) — the "signal delivery" step
+  // a returning-to-user thread performs.
+  Result<u32> take_signal(const ThreadToken& t, Pid pid);
+
+  Result<ProcessDirectoryDs::Meta> meta(const ThreadToken& t, Pid pid);
+
+  // Local object access (nullptr if torn down / never spawned here).
+  Process* get(Pid pid);
+
+  usize live_objects() const;
+
+  void sync(const ThreadToken& t) { dir_.sync(t); }
+  const ProcessDirectoryDs& peek(usize replica) const { return dir_.peek(replica); }
+  usize num_replicas() const { return dir_.num_replicas(); }
+
+ private:
+  void destroy_object(Pid pid);
+
+  PhysMem& mem_;
+  FrameAllocator& frames_;
+  NodeReplicated<ProcessDirectoryDs> dir_;
+  mutable std::mutex objects_mu_;
+  std::map<Pid, std::unique_ptr<Process>> objects_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_PROCESS_H_

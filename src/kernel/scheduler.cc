@@ -1,0 +1,202 @@
+#include "src/kernel/scheduler.h"
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+
+void SchedulerDs::enqueue(Tid tid) {
+  auto it = threads.find(tid);
+  VNROS_CHECK(it != threads.end());
+  CoreId core = it->second.affinity;
+  VNROS_CHECK(core < queues.size());
+  queues[core].push_back(tid);
+}
+
+std::optional<Tid> SchedulerDs::dequeue_best(CoreId core) {
+  VNROS_CHECK(core < queues.size());
+  auto& q = queues[core];
+  if (q.empty()) {
+    return std::nullopt;
+  }
+  // Highest priority wins; FIFO within a priority class (round-robin
+  // fairness). Linear scan: queues are short relative to op costs here.
+  usize best = 0;
+  u32 best_prio = threads.at(q[0]).priority;
+  for (usize i = 1; i < q.size(); ++i) {
+    u32 p = threads.at(q[i]).priority;
+    if (p > best_prio) {
+      best_prio = p;
+      best = i;
+    }
+  }
+  Tid tid = q[best];
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(best));
+  return tid;
+}
+
+SchedulerDs::Response SchedulerDs::dispatch(const ReadOp& op) const {
+  const auto& get = std::get<GetState>(op.op);
+  auto it = threads.find(get.tid);
+  if (it == threads.end()) {
+    return Response{ErrorCode::kNotFound, 0, ThreadState::kExited};
+  }
+  return Response{ErrorCode::kOk, get.tid, it->second.state};
+}
+
+SchedulerDs::Response SchedulerDs::dispatch_mut(const WriteOp& op) {
+  if (const auto* add = std::get_if<AddThread>(&op.op)) {
+    if (threads.count(add->tid) != 0) {
+      return Response{ErrorCode::kAlreadyExists, 0, {}};
+    }
+    if (add->affinity >= queues.size()) {
+      return Response{ErrorCode::kInvalidArgument, 0, {}};
+    }
+    threads[add->tid] =
+        ThreadInfo{ThreadState::kReady, add->priority, add->affinity, add->owner};
+    enqueue(add->tid);
+    return Response{ErrorCode::kOk, add->tid, ThreadState::kReady};
+  }
+
+  if (const auto* blk = std::get_if<Block>(&op.op)) {
+    auto it = threads.find(blk->tid);
+    if (it == threads.end() || it->second.state == ThreadState::kExited) {
+      return Response{ErrorCode::kNotFound, 0, {}};
+    }
+    if (it->second.state == ThreadState::kBlocked) {
+      return Response{ErrorCode::kOk, blk->tid, ThreadState::kBlocked};
+    }
+    // Remove from ready queue or running slot.
+    if (it->second.state == ThreadState::kReady) {
+      auto& q = queues[it->second.affinity];
+      for (auto qi = q.begin(); qi != q.end(); ++qi) {
+        if (*qi == blk->tid) {
+          q.erase(qi);
+          break;
+        }
+      }
+    } else {  // running
+      for (auto& r : running) {
+        if (r == blk->tid) {
+          r = 0;
+        }
+      }
+    }
+    it->second.state = ThreadState::kBlocked;
+    return Response{ErrorCode::kOk, blk->tid, ThreadState::kBlocked};
+  }
+
+  if (const auto* wk = std::get_if<Wake>(&op.op)) {
+    auto it = threads.find(wk->tid);
+    if (it == threads.end() || it->second.state == ThreadState::kExited) {
+      return Response{ErrorCode::kNotFound, 0, {}};
+    }
+    if (it->second.state != ThreadState::kBlocked) {
+      // Waking a non-blocked thread is a no-op (futex race tolerance).
+      return Response{ErrorCode::kOk, wk->tid, it->second.state};
+    }
+    it->second.state = ThreadState::kReady;
+    enqueue(wk->tid);
+    return Response{ErrorCode::kOk, wk->tid, ThreadState::kReady};
+  }
+
+  if (const auto* ex = std::get_if<Exit>(&op.op)) {
+    auto it = threads.find(ex->tid);
+    if (it == threads.end()) {
+      return Response{ErrorCode::kNotFound, 0, {}};
+    }
+    if (it->second.state == ThreadState::kReady) {
+      auto& q = queues[it->second.affinity];
+      for (auto qi = q.begin(); qi != q.end(); ++qi) {
+        if (*qi == ex->tid) {
+          q.erase(qi);
+          break;
+        }
+      }
+    } else if (it->second.state == ThreadState::kRunning) {
+      for (auto& r : running) {
+        if (r == ex->tid) {
+          r = 0;
+        }
+      }
+    }
+    it->second.state = ThreadState::kExited;
+    return Response{ErrorCode::kOk, ex->tid, ThreadState::kExited};
+  }
+
+  if (const auto* pick = std::get_if<Pick>(&op.op)) {
+    if (pick->core >= queues.size()) {
+      return Response{ErrorCode::kInvalidArgument, 0, {}};
+    }
+    // Current thread (if any) goes back to ready.
+    Tid cur = running[pick->core];
+    if (cur != 0) {
+      threads.at(cur).state = ThreadState::kReady;
+      enqueue(cur);
+    }
+    auto next = dequeue_best(pick->core);
+    if (!next) {
+      running[pick->core] = 0;
+      return Response{ErrorCode::kOk, 0, {}};
+    }
+    threads.at(*next).state = ThreadState::kRunning;
+    running[pick->core] = *next;
+    return Response{ErrorCode::kOk, *next, ThreadState::kRunning};
+  }
+
+  if (const auto* y = std::get_if<Yield>(&op.op)) {
+    WriteOp pick_op;
+    pick_op.op = Pick{y->core};
+    return dispatch_mut(pick_op);
+  }
+
+  return Response{ErrorCode::kInvalidArgument, 0, {}};
+}
+
+ErrorCode Scheduler::add_thread(const ThreadToken& t, Tid tid, Pid owner, u32 priority,
+                                CoreId affinity) {
+  SchedulerDs::WriteOp op;
+  op.op = SchedulerDs::AddThread{tid, owner, priority, affinity};
+  return repl_.execute_mut(t, op).err;
+}
+
+ErrorCode Scheduler::block(const ThreadToken& t, Tid tid) {
+  SchedulerDs::WriteOp op;
+  op.op = SchedulerDs::Block{tid};
+  return repl_.execute_mut(t, op).err;
+}
+
+ErrorCode Scheduler::wake(const ThreadToken& t, Tid tid) {
+  SchedulerDs::WriteOp op;
+  op.op = SchedulerDs::Wake{tid};
+  return repl_.execute_mut(t, op).err;
+}
+
+ErrorCode Scheduler::exit_thread(const ThreadToken& t, Tid tid) {
+  SchedulerDs::WriteOp op;
+  op.op = SchedulerDs::Exit{tid};
+  return repl_.execute_mut(t, op).err;
+}
+
+Tid Scheduler::pick(const ThreadToken& t, CoreId core) {
+  SchedulerDs::WriteOp op;
+  op.op = SchedulerDs::Pick{core};
+  return repl_.execute_mut(t, op).tid;
+}
+
+Tid Scheduler::yield(const ThreadToken& t, CoreId core) {
+  SchedulerDs::WriteOp op;
+  op.op = SchedulerDs::Yield{core};
+  return repl_.execute_mut(t, op).tid;
+}
+
+Result<ThreadState> Scheduler::thread_state(const ThreadToken& t, Tid tid) {
+  SchedulerDs::ReadOp op;
+  op.op = SchedulerDs::GetState{tid};
+  auto resp = repl_.execute(t, op);
+  if (resp.err != ErrorCode::kOk) {
+    return resp.err;
+  }
+  return resp.state;
+}
+
+}  // namespace vnros

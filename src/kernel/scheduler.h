@@ -1,0 +1,133 @@
+// The scheduler (Table 2 "scheduler" row), built the NrOS way: the scheduler
+// state is a sequential data structure replicated with NR.
+//
+// SchedulerDs is the sequential structure: per-core ready queues, a blocked
+// set, and the running thread per core. Its ops are deterministic, so NR
+// replicas stay identical and any core can dispatch scheduling decisions
+// through its local replica.
+//
+// Spec (kernel/sched_* VCs): the scheduler refines the abstract "thread
+// multiplexer" — every thread is in exactly one of {ready, running, blocked,
+// exited}; pick() returns a ready thread of the highest priority class and
+// rotates fairly within a class (round-robin: a thread is not picked twice
+// while another equally-eligible thread waits); wake() moves blocked →
+// ready; block()/exit() remove from the core.
+#ifndef VNROS_SRC_KERNEL_SCHEDULER_H_
+#define VNROS_SRC_KERNEL_SCHEDULER_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/hw/topology.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+
+enum class ThreadState : u8 {
+  kReady,
+  kRunning,
+  kBlocked,
+  kExited,
+};
+
+// The sequential scheduler structure (NR Dispatch).
+struct SchedulerDs {
+  struct ThreadInfo {
+    ThreadState state = ThreadState::kReady;
+    u32 priority = 1;       // higher runs first
+    CoreId affinity = 0;    // home core (queue it returns to)
+    Pid owner = kInvalidPid;
+
+    bool operator==(const ThreadInfo&) const = default;
+  };
+
+  struct AddThread {
+    Tid tid;
+    Pid owner;
+    u32 priority;
+    CoreId affinity;
+  };
+  struct Block {
+    Tid tid;
+  };
+  struct Wake {
+    Tid tid;
+  };
+  struct Exit {
+    Tid tid;
+  };
+  struct Pick {
+    CoreId core;
+  };
+  struct Yield {
+    CoreId core;
+  };
+
+  struct WriteOp {
+    std::variant<std::monostate, AddThread, Block, Wake, Exit, Pick, Yield> op;
+  };
+  struct GetState {
+    Tid tid;
+  };
+  struct ReadOp {
+    std::variant<GetState> op;
+  };
+  struct Response {
+    ErrorCode err = ErrorCode::kOk;
+    Tid tid = 0;                      // Pick/Yield: selected thread (0 = idle)
+    ThreadState state = ThreadState::kExited;  // GetState
+  };
+
+  explicit SchedulerDs(u32 num_cores = 1) : queues(num_cores), running(num_cores, 0) {}
+
+  std::map<Tid, ThreadInfo> threads;
+  std::vector<std::deque<Tid>> queues;  // per-core ready queues
+  std::vector<Tid> running;             // 0 = idle
+
+  Response dispatch(const ReadOp& op) const;
+  Response dispatch_mut(const WriteOp& op);
+
+  // Queue helpers (sequential logic, no locking — NR provides that).
+  void enqueue(Tid tid);
+  std::optional<Tid> dequeue_best(CoreId core);
+
+  bool operator==(const SchedulerDs&) const = default;
+};
+
+// The kernel-facing scheduler: SchedulerDs replicated with NR.
+class Scheduler {
+ public:
+  Scheduler(const Topology& topo, NrConfig config = {})
+      : repl_(topo, SchedulerDs(topo.num_cores()), config) {}
+
+  ThreadToken register_core(CoreId core) { return repl_.register_thread(core); }
+
+  ErrorCode add_thread(const ThreadToken& t, Tid tid, Pid owner, u32 priority, CoreId affinity);
+  ErrorCode block(const ThreadToken& t, Tid tid);
+  ErrorCode wake(const ThreadToken& t, Tid tid);
+  ErrorCode exit_thread(const ThreadToken& t, Tid tid);
+
+  // Picks the next thread to run on `core` (context switch); 0 means idle.
+  Tid pick(const ThreadToken& t, CoreId core);
+  // Current thread yields: goes back to the ready queue, next one runs.
+  Tid yield(const ThreadToken& t, CoreId core);
+
+  Result<ThreadState> thread_state(const ThreadToken& t, Tid tid);
+
+  void sync(const ThreadToken& t) { repl_.sync(t); }
+  const SchedulerDs& peek(usize replica) const { return repl_.peek(replica); }
+  usize num_replicas() const { return repl_.num_replicas(); }
+
+ private:
+  NodeReplicated<SchedulerDs> repl_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_SCHEDULER_H_

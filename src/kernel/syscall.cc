@@ -1,0 +1,1348 @@
+#include "src/kernel/syscall.h"
+
+#include <algorithm>
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+namespace {
+
+// Ephemeral UDP ports are allocated from here per kernel instance.
+constexpr Port kEphemeralBase = 49152;
+
+// Upper bound on a single I/O request. A frame asking for more is malformed
+// (prevents a hostile length field from driving giant kernel allocations).
+constexpr u64 kMaxIoBytes = u64{16} << 20;
+
+void put_fd(Writer& w, Fd fd) { w.put_u32(static_cast<u32>(fd)); }
+
+std::optional<Fd> get_fd(Reader& r) {
+  auto v = r.get_u32();
+  if (!v) {
+    return std::nullopt;
+  }
+  return static_cast<Fd>(*v);
+}
+
+}  // namespace
+
+// --- Dispatcher scaffolding ------------------------------------------------------
+
+SyscallDispatcher::ProcState& SyscallDispatcher::proc_state(Pid pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    it = procs_.emplace(pid, std::make_unique<ProcState>()).first;
+  }
+  return *it->second;
+}
+
+void SyscallDispatcher::destroy_process_state(Pid pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  procs_.erase(pid);
+}
+
+ThreadToken SyscallDispatcher::proc_token(CoreId core) {
+  std::lock_guard<std::mutex> lock(token_mu_);
+  auto it = proc_tokens_.find(core);
+  if (it == proc_tokens_.end()) {
+    it = proc_tokens_.emplace(core, kernel_.procs().register_core(core)).first;
+  }
+  return it->second;
+}
+
+ThreadToken SyscallDispatcher::sched_token(CoreId core) {
+  std::lock_guard<std::mutex> lock(token_mu_);
+  auto it = sched_tokens_.find(core);
+  if (it == sched_tokens_.end()) {
+    it = sched_tokens_.emplace(core, kernel_.sched().register_core(core)).first;
+  }
+  return it->second;
+}
+
+SysAbsState SyscallDispatcher::view(Pid pid) const {
+  SysAbsState state;
+  state.fs = kernel_.fs().view();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = procs_.find(pid);
+  if (it != procs_.end()) {
+    state.fds = it->second->fds;
+  }
+  return state;
+}
+
+std::vector<u8> SyscallDispatcher::handle(Pid pid, CoreId core, std::span<const u8> frame) {
+  Reader args(frame);
+  Writer reply;
+  auto nr = args.get_u32();
+  ErrorCode err = ErrorCode::kInvalidArgument;
+  Writer payload;
+  if (nr) {
+    switch (static_cast<SysNr>(*nr)) {
+      case SysNr::kGetPid:
+        payload.put_u64(pid);
+        err = ErrorCode::kOk;
+        break;
+      case SysNr::kOpen: err = do_open(pid, args, payload); break;
+      case SysNr::kClose: err = do_close(pid, args, payload); break;
+      case SysNr::kRead: err = do_read(pid, args, payload); break;
+      case SysNr::kWrite: err = do_write(pid, args, payload); break;
+      case SysNr::kLseek: err = do_lseek(pid, args, payload); break;
+      case SysNr::kFstat: err = do_fstat(pid, args, payload); break;
+      case SysNr::kMkdir: {
+        auto path = args.get_string();
+        err = path && args.exhausted() ? kernel_.fs().mkdir(*path).error()
+                                       : ErrorCode::kInvalidArgument;
+        break;
+      }
+      case SysNr::kUnlink: {
+        auto path = args.get_string();
+        err = path && args.exhausted() ? kernel_.fs().unlink(*path).error()
+                                       : ErrorCode::kInvalidArgument;
+        break;
+      }
+      case SysNr::kRmdir: {
+        auto path = args.get_string();
+        err = path && args.exhausted() ? kernel_.fs().rmdir(*path).error()
+                                       : ErrorCode::kInvalidArgument;
+        break;
+      }
+      case SysNr::kReaddir: err = do_readdir(pid, args, payload); break;
+      case SysNr::kRename: {
+        auto from = args.get_string();
+        auto to = args.get_string();
+        err = from && to && args.exhausted() ? kernel_.fs().rename(*from, *to).error()
+                                             : ErrorCode::kInvalidArgument;
+        break;
+      }
+      case SysNr::kTruncate: {
+        auto path = args.get_string();
+        auto size = args.get_u64();
+        err = path && size && args.exhausted() ? kernel_.fs().truncate(*path, *size).error()
+                                               : ErrorCode::kInvalidArgument;
+        break;
+      }
+      case SysNr::kFsync:
+        err = kernel_.fs().fsync().error();
+        break;
+      case SysNr::kPipeCreate: err = do_pipe_create(pid, args, payload); break;
+      case SysNr::kReadUser: err = do_read_user(pid, args, payload); break;
+      case SysNr::kWriteUser: err = do_write_user(pid, args, payload); break;
+      case SysNr::kMmap: err = do_mmap(pid, args, payload); break;
+      case SysNr::kMunmap: err = do_munmap(pid, args, payload); break;
+      case SysNr::kSpawn: err = do_spawn(pid, core, args, payload); break;
+      case SysNr::kWaitPid: err = do_waitpid(pid, core, args, payload); break;
+      case SysNr::kExit: err = do_exit(pid, core, args, payload); break;
+      case SysNr::kKill: err = do_kill(pid, core, args, payload); break;
+      case SysNr::kTakeSignal: err = do_take_signal(pid, core, args, payload); break;
+      case SysNr::kFutexWait: err = do_futex_wait(pid, core, args, payload); break;
+      case SysNr::kFutexWake: err = do_futex_wake(pid, core, args, payload); break;
+      case SysNr::kUdpSocket: err = do_udp_socket(pid, args, payload); break;
+      case SysNr::kUdpBind: err = do_udp_bind(pid, args, payload); break;
+      case SysNr::kUdpSendTo: err = do_udp_sendto(pid, args, payload); break;
+      case SysNr::kUdpRecvFrom: err = do_udp_recvfrom(pid, args, payload); break;
+      case SysNr::kRtpListen: err = do_rtp_listen(pid, args, payload); break;
+      case SysNr::kRtpConnect: err = do_rtp_connect(pid, args, payload); break;
+      case SysNr::kRtpAccept: err = do_rtp_accept(pid, args, payload); break;
+      case SysNr::kRtpSend: err = do_rtp_send(pid, args, payload); break;
+      case SysNr::kRtpRecv: err = do_rtp_recv(pid, args, payload); break;
+      case SysNr::kRtpClose: err = do_rtp_close(pid, args, payload); break;
+      case SysNr::kConsoleWrite: err = do_console_write(pid, args, payload); break;
+      default:
+        err = ErrorCode::kUnsupported;
+        break;
+    }
+  }
+  reply.put_u32(static_cast<u32>(err));
+  reply.put_raw(payload.bytes());
+  return reply.take();
+}
+
+// --- File handlers ------------------------------------------------------------------
+
+ErrorCode SyscallDispatcher::do_open(Pid pid, Reader& args, Writer& reply) {
+  auto path = args.get_string();
+  auto flags = args.get_u32();
+  if (!path || !flags || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  MemFs& fs = kernel_.fs();
+  auto st = fs.stat(*path);
+  if (!st.ok()) {
+    if (st.error() != ErrorCode::kNotFound || (*flags & kOpenCreate) == 0) {
+      return st.error();
+    }
+    auto created = fs.create(*path);
+    if (!created.ok()) {
+      return created.error();
+    }
+    st = fs.stat(*path);
+    if (!st.ok()) {
+      return st.error();
+    }
+  }
+  if (st.value().is_dir) {
+    return ErrorCode::kIsDirectory;
+  }
+  if ((*flags & kOpenTrunc) != 0) {
+    auto tr = fs.truncate(*path, 0);
+    if (!tr.ok()) {
+      return tr.error();
+    }
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd fd = ps.next_fd++;
+  OpenFile of;
+  of.kind = OpenFile::Kind::kFile;
+  of.path = *path;
+  of.offset = (*flags & kOpenAppend) != 0 && (*flags & kOpenTrunc) == 0 ? st.value().size : 0;
+  ps.fds[fd] = of;
+  put_fd(reply, fd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_close(Pid pid, Reader& args, Writer&) {
+  auto fd = get_fd(args);
+  if (!fd || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end()) {
+    return ErrorCode::kBadFd;
+  }
+  if (it->second.kind == OpenFile::Kind::kUdp && it->second.port != 0) {
+    (void)kernel_.udp().unbind(it->second.port);
+  }
+  if (it->second.kind == OpenFile::Kind::kPipeRead) {
+    kernel_.pipes().close_reader(it->second.pipe);
+  }
+  if (it->second.kind == OpenFile::Kind::kPipeWrite) {
+    kernel_.pipes().close_writer(it->second.pipe);
+  }
+  if (it->second.kind == OpenFile::Kind::kRtp && !it->second.listener) {
+    (void)kernel_.rtp().close(it->second.conn);
+  }
+  ps.fds.erase(it);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_read(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto len = args.get_u64();
+  if (!fd || !len || *len > kMaxIoBytes || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end()) {
+    return ErrorCode::kBadFd;
+  }
+  if (it->second.kind == OpenFile::Kind::kPipeRead) {
+    std::vector<u8> buf(*len);
+    auto r = kernel_.pipes().read(it->second.pipe, buf);
+    if (!r.ok()) {
+      return r.error();
+    }
+    buf.resize(r.value());
+    reply.put_bytes(buf);
+    return ErrorCode::kOk;
+  }
+  if (it->second.kind != OpenFile::Kind::kFile) {
+    return ErrorCode::kBadFd;
+  }
+  OpenFile& of = it->second;
+  auto st = kernel_.fs().stat(of.path);
+  if (!st.ok()) {
+    return st.error();  // file unlinked while open: surfaced, not UB
+  }
+  const u64 pre_offset = of.offset;
+  const u64 file_size = st.value().size;
+
+  std::vector<u8> buf(*len);
+  auto r = kernel_.fs().read(of.path, pre_offset, buf);
+  if (!r.ok()) {
+    return r.error();
+  }
+  u64 n = r.value();
+  of.offset = pre_offset + n;
+
+  // The paper's read_spec, executably:
+  //   read_len == min(buffer.len(), pre.files[fd].size - pre.files[fd].offset)
+  //   && post.files[fd].offset == pre.files[fd].offset + read_len
+  VNROS_ENSURES(n == std::min<u64>(*len, file_size > pre_offset ? file_size - pre_offset : 0));
+  VNROS_ENSURES(of.offset == pre_offset + n);
+
+  buf.resize(n);
+  reply.put_bytes(buf);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_write(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto data = args.get_bytes();
+  if (!fd || !data || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end()) {
+    return ErrorCode::kBadFd;
+  }
+  if (it->second.kind == OpenFile::Kind::kPipeWrite) {
+    auto r = kernel_.pipes().write(it->second.pipe, *data);
+    if (!r.ok()) {
+      return r.error();
+    }
+    reply.put_u64(r.value());
+    return ErrorCode::kOk;
+  }
+  if (it->second.kind != OpenFile::Kind::kFile) {
+    return ErrorCode::kBadFd;
+  }
+  OpenFile& of = it->second;
+  auto r = kernel_.fs().write(of.path, of.offset, *data);
+  if (!r.ok()) {
+    return r.error();
+  }
+  of.offset += r.value();
+  reply.put_u64(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_lseek(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto delta = args.get_i64();
+  auto whence = args.get_u32();
+  if (!fd || !delta || !whence || *whence > 2 || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kFile) {
+    return ErrorCode::kBadFd;
+  }
+  OpenFile& of = it->second;
+  i64 base = 0;
+  switch (static_cast<SeekWhence>(*whence)) {
+    case SeekWhence::kSet: base = 0; break;
+    case SeekWhence::kCur: base = static_cast<i64>(of.offset); break;
+    case SeekWhence::kEnd: {
+      auto st = kernel_.fs().stat(of.path);
+      if (!st.ok()) {
+        return st.error();
+      }
+      base = static_cast<i64>(st.value().size);
+      break;
+    }
+  }
+  i64 target = base + *delta;
+  if (target < 0) {
+    return ErrorCode::kInvalidArgument;
+  }
+  of.offset = static_cast<u64>(target);
+  reply.put_u64(of.offset);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_fstat(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  if (!fd || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kFile) {
+    return ErrorCode::kBadFd;
+  }
+  auto st = kernel_.fs().stat(it->second.path);
+  if (!st.ok()) {
+    return st.error();
+  }
+  reply.put_u64(st.value().inode);
+  reply.put_u64(st.value().size);
+  reply.put_bool(st.value().is_dir);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_readdir(Pid, Reader& args, Writer& reply) {
+  auto path = args.get_string();
+  if (!path || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto names = kernel_.fs().readdir(*path);
+  if (!names.ok()) {
+    return names.error();
+  }
+  reply.put_u32(static_cast<u32>(names.value().size()));
+  for (const auto& n : names.value()) {
+    reply.put_string(n);
+  }
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_pipe_create(Pid pid, Reader& args, Writer& reply) {
+  if (!args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  PipeId id = kernel_.pipes().create();
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd rfd = ps.next_fd++;
+  Fd wfd = ps.next_fd++;
+  OpenFile rend;
+  rend.kind = OpenFile::Kind::kPipeRead;
+  rend.pipe = id;
+  OpenFile wend;
+  wend.kind = OpenFile::Kind::kPipeWrite;
+  wend.pipe = id;
+  ps.fds[rfd] = rend;
+  ps.fds[wfd] = wend;
+  put_fd(reply, rfd);
+  put_fd(reply, wfd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_read_user(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto uaddr = args.get_u64();
+  auto len = args.get_u64();
+  if (!fd || !uaddr || !len || *len > kMaxIoBytes || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  Process* proc = kernel_.procs().get(pid);
+  if (proc == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  ProcState& ps = proc_state(pid);
+  // Data-race-freedom obligation: the buffer (process memory) is borrowed
+  // exclusively for the duration of the handler.
+  ExclusiveBorrow borrow(ps.borrow);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kFile) {
+    return ErrorCode::kBadFd;
+  }
+  OpenFile& of = it->second;
+  std::vector<u8> buf(*len);
+  auto r = kernel_.fs().read(of.path, of.offset, buf);
+  if (!r.ok()) {
+    return r.error();
+  }
+  buf.resize(r.value());
+  // Mapping obligation: the bytes land in user memory through the verified
+  // page table.
+  auto copied = proc->vm().copy_out(VAddr{*uaddr}, buf);
+  if (!copied.ok()) {
+    return copied.error();
+  }
+  of.offset += r.value();
+  reply.put_u64(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_write_user(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto uaddr = args.get_u64();
+  auto len = args.get_u64();
+  if (!fd || !uaddr || !len || *len > kMaxIoBytes || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  Process* proc = kernel_.procs().get(pid);
+  if (proc == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  ProcState& ps = proc_state(pid);
+  ExclusiveBorrow borrow(ps.borrow);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kFile) {
+    return ErrorCode::kBadFd;
+  }
+  OpenFile& of = it->second;
+  std::vector<u8> buf(*len);
+  auto copied = proc->vm().copy_in(VAddr{*uaddr}, buf);
+  if (!copied.ok()) {
+    return copied.error();
+  }
+  auto r = kernel_.fs().write(of.path, of.offset, buf);
+  if (!r.ok()) {
+    return r.error();
+  }
+  of.offset += r.value();
+  reply.put_u64(r.value());
+  return ErrorCode::kOk;
+}
+
+// --- Memory handlers -------------------------------------------------------------
+
+ErrorCode SyscallDispatcher::do_mmap(Pid pid, Reader& args, Writer& reply) {
+  auto length = args.get_u64();
+  auto writable = args.get_bool();
+  if (!length || !writable || *length > kMaxIoBytes || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  Process* proc = kernel_.procs().get(pid);
+  if (proc == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  auto r = proc->vm().mmap(*length, Perms{*writable, true, false});
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_u64(r.value().value);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_munmap(Pid pid, Reader& args, Writer&) {
+  auto base = args.get_u64();
+  if (!base || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  Process* proc = kernel_.procs().get(pid);
+  if (proc == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  return proc->vm().munmap(VAddr{*base}).error();
+}
+
+// --- Process handlers ---------------------------------------------------------------
+
+ErrorCode SyscallDispatcher::do_spawn(Pid pid, CoreId core, Reader& args, Writer& reply) {
+  if (!args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.procs().spawn(proc_token(core), pid);
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_u64(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_waitpid(Pid pid, CoreId core, Reader& args, Writer& reply) {
+  auto child = args.get_u64();
+  if (!child || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.procs().wait(proc_token(core), pid, *child);
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_i64(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_exit(Pid pid, CoreId core, Reader& args, Writer&) {
+  auto code = args.get_i64();
+  if (!code || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.procs().exit(proc_token(core), pid, static_cast<i32>(*code));
+  if (!r.ok()) {
+    return r.error();
+  }
+  destroy_process_state(pid);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_kill(Pid pid, CoreId core, Reader& args, Writer&) {
+  auto target = args.get_u64();
+  auto signal = args.get_u32();
+  if (!target || !signal || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  (void)pid;  // permission model: any process may signal any other (no uids)
+  auto r = kernel_.procs().kill(proc_token(core), *target, *signal);
+  if (!r.ok()) {
+    return r.error();
+  }
+  if (*signal == kSigKill) {
+    destroy_process_state(*target);
+  }
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_take_signal(Pid pid, CoreId core, Reader& args, Writer& reply) {
+  if (!args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.procs().take_signal(proc_token(core), pid);
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_u32(r.value());
+  return ErrorCode::kOk;
+}
+
+// --- Futex handlers ---------------------------------------------------------------
+
+ErrorCode SyscallDispatcher::do_futex_wait(Pid pid, CoreId core, Reader& args, Writer&) {
+  auto uaddr = args.get_u64();
+  auto expected = args.get_u32();
+  auto tid = args.get_u64();
+  if (!uaddr || !expected || !tid || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  Process* proc = kernel_.procs().get(pid);
+  if (proc == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  auto current = proc->vm().read_u32(VAddr{*uaddr});
+  if (!current.ok()) {
+    return current.error();
+  }
+  return kernel_.simfutex().wait(sched_token(core), pid, VAddr{*uaddr}, current.value(),
+                                 *expected, *tid);
+}
+
+ErrorCode SyscallDispatcher::do_futex_wake(Pid pid, CoreId core, Reader& args, Writer& reply) {
+  auto uaddr = args.get_u64();
+  auto count = args.get_u64();
+  if (!uaddr || !count || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  usize woken = kernel_.simfutex().wake(sched_token(core), pid, VAddr{*uaddr}, *count);
+  reply.put_u64(woken);
+  return ErrorCode::kOk;
+}
+
+// --- Network handlers ----------------------------------------------------------------
+
+ErrorCode SyscallDispatcher::do_udp_socket(Pid pid, Reader& args, Writer& reply) {
+  if (!args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd fd = ps.next_fd++;
+  OpenFile of;
+  of.kind = OpenFile::Kind::kUdp;
+  ps.fds[fd] = of;
+  put_fd(reply, fd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_udp_bind(Pid pid, Reader& args, Writer&) {
+  auto fd = get_fd(args);
+  auto port = args.get_u16();
+  if (!fd || !port || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kUdp) {
+    return ErrorCode::kBadFd;
+  }
+  if (it->second.port != 0) {
+    return ErrorCode::kAlreadyExists;
+  }
+  auto r = kernel_.udp().bind(*port);
+  if (!r.ok()) {
+    return r.error();
+  }
+  it->second.port = *port;
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_udp_sendto(Pid pid, Reader& args, Writer&) {
+  auto fd = get_fd(args);
+  auto dst = args.get_u32();
+  auto dport = args.get_u16();
+  auto data = args.get_bytes();
+  if (!fd || !dst || !dport || !data || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  Port src_port;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kUdp) {
+      return ErrorCode::kBadFd;
+    }
+    if (it->second.port == 0) {
+      // Auto-bind an ephemeral port, as first use of an unbound socket.
+      Port p = static_cast<Port>(kEphemeralBase + (next_ephemeral_++ % 16000));
+      auto b = kernel_.udp().bind(p);
+      if (!b.ok()) {
+        return b.error();
+      }
+      it->second.port = p;
+    }
+    src_port = it->second.port;
+  }
+  return kernel_.udp().send(*dst, *dport, src_port, *data).error();
+}
+
+ErrorCode SyscallDispatcher::do_udp_recvfrom(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  if (!fd || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  Port port;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kUdp) {
+      return ErrorCode::kBadFd;
+    }
+    if (it->second.port == 0) {
+      return ErrorCode::kNotConnected;
+    }
+    port = it->second.port;
+  }
+  auto r = kernel_.udp().recv(port);
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_u32(r.value().src_addr);
+  reply.put_u16(r.value().src_port);
+  reply.put_bytes(r.value().payload);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_rtp_listen(Pid pid, Reader& args, Writer& reply) {
+  auto port = args.get_u16();
+  if (!port || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.rtp().listen(*port);
+  if (!r.ok()) {
+    return r.error();
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd fd = ps.next_fd++;
+  OpenFile of;
+  of.kind = OpenFile::Kind::kRtp;
+  of.listener = true;
+  of.port = *port;
+  ps.fds[fd] = of;
+  put_fd(reply, fd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_rtp_connect(Pid pid, Reader& args, Writer& reply) {
+  auto dst = args.get_u32();
+  auto dport = args.get_u16();
+  auto sport = args.get_u16();
+  if (!dst || !dport || !sport || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.rtp().connect(*dst, *dport, *sport);
+  if (!r.ok()) {
+    return r.error();
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd fd = ps.next_fd++;
+  OpenFile of;
+  of.kind = OpenFile::Kind::kRtp;
+  of.conn = r.value();
+  ps.fds[fd] = of;
+  put_fd(reply, fd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_rtp_accept(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  if (!fd || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  Port port;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kRtp ||
+        !it->second.listener) {
+      return ErrorCode::kBadFd;
+    }
+    port = it->second.port;
+  }
+  auto r = kernel_.rtp().accept(port);
+  if (!r.ok()) {
+    return r.error();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd nfd = ps.next_fd++;
+  OpenFile of;
+  of.kind = OpenFile::Kind::kRtp;
+  of.conn = r.value();
+  ps.fds[nfd] = of;
+  put_fd(reply, nfd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_rtp_send(Pid pid, Reader& args, Writer&) {
+  auto fd = get_fd(args);
+  auto data = args.get_bytes();
+  if (!fd || !data || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  ConnId conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kRtp || it->second.listener) {
+      return ErrorCode::kBadFd;
+    }
+    conn = it->second.conn;
+  }
+  return kernel_.rtp().send(conn, *data).error();
+}
+
+ErrorCode SyscallDispatcher::do_rtp_recv(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto max_len = args.get_u64();
+  if (!fd || !max_len || *max_len > kMaxIoBytes || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  ConnId conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kRtp || it->second.listener) {
+      return ErrorCode::kBadFd;
+    }
+    conn = it->second.conn;
+  }
+  auto r = kernel_.rtp().recv(conn, *max_len);
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_bytes(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_rtp_close(Pid pid, Reader& args, Writer&) {
+  auto fd = get_fd(args);
+  if (!fd || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kRtp) {
+    return ErrorCode::kBadFd;
+  }
+  if (!it->second.listener) {
+    (void)kernel_.rtp().close(it->second.conn);
+  }
+  ps.fds.erase(it);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_console_write(Pid, Reader& args, Writer&) {
+  auto text = args.get_string();
+  if (!text || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  kernel_.console().write(*text);
+  return ErrorCode::kOk;
+}
+
+// --- User-side facade ------------------------------------------------------------------
+
+Result<std::vector<u8>> Sys::invoke(Writer& frame) {
+  std::vector<u8> reply = dispatcher_.handle(pid_, core_, frame.bytes());
+  Reader r(reply);
+  auto err = r.get_u32();
+  if (!err) {
+    return ErrorCode::kCorrupted;  // kernel reply must at least carry an error word
+  }
+  if (static_cast<ErrorCode>(*err) != ErrorCode::kOk) {
+    return static_cast<ErrorCode>(*err);
+  }
+  auto rest = r.get_raw(r.remaining());
+  return rest ? Result<std::vector<u8>>(std::move(*rest)) : ErrorCode::kCorrupted;
+}
+
+Result<Fd> Sys::open(std::string_view path, u32 flags) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kOpen));
+  w.put_string(path);
+  w.put_u32(flags);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<Unit> Sys::close(Fd fd) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kClose));
+  put_fd(w, fd);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  return Unit{};
+}
+
+Result<std::vector<u8>> Sys::read(Fd fd, usize len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRead));
+  put_fd(w, fd);
+  w.put_u64(len);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto data = r.get_bytes();
+  if (!data) {
+    return ErrorCode::kCorrupted;
+  }
+  return std::move(*data);
+}
+
+Result<u64> Sys::write(Fd fd, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kWrite));
+  put_fd(w, fd);
+  w.put_bytes(data);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto n = r.get_u64();
+  if (!n) {
+    return ErrorCode::kCorrupted;
+  }
+  return *n;
+}
+
+Result<u64> Sys::lseek(Fd fd, i64 delta, SeekWhence whence) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kLseek));
+  put_fd(w, fd);
+  w.put_i64(delta);
+  w.put_u32(static_cast<u32>(whence));
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto off = r.get_u64();
+  if (!off) {
+    return ErrorCode::kCorrupted;
+  }
+  return *off;
+}
+
+Result<FileStat> Sys::fstat(Fd fd) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kFstat));
+  put_fd(w, fd);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto ino = r.get_u64();
+  auto size = r.get_u64();
+  auto is_dir = r.get_bool();
+  if (!ino || !size || !is_dir) {
+    return ErrorCode::kCorrupted;
+  }
+  return FileStat{*ino, *size, *is_dir};
+}
+
+Result<Unit> Sys::mkdir(std::string_view path) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kMkdir));
+  w.put_string(path);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Unit> Sys::unlink(std::string_view path) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kUnlink));
+  w.put_string(path);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Unit> Sys::rmdir(std::string_view path) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRmdir));
+  w.put_string(path);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<std::vector<std::string>> Sys::readdir(std::string_view path) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kReaddir));
+  w.put_string(path);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto count = r.get_u32();
+  if (!count) {
+    return ErrorCode::kCorrupted;
+  }
+  std::vector<std::string> names;
+  names.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto name = r.get_string();
+    if (!name) {
+      return ErrorCode::kCorrupted;
+    }
+    names.push_back(std::move(*name));
+  }
+  return names;
+}
+
+Result<Unit> Sys::rename(std::string_view from, std::string_view to) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRename));
+  w.put_string(from);
+  w.put_string(to);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Unit> Sys::truncate(std::string_view path, u64 size) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kTruncate));
+  w.put_string(path);
+  w.put_u64(size);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Unit> Sys::fsync() {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kFsync));
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<u64> Sys::read_user(Fd fd, VAddr buffer, usize len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kReadUser));
+  put_fd(w, fd);
+  w.put_u64(buffer.value);
+  w.put_u64(len);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto n = r.get_u64();
+  if (!n) {
+    return ErrorCode::kCorrupted;
+  }
+  return *n;
+}
+
+Result<u64> Sys::write_user(Fd fd, VAddr buffer, usize len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kWriteUser));
+  put_fd(w, fd);
+  w.put_u64(buffer.value);
+  w.put_u64(len);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto n = r.get_u64();
+  if (!n) {
+    return ErrorCode::kCorrupted;
+  }
+  return *n;
+}
+
+Result<std::pair<Fd, Fd>> Sys::pipe_create() {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kPipeCreate));
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto rfd = r.get_u32();
+  auto wfd = r.get_u32();
+  if (!rfd || !wfd) {
+    return ErrorCode::kCorrupted;
+  }
+  return std::pair<Fd, Fd>{static_cast<Fd>(*rfd), static_cast<Fd>(*wfd)};
+}
+
+Result<VAddr> Sys::mmap(u64 length, bool writable) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kMmap));
+  w.put_u64(length);
+  w.put_bool(writable);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto addr = r.get_u64();
+  if (!addr) {
+    return ErrorCode::kCorrupted;
+  }
+  return VAddr{*addr};
+}
+
+Result<Unit> Sys::munmap(VAddr base) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kMunmap));
+  w.put_u64(base.value);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Pid> Sys::spawn() {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kSpawn));
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto pid = r.get_u64();
+  if (!pid) {
+    return ErrorCode::kCorrupted;
+  }
+  return *pid;
+}
+
+Result<i32> Sys::waitpid(Pid child) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kWaitPid));
+  w.put_u64(child);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto code = r.get_i64();
+  if (!code) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<i32>(*code);
+}
+
+Result<Unit> Sys::exit_proc(i32 code) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kExit));
+  w.put_i64(code);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Unit> Sys::kill(Pid target, u32 signal) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kKill));
+  w.put_u64(target);
+  w.put_u32(signal);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<u32> Sys::take_signal() {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kTakeSignal));
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto sig = r.get_u32();
+  if (!sig) {
+    return ErrorCode::kCorrupted;
+  }
+  return *sig;
+}
+
+Result<Unit> Sys::futex_wait(VAddr uaddr, u32 expected, Tid tid) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kFutexWait));
+  w.put_u64(uaddr.value);
+  w.put_u32(expected);
+  w.put_u64(tid);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<u64> Sys::futex_wake(VAddr uaddr, usize count) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kFutexWake));
+  w.put_u64(uaddr.value);
+  w.put_u64(count);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto n = r.get_u64();
+  if (!n) {
+    return ErrorCode::kCorrupted;
+  }
+  return *n;
+}
+
+Result<Fd> Sys::udp_socket() {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kUdpSocket));
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<Unit> Sys::udp_bind(Fd fd, Port port) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kUdpBind));
+  put_fd(w, fd);
+  w.put_u16(port);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Unit> Sys::udp_sendto(Fd fd, NetAddr dst, Port dst_port, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kUdpSendTo));
+  put_fd(w, fd);
+  w.put_u32(dst);
+  w.put_u16(dst_port);
+  w.put_bytes(data);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<Datagram> Sys::udp_recvfrom(Fd fd) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kUdpRecvFrom));
+  put_fd(w, fd);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto src = r.get_u32();
+  auto port = r.get_u16();
+  auto data = r.get_bytes();
+  if (!src || !port || !data) {
+    return ErrorCode::kCorrupted;
+  }
+  return Datagram{*src, *port, std::move(*data)};
+}
+
+Result<Fd> Sys::rtp_listen(Port port) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRtpListen));
+  w.put_u16(port);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<Fd> Sys::rtp_connect(NetAddr dst, Port dst_port, Port src_port) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRtpConnect));
+  w.put_u32(dst);
+  w.put_u16(dst_port);
+  w.put_u16(src_port);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<Fd> Sys::rtp_accept(Fd listener) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRtpAccept));
+  put_fd(w, listener);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<Unit> Sys::rtp_send(Fd fd, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRtpSend));
+  put_fd(w, fd);
+  w.put_bytes(data);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<std::vector<u8>> Sys::rtp_recv(Fd fd, usize max_len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRtpRecv));
+  put_fd(w, fd);
+  w.put_u64(max_len);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto data = r.get_bytes();
+  if (!data) {
+    return ErrorCode::kCorrupted;
+  }
+  return std::move(*data);
+}
+
+Result<Unit> Sys::console_write(std::string_view text) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kConsoleWrite));
+  w.put_string(text);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+}  // namespace vnros

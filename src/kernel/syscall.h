@@ -1,0 +1,252 @@
+// The syscall layer: the paper's client application contract (§3), made
+// executable.
+//
+// Every call crosses a real marshalling boundary: the user-side Sys facade
+// serializes the syscall number and arguments into a byte frame
+// (src/base/serde), the kernel-side SyscallDispatcher deserializes, checks,
+// executes, and serializes the reply. This discharges, dynamically, the three
+// obligations §3 names:
+//   - marshalling: arguments/results round-trip the boundary byte-exactly
+//     (kernel/marshal_* VCs cover every frame type);
+//   - mapping: user buffers are reached through the process's verified page
+//     table (read_user/write_user translate page-by-page);
+//   - data-race freedom: each process's syscall state is guarded by a
+//     BorrowCell — a concurrent conflicting entry trips a contract instead
+//     of racing (the dynamic stand-in for Rust's unique &mut).
+//
+// The read() handler carries the paper's read_spec as an executable
+// postcondition — see SyscallDispatcher::do_read.
+#ifndef VNROS_SRC_KERNEL_SYSCALL_H_
+#define VNROS_SRC_KERNEL_SYSCALL_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/serde.h"
+#include "src/kernel/kernel.h"
+#include "src/spec/ownership.h"
+
+namespace vnros {
+
+// Syscall numbers (stable ABI).
+enum class SysNr : u32 {
+  kGetPid = 1,
+  // Filesystem.
+  kOpen = 10,
+  kClose = 11,
+  kRead = 12,
+  kWrite = 13,
+  kLseek = 14,
+  kFstat = 15,
+  kMkdir = 16,
+  kUnlink = 17,
+  kRmdir = 18,
+  kReaddir = 19,
+  kRename = 20,
+  kTruncate = 21,
+  kFsync = 22,
+  kReadUser = 23,   // read into a user-space buffer (mapping obligation)
+  kWriteUser = 24,  // write from a user-space buffer
+  kPipeCreate = 25,
+  // Virtual memory.
+  kMmap = 30,
+  kMunmap = 31,
+  // Processes.
+  kSpawn = 40,
+  kWaitPid = 41,
+  kExit = 42,
+  kKill = 43,
+  kTakeSignal = 44,
+  // Futex.
+  kFutexWait = 50,
+  kFutexWake = 51,
+  // Network: UDP.
+  kUdpSocket = 60,
+  kUdpBind = 61,
+  kUdpSendTo = 62,
+  kUdpRecvFrom = 63,
+  // Network: RTP (reliable stream).
+  kRtpListen = 70,
+  kRtpConnect = 71,
+  kRtpAccept = 72,
+  kRtpSend = 73,
+  kRtpRecv = 74,
+  kRtpClose = 75,
+  // Console.
+  kConsoleWrite = 80,
+};
+
+inline constexpr u32 kOpenCreate = 1u << 0;   // create if missing
+inline constexpr u32 kOpenTrunc = 1u << 1;    // truncate to zero
+inline constexpr u32 kOpenAppend = 1u << 2;   // start offset at EOF
+
+enum class SeekWhence : u32 { kSet = 0, kCur = 1, kEnd = 2 };
+
+// An open descriptor. Files carry the read_spec's (path, offset) pair;
+// socket fds carry their transport identity.
+struct OpenFile {
+  enum class Kind : u8 { kFile, kUdp, kRtp, kPipeRead, kPipeWrite } kind = Kind::kFile;
+  std::string path;
+  u64 offset = 0;
+  Port port = 0;      // udp: bound port
+  ConnId conn = 0;    // rtp: connection
+  PipeId pipe = 0;    // pipe endpoints
+  bool listener = false;
+
+  bool operator==(const OpenFile&) const = default;
+};
+
+// Abstract per-process syscall state (the §3 spec's State), used by the
+// kernel/sys_* VCs: the fd table plus the filesystem view.
+struct SysAbsState {
+  std::map<Fd, OpenFile> fds;
+  FsAbsState fs;
+
+  bool operator==(const SysAbsState&) const = default;
+};
+
+// Kernel-side entry point. One instance per Kernel.
+class SyscallDispatcher {
+ public:
+  explicit SyscallDispatcher(Kernel& kernel) : kernel_(kernel) {}
+
+  // The "syscall instruction": a serialized request frame in, a serialized
+  // reply frame out. `core` models which CPU the calling thread runs on.
+  std::vector<u8> handle(Pid pid, CoreId core, std::span<const u8> frame);
+
+  // Abstract view for refinement checks.
+  SysAbsState view(Pid pid) const;
+
+  // Tears down a process's syscall state (fds) — called on exit.
+  void destroy_process_state(Pid pid);
+
+ private:
+  struct ProcState {
+    std::map<Fd, OpenFile> fds;
+    Fd next_fd = 3;  // 0..2 reserved by convention
+    BorrowCell borrow;
+  };
+
+  ProcState& proc_state(Pid pid);
+
+  // Handlers append their reply payload to `reply` and return the ErrorCode.
+  ErrorCode do_open(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_close(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_read(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_write(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_lseek(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_fstat(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_readdir(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_pipe_create(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_read_user(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_write_user(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_mmap(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_munmap(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_spawn(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_waitpid(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_exit(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_kill(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_take_signal(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_futex_wait(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_futex_wake(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_udp_socket(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_udp_bind(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_udp_sendto(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_udp_recvfrom(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_rtp_listen(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_rtp_connect(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_rtp_accept(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_rtp_send(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_rtp_recv(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_rtp_close(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_console_write(Pid pid, Reader& args, Writer& reply);
+
+  Kernel& kernel_;
+  mutable std::mutex mu_;
+  std::map<Pid, std::unique_ptr<ProcState>> procs_;
+  u64 next_ephemeral_ = 0;  // ephemeral UDP port counter
+  // One scheduler/process-directory token per core, created lazily.
+  std::mutex token_mu_;
+  std::map<CoreId, ThreadToken> proc_tokens_;
+  std::map<CoreId, ThreadToken> sched_tokens_;
+  ThreadToken proc_token(CoreId core);
+  ThreadToken sched_token(CoreId core);
+};
+
+// User-side facade: what a process links against (the Sys type of §3). All
+// methods marshal through the dispatcher — there is no back door.
+class Sys {
+ public:
+  Sys(SyscallDispatcher& dispatcher, Pid pid, CoreId core = 0)
+      : dispatcher_(dispatcher), pid_(pid), core_(core) {}
+
+  Pid pid() const { return pid_; }
+
+  // --- Files ---------------------------------------------------------------
+  Result<Fd> open(std::string_view path, u32 flags = 0);
+  Result<Unit> close(Fd fd);
+  // Reads up to `len` bytes at the fd's offset, advancing it (§3 read_spec).
+  Result<std::vector<u8>> read(Fd fd, usize len);
+  // Writes at the fd's offset, advancing it; returns bytes written.
+  Result<u64> write(Fd fd, std::span<const u8> data);
+  Result<u64> lseek(Fd fd, i64 delta, SeekWhence whence);
+  Result<FileStat> fstat(Fd fd);
+  Result<Unit> mkdir(std::string_view path);
+  Result<Unit> unlink(std::string_view path);
+  Result<Unit> rmdir(std::string_view path);
+  Result<std::vector<std::string>> readdir(std::string_view path);
+  Result<Unit> rename(std::string_view from, std::string_view to);
+  Result<Unit> truncate(std::string_view path, u64 size);
+  Result<Unit> fsync();
+  // Reads into / writes from this process's own mapped memory.
+  Result<u64> read_user(Fd fd, VAddr buffer, usize len);
+  Result<u64> write_user(Fd fd, VAddr buffer, usize len);
+  // Creates a pipe; returns (read_fd, write_fd).
+  Result<std::pair<Fd, Fd>> pipe_create();
+
+  // --- Memory ----------------------------------------------------------------
+  Result<VAddr> mmap(u64 length, bool writable);
+  Result<Unit> munmap(VAddr base);
+
+  // --- Processes ---------------------------------------------------------------
+  Result<Pid> spawn();
+  Result<i32> waitpid(Pid child);   // kWouldBlock while running
+  Result<Unit> exit_proc(i32 code);
+  Result<Unit> kill(Pid target, u32 signal);
+  Result<u32> take_signal();
+
+  // --- Futex -------------------------------------------------------------------
+  Result<Unit> futex_wait(VAddr uaddr, u32 expected, Tid tid);
+  Result<u64> futex_wake(VAddr uaddr, usize count);
+
+  // --- Network ------------------------------------------------------------------
+  Result<Fd> udp_socket();
+  Result<Unit> udp_bind(Fd fd, Port port);
+  Result<Unit> udp_sendto(Fd fd, NetAddr dst, Port dst_port, std::span<const u8> data);
+  Result<Datagram> udp_recvfrom(Fd fd);
+  Result<Fd> rtp_listen(Port port);
+  Result<Fd> rtp_connect(NetAddr dst, Port dst_port, Port src_port);
+  Result<Fd> rtp_accept(Fd listener);
+  Result<Unit> rtp_send(Fd fd, std::span<const u8> data);
+  Result<std::vector<u8>> rtp_recv(Fd fd, usize max_len);
+
+  // --- Console ---------------------------------------------------------------------
+  Result<Unit> console_write(std::string_view text);
+
+ private:
+  // Sends a frame, returns the reply reader payload (after the error word).
+  Result<std::vector<u8>> invoke(Writer& frame);
+
+  SyscallDispatcher& dispatcher_;
+  Pid pid_;
+  CoreId core_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_SYSCALL_H_

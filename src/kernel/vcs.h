@@ -1,0 +1,18 @@
+// Registration hook for the kernel verification conditions.
+#ifndef VNROS_SRC_KERNEL_VCS_H_
+#define VNROS_SRC_KERNEL_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers kernel/* VCs: frame-allocator set semantics, VM mapping + user
+// copy obligations, scheduler state-machine refinement, process-directory
+// refinement, filesystem model equivalence and crash consistency, syscall
+// marshalling round-trips and the read_spec contract, futex lost-wakeup
+// freedom.
+void register_kernel_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_VCS_H_

@@ -1,0 +1,232 @@
+#include "src/kernel/vm.h"
+
+#include <cstring>
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+
+VmManager::VmManager(PhysMem& mem, FrameAllocator& frames) : mem_(mem), frames_(frames) {
+  auto pt = PageTable::create(mem, frames);
+  VNROS_CHECK(pt.ok());
+  pt_.emplace(std::move(pt.value()));
+}
+
+VmManager::~VmManager() {
+  // Release every region's frames, then the table's directory frames.
+  for (auto& [base, region] : regions_) {
+    for (PAddr f : region.frames) {
+      if (f != PAddr{0} || !region.lazy) {
+        frames_.free(f);
+      }
+    }
+  }
+  pt_->clear();
+  frames_.free(pt_->root());
+}
+
+Result<VAddr> VmManager::mmap(u64 length, Perms perms) {
+  return mmap_impl(length, perms, /*lazy=*/false);
+}
+
+Result<VAddr> VmManager::mmap_lazy(u64 length, Perms perms) {
+  return mmap_impl(length, perms, /*lazy=*/true);
+}
+
+Result<VAddr> VmManager::mmap_impl(u64 length, Perms perms, bool lazy) {
+  if (length == 0) {
+    return ErrorCode::kInvalidArgument;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 pages = (length + kPageSize - 1) / kPageSize;
+  VAddr base{next_base_};
+
+  VmRegion region;
+  region.length = pages * kPageSize;
+  region.perms = perms;
+  region.lazy = lazy;
+
+  if (lazy) {
+    // Reserve only: PAddr{0} marks an unbacked slot. Nothing enters the page
+    // table until the fault path backs the page.
+    region.frames.assign(pages, PAddr{0});
+  } else {
+    region.frames.reserve(pages);
+    auto rollback = [&] {
+      for (usize i = 0; i < region.frames.size(); ++i) {
+        (void)pt_->unmap(base.offset(i * kPageSize));
+        frames_.free(region.frames[i]);
+      }
+    };
+    for (u64 i = 0; i < pages; ++i) {
+      auto frame = frames_.alloc_on_node(0);
+      if (!frame.ok()) {
+        rollback();
+        return ErrorCode::kNoMemory;
+      }
+      auto mapped = pt_->map_frame(base.offset(i * kPageSize), frame.value(), kPageSize, perms);
+      if (!mapped.ok()) {
+        frames_.free(frame.value());
+        rollback();
+        return mapped.error();
+      }
+      region.frames.push_back(frame.value());
+      ++stats_.eager_pages;
+    }
+  }
+
+  next_base_ += region.length + kPageSize;  // guard page between regions
+  regions_[base.value] = std::move(region);
+  VNROS_ENSURES(regions_.count(base.value) == 1);
+  return base;
+}
+
+Result<PAddr> VmManager::handle_fault(VAddr va, Access access) {
+  // Find the region covering va.
+  auto it = regions_.upper_bound(va.value);
+  if (it == regions_.begin()) {
+    return ErrorCode::kNotMapped;
+  }
+  --it;
+  VmRegion& region = it->second;
+  if (va.value >= it->first + region.length || !region.lazy) {
+    return ErrorCode::kNotMapped;
+  }
+  if (access == Access::kWrite && !region.perms.writable) {
+    return ErrorCode::kNotPermitted;
+  }
+  u64 page_index = (va.value - it->first) / kPageSize;
+  VNROS_INVARIANT(region.frames[page_index] == PAddr{0});  // else PT would have hit
+  auto frame = frames_.alloc_on_node(0);
+  if (!frame.ok()) {
+    return ErrorCode::kNoMemory;  // overcommit bites at touch time
+  }
+  VAddr page_base{it->first + page_index * kPageSize};
+  auto mapped = pt_->map_frame(page_base, frame.value(), kPageSize, region.perms);
+  if (!mapped.ok()) {
+    frames_.free(frame.value());
+    return mapped.error();
+  }
+  region.frames[page_index] = frame.value();
+  ++stats_.faults_served;
+  ++stats_.lazy_pages;
+  return frame.value().offset(va.page_offset());
+}
+
+Result<Unit> VmManager::munmap(VAddr vbase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(vbase.value);
+  if (it == regions_.end()) {
+    return ErrorCode::kNotMapped;
+  }
+  VmRegion& region = it->second;
+  for (usize i = 0; i < region.frames.size(); ++i) {
+    if (region.lazy && region.frames[i] == PAddr{0}) {
+      continue;  // never touched: nothing mapped, nothing to free
+    }
+    auto r = pt_->unmap(vbase.offset(i * kPageSize));
+    VNROS_INVARIANT(r.ok());
+    frames_.free(region.frames[i]);
+  }
+  regions_.erase(it);
+  VNROS_ENSURES(!pt_->resolve(vbase).ok());
+  return Unit{};
+}
+
+Result<PAddr> VmManager::translate(VAddr va, Access access) {
+  auto r = pt_->resolve(va);
+  if (!r.ok()) {
+    // The MMU would raise a page fault here; demand paging services it.
+    return handle_fault(va, access);
+  }
+  if (access == Access::kWrite && !r.value().perms.writable) {
+    return ErrorCode::kNotPermitted;
+  }
+  return r.value().paddr;
+}
+
+Result<Unit> VmManager::copy_out(VAddr dst, std::span<const u8> src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usize done = 0;
+  while (done < src.size()) {
+    VAddr va = dst.offset(done);
+    usize chunk = static_cast<usize>(kPageSize - va.page_offset());
+    if (chunk > src.size() - done) {
+      chunk = src.size() - done;
+    }
+    auto pa = translate(va, Access::kWrite);
+    if (!pa.ok()) {
+      return pa.error();
+    }
+    mem_.write(pa.value(), src.subspan(done, chunk));
+    done += chunk;
+  }
+  return Unit{};
+}
+
+Result<Unit> VmManager::copy_in(VAddr src, std::span<u8> dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usize done = 0;
+  while (done < dst.size()) {
+    VAddr va = src.offset(done);
+    usize chunk = static_cast<usize>(kPageSize - va.page_offset());
+    if (chunk > dst.size() - done) {
+      chunk = dst.size() - done;
+    }
+    auto pa = translate(va, Access::kRead);
+    if (!pa.ok()) {
+      return pa.error();
+    }
+    mem_.read(pa.value(), dst.subspan(done, chunk));
+    done += chunk;
+  }
+  return Unit{};
+}
+
+Result<u32> VmManager::read_u32(VAddr va) {
+  u8 buf[4];
+  auto r = copy_in(va, std::span<u8>(buf, 4));
+  if (!r.ok()) {
+    return r.error();
+  }
+  u32 v;
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+Result<Unit> VmManager::write_u32(VAddr va, u32 value) {
+  u8 buf[4];
+  std::memcpy(buf, &value, 4);
+  return copy_out(va, std::span<const u8>(buf, 4));
+}
+
+u64 VmManager::mapped_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 total = 0;
+  for (const auto& [base, region] : regions_) {
+    total += region.length;
+  }
+  return total;
+}
+
+usize VmManager::region_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_.size();
+}
+
+Result<usize> VmManager::resident_pages(VAddr region_base) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(region_base.value);
+  if (it == regions_.end()) {
+    return ErrorCode::kNotMapped;
+  }
+  usize resident = 0;
+  for (PAddr f : it->second.frames) {
+    if (!(it->second.lazy && f == PAddr{0})) {
+      ++resident;
+    }
+  }
+  return resident;
+}
+
+}  // namespace vnros

@@ -1,0 +1,101 @@
+// Per-process virtual memory manager (Table 2 "memory management").
+//
+// Tracks mmap-style regions, backs them with frames from the FrameAllocator,
+// installs the mappings through the verified PageTable, and provides the
+// user-memory copy routines the syscall layer uses (the paper's *mapping*
+// obligation: "the process memory for the buffer appear[s] at a known
+// location in kernel space" — here: copy_in/copy_out translate through the
+// same tree the MMU model walks, so a wrong mapping is caught by the
+// kernel/vm_* VCs, not silently read as garbage).
+#ifndef VNROS_SRC_KERNEL_VM_H_
+#define VNROS_SRC_KERNEL_VM_H_
+
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/hw/mmu.h"
+#include "src/kernel/frame_alloc.h"
+#include "src/pt/page_table.h"
+
+namespace vnros {
+
+struct VmRegion {
+  u64 length = 0;          // bytes, page-multiple
+  Perms perms;
+  bool lazy = false;          // demand-paged: frames allocated on first touch
+  std::vector<PAddr> frames;  // backing frames, one per page (lazy: may be 0)
+};
+
+struct VmStats {
+  u64 faults_served = 0;   // demand-paging faults resolved
+  u64 eager_pages = 0;     // pages backed at mmap time
+  u64 lazy_pages = 0;      // pages backed on fault
+};
+
+class VmManager {
+ public:
+  // User mappings start here; below is reserved (null guard + kernel image
+  // analogue).
+  static constexpr u64 kUserBase = 0x1000'0000;
+
+  VmManager(PhysMem& mem, FrameAllocator& frames);
+  ~VmManager();
+
+  VmManager(const VmManager&) = delete;
+  VmManager& operator=(const VmManager&) = delete;
+
+  // Allocates a region of `length` bytes (rounded up to pages), backs it with
+  // zeroed frames and maps it. Returns the region base.
+  Result<VAddr> mmap(u64 length, Perms perms);
+
+  // Reserves a region without backing it: each page is allocated and mapped
+  // on first touch (the demand-paging fault path every copy routine takes).
+  // Memory-overcommit semantics: a touch may fail with kNoMemory later even
+  // though the mmap itself succeeded.
+  Result<VAddr> mmap_lazy(u64 length, Perms perms);
+
+  // Unmaps the region based exactly at `vbase`, freeing its frames.
+  Result<Unit> munmap(VAddr vbase);
+
+  // Copies between user memory and kernel buffers, translating page by page
+  // through the page table. Fails with kNotMapped/kNotPermitted if any page
+  // of the range is absent or (for copy_in to writes) lacks rights.
+  Result<Unit> copy_out(VAddr dst, std::span<const u8> src);  // kernel -> user
+  Result<Unit> copy_in(VAddr src, std::span<u8> dst);         // user -> kernel
+
+  // Single-value accessors for futex words and similar.
+  Result<u32> read_u32(VAddr va);
+  Result<Unit> write_u32(VAddr va, u32 value);
+
+  const PageTable& page_table() const { return *pt_; }
+  PAddr root() const { return pt_->root(); }
+
+  u64 mapped_bytes() const;
+  usize region_count() const;
+  // Frames currently backing a region (for lazy regions: touched pages).
+  Result<usize> resident_pages(VAddr region_base) const;
+  const VmStats& stats() const { return stats_; }
+
+ private:
+  Result<PAddr> translate(VAddr va, Access access);
+  // Demand-paging fault handler: backs the page covering `va` if it belongs
+  // to a lazy region; returns the new translation or the original fault.
+  Result<PAddr> handle_fault(VAddr va, Access access);
+  Result<VAddr> mmap_impl(u64 length, Perms perms, bool lazy);
+
+  PhysMem& mem_;
+  FrameAllocator& frames_;
+  mutable std::mutex mu_;
+  std::optional<PageTable> pt_;
+  std::map<u64, VmRegion> regions_;
+  u64 next_base_ = kUserBase;
+  VmStats stats_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_VM_H_

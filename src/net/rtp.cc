@@ -1,0 +1,360 @@
+#include "src/net/rtp.h"
+
+#include <algorithm>
+
+#include "src/base/contracts.h"
+#include "src/base/crc.h"
+
+namespace vnros {
+
+void RtpHeader::encode(Writer& w) const {
+  w.put_u16(src_port);
+  w.put_u16(dst_port);
+  w.put_u8(static_cast<u8>(type));
+  w.put_u64(seq);
+  w.put_u64(ack);
+  w.put_u32(checksum);
+}
+
+std::optional<RtpHeader> RtpHeader::decode(Reader& r) {
+  auto src = r.get_u16();
+  auto dst = r.get_u16();
+  auto type = r.get_u8();
+  auto seq = r.get_u64();
+  auto ack = r.get_u64();
+  auto csum = r.get_u32();
+  if (!src || !dst || !type || !seq || !ack || !csum) {
+    return std::nullopt;
+  }
+  if (*type < static_cast<u8>(RtpType::kSyn) || *type > static_cast<u8>(RtpType::kRst)) {
+    return std::nullopt;
+  }
+  return RtpHeader{*src, *dst, static_cast<RtpType>(*type), *seq, *ack, *csum};
+}
+
+RtpStack::RtpStack(IpStack& ip, VirtualClock& clock) : ip_(ip), clock_(clock) {
+  ip_.register_proto(IpProto::kRtp, [this](const IpHeader& hdr, std::span<const u8> payload) {
+    on_segment(hdr, payload);
+  });
+}
+
+Result<Unit> RtpStack::listen(Port port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (accept_queues_.count(port) != 0) {
+    return ErrorCode::kAlreadyExists;
+  }
+  accept_queues_[port];
+  return Unit{};
+}
+
+Result<ConnId> RtpStack::connect(NetAddr dst, Port dst_port, Port src_port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnId id = next_id_++;
+  Conn conn;
+  conn.state = RtpState::kSynSent;
+  conn.peer = dst;
+  conn.local_port = src_port;
+  conn.peer_port = dst_port;
+  conn.last_tx_tick = clock_.now();
+  conns_[id] = conn;
+  transmit(conns_[id], RtpType::kSyn, 0, 0, {});
+  return id;
+}
+
+Result<ConnId> RtpStack::accept(Port port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = accept_queues_.find(port);
+  if (it == accept_queues_.end()) {
+    return ErrorCode::kNotFound;
+  }
+  if (it->second.empty()) {
+    return ErrorCode::kWouldBlock;
+  }
+  ConnId id = it->second.front();
+  it->second.pop_front();
+  return id;
+}
+
+Result<Unit> RtpStack::close(ConnId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Conn* conn = find_locked(id);
+  if (conn == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  if (conn->state == RtpState::kEstablished || conn->state == RtpState::kPeerClosed) {
+    conn->fin_queued = true;
+    conn->state = RtpState::kFinWait;
+    return Unit{};
+  }
+  conns_.erase(id);
+  return Unit{};
+}
+
+Result<Unit> RtpStack::send(ConnId id, std::span<const u8> data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Conn* conn = find_locked(id);
+  if (conn == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  if (conn->state != RtpState::kEstablished && conn->state != RtpState::kSynSent &&
+      conn->state != RtpState::kSynRcvd && conn->state != RtpState::kPeerClosed) {
+    return ErrorCode::kNotConnected;
+  }
+  conn->snd_buf.insert(conn->snd_buf.end(), data.begin(), data.end());
+  return Unit{};
+}
+
+Result<std::vector<u8>> RtpStack::recv(ConnId id, usize max_len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Conn* conn = find_locked(id);
+  if (conn == nullptr) {
+    return ErrorCode::kNotFound;
+  }
+  if (conn->rcv_ready.empty()) {
+    if (conn->peer_fin) {
+      return ErrorCode::kPipeClosed;
+    }
+    return ErrorCode::kWouldBlock;
+  }
+  usize n = std::min(max_len, conn->rcv_ready.size());
+  std::vector<u8> out(conn->rcv_ready.begin(),
+                      conn->rcv_ready.begin() + static_cast<std::ptrdiff_t>(n));
+  conn->rcv_ready.erase(conn->rcv_ready.begin(),
+                        conn->rcv_ready.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+void RtpStack::transmit(Conn& conn, RtpType type, u64 seq, u64 ack,
+                        std::span<const u8> payload) {
+  Writer w;
+  RtpHeader hdr{conn.local_port, conn.peer_port, type, seq, ack, crc32c(payload)};
+  hdr.encode(w);
+  w.put_raw(payload);
+  ++stats_.segments_tx;
+  (void)ip_.send(conn.peer, IpProto::kRtp, w.bytes());
+}
+
+void RtpStack::send_window(ConnId, Conn& conn) {
+  if (conn.state != RtpState::kEstablished && conn.state != RtpState::kFinWait &&
+      conn.state != RtpState::kPeerClosed) {
+    return;
+  }
+  // Go-Back-N: (re)send up to kWindowSegments segments starting at snd_una.
+  u64 seq = conn.snd_una;
+  const u64 buffered_end = conn.snd_base_seq + conn.snd_buf.size();
+  for (usize i = 0; i < kWindowSegments && seq < buffered_end; ++i) {
+    u64 off = seq - conn.snd_base_seq;
+    usize len = static_cast<usize>(std::min<u64>(kMss, buffered_end - seq));
+    std::vector<u8> chunk(conn.snd_buf.begin() + static_cast<std::ptrdiff_t>(off),
+                          conn.snd_buf.begin() + static_cast<std::ptrdiff_t>(off + len));
+    transmit(conn, RtpType::kData, seq, conn.rcv_nxt, chunk);
+    seq += len;
+  }
+  // FIN goes after all data is sent (it consumes one sequence number).
+  if (conn.fin_queued && conn.snd_una >= buffered_end && !conn.fin_acked) {
+    conn.fin_seq = buffered_end;
+    transmit(conn, RtpType::kFin, conn.fin_seq, conn.rcv_nxt, {});
+  }
+  conn.last_tx_tick = clock_.now();
+}
+
+void RtpStack::tick() {
+  ip_.poll();
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 now = clock_.now();
+  for (auto& [id, conn] : conns_) {
+    switch (conn.state) {
+      case RtpState::kSynSent:
+        if (now - conn.last_tx_tick >= kRtoTicks) {
+          ++stats_.retransmits;
+          transmit(conn, RtpType::kSyn, 0, 0, {});
+          conn.last_tx_tick = now;
+        }
+        break;
+      case RtpState::kSynRcvd:
+        if (now - conn.last_tx_tick >= kRtoTicks) {
+          ++stats_.retransmits;
+          transmit(conn, RtpType::kSynAck, 0, 1, {});
+          conn.last_tx_tick = now;
+        }
+        break;
+      case RtpState::kEstablished:
+      case RtpState::kFinWait:
+      case RtpState::kPeerClosed: {
+        const u64 buffered_end = conn.snd_base_seq + conn.snd_buf.size();
+        const bool has_unacked = conn.snd_una < buffered_end ||
+                                 (conn.fin_queued && !conn.fin_acked);
+        if (has_unacked && now - conn.last_tx_tick >= kRtoTicks) {
+          ++stats_.retransmits;
+          send_window(id, conn);
+        } else if (conn.snd_una < buffered_end &&
+                   conn.last_tx_tick + 1 <= now) {
+          // Fresh data waiting: transmit eagerly (one window per tick).
+          send_window(id, conn);
+        } else if (conn.fin_queued && !conn.fin_acked && conn.snd_una >= buffered_end &&
+                   conn.last_tx_tick + 1 <= now) {
+          send_window(id, conn);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  clock_.advance(1);
+}
+
+void RtpStack::on_segment(const IpHeader& ip, std::span<const u8> payload) {
+  Reader r(payload);
+  auto hdr = RtpHeader::decode(r);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.segments_rx;
+  if (!hdr) {
+    return;
+  }
+  std::span<const u8> data(payload.data() + r.position(), payload.size() - r.position());
+  if (crc32c(data) != hdr->checksum) {
+    return;  // integrity: corrupted segments are dropped
+  }
+
+  switch (hdr->type) {
+    case RtpType::kSyn: {
+      auto lq = accept_queues_.find(hdr->dst_port);
+      if (lq == accept_queues_.end()) {
+        return;  // no listener: silently drop (a full stack would RST)
+      }
+      ConnId existing = match_locked(ip.src, hdr->dst_port, hdr->src_port);
+      if (existing != 0) {
+        // Duplicate SYN: re-send SYN-ACK.
+        transmit(conns_[existing], RtpType::kSynAck, 0, 1, {});
+        return;
+      }
+      ConnId id = next_id_++;
+      Conn conn;
+      conn.state = RtpState::kSynRcvd;
+      conn.peer = ip.src;
+      conn.local_port = hdr->dst_port;
+      conn.peer_port = hdr->src_port;
+      conn.last_tx_tick = clock_.now();
+      conns_[id] = conn;
+      transmit(conns_[id], RtpType::kSynAck, 0, 1, {});
+      return;
+    }
+    case RtpType::kSynAck: {
+      ConnId id = match_locked(ip.src, hdr->dst_port, hdr->src_port);
+      if (id == 0) {
+        return;
+      }
+      Conn& conn = conns_[id];
+      if (conn.state == RtpState::kSynSent) {
+        conn.state = RtpState::kEstablished;
+      }
+      // Complete the handshake (also answers duplicate SYN-ACKs).
+      transmit(conn, RtpType::kAck, 0, conn.rcv_nxt, {});
+      return;
+    }
+    case RtpType::kAck: {
+      ConnId id = match_locked(ip.src, hdr->dst_port, hdr->src_port);
+      if (id == 0) {
+        return;
+      }
+      Conn& conn = conns_[id];
+      if (conn.state == RtpState::kSynRcvd) {
+        conn.state = RtpState::kEstablished;
+        auto lq = accept_queues_.find(conn.local_port);
+        if (lq != accept_queues_.end()) {
+          lq->second.push_back(id);
+        }
+      }
+      // Cumulative ACK: discard acked bytes.
+      if (hdr->ack > conn.snd_una) {
+        u64 advance = std::min<u64>(hdr->ack, conn.snd_base_seq + conn.snd_buf.size()) -
+                      conn.snd_base_seq;
+        conn.snd_buf.erase(conn.snd_buf.begin(),
+                           conn.snd_buf.begin() + static_cast<std::ptrdiff_t>(advance));
+        conn.snd_base_seq += advance;
+        conn.snd_una = hdr->ack;
+      }
+      if (conn.fin_queued && hdr->ack > conn.fin_seq && conn.fin_seq != 0) {
+        conn.fin_acked = true;
+      }
+      return;
+    }
+    case RtpType::kData: {
+      ConnId id = match_locked(ip.src, hdr->dst_port, hdr->src_port);
+      if (id == 0) {
+        return;
+      }
+      Conn& conn = conns_[id];
+      if (conn.state == RtpState::kSynRcvd) {
+        // Data implies our SYN-ACK arrived: promote (the ACK was lost).
+        conn.state = RtpState::kEstablished;
+        auto lq = accept_queues_.find(conn.local_port);
+        if (lq != accept_queues_.end()) {
+          lq->second.push_back(id);
+        }
+      }
+      if (hdr->seq == conn.rcv_nxt) {
+        conn.rcv_ready.insert(conn.rcv_ready.end(), data.begin(), data.end());
+        conn.rcv_nxt += data.size();
+      } else if (hdr->seq < conn.rcv_nxt) {
+        ++stats_.duplicate_data;  // retransmission we already have
+      } else {
+        ++stats_.out_of_order_dropped;  // Go-Back-N: receiver drops gaps
+      }
+      transmit(conn, RtpType::kAck, 0, conn.rcv_nxt, {});
+      return;
+    }
+    case RtpType::kFin: {
+      ConnId id = match_locked(ip.src, hdr->dst_port, hdr->src_port);
+      if (id == 0) {
+        return;
+      }
+      Conn& conn = conns_[id];
+      if (hdr->seq == conn.rcv_nxt) {
+        conn.rcv_nxt += 1;  // FIN consumes a sequence number
+        conn.peer_fin = true;
+        if (conn.state == RtpState::kEstablished) {
+          conn.state = RtpState::kPeerClosed;
+        }
+      }
+      transmit(conn, RtpType::kAck, 0, conn.rcv_nxt, {});
+      return;
+    }
+    case RtpType::kRst:
+      return;  // not generated by this stack
+  }
+}
+
+RtpStack::Conn* RtpStack::find_locked(ConnId id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+ConnId RtpStack::match_locked(NetAddr peer, Port local, Port remote) {
+  for (auto& [id, conn] : conns_) {
+    if (conn.peer == peer && conn.local_port == local && conn.peer_port == remote) {
+      return id;
+    }
+  }
+  return 0;
+}
+
+bool RtpStack::is_established(ConnId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(id);
+  return it != conns_.end() && (it->second.state == RtpState::kEstablished ||
+                                it->second.state == RtpState::kPeerClosed ||
+                                it->second.state == RtpState::kFinWait);
+}
+
+u64 RtpStack::unacked_bytes(ConnId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    return 0;
+  }
+  return it->second.snd_base_seq + it->second.snd_buf.size() - it->second.snd_una;
+}
+
+}  // namespace vnros

@@ -1,0 +1,117 @@
+// RTP — the Reliable Transport Protocol (TCP-lite) of the vnros stack.
+//
+// Three-way handshake, byte-stream semantics, cumulative ACKs, Go-Back-N
+// retransmission driven by virtual time. Deliberately smaller than TCP (no
+// congestion control, no window scaling) but facing the same adversary: the
+// fabric drops, duplicates and reorders frames.
+//
+// Spec (net/rtp_* VCs): for every connection, the byte sequence delivered to
+// the receiving application is a *prefix* of the byte sequence the peer's
+// application sent — in order, without gaps, duplication or corruption —
+// and, if the fabric delivers each retransmission with nonzero probability,
+// eventually the whole sequence (checked with bounded tick budgets).
+#ifndef VNROS_SRC_NET_RTP_H_
+#define VNROS_SRC_NET_RTP_H_
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/hw/timer.h"
+#include "src/net/ip.h"
+
+namespace vnros {
+
+using ConnId = u64;
+
+enum class RtpState : u8 {
+  kClosed,
+  kListen,      // synthetic state for listener bookkeeping
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait,     // we sent FIN, draining
+  kPeerClosed,  // peer sent FIN; reads drain then report PipeClosed
+};
+
+struct RtpStats {
+  u64 segments_tx = 0;
+  u64 segments_rx = 0;
+  u64 retransmits = 0;
+  u64 out_of_order_dropped = 0;
+  u64 duplicate_data = 0;
+};
+
+class RtpStack {
+ public:
+  static constexpr usize kMss = 1024;          // max payload per segment
+  static constexpr usize kWindowSegments = 8;  // Go-Back-N window
+  static constexpr u64 kRtoTicks = 16;         // retransmission timeout
+
+  RtpStack(IpStack& ip, VirtualClock& clock);
+
+  // --- Connection management -------------------------------------------------
+  Result<Unit> listen(Port port);
+  Result<ConnId> connect(NetAddr dst, Port dst_port, Port src_port);
+  // Pops an established connection from `port`'s accept queue (kWouldBlock
+  // while the handshake is incomplete).
+  Result<ConnId> accept(Port port);
+  Result<Unit> close(ConnId id);
+
+  // --- Data ------------------------------------------------------------------
+  // Appends to the send buffer; transmission happens on tick().
+  Result<Unit> send(ConnId id, std::span<const u8> data);
+  // Pops up to max_len in-order bytes; kWouldBlock when none buffered and the
+  // peer is still open, kPipeClosed once drained after the peer's FIN.
+  Result<std::vector<u8>> recv(ConnId id, usize max_len);
+
+  // Drives the protocol: polls the IP layer, transmits eligible segments,
+  // fires retransmission timeouts, advances virtual time by one tick.
+  void tick();
+
+  bool is_established(ConnId id) const;
+  u64 unacked_bytes(ConnId id) const;
+  const RtpStats& stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    RtpState state = RtpState::kClosed;
+    NetAddr peer = 0;
+    Port local_port = 0;
+    Port peer_port = 0;
+
+    // Send side: bytes the app handed us, indexed from snd_base_seq.
+    std::deque<u8> snd_buf;
+    u64 snd_una = 1;       // lowest unacked byte seq
+    u64 snd_base_seq = 1;  // seq of snd_buf.front()
+    u64 last_tx_tick = 0;
+    bool fin_queued = false;
+    bool fin_acked = false;
+    u64 fin_seq = 0;
+
+    // Receive side.
+    u64 rcv_nxt = 1;
+    std::deque<u8> rcv_ready;  // in-order bytes awaiting the app
+    bool peer_fin = false;
+  };
+
+  void on_segment(const IpHeader& ip, std::span<const u8> payload);
+  void transmit(Conn& conn, RtpType type, u64 seq, u64 ack, std::span<const u8> payload);
+  void send_window(ConnId id, Conn& conn);
+  Conn* find_locked(ConnId id);
+  ConnId match_locked(NetAddr peer, Port local, Port remote);
+
+  IpStack& ip_;
+  VirtualClock& clock_;
+  mutable std::mutex mu_;
+  std::map<ConnId, Conn> conns_;
+  std::map<Port, std::deque<ConnId>> accept_queues_;  // listening ports
+  ConnId next_id_ = 1;
+  RtpStats stats_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_NET_RTP_H_

@@ -1,0 +1,15 @@
+// Registration hook for the network-stack verification conditions.
+#ifndef VNROS_SRC_NET_VCS_H_
+#define VNROS_SRC_NET_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers net/* VCs: header round-trips, UDP integrity/no-misdelivery,
+// RTP prefix-delivery under loss/reorder/duplication, handshake convergence.
+void register_net_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_NET_VCS_H_

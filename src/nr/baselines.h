@@ -1,0 +1,99 @@
+// Baseline concurrency wrappers with the NodeReplicated interface.
+//
+// The paper contrasts NR-based kernels with "conventional OS designs
+// [that] suffer from degraded performance due to lock contention". These
+// wrappers are those conventional designs: one shared instance of D guarded
+// by a global mutex (every op serializes) or by a shared_mutex (reads
+// parallel, writes serialize and stampede the reader cache line).
+// bench/ablate_nr_vs_locks runs the same workload over all three.
+#ifndef VNROS_SRC_NR_BASELINES_H_
+#define VNROS_SRC_NR_BASELINES_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/hw/topology.h"
+#include "src/nr/dispatch.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+
+// Single instance, single global mutex.
+template <Dispatch D>
+class MutexReplicated {
+ public:
+  using WriteOp = typename D::WriteOp;
+  using ReadOp = typename D::ReadOp;
+  using Response = typename D::Response;
+
+  MutexReplicated(const Topology& topo, const D& initial, NrConfig = {})
+      : structure_(initial) {
+    (void)topo;
+  }
+
+  usize num_replicas() const { return 1; }
+
+  ThreadToken register_thread(CoreId core) {
+    return ThreadToken{0, next_slot_.fetch_add(1, std::memory_order_acq_rel), core};
+  }
+
+  Response execute_mut(const ThreadToken&, WriteOp op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return structure_.dispatch_mut(op);
+  }
+
+  Response execute(const ThreadToken&, const ReadOp& op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return structure_.dispatch(op);
+  }
+
+  void sync(const ThreadToken&) {}
+  const D& peek(usize) const { return structure_; }
+
+ private:
+  std::mutex mu_;
+  D structure_;
+  std::atomic<usize> next_slot_{0};
+};
+
+// Single instance, readers-writer lock.
+template <Dispatch D>
+class RwLockReplicated {
+ public:
+  using WriteOp = typename D::WriteOp;
+  using ReadOp = typename D::ReadOp;
+  using Response = typename D::Response;
+
+  RwLockReplicated(const Topology& topo, const D& initial, NrConfig = {})
+      : structure_(initial) {
+    (void)topo;
+  }
+
+  usize num_replicas() const { return 1; }
+
+  ThreadToken register_thread(CoreId core) {
+    return ThreadToken{0, next_slot_.fetch_add(1, std::memory_order_acq_rel), core};
+  }
+
+  Response execute_mut(const ThreadToken&, WriteOp op) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return structure_.dispatch_mut(op);
+  }
+
+  Response execute(const ThreadToken&, const ReadOp& op) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return structure_.dispatch(op);
+  }
+
+  void sync(const ThreadToken&) {}
+  const D& peek(usize) const { return structure_; }
+
+ private:
+  std::shared_mutex mu_;
+  D structure_;
+  std::atomic<usize> next_slot_{0};
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_NR_BASELINES_H_

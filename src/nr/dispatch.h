@@ -1,0 +1,32 @@
+// The Dispatch contract: how a sequential data structure plugs into NR.
+//
+// §4.1: "NrOS was constructed primarily with sequential logic and sequential
+// data structures, which are scaled across cores and nodes using node
+// replication." A structure D is NR-compatible when it separates read-only
+// operations (dispatch) from mutating ones (dispatch_mut) and is
+// deterministic: the same op sequence applied to equal states yields equal
+// states and equal responses. Determinism is what makes replicas
+// interchangeable — it is itself a registered verification condition
+// (nr/dispatch_determinism) for every structure the kernel replicates.
+#ifndef VNROS_SRC_NR_DISPATCH_H_
+#define VNROS_SRC_NR_DISPATCH_H_
+
+#include <concepts>
+
+namespace vnros {
+
+template <typename D>
+concept Dispatch = requires(D d, const D& cd, const typename D::WriteOp& w,
+                            const typename D::ReadOp& r) {
+  typename D::WriteOp;
+  typename D::ReadOp;
+  typename D::Response;
+  { cd.dispatch(r) } -> std::convertible_to<typename D::Response>;
+  { d.dispatch_mut(w) } -> std::convertible_to<typename D::Response>;
+  requires std::copyable<typename D::WriteOp>;
+  requires std::copyable<typename D::Response>;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_NR_DISPATCH_H_

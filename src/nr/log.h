@@ -1,0 +1,120 @@
+// The shared operation log.
+//
+// §4.1: NR "maintains consistency through an operation log ... inspired by
+// state machine replication in distributed systems." The log is a bounded
+// circular buffer of WriteOps. Combiners reserve a contiguous range of
+// entries with one fetch_add on the tail, publish the ops, and every replica
+// consumes the log in order; an entry's slot is recycled only once *all*
+// replicas have consumed it (min over per-replica local tails).
+//
+// When the log is full the reserving combiner invokes a caller-supplied
+// `help` callback — NodeReplicated uses it to advance the laggard replica on
+// the reserving thread, which is exactly NR's "combiner helps the slowest
+// replica" garbage-collection rule.
+#ifndef VNROS_SRC_NR_LOG_H_
+#define VNROS_SRC_NR_LOG_H_
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+#include "src/nr/rwlock.h"
+
+namespace vnros {
+
+template <typename WriteOp>
+class NrLog {
+ public:
+  NrLog(usize capacity, usize num_replicas)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity), ltails_(num_replicas) {
+    VNROS_CHECK(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    VNROS_CHECK(num_replicas >= 1);
+  }
+
+  usize capacity() const { return capacity_; }
+  usize num_replicas() const { return ltails_.size(); }
+
+  u64 tail() const { return tail_.load(std::memory_order_acquire); }
+
+  u64 ltail(usize replica) const {
+    return ltails_[replica].value.load(std::memory_order_acquire);
+  }
+
+  // Reserves `count` consecutive entries, returning the first index. The
+  // reservation CAS only succeeds when all `count` slots are recyclable
+  // (every replica consumed the entries that previously occupied them), so a
+  // reserving thread never *holds* a reservation while blocked — that is
+  // what keeps helping deadlock-free. While space is lacking, `help` runs
+  // (NodeReplicated replays the log into laggard replicas there).
+  u64 reserve(usize count, const std::function<void()>& help) {
+    VNROS_CHECK(count > 0 && count <= capacity_);
+    Backoff backoff;
+    for (;;) {
+      u64 t = tail_.load(std::memory_order_acquire);
+      if (t + count > min_ltail() + capacity_) {
+        help();
+        backoff.pause();
+        continue;
+      }
+      if (tail_.compare_exchange_weak(t, t + count, std::memory_order_acq_rel)) {
+        return t;
+      }
+    }
+  }
+
+  // Publishes `op` as entry `idx` (idx must have been reserved).
+  void publish(u64 idx, WriteOp op) {
+    Slot& slot = slots_[idx & mask_];
+    slot.op = std::move(op);
+    slot.seq.store(idx + 1, std::memory_order_release);  // +1: 0 means "never written"
+  }
+
+  // Reads entry `idx`, spinning until its producer has published it.
+  const WriteOp& wait_for(u64 idx) const {
+    const Slot& slot = slots_[idx & mask_];
+    Backoff backoff;
+    while (slot.seq.load(std::memory_order_acquire) != idx + 1) {
+      backoff.pause();
+    }
+    return slot.op;
+  }
+
+  // Marks entries below `new_ltail` consumed by `replica`.
+  void advance_ltail(usize replica, u64 new_ltail) {
+    VNROS_CHECK(replica < ltails_.size());
+    ltails_[replica].value.store(new_ltail, std::memory_order_release);
+  }
+
+  u64 min_ltail() const {
+    u64 min = ~u64{0};
+    for (const auto& lt : ltails_) {
+      u64 v = lt.value.load(std::memory_order_acquire);
+      if (v < min) {
+        min = v;
+      }
+    }
+    return min;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<u64> seq{0};
+    WriteOp op{};
+  };
+
+  struct alignas(64) PaddedU64 {
+    std::atomic<u64> value{0};
+  };
+
+  usize capacity_;
+  u64 mask_;
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<u64> tail_{0};
+  std::vector<PaddedU64> ltails_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_NR_LOG_H_

@@ -1,0 +1,264 @@
+// NodeReplicated<D>: node replication of a sequential structure (§4.1).
+//
+// One replica of D lives on each NUMA node. Mutating operations are appended
+// to the shared log by a *flat combiner*: each thread publishes its op in a
+// per-thread slot; whichever thread acquires the replica's combiner lock
+// batches every pending slot, appends the batch to the log with a single
+// reservation, replays the log into the local replica, and distributes
+// responses. Read-only operations take the replica's distributed
+// readers-writer lock after waiting for the replica to catch up with the log
+// tail observed at invocation — which is what makes reads linearizable.
+//
+// Liveness of the bounded log: a combiner that finds the log full *helps* —
+// it first drains its own replica, then try-locks laggard replicas and
+// replays the log into them. Publishers never block while holding unpublished
+// reservations (reservation is a CAS that only succeeds when space exists),
+// so helping always makes progress.
+//
+// Correctness statement (checked, not proven — see src/spec/linearizability.h
+// and the nr/* VCs): any concurrent history of execute()/execute_mut() calls
+// is linearizable with respect to sequential D.
+#ifndef VNROS_SRC_NR_NODE_REPLICATED_H_
+#define VNROS_SRC_NR_NODE_REPLICATED_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+#include "src/hw/topology.h"
+#include "src/nr/dispatch.h"
+#include "src/nr/log.h"
+#include "src/nr/rwlock.h"
+
+namespace vnros {
+
+// Identifies a registered thread: which replica it uses and its flat-
+// combining / reader slot there.
+struct ThreadToken {
+  usize replica = 0;
+  usize slot = 0;
+  CoreId core = 0;
+};
+
+struct NrConfig {
+  usize log_capacity = usize{1} << 16;   // entries (power of two)
+  usize max_threads_per_replica = 64;
+  usize max_combiner_batch = 0;          // 0 = unbounded (ablation knob)
+};
+
+struct NrStats {
+  u64 combines = 0;        // combiner sessions
+  u64 combined_ops = 0;    // ops appended (avg batch = combined_ops/combines)
+  u64 helps = 0;           // laggard-replica help actions
+};
+
+template <Dispatch D>
+class NodeReplicated {
+ public:
+  using WriteOp = typename D::WriteOp;
+  using ReadOp = typename D::ReadOp;
+  using Response = typename D::Response;
+
+  NodeReplicated(const Topology& topo, const D& initial, NrConfig config = {})
+      : topo_(topo),
+        config_(config),
+        log_(config.log_capacity, topo.num_nodes()) {
+    for (u32 n = 0; n < topo.num_nodes(); ++n) {
+      replicas_.emplace_back(initial, config.max_threads_per_replica);
+    }
+  }
+
+  usize num_replicas() const { return replicas_.size(); }
+
+  // Registers the calling thread as running on `core`; the token routes its
+  // operations to that core's NUMA node replica.
+  ThreadToken register_thread(CoreId core) {
+    NodeId node = topo_.node_of_core(core);
+    Replica& r = replicas_[node];
+    usize slot = r.registered.fetch_add(1, std::memory_order_acq_rel);
+    VNROS_CHECK(slot < config_.max_threads_per_replica);
+    return ThreadToken{node, slot, core};
+  }
+
+  Response execute_mut(const ThreadToken& token, WriteOp op) {
+    Replica& r = replicas_[token.replica];
+    OpSlot& slot = r.slots[token.slot];
+    VNROS_CHECK(slot.state.load(std::memory_order_relaxed) == kEmpty);
+    slot.op = std::move(op);
+    slot.state.store(kPending, std::memory_order_release);
+
+    Backoff backoff;
+    for (;;) {
+      u32 s = slot.state.load(std::memory_order_acquire);
+      if (s == kDone) {
+        Response resp = slot.resp;
+        slot.state.store(kEmpty, std::memory_order_release);
+        return resp;
+      }
+      if (!r.combiner.exchange(true, std::memory_order_acq_rel)) {
+        combine(token.replica);
+        r.combiner.store(false, std::memory_order_release);
+        // Our pending op was necessarily collected (it was visible before we
+        // acquired the lock), so the next load observes kDone.
+      } else {
+        backoff.pause();
+      }
+    }
+  }
+
+  Response execute(const ThreadToken& token, const ReadOp& op) {
+    Replica& r = replicas_[token.replica];
+    // Linearization: the read must observe all ops logged before it began.
+    u64 t = log_.tail();
+    Backoff backoff;
+    while (log_.ltail(token.replica) < t) {
+      if (!r.combiner.exchange(true, std::memory_order_acq_rel)) {
+        apply_up_to(token.replica, log_.tail(), 0, nullptr, 0);
+        r.combiner.store(false, std::memory_order_release);
+      } else {
+        backoff.pause();
+      }
+    }
+    r.rwlock.read_lock(token.slot);
+    Response resp = r.structure.dispatch(op);
+    r.rwlock.read_unlock(token.slot);
+    return resp;
+  }
+
+  // Brings the token's replica up to the current log tail (test/teardown
+  // aid; also the "sync" operation NR exposes for idle replicas).
+  void sync(const ThreadToken& token) {
+    Replica& r = replicas_[token.replica];
+    u64 t = log_.tail();
+    Backoff backoff;
+    while (log_.ltail(token.replica) < t) {
+      if (!r.combiner.exchange(true, std::memory_order_acq_rel)) {
+        apply_up_to(token.replica, log_.tail(), 0, nullptr, 0);
+        r.combiner.store(false, std::memory_order_release);
+      } else {
+        backoff.pause();
+      }
+    }
+  }
+
+  // Read-only view of a replica's sequential structure. Caller must have
+  // quiesced concurrent mutators (tests only).
+  const D& peek(usize replica) const { return replicas_[replica].structure; }
+
+  NrStats stats_snapshot() const {
+    NrStats s;
+    s.combines = stats_combines_.load(std::memory_order_relaxed);
+    s.combined_ops = stats_ops_.load(std::memory_order_relaxed);
+    s.helps = stats_helps_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  enum SlotState : u32 { kEmpty = 0, kPending = 1, kDone = 2 };
+
+  struct alignas(64) OpSlot {
+    std::atomic<u32> state{kEmpty};
+    WriteOp op{};
+    Response resp{};
+  };
+
+  struct Replica {
+    Replica(const D& initial, usize max_threads)
+        : structure(initial), rwlock(max_threads), slots(max_threads) {}
+
+    D structure;
+    DistRwLock rwlock;
+    std::atomic<bool> combiner{false};
+    std::deque<OpSlot> slots;  // deque: OpSlot is immovable (atomics)
+    std::atomic<usize> registered{0};
+  };
+
+  // Runs one combining session on replica `ri` (combiner lock held).
+  void combine(usize ri) {
+    Replica& r = replicas_[ri];
+    // Collect pending ops into a batch.
+    usize nslots = r.registered.load(std::memory_order_acquire);
+    std::vector<usize> batch;
+    batch.reserve(nslots);
+    for (usize i = 0; i < nslots; ++i) {
+      if (r.slots[i].state.load(std::memory_order_acquire) == kPending) {
+        batch.push_back(i);
+        if (config_.max_combiner_batch != 0 && batch.size() >= config_.max_combiner_batch) {
+          break;
+        }
+      }
+    }
+    stats_combines_.fetch_add(1, std::memory_order_relaxed);
+    if (batch.empty()) {
+      apply_up_to(ri, log_.tail(), 0, nullptr, 0);
+      return;
+    }
+    stats_ops_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+    u64 start = log_.reserve(batch.size(), [this, ri] { help(ri); });
+    for (usize k = 0; k < batch.size(); ++k) {
+      log_.publish(start + k, r.slots[batch[k]].op);
+    }
+    apply_up_to(ri, log_.tail(), start, batch.data(), batch.size());
+  }
+
+  // Replays the log into replica `ri` from its ltail to `upto`. Entries in
+  // [batch_start, batch_start + batch_len) belong to this session's batch;
+  // their responses are delivered to the corresponding local slots.
+  void apply_up_to(usize ri, u64 upto, u64 batch_start, const usize* batch_slots,
+                   usize batch_len) {
+    Replica& r = replicas_[ri];
+    u64 lt = log_.ltail(ri);
+    if (lt >= upto) {
+      return;
+    }
+    r.rwlock.write_lock();
+    while (lt < upto) {
+      const WriteOp& op = log_.wait_for(lt);
+      Response resp = r.structure.dispatch_mut(op);
+      if (batch_slots != nullptr && lt >= batch_start && lt < batch_start + batch_len) {
+        OpSlot& s = r.slots[batch_slots[lt - batch_start]];
+        s.resp = std::move(resp);
+        s.state.store(kDone, std::memory_order_release);
+      }
+      ++lt;
+      log_.advance_ltail(ri, lt);
+    }
+    r.rwlock.write_unlock();
+  }
+
+  // Log-full help: drain our own replica first (we may be the laggard), then
+  // try-lock other laggards and replay the log into them.
+  void help(usize self) {
+    stats_helps_.fetch_add(1, std::memory_order_relaxed);
+    apply_up_to(self, log_.tail(), 0, nullptr, 0);
+    for (usize ri = 0; ri < replicas_.size(); ++ri) {
+      if (ri == self) {
+        continue;
+      }
+      Replica& r = replicas_[ri];
+      if (log_.ltail(ri) >= log_.tail()) {
+        continue;
+      }
+      if (!r.combiner.exchange(true, std::memory_order_acq_rel)) {
+        apply_up_to(ri, log_.tail(), 0, nullptr, 0);
+        r.combiner.store(false, std::memory_order_release);
+      }
+    }
+  }
+
+  const Topology topo_;
+  const NrConfig config_;
+  NrLog<WriteOp> log_;
+  std::deque<Replica> replicas_;  // deque: Replica is immovable
+  std::atomic<u64> stats_combines_{0};
+  std::atomic<u64> stats_ops_{0};
+  std::atomic<u64> stats_helps_{0};
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_NR_NODE_REPLICATED_H_

@@ -1,0 +1,36 @@
+// The nr library is header-only templates; this file anchors the translation
+// unit and instantiates the templates against a minimal structure once, so
+// template errors surface when building the library rather than its users.
+#include "src/nr/baselines.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+
+namespace nr_selfcheck {
+
+struct CounterDs {
+  struct WriteOp {
+    u64 delta = 0;
+  };
+  struct ReadOp {};
+  using Response = u64;
+
+  u64 value = 0;
+
+  Response dispatch(ReadOp) const { return value; }
+  Response dispatch_mut(const WriteOp& op) {
+    value += op.delta;
+    return value;
+  }
+};
+
+static_assert(Dispatch<CounterDs>);
+
+}  // namespace nr_selfcheck
+
+// Force full instantiation at library-build time.
+template class NodeReplicated<nr_selfcheck::CounterDs>;
+template class MutexReplicated<nr_selfcheck::CounterDs>;
+template class RwLockReplicated<nr_selfcheck::CounterDs>;
+
+}  // namespace vnros

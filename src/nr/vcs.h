@@ -1,0 +1,17 @@
+// Registration hook for the node-replication verification conditions.
+#ifndef VNROS_SRC_NR_VCS_H_
+#define VNROS_SRC_NR_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers nr/* VCs: linearizability of NodeReplicated histories (the
+// IronSync theorem, checked executably), replica convergence, log
+// wraparound/GC liveness, flat-combining batching, dispatch determinism,
+// and agreement with the lock-based baselines.
+void register_nr_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_NR_VCS_H_

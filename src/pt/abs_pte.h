@@ -1,0 +1,48 @@
+// Abstract page-table entries and mapping permissions.
+//
+// The high-level spec (§5) "describes the page table as a mathematical map
+// from virtual addresses to page table entries storing the physical address
+// and permission bits". AbsPte is that entry: no bit encodings, no tree
+// structure — just where a region maps and with which rights.
+#ifndef VNROS_SRC_PT_ABS_PTE_H_
+#define VNROS_SRC_PT_ABS_PTE_H_
+
+#include <compare>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+// Mapping permissions, as a user process reasons about them.
+struct Perms {
+  bool writable = false;
+  bool user = true;
+  bool executable = false;
+
+  auto operator<=>(const Perms&) const = default;
+
+  static Perms rw() { return Perms{true, true, false}; }
+  static Perms ro() { return Perms{false, true, false}; }
+  static Perms rx() { return Perms{false, true, true}; }
+  static Perms rwx() { return Perms{true, true, true}; }
+  static Perms kernel_rw() { return Perms{true, false, false}; }
+};
+
+// One abstract mapping: `size` bytes at some virtual base translate to the
+// physical frame starting at `frame`.
+struct AbsPte {
+  PAddr frame;
+  u64 size = kPageSize;  // 4 KiB, 2 MiB or 1 GiB
+  Perms perms;
+
+  auto operator<=>(const AbsPte&) const = default;
+};
+
+// Valid mapping sizes for x86-64 4-level paging.
+constexpr bool is_valid_page_size(u64 size) {
+  return size == kPageSize || size == kLargePageSize || size == kHugePageSize;
+}
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_ABS_PTE_H_

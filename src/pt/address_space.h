@@ -1,0 +1,161 @@
+// AddressSpace: the NR-replicated VSpace (§4.1 + §5 combined).
+//
+// NrOS replicates the address-space structure per NUMA node: every replica
+// maintains its *own* hardware page-table tree (its cores load that replica's
+// CR3), and the shared NR log keeps the replicas' abstract maps identical.
+// VSpaceDs plugs a page-table implementation into NR's Dispatch contract;
+// AddressSpace is the user-facing object the map/unmap benchmarks drive.
+//
+// Unmap performs TLB shootdown after the log-linearized unmap completes —
+// the pt/tlb_stale_after_unmap VC demonstrates why skipping it would break
+// the client-observable memory semantics.
+#ifndef VNROS_SRC_PT_ADDRESS_SPACE_H_
+#define VNROS_SRC_PT_ADDRESS_SPACE_H_
+
+#include <optional>
+#include <variant>
+
+#include "src/base/contracts.h"
+#include "src/base/result.h"
+#include "src/hw/tlb.h"
+#include "src/nr/node_replicated.h"
+#include "src/pt/page_table.h"
+#include "src/pt/unverified.h"
+
+namespace vnros {
+
+// NR Dispatch wrapper around a page-table implementation. Copying a VSpaceDs
+// produces a *fresh, empty* table over the same physical memory — that is
+// what NodeReplicated needs when it instantiates one replica per node (all
+// replicas start empty and replay the same log).
+template <typename Table>
+struct VSpaceDs {
+  struct MapOp {
+    VAddr vbase;
+    PAddr frame;
+    u64 size = kPageSize;
+    Perms perms;
+  };
+  struct UnmapOp {
+    VAddr vbase;
+  };
+  struct WriteOp {
+    // monostate keeps WriteOp default-constructible for log slots.
+    std::variant<std::monostate, MapOp, UnmapOp> op;
+  };
+  struct ReadOp {
+    VAddr va;
+  };
+  struct Response {
+    ErrorCode err = ErrorCode::kOk;
+    PAddr paddr;   // resolve only
+    Perms perms;   // resolve only
+  };
+
+  VSpaceDs(PhysMem& mem, FrameSource& frames) : mem_(&mem), frames_(&frames) {}
+
+  VSpaceDs(const VSpaceDs& other) : mem_(other.mem_), frames_(other.frames_) {}
+  VSpaceDs& operator=(const VSpaceDs&) = delete;
+
+  Response dispatch(const ReadOp& op) const {
+    if (!table_) {
+      return Response{ErrorCode::kNotMapped, {}, {}};
+    }
+    auto r = table_->resolve(op.va);
+    if (!r.ok()) {
+      return Response{r.error(), {}, {}};
+    }
+    return Response{ErrorCode::kOk, r.value().paddr, r.value().perms};
+  }
+
+  Response dispatch_mut(const WriteOp& op) {
+    ensure_table();
+    if (const auto* m = std::get_if<MapOp>(&op.op)) {
+      auto r = table_->map_frame(m->vbase, m->frame, m->size, m->perms);
+      return Response{r.error(), {}, {}};
+    }
+    if (const auto* u = std::get_if<UnmapOp>(&op.op)) {
+      auto r = table_->unmap(u->vbase);
+      return Response{r.error(), {}, {}};
+    }
+    return Response{ErrorCode::kInvalidArgument, {}, {}};
+  }
+
+  // Root of this replica's hardware tree (for loading into a core's CR3 and
+  // for hardware-spec agreement checks).
+  std::optional<PAddr> root() const {
+    if (!table_) {
+      return std::nullopt;
+    }
+    return table_->root();
+  }
+
+  const Table* table() const { return table_ ? &*table_ : nullptr; }
+
+ private:
+  void ensure_table() {
+    if (!table_) {
+      auto t = Table::create(*mem_, *frames_);
+      VNROS_CHECK(t.ok());
+      table_.emplace(std::move(t.value()));
+    }
+  }
+
+  PhysMem* mem_;
+  FrameSource* frames_;
+  mutable std::optional<Table> table_;
+};
+
+// The replicated address space. `Repl` is the concurrency wrapper:
+// NodeReplicated (the NrOS design) or one of the lock baselines.
+template <typename Table = PageTable, template <typename> class Repl = NodeReplicated>
+class AddressSpace {
+ public:
+  using Ds = VSpaceDs<Table>;
+
+  AddressSpace(PhysMem& mem, FrameSource& frames, const Topology& topo,
+               TlbSystem* tlbs = nullptr, NrConfig config = {})
+      : repl_(topo, Ds(mem, frames), config), tlbs_(tlbs) {}
+
+  ThreadToken register_thread(CoreId core) { return repl_.register_thread(core); }
+
+  ErrorCode map(const ThreadToken& t, VAddr vbase, PAddr frame, u64 size, Perms perms) {
+    typename Ds::WriteOp op;
+    op.op = typename Ds::MapOp{vbase, frame, size, perms};
+    return repl_.execute_mut(t, op).err;
+  }
+
+  ErrorCode unmap(const ThreadToken& t, VAddr vbase) {
+    typename Ds::WriteOp op;
+    op.op = typename Ds::UnmapOp{vbase};
+    ErrorCode err = repl_.execute_mut(t, op).err;
+    if (err == ErrorCode::kOk && tlbs_ != nullptr) {
+      // The mapping is gone from the (logical) table; now make sure no core
+      // can keep using a cached translation.
+      tlbs_->shootdown(t.core, vbase);
+    }
+    return err;
+  }
+
+  Result<ResolveOk> resolve(const ThreadToken& t, VAddr va) {
+    typename Ds::ReadOp op{va};
+    auto resp = repl_.execute(t, op);
+    if (resp.err != ErrorCode::kOk) {
+      return resp.err;
+    }
+    return ResolveOk{resp.paddr, resp.perms};
+  }
+
+  void sync(const ThreadToken& t) { repl_.sync(t); }
+
+  usize num_replicas() const { return repl_.num_replicas(); }
+  const Ds& peek(usize replica) const { return repl_.peek(replica); }
+
+ private:
+  Repl<Ds> repl_;
+  TlbSystem* tlbs_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_ADDRESS_SPACE_H_

@@ -1,0 +1,79 @@
+// Frame allocation interface used by the page table.
+//
+// The page-table implementation allocates frames for intermediate directory
+// tables and frees them when tables empty out. It depends only on this
+// narrow interface; the kernel's real allocator (src/kernel/frame_alloc.h)
+// implements it, and tests use the SimpleFrameSource below.
+#ifndef VNROS_SRC_PT_FRAME_SOURCE_H_
+#define VNROS_SRC_PT_FRAME_SOURCE_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/hw/phys_mem.h"
+
+namespace vnros {
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  // Returns a zeroed, page-aligned frame.
+  virtual Result<PAddr> alloc_frame() = 0;
+
+  virtual void free_frame(PAddr frame) = 0;
+};
+
+// Thread-safe bump-plus-freelist allocator over a frame range; enough for
+// page-table tests and benchmarks. `start_frame` lets callers reserve low
+// frames for other uses (e.g. a root table built by hand).
+class SimpleFrameSource final : public FrameSource {
+ public:
+  SimpleFrameSource(PhysMem& mem, u64 start_frame = 1)
+      : mem_(mem), next_(start_frame), limit_(mem.num_frames()) {}
+
+  Result<PAddr> alloc_frame() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    PAddr frame;
+    if (!freelist_.empty()) {
+      frame = freelist_.back();
+      freelist_.pop_back();
+    } else {
+      if (next_ >= limit_) {
+        return ErrorCode::kNoMemory;
+      }
+      frame = PAddr::from_frame(next_++);
+    }
+    mem_.zero_frame(frame);
+    ++allocated_;
+    return frame;
+  }
+
+  void free_frame(PAddr frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    VNROS_CHECK(allocated_ > 0);
+    --allocated_;
+    freelist_.push_back(frame);
+  }
+
+  // Live allocation count; the pt/alloc_balance VC checks that a sequence of
+  // maps followed by matching unmaps returns the allocator to its baseline.
+  u64 live_allocations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return allocated_;
+  }
+
+ private:
+  PhysMem& mem_;
+  mutable std::mutex mu_;
+  u64 next_;
+  u64 limit_;
+  u64 allocated_ = 0;
+  std::vector<PAddr> freelist_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_FRAME_SOURCE_H_

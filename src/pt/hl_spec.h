@@ -1,0 +1,198 @@
+// The page table's high-level specification (§5, spec (2) in Figure 2).
+//
+// "The high-level spec is a state machine with transitions for memory reads
+// and writes as well as map, unmap and resolve. The spec describes the page
+// table as a mathematical map from virtual addresses to page table entries
+// storing the physical address and permission bits."
+//
+// State: flat map from virtual base address to AbsPte.
+// Labels: one per operation, carrying arguments *and* the observed result —
+// next() judges both the state change and the returned value, exactly like
+// read_spec(pre, post, fd, buffer, read_len) in the paper judges read_len.
+#ifndef VNROS_SRC_PT_HL_SPEC_H_
+#define VNROS_SRC_PT_HL_SPEC_H_
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/pt/abs_pte.h"
+
+namespace vnros {
+
+// Abstract address-space state: vbase -> mapping. std::map keeps it ordered,
+// which makes overlap reasoning and debugging output deterministic.
+using AbsMap = std::map<u64, AbsPte>;
+
+// Full abstract machine state: the flat map plus the machine configuration
+// the spec needs (how much physical memory exists — mapping a frame beyond
+// it is an argument error in the spec, exactly as the hardware would never
+// be able to honour it).
+struct PtAbsState {
+  AbsMap map;
+  u64 phys_bytes = 0;
+
+  bool operator==(const PtAbsState&) const = default;
+};
+
+// --- Spec-level predicates (shared with the implementation's contracts) ---
+
+// A map request is well-formed iff the size is architectural, both addresses
+// are size-aligned, and the whole region is canonical.
+constexpr bool map_args_wf(VAddr vbase, PAddr frame, u64 size) {
+  return is_valid_page_size(size) && vbase.is_aligned(size) && frame.is_aligned(size) &&
+         vbase.value + size <= kMaxVaddrExclusive;
+}
+
+// Does [vbase, vbase+size) overlap any existing mapping?
+inline bool overlaps_existing(const AbsMap& m, u64 vbase, u64 size) {
+  // First mapping at or after vbase.
+  auto it = m.lower_bound(vbase);
+  if (it != m.end() && it->first < vbase + size) {
+    return true;
+  }
+  // The mapping before vbase may extend into our range.
+  if (it != m.begin()) {
+    --it;
+    if (it->first + it->second.size > vbase) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The mapping covering `va`, if any.
+inline std::optional<std::pair<u64, AbsPte>> covering(const AbsMap& m, VAddr va) {
+  auto it = m.upper_bound(va.value);
+  if (it == m.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (va.value < it->first + it->second.size) {
+    return {{it->first, it->second}};
+  }
+  return std::nullopt;
+}
+
+// --- The state machine ---
+
+struct PtHighLevelSpec {
+  using State = PtAbsState;
+
+  struct MapLabel {
+    VAddr vbase;
+    PAddr frame;
+    u64 size;
+    Perms perms;
+    ErrorCode result;
+  };
+
+  struct UnmapLabel {
+    VAddr vbase;
+    ErrorCode result;
+  };
+
+  struct ResolveLabel {
+    VAddr va;
+    ErrorCode result;
+    PAddr paddr;   // meaningful iff result == kOk
+    Perms perms;   // meaningful iff result == kOk
+  };
+
+  struct Label {
+    std::variant<MapLabel, UnmapLabel, ResolveLabel> op;
+
+    std::string describe() const {
+      std::ostringstream oss;
+      if (const auto* m = std::get_if<MapLabel>(&op)) {
+        oss << "map(vbase=0x" << std::hex << m->vbase.value << ", frame=0x" << m->frame.value
+            << ", size=0x" << m->size << ") -> " << error_name(m->result);
+      } else if (const auto* u = std::get_if<UnmapLabel>(&op)) {
+        oss << "unmap(vbase=0x" << std::hex << u->vbase.value << ") -> "
+            << error_name(u->result);
+      } else if (const auto* r = std::get_if<ResolveLabel>(&op)) {
+        oss << "resolve(va=0x" << std::hex << r->va.value << ") -> " << error_name(r->result);
+        if (r->result == ErrorCode::kOk) {
+          oss << " paddr=0x" << r->paddr.value;
+        }
+      }
+      return oss.str();
+    }
+  };
+
+  static State init(u64 phys_bytes) { return State{{}, phys_bytes}; }
+
+  static bool next(const State& pre, const Label& label, const State& post) {
+    if (const auto* m = std::get_if<MapLabel>(&label.op)) {
+      return next_map(pre, *m, post);
+    }
+    if (const auto* u = std::get_if<UnmapLabel>(&label.op)) {
+      return next_unmap(pre, *u, post);
+    }
+    if (const auto* r = std::get_if<ResolveLabel>(&label.op)) {
+      return next_resolve(pre, *r, post);
+    }
+    return false;
+  }
+
+  // map succeeds iff arguments are well-formed and the region is free; the
+  // post state gains exactly that mapping. Failures leave the state alone
+  // and must report the right error.
+  static bool next_map(const State& pre, const MapLabel& l, const State& post) {
+    const bool frame_in_range = l.frame.value + l.size <= pre.phys_bytes;
+    if (!map_args_wf(l.vbase, l.frame, l.size) || !frame_in_range) {
+      return l.result == ErrorCode::kInvalidArgument && post == pre;
+    }
+    if (overlaps_existing(pre.map, l.vbase.value, l.size)) {
+      return l.result == ErrorCode::kAlreadyMapped && post == pre;
+    }
+    // Allow resource exhaustion as a stutter step: the abstract machine
+    // stays put, mirroring "map may fail with NoMemory without effect".
+    if (l.result == ErrorCode::kNoMemory) {
+      return post == pre;
+    }
+    if (l.result != ErrorCode::kOk) {
+      return false;
+    }
+    State expected = pre;
+    expected.map[l.vbase.value] = AbsPte{l.frame, l.size, l.perms};
+    return post == expected;
+  }
+
+  // unmap succeeds iff a mapping exists exactly at vbase; the post state
+  // loses exactly that mapping.
+  static bool next_unmap(const State& pre, const UnmapLabel& l, const State& post) {
+    auto it = pre.map.find(l.vbase.value);
+    if (it == pre.map.end()) {
+      return l.result == ErrorCode::kNotMapped && post == pre;
+    }
+    if (l.result != ErrorCode::kOk) {
+      return false;
+    }
+    State expected = pre;
+    expected.map.erase(l.vbase.value);
+    return post == expected;
+  }
+
+  // resolve is read-only; it reports the covering mapping's translation.
+  static bool next_resolve(const State& pre, const ResolveLabel& l, const State& post) {
+    if (post != pre) {
+      return false;
+    }
+    auto cov = covering(pre.map, l.va);
+    if (!cov) {
+      return l.result == ErrorCode::kNotMapped;
+    }
+    const auto& [vbase, pte] = *cov;
+    PAddr expect = pte.frame.offset(l.va.value - vbase);
+    return l.result == ErrorCode::kOk && l.paddr == expect && l.perms == pte.perms;
+  }
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_HL_SPEC_H_

@@ -1,0 +1,52 @@
+#include "src/pt/interp.h"
+
+#include "src/hw/mmu.h"
+
+namespace vnros {
+namespace {
+
+Perms perms_of(u64 entry) {
+  return Perms{
+      .writable = (entry & kPteWritable) != 0,
+      .user = (entry & kPteUser) != 0,
+      .executable = (entry & kPteNoExecute) == 0,
+  };
+}
+
+void interp_table(const PhysMem& mem, PAddr table, int level, u64 vbase_prefix, AbsMap& out) {
+  for (u64 i = 0; i < kPtEntries; ++i) {
+    if (!mem.contains(table.offset(i * 8), 8)) {
+      continue;  // truncated table: hardware would fault; interpret as holes
+    }
+    u64 entry = mem.read_u64(table.offset(i * 8));
+    if ((entry & kPtePresent) == 0) {
+      continue;
+    }
+    const u64 shift = 12 + 9 * static_cast<u64>(level - 1);
+    const u64 vbase = vbase_prefix | (i << shift);
+    const bool is_leaf = (level == 1) || (entry & kPtePageSize) != 0;
+    if (is_leaf) {
+      if (level == 4) {
+        continue;  // PS at PML4 is reserved; hardware faults, spec: no mapping
+      }
+      const u64 size = level == 3 ? kHugePageSize : (level == 2 ? kLargePageSize : kPageSize);
+      PAddr frame{entry & kPteAddrMask & ~(size - 1)};
+      out[vbase] = AbsPte{frame, size, perms_of(entry)};
+    } else {
+      PAddr child{entry & kPteAddrMask};
+      if (mem.contains(child, kPageSize)) {
+        interp_table(mem, child, level - 1, vbase, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AbsMap interpret_page_table(const PhysMem& mem, PAddr cr3) {
+  AbsMap out;
+  interp_table(mem, cr3, 4, 0, out);
+  return out;
+}
+
+}  // namespace vnros

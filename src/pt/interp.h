@@ -1,0 +1,27 @@
+// The interpretation function (§5, refinement proofs in Figure 2).
+//
+// "This correspondence represents the lion's share of the proof effort, as
+// it requires us to map from a multi-level tree structure encoded as bits to
+// a flat abstract data type, i.e. the logical map from virtual addresses to
+// page table entries."
+//
+// interpret_page_table() is that map: it reads the raw bits from simulated
+// physical memory — the same bits the MMU model walks — and produces the
+// abstract AbsMap of the high-level spec. The refinement checker abstracts
+// the implementation with this function after every operation.
+#ifndef VNROS_SRC_PT_INTERP_H_
+#define VNROS_SRC_PT_INTERP_H_
+
+#include "src/hw/phys_mem.h"
+#include "src/pt/hl_spec.h"
+
+namespace vnros {
+
+// Interprets the 4-level tree rooted at `cr3` as a flat map vbase -> AbsPte.
+// Total: any bit pattern interprets to *some* map (non-present and malformed
+// entries contribute nothing), matching how hardware treats the table.
+AbsMap interpret_page_table(const PhysMem& mem, PAddr cr3);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_INTERP_H_

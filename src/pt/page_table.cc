@@ -1,0 +1,287 @@
+#include "src/pt/page_table.h"
+
+#include <array>
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/pt/hl_spec.h"
+
+namespace vnros {
+namespace {
+
+// Flags for intermediate (directory) entries: invariant I3 — permissive, so
+// effective permissions are decided by the leaf alone.
+constexpr u64 kDirFlags = kPtePresent | kPteWritable | kPteUser;
+
+u64 leaf_flags(Perms perms, bool large) {
+  u64 flags = kPtePresent;
+  if (perms.writable) {
+    flags |= kPteWritable;
+  }
+  if (perms.user) {
+    flags |= kPteUser;
+  }
+  if (!perms.executable) {
+    flags |= kPteNoExecute;
+  }
+  if (large) {
+    flags |= kPtePageSize;
+  }
+  return flags;
+}
+
+Perms perms_of_leaf(u64 entry) {
+  return Perms{
+      .writable = (entry & kPteWritable) != 0,
+      .user = (entry & kPteUser) != 0,
+      .executable = (entry & kPteNoExecute) == 0,
+  };
+}
+
+}  // namespace
+
+Result<PageTable> PageTable::create(PhysMem& mem, FrameSource& frames) {
+  auto root = frames.alloc_frame();
+  if (!root.ok()) {
+    return root.error();
+  }
+  return PageTable(mem, frames, root.value());
+}
+
+Result<Unit> PageTable::map_frame(VAddr vbase, PAddr frame, u64 size, Perms perms) {
+  Result<Unit> r = map_impl(vbase, frame, size, perms);
+  // Postcondition (§3-style): on success the tree resolves vbase to frame
+  // with the requested permissions.
+  VNROS_ENSURES(!r.ok() || [&] {
+    auto res = resolve(vbase);
+    return res.ok() && res.value().paddr == frame && res.value().perms == perms;
+  }());
+  return r;
+}
+
+Result<Unit> PageTable::map_impl(VAddr vbase, PAddr frame, u64 size, Perms perms) {
+  if (!map_args_wf(vbase, frame, size)) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (!mem_->contains(frame, size)) {
+    return ErrorCode::kInvalidArgument;
+  }
+  const int leaf_level = leaf_level_for(size);
+
+  // Tables created during this walk, for rollback on allocation failure:
+  // (address of the parent entry that points at it, the table frame).
+  std::vector<std::pair<PAddr, PAddr>> created;
+
+  PAddr table = cr3_;
+  for (int level = 4; level > leaf_level; --level) {
+    PAddr entry_addr = table.offset(index_at(vbase, level) * 8);
+    u64 entry = mem_->read_u64(entry_addr);
+    if ((entry & kPtePresent) != 0) {
+      if ((entry & kPtePageSize) != 0) {
+        // A larger mapping already covers this range.
+        return ErrorCode::kAlreadyMapped;
+      }
+      table = PAddr{entry & kPteAddrMask};
+      continue;
+    }
+    // Allocate a fresh (zeroed) table and descend into it.
+    auto next = frames_->alloc_frame();
+    if (!next.ok()) {
+      // Roll back: remove everything we created, newest first. Created
+      // tables only contain entries we installed on this same path, so
+      // clearing the parent link and freeing suffices.
+      for (auto it = created.rbegin(); it != created.rend(); ++it) {
+        mem_->write_u64(it->first, 0);
+        frames_->free_frame(it->second);
+        --table_frames_;
+      }
+      return ErrorCode::kNoMemory;
+    }
+    ++table_frames_;
+    mem_->write_u64(entry_addr, next.value().value | kDirFlags);
+    created.emplace_back(entry_addr, next.value());
+    table = next.value();
+  }
+
+  PAddr leaf_addr = table.offset(index_at(vbase, leaf_level) * 8);
+  u64 leaf = mem_->read_u64(leaf_addr);
+  if ((leaf & kPtePresent) != 0) {
+    // Present leaf: an equal-or-smaller mapping exists here. Present table
+    // (only possible at levels 3/2): invariant I2 says it is non-empty, so
+    // smaller mappings live inside our range. Either way: overlap. Note this
+    // cannot be a table we just created — created tables are empty and we
+    // never create one at the leaf level's slot.
+    VNROS_INVARIANT(created.empty() || (leaf & kPtePresent) == 0);
+    return ErrorCode::kAlreadyMapped;
+  }
+  mem_->write_u64(leaf_addr, frame.value | leaf_flags(perms, leaf_level > 1));
+  return Unit{};
+}
+
+Result<Unit> PageTable::unmap(VAddr vbase) {
+  Result<Unit> r = unmap_impl(vbase);
+  VNROS_ENSURES(!r.ok() || !resolve(vbase).ok());
+  return r;
+}
+
+Result<Unit> PageTable::unmap_impl(VAddr vbase) {
+  if (!vbase.is_canonical() || !vbase.is_page_aligned()) {
+    // No mapping can have a base outside the canonical range or below 4 KiB
+    // alignment, so "not mapped" is the spec-accurate answer.
+    return ErrorCode::kNotMapped;
+  }
+
+  // Remember the walk path for bottom-up cleanup of emptied tables:
+  // path[i] = (table frame, address of the entry we followed in it).
+  std::array<std::pair<PAddr, PAddr>, 4> path;
+  usize depth = 0;
+
+  PAddr table = cr3_;
+  for (int level = 4; level >= 1; --level) {
+    PAddr entry_addr = table.offset(index_at(vbase, level) * 8);
+    u64 entry = mem_->read_u64(entry_addr);
+    if ((entry & kPtePresent) == 0) {
+      return ErrorCode::kNotMapped;
+    }
+    const bool is_leaf = (level == 1) || (entry & kPtePageSize) != 0;
+    if (is_leaf) {
+      const u64 size = level == 3 ? kHugePageSize : (level == 2 ? kLargePageSize : kPageSize);
+      if (!vbase.is_aligned(size)) {
+        // vbase points into the middle of a larger mapping; there is no
+        // mapping *based* at vbase.
+        return ErrorCode::kNotMapped;
+      }
+      mem_->write_u64(entry_addr, 0);
+      // Free tables that became empty, bottom-up (never the root).
+      PAddr cur = table;
+      while (depth > 0 && cur != cr3_ && table_is_empty(cur)) {
+        auto [parent_table, parent_entry] = path[--depth];
+        mem_->write_u64(parent_entry, 0);
+        frames_->free_frame(cur);
+        --table_frames_;
+        cur = parent_table;
+      }
+      return Unit{};
+    }
+    path[depth++] = {table, entry_addr};
+    table = PAddr{entry & kPteAddrMask};
+  }
+  return ErrorCode::kNotMapped;  // unreachable: level 1 always leafs
+}
+
+Result<ResolveOk> PageTable::resolve(VAddr va) const {
+  if (!va.is_canonical()) {
+    return ErrorCode::kNotMapped;
+  }
+  PAddr table = cr3_;
+  for (int level = 4; level >= 1; --level) {
+    PAddr entry_addr = table.offset(index_at(va, level) * 8);
+    u64 entry = mem_->read_u64(entry_addr);
+    if ((entry & kPtePresent) == 0) {
+      return ErrorCode::kNotMapped;
+    }
+    const bool is_leaf = (level == 1) || (entry & kPtePageSize) != 0;
+    if (is_leaf) {
+      const u64 size = level == 3 ? kHugePageSize : (level == 2 ? kLargePageSize : kPageSize);
+      PAddr base{entry & kPteAddrMask & ~(size - 1)};
+      return ResolveOk{base.offset(va.value & (size - 1)), perms_of_leaf(entry)};
+    }
+    table = PAddr{entry & kPteAddrMask};
+  }
+  return ErrorCode::kNotMapped;
+}
+
+bool PageTable::table_is_empty(PAddr table) const {
+  for (u64 i = 0; i < kPtEntries; ++i) {
+    if ((mem_->read_u64(table.offset(i * 8)) & kPtePresent) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PageTable::free_subtree(PAddr table, int level) {
+  if (level == 1) {
+    return;
+  }
+  for (u64 i = 0; i < kPtEntries; ++i) {
+    u64 entry = mem_->read_u64(table.offset(i * 8));
+    if ((entry & kPtePresent) == 0 || (entry & kPtePageSize) != 0) {
+      continue;
+    }
+    PAddr child{entry & kPteAddrMask};
+    free_subtree(child, level - 1);
+    frames_->free_frame(child);
+    --table_frames_;
+  }
+}
+
+void PageTable::clear() {
+  free_subtree(cr3_, 4);
+  mem_->zero_frame(cr3_);
+  VNROS_ENSURES(table_frames_ == 1);
+}
+
+bool PageTable::check_invariants() const {
+  std::vector<PAddr> seen;
+  // Depth-first over intermediate tables.
+  struct Item {
+    PAddr table;
+    int level;
+    bool is_root;
+  };
+  std::vector<Item> stack{{cr3_, 4, true}};
+  u64 tables_found = 0;
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    ++tables_found;
+    // I4: table frame in range and aligned.
+    if (!item.table.is_page_aligned() || !mem_->contains(item.table, kPageSize)) {
+      return false;
+    }
+    // I1: visited at most once.
+    for (PAddr p : seen) {
+      if (p == item.table) {
+        return false;
+      }
+    }
+    seen.push_back(item.table);
+
+    u64 present = 0;
+    for (u64 i = 0; i < kPtEntries; ++i) {
+      u64 entry = mem_->read_u64(item.table.offset(i * 8));
+      if ((entry & kPtePresent) == 0) {
+        continue;
+      }
+      ++present;
+      const bool is_leaf = (item.level == 1) || (entry & kPtePageSize) != 0;
+      if (is_leaf) {
+        // Leaf PS bit is only legal at levels 3/2/1.
+        if (item.level == 4) {
+          return false;
+        }
+        const u64 size =
+            item.level == 3 ? kHugePageSize : (item.level == 2 ? kLargePageSize : kPageSize);
+        PAddr target{entry & kPteAddrMask};
+        if (!target.is_aligned(size) || !mem_->contains(target, size)) {
+          return false;
+        }
+      } else {
+        // I3: intermediate entries are permissive.
+        if ((entry & kPteWritable) == 0 || (entry & kPteUser) == 0 ||
+            (entry & kPteNoExecute) != 0) {
+          return false;
+        }
+        stack.push_back({PAddr{entry & kPteAddrMask}, item.level - 1, false});
+      }
+    }
+    // I2: non-root tables are non-empty.
+    if (!item.is_root && present == 0) {
+      return false;
+    }
+  }
+  return tables_found == table_frames_;
+}
+
+}  // namespace vnros

@@ -1,0 +1,104 @@
+// The verified x86-64 page-table implementation (§5, implementation (3) in
+// Figure 2).
+//
+// "We implement executable, concrete functions ... for the map, unmap and
+// resolve operations. Those functions read and write memory locations of the
+// page table to perform mapping or unmapping of frames, as well as allocate
+// or free memory used to store the page table."
+//
+// The tree lives entirely inside simulated PhysMem as raw 64-bit x86-64
+// entries; the only state PageTable itself holds is the root (CR3) and a
+// reference to the frame allocator. Correctness statement (discharged by the
+// pt/* verification conditions):
+//
+//   interpret_page_table(mem, cr3)  evolves per  PtHighLevelSpec
+//
+// and, against the hardware spec:  for every VAddr, Mmu::translate agrees
+// with the abstract map (pt/mmu_agrees VC).
+//
+// Structural invariants maintained (and checked by check_invariants()):
+//   I1: every intermediate table is reachable from CR3 exactly once;
+//   I2: no intermediate table is empty (unmap frees emptied tables);
+//   I3: intermediate entries carry permissive flags (P|RW|US), so leaf bits
+//       alone determine effective permissions;
+//   I4: all table frames lie within physical memory and are page-aligned.
+#ifndef VNROS_SRC_PT_PAGE_TABLE_H_
+#define VNROS_SRC_PT_PAGE_TABLE_H_
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/hw/mmu.h"
+#include "src/hw/phys_mem.h"
+#include "src/pt/abs_pte.h"
+#include "src/pt/frame_source.h"
+
+namespace vnros {
+
+// Result of resolve(): where the address translates and with which rights.
+struct ResolveOk {
+  PAddr paddr;
+  Perms perms;
+
+  bool operator==(const ResolveOk&) const = default;
+};
+
+class PageTable {
+ public:
+  // Allocates the (zeroed) root table from `frames`.
+  static Result<PageTable> create(PhysMem& mem, FrameSource& frames);
+
+  // Maps `size` bytes at `vbase` to the physical region starting at `frame`.
+  // Errors: kInvalidArgument (malformed args), kAlreadyMapped (overlap),
+  // kNoMemory (directory allocation failed; no partial effect).
+  Result<Unit> map_frame(VAddr vbase, PAddr frame, u64 size, Perms perms);
+
+  // Removes the mapping whose base is exactly `vbase` (any size). Frees
+  // directory tables that become empty. Error: kNotMapped.
+  Result<Unit> unmap(VAddr vbase);
+
+  // Translates `va` through the tree (software walk, not the MMU model).
+  Result<ResolveOk> resolve(VAddr va) const;
+
+  // Releases every mapping and directory frame. After this the table is
+  // empty but still usable.
+  void clear();
+
+  PAddr root() const { return cr3_; }
+
+  // Walks the whole tree checking structural invariants I1-I4; returns false
+  // with no side effects on violation. Used by VCs after every op batch.
+  bool check_invariants() const;
+
+  // Number of directory frames currently allocated (root included).
+  u64 table_frames() const { return table_frames_; }
+
+ private:
+  PageTable(PhysMem& mem, FrameSource& frames, PAddr cr3)
+      : mem_(&mem), frames_(&frames), cr3_(cr3) {}
+
+  // Level numbering: 4 = PML4, 3 = PDPT, 2 = PD, 1 = PT.
+  static u64 level_shift(int level) { return 12 + 9 * (level - 1); }
+  static u64 index_at(VAddr va, int level) { return (va.value >> level_shift(level)) & 0x1FF; }
+  static int leaf_level_for(u64 size) {
+    return size == kHugePageSize ? 3 : (size == kLargePageSize ? 2 : 1);
+  }
+
+  Result<Unit> map_impl(VAddr vbase, PAddr frame, u64 size, Perms perms);
+  Result<Unit> unmap_impl(VAddr vbase);
+
+  // True iff the table at `table` has no present entries.
+  bool table_is_empty(PAddr table) const;
+
+  // Recursively frees a subtree of intermediate tables (leaves were already
+  // checked absent by the caller, clear() passes free_leaves).
+  void free_subtree(PAddr table, int level);
+
+  PhysMem* mem_;
+  FrameSource* frames_;
+  PAddr cr3_;
+  u64 table_frames_ = 1;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_PAGE_TABLE_H_

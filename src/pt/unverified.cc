@@ -1,0 +1,148 @@
+#include "src/pt/unverified.h"
+
+#include "src/hw/mmu.h"
+
+namespace vnros {
+namespace {
+
+constexpr u64 kDirFlags = kPtePresent | kPteWritable | kPteUser;
+
+u64 index_at(VAddr va, int level) { return (va.value >> (12 + 9 * (level - 1))) & 0x1FF; }
+
+u64 size_at(int level) {
+  return level == 3 ? kHugePageSize : (level == 2 ? kLargePageSize : kPageSize);
+}
+
+bool table_empty(const PhysMem& mem, PAddr table) {
+  for (u64 i = 0; i < kPtEntries; ++i) {
+    if ((mem.read_u64(table.offset(i * 8)) & kPtePresent) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<UnverifiedPageTable> UnverifiedPageTable::create(PhysMem& mem, FrameSource& frames) {
+  auto root = frames.alloc_frame();
+  if (!root.ok()) {
+    return root.error();
+  }
+  return UnverifiedPageTable(mem, frames, root.value());
+}
+
+Result<Unit> UnverifiedPageTable::map_frame(VAddr vbase, PAddr frame, u64 size, Perms perms) {
+  if (!is_valid_page_size(size) || !vbase.is_aligned(size) || !frame.is_aligned(size) ||
+      vbase.value + size > kMaxVaddrExclusive || !mem_->contains(frame, size)) {
+    return ErrorCode::kInvalidArgument;
+  }
+  const int leaf_level = size == kHugePageSize ? 3 : (size == kLargePageSize ? 2 : 1);
+  u64 flags = kPtePresent;
+  if (perms.writable) {
+    flags |= kPteWritable;
+  }
+  if (perms.user) {
+    flags |= kPteUser;
+  }
+  if (!perms.executable) {
+    flags |= kPteNoExecute;
+  }
+  if (leaf_level > 1) {
+    flags |= kPtePageSize;
+  }
+  return map_rec(cr3_, 4, vbase, frame, leaf_level, flags);
+}
+
+Result<Unit> UnverifiedPageTable::map_rec(PAddr table, int level, VAddr vbase, PAddr frame,
+                                          int leaf_level, u64 flags) {
+  PAddr entry_addr = table.offset(index_at(vbase, level) * 8);
+  u64 entry = mem_->read_u64(entry_addr);
+  if (level == leaf_level) {
+    if ((entry & kPtePresent) != 0) {
+      return ErrorCode::kAlreadyMapped;
+    }
+    mem_->write_u64(entry_addr, frame.value | flags);
+    return Unit{};
+  }
+  if ((entry & kPtePresent) != 0) {
+    if ((entry & kPtePageSize) != 0) {
+      return ErrorCode::kAlreadyMapped;
+    }
+    return map_rec(PAddr{entry & kPteAddrMask}, level - 1, vbase, frame, leaf_level, flags);
+  }
+  auto child = frames_->alloc_frame();
+  if (!child.ok()) {
+    return child.error();
+  }
+  mem_->write_u64(entry_addr, child.value().value | kDirFlags);
+  Result<Unit> r = map_rec(child.value(), level - 1, vbase, frame, leaf_level, flags);
+  if (!r.ok()) {
+    // Undo the table we just created (it is empty again on failure).
+    if (table_empty(*mem_, child.value())) {
+      mem_->write_u64(entry_addr, 0);
+      frames_->free_frame(child.value());
+    }
+  }
+  return r;
+}
+
+Result<Unit> UnverifiedPageTable::unmap(VAddr vbase) {
+  if (!vbase.is_canonical() || !vbase.is_page_aligned()) {
+    return ErrorCode::kNotMapped;
+  }
+  bool now_empty = false;
+  return unmap_rec(cr3_, 4, vbase, now_empty);
+}
+
+Result<Unit> UnverifiedPageTable::unmap_rec(PAddr table, int level, VAddr vbase,
+                                            bool& now_empty) {
+  PAddr entry_addr = table.offset(index_at(vbase, level) * 8);
+  u64 entry = mem_->read_u64(entry_addr);
+  now_empty = false;
+  if ((entry & kPtePresent) == 0) {
+    return ErrorCode::kNotMapped;
+  }
+  const bool is_leaf = (level == 1) || (entry & kPtePageSize) != 0;
+  if (is_leaf) {
+    if (!vbase.is_aligned(size_at(level))) {
+      return ErrorCode::kNotMapped;
+    }
+    mem_->write_u64(entry_addr, 0);
+    now_empty = table_empty(*mem_, table);
+    return Unit{};
+  }
+  PAddr child{entry & kPteAddrMask};
+  bool child_empty = false;
+  Result<Unit> r = unmap_rec(child, level - 1, vbase, child_empty);
+  if (r.ok() && child_empty) {
+    mem_->write_u64(entry_addr, 0);
+    frames_->free_frame(child);
+    now_empty = table_empty(*mem_, table);
+  }
+  return r;
+}
+
+Result<ResolveOk> UnverifiedPageTable::resolve(VAddr va) const {
+  if (!va.is_canonical()) {
+    return ErrorCode::kNotMapped;
+  }
+  PAddr table = cr3_;
+  for (int level = 4; level >= 1; --level) {
+    u64 entry = mem_->read_u64(table.offset(index_at(va, level) * 8));
+    if ((entry & kPtePresent) == 0) {
+      return ErrorCode::kNotMapped;
+    }
+    if ((level == 1) || (entry & kPtePageSize) != 0) {
+      const u64 size = size_at(level);
+      PAddr base{entry & kPteAddrMask & ~(size - 1)};
+      return ResolveOk{base.offset(va.value & (size - 1)),
+                       Perms{(entry & kPteWritable) != 0, (entry & kPteUser) != 0,
+                             (entry & kPteNoExecute) == 0}};
+    }
+    table = PAddr{entry & kPteAddrMask};
+  }
+  return ErrorCode::kNotMapped;
+}
+
+}  // namespace vnros

@@ -1,0 +1,47 @@
+// The unverified baseline page table — the stand-in for NrOS' original
+// (unverified Rust) implementation that Figure 1b/c compares against.
+//
+// Independently written (recursive where PageTable is iterative, no
+// contracts, no ghost accounting), but implementing the same x86-64 entry
+// encodings over the same PhysMem. The fig1b/fig1c benches run both under
+// identical NR workloads; differential tests (tests/pt_differential_test.cc)
+// additionally use it as a cross-check oracle for the verified one.
+#ifndef VNROS_SRC_PT_UNVERIFIED_H_
+#define VNROS_SRC_PT_UNVERIFIED_H_
+
+#include "src/base/result.h"
+#include "src/base/types.h"
+#include "src/hw/phys_mem.h"
+#include "src/pt/abs_pte.h"
+#include "src/pt/frame_source.h"
+#include "src/pt/page_table.h"
+
+namespace vnros {
+
+class UnverifiedPageTable {
+ public:
+  static Result<UnverifiedPageTable> create(PhysMem& mem, FrameSource& frames);
+
+  Result<Unit> map_frame(VAddr vbase, PAddr frame, u64 size, Perms perms);
+  Result<Unit> unmap(VAddr vbase);
+  Result<ResolveOk> resolve(VAddr va) const;
+
+  PAddr root() const { return cr3_; }
+
+ private:
+  UnverifiedPageTable(PhysMem& mem, FrameSource& frames, PAddr cr3)
+      : mem_(&mem), frames_(&frames), cr3_(cr3) {}
+
+  Result<Unit> map_rec(PAddr table, int level, VAddr vbase, PAddr frame, int leaf_level,
+                       u64 flags);
+  // Returns: kOk and sets `now_empty` if the subtree entry was removed.
+  Result<Unit> unmap_rec(PAddr table, int level, VAddr vbase, bool& now_empty);
+
+  PhysMem* mem_;
+  FrameSource* frames_;
+  PAddr cr3_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_UNVERIFIED_H_

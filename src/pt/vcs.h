@@ -1,0 +1,17 @@
+// Registration hook for the page-table verification conditions.
+#ifndef VNROS_SRC_PT_VCS_H_
+#define VNROS_SRC_PT_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers the pt/* verification conditions: refinement of the high-level
+// spec, agreement with the MMU hardware spec, structural invariants,
+// allocator balance, rollback atomicity, TLB-shootdown necessity and the
+// differential check against the unverified implementation.
+void register_pt_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_PT_VCS_H_

@@ -1,0 +1,44 @@
+// Concurrent history recording for linearizability checks.
+//
+// Threads wrap each operation in invoke()/respond() calls; timestamps come
+// from one shared atomic counter so the precedence order is a total order on
+// recording events (standard for executable linearizability checking).
+#ifndef VNROS_SRC_SPEC_HISTORY_H_
+#define VNROS_SRC_SPEC_HISTORY_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "src/spec/linearizability.h"
+
+namespace vnros {
+
+template <typename Op, typename Ret>
+class HistoryRecorder {
+ public:
+  using Event = HistoryEvent<Op, Ret>;
+
+  // Returns the invocation timestamp to pass to respond().
+  u64 invoke() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+  void respond(u32 thread, Op op, Ret ret, u64 invoke_ts) {
+    u64 response_ts = clock_.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(Event{std::move(op), std::move(ret), invoke_ts, response_ts, thread});
+  }
+
+  std::vector<Event> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(events_);
+  }
+
+ private:
+  std::atomic<u64> clock_{0};
+  std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_SPEC_HISTORY_H_

@@ -1,0 +1,125 @@
+// Linearizability checking (Wing & Gong / Lowe-style search).
+//
+// §4.3: "IronSync verified the node replication algorithm ... showing that a
+// sequential data structure replicated with NR remains linearizable." vnros
+// checks the same statement executably: concurrent histories recorded
+// against nr::NodeReplicated are searched for a linearization that the
+// sequential model admits. No linearization existing == a real linearizability
+// violation (the checker is sound and complete for the recorded history).
+//
+// Model requirements:
+//   - Model::State      — hashable, equality-comparable sequential state;
+//   - Model::Op         — operation description;
+//   - Model::Ret        — observed return value (equality-comparable);
+//   - static State initial();
+//   - static std::pair<State, Ret> apply(const State&, const Op&);
+//
+// The search is the classic DFS over "minimal" pending operations with
+// memoization on (linearized-set, state). Exponential in the worst case, so
+// test histories are kept small (a few threads, tens of ops) — enough to
+// catch ordering bugs, standard practice for executable lin-checking.
+#ifndef VNROS_SRC_SPEC_LINEARIZABILITY_H_
+#define VNROS_SRC_SPEC_LINEARIZABILITY_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+// One completed operation in a concurrent history. Timestamps come from a
+// single atomic counter, so invoke < response and precedence is well-defined.
+template <typename Op, typename Ret>
+struct HistoryEvent {
+  Op op;
+  Ret ret;
+  u64 invoke_ts = 0;
+  u64 response_ts = 0;
+  u32 thread = 0;
+};
+
+template <typename Model>
+class LinChecker {
+ public:
+  using Op = typename Model::Op;
+  using Ret = typename Model::Ret;
+  using Event = HistoryEvent<Op, Ret>;
+
+  // Returns true iff `history` (complete: all ops responded) is linearizable
+  // with respect to Model.
+  static bool check(std::vector<Event> history) {
+    // Sort by invocation for a stable exploration order.
+    std::sort(history.begin(), history.end(),
+              [](const Event& a, const Event& b) { return a.invoke_ts < b.invoke_ts; });
+    const usize n = history.size();
+    if (n == 0) {
+      return true;
+    }
+    if (n > 64) {
+      // The bitmask memoization supports up to 64 events; callers keep
+      // histories small. Split longer histories before checking.
+      return false;
+    }
+    std::vector<StateMask> memo;
+    return dfs(history, 0, Model::initial(), memo);
+  }
+
+ private:
+  struct StateMask {
+    u64 mask;
+    typename Model::State state;
+  };
+
+  // An event is "minimal" in the remaining set if no other remaining event
+  // responded before it was invoked (i.e. nothing must precede it).
+  static bool is_minimal(const std::vector<Event>& h, u64 remaining_mask, usize idx) {
+    for (usize j = 0; j < h.size(); ++j) {
+      if (j == idx || ((remaining_mask >> j) & 1) == 0) {
+        continue;
+      }
+      if (h[j].response_ts < h[idx].invoke_ts) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool dfs(const std::vector<Event>& h, u64 done_mask, typename Model::State state,
+                  std::vector<StateMask>& memo) {
+    const usize n = h.size();
+    u64 all = (n == 64) ? ~u64{0} : ((u64{1} << n) - 1);
+    if (done_mask == all) {
+      return true;
+    }
+    // Memoize on (done_mask, state): revisiting the same pair cannot succeed
+    // if it failed before.
+    for (const auto& sm : memo) {
+      if (sm.mask == done_mask && sm.state == state) {
+        return false;
+      }
+    }
+    u64 remaining = all & ~done_mask;
+    for (usize i = 0; i < n; ++i) {
+      if (((remaining >> i) & 1) == 0) {
+        continue;
+      }
+      if (!is_minimal(h, remaining, i)) {
+        continue;
+      }
+      auto [next_state, ret] = Model::apply(state, h[i].op);
+      if (!(ret == h[i].ret)) {
+        continue;  // the model would have returned something else here
+      }
+      if (dfs(h, done_mask | (u64{1} << i), next_state, memo)) {
+        return true;
+      }
+    }
+    memo.push_back(StateMask{done_mask, std::move(state)});
+    return false;
+  }
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_SPEC_LINEARIZABILITY_H_

@@ -1,0 +1,98 @@
+// Runtime ownership tokens: the data-race-freedom obligation.
+//
+// §3 lists data-race freedom as the third syscall verification obligation:
+// "memory holding syscall data (e.g. the memory backing buffer) will not be
+// modified or accessed by other threads while the syscall is being handled.
+// ... If the application is in Rust, its unique ownership properties can
+// help: the mutable reference to buffer is guaranteed to be unique by the
+// type system."
+//
+// C++ has no borrow checker, so vnros substitutes a *dynamic* one: a
+// BorrowCell wraps a buffer and enforces Rust's aliasing discipline at run
+// time — any number of shared borrows XOR exactly one exclusive borrow.
+// Syscall entry takes the appropriate borrow for the duration of the handler;
+// a concurrent conflicting access trips a contract instead of silently racing.
+#ifndef VNROS_SRC_SPEC_OWNERSHIP_H_
+#define VNROS_SRC_SPEC_OWNERSHIP_H_
+
+#include <atomic>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+// Borrow state encoding: 0 = free, >0 = that many shared borrows,
+// -1 = exclusively borrowed.
+class BorrowCell {
+ public:
+  // Attempts to take a shared (read) borrow; returns success.
+  bool try_borrow_shared() {
+    i64 cur = state_.load(std::memory_order_acquire);
+    while (cur >= 0) {
+      if (state_.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Attempts to take the exclusive (write) borrow; returns success.
+  bool try_borrow_exclusive() {
+    i64 expected = 0;
+    return state_.compare_exchange_strong(expected, -1, std::memory_order_acq_rel);
+  }
+
+  void release_shared() {
+    i64 prev = state_.fetch_sub(1, std::memory_order_acq_rel);
+    VNROS_CHECK(prev > 0);
+  }
+
+  void release_exclusive() {
+    i64 expected = -1;
+    bool ok = state_.compare_exchange_strong(expected, 0, std::memory_order_acq_rel);
+    VNROS_CHECK(ok);
+  }
+
+  bool is_free() const { return state_.load(std::memory_order_acquire) == 0; }
+
+ private:
+  std::atomic<i64> state_{0};
+};
+
+// RAII borrows. Construction *asserts* availability (a conflict is a
+// data-race-freedom violation, i.e. a verification failure, not a retryable
+// condition).
+class SharedBorrow {
+ public:
+  explicit SharedBorrow(BorrowCell& cell) : cell_(cell) {
+    bool ok = cell_.try_borrow_shared();
+    VNROS_CHECK(ok);
+  }
+  ~SharedBorrow() { cell_.release_shared(); }
+
+  SharedBorrow(const SharedBorrow&) = delete;
+  SharedBorrow& operator=(const SharedBorrow&) = delete;
+
+ private:
+  BorrowCell& cell_;
+};
+
+class ExclusiveBorrow {
+ public:
+  explicit ExclusiveBorrow(BorrowCell& cell) : cell_(cell) {
+    bool ok = cell_.try_borrow_exclusive();
+    VNROS_CHECK(ok);
+  }
+  ~ExclusiveBorrow() { cell_.release_exclusive(); }
+
+  ExclusiveBorrow(const ExclusiveBorrow&) = delete;
+  ExclusiveBorrow& operator=(const ExclusiveBorrow&) = delete;
+
+ private:
+  BorrowCell& cell_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_SPEC_OWNERSHIP_H_

@@ -1,0 +1,18 @@
+// Registration hook for the verification framework's own checks.
+#ifndef VNROS_SRC_SPEC_SELF_VCS_H_
+#define VNROS_SRC_SPEC_SELF_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers spec/* and base/* VCs: the linearizability checker accepts valid
+// and rejects invalid histories (checker soundness/completeness on known
+// cases), the refinement harness flags injected violations, borrow cells
+// enforce the aliasing discipline, serde round-trips, CRC known-answer
+// vectors, and RNG determinism.
+void register_spec_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_SPEC_SELF_VCS_H_

@@ -1,0 +1,35 @@
+// Specification state machines.
+//
+// The paper (§3) specifies the OS as a state machine: "The high-level spec
+// for the system call is a state machine, whose state contains the file
+// descriptors' current state. Execution of the syscall corresponds to a
+// transition, which relates the old state pre to the new state post."
+//
+// A spec in vnros is a type S with:
+//   - S::State   — the abstract state (value type, equality-comparable);
+//   - S::Label   — an observable transition label: which operation ran, with
+//                  which arguments, and what it returned;
+//   - static State init(...)                    — initial abstract state;
+//   - static bool next(pre, label, post)        — the transition relation.
+//
+// next() is a *relation*, not a function: it judges whether (pre, post) is an
+// allowed step under `label`, exactly like the paper's read_spec(pre, post,
+// fd, buffer, read_len). Implementations refine a spec when every concrete
+// step's abstraction is an allowed transition (src/spec/refinement.h).
+#ifndef VNROS_SRC_SPEC_STATE_MACHINE_H_
+#define VNROS_SRC_SPEC_STATE_MACHINE_H_
+
+#include <concepts>
+
+namespace vnros {
+
+template <typename S>
+concept SpecMachine = requires(const typename S::State& pre, const typename S::Label& label,
+                               const typename S::State& post) {
+  { S::next(pre, label, post) } -> std::convertible_to<bool>;
+  requires std::equality_comparable<typename S::State>;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_SPEC_STATE_MACHINE_H_

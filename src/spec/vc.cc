@@ -1,0 +1,79 @@
+#include "src/spec/vc.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+
+const char* vc_category_name(VcCategory c) {
+  switch (c) {
+    case VcCategory::kMemorySafety: return "memory-safety";
+    case VcCategory::kRefinement: return "refinement";
+    case VcCategory::kConcurrency: return "concurrency";
+    case VcCategory::kScheduler: return "scheduler";
+    case VcCategory::kMemoryManagement: return "memory-management";
+    case VcCategory::kFilesystem: return "filesystem";
+    case VcCategory::kDrivers: return "drivers";
+    case VcCategory::kProcessManagement: return "process-management";
+    case VcCategory::kThreadsSync: return "threads-sync";
+    case VcCategory::kNetworkStack: return "network-stack";
+    case VcCategory::kSystemLibraries: return "system-libraries";
+    case VcCategory::kApplication: return "application";
+  }
+  return "unknown";
+}
+
+bool VcRunSummary::category_covered(VcCategory category) const {
+  bool any = false;
+  for (const auto& r : results) {
+    if (r.category == category) {
+      any = true;
+      if (!r.passed) {
+        return false;
+      }
+    }
+  }
+  return any;
+}
+
+void VcRegistry::add(std::string name, VcCategory category, std::function<VcOutcome()> check) {
+  vcs_.push_back(Vc{std::move(name), category, std::move(check)});
+}
+
+VcRunSummary VcRegistry::run_prefix(const std::string& prefix, bool verbose) const {
+  VcRunSummary summary;
+  ScopedContracts contracts_on;
+  for (const auto& vc : vcs_) {
+    if (vc.name.rfind(prefix, 0) != 0) {
+      continue;
+    }
+    auto start = std::chrono::steady_clock::now();
+    VcOutcome outcome = vc.check();
+    auto end = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(end - start).count();
+
+    summary.results.push_back(
+        VcResult{vc.name, vc.category, outcome.passed, secs, outcome.message});
+    ++summary.total;
+    if (outcome.passed) {
+      ++summary.passed;
+    }
+    summary.total_seconds += secs;
+    if (secs > summary.max_seconds) {
+      summary.max_seconds = secs;
+    }
+    if (verbose) {
+      std::printf("  [%s] %-58s %8.3f s%s%s\n", outcome.passed ? "ok" : "FAIL", vc.name.c_str(),
+                  secs, outcome.message.empty() ? "" : " : ",
+                  outcome.message.empty() ? "" : outcome.message.c_str());
+      std::fflush(stdout);
+    }
+  }
+  return summary;
+}
+
+VcRunSummary VcRegistry::run_all(bool verbose) const { return run_prefix("", verbose); }
+
+}  // namespace vnros

@@ -1,0 +1,106 @@
+// Verification-condition registry and timed runner.
+//
+// A Verus development is a set of verification conditions the SMT solver
+// discharges; the paper's Figure 1a is the CDF of the time to verify each of
+// the page-table prototype's 220 VCs (max ≈11 s, total ≈40 s).
+//
+// In vnros, a VC is a named executable check — typically a bounded-exhaustive
+// or property-based refinement/invariant check — registered here by each
+// module. The runner executes every VC with contracts enabled, times it, and
+// reports pass/fail; bench/fig1a_vc_cdf prints the timing CDF, and the
+// Table 1/Table 2 reports derive vnros' coverage rows from which categories
+// have registered, passing VCs.
+//
+// Registration is explicit (each module exports a register_*_vcs(VcRegistry&)
+// function) so binaries choose their VC universe and no static-initializer
+// order games are needed.
+#ifndef VNROS_SRC_SPEC_VC_H_
+#define VNROS_SRC_SPEC_VC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+// Outcome of one verification condition.
+struct VcOutcome {
+  bool passed = true;
+  std::string message;  // diagnostic on failure
+
+  static VcOutcome pass() { return {true, {}}; }
+  static VcOutcome fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+// Component categories mirror Table 2's rows (plus the crosscutting rows of
+// Table 1); the table benches aggregate VC coverage by category.
+enum class VcCategory : u8 {
+  kMemorySafety,      // Table 1: kernel memory safety analogue
+  kRefinement,        // Table 1: specification refinement
+  kConcurrency,       // NR linearizability, lock specs
+  kScheduler,         // Table 2 rows from here on
+  kMemoryManagement,
+  kFilesystem,
+  kDrivers,
+  kProcessManagement,
+  kThreadsSync,
+  kNetworkStack,
+  kSystemLibraries,
+  kApplication,       // the verified client application (beyond Table 2)
+};
+
+const char* vc_category_name(VcCategory c);
+
+struct Vc {
+  std::string name;           // e.g. "pt/map_frame_refines_hl_spec"
+  VcCategory category;
+  std::function<VcOutcome()> check;
+};
+
+struct VcResult {
+  std::string name;
+  VcCategory category;
+  bool passed = false;
+  double seconds = 0.0;
+  std::string message;
+};
+
+struct VcRunSummary {
+  std::vector<VcResult> results;
+  usize total = 0;
+  usize passed = 0;
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  bool all_passed() const { return passed == total; }
+  // Whether at least one VC in `category` exists and all in it passed.
+  bool category_covered(VcCategory category) const;
+};
+
+class VcRegistry {
+ public:
+  void add(std::string name, VcCategory category, std::function<VcOutcome()> check);
+
+  usize size() const { return vcs_.size(); }
+  const std::vector<Vc>& vcs() const { return vcs_; }
+
+  // Runs every registered VC with contracts enabled, timing each.
+  // `verbose` prints one line per VC as it completes.
+  VcRunSummary run_all(bool verbose = false) const;
+
+  // Runs only VCs whose name starts with `prefix`.
+  VcRunSummary run_prefix(const std::string& prefix, bool verbose = false) const;
+
+ private:
+  std::vector<Vc> vcs_;
+};
+
+// Registers every module's VCs. This is the whole-system "verification
+// project"; the count printed by fig1a corresponds to the paper's 220.
+void register_all_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_SPEC_VC_H_

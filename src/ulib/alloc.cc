@@ -1,0 +1,154 @@
+#include "src/ulib/alloc.h"
+
+#include <cstring>
+
+namespace vnros {
+
+UserAllocator::UserAllocator(usize arena_bytes) : arena_(arena_bytes, 0) {
+  VNROS_CHECK(arena_bytes >= 2 * kHeaderSize);
+  Header first{arena_bytes - kHeaderSize, 0, 0, {}};
+  write_header(0, first);
+}
+
+UserAllocator::Header UserAllocator::read_header(usize off) const {
+  Header h;
+  std::memcpy(&h, arena_.data() + off, sizeof(Header));
+  return h;
+}
+
+void UserAllocator::write_header(usize off, const Header& h) {
+  std::memcpy(arena_.data() + off, &h, sizeof(Header));
+}
+
+std::optional<usize> UserAllocator::allocate(usize size) {
+  if (size == 0) {
+    size = kAlignment;
+  }
+  size = (size + kAlignment - 1) & ~(kAlignment - 1);
+
+  usize off = 0;
+  while (off < arena_.size()) {
+    Header h = read_header(off);
+    if (h.live == 0 && h.size >= size) {
+      // Split if the remainder can hold another block.
+      if (h.size >= size + kHeaderSize + kAlignment) {
+        usize rest_off = off + kHeaderSize + size;
+        Header rest{h.size - size - kHeaderSize, off, 0, {}};
+        write_header(rest_off, rest);
+        // Fix the following block's prev pointer.
+        usize after = next_off(rest_off, rest);
+        if (after < arena_.size()) {
+          Header ah = read_header(after);
+          ah.prev_off = rest_off;
+          write_header(after, ah);
+        }
+        h.size = size;
+      }
+      h.live = 1;
+      write_header(off, h);
+      ++live_blocks_;
+      live_bytes_ += h.size;
+      VNROS_ENSURES((off + kHeaderSize) % kAlignment == 0);
+      return off + kHeaderSize;
+    }
+    off = next_off(off, h);
+  }
+  return std::nullopt;
+}
+
+void UserAllocator::free(usize payload_offset) {
+  VNROS_CHECK(payload_offset >= kHeaderSize && payload_offset < arena_.size());
+  usize off = payload_offset - kHeaderSize;
+  Header h = read_header(off);
+  VNROS_CHECK(h.live == 1);  // double free / wild free
+  h.live = 0;
+  --live_blocks_;
+  live_bytes_ -= h.size;
+
+  // Coalesce with the next block.
+  usize nxt = next_off(off, h);
+  if (nxt < arena_.size()) {
+    Header nh = read_header(nxt);
+    if (nh.live == 0) {
+      h.size += kHeaderSize + nh.size;
+      usize after = next_off(nxt, nh);
+      if (after < arena_.size()) {
+        Header ah = read_header(after);
+        ah.prev_off = off;
+        write_header(after, ah);
+      }
+    }
+  }
+  write_header(off, h);
+
+  // Coalesce with the previous block.
+  if (off != 0) {
+    Header ph = read_header(h.prev_off);
+    if (ph.live == 0) {
+      ph.size += kHeaderSize + h.size;
+      write_header(h.prev_off, ph);
+      usize after = next_off(h.prev_off, ph);
+      if (after < arena_.size()) {
+        Header ah = read_header(after);
+        ah.prev_off = h.prev_off;
+        write_header(after, ah);
+      }
+    }
+  }
+}
+
+usize UserAllocator::live_blocks() const { return live_blocks_; }
+usize UserAllocator::live_bytes() const { return live_bytes_; }
+
+usize UserAllocator::largest_free() const {
+  usize best = 0;
+  usize off = 0;
+  while (off < arena_.size()) {
+    Header h = read_header(off);
+    if (h.live == 0 && h.size > best) {
+      best = h.size;
+    }
+    off = next_off(off, h);
+  }
+  return best;
+}
+
+bool UserAllocator::fully_coalesced() const {
+  Header first = read_header(0);
+  return first.live == 0 && next_off(0, first) == arena_.size();
+}
+
+bool UserAllocator::check_invariants() const {
+  usize off = 0;
+  usize prev = 0;
+  bool prev_free = false;
+  bool first = true;
+  usize counted_live = 0;
+  usize counted_live_bytes = 0;
+  while (off < arena_.size()) {
+    Header h = read_header(off);
+    if (h.size == 0 || h.size % kAlignment != 0) {
+      return false;
+    }
+    if (!first && h.prev_off != prev) {
+      return false;
+    }
+    if (h.live == 0) {
+      if (prev_free) {
+        return false;  // two adjacent free blocks: failed coalescing
+      }
+      prev_free = true;
+    } else {
+      prev_free = false;
+      ++counted_live;
+      counted_live_bytes += h.size;
+    }
+    prev = off;
+    off = next_off(off, h);
+    first = false;
+  }
+  return off == arena_.size() && counted_live == live_blocks_ &&
+         counted_live_bytes == live_bytes_;
+}
+
+}  // namespace vnros

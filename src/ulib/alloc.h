@@ -1,0 +1,73 @@
+// User-space memory allocator (Table 2 "system libraries").
+//
+// A first-fit free-list allocator over a fixed arena, with boundary-tag
+// coalescing. The paper notes that NrOS "provides ... a memory allocator" in
+// user space; this is that component, with its spec made executable:
+//
+//   A1: allocate() returns a 16-byte-aligned range inside the arena that is
+//       disjoint from every other live allocation;
+//   A2: free() makes the range reusable; adjacent free blocks coalesce, so
+//       after freeing everything the arena is a single free block again
+//       (no permanent fragmentation from any alloc/free sequence);
+//   A3: accounting identity: live_bytes + free_bytes + header overhead ==
+//       arena size, at every step.
+//
+// Checked by the ulib/alloc_* VCs against a set-of-ranges reference model.
+#ifndef VNROS_SRC_ULIB_ALLOC_H_
+#define VNROS_SRC_ULIB_ALLOC_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+class UserAllocator {
+ public:
+  static constexpr usize kAlignment = 16;
+  static constexpr usize kHeaderSize = 32;  // block header, align-rounded
+
+  explicit UserAllocator(usize arena_bytes);
+
+  // Returns the arena offset of a block of >= `size` bytes, or nullopt.
+  std::optional<usize> allocate(usize size);
+
+  // Frees the block previously returned at `offset`. Freeing a non-live
+  // offset is a contract violation (the double-free bug class).
+  void free(usize offset);
+
+  usize arena_size() const { return arena_.size(); }
+  usize live_blocks() const;
+  usize live_bytes() const;     // payload bytes in live blocks
+  usize largest_free() const;   // largest allocatable payload right now
+
+  // A2's executable form: true iff the arena is one free block.
+  bool fully_coalesced() const;
+
+  // Walks the block list validating structure: offsets monotone, sizes sum
+  // to the arena, no two adjacent free blocks, all headers sane.
+  bool check_invariants() const;
+
+ private:
+  struct Header {
+    u64 size;      // payload bytes (excluding header)
+    u64 prev_off;  // offset of previous block's header (self for first)
+    u8 live;
+    u8 pad[15];
+  };
+  static_assert(sizeof(Header) <= kHeaderSize);
+
+  Header read_header(usize off) const;
+  void write_header(usize off, const Header& h);
+  usize next_off(usize off, const Header& h) const { return off + kHeaderSize + h.size; }
+
+  std::vector<u8> arena_;
+  usize live_blocks_ = 0;
+  usize live_bytes_ = 0;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_ULIB_ALLOC_H_

@@ -1,0 +1,3 @@
+// sync is header-only; this file anchors the translation unit so the header
+// is compiled standalone once.
+#include "src/ulib/sync.h"

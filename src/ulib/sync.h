@@ -1,0 +1,229 @@
+// Verified user-space synchronization primitives on top of the kernel futex.
+//
+// §3: "we might expose futexes from the kernel and then verify a userspace
+// mutex implementation on top". These are those primitives. FutexMutex is
+// the three-state mutex from Drepper's "Futexes are tricky" (the paper's
+// reference [14]); the condition variable, semaphore, reader-writer lock and
+// barrier are built above it. Each carries its spec as a comment and is
+// discharged by the ulib/* VCs (mutual exclusion under contention, no lost
+// signals, reader/writer exclusion, barrier rendezvous).
+#ifndef VNROS_SRC_ULIB_SYNC_H_
+#define VNROS_SRC_ULIB_SYNC_H_
+
+#include <atomic>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+#include "src/kernel/futex.h"
+
+namespace vnros {
+
+// Spec: standard mutex — between lock() returning and unlock() being called,
+// no other thread's lock() returns (mutual exclusion); unlock() with waiters
+// present wakes at least one (progress).
+//
+// State encoding (Drepper): 0 = unlocked, 1 = locked/no waiters,
+// 2 = locked/maybe waiters.
+class FutexMutex {
+ public:
+  explicit FutexMutex(FutexTable& futex) : futex_(futex) {}
+
+  void lock() {
+    u32 c = 0;
+    if (state_.compare_exchange_strong(c, 1, std::memory_order_acquire)) {
+      return;  // fast path: uncontended
+    }
+    do {
+      // Announce we may wait: move 1 -> 2 (or observe it already 2).
+      if (c == 2 || state_.compare_exchange_strong(c, 2, std::memory_order_acquire)) {
+        (void)futex_.wait(&state_, 2);
+      }
+      c = 0;
+    } while (!state_.compare_exchange_strong(c, 2, std::memory_order_acquire));
+    // We hold the lock with state 2: conservative, unlock will wake.
+  }
+
+  bool try_lock() {
+    u32 c = 0;
+    return state_.compare_exchange_strong(c, 1, std::memory_order_acquire);
+  }
+
+  void unlock() {
+    u32 prev = state_.exchange(0, std::memory_order_release);
+    VNROS_INVARIANT(prev != 0);  // unlock of an unlocked mutex is a spec violation
+    if (prev == 2) {
+      futex_.wake(&state_, 1);
+    }
+  }
+
+  const std::atomic<u32>* word() const { return &state_; }
+
+ private:
+  FutexTable& futex_;
+  std::atomic<u32> state_{0};
+};
+
+// RAII guard.
+class MutexGuard {
+ public:
+  explicit MutexGuard(FutexMutex& mu) : mu_(mu) { mu_.lock(); }
+  ~MutexGuard() { mu_.unlock(); }
+
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  FutexMutex& mu_;
+};
+
+// Spec: condition variable with no lost signals for waiters that entered
+// wait() before the signal (sequence-count protocol): wait(m) atomically
+// releases m and sleeps; notify_one wakes >=1 current waiter; notify_all
+// wakes all current waiters. Spurious wakeups allowed (callers loop).
+class FutexCondVar {
+ public:
+  explicit FutexCondVar(FutexTable& futex) : futex_(futex) {}
+
+  void wait(FutexMutex& mu) {
+    u32 snapshot = seq_.load(std::memory_order_acquire);
+    mu.unlock();
+    (void)futex_.wait(&seq_, snapshot);  // returns immediately if seq moved
+    mu.lock();
+  }
+
+  void notify_one() {
+    seq_.fetch_add(1, std::memory_order_release);
+    futex_.wake(&seq_, 1);
+  }
+
+  void notify_all() {
+    seq_.fetch_add(1, std::memory_order_release);
+    futex_.wake(&seq_, ~usize{0} >> 1);
+  }
+
+ private:
+  FutexTable& futex_;
+  std::atomic<u32> seq_{0};
+};
+
+// Spec: counting semaphore — acquire() returns only after a distinct
+// release() "permit"; the count never observably drops below zero; waiters
+// block rather than spin.
+class FutexSemaphore {
+ public:
+  FutexSemaphore(FutexTable& futex, u32 initial) : futex_(futex), count_(initial) {}
+
+  void acquire() {
+    for (;;) {
+      u32 c = count_.load(std::memory_order_acquire);
+      while (c > 0) {
+        if (count_.compare_exchange_weak(c, c - 1, std::memory_order_acquire)) {
+          return;
+        }
+      }
+      (void)futex_.wait(&count_, 0);
+    }
+  }
+
+  bool try_acquire() {
+    u32 c = count_.load(std::memory_order_acquire);
+    while (c > 0) {
+      if (count_.compare_exchange_weak(c, c - 1, std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void release() {
+    count_.fetch_add(1, std::memory_order_release);
+    futex_.wake(&count_, 1);
+  }
+
+  u32 value() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  FutexTable& futex_;
+  std::atomic<u32> count_;
+};
+
+// Spec: readers-writer lock — any number of readers xor one writer; a
+// writer's critical section is mutually exclusive with everything. Built on
+// mutex + condvar (writer preference is not guaranteed; starvation-freedom
+// is out of scope, as for pthreads' default).
+class FutexRwLock {
+ public:
+  explicit FutexRwLock(FutexTable& futex) : mu_(futex), cv_(futex) {}
+
+  void lock_shared() {
+    MutexGuard g(mu_);
+    while (writer_) {
+      cv_.wait(mu_);
+    }
+    ++readers_;
+  }
+
+  void unlock_shared() {
+    MutexGuard g(mu_);
+    VNROS_INVARIANT(readers_ > 0);
+    if (--readers_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  void lock() {
+    MutexGuard g(mu_);
+    while (writer_ || readers_ > 0) {
+      cv_.wait(mu_);
+    }
+    writer_ = true;
+  }
+
+  void unlock() {
+    MutexGuard g(mu_);
+    VNROS_INVARIANT(writer_);
+    writer_ = false;
+    cv_.notify_all();
+  }
+
+ private:
+  FutexMutex mu_;
+  FutexCondVar cv_;
+  u32 readers_ = 0;
+  bool writer_ = false;
+};
+
+// Spec: N-party barrier — no participant returns from arrive_and_wait()
+// until all N have called it; reusable across generations.
+class FutexBarrier {
+ public:
+  FutexBarrier(FutexTable& futex, u32 parties)
+      : mu_(futex), cv_(futex), parties_(parties), waiting_(0) {
+    VNROS_CHECK(parties > 0);
+  }
+
+  void arrive_and_wait() {
+    MutexGuard g(mu_);
+    u64 gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    while (generation_ == gen) {
+      cv_.wait(mu_);
+    }
+  }
+
+ private:
+  FutexMutex mu_;
+  FutexCondVar cv_;
+  u32 parties_;
+  u32 waiting_;
+  u64 generation_ = 0;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_ULIB_SYNC_H_

@@ -1,0 +1,501 @@
+// Verification conditions for the user-space library. The concurrency VCs
+// run real host threads against the kernel futex — the same artifact the
+// paper proposes verifying ("verify a userspace mutex implementation on top"
+// of kernel futexes), checked here by exhausting interleavings statistically
+// and instrumenting the critical sections with overlap detectors.
+#include "src/ulib/vcs.h"
+
+#include <atomic>
+#include <deque>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/kernel/futex.h"
+#include "src/ulib/alloc.h"
+#include "src/ulib/sync.h"
+#include "src/ulib/uthread.h"
+
+namespace vnros {
+namespace {
+
+// --- Mutex ---------------------------------------------------------------------
+
+VcOutcome vc_mutex_mutual_exclusion(u32 threads, u32 iters) {
+  FutexTable futex;
+  FutexMutex mu(futex);
+  u64 counter = 0;                 // deliberately non-atomic
+  std::atomic<i32> inside{0};      // critical-section overlap detector
+  std::atomic<bool> overlap{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (u32 t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (u32 i = 0; i < iters; ++i) {
+        MutexGuard g(mu);
+        if (inside.fetch_add(1, std::memory_order_acq_rel) != 0) {
+          overlap.store(true);
+        }
+        ++counter;  // a data race here would lose increments
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  if (overlap.load()) {
+    return VcOutcome::fail("two threads were inside the critical section at once");
+  }
+  if (counter != static_cast<u64>(threads) * iters) {
+    return VcOutcome::fail("increments lost: mutual exclusion violated");
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_mutex_blocks_rather_than_spins() {
+  FutexTable futex;
+  FutexMutex mu(futex);
+  std::atomic<bool> release{false};
+  mu.lock();
+  std::thread contender([&] {
+    mu.lock();
+    mu.unlock();
+  });
+  // Give the contender time to reach the futex.
+  while (futex.stats().waits == 0 && !release.load()) {
+    std::this_thread::yield();
+  }
+  mu.unlock();
+  contender.join();
+  if (futex.stats().waits == 0) {
+    return VcOutcome::fail("contended lock never used the futex (busy-waited)");
+  }
+  if (futex.stats().woken_threads == 0) {
+    return VcOutcome::fail("unlock never woke the blocked waiter");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Condvar ----------------------------------------------------------------------
+
+VcOutcome vc_condvar_producer_consumer(u32 producers, u32 consumers, u32 items_per_producer) {
+  FutexTable futex;
+  FutexMutex mu(futex);
+  FutexCondVar not_empty(futex);
+  std::deque<u64> queue;
+  bool done = false;
+
+  std::atomic<u64> consumed_count{0};
+  std::atomic<u64> consumed_sum{0};
+
+  std::vector<std::thread> threads;
+  for (u32 p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (u32 i = 0; i < items_per_producer; ++i) {
+        u64 item = static_cast<u64>(p) * items_per_producer + i + 1;
+        {
+          MutexGuard g(mu);
+          queue.push_back(item);
+        }
+        not_empty.notify_one();
+      }
+    });
+  }
+  for (u32 c = 0; c < consumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        u64 item = 0;
+        {
+          MutexGuard g(mu);
+          while (queue.empty() && !done) {
+            not_empty.wait(mu);
+          }
+          if (queue.empty() && done) {
+            return;
+          }
+          item = queue.front();
+          queue.pop_front();
+        }
+        consumed_count.fetch_add(1);
+        consumed_sum.fetch_add(item);
+      }
+    });
+  }
+  const u64 total = static_cast<u64>(producers) * items_per_producer;
+  for (u32 p = 0; p < producers; ++p) {
+    threads[p].join();
+  }
+  // All produced; signal shutdown once the queue drains.
+  for (;;) {
+    {
+      MutexGuard g(mu);
+      if (queue.empty()) {
+        done = true;
+        break;
+      }
+    }
+    std::this_thread::yield();
+  }
+  not_empty.notify_all();
+  for (u32 c = 0; c < consumers; ++c) {
+    threads[producers + c].join();
+  }
+  if (consumed_count.load() != total) {
+    return VcOutcome::fail("items lost or duplicated through the condvar queue");
+  }
+  u64 expect_sum = total * (total + 1) / 2;
+  if (consumed_sum.load() != expect_sum) {
+    return VcOutcome::fail("item payloads corrupted in transfer");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Semaphore ---------------------------------------------------------------------
+
+VcOutcome vc_semaphore_bounds(u32 permits, u32 threads, u32 iters) {
+  FutexTable futex;
+  FutexSemaphore sem(futex, permits);
+  std::atomic<i32> holders{0};
+  std::atomic<i32> high_water{0};
+
+  std::vector<std::thread> workers;
+  for (u32 t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (u32 i = 0; i < iters; ++i) {
+        sem.acquire();
+        i32 now = holders.fetch_add(1, std::memory_order_acq_rel) + 1;
+        i32 hw = high_water.load(std::memory_order_relaxed);
+        while (now > hw && !high_water.compare_exchange_weak(hw, now)) {
+        }
+        holders.fetch_sub(1, std::memory_order_acq_rel);
+        sem.release();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  if (high_water.load() > static_cast<i32>(permits)) {
+    return VcOutcome::fail("more holders than permits: semaphore bound violated");
+  }
+  if (sem.value() != permits) {
+    return VcOutcome::fail("permit count not restored after balanced acquire/release");
+  }
+  return VcOutcome::pass();
+}
+
+// --- RwLock -------------------------------------------------------------------------
+
+VcOutcome vc_rwlock_exclusion(u32 readers, u32 writers, u32 iters) {
+  FutexTable futex;
+  FutexRwLock rw(futex);
+  std::atomic<i32> active_readers{0};
+  std::atomic<i32> active_writers{0};
+  std::atomic<bool> violation{false};
+  u64 shared_value = 0;
+
+  std::vector<std::thread> threads;
+  for (u32 r = 0; r < readers; ++r) {
+    threads.emplace_back([&] {
+      for (u32 i = 0; i < iters; ++i) {
+        rw.lock_shared();
+        active_readers.fetch_add(1);
+        if (active_writers.load() != 0) {
+          violation.store(true);  // reader overlapping a writer
+        }
+        volatile u64 sink = shared_value;
+        (void)sink;
+        active_readers.fetch_sub(1);
+        rw.unlock_shared();
+      }
+    });
+  }
+  for (u32 w = 0; w < writers; ++w) {
+    threads.emplace_back([&] {
+      for (u32 i = 0; i < iters; ++i) {
+        rw.lock();
+        if (active_writers.fetch_add(1) != 0 || active_readers.load() != 0) {
+          violation.store(true);  // writer overlapping anyone
+        }
+        ++shared_value;
+        active_writers.fetch_sub(1);
+        rw.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (violation.load()) {
+    return VcOutcome::fail("reader/writer exclusion violated");
+  }
+  if (shared_value != static_cast<u64>(writers) * iters) {
+    return VcOutcome::fail("writer increments lost");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Barrier ------------------------------------------------------------------------
+
+VcOutcome vc_barrier_rendezvous(u32 parties, u32 phases) {
+  FutexTable futex;
+  FutexBarrier barrier(futex, parties);
+  std::vector<std::atomic<u32>> arrived(phases);
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  for (u32 p = 0; p < parties; ++p) {
+    threads.emplace_back([&] {
+      for (u32 phase = 0; phase < phases; ++phase) {
+        arrived[phase].fetch_add(1, std::memory_order_acq_rel);
+        barrier.arrive_and_wait();
+        // After the barrier, everyone must have arrived at this phase.
+        if (arrived[phase].load(std::memory_order_acquire) != parties) {
+          violation.store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (violation.load()) {
+    return VcOutcome::fail("a thread passed the barrier before all parties arrived");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Allocator ----------------------------------------------------------------------
+
+VcOutcome vc_alloc_model(u64 seed, usize steps) {
+  constexpr usize kArena = 1 << 16;
+  UserAllocator alloc(kArena);
+  Rng rng(seed);
+  struct Block {
+    usize off;
+    usize size;
+  };
+  std::vector<Block> live;
+
+  for (usize i = 0; i < steps; ++i) {
+    if (live.empty() || rng.chance(3, 5)) {
+      usize req = static_cast<usize>(rng.next_range(1, 1500));
+      auto off = alloc.allocate(req);
+      if (off) {
+        usize rounded = (req + UserAllocator::kAlignment - 1) &
+                        ~(UserAllocator::kAlignment - 1);
+        // A1: aligned and disjoint from all live blocks.
+        if (*off % UserAllocator::kAlignment != 0) {
+          return VcOutcome::fail("unaligned allocation");
+        }
+        for (const auto& b : live) {
+          if (*off < b.off + b.size && b.off < *off + rounded) {
+            return VcOutcome::fail("overlapping allocations");
+          }
+        }
+        live.push_back({*off, rounded});
+      }
+    } else {
+      usize idx = rng.next_below(live.size());
+      alloc.free(live[idx].off);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (!alloc.check_invariants()) {
+      return VcOutcome::fail("allocator invariants violated at step " + std::to_string(i));
+    }
+    if (alloc.live_blocks() != live.size()) {
+      return VcOutcome::fail("live-block accounting diverged");
+    }
+  }
+  // A2: free everything -> one block.
+  for (const auto& b : live) {
+    alloc.free(b.off);
+  }
+  if (!alloc.fully_coalesced()) {
+    return VcOutcome::fail("arena not fully coalesced after freeing everything");
+  }
+  return VcOutcome::pass();
+}
+
+VcOutcome vc_alloc_reuse_after_churn() {
+  constexpr usize kArena = 1 << 14;
+  UserAllocator alloc(kArena);
+  std::vector<usize> offs;
+  while (auto off = alloc.allocate(128)) {
+    offs.push_back(*off);
+  }
+  if (offs.size() < 2) {
+    return VcOutcome::fail("arena absorbed too few blocks");
+  }
+  for (usize off : offs) {
+    alloc.free(off);
+  }
+  // The full arena must be allocatable again in one piece.
+  usize whole = alloc.largest_free();
+  auto big = alloc.allocate(whole);
+  if (!big) {
+    return VcOutcome::fail("largest_free() not actually allocatable");
+  }
+  if (whole != kArena - UserAllocator::kHeaderSize) {
+    return VcOutcome::fail("churn permanently fragmented the arena");
+  }
+  return VcOutcome::pass();
+}
+
+
+// --- Green threads (user-level scheduler) ------------------------------------------
+
+UTask counting_task(UScheduler&, std::vector<int>& log, int id, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    log.push_back(id);
+    co_await Yield{};
+  }
+}
+
+// U1: strict round-robin — with N tasks each yielding R times, the execution
+// log is N tasks repeating in a fixed cyclic order.
+VcOutcome vc_uthread_round_robin() {
+  UScheduler sched;
+  std::vector<int> log;
+  const int kTasks = 5, kRounds = 20;
+  for (int id = 0; id < kTasks; ++id) {
+    sched.spawn(counting_task(sched, log, id, kRounds));
+  }
+  u64 resumptions = sched.run();
+  if (sched.live_tasks() != 0) {
+    return VcOutcome::fail("tasks still live after run()");
+  }
+  if (log.size() != usize{kTasks} * kRounds) {
+    return VcOutcome::fail("wrong number of executions");
+  }
+  for (usize i = 0; i < log.size(); ++i) {
+    if (log[i] != static_cast<int>(i % kTasks)) {
+      return VcOutcome::fail("round-robin order violated at step " + std::to_string(i));
+    }
+  }
+  // Each yield costs exactly one resumption; +1 initial start per task...
+  // every loop iteration is one resumption, plus the final return resume.
+  if (resumptions != usize{kTasks} * (kRounds + 1)) {
+    return VcOutcome::fail("resumption accounting wrong: " + std::to_string(resumptions));
+  }
+  return VcOutcome::pass();
+}
+
+UTask producer_task(UScheduler&, UChannel<int>& chan, int count) {
+  for (int i = 1; i <= count; ++i) {
+    chan.send(i);
+    co_await Yield{};
+  }
+}
+
+UTask consumer_task(UScheduler&, UChannel<int>& chan, std::vector<int>& got, int count) {
+  for (int i = 0; i < count; ++i) {
+    int v = co_await chan.recv();
+    got.push_back(v);
+  }
+}
+
+// U3: channel transfer is FIFO, complete, and loses no wakeups regardless of
+// producer/consumer interleaving.
+VcOutcome vc_uthread_channel_fifo(u64 consumers_first) {
+  UScheduler sched;
+  UChannel<int> chan(sched);
+  std::vector<int> got;
+  const int kCount = 200;
+  if (consumers_first != 0) {
+    sched.spawn(consumer_task(sched, chan, got, kCount));
+    sched.spawn(producer_task(sched, chan, kCount));
+  } else {
+    sched.spawn(producer_task(sched, chan, kCount));
+    sched.spawn(consumer_task(sched, chan, got, kCount));
+  }
+  sched.run();
+  if (got.size() != usize{kCount}) {
+    return VcOutcome::fail("items lost through the channel");
+  }
+  for (int i = 0; i < kCount; ++i) {
+    if (got[i] != i + 1) {
+      return VcOutcome::fail("FIFO order violated");
+    }
+  }
+  if (chan.pending() != 0 || chan.waiters() != 0) {
+    return VcOutcome::fail("channel not drained");
+  }
+  return VcOutcome::pass();
+}
+
+UTask pipeline_stage(UScheduler&, UChannel<int>& in, UChannel<int>& out, int n) {
+  for (int i = 0; i < n; ++i) {
+    int v = co_await in.recv();
+    out.send(v * 2);
+  }
+}
+
+// Multi-stage pipeline of green threads: values traverse 3 stages in order.
+VcOutcome vc_uthread_pipeline() {
+  UScheduler sched;
+  UChannel<int> a(sched), b(sched), c(sched), d(sched);
+  const int kN = 50;
+  sched.spawn(pipeline_stage(sched, a, b, kN));
+  sched.spawn(pipeline_stage(sched, b, c, kN));
+  sched.spawn(pipeline_stage(sched, c, d, kN));
+  for (int i = 1; i <= kN; ++i) {
+    a.send(i);
+  }
+  sched.run();
+  for (int i = 1; i <= kN; ++i) {
+    auto awaiter = d.recv();
+    if (!awaiter.await_ready()) {
+      return VcOutcome::fail("pipeline output missing");
+    }
+    int v = awaiter.await_resume();
+    if (v != i * 8) {
+      return VcOutcome::fail("pipeline transformed value wrongly");
+    }
+  }
+  return VcOutcome::pass();
+}
+
+}  // namespace
+
+void register_ulib_vcs(VcRegistry& reg) {
+  reg.add("ulib/mutex_mutual_exclusion_4t", VcCategory::kThreadsSync,
+          [] { return vc_mutex_mutual_exclusion(4, 20'000); });
+  reg.add("ulib/mutex_mutual_exclusion_8t", VcCategory::kThreadsSync,
+          [] { return vc_mutex_mutual_exclusion(8, 10'000); });
+  reg.add("ulib/mutex_blocks_rather_than_spins", VcCategory::kThreadsSync,
+          [] { return vc_mutex_blocks_rather_than_spins(); });
+  reg.add("ulib/condvar_producer_consumer_1p1c", VcCategory::kThreadsSync,
+          [] { return vc_condvar_producer_consumer(1, 1, 20'000); });
+  reg.add("ulib/condvar_producer_consumer_4p4c", VcCategory::kThreadsSync,
+          [] { return vc_condvar_producer_consumer(4, 4, 5'000); });
+  reg.add("ulib/semaphore_bounds_3of8", VcCategory::kThreadsSync,
+          [] { return vc_semaphore_bounds(3, 8, 3'000); });
+  reg.add("ulib/semaphore_bounds_1of4", VcCategory::kThreadsSync,
+          [] { return vc_semaphore_bounds(1, 4, 3'000); });
+  reg.add("ulib/rwlock_exclusion", VcCategory::kThreadsSync,
+          [] { return vc_rwlock_exclusion(6, 2, 2'000); });
+  reg.add("ulib/barrier_rendezvous", VcCategory::kThreadsSync,
+          [] { return vc_barrier_rendezvous(6, 50); });
+  for (u64 seed = 1; seed <= 4; ++seed) {
+    reg.add("ulib/alloc_model_seed" + std::to_string(seed), VcCategory::kSystemLibraries,
+            [seed] { return vc_alloc_model(seed, 2'000); });
+  }
+  reg.add("ulib/alloc_reuse_after_churn", VcCategory::kSystemLibraries,
+          [] { return vc_alloc_reuse_after_churn(); });
+  reg.add("ulib/uthread_round_robin", VcCategory::kThreadsSync,
+          [] { return vc_uthread_round_robin(); });
+  reg.add("ulib/uthread_channel_fifo_prod_first", VcCategory::kThreadsSync,
+          [] { return vc_uthread_channel_fifo(0); });
+  reg.add("ulib/uthread_channel_fifo_cons_first", VcCategory::kThreadsSync,
+          [] { return vc_uthread_channel_fifo(1); });
+  reg.add("ulib/uthread_pipeline", VcCategory::kSystemLibraries,
+          [] { return vc_uthread_pipeline(); });
+}
+
+}  // namespace vnros

@@ -1,0 +1,65 @@
+#include "src/ulib/uthread.h"
+
+namespace vnros {
+
+UScheduler::~UScheduler() {
+  for (UTask::Handle h : all_) {
+    if (h) {
+      h.destroy();
+    }
+  }
+}
+
+usize UScheduler::spawn(UTask task) {
+  UTask::Handle h = task.handle();
+  VNROS_CHECK(h && !h.done());
+  h.promise().scheduler = this;
+  usize id = all_.size();
+  all_.push_back(h);
+  ready_.push_back(h);
+  ++live_;
+  return id;
+}
+
+usize UScheduler::id_of(UTask::Handle h) const {
+  for (usize i = 0; i < all_.size(); ++i) {
+    if (all_[i] == h) {
+      return i;
+    }
+  }
+  return ~usize{0};
+}
+
+void UScheduler::make_ready(UTask::Handle h) {
+  VNROS_REQUIRES(!h.done());  // U4: completed tasks never run again
+  ready_.push_back(h);
+}
+
+bool UScheduler::step() {
+  if (ready_.empty()) {
+    return false;
+  }
+  UTask::Handle h = ready_.front();
+  ready_.pop_front();
+  ++resumptions_;
+  trace_.push_back(id_of(h));
+  h.resume();
+  if (h.done()) {
+    VNROS_CHECK(live_ > 0);
+    --live_;
+  }
+  return true;
+}
+
+u64 UScheduler::run() {
+  u64 before = resumptions_;
+  while (step()) {
+  }
+  // U2: run() only returns with nothing runnable; any still-live task is
+  // parked on a channel no one will ever send to — a deadlock the caller
+  // should know about (surface via contract, like a lost-wakeup detector).
+  VNROS_ENSURES(live_ == 0);
+  return resumptions_ - before;
+}
+
+}  // namespace vnros

@@ -1,0 +1,178 @@
+// User-level cooperative thread scheduler (§4.1: NrOS provides "a user-level
+// thread scheduler with synchronization primitives" in user space).
+//
+// Green threads are C++20 coroutines multiplexed onto the calling OS thread
+// by a run-queue scheduler: spawn() creates a task, co_await Yield{} is a
+// cooperative reschedule point, co_await chan.recv() parks the task until a
+// peer sends. Deterministic by construction (FIFO run queue, no preemption),
+// which makes its spec executable and exact:
+//
+//   U1 (fairness): between two consecutive resumptions of a ready task,
+//       every other ready task is resumed exactly once (strict round-robin);
+//   U2 (completion): run() returns only when every spawned task finished;
+//   U3 (no lost wakeups): a task parked on a channel runs again iff a value
+//       was sent to that channel, and receives values in FIFO order;
+//   U4 (isolation): a task never runs after completing.
+//
+// Checked by ulib/uthread_* VCs and tests/ulib_test.cc.
+#ifndef VNROS_SRC_ULIB_UTHREAD_H_
+#define VNROS_SRC_ULIB_UTHREAD_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+class UScheduler;
+
+// The coroutine task type managed by UScheduler.
+class UTask {
+ public:
+  struct promise_type {
+    UScheduler* scheduler = nullptr;
+    bool done_flag = false;
+
+    UTask get_return_object() {
+      return UTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() { done_flag = true; }
+    void unhandled_exception() { VNROS_CHECK(false && "uthread threw"); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  UTask() = default;
+  explicit UTask(Handle h) : handle_(h) {}
+
+  Handle handle() const { return handle_; }
+
+ private:
+  Handle handle_;
+};
+
+// Awaitable: cooperative yield back to the scheduler.
+struct Yield {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(UTask::Handle h) noexcept;
+  void await_resume() const noexcept {}
+};
+
+// An unbounded FIFO channel between green threads. recv() parks the calling
+// task until a value is available; send() never blocks. A sent value is
+// *reserved* for the waiter it wakes (written straight into its awaiter), so
+// a later never-parked receiver cannot steal it — that would be exactly the
+// lost-wakeup bug class futexes have (U3).
+template <typename T>
+class UChannel {
+ public:
+  explicit UChannel(UScheduler& sched) : sched_(&sched) {}
+
+  struct RecvAwaiter {
+    UChannel* chan;
+    std::optional<T> value;
+    UTask::Handle handle{};
+
+    bool await_ready() {
+      if (!chan->queue_.empty()) {
+        value = std::move(chan->queue_.front());
+        chan->queue_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(UTask::Handle h) {
+      handle = h;
+      chan->waiters_.push_back(this);
+    }
+    T await_resume() {
+      VNROS_CHECK(value.has_value());
+      return std::move(*value);
+    }
+  };
+
+  void send(T value);
+
+  RecvAwaiter recv() { return RecvAwaiter{this, std::nullopt}; }
+
+  usize pending() const { return queue_.size(); }
+  usize waiters() const { return waiters_.size(); }
+
+ private:
+  friend struct RecvAwaiter;
+
+  UScheduler* sched_;
+  std::deque<T> queue_;
+  std::deque<RecvAwaiter*> waiters_;
+};
+
+// The scheduler itself. Single-threaded (green threads share one OS thread);
+// all state is plain data.
+class UScheduler {
+ public:
+  UScheduler() = default;
+  ~UScheduler();
+
+  UScheduler(const UScheduler&) = delete;
+  UScheduler& operator=(const UScheduler&) = delete;
+
+  // Registers a coroutine; it starts running at the next run()/step().
+  // Returns a task id (dense, starting at 0).
+  usize spawn(UTask task);
+
+  // Runs until every task has completed (U2). Returns resumption count.
+  u64 run();
+
+  // Resumes exactly one task (the head of the run queue); returns false when
+  // the queue is empty. Exposed so tests can observe scheduling order.
+  bool step();
+
+  // Re-queues a parked task (used by channels / custom awaitables).
+  void make_ready(UTask::Handle h);
+
+  usize live_tasks() const { return live_; }
+  u64 resumptions() const { return resumptions_; }
+
+  // Scheduling trace (task ids in resumption order) for fairness checks.
+  const std::vector<usize>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  friend struct Yield;
+
+  usize id_of(UTask::Handle h) const;
+
+  std::deque<UTask::Handle> ready_;
+  std::vector<UTask::Handle> all_;  // by task id, for traces and cleanup
+  usize live_ = 0;
+  u64 resumptions_ = 0;
+  std::vector<usize> trace_;
+};
+
+// --- inline implementations ------------------------------------------------
+
+inline void Yield::await_suspend(UTask::Handle h) noexcept {
+  h.promise().scheduler->make_ready(h);
+}
+
+template <typename T>
+void UChannel<T>::send(T value) {
+  if (!waiters_.empty()) {
+    RecvAwaiter* waiter = waiters_.front();
+    waiters_.pop_front();
+    waiter->value = std::move(value);  // reserved: no other task can steal it
+    sched_->make_ready(waiter->handle);
+    return;
+  }
+  queue_.push_back(std::move(value));
+}
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_ULIB_UTHREAD_H_

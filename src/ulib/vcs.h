@@ -1,0 +1,17 @@
+// Registration hook for the user-space library verification conditions.
+#ifndef VNROS_SRC_ULIB_VCS_H_
+#define VNROS_SRC_ULIB_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+// Registers ulib/* VCs: mutex mutual exclusion under real contention,
+// condvar no-lost-signal transfer, semaphore permit bounds, rwlock
+// reader/writer exclusion, barrier rendezvous, allocator model equivalence
+// and coalescing.
+void register_ulib_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_ULIB_VCS_H_

@@ -1,0 +1,243 @@
+// Unit tests for src/base: types, Result, contracts, RNG, CRC, serde.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/contracts.h"
+#include "src/base/crc.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/serde.h"
+#include "src/base/types.h"
+
+namespace vnros {
+namespace {
+
+// --- Address types -----------------------------------------------------------
+
+TEST(VAddrTest, Alignment) {
+  EXPECT_TRUE(VAddr{0}.is_page_aligned());
+  EXPECT_TRUE(VAddr{kPageSize}.is_page_aligned());
+  EXPECT_FALSE(VAddr{kPageSize + 1}.is_page_aligned());
+  EXPECT_TRUE(VAddr{3 * kLargePageSize}.is_aligned(kLargePageSize));
+  EXPECT_FALSE(VAddr{kLargePageSize + kPageSize}.is_aligned(kLargePageSize));
+}
+
+TEST(VAddrTest, Canonical) {
+  EXPECT_TRUE(VAddr{0}.is_canonical());
+  EXPECT_TRUE(VAddr{kMaxVaddrExclusive - 1}.is_canonical());
+  EXPECT_FALSE(VAddr{kMaxVaddrExclusive}.is_canonical());
+}
+
+TEST(VAddrTest, PageDecomposition) {
+  VAddr va{5 * kPageSize + 123};
+  EXPECT_EQ(va.page_base().value, 5 * kPageSize);
+  EXPECT_EQ(va.page_offset(), 123u);
+  EXPECT_EQ(va.page_base().offset(va.page_offset()), va);
+}
+
+TEST(PAddrTest, FrameNumbers) {
+  EXPECT_EQ(PAddr::from_frame(7).value, 7 * kPageSize);
+  EXPECT_EQ(PAddr{7 * kPageSize + 9}.frame_number(), 7u);
+  EXPECT_EQ(PAddr{7 * kPageSize + 9}.page_base(), PAddr::from_frame(7));
+}
+
+TEST(TypesTest, VAddrAndPAddrDoNotCompare) {
+  // Strong typing: this is a compile-time property; assert hashability here.
+  std::hash<VAddr> hv;
+  std::hash<PAddr> hp;
+  EXPECT_EQ(hv(VAddr{42}), hv(VAddr{42}));
+  EXPECT_EQ(hp(PAddr{42}), hp(PAddr{42}));
+}
+
+// --- Result -------------------------------------------------------------------
+
+TEST(ResultTest, OkCarriesValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.error(), ErrorCode::kOk);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, ErrorCarriesCode) {
+  Result<int> r(ErrorCode::kNotFound);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ErrorNamesUnique) {
+  // Every code has a distinct, non-"Unknown" name (log greppability).
+  std::set<std::string> names;
+  for (u32 c = 0; c <= static_cast<u32>(ErrorCode::kUnsupported); ++c) {
+    std::string n = error_name(static_cast<ErrorCode>(c));
+    EXPECT_NE(n, "Unknown") << c;
+    EXPECT_TRUE(names.insert(n).second) << "duplicate error name " << n;
+  }
+}
+
+// --- Contracts ------------------------------------------------------------------
+
+TEST(ContractsTest, DisabledByDefaultCostsNothing) {
+  ASSERT_FALSE(contracts_enabled());
+  u64 before = contracts_checked_count();
+  VNROS_REQUIRES(1 + 1 == 3);  // would abort if evaluated
+  EXPECT_EQ(contracts_checked_count(), before);
+}
+
+TEST(ContractsTest, ScopedEnableRestores) {
+  {
+    ScopedContracts on;
+    EXPECT_TRUE(contracts_enabled());
+    u64 before = contracts_checked_count();
+    VNROS_ENSURES(2 + 2 == 4);
+    EXPECT_EQ(contracts_checked_count(), before + 1);
+    {
+      ScopedContracts off(false);
+      EXPECT_FALSE(contracts_enabled());
+    }
+    EXPECT_TRUE(contracts_enabled());
+  }
+  EXPECT_FALSE(contracts_enabled());
+}
+
+TEST(ContractsDeathTest, ViolationAborts) {
+  ScopedContracts on;
+  EXPECT_DEATH({ VNROS_REQUIRES(false); }, "requires clause violated");
+}
+
+TEST(ContractsDeathTest, CheckIsUnconditional) {
+  ASSERT_FALSE(contracts_enabled());
+  EXPECT_DEATH({ VNROS_CHECK(false); }, "check clause violated");
+}
+
+// --- RNG ---------------------------------------------------------------------------
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    u64 v = rng.next_range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 10));
+    EXPECT_TRUE(rng.chance(10, 10));
+    EXPECT_FALSE(rng.chance_ppm(0));
+    EXPECT_TRUE(rng.chance_ppm(1'000'000));
+  }
+}
+
+TEST(RngTest, UnitDoubleInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_unit_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// Parameterized sweep: next_below is uniform enough that each bucket of a
+// small modulus gets hit (smoke-level chi check).
+class RngBucketTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RngBucketTest, AllBucketsHit) {
+  u64 buckets = GetParam();
+  Rng rng(buckets * 77);
+  std::vector<u32> hits(buckets, 0);
+  for (u64 i = 0; i < buckets * 200; ++i) {
+    ++hits[rng.next_below(buckets)];
+  }
+  for (u64 b = 0; b < buckets; ++b) {
+    EXPECT_GT(hits[b], 0u) << "bucket " << b << " never hit";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, RngBucketTest, ::testing::Values(2, 3, 7, 16, 100));
+
+// --- CRC ------------------------------------------------------------------------------
+
+TEST(CrcTest, EmptyIsZero) {
+  EXPECT_EQ(crc32c({}), 0u);
+  EXPECT_EQ(crc64({}), 0u);
+}
+
+TEST(CrcTest, SingleBitChangesCrc) {
+  std::vector<u8> a(100, 0x55);
+  std::vector<u8> b = a;
+  b[50] ^= 0x01;
+  EXPECT_NE(crc32c(a), crc32c(b));
+  EXPECT_NE(crc64(a), crc64(b));
+}
+
+TEST(CrcTest, IncrementalMatchesOneShot) {
+  std::vector<u8> data(1000);
+  Rng rng(9);
+  for (auto& c : data) {
+    c = static_cast<u8>(rng.next_u64());
+  }
+  for (usize split : {usize{0}, usize{1}, usize{500}, usize{999}, usize{1000}}) {
+    u32 partial = crc32c(std::span<const u8>(data.data(), split));
+    u32 rest = crc32c(std::span<const u8>(data.data() + split, data.size() - split), partial);
+    EXPECT_EQ(rest, crc32c(data)) << "split at " << split;
+  }
+}
+
+// --- Serde ------------------------------------------------------------------------------
+
+TEST(SerdeTest, EmptyReaderIsExhausted) {
+  Reader r({});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(r.get_u8().has_value());
+  EXPECT_FALSE(r.get_u64().has_value());
+  EXPECT_FALSE(r.get_bytes().has_value());
+}
+
+TEST(SerdeTest, LengthPrefixedBytesRejectOverrun) {
+  Writer w;
+  w.put_u32(100);  // claims 100 bytes follow
+  w.put_u8(1);     // ...but only one does
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.get_bytes().has_value());
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  Writer w;
+  w.put_u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(SerdeTest, PositionTracking) {
+  Writer w;
+  w.put_u16(7);
+  w.put_string("ab");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), w.size());
+  (void)r.get_u16();
+  EXPECT_EQ(r.position(), 2u);
+  (void)r.get_string();
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerdeTest, RawRoundTrip) {
+  Writer w;
+  std::vector<u8> raw{1, 2, 3, 4};
+  w.put_raw(raw);
+  Reader r(w.bytes());
+  auto back = r.get_raw(4);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+  EXPECT_FALSE(r.get_raw(1).has_value());
+}
+
+}  // namespace
+}  // namespace vnros

@@ -1,0 +1,346 @@
+// Filesystem tests: namespace semantics, data paths, journaling, recovery,
+// checkpoint compaction, crash consistency (parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/hw/block_device.h"
+#include "src/kernel/fs.h"
+#include "src/kernel/nrfs.h"
+#include "src/hw/topology.h"
+
+namespace vnros {
+namespace {
+
+std::vector<u8> bytes(std::string_view s) { return std::vector<u8>(s.begin(), s.end()); }
+
+// --- Namespace ---------------------------------------------------------------
+
+TEST(MemFsTest, RootExists) {
+  MemFs fs;
+  auto names = fs.readdir("/");
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names.value().empty());
+}
+
+TEST(MemFsTest, MkdirCreateNesting) {
+  MemFs fs;
+  ASSERT_TRUE(fs.mkdir("/a").ok());
+  ASSERT_TRUE(fs.mkdir("/a/b").ok());
+  ASSERT_TRUE(fs.create("/a/b/f").ok());
+  auto st = fs.stat("/a/b/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st.value().is_dir);
+  EXPECT_EQ(st.value().size, 0u);
+  auto names = fs.readdir("/a/b");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), std::vector<std::string>{"f"});
+}
+
+TEST(MemFsTest, MissingParentFails) {
+  MemFs fs;
+  EXPECT_EQ(fs.create("/no/such/file").error(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs.mkdir("/no/such").error(), ErrorCode::kNotFound);
+}
+
+TEST(MemFsTest, PathValidation) {
+  MemFs fs;
+  EXPECT_EQ(fs.create("relative").error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs.create("").error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs.create("//double").error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs.create(std::string("/") + std::string(300, 'x')).error(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(MemFsTest, DirFileConfusions) {
+  MemFs fs;
+  ASSERT_TRUE(fs.mkdir("/d").ok());
+  ASSERT_TRUE(fs.create("/f").ok());
+  EXPECT_EQ(fs.unlink("/d").error(), ErrorCode::kIsDirectory);
+  EXPECT_EQ(fs.rmdir("/f").error(), ErrorCode::kNotDirectory);
+  EXPECT_EQ(fs.readdir("/f").error(), ErrorCode::kNotDirectory);
+  EXPECT_EQ(fs.write("/d", 0, bytes("x")).error(), ErrorCode::kIsDirectory);
+  EXPECT_EQ(fs.create("/f/under-file").error(), ErrorCode::kNotDirectory);
+}
+
+TEST(MemFsTest, RmdirOnlyWhenEmpty) {
+  MemFs fs;
+  ASSERT_TRUE(fs.mkdir("/d").ok());
+  ASSERT_TRUE(fs.create("/d/f").ok());
+  EXPECT_EQ(fs.rmdir("/d").error(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs.unlink("/d/f").ok());
+  EXPECT_TRUE(fs.rmdir("/d").ok());
+  EXPECT_EQ(fs.stat("/d").error(), ErrorCode::kNotFound);
+}
+
+TEST(MemFsTest, RenameMovesSubtree) {
+  MemFs fs;
+  ASSERT_TRUE(fs.mkdir("/src").ok());
+  ASSERT_TRUE(fs.create("/src/f").ok());
+  ASSERT_TRUE(fs.write("/src/f", 0, bytes("hello")).ok());
+  ASSERT_TRUE(fs.mkdir("/dst").ok());
+  ASSERT_TRUE(fs.rename("/src", "/dst/moved").ok());
+  EXPECT_EQ(fs.stat("/src").error(), ErrorCode::kNotFound);
+  auto st = fs.stat("/dst/moved/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 5u);
+}
+
+TEST(MemFsTest, RenameIntoOwnSubtreeRejected) {
+  MemFs fs;
+  ASSERT_TRUE(fs.mkdir("/a").ok());
+  ASSERT_TRUE(fs.mkdir("/a/b").ok());
+  EXPECT_EQ(fs.rename("/a", "/a/b/c").error(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MemFsTest, RenameOntoExistingRejected) {
+  MemFs fs;
+  ASSERT_TRUE(fs.create("/a").ok());
+  ASSERT_TRUE(fs.create("/b").ok());
+  EXPECT_EQ(fs.rename("/a", "/b").error(), ErrorCode::kAlreadyExists);
+}
+
+// --- Data path -----------------------------------------------------------------
+
+TEST(MemFsTest, WriteExtendsAndZeroFills) {
+  MemFs fs;
+  ASSERT_TRUE(fs.create("/f").ok());
+  ASSERT_TRUE(fs.write("/f", 10, bytes("xy")).ok());
+  auto st = fs.stat("/f");
+  EXPECT_EQ(st.value().size, 12u);
+  std::vector<u8> buf(12);
+  auto n = fs.read("/f", 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 12u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(buf[i], 0) << i;
+  }
+  EXPECT_EQ(buf[10], 'x');
+}
+
+TEST(MemFsTest, ReadSemanticsMatchReadSpec) {
+  MemFs fs;
+  ASSERT_TRUE(fs.create("/f").ok());
+  ASSERT_TRUE(fs.write("/f", 0, bytes("0123456789")).ok());
+  std::vector<u8> buf(4);
+  // Interior read.
+  EXPECT_EQ(fs.read("/f", 2, buf).value(), 4u);
+  EXPECT_EQ(buf[0], '2');
+  // Tail-clamped read.
+  EXPECT_EQ(fs.read("/f", 8, buf).value(), 2u);
+  // At EOF.
+  EXPECT_EQ(fs.read("/f", 10, buf).value(), 0u);
+  // Past EOF.
+  EXPECT_EQ(fs.read("/f", 99, buf).value(), 0u);
+}
+
+TEST(MemFsTest, TruncateBothDirections) {
+  MemFs fs;
+  ASSERT_TRUE(fs.create("/f").ok());
+  ASSERT_TRUE(fs.write("/f", 0, bytes("abcdef")).ok());
+  ASSERT_TRUE(fs.truncate("/f", 3).ok());
+  EXPECT_EQ(fs.stat("/f").value().size, 3u);
+  ASSERT_TRUE(fs.truncate("/f", 6).ok());
+  std::vector<u8> buf(6);
+  (void)fs.read("/f", 0, buf);
+  EXPECT_EQ(buf[2], 'c');
+  EXPECT_EQ(buf[4], 0);  // zero-extended
+}
+
+// --- View ------------------------------------------------------------------------
+
+TEST(MemFsTest, ViewReflectsTree) {
+  MemFs fs;
+  (void)fs.mkdir("/d");
+  (void)fs.create("/d/f");
+  (void)fs.write("/d/f", 0, bytes("zz"));
+  (void)fs.create("/top");
+  FsAbsState v = fs.view();
+  EXPECT_EQ(v.dirs, std::set<std::string>{"/d"});
+  ASSERT_EQ(v.files.size(), 2u);
+  EXPECT_EQ(v.files.at("/d/f"), bytes("zz"));
+  EXPECT_TRUE(v.files.at("/top").empty());
+}
+
+// --- Persistence -------------------------------------------------------------------
+
+TEST(MemFsPersistTest, FormatRejectsTinyDevice) {
+  BlockDevice dev(4);
+  EXPECT_FALSE(MemFs::format(dev).ok());
+}
+
+TEST(MemFsPersistTest, RecoverEmptyFs) {
+  BlockDevice dev(1024);
+  {
+    auto fs = MemFs::format(dev);
+    ASSERT_TRUE(fs.ok());
+  }
+  auto rec = MemFs::recover(dev);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.value().view() == FsAbsState{});
+}
+
+TEST(MemFsPersistTest, RecoverGarbageDeviceFails) {
+  BlockDevice dev(64);
+  std::vector<u8> junk(kSectorSize, 0x5A);
+  (void)dev.write(0, junk);
+  dev.flush();
+  EXPECT_EQ(MemFs::recover(dev).error(), ErrorCode::kCorrupted);
+}
+
+TEST(MemFsPersistTest, CleanRemountPreservesEverything) {
+  BlockDevice dev(4096);
+  FsAbsState before;
+  {
+    auto fsr = MemFs::format(dev);
+    ASSERT_TRUE(fsr.ok());
+    MemFs fs = std::move(fsr.value());
+    (void)fs.mkdir("/data");
+    (void)fs.create("/data/a");
+    (void)fs.write("/data/a", 0, bytes("payload-a"));
+    (void)fs.create("/data/b");
+    (void)fs.write("/data/b", 100, bytes("sparse"));
+    (void)fs.rename("/data/b", "/data/b2");
+    (void)fs.fsync();
+    before = fs.view();
+  }
+  auto rec = MemFs::recover(dev);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.value().view() == before);
+}
+
+TEST(MemFsPersistTest, UnsyncedDataMayVanishButFsDoesNotBreak) {
+  BlockDevice dev(4096);
+  auto fsr = MemFs::format(dev);
+  ASSERT_TRUE(fsr.ok());
+  MemFs fs = std::move(fsr.value());
+  (void)fs.create("/a");
+  (void)fs.fsync();
+  (void)fs.create("/b");  // never fsynced
+  dev.crash(0);           // adversarial: all unflushed sectors lost
+  auto rec = MemFs::recover(dev);
+  ASSERT_TRUE(rec.ok());
+  FsAbsState v = rec.value().view();
+  EXPECT_EQ(v.files.count("/a"), 1u);  // fsynced: must exist
+  // "/b" may or may not exist; the fs itself must still operate.
+  EXPECT_TRUE(rec.value().create("/c").ok());
+}
+
+class FsCrashSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FsCrashSweep, RecoveredStateIsAnAcknowledgedPrefix) {
+  u64 seed = GetParam();
+  BlockDevice dev(8192, seed);
+  auto fsr = MemFs::format(dev);
+  ASSERT_TRUE(fsr.ok());
+  MemFs fs = std::move(fsr.value());
+  Rng rng(seed * 31);
+
+  std::vector<FsAbsState> states{fs.view()};
+  usize fsync_floor = 0;
+  for (int i = 0; i < 80; ++i) {
+    std::string path = "/f" + std::to_string(rng.next_below(6));
+    switch (rng.next_below(3)) {
+      case 0: (void)fs.create(path); break;
+      case 1: {
+        std::vector<u8> data(rng.next_range(1, 64), static_cast<u8>(i));
+        (void)fs.write(path, rng.next_below(32), data);
+        break;
+      }
+      case 2: (void)fs.unlink(path); break;
+      default: break;
+    }
+    states.push_back(fs.view());
+    if (rng.chance(1, 8)) {
+      (void)fs.fsync();
+      fsync_floor = states.size() - 1;
+    }
+  }
+  dev.crash(400'000);
+  auto rec = MemFs::recover(dev);
+  ASSERT_TRUE(rec.ok());
+  FsAbsState got = rec.value().view();
+  isize found = -1;
+  for (usize i = 0; i < states.size(); ++i) {
+    if (states[i] == got) {
+      found = static_cast<isize>(i);
+    }
+  }
+  ASSERT_GE(found, 0) << "recovered state is not any acknowledged prefix";
+  EXPECT_GE(found, static_cast<isize>(fsync_floor)) << "fsynced ops lost";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsCrashSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MemFsPersistTest, CompactionKeepsStateAndResetsJournal) {
+  BlockDevice dev(2048);
+  auto fsr = MemFs::format(dev);
+  ASSERT_TRUE(fsr.ok());
+  MemFs fs = std::move(fsr.value());
+  (void)fs.create("/big");
+  std::vector<u8> chunk(2048, 0xA5);
+  u64 head_before = 0;
+  bool compacted = false;
+  for (int i = 0; i < 600 && !compacted; ++i) {
+    ASSERT_TRUE(fs.write("/big", (i % 4) * chunk.size(), chunk).ok());
+    if (fs.stats().checkpoints > 0) {
+      compacted = true;
+      head_before = fs.journal_head_sector();
+    }
+  }
+  ASSERT_TRUE(compacted) << "journal pressure insufficient";
+  EXPECT_LT(head_before, dev.num_sectors());
+  (void)fs.fsync();
+  FsAbsState before = fs.view();
+  auto rec = MemFs::recover(dev);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.value().view() == before);
+}
+
+
+// --- NR-replicated filesystem ----------------------------------------------------
+
+TEST(NrFsTest, BasicOpsThroughReplication) {
+  Topology topo(4, 2);
+  NrFs fs(topo);
+  auto tok = fs.register_thread(0);
+  ASSERT_EQ(fs.mkdir(tok, "/d"), ErrorCode::kOk);
+  ASSERT_EQ(fs.create(tok, "/d/f"), ErrorCode::kOk);
+  ASSERT_EQ(fs.write(tok, "/d/f", 0, bytes("replicated")).value(), 10u);
+  auto r = fs.read(tok, "/d/f", 0, 64);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), bytes("replicated"));
+  auto st = fs.stat(tok, "/d/f");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 10u);
+  auto names = fs.readdir(tok, "/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), std::vector<std::string>{"f"});
+}
+
+TEST(NrFsTest, CrossNodeVisibility) {
+  Topology topo(4, 2);
+  NrFs fs(topo);
+  auto t0 = fs.register_thread(0);   // node 0
+  auto t1 = fs.register_thread(2);   // node 1
+  ASSERT_EQ(fs.create(t0, "/x"), ErrorCode::kOk);
+  ASSERT_EQ(fs.write(t0, "/x", 0, bytes("cross")).error(), ErrorCode::kOk);
+  // The other node's replica must observe it on the next read.
+  auto r = fs.read(t1, "/x", 0, 16);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), bytes("cross"));
+}
+
+TEST(NrFsTest, ErrorsReplicateIdentically) {
+  Topology topo(2, 1);
+  NrFs fs(topo);
+  auto tok = fs.register_thread(0);
+  EXPECT_EQ(fs.create(tok, "/no/parent"), ErrorCode::kNotFound);
+  EXPECT_EQ(fs.unlink(tok, "/missing"), ErrorCode::kNotFound);
+  ASSERT_EQ(fs.mkdir(tok, "/d"), ErrorCode::kOk);
+  EXPECT_EQ(fs.mkdir(tok, "/d"), ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace vnros

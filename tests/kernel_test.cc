@@ -1,0 +1,334 @@
+// Unit tests for kernel services other than the filesystem and syscall layer
+// (which have their own suites): frame allocator, VM manager, scheduler,
+// process directory, futexes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/kernel/frame_alloc.h"
+#include "src/kernel/futex.h"
+#include "src/kernel/process.h"
+#include "src/kernel/scheduler.h"
+#include "src/kernel/vm.h"
+
+namespace vnros {
+namespace {
+
+// --- FrameAllocator -----------------------------------------------------------
+
+TEST(FrameAllocatorTest, ZeroesFrames) {
+  PhysMem mem(64);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  auto f = alloc.alloc_on_node(0);
+  ASSERT_TRUE(f.ok());
+  mem.write_u64(f.value(), 0xFFFF);
+  alloc.free(f.value());
+  auto g = alloc.alloc_on_node(0);
+  ASSERT_TRUE(g.ok());
+  // Whatever frame came back (freelist reuse), it must be zeroed.
+  EXPECT_EQ(mem.read_u64(g.value()), 0u);
+}
+
+TEST(FrameAllocatorTest, ReservedLowFramesNeverHandedOut) {
+  PhysMem mem(64);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo, 16);
+  std::set<u64> seen;
+  while (true) {
+    auto f = alloc.alloc_on_node(0);
+    if (!f.ok()) {
+      break;
+    }
+    EXPECT_GE(f.value().frame_number(), 16u);
+    EXPECT_TRUE(seen.insert(f.value().frame_number()).second);
+  }
+  EXPECT_EQ(seen.size(), 48u);
+}
+
+TEST(FrameAllocatorTest, NodeViewPrefersItsNode) {
+  PhysMem mem(256);
+  Topology topo(4, 2);
+  FrameAllocator alloc(mem, topo);
+  FrameAllocator::NodeView view1(alloc, 1);
+  auto f = view1.alloc_frame();
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(alloc.stats().remote_fallbacks, 0u);
+  view1.free_frame(f.value());
+}
+
+TEST(FrameAllocatorDeathTest, DoubleFreeAborts) {
+  PhysMem mem(64);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  auto f = alloc.alloc_on_node(0);
+  alloc.free(f.value());
+  EXPECT_DEATH(alloc.free(f.value()), "check clause");
+}
+
+// --- VmManager -----------------------------------------------------------------
+
+TEST(VmManagerTest, MmapRoundsToPages) {
+  PhysMem mem(512);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  VmManager vm(mem, alloc);
+  auto r = vm.mmap(1, Perms::rw());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(vm.mapped_bytes(), kPageSize);
+  auto r2 = vm.mmap(kPageSize + 1, Perms::rw());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(vm.mapped_bytes(), 3 * kPageSize);
+  EXPECT_EQ(vm.region_count(), 2u);
+}
+
+TEST(VmManagerTest, ZeroLengthRejected) {
+  PhysMem mem(128);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  VmManager vm(mem, alloc);
+  EXPECT_EQ(vm.mmap(0, Perms::rw()).error(), ErrorCode::kInvalidArgument);
+}
+
+TEST(VmManagerTest, GuardGapBetweenRegions) {
+  PhysMem mem(512);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  VmManager vm(mem, alloc);
+  auto a = vm.mmap(kPageSize, Perms::rw());
+  auto b = vm.mmap(kPageSize, Perms::rw());
+  ASSERT_TRUE(a.ok() && b.ok());
+  // The byte just past region A must fault (guard page).
+  std::vector<u8> probe(1);
+  EXPECT_FALSE(vm.copy_in(a.value().offset(kPageSize), probe).ok());
+}
+
+TEST(VmManagerTest, ExhaustionRollsBack) {
+  PhysMem mem(32);  // tiny machine
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo, 4);
+  VmManager vm(mem, alloc);
+  u64 free_before = alloc.free_frames();
+  // Request more pages than exist: must fail without leaking.
+  auto r = vm.mmap(64 * kPageSize, Perms::rw());
+  EXPECT_EQ(r.error(), ErrorCode::kNoMemory);
+  EXPECT_EQ(alloc.free_frames(), free_before);
+  EXPECT_EQ(vm.region_count(), 0u);
+}
+
+TEST(VmManagerTest, ReadU32WriteU32) {
+  PhysMem mem(128);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  VmManager vm(mem, alloc);
+  auto r = vm.mmap(kPageSize, Perms::rw());
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(vm.write_u32(r.value().offset(64), 0xABCD1234).ok());
+  auto v = vm.read_u32(r.value().offset(64));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 0xABCD1234u);
+}
+
+// --- Scheduler ------------------------------------------------------------------
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : topo(2, 1), sched(topo), tok(sched.register_core(0)) {}
+
+  Topology topo;
+  Scheduler sched;
+  ThreadToken tok;
+};
+
+TEST_F(SchedulerTest, EmptyCoreIdles) {
+  EXPECT_EQ(sched.pick(tok, 0), 0u);
+}
+
+TEST_F(SchedulerTest, AddDuplicateTidRejected) {
+  EXPECT_EQ(sched.add_thread(tok, 1, 1, 1, 0), ErrorCode::kOk);
+  EXPECT_EQ(sched.add_thread(tok, 1, 1, 1, 0), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(SchedulerTest, BadAffinityRejected) {
+  EXPECT_EQ(sched.add_thread(tok, 1, 1, 1, 99), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, ExitedThreadGone) {
+  (void)sched.add_thread(tok, 1, 1, 1, 0);
+  EXPECT_EQ(sched.exit_thread(tok, 1), ErrorCode::kOk);
+  auto st = sched.thread_state(tok, 1);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value(), ThreadState::kExited);
+  EXPECT_EQ(sched.pick(tok, 0), 0u);
+  EXPECT_EQ(sched.block(tok, 1), ErrorCode::kNotFound);
+}
+
+TEST_F(SchedulerTest, WakeOfReadyThreadIsNoop) {
+  (void)sched.add_thread(tok, 1, 1, 1, 0);
+  EXPECT_EQ(sched.wake(tok, 1), ErrorCode::kOk);
+  EXPECT_EQ(sched.pick(tok, 0), 1u);
+}
+
+TEST_F(SchedulerTest, UnknownTidQueriesFail) {
+  EXPECT_EQ(sched.thread_state(tok, 99).error(), ErrorCode::kNotFound);
+  EXPECT_EQ(sched.wake(tok, 99), ErrorCode::kNotFound);
+}
+
+TEST_F(SchedulerTest, RunningThreadRequeuedOnPick) {
+  (void)sched.add_thread(tok, 1, 1, 1, 0);
+  (void)sched.add_thread(tok, 2, 1, 1, 0);
+  Tid first = sched.pick(tok, 0);
+  Tid second = sched.pick(tok, 0);
+  EXPECT_NE(first, second);  // round-robin: previous runner went to the back
+  EXPECT_EQ(sched.pick(tok, 0), first);
+}
+
+// --- ProcessManager -----------------------------------------------------------------
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  ProcessTest() : mem(2048), topo(2, 1), frames(mem, topo), pm(mem, frames, topo),
+                  tok(pm.register_core(0)) {}
+
+  PhysMem mem;
+  Topology topo;
+  FrameAllocator frames;
+  ProcessManager pm;
+  ThreadToken tok;
+};
+
+TEST_F(ProcessTest, SpawnCreatesAddressSpace) {
+  auto pid = pm.spawn(tok, kInvalidPid);
+  ASSERT_TRUE(pid.ok());
+  Process* proc = pm.get(pid.value());
+  ASSERT_NE(proc, nullptr);
+  auto region = proc->vm().mmap(kPageSize, Perms::rw());
+  EXPECT_TRUE(region.ok());
+}
+
+TEST_F(ProcessTest, SpawnUnderDeadParentFails) {
+  auto parent = pm.spawn(tok, kInvalidPid);
+  ASSERT_TRUE(pm.exit(tok, parent.value(), 0).ok());
+  EXPECT_EQ(pm.spawn(tok, parent.value()).error(), ErrorCode::kNotFound);
+}
+
+TEST_F(ProcessTest, ExitFreesFrames) {
+  u64 before = frames.free_frames();
+  auto pid = pm.spawn(tok, kInvalidPid);
+  Process* proc = pm.get(pid.value());
+  ASSERT_TRUE(proc->vm().mmap(8 * kPageSize, Perms::rw()).ok());
+  EXPECT_LT(frames.free_frames(), before);
+  ASSERT_TRUE(pm.exit(tok, pid.value(), 0).ok());
+  EXPECT_EQ(frames.free_frames(), before);
+}
+
+TEST_F(ProcessTest, DoubleExitFails) {
+  auto pid = pm.spawn(tok, kInvalidPid);
+  ASSERT_TRUE(pm.exit(tok, pid.value(), 1).ok());
+  EXPECT_EQ(pm.exit(tok, pid.value(), 2).error(), ErrorCode::kNotFound);
+}
+
+TEST_F(ProcessTest, InvalidSignalRejected) {
+  auto pid = pm.spawn(tok, kInvalidPid);
+  EXPECT_EQ(pm.kill(tok, pid.value(), 0).error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(pm.kill(tok, pid.value(), 64).error(), ErrorCode::kInvalidArgument);
+}
+
+
+// --- Demand paging -----------------------------------------------------------------
+
+TEST(VmManagerTest, LazyRegionBacksOnTouch) {
+  PhysMem mem(1024);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  VmManager vm(mem, alloc);
+  u64 free_before = alloc.free_frames();
+  auto region = vm.mmap_lazy(8 * kPageSize, Perms::rw());
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(alloc.free_frames(), free_before);  // reservation is free
+  std::vector<u8> b{0x11};
+  ASSERT_TRUE(vm.copy_out(region.value().offset(3 * kPageSize), b).ok());
+  EXPECT_EQ(vm.resident_pages(region.value()).value(), 1u);
+  EXPECT_EQ(vm.stats().faults_served, 1u);
+  // Second touch of the same page: no new fault.
+  ASSERT_TRUE(vm.copy_out(region.value().offset(3 * kPageSize + 8), b).ok());
+  EXPECT_EQ(vm.stats().faults_served, 1u);
+  ASSERT_TRUE(vm.munmap(region.value()).ok());
+  EXPECT_EQ(alloc.free_frames(), free_before);
+}
+
+TEST(VmManagerTest, LazyCrossPageCopyFaultsEachPage) {
+  PhysMem mem(1024);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  VmManager vm(mem, alloc);
+  auto region = vm.mmap_lazy(4 * kPageSize, Perms::rw());
+  ASSERT_TRUE(region.ok());
+  std::vector<u8> data(kPageSize * 2, 0x3A);  // spans 3 pages from offset 100
+  ASSERT_TRUE(vm.copy_out(region.value().offset(100), data).ok());
+  EXPECT_EQ(vm.resident_pages(region.value()).value(), 3u);
+  std::vector<u8> back(data.size());
+  ASSERT_TRUE(vm.copy_in(region.value().offset(100), back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(VmManagerTest, LazyOutsideRegionStillFaultsHard) {
+  PhysMem mem(1024);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  VmManager vm(mem, alloc);
+  auto region = vm.mmap_lazy(kPageSize, Perms::rw());
+  std::vector<u8> b{1};
+  EXPECT_EQ(vm.copy_out(region.value().offset(2 * kPageSize), b).error(),
+            ErrorCode::kNotMapped);
+}
+
+// --- FutexTable (host threads) ---------------------------------------------------------
+
+TEST(FutexTableTest, WakeWithoutWaitersReturnsZero) {
+  FutexTable futex;
+  std::atomic<u32> word{0};
+  EXPECT_EQ(futex.wake(&word, 10), 0u);
+}
+
+TEST(FutexTableTest, WakeNReleasesAtMostN) {
+  FutexTable futex;
+  std::atomic<u32> word{0};
+  std::atomic<int> woken{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      (void)futex.wait(&word, 0);
+      ++woken;
+    });
+  }
+  while (futex.stats().waits < 3) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(futex.wake(&word, 1), 1u);
+  while (woken.load() < 1) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(woken.load(), 1);
+  EXPECT_EQ(futex.wake(&word, 10), 2u);
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(woken.load(), 3);
+}
+
+TEST(FutexTableTest, DifferentAddressesIndependent) {
+  FutexTable futex;
+  std::atomic<u32> a{0}, b{0};
+  std::thread waiter([&] { (void)futex.wait(&a, 0); });
+  while (futex.stats().waits < 1) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(futex.wake(&b, 10), 0u);  // wrong address wakes nobody
+  EXPECT_EQ(futex.wake(&a, 1), 1u);
+  waiter.join();
+}
+
+}  // namespace
+}  // namespace vnros

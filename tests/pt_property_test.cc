@@ -1,0 +1,208 @@
+// Property-based sweeps for the page table, parameterized over page sizes
+// and seeds (TEST_P): refinement against the high-level spec, MMU agreement,
+// differential testing against the unverified baseline, invariant
+// preservation — the gtest face of the pt/* verification conditions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/base/rng.h"
+#include "src/hw/mmu.h"
+#include "src/pt/frame_source.h"
+#include "src/pt/hl_spec.h"
+#include "src/pt/interp.h"
+#include "src/pt/page_table.h"
+#include "src/pt/unverified.h"
+#include "src/pt/vcs.h"
+#include "src/spec/refinement.h"
+
+namespace vnros {
+namespace {
+
+constexpr u64 kFrames = 4096;
+
+struct Fixture {
+  PhysMem mem{kFrames};
+  SimpleFrameSource frames{mem, kFrames - 512};
+  PageTable pt;
+
+  Fixture() : pt([this] {
+        auto r = PageTable::create(mem, frames);
+        VNROS_CHECK(r.ok());
+        return std::move(r.value());
+      }()) {}
+
+  PtAbsState view() const {
+    return PtAbsState{interpret_page_table(mem, pt.root()), mem.size_bytes()};
+  }
+};
+
+PAddr aligned_frame(Rng& rng, u64 size) {
+  u64 region = kFrames * kPageSize;
+  u64 base = rng.next_below(region) & ~(size - 1);
+  if (base + size > region) {
+    base = 0;
+  }
+  return PAddr{base};
+}
+
+// --- Refinement sweep over (seed, mixed-sizes) -----------------------------------
+
+class PtRefinementSweep : public ::testing::TestWithParam<std::tuple<u64, bool>> {};
+
+TEST_P(PtRefinementSweep, EveryStepAdmittedBySpec) {
+  auto [seed, mixed] = GetParam();
+  Fixture f;
+  Rng rng(seed);
+  const std::vector<u64> sizes = mixed
+                                     ? std::vector<u64>{kPageSize, kLargePageSize, kHugePageSize}
+                                     : std::vector<u64>{kPageSize};
+  auto view = [&] { return f.view(); };
+  auto step = [&](usize) -> PtHighLevelSpec::Label {
+    u64 kind = rng.next_below(10);
+    u64 size = sizes[rng.next_below(sizes.size())];
+    VAddr vbase{rng.next_below(10) * kHugePageSize + rng.next_below(4) * size};
+    if (kind < 5) {
+      PAddr frame = aligned_frame(rng, size);
+      Perms perms{rng.chance(1, 2), true, rng.chance(1, 4)};
+      ErrorCode err = f.pt.map_frame(vbase, frame, size, perms).error();
+      return {PtHighLevelSpec::MapLabel{vbase, frame, size, perms, err}};
+    }
+    if (kind < 8) {
+      return {PtHighLevelSpec::UnmapLabel{vbase, f.pt.unmap(vbase).error()}};
+    }
+    VAddr va = vbase.offset(rng.next_below(size));
+    auto r = f.pt.resolve(va);
+    PtHighLevelSpec::ResolveLabel l{va, r.error(), {}, {}};
+    if (r.ok()) {
+      l.result = ErrorCode::kOk;
+      l.paddr = r.value().paddr;
+      l.perms = r.value().perms;
+    }
+    return {l};
+  };
+  RefinementChecker<PtHighLevelSpec> checker(view, step);
+  auto report = checker.run(300);
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_TRUE(f.pt.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtRefinementSweep,
+                         ::testing::Combine(::testing::Values(11, 22, 33, 44, 55),
+                                            ::testing::Bool()));
+
+// --- MMU agreement sweep ------------------------------------------------------------
+
+class PtMmuAgreement : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PtMmuAgreement, HardwareWalkMatchesAbstractMap) {
+  Fixture f;
+  Mmu mmu(f.mem);
+  Rng rng(GetParam());
+  // Build a random population of mappings.
+  for (int i = 0; i < 60; ++i) {
+    u64 size = rng.chance(1, 4) ? kLargePageSize : kPageSize;
+    VAddr vbase{rng.next_below(10) * kHugePageSize + rng.next_below(16) * size};
+    (void)f.pt.map_frame(vbase, aligned_frame(rng, size), size,
+                         Perms{rng.chance(1, 2), true, false});
+  }
+  AbsMap abstract = interpret_page_table(f.mem, f.pt.root());
+  // Probe random addresses: MMU result must equal the abstract map's answer.
+  for (int i = 0; i < 500; ++i) {
+    VAddr va{rng.next_below(10) * kHugePageSize + rng.next_below(kHugePageSize)};
+    auto cov = covering(abstract, va);
+    auto hw = mmu.translate(f.pt.root(), va, Access::kRead, Ring::kUser);
+    if (cov) {
+      ASSERT_TRUE(hw.ok()) << "abstract map has a mapping the MMU cannot walk";
+      PAddr expect = cov->second.frame.offset(va.value - cov->first);
+      EXPECT_EQ(hw.value().paddr, expect);
+      // Write permission agreement.
+      auto hw_w = mmu.translate(f.pt.root(), va, Access::kWrite, Ring::kUser);
+      EXPECT_EQ(hw_w.ok(), cov->second.perms.writable);
+    } else {
+      EXPECT_FALSE(hw.ok()) << "MMU translated an address the abstract map lacks";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtMmuAgreement, ::testing::Values(101, 202, 303, 404));
+
+// --- Differential sweep against the unverified implementation ------------------------
+
+class PtDifferential : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PtDifferential, VerifiedAndUnverifiedAgree) {
+  PhysMem mem_a(kFrames), mem_b(kFrames);
+  SimpleFrameSource fr_a(mem_a, kFrames - 512), fr_b(mem_b, kFrames - 512);
+  auto a = PageTable::create(mem_a, fr_a);
+  auto b = UnverifiedPageTable::create(mem_b, fr_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng(GetParam());
+  for (int i = 0; i < 600; ++i) {
+    u64 size = std::vector<u64>{kPageSize, kLargePageSize}[rng.next_below(2)];
+    VAddr vbase{rng.next_below(8) * kHugePageSize + rng.next_below(8) * size};
+    switch (rng.next_below(3)) {
+      case 0: {
+        PAddr frame = aligned_frame(rng, size);
+        Perms perms{rng.chance(1, 2), true, false};
+        EXPECT_EQ(a.value().map_frame(vbase, frame, size, perms).error(),
+                  b.value().map_frame(vbase, frame, size, perms).error());
+        break;
+      }
+      case 1:
+        EXPECT_EQ(a.value().unmap(vbase).error(), b.value().unmap(vbase).error());
+        break;
+      case 2: {
+        VAddr va = vbase.offset(rng.next_below(size));
+        auto ra = a.value().resolve(va);
+        auto rb = b.value().resolve(va);
+        ASSERT_EQ(ra.ok(), rb.ok());
+        if (ra.ok()) {
+          EXPECT_EQ(ra.value(), rb.value());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(interpret_page_table(mem_a, a.value().root()),
+            interpret_page_table(mem_b, b.value().root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtDifferential, ::testing::Values(7, 17, 27));
+
+// --- Invariant preservation under adversarial op ordering -----------------------------
+
+class PtInvariantSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PtInvariantSweep, InvariantsHoldAfterEveryOp) {
+  Fixture f;
+  Rng rng(GetParam());
+  for (int i = 0; i < 150; ++i) {
+    u64 size =
+        std::vector<u64>{kPageSize, kLargePageSize, kHugePageSize}[rng.next_below(3)];
+    VAddr vbase{rng.next_below(6) * kHugePageSize + rng.next_below(4) * size};
+    if (rng.chance(3, 5)) {
+      (void)f.pt.map_frame(vbase, aligned_frame(rng, size), size, Perms::rw());
+    } else {
+      (void)f.pt.unmap(vbase);
+    }
+    ASSERT_TRUE(f.pt.check_invariants()) << "after op " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtInvariantSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// The full pt VC family also runs under gtest so a CI failure names the VC.
+TEST(PtVcsTest, AllPass) {
+  VcRegistry reg;
+  register_pt_vcs(reg);
+  auto s = reg.run_all();
+  for (const auto& r : s.results) {
+    EXPECT_TRUE(r.passed) << r.name << ": " << r.message;
+  }
+}
+
+}  // namespace
+}  // namespace vnros

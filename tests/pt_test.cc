@@ -1,0 +1,237 @@
+// Unit tests for the page-table prototype: map/unmap/resolve semantics,
+// interpretation function, invariants, error paths, the unverified baseline
+// and the NR-replicated address space.
+#include <gtest/gtest.h>
+
+#include "src/base/contracts.h"
+#include "src/hw/mmu.h"
+#include "src/nr/baselines.h"
+#include "src/pt/address_space.h"
+#include "src/pt/frame_source.h"
+#include "src/pt/hl_spec.h"
+#include "src/pt/interp.h"
+#include "src/pt/page_table.h"
+#include "src/pt/unverified.h"
+
+namespace vnros {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PageTableTest() : mem(4096), frames(mem, 2048), pt(make(mem, frames)) {}
+
+  static PageTable make(PhysMem& mem, SimpleFrameSource& frames) {
+    auto r = PageTable::create(mem, frames);
+    EXPECT_TRUE(r.ok());
+    return std::move(r.value());
+  }
+
+  PhysMem mem;
+  SimpleFrameSource frames;
+  PageTable pt;
+};
+
+TEST_F(PageTableTest, FreshTableIsEmpty) {
+  EXPECT_TRUE(interpret_page_table(mem, pt.root()).empty());
+  EXPECT_EQ(pt.table_frames(), 1u);
+  EXPECT_TRUE(pt.check_invariants());
+  EXPECT_FALSE(pt.resolve(VAddr{0}).ok());
+}
+
+TEST_F(PageTableTest, MapThenResolve) {
+  VAddr va{0x40000000};
+  PAddr pa = PAddr::from_frame(100);
+  ASSERT_TRUE(pt.map_frame(va, pa, kPageSize, Perms::rw()).ok());
+  auto r = pt.resolve(va.offset(0xABC));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().paddr, pa.offset(0xABC));
+  EXPECT_EQ(r.value().perms, Perms::rw());
+  EXPECT_EQ(pt.table_frames(), 4u);  // root + PDPT + PD + PT
+}
+
+TEST_F(PageTableTest, InterpretationMatchesOperations) {
+  ASSERT_TRUE(pt.map_frame(VAddr{kPageSize}, PAddr::from_frame(5), kPageSize, Perms::ro()).ok());
+  ASSERT_TRUE(
+      pt.map_frame(VAddr{kLargePageSize}, PAddr{0}, kLargePageSize, Perms::rwx()).ok());
+  AbsMap m = interpret_page_table(mem, pt.root());
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(kPageSize).frame, PAddr::from_frame(5));
+  EXPECT_EQ(m.at(kPageSize).size, kPageSize);
+  EXPECT_EQ(m.at(kPageSize).perms, Perms::ro());
+  EXPECT_EQ(m.at(kLargePageSize).size, kLargePageSize);
+  EXPECT_EQ(m.at(kLargePageSize).perms, Perms::rwx());
+}
+
+TEST_F(PageTableTest, UnmapExactBaseOnly) {
+  VAddr base{kLargePageSize};
+  ASSERT_TRUE(pt.map_frame(base, PAddr{0}, kLargePageSize, Perms::rw()).ok());
+  // Unmapping an interior page of a large mapping is NotMapped.
+  EXPECT_EQ(pt.unmap(base.offset(kPageSize)).error(), ErrorCode::kNotMapped);
+  EXPECT_TRUE(pt.resolve(base).ok());
+  // Exact base works.
+  EXPECT_TRUE(pt.unmap(base).ok());
+  EXPECT_FALSE(pt.resolve(base).ok());
+}
+
+TEST_F(PageTableTest, DoubleUnmapFails) {
+  VAddr va{0x1000};
+  ASSERT_TRUE(pt.map_frame(va, PAddr::from_frame(9), kPageSize, Perms::rw()).ok());
+  ASSERT_TRUE(pt.unmap(va).ok());
+  EXPECT_EQ(pt.unmap(va).error(), ErrorCode::kNotMapped);
+}
+
+TEST_F(PageTableTest, RemapAfterUnmap) {
+  VAddr va{0x2000};
+  ASSERT_TRUE(pt.map_frame(va, PAddr::from_frame(3), kPageSize, Perms::rw()).ok());
+  EXPECT_EQ(pt.map_frame(va, PAddr::from_frame(4), kPageSize, Perms::rw()).error(),
+            ErrorCode::kAlreadyMapped);
+  ASSERT_TRUE(pt.unmap(va).ok());
+  ASSERT_TRUE(pt.map_frame(va, PAddr::from_frame(4), kPageSize, Perms::ro()).ok());
+  auto r = pt.resolve(va);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().paddr, PAddr::from_frame(4));
+  EXPECT_EQ(r.value().perms, Perms::ro());
+}
+
+TEST_F(PageTableTest, AdjacentMappingsIndependent) {
+  for (u64 i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        pt.map_frame(VAddr{i * kPageSize}, PAddr::from_frame(10 + i), kPageSize, Perms::rw())
+            .ok());
+  }
+  ASSERT_TRUE(pt.unmap(VAddr{5 * kPageSize}).ok());
+  for (u64 i = 0; i < 16; ++i) {
+    EXPECT_EQ(pt.resolve(VAddr{i * kPageSize}).ok(), i != 5) << i;
+  }
+  EXPECT_TRUE(pt.check_invariants());
+}
+
+TEST_F(PageTableTest, SharedIntermediateTablesFreedOnlyWhenEmpty) {
+  // Two pages sharing the same PT.
+  ASSERT_TRUE(pt.map_frame(VAddr{0x0000}, PAddr::from_frame(1), kPageSize, Perms::rw()).ok());
+  ASSERT_TRUE(pt.map_frame(VAddr{0x1000}, PAddr::from_frame(2), kPageSize, Perms::rw()).ok());
+  u64 with_two = pt.table_frames();
+  ASSERT_TRUE(pt.unmap(VAddr{0x0000}).ok());
+  EXPECT_EQ(pt.table_frames(), with_two);  // PT still hosts the second page
+  ASSERT_TRUE(pt.unmap(VAddr{0x1000}).ok());
+  EXPECT_EQ(pt.table_frames(), 1u);  // everything cascaded away
+}
+
+TEST_F(PageTableTest, ClearReleasesEverything) {
+  for (u64 i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        pt.map_frame(VAddr{i * kHugePageSize + kPageSize}, PAddr{0}, kPageSize, Perms::rw())
+            .ok());
+  }
+  EXPECT_GT(pt.table_frames(), 1u);
+  {
+    ScopedContracts on;  // clear() carries an ENSURES on table_frames
+    pt.clear();
+  }
+  EXPECT_EQ(pt.table_frames(), 1u);
+  EXPECT_TRUE(interpret_page_table(mem, pt.root()).empty());
+  // Still usable after clear.
+  EXPECT_TRUE(pt.map_frame(VAddr{0x5000}, PAddr::from_frame(7), kPageSize, Perms::rw()).ok());
+}
+
+TEST_F(PageTableTest, SpecPredicatesMatchImplementation) {
+  // map_args_wf and the implementation agree on a matrix of argument shapes.
+  struct Case {
+    u64 vbase, frame, size;
+  };
+  const Case cases[] = {
+      {0, 0, kPageSize},
+      {kPageSize, kPageSize, kPageSize},
+      {kPageSize + 1, 0, kPageSize},
+      {0, kPageSize / 2, kPageSize},
+      {kLargePageSize / 2, 0, kLargePageSize},
+      {0, 0, 3 * kPageSize},
+      {kMaxVaddrExclusive - kPageSize, 0, kPageSize},
+  };
+  for (const auto& c : cases) {
+    bool wf = map_args_wf(VAddr{c.vbase}, PAddr{c.frame}, c.size);
+    ErrorCode err = pt.map_frame(VAddr{c.vbase}, PAddr{c.frame}, c.size, Perms::rw()).error();
+    if (!wf) {
+      EXPECT_EQ(err, ErrorCode::kInvalidArgument)
+          << "vbase=" << c.vbase << " frame=" << c.frame << " size=" << c.size;
+    } else {
+      EXPECT_NE(err, ErrorCode::kInvalidArgument);
+      if (err == ErrorCode::kOk) {
+        (void)pt.unmap(VAddr{c.vbase});
+      }
+    }
+  }
+}
+
+// --- Unverified baseline behaves identically on basic flows -------------------------
+
+TEST(UnverifiedPageTableTest, BasicFlow) {
+  PhysMem mem(1024);
+  SimpleFrameSource frames(mem, 512);
+  auto r = UnverifiedPageTable::create(mem, frames);
+  ASSERT_TRUE(r.ok());
+  UnverifiedPageTable& pt = r.value();
+  VAddr va{0x7F00'0000};
+  ASSERT_TRUE(pt.map_frame(va, PAddr::from_frame(9), kPageSize, Perms::rw()).ok());
+  auto res = pt.resolve(va.offset(12));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().paddr, PAddr::from_frame(9).offset(12));
+  EXPECT_EQ(pt.map_frame(va, PAddr::from_frame(10), kPageSize, Perms::rw()).error(),
+            ErrorCode::kAlreadyMapped);
+  ASSERT_TRUE(pt.unmap(va).ok());
+  EXPECT_FALSE(pt.resolve(va).ok());
+}
+
+// --- AddressSpace (NR-replicated VSpace) ---------------------------------------------
+
+TEST(AddressSpaceTest, MapUnmapResolveThroughNr) {
+  PhysMem mem(8192);
+  SimpleFrameSource frames(mem, 4096);
+  Topology topo(4, 2);
+  AddressSpace<PageTable> as(mem, frames, topo);
+  auto t = as.register_thread(0);
+  VAddr va{0x10000000};
+  EXPECT_EQ(as.map(t, va, PAddr::from_frame(11), kPageSize, Perms::rw()), ErrorCode::kOk);
+  auto r = as.resolve(t, va.offset(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().paddr, PAddr::from_frame(11).offset(5));
+  EXPECT_EQ(as.unmap(t, va), ErrorCode::kOk);
+  EXPECT_FALSE(as.resolve(t, va).ok());
+}
+
+TEST(AddressSpaceTest, UnmapShootsDownAllTlbs) {
+  PhysMem mem(8192);
+  SimpleFrameSource frames(mem, 4096);
+  Topology topo(4, 2);
+  TlbSystem tlbs(topo);
+  Mmu mmu(mem);
+  AddressSpace<PageTable> as(mem, frames, topo, &tlbs);
+  auto t = as.register_thread(0);
+  VAddr va{0x20000000};
+  ASSERT_EQ(as.map(t, va, PAddr::from_frame(12), kPageSize, Perms::rw()), ErrorCode::kOk);
+  as.sync(t);
+  auto root = as.peek(0).root();
+  ASSERT_TRUE(root.has_value());
+  // Warm all TLBs through replica 0's tree.
+  for (CoreId c = 0; c < 4; ++c) {
+    ASSERT_TRUE(tlbs.translate(mmu, *root, c, va, Access::kRead, Ring::kUser).ok());
+  }
+  ASSERT_EQ(as.unmap(t, va), ErrorCode::kOk);
+  for (CoreId c = 0; c < 4; ++c) {
+    EXPECT_FALSE(tlbs.translate(mmu, *root, c, va, Access::kRead, Ring::kUser).ok()) << c;
+  }
+}
+
+TEST(AddressSpaceTest, WorksOverLockBaselines) {
+  PhysMem mem(8192);
+  SimpleFrameSource frames(mem, 4096);
+  Topology topo(2, 2);
+  AddressSpace<PageTable, MutexReplicated> as(mem, frames, topo);
+  auto t = as.register_thread(0);
+  EXPECT_EQ(as.map(t, VAddr{0x1000}, PAddr::from_frame(4), kPageSize, Perms::rw()),
+            ErrorCode::kOk);
+  EXPECT_TRUE(as.resolve(t, VAddr{0x1000}).ok());
+}
+
+}  // namespace
+}  // namespace vnros

@@ -1,0 +1,222 @@
+// Unit tests for the verification framework itself: linearizability checker,
+// refinement harness, ownership cells, VC registry plumbing.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/spec/history.h"
+#include "src/spec/linearizability.h"
+#include "src/spec/ownership.h"
+#include "src/spec/refinement.h"
+#include "src/spec/self_vcs.h"
+#include "src/spec/vc.h"
+
+namespace vnros {
+namespace {
+
+struct RegModel {
+  struct Op {
+    bool is_write = false;
+    u64 value = 0;
+  };
+  using Ret = u64;
+  using State = u64;
+  static State initial() { return 0; }
+  static std::pair<State, Ret> apply(const State& s, const Op& op) {
+    return op.is_write ? std::pair<State, Ret>{op.value, op.value}
+                       : std::pair<State, Ret>{s, s};
+  }
+};
+using RegEvent = HistoryEvent<RegModel::Op, u64>;
+
+TEST(LinCheckerTest, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(LinChecker<RegModel>::check({}));
+}
+
+TEST(LinCheckerTest, SingleOp) {
+  std::vector<RegEvent> h = {{{true, 3}, 3, 0, 1, 0}};
+  EXPECT_TRUE(LinChecker<RegModel>::check(h));
+  h[0].ret = 5;  // claims write(3) returned 5
+  EXPECT_FALSE(LinChecker<RegModel>::check(h));
+}
+
+TEST(LinCheckerTest, ConcurrentWritesEitherOrder) {
+  // Both orders of two overlapping writes must be admissible; the follow-up
+  // read pins which one linearized last.
+  for (u64 winner : {u64{1}, u64{2}}) {
+    std::vector<RegEvent> h = {
+        {{true, 1}, 1, 0, 10, 0},
+        {{true, 2}, 2, 0, 10, 1},
+        {{false, 0}, winner, 11, 12, 0},
+    };
+    EXPECT_TRUE(LinChecker<RegModel>::check(h)) << "winner " << winner;
+  }
+}
+
+TEST(LinCheckerTest, RealTimeOrderRespected) {
+  // w(1) finished before w(2) began; a later read of 1 requires w(2) to
+  // linearize before w(1) — impossible given real-time order.
+  std::vector<RegEvent> h = {
+      {{true, 1}, 1, 0, 1, 0},
+      {{true, 2}, 2, 2, 3, 0},
+      {{false, 0}, 1, 4, 5, 1},
+  };
+  EXPECT_FALSE(LinChecker<RegModel>::check(h));
+}
+
+TEST(LinCheckerTest, OversizedHistoryRejected) {
+  std::vector<RegEvent> h(65, RegEvent{{true, 1}, 1, 0, 1, 0});
+  EXPECT_FALSE(LinChecker<RegModel>::check(h));
+}
+
+TEST(HistoryRecorderTest, TimestampsAreOrdered) {
+  HistoryRecorder<int, int> rec;
+  u64 t1 = rec.invoke();
+  rec.respond(0, 1, 1, t1);
+  u64 t2 = rec.invoke();
+  rec.respond(1, 2, 2, t2);
+  auto events = rec.take();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LT(events[0].invoke_ts, events[0].response_ts);
+  EXPECT_LT(events[0].response_ts, events[1].invoke_ts);
+  EXPECT_TRUE(rec.take().empty());  // take() drains
+}
+
+// --- Refinement harness -----------------------------------------------------------
+
+struct CounterSpec {
+  using State = u64;
+  struct Label {
+    u64 delta;
+    u64 result;
+  };
+  static bool next(const State& pre, const Label& l, const State& post) {
+    return post == pre + l.delta && l.result == post;
+  }
+};
+
+TEST(RefinementTest, CorrectImplPasses) {
+  u64 state = 0;
+  RefinementChecker<CounterSpec> checker([&] { return state; },
+                                         [&](usize) {
+                                           state += 2;
+                                           return CounterSpec::Label{2, state};
+                                         });
+  auto report = checker.run(100);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.steps_checked, 100u);
+}
+
+TEST(RefinementTest, ViolationReportsActionIndex) {
+  u64 state = 0;
+  RefinementChecker<CounterSpec> checker([&] { return state; },
+                                         [&](usize i) {
+                                           state += (i == 42) ? 3 : 2;
+                                           return CounterSpec::Label{2, state};
+                                         });
+  auto report = checker.run(100);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.steps_checked, 42u);
+  EXPECT_NE(report.failure.find("action 42"), std::string::npos);
+}
+
+// --- Ownership -----------------------------------------------------------------------
+
+TEST(BorrowCellTest, SharedXorExclusive) {
+  BorrowCell cell;
+  EXPECT_TRUE(cell.try_borrow_shared());
+  EXPECT_FALSE(cell.try_borrow_exclusive());
+  cell.release_shared();
+  EXPECT_TRUE(cell.try_borrow_exclusive());
+  EXPECT_FALSE(cell.try_borrow_shared());
+  cell.release_exclusive();
+  EXPECT_TRUE(cell.is_free());
+}
+
+TEST(BorrowCellTest, RaiiGuards) {
+  BorrowCell cell;
+  {
+    SharedBorrow a(cell);
+    SharedBorrow b(cell);
+    EXPECT_FALSE(cell.is_free());
+  }
+  EXPECT_TRUE(cell.is_free());
+  {
+    ExclusiveBorrow e(cell);
+    EXPECT_FALSE(cell.try_borrow_shared());
+  }
+  EXPECT_TRUE(cell.is_free());
+}
+
+TEST(BorrowCellTest, ManyConcurrentSharedBorrows) {
+  BorrowCell cell;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (!cell.try_borrow_shared()) {
+          ++failures;
+        } else {
+          cell.release_shared();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(cell.is_free());
+}
+
+// --- VC registry ------------------------------------------------------------------------
+
+TEST(VcRegistryTest, RunAllTimesEverything) {
+  VcRegistry reg;
+  reg.add("x/pass", VcCategory::kRefinement, [] { return VcOutcome::pass(); });
+  reg.add("x/fail", VcCategory::kFilesystem, [] { return VcOutcome::fail("boom"); });
+  reg.add("y/pass", VcCategory::kRefinement, [] { return VcOutcome::pass(); });
+  auto s = reg.run_all();
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.passed, 2u);
+  EXPECT_FALSE(s.all_passed());
+  EXPECT_TRUE(s.category_covered(VcCategory::kRefinement));
+  EXPECT_FALSE(s.category_covered(VcCategory::kFilesystem));   // has a failure
+  EXPECT_FALSE(s.category_covered(VcCategory::kScheduler));    // has no VCs
+  EXPECT_EQ(s.results[1].message, "boom");
+}
+
+TEST(VcRegistryTest, PrefixFilter) {
+  VcRegistry reg;
+  reg.add("x/one", VcCategory::kRefinement, [] { return VcOutcome::pass(); });
+  reg.add("y/two", VcCategory::kRefinement, [] { return VcOutcome::pass(); });
+  auto s = reg.run_prefix("x/");
+  EXPECT_EQ(s.total, 1u);
+  EXPECT_EQ(s.results[0].name, "x/one");
+}
+
+TEST(VcRegistryTest, ContractsEnabledDuringRun) {
+  VcRegistry reg;
+  reg.add("x/contracts", VcCategory::kRefinement, [] {
+    return contracts_enabled() ? VcOutcome::pass() : VcOutcome::fail("contracts off");
+  });
+  ASSERT_FALSE(contracts_enabled());
+  EXPECT_TRUE(reg.run_all().all_passed());
+  EXPECT_FALSE(contracts_enabled());
+}
+
+// The framework's own VC suite must pass (meta!).
+TEST(SpecVcsTest, SelfChecksPass) {
+  VcRegistry reg;
+  register_spec_vcs(reg);
+  auto s = reg.run_all();
+  EXPECT_GT(s.total, 5u);
+  for (const auto& r : s.results) {
+    EXPECT_TRUE(r.passed) << r.name << ": " << r.message;
+  }
+}
+
+}  // namespace
+}  // namespace vnros
