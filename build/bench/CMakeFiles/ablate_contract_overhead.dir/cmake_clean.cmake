@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_contract_overhead.dir/ablate_contract_overhead.cc.o"
+  "CMakeFiles/ablate_contract_overhead.dir/ablate_contract_overhead.cc.o.d"
+  "ablate_contract_overhead"
+  "ablate_contract_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_contract_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fc_batch.dir/ablate_fc_batch.cc.o"
+  "CMakeFiles/ablate_fc_batch.dir/ablate_fc_batch.cc.o.d"
+  "ablate_fc_batch"
+  "ablate_fc_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fc_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_nr_vs_locks.dir/ablate_nr_vs_locks.cc.o"
+  "CMakeFiles/ablate_nr_vs_locks.dir/ablate_nr_vs_locks.cc.o.d"
+  "ablate_nr_vs_locks"
+  "ablate_nr_vs_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_nr_vs_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

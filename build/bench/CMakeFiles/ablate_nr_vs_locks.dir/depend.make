@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_nr_vs_locks.
+# This may be replaced when dependencies are built.

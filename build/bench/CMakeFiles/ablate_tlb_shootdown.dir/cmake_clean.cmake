@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tlb_shootdown.dir/ablate_tlb_shootdown.cc.o"
+  "CMakeFiles/ablate_tlb_shootdown.dir/ablate_tlb_shootdown.cc.o.d"
+  "ablate_tlb_shootdown"
+  "ablate_tlb_shootdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tlb_shootdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

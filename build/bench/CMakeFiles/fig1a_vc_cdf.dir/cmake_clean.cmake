@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_vc_cdf.dir/fig1a_vc_cdf.cc.o"
+  "CMakeFiles/fig1a_vc_cdf.dir/fig1a_vc_cdf.cc.o.d"
+  "fig1a_vc_cdf"
+  "fig1a_vc_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_vc_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_map_latency.dir/fig1b_map_latency.cc.o"
+  "CMakeFiles/fig1b_map_latency.dir/fig1b_map_latency.cc.o.d"
+  "fig1b_map_latency"
+  "fig1b_map_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_map_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

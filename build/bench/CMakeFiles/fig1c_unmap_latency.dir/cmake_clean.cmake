@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_unmap_latency.dir/fig1c_unmap_latency.cc.o"
+  "CMakeFiles/fig1c_unmap_latency.dir/fig1c_unmap_latency.cc.o.d"
+  "fig1c_unmap_latency"
+  "fig1c_unmap_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_unmap_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

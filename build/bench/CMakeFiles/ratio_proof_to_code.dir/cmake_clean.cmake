@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratio_proof_to_code.dir/ratio_proof_to_code.cc.o"
+  "CMakeFiles/ratio_proof_to_code.dir/ratio_proof_to_code.cc.o.d"
+  "ratio_proof_to_code"
+  "ratio_proof_to_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratio_proof_to_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_projects.cc" "bench/CMakeFiles/table1_projects.dir/table1_projects.cc.o" "gcc" "bench/CMakeFiles/table1_projects.dir/table1_projects.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vnros_allvcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/vnros_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/ulib/CMakeFiles/vnros_ulib.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/vnros_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnros_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/vnros_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/vnros_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vnros_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/vnros_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/vnros_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

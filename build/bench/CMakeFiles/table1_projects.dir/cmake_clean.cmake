@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_projects.dir/table1_projects.cc.o"
+  "CMakeFiles/table1_projects.dir/table1_projects.cc.o.d"
+  "table1_projects"
+  "table1_projects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_projects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockstore_demo.dir/blockstore_demo.cpp.o"
+  "CMakeFiles/blockstore_demo.dir/blockstore_demo.cpp.o.d"
+  "blockstore_demo"
+  "blockstore_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockstore_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_allvcs.dir/all_vcs.cc.o"
+  "CMakeFiles/vnros_allvcs.dir/all_vcs.cc.o.d"
+  "libvnros_allvcs.a"
+  "libvnros_allvcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_allvcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

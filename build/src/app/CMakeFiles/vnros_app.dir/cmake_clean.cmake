@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_app.dir/app_vcs.cc.o"
+  "CMakeFiles/vnros_app.dir/app_vcs.cc.o.d"
+  "CMakeFiles/vnros_app.dir/blockstore_client.cc.o"
+  "CMakeFiles/vnros_app.dir/blockstore_client.cc.o.d"
+  "CMakeFiles/vnros_app.dir/blockstore_node.cc.o"
+  "CMakeFiles/vnros_app.dir/blockstore_node.cc.o.d"
+  "libvnros_app.a"
+  "libvnros_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_base.dir/contracts.cc.o"
+  "CMakeFiles/vnros_base.dir/contracts.cc.o.d"
+  "CMakeFiles/vnros_base.dir/crc.cc.o"
+  "CMakeFiles/vnros_base.dir/crc.cc.o.d"
+  "CMakeFiles/vnros_base.dir/log.cc.o"
+  "CMakeFiles/vnros_base.dir/log.cc.o.d"
+  "CMakeFiles/vnros_base.dir/serde.cc.o"
+  "CMakeFiles/vnros_base.dir/serde.cc.o.d"
+  "libvnros_base.a"
+  "libvnros_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

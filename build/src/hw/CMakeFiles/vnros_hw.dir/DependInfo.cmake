@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/block_device.cc" "src/hw/CMakeFiles/vnros_hw.dir/block_device.cc.o" "gcc" "src/hw/CMakeFiles/vnros_hw.dir/block_device.cc.o.d"
+  "/root/repo/src/hw/hw_vcs.cc" "src/hw/CMakeFiles/vnros_hw.dir/hw_vcs.cc.o" "gcc" "src/hw/CMakeFiles/vnros_hw.dir/hw_vcs.cc.o.d"
+  "/root/repo/src/hw/mmu.cc" "src/hw/CMakeFiles/vnros_hw.dir/mmu.cc.o" "gcc" "src/hw/CMakeFiles/vnros_hw.dir/mmu.cc.o.d"
+  "/root/repo/src/hw/network.cc" "src/hw/CMakeFiles/vnros_hw.dir/network.cc.o" "gcc" "src/hw/CMakeFiles/vnros_hw.dir/network.cc.o.d"
+  "/root/repo/src/hw/phys_mem.cc" "src/hw/CMakeFiles/vnros_hw.dir/phys_mem.cc.o" "gcc" "src/hw/CMakeFiles/vnros_hw.dir/phys_mem.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/vnros_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/vnros_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vnros_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/vnros_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_hw.dir/block_device.cc.o"
+  "CMakeFiles/vnros_hw.dir/block_device.cc.o.d"
+  "CMakeFiles/vnros_hw.dir/hw_vcs.cc.o"
+  "CMakeFiles/vnros_hw.dir/hw_vcs.cc.o.d"
+  "CMakeFiles/vnros_hw.dir/mmu.cc.o"
+  "CMakeFiles/vnros_hw.dir/mmu.cc.o.d"
+  "CMakeFiles/vnros_hw.dir/network.cc.o"
+  "CMakeFiles/vnros_hw.dir/network.cc.o.d"
+  "CMakeFiles/vnros_hw.dir/phys_mem.cc.o"
+  "CMakeFiles/vnros_hw.dir/phys_mem.cc.o.d"
+  "CMakeFiles/vnros_hw.dir/tlb.cc.o"
+  "CMakeFiles/vnros_hw.dir/tlb.cc.o.d"
+  "libvnros_hw.a"
+  "libvnros_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

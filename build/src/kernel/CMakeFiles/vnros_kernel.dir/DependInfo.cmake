@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/frame_alloc.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/frame_alloc.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/frame_alloc.cc.o.d"
+  "/root/repo/src/kernel/fs.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/fs.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/fs.cc.o.d"
+  "/root/repo/src/kernel/futex.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/futex.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/futex.cc.o.d"
+  "/root/repo/src/kernel/kernel_vcs.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/kernel_vcs.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/kernel_vcs.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/process.cc.o.d"
+  "/root/repo/src/kernel/scheduler.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/scheduler.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/scheduler.cc.o.d"
+  "/root/repo/src/kernel/syscall.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/syscall.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/syscall.cc.o.d"
+  "/root/repo/src/kernel/vm.cc" "src/kernel/CMakeFiles/vnros_kernel.dir/vm.cc.o" "gcc" "src/kernel/CMakeFiles/vnros_kernel.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vnros_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vnros_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vnros_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/vnros_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/pt/CMakeFiles/vnros_pt.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/vnros_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

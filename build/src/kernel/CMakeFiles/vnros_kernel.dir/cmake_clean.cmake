@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_kernel.dir/frame_alloc.cc.o"
+  "CMakeFiles/vnros_kernel.dir/frame_alloc.cc.o.d"
+  "CMakeFiles/vnros_kernel.dir/fs.cc.o"
+  "CMakeFiles/vnros_kernel.dir/fs.cc.o.d"
+  "CMakeFiles/vnros_kernel.dir/futex.cc.o"
+  "CMakeFiles/vnros_kernel.dir/futex.cc.o.d"
+  "CMakeFiles/vnros_kernel.dir/kernel_vcs.cc.o"
+  "CMakeFiles/vnros_kernel.dir/kernel_vcs.cc.o.d"
+  "CMakeFiles/vnros_kernel.dir/process.cc.o"
+  "CMakeFiles/vnros_kernel.dir/process.cc.o.d"
+  "CMakeFiles/vnros_kernel.dir/scheduler.cc.o"
+  "CMakeFiles/vnros_kernel.dir/scheduler.cc.o.d"
+  "CMakeFiles/vnros_kernel.dir/syscall.cc.o"
+  "CMakeFiles/vnros_kernel.dir/syscall.cc.o.d"
+  "CMakeFiles/vnros_kernel.dir/vm.cc.o"
+  "CMakeFiles/vnros_kernel.dir/vm.cc.o.d"
+  "libvnros_kernel.a"
+  "libvnros_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

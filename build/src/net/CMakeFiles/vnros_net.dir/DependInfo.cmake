@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ip.cc" "src/net/CMakeFiles/vnros_net.dir/ip.cc.o" "gcc" "src/net/CMakeFiles/vnros_net.dir/ip.cc.o.d"
+  "/root/repo/src/net/net_vcs.cc" "src/net/CMakeFiles/vnros_net.dir/net_vcs.cc.o" "gcc" "src/net/CMakeFiles/vnros_net.dir/net_vcs.cc.o.d"
+  "/root/repo/src/net/rtp.cc" "src/net/CMakeFiles/vnros_net.dir/rtp.cc.o" "gcc" "src/net/CMakeFiles/vnros_net.dir/rtp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/vnros_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/vnros_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vnros_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vnros_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/vnros_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

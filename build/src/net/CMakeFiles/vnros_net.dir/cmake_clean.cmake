@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_net.dir/ip.cc.o"
+  "CMakeFiles/vnros_net.dir/ip.cc.o.d"
+  "CMakeFiles/vnros_net.dir/net_vcs.cc.o"
+  "CMakeFiles/vnros_net.dir/net_vcs.cc.o.d"
+  "CMakeFiles/vnros_net.dir/rtp.cc.o"
+  "CMakeFiles/vnros_net.dir/rtp.cc.o.d"
+  "CMakeFiles/vnros_net.dir/udp.cc.o"
+  "CMakeFiles/vnros_net.dir/udp.cc.o.d"
+  "libvnros_net.a"
+  "libvnros_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

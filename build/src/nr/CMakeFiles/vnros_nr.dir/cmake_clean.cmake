@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_nr.dir/nr.cc.o"
+  "CMakeFiles/vnros_nr.dir/nr.cc.o.d"
+  "CMakeFiles/vnros_nr.dir/nr_vcs.cc.o"
+  "CMakeFiles/vnros_nr.dir/nr_vcs.cc.o.d"
+  "libvnros_nr.a"
+  "libvnros_nr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_nr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

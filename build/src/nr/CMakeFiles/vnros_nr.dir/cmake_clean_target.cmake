@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvnros_nr.a"
+)

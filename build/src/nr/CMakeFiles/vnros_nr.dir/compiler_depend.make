@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vnros_nr.
+# This may be replaced when dependencies are built.

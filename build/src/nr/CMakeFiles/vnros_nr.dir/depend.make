@@ -1,0 +1,2 @@
+# Empty dependencies file for vnros_nr.
+# This may be replaced when dependencies are built.

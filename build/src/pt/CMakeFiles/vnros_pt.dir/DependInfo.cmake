@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pt/interp.cc" "src/pt/CMakeFiles/vnros_pt.dir/interp.cc.o" "gcc" "src/pt/CMakeFiles/vnros_pt.dir/interp.cc.o.d"
+  "/root/repo/src/pt/page_table.cc" "src/pt/CMakeFiles/vnros_pt.dir/page_table.cc.o" "gcc" "src/pt/CMakeFiles/vnros_pt.dir/page_table.cc.o.d"
+  "/root/repo/src/pt/pt_vcs.cc" "src/pt/CMakeFiles/vnros_pt.dir/pt_vcs.cc.o" "gcc" "src/pt/CMakeFiles/vnros_pt.dir/pt_vcs.cc.o.d"
+  "/root/repo/src/pt/unverified.cc" "src/pt/CMakeFiles/vnros_pt.dir/unverified.cc.o" "gcc" "src/pt/CMakeFiles/vnros_pt.dir/unverified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vnros_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vnros_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nr/CMakeFiles/vnros_nr.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/vnros_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_pt.dir/interp.cc.o"
+  "CMakeFiles/vnros_pt.dir/interp.cc.o.d"
+  "CMakeFiles/vnros_pt.dir/page_table.cc.o"
+  "CMakeFiles/vnros_pt.dir/page_table.cc.o.d"
+  "CMakeFiles/vnros_pt.dir/pt_vcs.cc.o"
+  "CMakeFiles/vnros_pt.dir/pt_vcs.cc.o.d"
+  "CMakeFiles/vnros_pt.dir/unverified.cc.o"
+  "CMakeFiles/vnros_pt.dir/unverified.cc.o.d"
+  "libvnros_pt.a"
+  "libvnros_pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

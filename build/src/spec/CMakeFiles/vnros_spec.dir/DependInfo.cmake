@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/spec_vcs.cc" "src/spec/CMakeFiles/vnros_spec.dir/spec_vcs.cc.o" "gcc" "src/spec/CMakeFiles/vnros_spec.dir/spec_vcs.cc.o.d"
+  "/root/repo/src/spec/vc.cc" "src/spec/CMakeFiles/vnros_spec.dir/vc.cc.o" "gcc" "src/spec/CMakeFiles/vnros_spec.dir/vc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/vnros_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

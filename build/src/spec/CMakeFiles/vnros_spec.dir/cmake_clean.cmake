@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_spec.dir/spec_vcs.cc.o"
+  "CMakeFiles/vnros_spec.dir/spec_vcs.cc.o.d"
+  "CMakeFiles/vnros_spec.dir/vc.cc.o"
+  "CMakeFiles/vnros_spec.dir/vc.cc.o.d"
+  "libvnros_spec.a"
+  "libvnros_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnros_ulib.dir/alloc.cc.o"
+  "CMakeFiles/vnros_ulib.dir/alloc.cc.o.d"
+  "CMakeFiles/vnros_ulib.dir/sync.cc.o"
+  "CMakeFiles/vnros_ulib.dir/sync.cc.o.d"
+  "CMakeFiles/vnros_ulib.dir/ulib_vcs.cc.o"
+  "CMakeFiles/vnros_ulib.dir/ulib_vcs.cc.o.d"
+  "CMakeFiles/vnros_ulib.dir/uthread.cc.o"
+  "CMakeFiles/vnros_ulib.dir/uthread.cc.o.d"
+  "libvnros_ulib.a"
+  "libvnros_ulib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnros_ulib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vnros_ulib.
+# This may be replaced when dependencies are built.

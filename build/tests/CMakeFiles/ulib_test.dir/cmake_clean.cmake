@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulib_test.dir/ulib_test.cc.o"
+  "CMakeFiles/ulib_test.dir/ulib_test.cc.o.d"
+  "ulib_test"
+  "ulib_test.pdb"
+  "ulib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

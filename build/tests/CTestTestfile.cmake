@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/nr_test[1]_include.cmake")
+include("/root/repo/build/tests/pt_test[1]_include.cmake")
+include("/root/repo/build/tests/pt_property_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/syscall_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/ulib_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/vc_suite_test[1]_include.cmake")
