@@ -10,6 +10,9 @@
 //   ./build/bench/ablate_contract_overhead
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/base/contracts.h"
 #include "src/pt/frame_source.h"
 #include "src/pt/page_table.h"
@@ -76,4 +79,31 @@ BENCHMARK(BM_ContractCheckItself)->Arg(0)->Arg(1);
 }  // namespace
 }  // namespace vnros
 
-BENCHMARK_MAIN();
+// Custom main so the run also lands in BENCH_ablate_contract_overhead.json
+// (google-benchmark's own JSON schema), matching the BENCH_<name>.json
+// convention of the other binaries. The flags are injected rather than a
+// custom file reporter passed, because RunSpecifiedBenchmarks(display, file)
+// refuses a file reporter unless --benchmark_out was given on the CLI.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_ablate_contract_overhead.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      user_out = true;
+    }
+  }
+  if (!user_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

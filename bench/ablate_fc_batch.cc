@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/hw/topology.h"
 #include "src/nr/node_replicated.h"
 
@@ -48,7 +49,8 @@ struct SlowCounterDs {
 };
 
 template <typename Ds>
-void run(usize batch_cap, u32 threads, u64 ops_per_thread) {
+void run(usize batch_cap, u32 threads, u64 ops_per_thread, BenchJson& json,
+         const char* series_prefix) {
   Topology topo(threads, threads);  // one replica: pure combining pressure
   NrConfig config;
   config.max_combiner_batch = batch_cap;
@@ -75,10 +77,14 @@ void run(usize batch_cap, u32 threads, u64 ops_per_thread) {
                                static_cast<double>(stats.combines);
   // Combining sessions that batched >1 op (lower bound from the counters).
   u64 multi = stats.combined_ops - stats.combines;
+  double kops = static_cast<double>(threads) * ops_per_thread / secs / 1000.0;
   std::printf("%-10s %-14.0f %-12.3f %-10lu %lu\n",
-              batch_cap == 0 ? "unbounded" : std::to_string(batch_cap).c_str(),
-              static_cast<double>(threads) * ops_per_thread / secs / 1000.0, avg_batch,
-              stats.combines, multi);
+              batch_cap == 0 ? "unbounded" : std::to_string(batch_cap).c_str(), kops,
+              avg_batch, stats.combines, multi);
+  // x = cap (0 encodes "unbounded").
+  json.row(std::string(series_prefix) + "_kops", static_cast<double>(batch_cap), kops);
+  json.row(std::string(series_prefix) + "_avg_batch", static_cast<double>(batch_cap),
+           avg_batch);
 }
 
 }  // namespace vnros
@@ -86,20 +92,25 @@ void run(usize batch_cap, u32 threads, u64 ops_per_thread) {
 int main() {
   constexpr vnros::u32 kThreads = 8;
   std::printf("# Ablation A2: flat-combining batch-size cap (%u threads)\n", kThreads);
+  vnros::BenchJson json("ablate_fc_batch");
+  json.config("threads", kThreads);
+  json.config("cheap_ops_per_thread", 30'000);
+  json.config("slow_ops_per_thread", 2'000);
   std::printf("\n== cheap ops (counter increment) ==\n");
   std::printf("%-10s %-14s %-12s %-10s %s\n", "batch_cap", "kops/s", "avg_batch", "combines",
               "batched_extra_ops");
   for (vnros::usize cap : {vnros::usize{1}, vnros::usize{2}, vnros::usize{4}, vnros::usize{8},
                            vnros::usize{0}}) {
-    vnros::run<vnros::CounterDs>(cap, kThreads, 30'000);
+    vnros::run<vnros::CounterDs>(cap, kThreads, 30'000, json, "cheap");
   }
   std::printf("\n== slow ops (~1 us each; wider combining window) ==\n");
   std::printf("%-10s %-14s %-12s %-10s %s\n", "batch_cap", "kops/s", "avg_batch", "combines",
               "batched_extra_ops");
   for (vnros::usize cap : {vnros::usize{1}, vnros::usize{2}, vnros::usize{4}, vnros::usize{8},
                            vnros::usize{0}}) {
-    vnros::run<vnros::SlowCounterDs>(cap, kThreads, 2'000);
+    vnros::run<vnros::SlowCounterDs>(cap, kThreads, 2'000, json, "slow");
   }
+  json.write();
   std::printf(
       "\n# interpretation: batching needs overlapping publishers; on hosts with\n"
       "# few hardware threads overlap only arises at preemption points, so the\n"

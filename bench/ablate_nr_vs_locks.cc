@@ -9,8 +9,11 @@
 //   ./build/bench/ablate_nr_vs_locks
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "bench/bench_json.h"
 
 #include "src/kernel/frame_alloc.h"
 #include "src/nr/baselines.h"
@@ -59,14 +62,18 @@ double throughput_kops(u32 threads, bool read_heavy) {
   return static_cast<double>(threads) * kOpsPerThread / secs / 1000.0;
 }
 
-void sweep(bool read_heavy) {
+void sweep(bool read_heavy, BenchJson& json) {
   std::printf("\n== %s workload ==\n", read_heavy ? "read-heavy (90% resolve)" : "write-only (map)");
   std::printf("%-8s %-16s %-16s %-16s\n", "threads", "NR_kops/s", "mutex_kops/s", "rwlock_kops/s");
+  std::string suffix = read_heavy ? "_read_heavy" : "_write_only";
   for (u32 threads : {1u, 2u, 4u, 8u, 16u}) {
     double nr = throughput_kops<NodeReplicated>(threads, read_heavy);
     double mu = throughput_kops<MutexReplicated>(threads, read_heavy);
     double rw = throughput_kops<RwLockReplicated>(threads, read_heavy);
     std::printf("%-8u %-16.1f %-16.1f %-16.1f\n", threads, nr, mu, rw);
+    json.row("nr_kops" + suffix, threads, nr);
+    json.row("mutex_kops" + suffix, threads, mu);
+    json.row("rwlock_kops" + suffix, threads, rw);
   }
 }
 
@@ -76,8 +83,12 @@ void sweep(bool read_heavy) {
 int main() {
   std::printf("# Ablation A1: node replication vs global mutex vs rwlock\n");
   std::printf("# (same verified page table under each concurrency wrapper)\n");
-  vnros::sweep(false);
-  vnros::sweep(true);
+  vnros::BenchJson json("ablate_nr_vs_locks");
+  json.config("max_cores", vnros::kMaxCores);
+  json.config("ops_per_thread", static_cast<unsigned long long>(vnros::kOpsPerThread));
+  vnros::sweep(false, json);
+  vnros::sweep(true, json);
+  json.write();
   std::printf(
       "\n# interpretation: NR's advantage is *parallel* reads on replicas across\n"
       "# NUMA nodes; it needs real cores to show. On hosts with few hardware\n"

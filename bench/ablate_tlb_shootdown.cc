@@ -9,7 +9,9 @@
 //   ./build/bench/ablate_tlb_shootdown
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "src/kernel/frame_alloc.h"
 #include "src/pt/address_space.h"
 
@@ -48,13 +50,19 @@ int main() {
   std::printf("# Ablation A3: TLB shootdown cost in the unmap path\n");
   std::printf("%-8s %-10s %-22s %-18s\n", "cores", "ipi_cost", "unmap_us (shootdown)",
               "unmap_us (none)");
+  vnros::BenchJson json("ablate_tlb_shootdown");
+  json.config("ops", 500);
   for (vnros::u32 cores : {1u, 4u, 8u, 16u}) {
     for (vnros::u64 ipi : {vnros::u64{0}, vnros::u64{1000}, vnros::u64{10000}}) {
       double with = vnros::unmap_latency_us(cores, ipi, true);
       double without = vnros::unmap_latency_us(cores, ipi, false);
       std::printf("%-8u %-10lu %-22.2f %-18.2f\n", cores, ipi, with, without);
+      std::string suffix = "_ipi" + std::to_string(ipi);
+      json.row("shootdown_us" + suffix, cores, with);
+      json.row("none_us" + suffix, cores, without);
     }
   }
+  json.write();
   std::printf("\n# shape check: the shootdown column grows with cores x ipi_cost while\n");
   std::printf("# the no-shootdown column stays flat — that delta is the price of the\n");
   std::printf("# correctness obligation, which a verified kernel cannot skip.\n");

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/bench_json.h"
 #include "src/spec/vc.h"
 
 using vnros::usize;
@@ -48,6 +49,16 @@ int main(int argc, char** argv) {
     std::printf("%.6f %.4f\n", times[i],
                 static_cast<double>(i + 1) / static_cast<double>(times.size()));
   }
+
+  vnros::BenchJson json("fig1a_vc_cdf");
+  json.config("vcs", static_cast<unsigned long long>(summary.total));
+  json.config("passed", static_cast<unsigned long long>(summary.passed));
+  json.config("total_seconds", summary.total_seconds);
+  json.config("max_seconds", summary.max_seconds);
+  for (usize i = 0; i < times.size(); ++i) {
+    json.row("cdf", times[i], static_cast<double>(i + 1) / static_cast<double>(times.size()));
+  }
+  json.write();
 
   std::printf("\nsummary:\n");
   std::printf("  VCs:          %zu (%zu passed)\n", summary.total, summary.passed);

@@ -4,6 +4,6 @@
 #include "bench/map_unmap_common.h"
 
 int main() {
-  vnros::run_sweep("Fig. 1b", "map", /*do_unmap=*/false);
+  vnros::run_sweep("Fig. 1b", "map", /*do_unmap=*/false, "fig1b_map_latency");
   return 0;
 }

@@ -5,6 +5,6 @@
 #include "bench/map_unmap_common.h"
 
 int main() {
-  vnros::run_sweep("Fig. 1c", "unmap", /*do_unmap=*/true);
+  vnros::run_sweep("Fig. 1c", "unmap", /*do_unmap=*/true, "fig1c_unmap_latency");
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/hw/tlb.h"
 #include "src/kernel/frame_alloc.h"
 #include "src/pt/address_space.h"
@@ -33,6 +34,8 @@ struct SweepConfig {
   u64 ops_per_thread = 1000;   // maps (or unmaps) per thread per run
   u64 phys_frames = 1u << 15;  // 128 MiB simulated memory
   u32 repetitions = 5;         // median filters host-scheduler noise
+  u64 range_pages = 512;       // batch size for the range-op ablation
+  usize tlb_batch_flush_threshold = 64;  // shootdown_batch full-flush point
 };
 
 // Mean per-op latency (microseconds) of `threads` concurrent mappers.
@@ -106,7 +109,8 @@ double median_latency(u32 threads, const SweepConfig& config, bool do_unmap) {
   return samples[samples.size() / 2];
 }
 
-inline void run_sweep(const char* figure, const char* op_name, bool do_unmap) {
+inline void run_sweep(const char* figure, const char* op_name, bool do_unmap,
+                      const char* json_name) {
   SweepConfig config;
   std::printf("# %s reproduction: %s latency vs cores\n", figure, op_name);
   std::printf("# workload: each thread repeatedly %ss 4 KiB frames in a shared NR\n", op_name);
@@ -115,6 +119,14 @@ inline void run_sweep(const char* figure, const char* op_name, bool do_unmap) {
               static_cast<unsigned long>(config.ops_per_thread));
   std::printf("#\n");
   std::printf("%-6s %-18s %-18s %s\n", "cores", "verified_us/op", "unverified_us/op", "ratio");
+  BenchJson json(json_name);
+  json.config("figure", figure);
+  json.config("op", op_name);
+  json.config("ops_per_thread", static_cast<unsigned long long>(config.ops_per_thread));
+  json.config("phys_frames", static_cast<unsigned long long>(config.phys_frames));
+  json.config("repetitions", config.repetitions);
+  json.config("max_cores", config.max_cores);
+  json.config("cores_per_node", config.cores_per_node);
   const u32 core_counts[] = {1, 2, 4, 8, 12, 16, 20, 24, 28};
   // Warmup run (first-touch page faults, allocator warm paths).
   (void)run_map_workload<PageTable>(2, config, do_unmap);
@@ -123,7 +135,11 @@ inline void run_sweep(const char* figure, const char* op_name, bool do_unmap) {
     double unverified = median_latency<UnverifiedPageTable>(cores, config, do_unmap);
     std::printf("%-6u %-18.2f %-18.2f %.2fx\n", cores, verified, unverified,
                 verified / unverified);
+    json.row("verified_us_per_op", cores, verified);
+    json.row("unverified_us_per_op", cores, unverified);
+    json.row("ratio", cores, verified / unverified);
   }
+  json.write();
   std::printf("#\n# shape check (paper Fig. %s): the two curves coincide at every core\n",
               figure + 5);
   std::printf("# count — verification costs no runtime performance.\n");

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, then a ThreadSanitizer build of the
+# concurrency-sensitive NR tests (the fence-based batched publish in
+# src/nr/log.h falls back to per-entry release publishes under TSan, so the
+# TSan run checks the fallback path while stressing the combiner protocol).
+#
+#   ./scripts/tier1.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-2}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure
+
+echo
+echo "== tier-1: TSan build (nr_test + nr_log_wraparound_test) =="
+cmake -B build-tsan -S . -DVNROS_SAN=thread >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target nr_test nr_log_wraparound_test
+./build-tsan/tests/nr_test
+./build-tsan/tests/nr_log_wraparound_test
+
+echo
+echo "tier1: OK"

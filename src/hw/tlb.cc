@@ -1,6 +1,7 @@
 #include "src/hw/tlb.h"
 
 #include <atomic>
+#include <vector>
 
 namespace vnros {
 
@@ -45,6 +46,20 @@ void CoreTlb::invalidate_page(VAddr page) {
     if (it != entries_.end() && it->second.page_size == size) {
       entries_.erase(it);
       ++stats_.invalidations;
+    }
+  }
+}
+
+void CoreTlb::invalidate_pages(std::span<const VAddr> pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (VAddr page : pages) {
+    for (u64 size : {kPageSize, kLargePageSize, kHugePageSize}) {
+      u64 base = page.value & ~(size - 1);
+      auto it = entries_.find(base);
+      if (it != entries_.end() && it->second.page_size == size) {
+        entries_.erase(it);
+        ++stats_.invalidations;
+      }
     }
   }
 }
@@ -95,6 +110,14 @@ Result<Translation> TlbSystem::translate(Mmu& mmu, PAddr cr3, CoreId core_id, VA
   return walked;
 }
 
+void TlbSystem::charge_ipi() const {
+  // Cost model for the remote interrupt + invalidation on the target core.
+  std::atomic<u64> sink{0};
+  for (u64 c = 0; c < ipi_cost_cycles_; ++c) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void TlbSystem::shootdown(CoreId initiator, VAddr page) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -104,13 +127,67 @@ void TlbSystem::shootdown(CoreId initiator, VAddr page) {
   for (usize i = 0; i < tlbs_.size(); ++i) {
     tlbs_[i].invalidate_page(page);
     if (i != initiator && ipi_cost_cycles_ > 0) {
-      // Cost model for the remote interrupt + invlpg on the target core.
-      std::atomic<u64> sink{0};
-      for (u64 c = 0; c < ipi_cost_cycles_; ++c) {
-        sink.fetch_add(1, std::memory_order_relaxed);
-      }
+      charge_ipi();
     }
   }
+}
+
+void TlbSystem::shootdown_batch(CoreId initiator, std::span<const VAddr> pages) {
+  if (pages.empty()) {
+    return;
+  }
+  const bool promote = pages.size() >= batch_flush_threshold_;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++shootdown_stats_.shootdowns;
+    shootdown_stats_.ipis += tlbs_.size() > 0 ? tlbs_.size() - 1 : 0;
+    shootdown_stats_.batched_pages += pages.size();
+    if (promote) {
+      ++shootdown_stats_.full_flushes;
+    }
+  }
+  for (usize i = 0; i < tlbs_.size(); ++i) {
+    if (promote) {
+      tlbs_[i].flush_all();
+    } else {
+      tlbs_[i].invalidate_pages(pages);
+    }
+    // One interrupt per remote core for the whole batch — this, not the
+    // per-page invalidation work, is what the per-page protocol pays N times.
+    if (i != initiator && ipi_cost_cycles_ > 0) {
+      charge_ipi();
+    }
+  }
+}
+
+void TlbSystem::shootdown_range(CoreId initiator, VAddr base, u64 num_pages) {
+  if (num_pages == 0) {
+    return;
+  }
+  if (num_pages >= batch_flush_threshold_) {
+    // Delegate through the batch path with an empty-list-free promotion:
+    // build no list, flush every core in one round.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++shootdown_stats_.shootdowns;
+      shootdown_stats_.ipis += tlbs_.size() > 0 ? tlbs_.size() - 1 : 0;
+      shootdown_stats_.batched_pages += num_pages;
+      ++shootdown_stats_.full_flushes;
+    }
+    for (usize i = 0; i < tlbs_.size(); ++i) {
+      tlbs_[i].flush_all();
+      if (i != initiator && ipi_cost_cycles_ > 0) {
+        charge_ipi();
+      }
+    }
+    return;
+  }
+  std::vector<VAddr> pages;
+  pages.reserve(num_pages);
+  for (u64 i = 0; i < num_pages; ++i) {
+    pages.push_back(base.offset(i * kPageSize));
+  }
+  shootdown_batch(initiator, pages);
 }
 
 void TlbSystem::flush_all() {

@@ -13,6 +13,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "src/base/types.h"
@@ -43,6 +44,10 @@ class CoreTlb {
   // Drops any entry covering `page` (any granularity).
   void invalidate_page(VAddr page);
 
+  // Drops every listed page under ONE lock acquisition — the model of a
+  // single shootdown IPI whose handler invlpg's a whole list.
+  void invalidate_pages(std::span<const VAddr> pages);
+
   void flush_all();
 
   const TlbStats& stats() const { return stats_; }
@@ -59,8 +64,10 @@ class CoreTlb {
 
 // All cores' TLBs plus the shootdown protocol.
 struct ShootdownStats {
-  u64 shootdowns = 0;     // shootdown operations initiated
+  u64 shootdowns = 0;     // shootdown operations initiated (single or batch)
   u64 ipis = 0;           // per-target-core interrupts delivered
+  u64 batched_pages = 0;  // pages retired through shootdown_batch
+  u64 full_flushes = 0;   // batches promoted to a full flush (>= threshold)
 };
 
 class TlbSystem {
@@ -80,6 +87,18 @@ class TlbSystem {
   // declaring the unmap complete.
   void shootdown(CoreId initiator, VAddr page);
 
+  // Invalidates every listed page on every core in ONE IPI round: each
+  // remote core takes a single interrupt carrying the whole list, instead of
+  // one interrupt per page. Above `batch_flush_threshold` pages, the handler
+  // full-flushes instead of walking the list (a full flush is always sound —
+  // the TLB is a cache — and cheaper than hundreds of invlpg's). The OS
+  // unmap_range path calls this once per batch.
+  void shootdown_batch(CoreId initiator, std::span<const VAddr> pages);
+
+  // Convenience for contiguous ranges (`num_pages` 4 KiB pages at `base`):
+  // same one-round protocol without materializing a VA list.
+  void shootdown_range(CoreId initiator, VAddr base, u64 num_pages);
+
   // Full flush on all cores (e.g. address-space teardown).
   void flush_all();
 
@@ -87,15 +106,25 @@ class TlbSystem {
 
   // Optional cost model: busy-work cycles charged per remote IPI, so
   // benchmarks can show the shootdown component of unmap latency
-  // (bench/ablate_tlb_shootdown sweeps this).
+  // (bench/ablate_tlb_shootdown sweeps this). A batched shootdown charges
+  // one IPI per remote core regardless of how many pages it retires.
   void set_ipi_cost_cycles(u64 cycles) { ipi_cost_cycles_ = cycles; }
 
+  // Batch size at or above which shootdown_batch full-flushes each core
+  // instead of invalidating page by page.
+  void set_batch_flush_threshold(usize pages) { batch_flush_threshold_ = pages; }
+  usize batch_flush_threshold() const { return batch_flush_threshold_; }
+
  private:
+  // Burns the cost-model cycles for one remote IPI.
+  void charge_ipi() const;
+
   // deque: CoreTlb holds a mutex and is immovable.
   std::deque<CoreTlb> tlbs_;
   ShootdownStats shootdown_stats_;
   std::mutex stats_mu_;
   u64 ipi_cost_cycles_ = 0;
+  usize batch_flush_threshold_ = 64;
 };
 
 }  // namespace vnros

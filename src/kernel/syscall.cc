@@ -485,14 +485,25 @@ ErrorCode SyscallDispatcher::do_write_user(Pid pid, Reader& args, Writer& reply)
 ErrorCode SyscallDispatcher::do_mmap(Pid pid, Reader& args, Writer& reply) {
   auto length = args.get_u64();
   auto writable = args.get_bool();
-  if (!length || !writable || *length > kMaxIoBytes || !args.exhausted()) {
+  if (!length || !writable || *length > kMaxIoBytes) {
     return ErrorCode::kInvalidArgument;
+  }
+  // Optional trailing field (newer frames): demand-page the region instead of
+  // backing it eagerly. Two-field frames from older callers stay valid.
+  bool lazy = false;
+  if (!args.exhausted()) {
+    auto l = args.get_bool();
+    if (!l || !args.exhausted()) {
+      return ErrorCode::kInvalidArgument;
+    }
+    lazy = *l;
   }
   Process* proc = kernel_.procs().get(pid);
   if (proc == nullptr) {
     return ErrorCode::kNotFound;
   }
-  auto r = proc->vm().mmap(*length, Perms{*writable, true, false});
+  Perms perms{*writable, true, false};
+  auto r = lazy ? proc->vm().mmap_lazy(*length, perms) : proc->vm().mmap(*length, perms);
   if (!r.ok()) {
     return r.error();
   }
@@ -1093,11 +1104,16 @@ Result<std::pair<Fd, Fd>> Sys::pipe_create() {
   return std::pair<Fd, Fd>{static_cast<Fd>(*rfd), static_cast<Fd>(*wfd)};
 }
 
-Result<VAddr> Sys::mmap(u64 length, bool writable) {
+Result<VAddr> Sys::mmap(u64 length, bool writable, bool lazy) {
   Writer w;
   w.put_u32(static_cast<u32>(SysNr::kMmap));
   w.put_u64(length);
   w.put_bool(writable);
+  if (lazy) {
+    // Trailing optional field; omitted for eager maps so the frame matches
+    // what older clients emit.
+    w.put_bool(true);
+  }
   auto reply = invoke(w);
   if (!reply.ok()) {
     return reply.error();

@@ -210,7 +210,7 @@ class Sys {
   Result<std::pair<Fd, Fd>> pipe_create();
 
   // --- Memory ----------------------------------------------------------------
-  Result<VAddr> mmap(u64 length, bool writable);
+  Result<VAddr> mmap(u64 length, bool writable, bool lazy = false);
   Result<Unit> munmap(VAddr base);
 
   // --- Processes ---------------------------------------------------------------

@@ -51,28 +51,28 @@ Result<VAddr> VmManager::mmap_impl(u64 length, Perms perms, bool lazy) {
     // table until the fault path backs the page.
     region.frames.assign(pages, PAddr{0});
   } else {
+    // Allocate every backing frame up front, then install the whole region
+    // with ONE walk-cached range operation. map_range is atomic, so failure
+    // handling collapses to freeing the frames — no per-page unmap rollback.
     region.frames.reserve(pages);
-    auto rollback = [&] {
-      for (usize i = 0; i < region.frames.size(); ++i) {
-        (void)pt_->unmap(base.offset(i * kPageSize));
-        frames_.free(region.frames[i]);
-      }
-    };
     for (u64 i = 0; i < pages; ++i) {
       auto frame = frames_.alloc_on_node(0);
       if (!frame.ok()) {
-        rollback();
+        for (PAddr f : region.frames) {
+          frames_.free(f);
+        }
         return ErrorCode::kNoMemory;
       }
-      auto mapped = pt_->map_frame(base.offset(i * kPageSize), frame.value(), kPageSize, perms);
-      if (!mapped.ok()) {
-        frames_.free(frame.value());
-        rollback();
-        return mapped.error();
-      }
       region.frames.push_back(frame.value());
-      ++stats_.eager_pages;
     }
+    auto mapped = pt_->map_range(base, std::span<const PAddr>(region.frames), perms);
+    if (!mapped.ok()) {
+      for (PAddr f : region.frames) {
+        frames_.free(f);
+      }
+      return mapped.error();
+    }
+    stats_.eager_pages += pages;
   }
 
   next_base_ += region.length + kPageSize;  // guard page between regions
@@ -120,13 +120,24 @@ Result<Unit> VmManager::munmap(VAddr vbase) {
     return ErrorCode::kNotMapped;
   }
   VmRegion& region = it->second;
-  for (usize i = 0; i < region.frames.size(); ++i) {
-    if (region.lazy && region.frames[i] == PAddr{0}) {
-      continue;  // never touched: nothing mapped, nothing to free
-    }
-    auto r = pt_->unmap(vbase.offset(i * kPageSize));
+  if (!region.lazy) {
+    // Eager regions are fully mapped: tear the whole range down with one
+    // walk-cached batch instead of region.frames.size() root-to-leaf walks.
+    auto r = pt_->unmap_range(vbase, region.frames.size());
     VNROS_INVARIANT(r.ok());
-    frames_.free(region.frames[i]);
+    for (PAddr f : region.frames) {
+      frames_.free(f);
+    }
+  } else {
+    // Lazy regions may have holes (untouched pages); unmap page by page.
+    for (usize i = 0; i < region.frames.size(); ++i) {
+      if (region.frames[i] == PAddr{0}) {
+        continue;  // never touched: nothing mapped, nothing to free
+      }
+      auto r = pt_->unmap(vbase.offset(i * kPageSize));
+      VNROS_INVARIANT(r.ok());
+      frames_.free(region.frames[i]);
+    }
   }
   regions_.erase(it);
   VNROS_ENSURES(!pt_->resolve(vbase).ok());

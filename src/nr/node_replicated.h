@@ -47,6 +47,7 @@ struct NrConfig {
   usize log_capacity = usize{1} << 16;   // entries (power of two)
   usize max_threads_per_replica = 64;
   usize max_combiner_batch = 0;          // 0 = unbounded (ablation knob)
+  bool batched_publish = true;           // false = per-entry release stores (ablation knob)
 };
 
 struct NrStats {
@@ -88,6 +89,10 @@ class NodeReplicated {
     OpSlot& slot = r.slots[token.slot];
     VNROS_CHECK(slot.state.load(std::memory_order_relaxed) == kEmpty);
     slot.op = std::move(op);
+    // Count-before-announce: the increment is sequenced before the kPending
+    // release store, so any combiner that *sees* the slot pending also sees a
+    // pending count covering it — combine()'s fetch_sub can never underflow.
+    r.pending.fetch_add(1, std::memory_order_relaxed);
     slot.state.store(kPending, std::memory_order_release);
 
     Backoff backoff;
@@ -101,8 +106,9 @@ class NodeReplicated {
       if (!r.combiner.exchange(true, std::memory_order_acq_rel)) {
         combine(token.replica);
         r.combiner.store(false, std::memory_order_release);
-        // Our pending op was necessarily collected (it was visible before we
-        // acquired the lock), so the next load observes kDone.
+        // Our op is usually collected by our own session; if another combiner
+        // raced us and its early-exit skipped our slot, the loop simply runs
+        // another session.
       } else {
         backoff.pause();
       }
@@ -174,35 +180,78 @@ class NodeReplicated {
     std::atomic<bool> combiner{false};
     std::deque<OpSlot> slots;  // deque: OpSlot is immovable (atomics)
     std::atomic<usize> registered{0};
+    // Monotone count of announced ops. Together with `collected` (the
+    // combiner's monotone count of ops taken into batches) it bounds the
+    // combiner's slot scan: `pending - collected` ops are waiting, so the
+    // scan stops after finding that many pending slots instead of sweeping
+    // all max_threads_per_replica slots every session. Announcers pay one
+    // relaxed fetch_add; the combiner only ever loads it.
+    std::atomic<usize> pending{0};
+    // Fields below are only touched under the combiner lock.
+    usize collected = 0;       // ops ever taken into a batch
+    // Upper bound on slots worth scanning; refreshed from `registered`
+    // when a scan comes up short.
+    usize registered_cache = 0;
+    std::vector<usize> batch;  // scratch, reused across sessions
   };
 
   // Runs one combining session on replica `ri` (combiner lock held).
   void combine(usize ri) {
     Replica& r = replicas_[ri];
-    // Collect pending ops into a batch.
-    usize nslots = r.registered.load(std::memory_order_acquire);
-    std::vector<usize> batch;
-    batch.reserve(nslots);
-    for (usize i = 0; i < nslots; ++i) {
-      if (r.slots[i].state.load(std::memory_order_acquire) == kPending) {
-        batch.push_back(i);
-        if (config_.max_combiner_batch != 0 && batch.size() >= config_.max_combiner_batch) {
-          break;
+    // Collect pending ops into a batch. `want` bounds the scan: once that
+    // many pending slots are found there is no point sweeping the rest.
+    // (Ops announced after this load are simply left for the next session.)
+    // Count-before-announce makes `pending >= collected` at any lock
+    // acquisition, so the subtraction cannot underflow.
+    usize want = r.pending.load(std::memory_order_acquire) - r.collected;
+    stats_combines_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.max_combiner_batch != 0 && want > config_.max_combiner_batch) {
+      want = config_.max_combiner_batch;
+    }
+    std::vector<usize>& batch = r.batch;
+    batch.clear();
+    if (want > 0) {
+      scan_pending(r, r.registered_cache, want, batch);
+      if (batch.size() < want) {
+        // The cached bound missed recently registered threads (or a counted
+        // op's kPending store is not visible yet): refresh and scan the new
+        // slots only.
+        usize fresh = r.registered.load(std::memory_order_acquire);
+        if (fresh > r.registered_cache) {
+          usize old = r.registered_cache;
+          r.registered_cache = fresh;
+          scan_pending(r, fresh, want, batch, old);
         }
       }
     }
-    stats_combines_.fetch_add(1, std::memory_order_relaxed);
     if (batch.empty()) {
       apply_up_to(ri, log_.tail(), 0, nullptr, 0);
       return;
     }
+    r.collected += batch.size();
     stats_ops_.fetch_add(batch.size(), std::memory_order_relaxed);
 
     u64 start = log_.reserve(batch.size(), [this, ri] { help(ri); });
-    for (usize k = 0; k < batch.size(); ++k) {
-      log_.publish(start + k, r.slots[batch[k]].op);
+    if (config_.batched_publish) {
+      log_.publish_batch(start, batch.size(),
+                         [&](usize k) -> const WriteOp& { return r.slots[batch[k]].op; });
+    } else {
+      for (usize k = 0; k < batch.size(); ++k) {
+        log_.publish(start + k, r.slots[batch[k]].op);
+      }
     }
     apply_up_to(ri, log_.tail(), start, batch.data(), batch.size());
+  }
+
+  // Appends the indices of pending slots in [from, bound) to `batch`,
+  // stopping once `batch` holds `want` entries.
+  static void scan_pending(Replica& r, usize bound, usize want, std::vector<usize>& batch,
+                           usize from = 0) {
+    for (usize i = from; i < bound && batch.size() < want; ++i) {
+      if (r.slots[i].state.load(std::memory_order_acquire) == kPending) {
+        batch.push_back(i);
+      }
+    }
   }
 
   // Replays the log into replica `ri` from its ltail to `upto`. Entries in

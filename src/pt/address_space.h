@@ -39,9 +39,22 @@ struct VSpaceDs {
   struct UnmapOp {
     VAddr vbase;
   };
+  // Range ops: ONE log entry describes a whole contiguous region of 4 KiB
+  // pages. Every replica replays the single entry with the table's batched
+  // (walk-cached) range operation instead of num_pages separate entries.
+  struct MapRangeOp {
+    VAddr vbase;
+    PAddr frame;  // physical base; page i maps frame + i*4K
+    u64 num_pages = 0;
+    Perms perms;
+  };
+  struct UnmapRangeOp {
+    VAddr vbase;
+    u64 num_pages = 0;
+  };
   struct WriteOp {
     // monostate keeps WriteOp default-constructible for log slots.
-    std::variant<std::monostate, MapOp, UnmapOp> op;
+    std::variant<std::monostate, MapOp, UnmapOp, MapRangeOp, UnmapRangeOp> op;
   };
   struct ReadOp {
     VAddr va;
@@ -76,6 +89,14 @@ struct VSpaceDs {
     }
     if (const auto* u = std::get_if<UnmapOp>(&op.op)) {
       auto r = table_->unmap(u->vbase);
+      return Response{r.error(), {}, {}};
+    }
+    if (const auto* mr = std::get_if<MapRangeOp>(&op.op)) {
+      auto r = table_->map_range(mr->vbase, mr->frame, mr->num_pages, mr->perms);
+      return Response{r.error(), {}, {}};
+    }
+    if (const auto* ur = std::get_if<UnmapRangeOp>(&op.op)) {
+      auto r = table_->unmap_range(ur->vbase, ur->num_pages);
       return Response{r.error(), {}, {}};
     }
     return Response{ErrorCode::kInvalidArgument, {}, {}};
@@ -133,6 +154,28 @@ class AddressSpace {
       // The mapping is gone from the (logical) table; now make sure no core
       // can keep using a cached translation.
       tlbs_->shootdown(t.core, vbase);
+    }
+    return err;
+  }
+
+  // Maps `num_pages` contiguous 4 KiB pages with ONE log entry. Atomic: on
+  // any error the region is untouched on every replica.
+  ErrorCode map_range(const ThreadToken& t, VAddr vbase, PAddr frame_base, u64 num_pages,
+                      Perms perms) {
+    typename Ds::WriteOp op;
+    op.op = typename Ds::MapRangeOp{vbase, frame_base, num_pages, perms};
+    return repl_.execute_mut(t, op).err;
+  }
+
+  // Unmaps `num_pages` contiguous 4 KiB pages with ONE log entry, then
+  // retires every stale translation in ONE shootdown round per core instead
+  // of num_pages rounds.
+  ErrorCode unmap_range(const ThreadToken& t, VAddr vbase, u64 num_pages) {
+    typename Ds::WriteOp op;
+    op.op = typename Ds::UnmapRangeOp{vbase, num_pages};
+    ErrorCode err = repl_.execute_mut(t, op).err;
+    if (err == ErrorCode::kOk && tlbs_ != nullptr) {
+      tlbs_->shootdown_range(t.core, vbase, num_pages);
     }
     return err;
   }

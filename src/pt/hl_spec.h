@@ -96,6 +96,25 @@ struct PtHighLevelSpec {
     ErrorCode result;
   };
 
+  // Range labels: one label (= one NR log entry) describes the transition
+  // over the whole set of VAddrs {vbase + i*4K | i < num_pages}. Their
+  // admitted state changes are *defined* as the composition of the
+  // corresponding single-page transitions — that is the refinement statement
+  // the pt/range_refines_pages VC discharges against the implementation.
+  struct MapRangeLabel {
+    VAddr vbase;
+    PAddr frame;     // physical base; page i maps to frame + i*4K
+    u64 num_pages;
+    Perms perms;
+    ErrorCode result;
+  };
+
+  struct UnmapRangeLabel {
+    VAddr vbase;
+    u64 num_pages;
+    ErrorCode result;
+  };
+
   struct ResolveLabel {
     VAddr va;
     ErrorCode result;
@@ -104,7 +123,7 @@ struct PtHighLevelSpec {
   };
 
   struct Label {
-    std::variant<MapLabel, UnmapLabel, ResolveLabel> op;
+    std::variant<MapLabel, UnmapLabel, ResolveLabel, MapRangeLabel, UnmapRangeLabel> op;
 
     std::string describe() const {
       std::ostringstream oss;
@@ -114,6 +133,13 @@ struct PtHighLevelSpec {
       } else if (const auto* u = std::get_if<UnmapLabel>(&op)) {
         oss << "unmap(vbase=0x" << std::hex << u->vbase.value << ") -> "
             << error_name(u->result);
+      } else if (const auto* mr = std::get_if<MapRangeLabel>(&op)) {
+        oss << "map_range(vbase=0x" << std::hex << mr->vbase.value << ", frame=0x"
+            << mr->frame.value << ", pages=" << std::dec << mr->num_pages << ") -> "
+            << error_name(mr->result);
+      } else if (const auto* ur = std::get_if<UnmapRangeLabel>(&op)) {
+        oss << "unmap_range(vbase=0x" << std::hex << ur->vbase.value << ", pages=" << std::dec
+            << ur->num_pages << ") -> " << error_name(ur->result);
       } else if (const auto* r = std::get_if<ResolveLabel>(&op)) {
         oss << "resolve(va=0x" << std::hex << r->va.value << ") -> " << error_name(r->result);
         if (r->result == ErrorCode::kOk) {
@@ -135,6 +161,12 @@ struct PtHighLevelSpec {
     }
     if (const auto* r = std::get_if<ResolveLabel>(&label.op)) {
       return next_resolve(pre, *r, post);
+    }
+    if (const auto* mr = std::get_if<MapRangeLabel>(&label.op)) {
+      return next_map_range(pre, *mr, post);
+    }
+    if (const auto* ur = std::get_if<UnmapRangeLabel>(&label.op)) {
+      return next_unmap_range(pre, *ur, post);
     }
     return false;
   }
@@ -176,6 +208,74 @@ struct PtHighLevelSpec {
     State expected = pre;
     expected.map.erase(l.vbase.value);
     return post == expected;
+  }
+
+  // map_range: on success the post state is exactly the fold of the
+  // single-page map transitions over the range (each admitted by next_map);
+  // every failure is atomic — the abstract machine does not move.
+  static bool next_map_range(const State& pre, const MapRangeLabel& l, const State& post) {
+    const bool wf = l.num_pages > 0 && l.vbase.is_page_aligned() && l.frame.is_page_aligned() &&
+                    l.vbase.is_canonical() &&
+                    l.num_pages <= (kMaxVaddrExclusive - l.vbase.value) / kPageSize;
+    const bool frames_in_range = wf && l.num_pages * kPageSize <= pre.phys_bytes &&
+                                 l.frame.value <= pre.phys_bytes - l.num_pages * kPageSize;
+    if (!wf || !frames_in_range) {
+      return l.result == ErrorCode::kInvalidArgument && post == pre;
+    }
+    if (overlaps_existing(pre.map, l.vbase.value, l.num_pages * kPageSize)) {
+      return l.result == ErrorCode::kAlreadyMapped && post == pre;
+    }
+    if (l.result == ErrorCode::kNoMemory) {
+      return post == pre;  // resource-exhaustion stutter, same as single map
+    }
+    if (l.result != ErrorCode::kOk) {
+      return false;
+    }
+    State s = pre;
+    for (u64 i = 0; i < l.num_pages; ++i) {
+      VAddr va = l.vbase.offset(i * kPageSize);
+      PAddr frame = l.frame.offset(i * kPageSize);
+      State t = s;
+      t.map[va.value] = AbsPte{frame, kPageSize, l.perms};
+      if (!next_map(s, MapLabel{va, frame, kPageSize, l.perms, ErrorCode::kOk}, t)) {
+        return false;
+      }
+      s = std::move(t);
+    }
+    return post == s;
+  }
+
+  // unmap_range succeeds iff every page in the range is a 4 KiB mapping
+  // based there; the post state is the fold of the single-page unmaps.
+  // Any failure leaves the state alone.
+  static bool next_unmap_range(const State& pre, const UnmapRangeLabel& l, const State& post) {
+    if (l.num_pages == 0) {
+      return l.result == ErrorCode::kInvalidArgument && post == pre;
+    }
+    const bool wf = l.vbase.is_page_aligned() && l.vbase.is_canonical() &&
+                    l.num_pages <= (kMaxVaddrExclusive - l.vbase.value) / kPageSize;
+    bool all_present = wf;
+    for (u64 i = 0; all_present && i < l.num_pages; ++i) {
+      auto it = pre.map.find(l.vbase.value + i * kPageSize);
+      all_present = it != pre.map.end() && it->second.size == kPageSize;
+    }
+    if (!all_present) {
+      return l.result == ErrorCode::kNotMapped && post == pre;
+    }
+    if (l.result != ErrorCode::kOk) {
+      return false;
+    }
+    State s = pre;
+    for (u64 i = 0; i < l.num_pages; ++i) {
+      VAddr va = l.vbase.offset(i * kPageSize);
+      State t = s;
+      t.map.erase(va.value);
+      if (!next_unmap(s, UnmapLabel{va, ErrorCode::kOk}, t)) {
+        return false;
+      }
+      s = std::move(t);
+    }
+    return post == s;
   }
 
   // resolve is read-only; it reports the covering mapping's translation.

@@ -118,6 +118,201 @@ Result<Unit> PageTable::map_impl(VAddr vbase, PAddr frame, u64 size, Perms perms
   return Unit{};
 }
 
+Result<PAddr> PageTable::walk_to_pt_create(VAddr va, WalkCache& cache) {
+  const u64 tag = va.value >> 21;
+  if (cache.tag == tag) {
+    return cache.pt;
+  }
+  // Tables created on this descent, for rollback on allocation failure (same
+  // discipline as map_impl).
+  std::array<std::pair<PAddr, PAddr>, 3> created;
+  usize created_n = 0;
+
+  PAddr table = cr3_;
+  for (int level = 4; level > 1; --level) {
+    PAddr entry_addr = table.offset(index_at(va, level) * 8);
+    u64 entry = mem_->read_u64(entry_addr);
+    if ((entry & kPtePresent) != 0) {
+      if ((entry & kPtePageSize) != 0) {
+        // A 2M/1G mapping already covers this chunk. No tables were created
+        // on this path: a created table is empty, so the walk cannot reach a
+        // present entry below one.
+        return ErrorCode::kAlreadyMapped;
+      }
+      table = PAddr{entry & kPteAddrMask};
+      continue;
+    }
+    auto next = frames_->alloc_frame();
+    if (!next.ok()) {
+      for (usize k = created_n; k > 0; --k) {
+        mem_->write_u64(created[k - 1].first, 0);
+        frames_->free_frame(created[k - 1].second);
+        --table_frames_;
+      }
+      return ErrorCode::kNoMemory;
+    }
+    ++table_frames_;
+    mem_->write_u64(entry_addr, next.value().value | kDirFlags);
+    created[created_n++] = {entry_addr, next.value()};
+    table = next.value();
+  }
+  cache.tag = tag;
+  cache.pt = table;
+  return table;
+}
+
+Result<PAddr> PageTable::walk_to_pt_find(VAddr va, WalkCache& cache) const {
+  const u64 tag = va.value >> 21;
+  if (cache.tag == tag) {
+    return cache.pt;
+  }
+  PAddr table = cr3_;
+  for (int level = 4; level > 1; --level) {
+    PAddr entry_addr = table.offset(index_at(va, level) * 8);
+    u64 entry = mem_->read_u64(entry_addr);
+    if ((entry & kPtePresent) == 0 || (entry & kPtePageSize) != 0) {
+      // Absent chain, or a larger mapping covers va — either way the pages
+      // here are not individual 4 KiB mappings.
+      return ErrorCode::kNotMapped;
+    }
+    cache.chain_table[4 - level] = table;
+    cache.chain_entry[4 - level] = entry_addr;
+    table = PAddr{entry & kPteAddrMask};
+  }
+  cache.tag = tag;
+  cache.pt = table;
+  return table;
+}
+
+template <typename FrameOf>
+Result<Unit> PageTable::map_range_impl(VAddr vbase, u64 num_pages, FrameOf&& frame_of,
+                                       Perms perms) {
+  if (num_pages == 0 || !vbase.is_page_aligned() || !vbase.is_canonical() ||
+      num_pages > (kMaxVaddrExclusive - vbase.value) / kPageSize) {
+    return ErrorCode::kInvalidArgument;
+  }
+  // Validate every frame up front so kInvalidArgument can never strike after
+  // pages were already installed (atomicity without rollback on this path).
+  for (u64 i = 0; i < num_pages; ++i) {
+    PAddr frame = frame_of(i);
+    if (!frame.is_page_aligned() || !mem_->contains(frame, kPageSize)) {
+      return ErrorCode::kInvalidArgument;
+    }
+  }
+  const u64 flags = leaf_flags(perms, /*large=*/false);
+
+  WalkCache cache;
+  u64 done = 0;
+  // Atomicity: on any mid-range failure, unmap what this call installed,
+  // newest first — emptied directories (ours included) are freed by the
+  // regular unmap path, restoring the exact pre-call tree.
+  auto rollback = [&] {
+    for (u64 k = done; k > 0; --k) {
+      Result<Unit> r = unmap_impl(vbase.offset((k - 1) * kPageSize));
+      VNROS_INVARIANT(r.ok());
+    }
+  };
+  for (u64 i = 0; i < num_pages; ++i) {
+    VAddr va = vbase.offset(i * kPageSize);
+    auto pt = walk_to_pt_create(va, cache);
+    if (!pt.ok()) {
+      rollback();
+      return pt.error();
+    }
+    PAddr leaf_addr = pt.value().offset(index_at(va, 1) * 8);
+    if ((mem_->read_u64(leaf_addr) & kPtePresent) != 0) {
+      rollback();
+      return ErrorCode::kAlreadyMapped;
+    }
+    mem_->write_u64(leaf_addr, frame_of(i).value | flags);
+    ++done;
+  }
+  return Unit{};
+}
+
+Result<Unit> PageTable::map_range(VAddr vbase, PAddr frame_base, u64 num_pages, Perms perms) {
+  Result<Unit> r = map_range_impl(
+      vbase, num_pages, [&](u64 i) { return frame_base.offset(i * kPageSize); }, perms);
+  VNROS_ENSURES(!r.ok() || [&] {
+    auto first = resolve(vbase);
+    auto last = resolve(vbase.offset((num_pages - 1) * kPageSize));
+    return first.ok() && first.value().paddr == frame_base && last.ok() &&
+           last.value().paddr == frame_base.offset((num_pages - 1) * kPageSize);
+  }());
+  return r;
+}
+
+Result<Unit> PageTable::map_range(VAddr vbase, std::span<const PAddr> frames, Perms perms) {
+  Result<Unit> r = map_range_impl(
+      vbase, frames.size(), [&](u64 i) { return frames[i]; }, perms);
+  VNROS_ENSURES(!r.ok() || frames.empty() || [&] {
+    auto first = resolve(vbase);
+    return first.ok() && first.value().paddr == frames.front();
+  }());
+  return r;
+}
+
+Result<Unit> PageTable::unmap_range(VAddr vbase, u64 num_pages) {
+  if (num_pages == 0) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (!vbase.is_page_aligned() || !vbase.is_canonical() ||
+      num_pages > (kMaxVaddrExclusive - vbase.value) / kPageSize) {
+    // Nothing can be mapped at such bases — "not mapped" is the spec answer,
+    // mirroring single-page unmap.
+    return ErrorCode::kNotMapped;
+  }
+  // Pass 1 (validation): every page must be the base of a 4 KiB mapping.
+  // Checking first makes the batch all-or-nothing; the walk cache makes this
+  // one chain descent plus one leaf load per page.
+  {
+    WalkCache cache;
+    for (u64 i = 0; i < num_pages; ++i) {
+      VAddr va = vbase.offset(i * kPageSize);
+      auto pt = walk_to_pt_find(va, cache);
+      if (!pt.ok()) {
+        return ErrorCode::kNotMapped;
+      }
+      if ((mem_->read_u64(pt.value().offset(index_at(va, 1) * 8)) & kPtePresent) == 0) {
+        return ErrorCode::kNotMapped;
+      }
+    }
+  }
+  // Pass 2 (apply): clear a whole 2 MiB chunk's leaves per walk, then free
+  // emptied tables bottom-up along the recorded chain.
+  u64 i = 0;
+  while (i < num_pages) {
+    WalkCache cache;  // fresh per chunk: freed tables must never be reused
+    VAddr va = vbase.offset(i * kPageSize);
+    auto pt = walk_to_pt_find(va, cache);
+    VNROS_INVARIANT(pt.ok());  // pass 1 established presence
+    const u64 first_idx = index_at(va, 1);
+    u64 in_chunk = kPtEntries - first_idx;
+    if (in_chunk > num_pages - i) {
+      in_chunk = num_pages - i;
+    }
+    for (u64 k = 0; k < in_chunk; ++k) {
+      mem_->write_u64(pt.value().offset((first_idx + k) * 8), 0);
+    }
+    i += in_chunk;
+    // Bottom-up cleanup: chain_entry[2] is the PDE pointing at this PT,
+    // chain_entry[1] the PDPTE, chain_entry[0] the PML4E (root never freed).
+    PAddr cur = pt.value();
+    for (int d = 2; d >= 0; --d) {
+      if (!table_is_empty(cur)) {
+        break;
+      }
+      mem_->write_u64(cache.chain_entry[d], 0);
+      frames_->free_frame(cur);
+      --table_frames_;
+      cur = cache.chain_table[d];
+    }
+  }
+  VNROS_ENSURES(!resolve(vbase).ok() &&
+                !resolve(vbase.offset((num_pages - 1) * kPageSize)).ok());
+  return Unit{};
+}
+
 Result<Unit> PageTable::unmap(VAddr vbase) {
   Result<Unit> r = unmap_impl(vbase);
   VNROS_ENSURES(!r.ok() || !resolve(vbase).ok());

@@ -25,6 +25,8 @@
 #ifndef VNROS_SRC_PT_PAGE_TABLE_H_
 #define VNROS_SRC_PT_PAGE_TABLE_H_
 
+#include <span>
+
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/hw/mmu.h"
@@ -56,6 +58,30 @@ class PageTable {
   // directory tables that become empty. Error: kNotMapped.
   Result<Unit> unmap(VAddr vbase);
 
+  // Range operations: one call maps/unmaps `num_pages` consecutive 4 KiB
+  // pages. Semantically each is the composition of the per-page single
+  // transitions (see PtHighLevelSpec::MapRangeLabel), but *atomic*: any
+  // failure (kInvalidArgument, kAlreadyMapped, kNoMemory) leaves the tree
+  // exactly as it was — no half-applied region is ever observable.
+  //
+  // The implementation reuses the last-touched directory chain
+  // (PML4E/PDPTE/PDE) across consecutive pages — a "walk cache" — so pages
+  // after the first within a 2 MiB-aligned chunk cost one leaf store instead
+  // of a fresh 4-level walk.
+
+  // Maps `num_pages` pages at `vbase` to the contiguous physical region
+  // starting at `frame_base`.
+  Result<Unit> map_range(VAddr vbase, PAddr frame_base, u64 num_pages, Perms perms);
+
+  // Maps page i at `vbase + i*4K` to `frames[i]` (arbitrary, per-page
+  // frames — the shape VmManager's mmap path produces).
+  Result<Unit> map_range(VAddr vbase, std::span<const PAddr> frames, Perms perms);
+
+  // Unmaps `num_pages` pages starting at `vbase`. Succeeds iff *every* page
+  // in the range is the base of a 4 KiB mapping; otherwise kNotMapped with
+  // no effect. Frees directory tables that become empty.
+  Result<Unit> unmap_range(VAddr vbase, u64 num_pages);
+
   // Translates `va` through the tree (software walk, not the MMU model).
   Result<ResolveOk> resolve(VAddr va) const;
 
@@ -85,6 +111,35 @@ class PageTable {
 
   Result<Unit> map_impl(VAddr vbase, PAddr frame, u64 size, Perms perms);
   Result<Unit> unmap_impl(VAddr vbase);
+
+  // Walk cache for range operations: the directory chain last descended.
+  // `tag` is va >> 21 (all bits above the level-1 index), so a hit means the
+  // cached level-1 table `pt` — and, for unmap, the recorded parent chain —
+  // is the one covering va. Valid only within one range-op call: tables can
+  // be freed between calls.
+  struct WalkCache {
+    static constexpr u64 kNoTag = ~u64{0};  // > any canonical va >> 21
+    u64 tag = kNoTag;
+    PAddr pt;             // level-1 table for the tagged 2 MiB chunk
+    PAddr chain_table[3]; // tables at levels 4,3,2 (chain_table[0] = PML4)
+    PAddr chain_entry[3]; // entry followed in each (addresses of PML4E/PDPTE/PDE)
+  };
+
+  // Descends to (creating directories as needed) the level-1 table covering
+  // `va`, consulting/filling `cache`. Errors: kAlreadyMapped when a 2M/1G
+  // leaf covers va, kNoMemory on allocation failure (own creations rolled
+  // back).
+  Result<PAddr> walk_to_pt_create(VAddr va, WalkCache& cache);
+
+  // Like walk_to_pt_create but never allocates: kNotMapped when the chain is
+  // absent or a larger leaf covers va. Records the parent chain in `cache`
+  // for bottom-up freeing.
+  Result<PAddr> walk_to_pt_find(VAddr va, WalkCache& cache) const;
+
+  // Shared core of the two map_range overloads: `frame_of(i)` yields the
+  // frame for page i. Defined in page_table.cc (both callers live there).
+  template <typename FrameOf>
+  Result<Unit> map_range_impl(VAddr vbase, u64 num_pages, FrameOf&& frame_of, Perms perms);
 
   // True iff the table at `table` has no present entries.
   bool table_is_empty(PAddr table) const;

@@ -728,6 +728,307 @@ VcOutcome vc_dense_table_population() {
   return VcOutcome::pass();
 }
 
+// --- Range operations (batched map/unmap) ------------------------------------
+
+// The central range-op obligation: a map_range/unmap_range step refines the
+// equivalent *sequence* of single-page transitions in PtHighLevelSpec.
+// next_map_range/next_unmap_range are literally defined as the fold of
+// next_map/next_unmap over the range, so driving random range ops through
+// the RefinementChecker discharges "one log entry = N spec transitions".
+// Structural invariants I1-I4 are checked after every batch.
+VcOutcome vc_range_refines_pages(u64 seed, usize steps) {
+  PtFixture f;
+  Rng rng(seed);
+  bool invariants_ok = true;
+  auto view = [&] { return f.view(); };
+  auto step = [&](usize) -> PtHighLevelSpec::Label {
+    u64 kind = rng.next_below(10);
+    u64 slot = rng.next_below(8);
+    // Ranges sized to cross PT (512-entry) boundaries regularly.
+    u64 num_pages = 1 + rng.next_below(96);
+    VAddr vbase{slot * kLargePageSize + rng.next_below(512 - 96) * kPageSize};
+    PtHighLevelSpec::Label label;
+    if (kind < 4) {
+      PAddr frame = PAddr::from_frame(rng.next_below(kVcMemFrames - num_pages));
+      Perms perms{rng.chance(1, 2), rng.chance(3, 4), rng.chance(1, 4)};
+      ErrorCode err = f.pt.map_range(vbase, frame, num_pages, perms).error();
+      label.op = PtHighLevelSpec::MapRangeLabel{vbase, frame, num_pages, perms, err};
+    } else if (kind < 8) {
+      ErrorCode err = f.pt.unmap_range(vbase, num_pages).error();
+      label.op = PtHighLevelSpec::UnmapRangeLabel{vbase, num_pages, err};
+    } else {
+      // Sprinkle single-page ops between batches so ranges interact with
+      // mappings they did not create.
+      PAddr frame = target_frame(kPageSize, rng.next_u64());
+      ErrorCode err = f.pt.map_frame(vbase, frame, kPageSize, Perms::rw()).error();
+      label.op = PtHighLevelSpec::MapLabel{vbase, frame, kPageSize, Perms::rw(), err};
+    }
+    invariants_ok = invariants_ok && f.pt.check_invariants();
+    return label;
+  };
+  RefinementChecker<PtHighLevelSpec> checker(view, step);
+  auto report = checker.run(steps);
+  if (!report.ok) {
+    return VcOutcome::fail(report.failure + " (seed " + std::to_string(seed) + ")");
+  }
+  if (!invariants_ok) {
+    return VcOutcome::fail("invariants violated after a range batch");
+  }
+  return VcOutcome::pass();
+}
+
+// Atomicity under allocation failure: a map_range that runs out of directory
+// frames mid-range must leave no partial region, leak nothing, and keep the
+// invariants. Swept over budgets so the failure strikes at every interior
+// walk position, including after the walk cache has handed out leaves.
+VcOutcome vc_map_range_no_memory_atomic() {
+  // 24 pages straddling a PT boundary: needs PDPT+PD+2 PTs = 4 new tables.
+  const u64 num_pages = 24;
+  const VAddr vbase{kLargePageSize * 5 + (512 - 8) * kPageSize};
+  for (u64 budget = 0; budget <= 3; ++budget) {
+    PhysMem mem(kVcMemFrames);
+    SimpleFrameSource inner(mem, kVcMemFrames - 512);
+    BudgetFrameSource budgeted(inner, budget + 1);  // +1: root
+    auto ptr = PageTable::create(mem, budgeted);
+    VNROS_CHECK(ptr.ok());
+    PageTable pt = std::move(ptr.value());
+    u64 live_before = inner.live_allocations();
+    AbsMap pre = interpret_page_table(mem, pt.root());
+    ErrorCode err = pt.map_range(vbase, PAddr{0}, num_pages, Perms::rw()).error();
+    if (err != ErrorCode::kNoMemory) {
+      return VcOutcome::fail("expected NoMemory under budget " + std::to_string(budget));
+    }
+    if (interpret_page_table(mem, pt.root()) != pre) {
+      return VcOutcome::fail("failed map_range left a partial region (budget " +
+                             std::to_string(budget) + ")");
+    }
+    if (inner.live_allocations() != live_before) {
+      return VcOutcome::fail("failed map_range leaked directory frames");
+    }
+    if (!pt.check_invariants()) {
+      return VcOutcome::fail("invariants violated after range rollback");
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// Atomicity under overlap: a pre-existing mapping in the middle of the target
+// range fails the whole batch with kAlreadyMapped and zero effect.
+VcOutcome vc_map_range_overlap_atomic() {
+  PtFixture f;
+  const VAddr vbase{kLargePageSize * 3};
+  const u64 num_pages = 32;
+  VAddr obstacle = vbase.offset(17 * kPageSize);
+  if (!f.pt.map_frame(obstacle, target_frame(kPageSize, 51), kPageSize, Perms::ro()).ok()) {
+    return VcOutcome::fail("setup map failed");
+  }
+  u64 live_before = f.frames.live_allocations();
+  AbsMap pre = interpret_page_table(f.mem, f.pt.root());
+  ErrorCode err = f.pt.map_range(vbase, PAddr{0}, num_pages, Perms::rw()).error();
+  if (err != ErrorCode::kAlreadyMapped) {
+    return VcOutcome::fail("overlapping map_range not rejected with AlreadyMapped");
+  }
+  if (interpret_page_table(f.mem, f.pt.root()) != pre) {
+    return VcOutcome::fail("rejected map_range changed the abstract map");
+  }
+  if (f.frames.live_allocations() != live_before) {
+    return VcOutcome::fail("rejected map_range leaked directory frames");
+  }
+  if (!f.pt.check_invariants()) {
+    return VcOutcome::fail("invariants violated after rejected map_range");
+  }
+  return VcOutcome::pass();
+}
+
+// Atomicity of unmap_range: a hole anywhere in the range fails the whole
+// batch with kNotMapped and no page is unmapped.
+VcOutcome vc_unmap_range_partial_atomic() {
+  PtFixture f;
+  const VAddr vbase{kLargePageSize * 7};
+  const u64 num_pages = 24;
+  if (!f.pt.map_range(vbase, PAddr{0}, num_pages, Perms::rw()).ok()) {
+    return VcOutcome::fail("setup map_range failed");
+  }
+  // Punch a hole mid-range.
+  if (!f.pt.unmap(vbase.offset(9 * kPageSize)).ok()) {
+    return VcOutcome::fail("setup unmap failed");
+  }
+  AbsMap pre = interpret_page_table(f.mem, f.pt.root());
+  ErrorCode err = f.pt.unmap_range(vbase, num_pages).error();
+  if (err != ErrorCode::kNotMapped) {
+    return VcOutcome::fail("unmap_range over a hole not rejected with NotMapped");
+  }
+  if (interpret_page_table(f.mem, f.pt.root()) != pre) {
+    return VcOutcome::fail("rejected unmap_range changed the abstract map");
+  }
+  // The remaining pages (with the hole) must still unmap as two exact ranges.
+  if (!f.pt.unmap_range(vbase, 9).ok() ||
+      !f.pt.unmap_range(vbase.offset(10 * kPageSize), num_pages - 10).ok()) {
+    return VcOutcome::fail("split unmap_range of the intact sub-ranges failed");
+  }
+  if (!interpret_page_table(f.mem, f.pt.root()).empty()) {
+    return VcOutcome::fail("table not empty after unmapping everything");
+  }
+  if (!f.pt.check_invariants()) {
+    return VcOutcome::fail("invariants violated");
+  }
+  return VcOutcome::pass();
+}
+
+// The batched shootdown obligation: after AddressSpace::unmap_range, no core
+// may use a stale cached translation for ANY page of the range — and the
+// whole range must cost ONE shootdown round (one IPI per remote core), not
+// one round per page.
+VcOutcome vc_range_shootdown_batched() {
+  PhysMem mem(kVcMemFrames * 4);
+  SimpleFrameSource frames(mem);
+  Topology topo(4, 2);
+  TlbSystem tlbs(topo);
+  Mmu mmu(mem);
+  AddressSpace<PageTable> as(mem, frames, topo, &tlbs);
+  auto tok = as.register_thread(0);
+  auto tok1 = as.register_thread(2);  // other node: forces both replicas live
+
+  const VAddr vbase{kLargePageSize * 2};
+  const u64 num_pages = 16;  // below the full-flush threshold: list path
+  if (as.map_range(tok, vbase, PAddr::from_frame(64), num_pages, Perms::rw()) !=
+      ErrorCode::kOk) {
+    return VcOutcome::fail("map_range through NR failed");
+  }
+  as.sync(tok);
+  as.sync(tok1);
+  auto root = as.peek(0).root();
+  VNROS_CHECK(root.has_value());
+  // Every core caches every page's translation.
+  for (CoreId c = 0; c < 4; ++c) {
+    for (u64 i = 0; i < num_pages; ++i) {
+      if (!tlbs.translate(mmu, *root, c, vbase.offset(i * kPageSize), Access::kRead,
+                          Ring::kUser)
+               .ok()) {
+        return VcOutcome::fail("initial access failed");
+      }
+    }
+  }
+  u64 rounds_before = tlbs.shootdown_stats().shootdowns;
+  u64 ipis_before = tlbs.shootdown_stats().ipis;
+  if (as.unmap_range(tok, vbase, num_pages) != ErrorCode::kOk) {
+    return VcOutcome::fail("unmap_range through NR failed");
+  }
+  as.sync(tok1);  // replica 1 must also have replayed the unmap entry
+  for (usize r = 0; r < as.num_replicas(); ++r) {
+    auto rt = as.peek(r).root();
+    if (!rt) {
+      continue;
+    }
+    for (CoreId c = 0; c < 4; ++c) {
+      for (u64 i = 0; i < num_pages; ++i) {
+        if (tlbs.translate(mmu, *rt, c, vbase.offset(i * kPageSize), Access::kRead,
+                           Ring::kUser)
+                 .ok()) {
+          return VcOutcome::fail("stale translation survived batched shootdown");
+        }
+      }
+    }
+  }
+  if (tlbs.shootdown_stats().shootdowns != rounds_before + 1) {
+    return VcOutcome::fail("unmap_range took more than one shootdown round");
+  }
+  if (tlbs.shootdown_stats().ipis != ipis_before + (topo.num_cores() - 1)) {
+    return VcOutcome::fail("batched shootdown delivered per-page IPIs");
+  }
+  return VcOutcome::pass();
+}
+
+// Above the threshold the batch promotes to full flushes: still one round,
+// and stale entries for *unrelated* pages are also gone (sound: TLB = cache).
+VcOutcome vc_range_shootdown_promotes_to_flush() {
+  PhysMem mem(kVcMemFrames);
+  SimpleFrameSource frames(mem);
+  Topology topo(2, 1);
+  TlbSystem tlbs(topo);
+  tlbs.set_batch_flush_threshold(8);
+  Mmu mmu(mem);
+  auto ptr = PageTable::create(mem, frames);
+  VNROS_CHECK(ptr.ok());
+  PageTable pt = std::move(ptr.value());
+  const VAddr vbase{kLargePageSize};
+  const u64 num_pages = 16;  // >= threshold
+  VNROS_CHECK(pt.map_range(vbase, PAddr{0}, num_pages, Perms::rw()).ok());
+  for (CoreId c = 0; c < 2; ++c) {
+    for (u64 i = 0; i < num_pages; ++i) {
+      (void)tlbs.translate(mmu, pt.root(), c, vbase.offset(i * kPageSize), Access::kRead,
+                           Ring::kSupervisor);
+    }
+  }
+  u64 flushes_before = tlbs.shootdown_stats().full_flushes;
+  VNROS_CHECK(pt.unmap_range(vbase, num_pages).ok());
+  tlbs.shootdown_range(0, vbase, num_pages);
+  if (tlbs.shootdown_stats().full_flushes != flushes_before + 1) {
+    return VcOutcome::fail("threshold-sized batch did not promote to a full flush");
+  }
+  for (CoreId c = 0; c < 2; ++c) {
+    for (u64 i = 0; i < num_pages; ++i) {
+      if (tlbs.translate(mmu, pt.root(), c, vbase.offset(i * kPageSize), Access::kRead,
+                         Ring::kSupervisor)
+              .ok()) {
+        return VcOutcome::fail("stale translation survived promoted flush");
+      }
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// Replicas replaying a single range log entry agree with a sequential model
+// driven by per-page operations — the NR-level statement that one MapRangeOp
+// entry is observationally equal to num_pages MapOp entries.
+VcOutcome vc_range_ops_replicas_agree(u64 seed) {
+  PhysMem mem(kVcMemFrames * 4);
+  SimpleFrameSource frames(mem);
+  Topology topo(4, 2);
+  AddressSpace<PageTable> as(mem, frames, topo);
+  auto t0 = as.register_thread(0);
+  auto t1 = as.register_thread(2);
+
+  Rng rng(seed);
+  AbsMap model;
+  for (int i = 0; i < 60; ++i) {
+    const ThreadToken& tok = rng.chance(1, 2) ? t0 : t1;
+    u64 num_pages = 1 + rng.next_below(48);
+    VAddr vbase{rng.next_below(12) * kLargePageSize + rng.next_below(64) * kPageSize};
+    if (rng.chance(2, 3)) {
+      PAddr frame = PAddr::from_frame(rng.next_below(kVcMemFrames - num_pages));
+      if (as.map_range(tok, vbase, frame, num_pages, Perms::rw()) == ErrorCode::kOk) {
+        for (u64 p = 0; p < num_pages; ++p) {
+          model[vbase.value + p * kPageSize] =
+              AbsPte{frame.offset(p * kPageSize), kPageSize, Perms::rw()};
+        }
+      }
+    } else {
+      if (as.unmap_range(tok, vbase, num_pages) == ErrorCode::kOk) {
+        for (u64 p = 0; p < num_pages; ++p) {
+          model.erase(vbase.value + p * kPageSize);
+        }
+      }
+    }
+  }
+  as.sync(t0);
+  as.sync(t1);
+  for (usize r = 0; r < as.num_replicas(); ++r) {
+    auto root = as.peek(r).root();
+    if (!root) {
+      if (!model.empty()) {
+        return VcOutcome::fail("replica has no table but model is nonempty");
+      }
+      continue;
+    }
+    if (interpret_page_table(mem, *root) != model) {
+      return VcOutcome::fail("replica " + std::to_string(r) +
+                             " diverges from per-page model after range ops");
+    }
+  }
+  return VcOutcome::pass();
+}
+
 }  // namespace
 
 void register_pt_vcs(VcRegistry& reg) {
@@ -787,6 +1088,28 @@ void register_pt_vcs(VcRegistry& reg) {
   }
   reg.add("pt/dense_table_population", VcCategory::kMemoryManagement,
           [] { return vc_dense_table_population(); });
+  // Range operations: refinement of the single-page transition sequence,
+  // atomicity of every failure mode, and the batched-shootdown protocol.
+  for (u64 seed = 1; seed <= 4; ++seed) {
+    reg.add("pt/range_refines_pages_seed" + std::to_string(seed), VcCategory::kRefinement,
+            [seed] { return vc_range_refines_pages(seed, 120); });
+  }
+  reg.add("pt/range_refines_pages", VcCategory::kRefinement,
+          [] { return vc_range_refines_pages(0xC0FFEE, 160); });
+  reg.add("pt/map_range_no_memory_atomic", VcCategory::kMemoryManagement,
+          [] { return vc_map_range_no_memory_atomic(); });
+  reg.add("pt/map_range_overlap_atomic", VcCategory::kMemoryManagement,
+          [] { return vc_map_range_overlap_atomic(); });
+  reg.add("pt/unmap_range_partial_atomic", VcCategory::kMemoryManagement,
+          [] { return vc_unmap_range_partial_atomic(); });
+  reg.add("pt/range_shootdown_batched", VcCategory::kMemoryManagement,
+          [] { return vc_range_shootdown_batched(); });
+  reg.add("pt/range_shootdown_promotes_to_flush", VcCategory::kMemoryManagement,
+          [] { return vc_range_shootdown_promotes_to_flush(); });
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    reg.add("pt/range_ops_replicas_agree_seed" + std::to_string(seed), VcCategory::kConcurrency,
+            [seed] { return vc_range_ops_replicas_agree(seed); });
+  }
 }
 
 }  // namespace vnros

@@ -87,6 +87,79 @@ Result<Unit> UnverifiedPageTable::map_rec(PAddr table, int level, VAddr vbase, P
   return r;
 }
 
+bool UnverifiedPageTable::leaf4k_present(VAddr va) const {
+  PAddr table = cr3_;
+  for (int level = 4; level > 1; --level) {
+    u64 entry = mem_->read_u64(table.offset(index_at(va, level) * 8));
+    if ((entry & kPtePresent) == 0 || (entry & kPtePageSize) != 0) {
+      return false;
+    }
+    table = PAddr{entry & kPteAddrMask};
+  }
+  return (mem_->read_u64(table.offset(index_at(va, 1) * 8)) & kPtePresent) != 0;
+}
+
+template <typename FrameOf>
+Result<Unit> UnverifiedPageTable::map_range_impl(VAddr vbase, u64 num_pages, FrameOf&& frame_of,
+                                                 Perms perms) {
+  if (num_pages == 0 || !vbase.is_page_aligned() ||
+      vbase.value >= kMaxVaddrExclusive ||
+      num_pages > (kMaxVaddrExclusive - vbase.value) / kPageSize) {
+    return ErrorCode::kInvalidArgument;
+  }
+  for (u64 i = 0; i < num_pages; ++i) {
+    PAddr frame = frame_of(i);
+    if (!frame.is_page_aligned() || !mem_->contains(frame, kPageSize)) {
+      return ErrorCode::kInvalidArgument;
+    }
+  }
+  for (u64 i = 0; i < num_pages; ++i) {
+    Result<Unit> r = map_frame(vbase.offset(i * kPageSize), frame_of(i), kPageSize, perms);
+    if (!r.ok()) {
+      // Undo the pages already installed so the failure has no effect.
+      for (u64 k = i; k > 0; --k) {
+        (void)unmap(vbase.offset((k - 1) * kPageSize));
+      }
+      return r.error();
+    }
+  }
+  return Unit{};
+}
+
+Result<Unit> UnverifiedPageTable::map_range(VAddr vbase, PAddr frame_base, u64 num_pages,
+                                            Perms perms) {
+  return map_range_impl(
+      vbase, num_pages, [&](u64 i) { return frame_base.offset(i * kPageSize); }, perms);
+}
+
+Result<Unit> UnverifiedPageTable::map_range(VAddr vbase, std::span<const PAddr> frames,
+                                            Perms perms) {
+  return map_range_impl(
+      vbase, frames.size(), [&](u64 i) { return frames[i]; }, perms);
+}
+
+Result<Unit> UnverifiedPageTable::unmap_range(VAddr vbase, u64 num_pages) {
+  if (num_pages == 0) {
+    return ErrorCode::kInvalidArgument;
+  }
+  if (!vbase.is_page_aligned() || vbase.value >= kMaxVaddrExclusive ||
+      num_pages > (kMaxVaddrExclusive - vbase.value) / kPageSize) {
+    return ErrorCode::kNotMapped;
+  }
+  for (u64 i = 0; i < num_pages; ++i) {
+    if (!leaf4k_present(vbase.offset(i * kPageSize))) {
+      return ErrorCode::kNotMapped;
+    }
+  }
+  for (u64 i = 0; i < num_pages; ++i) {
+    Result<Unit> r = unmap(vbase.offset(i * kPageSize));
+    if (!r.ok()) {
+      return r.error();  // unreachable after the pre-check
+    }
+  }
+  return Unit{};
+}
+
 Result<Unit> UnverifiedPageTable::unmap(VAddr vbase) {
   if (!vbase.is_canonical() || !vbase.is_page_aligned()) {
     return ErrorCode::kNotMapped;

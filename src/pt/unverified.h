@@ -9,6 +9,8 @@
 #ifndef VNROS_SRC_PT_UNVERIFIED_H_
 #define VNROS_SRC_PT_UNVERIFIED_H_
 
+#include <span>
+
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/hw/phys_mem.h"
@@ -26,6 +28,13 @@ class UnverifiedPageTable {
   Result<Unit> unmap(VAddr vbase);
   Result<ResolveOk> resolve(VAddr va) const;
 
+  // Range operations with the same atomic contract as PageTable's (either
+  // the whole 4 KiB-page range takes effect or none of it), written the
+  // straightforward way: pre-check, per-page apply, rollback on failure.
+  Result<Unit> map_range(VAddr vbase, PAddr frame_base, u64 num_pages, Perms perms);
+  Result<Unit> map_range(VAddr vbase, std::span<const PAddr> frames, Perms perms);
+  Result<Unit> unmap_range(VAddr vbase, u64 num_pages);
+
   PAddr root() const { return cr3_; }
 
  private:
@@ -36,6 +45,12 @@ class UnverifiedPageTable {
                        u64 flags);
   // Returns: kOk and sets `now_empty` if the subtree entry was removed.
   Result<Unit> unmap_rec(PAddr table, int level, VAddr vbase, bool& now_empty);
+
+  // True iff `va` is the base of a present 4 KiB leaf (not covered by a
+  // 2M/1G mapping).
+  bool leaf4k_present(VAddr va) const;
+  template <typename FrameOf>
+  Result<Unit> map_range_impl(VAddr vbase, u64 num_pages, FrameOf&& frame_of, Perms perms);
 
   PhysMem* mem_;
   FrameSource* frames_;

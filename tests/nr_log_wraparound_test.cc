@@ -1,0 +1,121 @@
+// Log wraparound and the help path: with a tiny log and a lagging replica,
+// every reservation beyond the capacity forces the combiner into help(),
+// which replays the log into the laggard so slots can recycle. The test
+// asserts (a) the run completes (liveness: helping un-wedges the full log),
+// (b) help() actually ran, and (c) the final state is linearizable — every
+// replica converges to the same sequential result.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/hw/topology.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+namespace {
+
+struct CounterDs {
+  struct WriteOp {
+    u64 delta = 0;
+  };
+  struct ReadOp {};
+  using Response = u64;
+  u64 value = 0;
+  Response dispatch(ReadOp) const { return value; }
+  Response dispatch_mut(const WriteOp& op) { return value += op.delta; }
+  bool operator==(const CounterDs&) const = default;
+};
+
+// 4 cores on 2 nodes -> 2 replicas; only replica 0 has active threads, so
+// replica 1 never advances on its own and the 8-entry log fills after 8 ops.
+// From then on every reservation goes through help().
+TEST(NrLogWraparoundTest, TinyLogForcesHelpAndStaysLinearizable) {
+  Topology topo(4, 2);
+  NrConfig config;
+  config.log_capacity = 8;
+  NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
+  auto t0 = nr.register_thread(0);  // node 0
+  auto t1 = nr.register_thread(2);  // node 1: registered but never operates
+
+  constexpr u64 kOps = 1000;
+  u64 expected = 0;
+  for (u64 i = 0; i < kOps; ++i) {
+    u64 delta = i % 7 + 1;
+    expected += delta;
+    u64 resp = nr.execute_mut(t0, CounterDs::WriteOp{delta});
+    // Responses are the post-state of the counter: monotone and <= expected.
+    EXPECT_LE(resp, expected);
+  }
+
+  NrStats stats = nr.stats_snapshot();
+  EXPECT_GT(stats.helps, 0u) << "an 8-entry log under 1000 ops must have forced help()";
+  EXPECT_EQ(stats.combined_ops, kOps);
+
+  // Linearizability at quiescence: both replicas reach the same final value,
+  // equal to the sequential sum, via reads and via peek.
+  EXPECT_EQ(nr.execute(t0, CounterDs::ReadOp{}), expected);
+  EXPECT_EQ(nr.execute(t1, CounterDs::ReadOp{}), expected);
+  nr.sync(t0);
+  nr.sync(t1);
+  EXPECT_EQ(nr.peek(0).value, expected);
+  EXPECT_EQ(nr.peek(1).value, expected);
+}
+
+// Concurrent variant: writers on both nodes with a tiny log. The exact
+// interleaving is nondeterministic but the final sum is not.
+TEST(NrLogWraparoundTest, ConcurrentWritersWrapTinyLog) {
+  Topology topo(4, 2);
+  NrConfig config;
+  config.log_capacity = 8;
+  NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
+
+  constexpr usize kThreads = 4;
+  constexpr u64 kOpsPerThread = 400;
+  std::vector<std::thread> threads;
+  for (usize t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&nr, t] {
+      auto tok = nr.register_thread(static_cast<CoreId>(t));
+      for (u64 i = 0; i < kOpsPerThread; ++i) {
+        nr.execute_mut(tok, CounterDs::WriteOp{1});
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  auto tok = nr.register_thread(0);
+  EXPECT_EQ(nr.execute(tok, CounterDs::ReadOp{}), kThreads * kOpsPerThread);
+  nr.sync(tok);
+  auto tok1 = nr.register_thread(2);
+  nr.sync(tok1);
+  EXPECT_EQ(nr.peek(0).value, kThreads * kOpsPerThread);
+  EXPECT_EQ(nr.peek(1).value, kThreads * kOpsPerThread);
+  NrStats stats = nr.stats_snapshot();
+  EXPECT_EQ(stats.combined_ops, kThreads * kOpsPerThread);
+}
+
+// The batched-publish fence path and the per-entry release-store path must be
+// observationally identical (the ablation knob only changes fence count).
+TEST(NrLogWraparoundTest, BatchedAndUnbatchedPublishAgree) {
+  for (bool batched : {true, false}) {
+    Topology topo(4, 2);
+    NrConfig config;
+    config.log_capacity = 8;
+    config.batched_publish = batched;
+    NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
+    auto t0 = nr.register_thread(0);
+    u64 expected = 0;
+    for (u64 i = 0; i < 300; ++i) {
+      expected += i % 5 + 1;
+      nr.execute_mut(t0, CounterDs::WriteOp{i % 5 + 1});
+    }
+    EXPECT_EQ(nr.execute(t0, CounterDs::ReadOp{}), expected)
+        << "batched_publish=" << batched;
+  }
+}
+
+}  // namespace
+}  // namespace vnros

@@ -37,6 +37,26 @@ struct Fixture {
   }
 };
 
+// Fails allocations after a budget — drives the rollback paths.
+class BudgetFrameSource final : public FrameSource {
+ public:
+  BudgetFrameSource(FrameSource& inner, u64 budget) : inner_(inner), budget_(budget) {}
+
+  Result<PAddr> alloc_frame() override {
+    if (budget_ == 0) {
+      return ErrorCode::kNoMemory;
+    }
+    --budget_;
+    return inner_.alloc_frame();
+  }
+
+  void free_frame(PAddr frame) override { inner_.free_frame(frame); }
+
+ private:
+  FrameSource& inner_;
+  u64 budget_;
+};
+
 PAddr aligned_frame(Rng& rng, u64 size) {
   u64 region = kFrames * kPageSize;
   u64 base = rng.next_below(region) & ~(size - 1);
@@ -193,6 +213,138 @@ TEST_P(PtInvariantSweep, InvariantsHoldAfterEveryOp) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PtInvariantSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- Range ops vs per-page loops -------------------------------------------------
+
+// map_range/unmap_range must leave the abstract map *identical* to the
+// per-page loop, on both the verified table and the unverified baseline,
+// with all four implementations cross-checked after every random batch.
+class PtRangeEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PtRangeEquivalence, RangeOpsMatchPerPageLoops) {
+  // Four tables: verified/unverified x range-ops/per-page-loop.
+  PhysMem mem_vr(kFrames), mem_vl(kFrames), mem_ur(kFrames), mem_ul(kFrames);
+  SimpleFrameSource fr_vr(mem_vr, kFrames - 512), fr_vl(mem_vl, kFrames - 512),
+      fr_ur(mem_ur, kFrames - 512), fr_ul(mem_ul, kFrames - 512);
+  auto vr = PageTable::create(mem_vr, fr_vr);
+  auto vl = PageTable::create(mem_vl, fr_vl);
+  auto ur = UnverifiedPageTable::create(mem_ur, fr_ur);
+  auto ul = UnverifiedPageTable::create(mem_ul, fr_ul);
+  ASSERT_TRUE(vr.ok() && vl.ok() && ur.ok() && ul.ok());
+
+  Rng rng(GetParam());
+  for (int i = 0; i < 80; ++i) {
+    u64 num_pages = 1 + rng.next_below(64);
+    VAddr vbase{rng.next_below(8) * kLargePageSize + rng.next_below(448) * kPageSize};
+    if (rng.chance(3, 5)) {
+      PAddr frame = PAddr::from_frame(rng.next_below(kFrames - num_pages));
+      Perms perms{rng.chance(1, 2), true, false};
+      ErrorCode range_v = vr.value().map_range(vbase, frame, num_pages, perms).error();
+      ErrorCode range_u = ur.value().map_range(vbase, frame, num_pages, perms).error();
+      // Per-page loop with manual rollback = the same atomic contract.
+      ErrorCode loop_v = ErrorCode::kOk;
+      {
+        u64 done = 0;
+        for (; done < num_pages; ++done) {
+          auto r = vl.value().map_frame(vbase.offset(done * kPageSize),
+                                        frame.offset(done * kPageSize), kPageSize, perms);
+          if (!r.ok()) {
+            loop_v = r.error();
+            break;
+          }
+        }
+        if (loop_v != ErrorCode::kOk) {
+          for (u64 k = done; k > 0; --k) {
+            ASSERT_TRUE(vl.value().unmap(vbase.offset((k - 1) * kPageSize)).ok());
+          }
+        }
+        for (u64 k = 0; k < num_pages; ++k) {
+          ErrorCode e = ul.value()
+                            .map_frame(vbase.offset(k * kPageSize),
+                                       frame.offset(k * kPageSize), kPageSize, perms)
+                            .error();
+          if (loop_v == ErrorCode::kOk) {
+            ASSERT_EQ(e, ErrorCode::kOk);
+          } else if (e != ErrorCode::kOk) {
+            for (u64 b = k; b > 0; --b) {
+              ASSERT_TRUE(ul.value().unmap(vbase.offset((b - 1) * kPageSize)).ok());
+            }
+            break;
+          }
+        }
+      }
+      ASSERT_EQ(range_v, range_u) << "verified vs unverified map_range diverge at step " << i;
+      ASSERT_EQ(range_v, loop_v) << "map_range vs per-page loop diverge at step " << i;
+    } else {
+      ErrorCode range_v = vr.value().unmap_range(vbase, num_pages).error();
+      ErrorCode range_u = ur.value().unmap_range(vbase, num_pages).error();
+      // Loop twin: pre-check all pages, then unmap (the atomic contract).
+      bool all_present = true;
+      for (u64 k = 0; k < num_pages; ++k) {
+        auto r = vl.value().resolve(vbase.offset(k * kPageSize));
+        if (!r.ok()) {
+          all_present = false;
+          break;
+        }
+      }
+      ErrorCode loop_v = ErrorCode::kNotMapped;
+      if (all_present) {
+        loop_v = ErrorCode::kOk;
+        for (u64 k = 0; k < num_pages; ++k) {
+          ASSERT_TRUE(vl.value().unmap(vbase.offset(k * kPageSize)).ok());
+          ASSERT_TRUE(ul.value().unmap(vbase.offset(k * kPageSize)).ok());
+        }
+      }
+      ASSERT_EQ(range_v, range_u) << "verified vs unverified unmap_range diverge at step "
+                                  << i;
+      ASSERT_EQ(range_v, loop_v) << "unmap_range vs per-page loop diverge at step " << i;
+    }
+    ASSERT_TRUE(vr.value().check_invariants()) << "range-op table invariants after step " << i;
+    AbsMap m = interpret_page_table(mem_vr, vr.value().root());
+    ASSERT_EQ(m, interpret_page_table(mem_vl, vl.value().root()))
+        << "range vs loop abstract maps diverge at step " << i;
+    ASSERT_EQ(m, interpret_page_table(mem_ur, ur.value().root()))
+        << "verified vs unverified abstract maps diverge at step " << i;
+    ASSERT_EQ(m, interpret_page_table(mem_ul, ul.value().root()))
+        << "unverified loop abstract map diverges at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtRangeEquivalence, ::testing::Values(11, 22, 33, 44));
+
+// Partial-failure contract: a kNoMemory mid-range leaves no half-applied
+// region observable, no leaked frames, and intact invariants.
+TEST(PtRangeAtomicity, NoMemoryMidRangeHasNoEffect) {
+  // Range straddles a PT boundary so the failure can strike between chunks.
+  const VAddr vbase{kLargePageSize * 3 + (512 - 8) * kPageSize};
+  const u64 num_pages = 24;
+  for (u64 budget = 0; budget <= 3; ++budget) {
+    PhysMem mem(kFrames);
+    SimpleFrameSource inner(mem, kFrames - 512);
+    BudgetFrameSource budgeted(inner, budget + 1);  // +1 for the root
+    auto ptr = PageTable::create(mem, budgeted);
+    ASSERT_TRUE(ptr.ok());
+    PageTable pt = std::move(ptr.value());
+    u64 live_before = inner.live_allocations();
+    AbsMap pre = interpret_page_table(mem, pt.root());
+    ErrorCode err = pt.map_range(vbase, PAddr{0}, num_pages, Perms::rw()).error();
+    ASSERT_EQ(err, ErrorCode::kNoMemory) << "budget " << budget;
+    EXPECT_EQ(interpret_page_table(mem, pt.root()), pre)
+        << "partial region observable at budget " << budget;
+    EXPECT_EQ(inner.live_allocations(), live_before)
+        << "directory frames leaked at budget " << budget;
+    EXPECT_TRUE(pt.check_invariants());
+    // With enough budget the identical call succeeds end-to-end.
+    BudgetFrameSource roomy(inner, 64);
+    PageTable pt2 = [&] {
+      auto r = PageTable::create(mem, roomy);
+      VNROS_CHECK(r.ok());
+      return std::move(r.value());
+    }();
+    ASSERT_TRUE(pt2.map_range(vbase, PAddr{0}, num_pages, Perms::rw()).ok());
+    EXPECT_EQ(interpret_page_table(mem, pt2.root()).size(), num_pages);
+  }
+}
 
 // The full pt VC family also runs under gtest so a CI failure names the VC.
 TEST(PtVcsTest, AllPass) {
