@@ -23,4 +23,14 @@ cmake --build build-tsan -j"${JOBS}" --target nr_test nr_log_wraparound_test
 ./build-tsan/tests/nr_log_wraparound_test
 
 echo
+echo "== tier-1: ASan+UBSan build (fs_test + app_test + chaos_test) =="
+# The fault-injection and chaos paths unwind through error branches the
+# happy-path suite never touches; run them under address+UB sanitizers.
+cmake -B build-asan -S . -DVNROS_SAN=address >/dev/null
+cmake --build build-asan -j"${JOBS}" --target fs_test app_test chaos_test
+./build-asan/tests/fs_test
+./build-asan/tests/app_test
+./build-asan/tests/chaos_test
+
+echo
 echo "tier1: OK"

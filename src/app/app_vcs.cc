@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/app/blockstore.h"
+#include "src/base/fault.h"
 #include "src/base/rng.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscall.h"
@@ -402,6 +403,150 @@ VcOutcome vc_anti_entropy_sync(u64 seed) {
   return VcOutcome::pass();
 }
 
+// --- Read-repair ---------------------------------------------------------------------
+
+// A locally-corrupted block is cured from a replica instead of surfacing
+// kCorrupted to the client: fetch from the peer, verify, re-persist, serve.
+VcOutcome vc_read_repair() {
+  Network net;
+  Host primary_host(&net);
+  Host replica_host(&net);
+  BlockStoreNode replica(replica_host.sys, 9001);
+  if (!replica.init().ok()) {
+    return VcOutcome::fail("replica init failed");
+  }
+  std::vector<BsPeer> peers{BsPeer{replica_host.kernel.net_addr(), 9001}};
+  BlockStoreNode primary(primary_host.sys, 9000, peers, [&] { replica.serve_once(); });
+  if (!primary.init().ok()) {
+    return VcOutcome::fail("primary init failed");
+  }
+
+  std::vector<u8> value(300, 0x42);
+  if (!primary.put("blk", value).ok()) {
+    return VcOutcome::fail("put failed");
+  }
+  while (replica.serve_once()) {  // drain the replication push
+  }
+  if (replica.get("blk").error() != ErrorCode::kOk) {
+    return VcOutcome::fail("replication push did not reach the replica");
+  }
+
+  // Rot a payload byte behind the primary's back.
+  auto fd = primary_host.sys.open(BlockStoreNode::key_path("blk"), 0);
+  if (!fd.ok()) {
+    return VcOutcome::fail("tamper open failed");
+  }
+  (void)primary_host.sys.lseek(fd.value(), 100, SeekWhence::kSet);
+  std::vector<u8> flip{0x43};
+  (void)primary_host.sys.write(fd.value(), flip);
+  (void)primary_host.sys.close(fd.value());
+
+  if (primary.get("blk").error() != ErrorCode::kCorrupted) {
+    return VcOutcome::fail("tampered block not detected as corrupt");
+  }
+  auto repaired = primary.get_or_repair("blk");
+  if (!repaired.ok() || repaired.value() != value) {
+    return VcOutcome::fail("read-repair did not return the replica's bytes");
+  }
+  if (primary.stats().read_repairs != 1) {
+    return VcOutcome::fail("read-repair not counted");
+  }
+  // The cure was persisted: a plain local get succeeds now.
+  auto after = primary.get("blk");
+  if (!after.ok() || after.value() != value) {
+    return VcOutcome::fail("repaired block not re-persisted locally");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Retry policy / failover -----------------------------------------------------------
+
+// With the primary partitioned away, the client's failover rotation lands
+// the operation on the second replica instead of timing out.
+VcOutcome vc_retry_failover() {
+  Network net;
+  Host h0(&net);
+  Host h1(&net);
+  Host client_host(&net);
+  BlockStoreNode n0(h0.sys, 9000);
+  BlockStoreNode n1(h1.sys, 9000);
+  if (!n0.init().ok() || !n1.init().ok()) {
+    return VcOutcome::fail("node init failed");
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.polls_per_attempt = 16;
+  policy.backoff_base_polls = 2;
+  policy.backoff_max_polls = 16;
+  policy.jitter_ppm = 250'000;
+  BlockStoreClient client(client_host.sys, h0.kernel.net_addr(), 9000,
+                          [&] {
+                            n0.serve_once();
+                            n1.serve_once();
+                          },
+                          policy);
+  client.add_failover(h1.kernel.net_addr(), 9000);
+  (void)client.init();
+
+  net.partition(client_host.kernel.net_addr(), h0.kernel.net_addr());
+  std::vector<u8> value{9, 9, 9};
+  if (!client.put("k", value).ok()) {
+    return VcOutcome::fail("put did not fail over around the partition");
+  }
+  if (client.retry_stats().failovers == 0) {
+    return VcOutcome::fail("failover not counted");
+  }
+  auto held = n1.get("k");
+  if (!held.ok() || held.value() != value) {
+    return VcOutcome::fail("failover target does not hold the value");
+  }
+  net.heal_all();
+  auto got = client.get("k");
+  if (!got.ok() || got.value() != value) {
+    return VcOutcome::fail("get after heal failed");
+  }
+  return VcOutcome::pass();
+}
+
+// An injected transient server error (syscall kIoError) is absorbed by the
+// retry policy: the op still succeeds and the absorption is visible in the
+// retry stats.
+VcOutcome vc_retry_transient(u64 seed) {
+  auto& reg = FaultRegistry::global();
+  reg.reseed(seed);
+  Network net;
+  Host server_host(&net);
+  Host client_host(&net);
+  BlockStoreNode node(server_host.sys, 9000);
+  if (!node.init().ok()) {
+    return VcOutcome::fail("node init failed");
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.polls_per_attempt = 16;
+  policy.backoff_base_polls = 1;
+  BlockStoreClient client(client_host.sys, server_host.kernel.net_addr(), 9000,
+                          [&] { node.serve_once(); }, policy);
+  (void)client.init();
+
+  FaultSpec one_shot;
+  one_shot.probability_ppm = 1'000'000;
+  one_shot.one_shot = true;
+  reg.arm("syscall/io_error", one_shot);
+  std::vector<u8> value(64, 0xAB);
+  if (!client.put("k", value).ok()) {
+    return VcOutcome::fail("put did not survive a transient server fault");
+  }
+  if (client.retry_stats().transient_errors == 0) {
+    return VcOutcome::fail("transient error not absorbed via retry stats");
+  }
+  auto got = node.get("k");
+  if (!got.ok() || got.value() != value) {
+    return VcOutcome::fail("value not durable after retried put");
+  }
+  return VcOutcome::pass();
+}
+
 }  // namespace
 
 void register_app_vcs(VcRegistry& reg) {
@@ -435,6 +580,12 @@ void register_app_vcs(VcRegistry& reg) {
   for (u64 seed = 1; seed <= 2; ++seed) {
     reg.add("app/anti_entropy_sync_seed" + std::to_string(seed), VcCategory::kApplication,
             [seed] { return vc_anti_entropy_sync(seed); });
+  }
+  reg.add("app/read_repair", VcCategory::kApplication, [] { return vc_read_repair(); });
+  reg.add("app/retry_failover", VcCategory::kApplication, [] { return vc_retry_failover(); });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("app/retry_transient_seed" + std::to_string(seed), VcCategory::kApplication,
+            [seed] { return vc_retry_transient(seed); });
   }
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/base/rng.h"
 #include "src/kernel/syscall.h"
 
 namespace vnros {
@@ -65,12 +66,19 @@ struct BlockStoreStats {
   u64 corrupt_reads = 0;
   u64 replicas_pushed = 0;
   u64 replicas_applied = 0;
+  u64 read_repairs = 0;        // corrupt blocks restored from a peer
+  u64 failed_repairs = 0;      // corrupt blocks no peer could supply
 };
 
 class BlockStoreNode {
  public:
   // `sys` is this node's (process's) view of its OS. The node binds `port`.
-  BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers = {});
+  // `pump` (optional) advances the simulated world; when set and peers are
+  // configured, a kCorrupted local read triggers read-repair: the block is
+  // fetched from a peer, re-persisted locally, and served instead of the
+  // corruption error.
+  BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers = {},
+                 std::function<void()> pump = {});
 
   // Creates /blocks and binds the service socket. Idempotent across
   // restarts of the same filesystem (recovery path).
@@ -83,6 +91,12 @@ class BlockStoreNode {
   Result<Unit> put(std::string_view key, std::span<const u8> value);
   Result<std::vector<u8>> get(std::string_view key) const;
   Result<Unit> del(std::string_view key);
+
+  // get(), but a kCorrupted local block is repaired from the peer list (if
+  // any) before failing: fetch from a peer over the repair socket, verify,
+  // re-persist locally, return the repaired bytes. This is what serve_once
+  // uses for kGet, so clients never see corruption a peer can cure.
+  Result<std::vector<u8>> get_or_repair(std::string_view key);
 
   // Abstract view: every (key, bytes) currently stored and intact.
   std::map<std::string, std::vector<u8>> view() const;
@@ -100,24 +114,61 @@ class BlockStoreNode {
  private:
   Result<Unit> put_local(std::string_view key, std::span<const u8> value);
   void push_replicas(std::string_view key, std::span<const u8> value);
+  Result<std::vector<u8>> fetch_from_peer(const BsPeer& peer, std::string_view key);
 
   Sys& sys_;
   Port port_;
   std::vector<BsPeer> peers_;
+  std::function<void()> pump_;
   Fd sock_ = kInvalidFd;
+  Fd repair_sock_ = kInvalidFd;  // dedicated socket: repair RPCs never steal
+                                 // datagrams destined for the service socket
+  bool in_repair_ = false;       // re-entrancy guard (pump may recurse into us)
+  u64 next_repair_req_id_ = 1;
   mutable BlockStoreStats stats_;
+};
+
+// Client retry behaviour. All waiting is measured in pump polls — the
+// simulation's stand-in for wall-clock time — so schedules replay
+// deterministically from a seed.
+struct RetryPolicy {
+  usize max_attempts = 16;       // sends per rpc (across all targets)
+  usize polls_per_attempt = 64;  // pump polls awaiting each reply
+  u64 backoff_base_polls = 0;    // idle polls before retry 1; doubles per retry
+  u64 backoff_max_polls = 0;     // exponential backoff cap (0 = uncapped)
+  u64 jitter_ppm = 0;            // additive jitter: up to this fraction of the backoff
+  u64 deadline_polls = 0;        // total poll budget per rpc (0 = unlimited)
+};
+
+// Visible retry behaviour, for tests and for kDebug logging: how hard did
+// the client have to work to get an answer?
+struct RetryStats {
+  u64 attempts = 0;          // request datagrams sent
+  u64 retries = 0;           // attempts beyond the first, per rpc
+  u64 backoff_polls = 0;     // pump polls spent idling in backoff
+  u64 failovers = 0;         // switches to a different target
+  u64 transient_errors = 0;  // kIoError/kNoMemory/kBusy replies absorbed by retry
+  u64 send_errors = 0;       // local sendto failures absorbed by retry
 };
 
 // Client library: request/response over UDP with timeout + retry (the
 // fabric may drop datagrams; operations are idempotent, so at-least-once
-// retries preserve the abstract map semantics).
+// retries preserve the abstract map semantics). Transient server errors
+// (fault-injected kIoError/kNoMemory, kBusy) are retried with exponential
+// backoff + jitter; when failover targets are configured, timeouts and
+// transient errors rotate the client to the next replica.
 class BlockStoreClient {
  public:
   // `pump` advances the simulated world (drives the server and the fabric)
   // between poll attempts — the simulation's stand-in for wall-clock time.
-  BlockStoreClient(Sys& sys, NetAddr server, Port server_port, std::function<void()> pump);
+  BlockStoreClient(Sys& sys, NetAddr server, Port server_port, std::function<void()> pump,
+                   RetryPolicy policy = {});
 
   Result<Unit> init();
+
+  // Adds a replica the client may rotate to when the current target times
+  // out or keeps returning transient errors.
+  void add_failover(NetAddr addr, Port port);
 
   Result<Unit> put(std::string_view key, std::span<const u8> value);
   Result<std::vector<u8>> get(std::string_view key);
@@ -130,22 +181,30 @@ class BlockStoreClient {
   // writing it into `target` via its local API. Returns blocks repaired.
   Result<u64> sync_into(BlockStoreNode& target);
 
-  u64 retries() const { return retries_; }
+  u64 retries() const { return stats_.retries; }
+  const RetryStats& retry_stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+  // The target the next rpc will be sent to (index 0 = the constructor's
+  // server; failover targets follow in add_failover order).
+  usize current_target() const { return current_target_; }
 
  private:
-  static constexpr usize kMaxAttempts = 16;
-  static constexpr usize kPollsPerAttempt = 64;
+  static bool transient(ErrorCode err);
 
   // Sends `request` until a reply with its req_id arrives; returns payload.
   Result<std::vector<u8>> rpc(BsOp op, std::string_view key, std::span<const u8> value);
+  void fail_over();
 
   Sys& sys_;
-  NetAddr server_;
-  Port server_port_;
+  std::vector<BsPeer> targets_;  // [0] = primary, rest = failover replicas
+  usize current_target_ = 0;
   std::function<void()> pump_;
+  RetryPolicy policy_;
+  Rng rng_{0xC11E47ull};  // jitter; fixed seed keeps runs replayable
   Fd sock_ = kInvalidFd;
   u64 next_req_id_ = 1;
-  u64 retries_ = 0;
+  RetryStats stats_;
 };
 
 }  // namespace vnros

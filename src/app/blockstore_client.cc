@@ -1,14 +1,18 @@
 #include "src/app/blockstore.h"
 
+#include <algorithm>
 #include <map>
 
+#include "src/base/log.h"
 #include "src/base/serde.h"
 
 namespace vnros {
 
 BlockStoreClient::BlockStoreClient(Sys& sys, NetAddr server, Port server_port,
-                                   std::function<void()> pump)
-    : sys_(sys), server_(server), server_port_(server_port), pump_(std::move(pump)) {}
+                                   std::function<void()> pump, RetryPolicy policy)
+    : sys_(sys), pump_(std::move(pump)), policy_(policy) {
+  targets_.push_back(BsPeer{server, server_port});
+}
 
 Result<Unit> BlockStoreClient::init() {
   auto sock = sys_.udp_socket();
@@ -19,6 +23,28 @@ Result<Unit> BlockStoreClient::init() {
   // First send auto-binds an ephemeral port; recvfrom needs a bound socket,
   // so bind eagerly by sending a ping during the first rpc instead.
   return Unit{};
+}
+
+void BlockStoreClient::add_failover(NetAddr addr, Port port) {
+  targets_.push_back(BsPeer{addr, port});
+}
+
+bool BlockStoreClient::transient(ErrorCode err) {
+  // Errors a later attempt (possibly against another replica) can cure:
+  // injected device/memory faults and momentary contention. Semantic
+  // outcomes (kNotFound, kCorrupted, kInvalidArgument, ...) pass through.
+  return err == ErrorCode::kIoError || err == ErrorCode::kNoMemory ||
+         err == ErrorCode::kBusy || err == ErrorCode::kWouldBlock;
+}
+
+void BlockStoreClient::fail_over() {
+  if (targets_.size() < 2) {
+    return;
+  }
+  current_target_ = (current_target_ + 1) % targets_.size();
+  ++stats_.failovers;
+  VNROS_LOG_DEBUG("blockstore", "client failover -> target %zu (%llu so far)", current_target_,
+                  static_cast<unsigned long long>(stats_.failovers));
 }
 
 Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
@@ -38,20 +64,59 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     w.put_bytes(value);
   }
 
-  for (usize attempt = 0; attempt < kMaxAttempts; ++attempt) {
+  u64 polls_used = 0;
+  u64 backoff = policy_.backoff_base_polls;
+  auto pump_once = [&] {
+    if (pump_) {
+      pump_();
+    }
+    ++polls_used;
+  };
+  ErrorCode last_err = ErrorCode::kTimedOut;
+  for (usize attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      ++retries_;
-    }
-    auto sent = sys_.udp_sendto(sock_, server_, server_port_, w.bytes());
-    if (!sent.ok()) {
-      return sent.error();
-    }
-    for (usize poll = 0; poll < kPollsPerAttempt; ++poll) {
-      if (pump_) {
-        pump_();
+      ++stats_.retries;
+      // Exponential backoff with additive jitter, in pump polls. Jitter
+      // decorrelates retries from concurrent clients without breaking
+      // determinism (the jitter Rng is seeded).
+      u64 wait = backoff;
+      if (wait > 0 && policy_.jitter_ppm > 0) {
+        u64 span = wait * policy_.jitter_ppm / 1'000'000;
+        if (span > 0) {
+          wait += rng_.next_range(0, span);
+        }
       }
+      stats_.backoff_polls += wait;
+      for (u64 i = 0; i < wait; ++i) {
+        pump_once();
+      }
+      backoff *= 2;
+      if (policy_.backoff_max_polls != 0) {
+        backoff = std::min(backoff, policy_.backoff_max_polls);
+      }
+    }
+    if (policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls) {
+      break;
+    }
+    ++stats_.attempts;
+    const BsPeer& target = targets_[current_target_];
+    auto sent = sys_.udp_sendto(sock_, target.addr, target.port, w.bytes());
+    if (!sent.ok()) {
+      // Local send failure (e.g. injected syscall fault): count it, back
+      // off, and retry — the op has definitely not reached any server.
+      ++stats_.send_errors;
+      last_err = sent.error();
+      fail_over();
+      continue;
+    }
+    bool transient_reply = false;
+    for (usize poll = 0; poll < policy_.polls_per_attempt; ++poll) {
+      pump_once();
       auto reply = sys_.udp_recvfrom(sock_);
       if (!reply.ok()) {
+        if (policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls) {
+          break;
+        }
         continue;
       }
       Reader r(reply.value().payload);
@@ -64,13 +129,34 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
       if (*rid != req_id) {
         continue;  // stale reply from an earlier (retried) request
       }
-      if (static_cast<ErrorCode>(*err) != ErrorCode::kOk) {
-        return static_cast<ErrorCode>(*err);
+      ErrorCode code = static_cast<ErrorCode>(*err);
+      if (code == ErrorCode::kOk) {
+        return std::move(*payload);
       }
-      return std::move(*payload);
+      if (transient(code)) {
+        ++stats_.transient_errors;
+        last_err = code;
+        transient_reply = true;
+        VNROS_LOG_DEBUG("blockstore", "transient %s from target %zu (attempt %zu), retrying",
+                        error_name(code), current_target_, attempt);
+        break;  // next attempt, possibly after failover
+      }
+      return code;
+    }
+    // Timed out or bounced with a transient error: rotate targets so a
+    // crashed/partitioned/faulting replica does not absorb every attempt.
+    fail_over();
+    if (!transient_reply) {
+      last_err = ErrorCode::kTimedOut;
     }
   }
-  return ErrorCode::kTimedOut;
+  VNROS_LOG_DEBUG("blockstore",
+                  "rpc gave up: %s (attempts=%llu retries=%llu backoff=%llu failovers=%llu)",
+                  error_name(last_err), static_cast<unsigned long long>(stats_.attempts),
+                  static_cast<unsigned long long>(stats_.retries),
+                  static_cast<unsigned long long>(stats_.backoff_polls),
+                  static_cast<unsigned long long>(stats_.failovers));
+  return last_err == ErrorCode::kOk ? ErrorCode::kTimedOut : last_err;
 }
 
 Result<Unit> BlockStoreClient::put(std::string_view key, std::span<const u8> value) {

@@ -2,6 +2,7 @@
 
 #include "src/base/contracts.h"
 #include "src/base/crc.h"
+#include "src/base/log.h"
 #include "src/base/serde.h"
 
 namespace vnros {
@@ -25,8 +26,9 @@ std::string BlockStoreNode::key_path(std::string_view key) {
   return path;
 }
 
-BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers)
-    : sys_(sys), port_(port), peers_(std::move(peers)) {}
+BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers,
+                               std::function<void()> pump)
+    : sys_(sys), port_(port), peers_(std::move(peers)), pump_(std::move(pump)) {}
 
 Result<Unit> BlockStoreNode::init() {
   auto md = sys_.mkdir("/blocks");
@@ -124,6 +126,88 @@ Result<std::vector<u8>> BlockStoreNode::get(std::string_view key) const {
     return ErrorCode::kCorrupted;  // never return bytes that fail the checksum
   }
   return std::vector<u8>(payload.begin(), payload.end());
+}
+
+Result<std::vector<u8>> BlockStoreNode::fetch_from_peer(const BsPeer& peer,
+                                                        std::string_view key) {
+  if (repair_sock_ == kInvalidFd) {
+    auto sock = sys_.udp_socket();
+    if (!sock.ok()) {
+      return sock.error();
+    }
+    repair_sock_ = sock.value();
+  }
+  u64 req_id = next_repair_req_id_++;
+  Writer w;
+  w.put_u8(static_cast<u8>(BsOp::kGet));
+  w.put_u64(req_id);
+  w.put_string(key);
+
+  constexpr usize kRepairAttempts = 4;
+  constexpr usize kRepairPolls = 64;
+  for (usize attempt = 0; attempt < kRepairAttempts; ++attempt) {
+    auto sent = sys_.udp_sendto(repair_sock_, peer.addr, peer.port, w.bytes());
+    if (!sent.ok()) {
+      continue;
+    }
+    for (usize poll = 0; poll < kRepairPolls; ++poll) {
+      if (pump_) {
+        pump_();
+      }
+      auto reply = sys_.udp_recvfrom(repair_sock_);
+      if (!reply.ok()) {
+        continue;
+      }
+      Reader r(reply.value().payload);
+      auto rid = r.get_u64();
+      auto err = r.get_u32();
+      auto payload = r.get_bytes();
+      if (!rid || !err || !payload || *rid != req_id) {
+        continue;
+      }
+      if (static_cast<ErrorCode>(*err) != ErrorCode::kOk) {
+        return static_cast<ErrorCode>(*err);
+      }
+      return std::move(*payload);
+    }
+  }
+  return ErrorCode::kTimedOut;
+}
+
+Result<std::vector<u8>> BlockStoreNode::get_or_repair(std::string_view key) {
+  auto local = get(key);
+  if (local.ok() || local.error() != ErrorCode::kCorrupted) {
+    return local;
+  }
+  // Local copy failed its checksum. Without peers (or while already inside a
+  // repair — pump() can recurse into serve_once) the error stands; otherwise
+  // pull the block from a replica, re-persist it, and serve the cured bytes.
+  if (in_repair_ || peers_.empty() || pump_ == nullptr) {
+    return local;
+  }
+  in_repair_ = true;
+  Result<std::vector<u8>> repaired = ErrorCode::kCorrupted;
+  for (const auto& peer : peers_) {
+    auto fetched = fetch_from_peer(peer, key);
+    if (fetched.ok()) {
+      repaired = std::move(fetched);
+      break;
+    }
+  }
+  in_repair_ = false;
+  if (!repaired.ok()) {
+    ++stats_.failed_repairs;
+    return local;  // every peer failed: the honest answer is still kCorrupted
+  }
+  auto stored = put_local(key, repaired.value());
+  if (stored.ok()) {
+    ++stats_.read_repairs;
+    VNROS_LOG_DEBUG("blockstore", "read-repaired %zu-byte block from peer",
+                    repaired.value().size());
+  }
+  // Even if re-persisting failed (e.g. injected disk fault) the fetched
+  // bytes are checksum-verified by the peer's get(); serve them.
+  return repaired;
 }
 
 Result<Unit> BlockStoreNode::del(std::string_view key) {
@@ -224,7 +308,7 @@ bool BlockStoreNode::serve_once() {
     }
     case BsOp::kGet: {
       if (r.exhausted()) {
-        auto v = get(*key);
+        auto v = get_or_repair(*key);
         err = v.error();
         if (v.ok()) {
           err = ErrorCode::kOk;

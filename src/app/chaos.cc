@@ -1,0 +1,463 @@
+#include "src/app/chaos.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/app/blockstore.h"
+#include "src/base/contracts.h"
+#include "src/base/fault.h"
+#include "src/base/log.h"
+#include "src/base/rng.h"
+#include "src/hw/block_device.h"
+#include "src/hw/network.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall.h"
+
+namespace vnros {
+namespace {
+
+constexpr Port kPort = 9000;
+constexpr u64 kDiskSectors = 16384;
+
+// One simulated machine with a ready-to-use process and Sys facade (the
+// app_vcs Host pattern, extended with the reboot knobs).
+struct ChaosHost {
+  Kernel kernel;
+  SyscallDispatcher disp;
+  Pid pid;
+  Sys sys;
+
+  ChaosHost(Network* net, BlockDevice* disk, bool recover, std::optional<LinkAddr> addr)
+      : kernel(make_config(net, disk, recover, addr)),
+        disp(kernel),
+        pid(boot_pid(disp)),
+        sys(disp, pid, 0) {}
+
+  static KernelConfig make_config(Network* net, BlockDevice* disk, bool recover,
+                                  std::optional<LinkAddr> addr) {
+    KernelConfig config;
+    config.network = net;
+    config.disk = disk;
+    config.recover_fs = recover;
+    config.link_addr = addr;
+    config.format_on_recovery_failure = recover;
+    return config;
+  }
+
+  static Pid boot_pid(SyscallDispatcher& disp) {
+    Sys boot(disp, kInvalidPid, 0);
+    auto pid = boot.spawn();
+    VNROS_CHECK(pid.ok());
+    return pid.value();
+  }
+};
+
+// What the client believes about one key. `history` is every value ever
+// attempted (acked or not) — the universe of non-garbage bytes. `certain`
+// is set only while the latest client op on the key was a successful put.
+struct KeyBelief {
+  std::vector<std::vector<u8>> history;
+  std::optional<std::vector<u8>> certain;
+
+  bool in_history(const std::vector<u8>& v) const {
+    for (const auto& h : history) {
+      if (h == v) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(const ChaosConfig& cfg) : cfg_(cfg), sched_rng_(cfg.seed) {
+    VNROS_CHECK(cfg_.nodes >= 2);
+    report_.seed = cfg_.seed;
+  }
+
+  ChaosReport run() {
+    auto& reg = FaultRegistry::global();
+    reg.disarm_all();
+    reg.reset_stats();
+    reg.reseed(cfg_.seed ^ 0xFA17'FA17ull);
+
+    boot_cluster();
+
+    for (usize step = 0; step < cfg_.steps && report_.message.empty(); ++step) {
+      schedule_events(step);
+      if (!report_.message.empty()) {
+        break;
+      }
+      client_op(step);
+      if ((step + 1) % cfg_.check_every == 0) {
+        quiesce_and_check(step);
+      }
+    }
+    if (report_.message.empty()) {
+      quiesce_and_check(cfg_.steps);
+    }
+
+    finalize_report();
+    reg.disarm_all();
+    return report_;
+  }
+
+ private:
+  struct NodeSlot {
+    std::unique_ptr<BlockDevice> disk;
+    std::unique_ptr<ChaosHost> host;
+    std::unique_ptr<BlockStoreNode> node;
+    LinkAddr addr = 0;
+    std::string fault_prefix;
+  };
+
+  void boot_cluster() {
+    slots_.resize(cfg_.nodes);
+    for (usize i = 0; i < cfg_.nodes; ++i) {
+      auto& slot = slots_[i];
+      slot.fault_prefix = "chaos/disk" + std::to_string(i);
+      slot.disk = std::make_unique<BlockDevice>(kDiskSectors, cfg_.seed * 1000003ull + i,
+                                                slot.fault_prefix);
+      slot.host = std::make_unique<ChaosHost>(&net_, slot.disk.get(), /*recover=*/false,
+                                              std::nullopt);
+      slot.addr = slot.host->kernel.net_addr();
+    }
+    for (usize i = 0; i < cfg_.nodes; ++i) {
+      make_node(i);
+    }
+    client_host_ = std::make_unique<ChaosHost>(&net_, nullptr, /*recover=*/false, std::nullopt);
+    client_addr_ = client_host_->kernel.net_addr();
+
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    policy.polls_per_attempt = 48;
+    policy.backoff_base_polls = 4;
+    policy.backoff_max_polls = 64;
+    policy.jitter_ppm = 250'000;
+    policy.deadline_polls = 2'000;
+    client_ = std::make_unique<BlockStoreClient>(client_host_->sys, slots_[0].addr, kPort,
+                                                 [this] { pump_all(); }, policy);
+    for (usize i = 1; i < cfg_.nodes; ++i) {
+      client_->add_failover(slots_[i].addr, kPort);
+    }
+    VNROS_CHECK(client_->init().ok());
+  }
+
+  void make_node(usize i) {
+    auto& slot = slots_[i];
+    std::vector<BsPeer> peers;
+    for (usize j = 0; j < cfg_.nodes; ++j) {
+      if (j != i) {
+        peers.push_back(BsPeer{slots_[j].addr, kPort});
+      }
+    }
+    slot.node = std::make_unique<BlockStoreNode>(slot.host->sys, kPort, std::move(peers),
+                                                 [this, i] { pump_except(i); });
+    VNROS_CHECK(slot.node->init().ok());
+  }
+
+  void pump_all() {
+    net_.release_held();
+    for (auto& slot : slots_) {
+      if (slot.node) {
+        slot.node->serve_once();
+      }
+    }
+  }
+
+  void pump_except(usize skip) {
+    net_.release_held();
+    for (usize j = 0; j < slots_.size(); ++j) {
+      if (j != skip && slots_[j].node) {
+        slots_[j].node->serve_once();
+      }
+    }
+  }
+
+  // --- Adversarial events ---------------------------------------------------
+
+  void schedule_events(usize step) {
+    auto& reg = FaultRegistry::global();
+    if (sched_rng_.chance_ppm(cfg_.crash_ppm)) {
+      crash_node(sched_rng_.next_below(cfg_.nodes), step);
+      if (!report_.message.empty()) {
+        return;
+      }
+    }
+    if (sched_rng_.chance_ppm(cfg_.partition_ppm)) {
+      // Cut a random pair among {nodes, client}.
+      std::vector<LinkAddr> ends;
+      for (const auto& slot : slots_) {
+        ends.push_back(slot.addr);
+      }
+      ends.push_back(client_addr_);
+      LinkAddr a = ends[sched_rng_.next_below(ends.size())];
+      LinkAddr b = ends[sched_rng_.next_below(ends.size())];
+      if (a != b && !net_.partitioned(a, b)) {
+        net_.partition(a, b);
+        cuts_.push_back({a, b});
+        ++report_.partitions;
+      }
+    }
+    if (!cuts_.empty() && sched_rng_.chance_ppm(cfg_.heal_ppm)) {
+      usize idx = sched_rng_.next_below(cuts_.size());
+      net_.heal(cuts_[idx].first, cuts_[idx].second);
+      cuts_.erase(cuts_.begin() + static_cast<isize>(idx));
+      ++report_.heals;
+    }
+    FaultSpec one_shot;
+    one_shot.probability_ppm = 1'000'000;
+    one_shot.one_shot = true;
+    if (sched_rng_.chance_ppm(cfg_.disk_fault_ppm)) {
+      const auto& slot = slots_[sched_rng_.next_below(cfg_.nodes)];
+      const char* kind = sched_rng_.chance_ppm(500'000) ? "/write_error" : "/read_error";
+      reg.arm(slot.fault_prefix + kind, one_shot);
+      ++report_.faults_armed;
+    }
+    if (sched_rng_.chance_ppm(cfg_.torn_write_ppm)) {
+      const auto& slot = slots_[sched_rng_.next_below(cfg_.nodes)];
+      reg.arm(slot.fault_prefix + "/torn_write", one_shot);
+      ++report_.faults_armed;
+    }
+    if (sched_rng_.chance_ppm(cfg_.syscall_fault_ppm)) {
+      reg.arm("syscall/io_error", one_shot);
+      ++report_.faults_armed;
+    }
+    if (sched_rng_.chance_ppm(cfg_.oom_ppm)) {
+      reg.arm("frame_alloc/oom", one_shot);
+      ++report_.faults_armed;
+      // Steady-state block-store traffic allocates no frames, so probe the
+      // site from the client host: a small mapping that either succeeds (and
+      // is unmapped) or absorbs the injected kNoMemory.
+      auto probe = client_host_->sys.mmap(4096, /*writable=*/true);
+      if (probe.ok()) {
+        (void)client_host_->sys.munmap(probe.value());
+      }
+    }
+  }
+
+  void crash_node(usize i, usize step) {
+    auto& reg = FaultRegistry::global();
+    auto& slot = slots_[i];
+    ++report_.crashes;
+
+    // Global (per-process) sites are always quiesced across a reboot; the
+    // node's own disk sites usually are too, but some crashes reboot with
+    // them still armed — recovery must then either survive the fault or
+    // fail loudly into the re-image + anti-entropy path.
+    reg.disarm("syscall/io_error");
+    reg.disarm("syscall/no_memory");
+    reg.disarm("frame_alloc/oom");
+    const bool dirty_reboot = sched_rng_.chance_ppm(300'000);
+    if (!dirty_reboot) {
+      reg.disarm_prefix(slot.fault_prefix);
+    }
+
+    harvest_node_stats(slot);
+    slot.node.reset();
+    slot.host.reset();
+    slot.disk->crash(cfg_.persist_ppm, cfg_.torn_crash_ppm);
+
+    // Probe recovery first so the runner knows whether the kernel's
+    // format-on-failure fallback will engage (the probe is idempotent:
+    // recover() re-checkpoints, so running it twice recovers the same state).
+    const bool recoverable = [&] {
+      auto probe = MemFs::recover(*slot.disk);
+      return probe.ok();
+    }();
+
+    slot.host = std::make_unique<ChaosHost>(&net_, slot.disk.get(), /*recover=*/true, slot.addr);
+    make_node(i);
+
+    if (!recoverable) {
+      ++report_.reimages;
+      VNROS_LOG_DEBUG("chaos", "node %zu unrecoverable at step %zu: re-imaged", i, step);
+      anti_entropy_into(i);
+      downgrade_lost_keys();
+    }
+  }
+
+  // Repopulates a re-imaged node from the surviving replicas' local views.
+  void anti_entropy_into(usize i) {
+    for (usize j = 0; j < slots_.size(); ++j) {
+      if (j == i || !slots_[j].node) {
+        continue;
+      }
+      for (const auto& [key, value] : slots_[j].node->view()) {
+        auto have = slots_[i].node->get(key);
+        if (have.ok() && have.value() == value) {
+          continue;
+        }
+        if (!have.ok()) {
+          (void)slots_[i].node->put(key, value);
+        }
+      }
+    }
+  }
+
+  // A re-image destroys everything on one disk. Any certain key whose acked
+  // bytes now exist on no replica was only ever held by the re-imaged node
+  // (best-effort replication never reached a peer): that is legitimate data
+  // loss under total-disk failure, not a correctness bug — downgrade the key
+  // to uncertain instead of failing the invariant on it later.
+  void downgrade_lost_keys() {
+    std::vector<std::map<std::string, std::vector<u8>>> views;
+    for (const auto& slot : slots_) {
+      views.push_back(slot.node->view());
+    }
+    for (auto& [key, belief] : beliefs_) {
+      if (!belief.certain) {
+        continue;
+      }
+      bool held = false;
+      for (const auto& view : views) {
+        auto it = view.find(key);
+        if (it != view.end() && it->second == *belief.certain) {
+          held = true;
+          break;
+        }
+      }
+      if (!held) {
+        VNROS_LOG_DEBUG("chaos", "certain key %s lost with its only replica", key.c_str());
+        belief.certain.reset();
+      }
+    }
+  }
+
+  // --- Client workload ------------------------------------------------------
+
+  void client_op(usize step) {
+    std::string key = "key" + std::to_string(sched_rng_.next_below(cfg_.keys));
+    auto& belief = beliefs_[key];
+    ++report_.ops;
+    u64 kind = sched_rng_.next_below(10);
+    if (kind < 6) {
+      std::vector<u8> value(sched_rng_.next_range(1, cfg_.max_value_bytes));
+      for (auto& b : value) {
+        b = static_cast<u8>(sched_rng_.next_u64());
+      }
+      belief.history.push_back(value);
+      auto r = client_->put(key, value);
+      if (r.ok()) {
+        ++report_.ops_ok;
+        belief.certain = std::move(value);
+      } else {
+        // Unacked: the put may or may not have applied anywhere (it may even
+        // have applied and destroyed the previous copy mid-overwrite), so
+        // nothing about this key is certain any more.
+        ++report_.ops_failed;
+        belief.certain.reset();
+      }
+    } else if (kind < 9) {
+      auto r = client_->get(key);
+      if (r.ok()) {
+        ++report_.ops_ok;
+        if (!belief.in_history(r.value())) {
+          fail(step, "get(" + key + ") returned bytes the client never wrote");
+        }
+      } else {
+        ++report_.ops_failed;  // kNotFound/corrupt/timeout: all acceptable
+      }
+    } else {
+      auto r = client_->del(key);
+      if (r.ok()) {
+        ++report_.ops_ok;
+      } else {
+        ++report_.ops_failed;
+      }
+      // Acked or not, stale replicas may still hold (and later serve or
+      // repair from) older values, so a delete only removes certainty.
+      belief.certain.reset();
+    }
+  }
+
+  // --- Invariant ------------------------------------------------------------
+
+  void quiesce_and_check(usize step) {
+    FaultRegistry::global().disarm_all();
+    net_.heal_all();
+    cuts_.clear();
+    for (int i = 0; i < 256; ++i) {
+      pump_all();  // drain every in-flight datagram through the servers
+    }
+
+    std::vector<std::map<std::string, std::vector<u8>>> views;
+    for (const auto& slot : slots_) {
+      views.push_back(slot.node->view());
+    }
+    for (const auto& [key, belief] : beliefs_) {
+      for (usize j = 0; j < views.size(); ++j) {
+        auto it = views[j].find(key);
+        if (it != views[j].end() && !belief.in_history(it->second)) {
+          fail(step, "node " + std::to_string(j) + " stores garbage for " + key);
+          return;
+        }
+      }
+      if (belief.certain) {
+        bool held = false;
+        for (const auto& view : views) {
+          auto it = view.find(key);
+          if (it != view.end() && it->second == *belief.certain) {
+            held = true;
+            break;
+          }
+        }
+        if (!held) {
+          fail(step, "acked put of " + key + " readable on no node after quiesce");
+          return;
+        }
+      }
+    }
+    ++report_.checks;
+  }
+
+  void fail(usize step, const std::string& what) {
+    char seed_hex[32];
+    std::snprintf(seed_hex, sizeof(seed_hex), "0x%llx",
+                  static_cast<unsigned long long>(cfg_.seed));
+    report_.ok = false;
+    report_.message = "chaos invariant violated at step " + std::to_string(step) + ": " + what +
+                      " — replay with ChaosConfig{.seed = " + seed_hex + "}";
+  }
+
+  void harvest_node_stats(const NodeSlot& slot) {
+    if (slot.node) {
+      report_.read_repairs += slot.node->stats().read_repairs;
+    }
+  }
+
+  void finalize_report() {
+    for (const auto& slot : slots_) {
+      harvest_node_stats(slot);
+    }
+    report_.fault_fires = FaultRegistry::global().total_fires();
+    report_.client_failovers = client_->retry_stats().failovers;
+    report_.client_retries = client_->retry_stats().retries;
+    if (report_.message.empty()) {
+      report_.ok = true;
+      report_.message = "chaos schedule completed, invariant intact";
+    }
+  }
+
+  ChaosConfig cfg_;
+  Rng sched_rng_;
+  Network net_;
+  std::vector<NodeSlot> slots_;
+  std::unique_ptr<ChaosHost> client_host_;
+  LinkAddr client_addr_ = 0;
+  std::unique_ptr<BlockStoreClient> client_;
+  std::vector<std::pair<LinkAddr, LinkAddr>> cuts_;
+  std::map<std::string, KeyBelief> beliefs_;
+  ChaosReport report_;
+};
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosConfig& config) { return ChaosRunner(config).run(); }
+
+}  // namespace vnros

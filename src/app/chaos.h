@@ -1,0 +1,91 @@
+// The chaos harness (robustness counterpart of the app VCs): a multi-node
+// block-store cluster driven by a seed-replayable adversarial schedule.
+//
+// Every source of nondeterminism — client op mix, crash points, partition
+// cuts, fault-site arming, torn-write lengths, crash-survival of cached
+// sectors — derives from ChaosConfig::seed, so any failing run replays
+// exactly from the seed printed in the failure message.
+//
+// The schedule interleaves client operations with:
+//   - node crashes (BlockDevice::crash with partial persistence and torn
+//     sectors) followed by reboot + journal recovery at the same fabric
+//     address (KernelConfig::link_addr); unrecoverable disks are re-imaged
+//     (KernelConfig::format_on_recovery_failure) and repopulated by
+//     anti-entropy from the surviving replicas;
+//   - network partitions (Network::partition/heal) that the client's
+//     failover policy must route around;
+//   - fault-site arming: per-node disk read/write errors and torn writes,
+//     global syscall kIoError/kNoMemory injection, frame-allocator OOM.
+//
+// After every `check_every` steps (and at the end) the runner quiesces —
+// disarms every fault, heals every cut, drains the fabric — and checks the
+// durability invariant:
+//   1. no garbage: every block any node stores, and every value any get
+//      returned, is byte-identical to some value the client actually wrote
+//      to that key;
+//   2. acked durability: for every key whose last client op was a
+//      *successful* put, the acked bytes are present on at least one node
+//      (keys touched by failed/timed-out ops become "uncertain" — any
+//      historical value or absence is acceptable, but never garbage);
+//   3. detectability: reads never return bytes that fail the block CRC.
+#ifndef VNROS_SRC_APP_CHAOS_H_
+#define VNROS_SRC_APP_CHAOS_H_
+
+#include <string>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+struct ChaosConfig {
+  u64 seed = 1;
+  usize nodes = 3;            // block-store replicas (>= 2 for repair paths)
+  usize steps = 250;          // schedule steps (each is one client op + events)
+  usize keys = 10;            // key universe (small: forces overwrite churn)
+  usize max_value_bytes = 400;
+  usize check_every = 50;     // quiesce + invariant check cadence
+
+  // Per-step event probabilities, parts-per-million.
+  u64 crash_ppm = 20'000;          // crash + reboot a random node
+  u64 partition_ppm = 25'000;      // cut a random (node|client, node) pair
+  u64 heal_ppm = 40'000;           // heal a random active cut
+  u64 disk_fault_ppm = 30'000;     // arm a one-shot disk fault on a random node
+  u64 torn_write_ppm = 10'000;     // arm a one-shot torn write on a random node
+  u64 syscall_fault_ppm = 15'000;  // arm one-shot syscall kIoError injection
+  u64 oom_ppm = 8'000;             // arm one-shot frame-allocator OOM + probe it
+
+  // Crash severity: chance each unflushed sector survives, and chance a
+  // surviving unflushed sector is torn to a prefix.
+  u64 persist_ppm = 500'000;
+  u64 torn_crash_ppm = 150'000;
+};
+
+struct ChaosReport {
+  bool ok = false;
+  std::string message;  // on failure: what broke, at which step, which seed
+  u64 seed = 0;
+
+  // Schedule accounting (what the run actually exercised).
+  u64 ops = 0;
+  u64 ops_ok = 0;
+  u64 ops_failed = 0;   // client-visible failures (timeouts, injected errors)
+  u64 crashes = 0;
+  u64 reimages = 0;     // recoveries that failed and fell back to re-format
+  u64 partitions = 0;
+  u64 heals = 0;
+  u64 faults_armed = 0;
+  u64 fault_fires = 0;  // FaultRegistry fires attributable to this run
+  u64 read_repairs = 0;
+  u64 client_failovers = 0;
+  u64 client_retries = 0;
+  u64 checks = 0;       // invariant checkpoints passed
+};
+
+// Runs one seeded chaos schedule to completion (or first invariant
+// violation). Uses the process-global FaultRegistry; do not run two
+// ChaosRunners concurrently in one process.
+ChaosReport run_chaos(const ChaosConfig& config);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_APP_CHAOS_H_

@@ -1,0 +1,126 @@
+#include "src/base/fault.h"
+
+#include "src/base/log.h"
+
+namespace vnros {
+
+FaultRegistry& FaultRegistry::global() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return *instance;
+}
+
+FaultSite& FaultRegistry::site(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    std::string key(name);
+    auto created = std::unique_ptr<FaultSite>(new FaultSite(*this, key));
+    it = sites_.emplace(std::move(key), std::move(created)).first;
+  }
+  return *it->second;
+}
+
+void FaultRegistry::arm(std::string_view name, FaultSpec spec) {
+  FaultSite& s = site(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.spec_ = spec;
+  s.calls_while_armed_ = 0;
+  s.armed_.store(true, std::memory_order_relaxed);
+  VNROS_LOG_DEBUG("fault", "armed %s (p=%lluppm nth=%llu one_shot=%d -> %s)", s.name_.c_str(),
+                  static_cast<unsigned long long>(spec.probability_ppm),
+                  static_cast<unsigned long long>(spec.nth_call), spec.one_shot ? 1 : 0,
+                  error_name(spec.error));
+}
+
+void FaultRegistry::disarm(std::string_view name) {
+  FaultSite& s = site(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultRegistry::disarm_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : sites_) {
+    s->armed_.store(false, std::memory_order_relaxed);
+  }
+}
+
+usize FaultRegistry::disarm_prefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  usize disarmed = 0;
+  for (auto& [name, s] : sites_) {
+    if (name.size() >= prefix.size() && std::string_view(name).substr(0, prefix.size()) == prefix &&
+        s->armed_.load(std::memory_order_relaxed)) {
+      s->armed_.store(false, std::memory_order_relaxed);
+      ++disarmed;
+    }
+  }
+  return disarmed;
+}
+
+void FaultRegistry::reseed(u64 seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.reseed(seed);
+}
+
+void FaultRegistry::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : sites_) {
+    s->stats_ = FaultSiteStats{};
+    s->calls_while_armed_ = 0;
+  }
+}
+
+std::vector<std::pair<std::string, FaultSiteStats>> FaultRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, FaultSiteStats>> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, s] : sites_) {
+    out.emplace_back(name, s->stats_);
+  }
+  return out;
+}
+
+u64 FaultRegistry::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 total = 0;
+  for (const auto& [name, s] : sites_) {
+    total += s->stats_.fires;
+  }
+  return total;
+}
+
+std::optional<ErrorCode> FaultSite::fire() {
+  if (!armed_.load(std::memory_order_relaxed)) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(registry_.mu_);
+  if (!armed_.load(std::memory_order_relaxed)) {
+    return std::nullopt;  // disarmed while we waited for the lock
+  }
+  ++stats_.evaluations;
+  ++calls_while_armed_;
+  bool hit = false;
+  if (spec_.nth_call != 0) {
+    hit = calls_while_armed_ == spec_.nth_call;
+  } else if (spec_.probability_ppm != 0) {
+    hit = registry_.rng_.chance_ppm(spec_.probability_ppm);
+  }
+  if (!hit) {
+    return std::nullopt;
+  }
+  ++stats_.fires;
+  if (spec_.one_shot || spec_.nth_call != 0) {
+    armed_.store(false, std::memory_order_relaxed);
+  }
+  VNROS_LOG_DEBUG("fault", "%s fired -> %s (fire #%llu)", name_.c_str(), error_name(spec_.error),
+                  static_cast<unsigned long long>(stats_.fires));
+  return spec_.error;
+}
+
+FaultSiteStats FaultSite::stats() const {
+  std::lock_guard<std::mutex> lock(registry_.mu_);
+  return stats_;
+}
+
+}  // namespace vnros

@@ -1,0 +1,117 @@
+// Deterministic fault injection.
+//
+// The paper's motivating application (the storage node of a distributed
+// block store) earns its correctness claim at the failure boundary: disks
+// error and tear, allocators run dry, fabrics drop and partition. Every
+// component that can fail declares a named *injection site*
+// ("disk0/write_error", "frame_alloc/oom", "syscall/io_error"); tests and
+// the chaos harness arm sites with a schedule — fire with probability p,
+// fire exactly on the nth eligible call, fire once then disarm — and every
+// stochastic decision draws from one seeded Rng in the registry, so any
+// failing schedule replays bit-identically from its seed.
+//
+// Sites are process-global (FaultRegistry::global()) and cheap when
+// disarmed: components cache the FaultSite* once and fire() is a single
+// relaxed atomic load until a schedule is armed.
+#ifndef VNROS_SRC_BASE_FAULT_H_
+#define VNROS_SRC_BASE_FAULT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/types.h"
+
+namespace vnros {
+
+// How an armed site decides to fire. Exactly one trigger is consulted:
+// `nth_call` when nonzero (deterministic count-based firing), otherwise
+// `probability_ppm` (seeded-stochastic firing).
+struct FaultSpec {
+  u64 probability_ppm = 0;                 // Bernoulli per eligible call
+  u64 nth_call = 0;                        // 1-based: fire on exactly this call
+  bool one_shot = false;                   // disarm after the first fire
+  ErrorCode error = ErrorCode::kIoError;   // what the site surfaces
+};
+
+struct FaultSiteStats {
+  u64 evaluations = 0;  // eligible calls while armed
+  u64 fires = 0;        // calls that injected the fault
+};
+
+class FaultRegistry;
+
+// One named injection point. Obtained (and cached) via
+// FaultRegistry::site(); fire() is called on the component's fallible path.
+class FaultSite {
+ public:
+  // Returns the configured error if this call should fail, nullopt to
+  // proceed normally. Fast path when disarmed: one relaxed load.
+  std::optional<ErrorCode> fire();
+
+  const std::string& name() const { return name_; }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  FaultSiteStats stats() const;
+
+ private:
+  friend class FaultRegistry;
+  FaultSite(FaultRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  FaultRegistry& registry_;
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  // The fields below are guarded by the registry mutex.
+  FaultSpec spec_;
+  u64 calls_while_armed_ = 0;
+  FaultSiteStats stats_;
+};
+
+// Registry of every injection site, plus the one Rng all stochastic firing
+// decisions draw from. Sites live for the process lifetime, so cached
+// FaultSite pointers never dangle.
+class FaultRegistry {
+ public:
+  static FaultRegistry& global();
+
+  // Returns the site named `name`, creating it on first use.
+  FaultSite& site(std::string_view name);
+
+  // Arms `name` with `spec` (resetting its call counter); creates the site
+  // if no component registered it yet (the schedule can outrun the device).
+  void arm(std::string_view name, FaultSpec spec);
+  void disarm(std::string_view name);
+  void disarm_all();
+
+  // Disarms every site whose name starts with `prefix` (e.g. one node's
+  // disk: "disk2/"). Returns how many sites were armed.
+  usize disarm_prefix(std::string_view prefix);
+
+  // Re-seeds the shared Rng; call at the start of a schedule so the whole
+  // run is a pure function of the seed.
+  void reseed(u64 seed);
+
+  // Resets all stats and call counters (leaves armed schedules in place).
+  void reset_stats();
+
+  std::vector<std::pair<std::string, FaultSiteStats>> stats() const;
+  u64 total_fires() const;
+
+ private:
+  friend class FaultSite;
+
+  mutable std::mutex mu_;
+  Rng rng_{0xFA17ull};
+  std::map<std::string, std::unique_ptr<FaultSite>, std::less<>> sites_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_BASE_FAULT_H_

@@ -39,6 +39,8 @@ enum class ErrorCode : u32 {
   kCorrupted,         // checksum / journal integrity failure
   kCrashed,           // device lost state at a simulated crash point
   kUnsupported,       // operation not implemented for this object
+  kIoError,           // transient device I/O failure (retryable)
+  kOutOfRange,        // index/sector beyond the object's bounds
 };
 
 // Human-readable error name, stable for logs and tests.
@@ -68,6 +70,8 @@ constexpr const char* error_name(ErrorCode e) {
     case ErrorCode::kCorrupted: return "Corrupted";
     case ErrorCode::kCrashed: return "Crashed";
     case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kIoError: return "IoError";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
   }
   return "Unknown";
 }

@@ -12,7 +12,11 @@ Result<Unit> BlockDevice::read(u64 sector, std::span<u8> out) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (sector >= num_sectors()) {
-    return ErrorCode::kInvalidArgument;
+    return ErrorCode::kOutOfRange;
+  }
+  if (auto injected = read_error_site_->fire()) {
+    ++stats_.injected_read_errors;
+    return *injected;
   }
   ++stats_.reads;
   auto it = cache_.find(sector);
@@ -30,7 +34,26 @@ Result<Unit> BlockDevice::write(u64 sector, std::span<const u8> data) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (sector >= num_sectors()) {
-    return ErrorCode::kInvalidArgument;
+    return ErrorCode::kOutOfRange;
+  }
+  if (auto injected = write_error_site_->fire()) {
+    ++stats_.injected_write_errors;
+    return *injected;
+  }
+  if (auto injected = torn_write_site_->fire()) {
+    // The controller died mid-sector: a nonempty strict prefix of the new
+    // data lands over the sector's current content, and the caller learns
+    // the write failed. Durability protocols must tolerate the partial
+    // state (the fs journal's per-record CRC detects exactly this).
+    ++stats_.torn_writes;
+    auto& slot = cache_[sector];
+    if (slot.empty()) {
+      slot.assign(stable_.begin() + static_cast<isize>(sector * kSectorSize),
+                  stable_.begin() + static_cast<isize>((sector + 1) * kSectorSize));
+    }
+    u64 torn_len = rng_.next_range(1, kSectorSize - 1);
+    std::memcpy(slot.data(), data.data(), torn_len);
+    return *injected;
   }
   ++stats_.writes;
   cache_[sector].assign(data.begin(), data.end());
@@ -46,13 +69,19 @@ void BlockDevice::flush() {
   cache_.clear();
 }
 
-void BlockDevice::crash(u64 persist_ppm) {
+void BlockDevice::crash(u64 persist_ppm, u64 torn_ppm) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.crashes;
   for (const auto& [sector, bytes] : cache_) {
-    if (rng_.chance_ppm(persist_ppm)) {
-      std::memcpy(stable_.data() + sector * kSectorSize, bytes.data(), kSectorSize);
+    if (!rng_.chance_ppm(persist_ppm)) {
+      continue;  // this sector never reached media
     }
+    u64 persisted = kSectorSize;
+    if (torn_ppm != 0 && rng_.chance_ppm(torn_ppm)) {
+      persisted = rng_.next_range(1, kSectorSize - 1);
+      ++stats_.torn_crash_sectors;
+    }
+    std::memcpy(stable_.data() + sector * kSectorSize, bytes.data(), persisted);
   }
   cache_.clear();
 }

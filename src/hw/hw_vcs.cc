@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/fault.h"
 #include "src/base/rng.h"
 #include "src/hw/block_device.h"
 #include "src/hw/interrupts.h"
@@ -276,6 +277,159 @@ VcOutcome vc_net_loss_accounting(u64 seed) {
   return VcOutcome::pass();
 }
 
+// --- Fault injection ------------------------------------------------------------
+
+// Out-of-range accesses are a *typed* error (kOutOfRange), distinct from the
+// kInvalidArgument of a wrong-sized span — callers can tell "you asked past
+// the end" from "your buffer is broken" and neither is ever UB or a clamp.
+VcOutcome vc_block_typed_bounds() {
+  BlockDevice dev(64, 1, "vc/bounds");
+  std::vector<u8> buf(kSectorSize);
+  if (dev.read(64, buf).error() != ErrorCode::kOutOfRange) {
+    return VcOutcome::fail("read at num_sectors not kOutOfRange");
+  }
+  if (dev.write(1u << 20, buf).error() != ErrorCode::kOutOfRange) {
+    return VcOutcome::fail("write far past the end not kOutOfRange");
+  }
+  std::vector<u8> runt(10);
+  if (dev.read(0, runt).error() != ErrorCode::kInvalidArgument) {
+    return VcOutcome::fail("wrong-sized span not kInvalidArgument");
+  }
+  if (!dev.read(63, buf).ok()) {
+    return VcOutcome::fail("last valid sector rejected");
+  }
+  return VcOutcome::pass();
+}
+
+// Armed one-shot faults fire exactly once, report kIoError, leave stable
+// data untouched (read/write errors) or apply a strict prefix (torn write).
+VcOutcome vc_block_fault_injection(u64 seed) {
+  auto& reg = FaultRegistry::global();
+  reg.reseed(seed);
+  BlockDevice dev(64, seed, "vc/faultdev");
+  FaultSpec one_shot;
+  one_shot.probability_ppm = 1'000'000;
+  one_shot.one_shot = true;
+
+  (void)dev.write(5, sector_of(0x11));
+  dev.flush();
+  reg.arm("vc/faultdev/read_error", one_shot);
+  std::vector<u8> buf(kSectorSize);
+  if (dev.read(5, buf).error() != ErrorCode::kIoError) {
+    return VcOutcome::fail("armed read error did not fire");
+  }
+  if (!dev.read(5, buf).ok() || buf != sector_of(0x11)) {
+    return VcOutcome::fail("one-shot read error did not disarm, or damaged data");
+  }
+  reg.arm("vc/faultdev/write_error", one_shot);
+  if (dev.write(6, sector_of(0x22)).error() != ErrorCode::kIoError) {
+    return VcOutcome::fail("armed write error did not fire");
+  }
+  if (!dev.write(6, sector_of(0x22)).ok()) {
+    return VcOutcome::fail("one-shot write error did not disarm");
+  }
+
+  // Torn write: the op reports kIoError but a random nonempty strict prefix
+  // of the new data landed anyway — exactly what a lost power-during-write
+  // leaves behind.
+  (void)dev.write(7, sector_of(0x33));
+  dev.flush();
+  reg.arm("vc/faultdev/torn_write", one_shot);
+  if (dev.write(7, sector_of(0x44)).error() != ErrorCode::kIoError) {
+    return VcOutcome::fail("torn write must still report failure");
+  }
+  (void)dev.read(7, buf);
+  if (buf[0] != 0x44) {
+    return VcOutcome::fail("torn write applied no prefix at all");
+  }
+  if (buf[kSectorSize - 1] != 0x33) {
+    return VcOutcome::fail("torn write applied the whole sector");
+  }
+  if (dev.stats().injected_read_errors != 1 || dev.stats().injected_write_errors != 1 ||
+      dev.stats().torn_writes != 1) {
+    return VcOutcome::fail("fault stats do not match the injected schedule");
+  }
+  reg.disarm_prefix("vc/faultdev");
+  return VcOutcome::pass();
+}
+
+// Same registry seed => same fire schedule: the property that makes every
+// chaos failure replayable from its printed seed.
+VcOutcome vc_fault_schedule_deterministic(u64 seed) {
+  auto& reg = FaultRegistry::global();
+  FaultSpec spec;
+  spec.probability_ppm = 300'000;
+  auto schedule = [&] {
+    reg.reseed(seed);
+    reg.arm("vc/det_site", spec);
+    auto& site = reg.site("vc/det_site");
+    std::string bits;
+    for (int i = 0; i < 200; ++i) {
+      bits.push_back(site.fire() ? '1' : '0');
+    }
+    reg.disarm("vc/det_site");
+    return bits;
+  };
+  std::string first = schedule();
+  std::string second = schedule();
+  if (first != second) {
+    return VcOutcome::fail("same seed produced different fire schedules");
+  }
+  if (first.find('1') == std::string::npos || first.find('0') == std::string::npos) {
+    return VcOutcome::fail("p=0.3 schedule degenerate (all fires or none)");
+  }
+  return VcOutcome::pass();
+}
+
+// --- Partitions ------------------------------------------------------------------
+
+// A cut silently drops both directions (including broadcast copies) between
+// exactly the cut pair, counts every drop, and healing restores delivery.
+VcOutcome vc_net_partition() {
+  Network net;
+  NetDevice& a = net.attach();
+  NetDevice& b = net.attach();
+  NetDevice& c = net.attach();
+
+  (void)a.send(b.addr(), {0x01});
+  if (!b.poll_rx()) {
+    return VcOutcome::fail("pre-cut frame not delivered");
+  }
+  net.partition(a.addr(), b.addr());
+  if (!net.partitioned(a.addr(), b.addr()) || !net.partitioned(b.addr(), a.addr())) {
+    return VcOutcome::fail("cut not symmetric");
+  }
+  (void)a.send(b.addr(), {0x02});
+  (void)b.send(a.addr(), {0x03});
+  if (b.poll_rx() || a.poll_rx()) {
+    return VcOutcome::fail("frame crossed an active cut");
+  }
+  (void)a.send(c.addr(), {0x04});
+  if (!c.poll_rx()) {
+    return VcOutcome::fail("cut (a,b) affected pair (a,c)");
+  }
+  (void)a.send(kLinkBroadcast, {0x05});
+  if (b.poll_rx()) {
+    return VcOutcome::fail("broadcast copy crossed an active cut");
+  }
+  if (!c.poll_rx()) {
+    return VcOutcome::fail("broadcast to an uncut peer dropped");
+  }
+  if (net.frames_partitioned() != 3) {
+    return VcOutcome::fail("partitioned-frame accounting wrong");
+  }
+  net.heal(a.addr(), b.addr());
+  (void)a.send(b.addr(), {0x06});
+  auto healed = b.poll_rx();
+  if (!healed || healed->payload != std::vector<u8>{0x06}) {
+    return VcOutcome::fail("healed link did not resume delivery");
+  }
+  if (net.active_cuts() != 0) {
+    return VcOutcome::fail("cut set not empty after heal");
+  }
+  return VcOutcome::pass();
+}
+
 }  // namespace
 
 void register_hw_vcs(VcRegistry& reg) {
@@ -306,6 +460,14 @@ void register_hw_vcs(VcRegistry& reg) {
     reg.add("hw/net_loss_accounting_seed" + std::to_string(seed), VcCategory::kDrivers,
             [seed] { return vc_net_loss_accounting(seed); });
   }
+  reg.add("hw/block_typed_bounds", VcCategory::kDrivers, [] { return vc_block_typed_bounds(); });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("hw/block_fault_injection_seed" + std::to_string(seed), VcCategory::kDrivers,
+            [seed] { return vc_block_fault_injection(seed); });
+    reg.add("hw/fault_schedule_deterministic_seed" + std::to_string(seed), VcCategory::kDrivers,
+            [seed] { return vc_fault_schedule_deterministic(seed); });
+  }
+  reg.add("hw/net_partition", VcCategory::kDrivers, [] { return vc_net_partition(); });
 }
 
 }  // namespace vnros

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/base/contracts.h"
+
 namespace vnros {
 
 Result<Unit> NetDevice::send(LinkAddr dst, std::vector<u8> payload) {
@@ -46,6 +48,43 @@ NetDevice& Network::attach() {
   return *devices_.back();
 }
 
+NetDevice& Network::attach_at(LinkAddr addr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VNROS_CHECK(addr <= devices_.size());
+  auto device = std::unique_ptr<NetDevice>(new NetDevice(*this, addr, config_.rx_ring_capacity));
+  if (addr == devices_.size()) {
+    devices_.push_back(std::move(device));
+  } else {
+    devices_[addr] = std::move(device);
+  }
+  return *devices_[addr];
+}
+
+void Network::partition(LinkAddr a, LinkAddr b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cuts_.insert(cut_key(a, b));
+}
+
+void Network::heal(LinkAddr a, LinkAddr b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cuts_.erase(cut_key(a, b));
+}
+
+void Network::heal_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cuts_.clear();
+}
+
+bool Network::partitioned(LinkAddr a, LinkAddr b) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cuts_.count(cut_key(a, b)) != 0;
+}
+
+usize Network::active_cuts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cuts_.size();
+}
+
 void Network::transmit(Frame frame) {
   std::vector<Frame> to_deliver;
   {
@@ -79,12 +118,21 @@ void Network::deliver_to(LinkAddr dst, const Frame& frame) {
     std::lock_guard<std::mutex> lock(mu_);
     if (dst == kLinkBroadcast) {
       for (auto& dev : devices_) {
-        if (dev->addr() != frame.src) {
-          targets.push_back(dev.get());
+        if (dev->addr() == frame.src) {
+          continue;
         }
+        if (cuts_.count(cut_key(frame.src, dev->addr())) != 0) {
+          ++frames_partitioned_;
+          continue;
+        }
+        targets.push_back(dev.get());
       }
     } else if (dst < devices_.size()) {
-      targets.push_back(devices_[dst].get());
+      if (cuts_.count(cut_key(frame.src, dst)) != 0) {
+        ++frames_partitioned_;
+      } else {
+        targets.push_back(devices_[dst].get());
+      }
     }
   }
   for (NetDevice* dev : targets) {

@@ -14,6 +14,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
@@ -79,7 +81,10 @@ class NetDevice {
 
 // The shared segment connecting all devices. Delivery is synchronous but
 // subject to the configured fault model; "reordering" holds a frame back and
-// releases it after the next send.
+// releases it after the next send. On top of the stochastic faults the
+// fabric supports explicit *partitions*: a cut (a, b) silently drops every
+// frame between the pair (both directions, including the broadcast copies)
+// until healed — loss a retry cannot outwait, only failover can.
 class Network {
  public:
   explicit Network(FabricConfig config = {}, u64 rng_seed = 0x4E45'5457'4F52'4Bull)
@@ -88,26 +93,46 @@ class Network {
   // Creates a new endpoint attached to this fabric.
   NetDevice& attach();
 
+  // Replaces the endpoint at `addr` with a fresh device (a rebooted host
+  // re-appearing at its old address); `addr == size` appends. Any previous
+  // NetDevice reference for this slot is invalidated — callers must have
+  // torn the old host down first.
+  NetDevice& attach_at(LinkAddr addr);
+
   const FabricConfig& config() const { return config_; }
   void set_config(FabricConfig config) { config_ = config; }
+
+  // Partition control. Cuts are symmetric and idempotent.
+  void partition(LinkAddr a, LinkAddr b);
+  void heal(LinkAddr a, LinkAddr b);
+  void heal_all();
+  bool partitioned(LinkAddr a, LinkAddr b) const;
+  usize active_cuts() const;
 
   // Delivers any frames held back for reordering. Tests call this to drain.
   void release_held();
 
   u64 frames_lost() const { return frames_lost_; }
+  u64 frames_partitioned() const { return frames_partitioned_; }
 
  private:
   friend class NetDevice;
+
+  static std::pair<LinkAddr, LinkAddr> cut_key(LinkAddr a, LinkAddr b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
 
   void transmit(Frame frame);
   void deliver_to(LinkAddr dst, const Frame& frame);
 
   FabricConfig config_;
   Rng rng_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<NetDevice>> devices_;
   std::vector<Frame> held_;  // frames delayed for reordering
+  std::set<std::pair<LinkAddr, LinkAddr>> cuts_;  // active partition edges
   u64 frames_lost_ = 0;
+  u64 frames_partitioned_ = 0;
 };
 
 }  // namespace vnros

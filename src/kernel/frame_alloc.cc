@@ -26,6 +26,10 @@ FrameAllocator::FrameAllocator(PhysMem& mem, const Topology& topo, u64 reserved_
 Result<PAddr> FrameAllocator::alloc_on_node(NodeId preferred) {
   std::lock_guard<std::mutex> lock(mu_);
   VNROS_CHECK(preferred < pools_.size());
+  if (oom_site_->fire()) {
+    ++stats_.injected_oom;
+    return ErrorCode::kNoMemory;
+  }
   for (usize attempt = 0; attempt < pools_.size(); ++attempt) {
     usize idx = (preferred + attempt) % pools_.size();
     auto r = alloc_from_pool(pools_[idx]);

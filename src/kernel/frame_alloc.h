@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/base/fault.h"
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/hw/phys_mem.h"
@@ -28,6 +29,7 @@ struct FrameAllocStats {
   u64 allocations = 0;
   u64 frees = 0;
   u64 remote_fallbacks = 0;  // allocation served from a non-preferred node
+  u64 injected_oom = 0;      // allocations failed by the "frame_alloc/oom" site
 };
 
 class FrameAllocator final : public FrameSource {
@@ -81,6 +83,9 @@ class FrameAllocator final : public FrameSource {
   mutable std::mutex mu_;
   std::vector<Pool> pools_;
   FrameAllocStats stats_;
+  // Schedulable OOM: the "frame_alloc/oom" site makes alloc fail with
+  // kNoMemory exactly where the spec already allows it (empty-set case).
+  FaultSite* oom_site_ = &FaultRegistry::global().site("frame_alloc/oom");
 };
 
 }  // namespace vnros

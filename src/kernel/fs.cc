@@ -113,7 +113,11 @@ Result<MemFs> MemFs::recover(BlockDevice& dev) {
     auto repoch = hdr.get_u64();
     auto rlen = hdr.get_u32();
     auto rcrc = hdr.get_u32();
-    if (!rmagic || *rmagic != kRecMagic || !repoch || !rlen || !rcrc ||
+    // The checkpoint epoch must match the superblock's: a failed checkpoint
+    // attempt can leave a newer-epoch image in the checkpoint area while the
+    // superblock still describes the old one — that mix must be detected,
+    // never loaded.
+    if (!rmagic || *rmagic != kRecMagic || !repoch || *repoch != fs.epoch_ || !rlen || !rcrc ||
         kRecHeaderBytes + *rlen > raw.size()) {
       return ErrorCode::kCorrupted;
     }
@@ -152,7 +156,10 @@ Result<Unit> MemFs::replay_journal() {
   while (s < end) {
     auto r = dev_->read(s, sector);
     if (!r.ok()) {
-      break;
+      // A device error is not "end of journal": silently truncating the
+      // replay prefix here would drop acknowledged operations. Surface it
+      // so recovery fails loudly instead of recovering a stale state.
+      return r.error();
     }
     Reader hdr(sector);
     auto magic = hdr.get_u32();
@@ -167,16 +174,11 @@ Result<Unit> MemFs::replay_journal() {
       break;
     }
     std::vector<u8> raw(rec_sectors * kSectorSize);
-    bool read_ok = true;
     for (u64 i = 0; i < rec_sectors; ++i) {
       auto rr = dev_->read(s + i, std::span<u8>(raw.data() + i * kSectorSize, kSectorSize));
       if (!rr.ok()) {
-        read_ok = false;
-        break;
+        return rr.error();  // device error, not a torn record: fail recovery
       }
-    }
-    if (!read_ok) {
-      break;
     }
     std::span<const u8> payload(raw.data() + kRecHeaderBytes, *len);
     if (crc32c(payload) != *crc) {
@@ -363,11 +365,19 @@ Result<Unit> MemFs::checkpoint_locked() {
   }
   dev_->flush();  // checkpoint durable before the superblock points at it
 
+  const u64 old_epoch = epoch_;
+  const bool old_ckpt_valid = ckpt_valid_;
+  const u64 old_ckpt_sectors = ckpt_sectors_;
   epoch_ += 1;
   ckpt_valid_ = true;
   ckpt_sectors_ = need_sectors;
   auto sb = write_superblock();
   if (!sb.ok()) {
+    // The switch did not commit: keep describing the old checkpoint so the
+    // in-memory superblock stays consistent with the on-disk one.
+    epoch_ = old_epoch;
+    ckpt_valid_ = old_ckpt_valid;
+    ckpt_sectors_ = old_ckpt_sectors;
     return sb.error();
   }
   dev_->flush();  // superblock switch is the commit point
@@ -622,6 +632,18 @@ Result<Unit> MemFs::do_truncate(std::string_view path, u64 new_size) {
 
 // --- Public (journaled) operations -----------------------------------------------
 
+std::vector<u8> MemFs::file_data_locked(std::string_view path) const {
+  auto ino = lookup(path);
+  VNROS_CHECK(ino.ok());
+  return inodes_.at(ino.value()).data;
+}
+
+void MemFs::set_file_data_locked(std::string_view path, std::vector<u8> data) {
+  auto ino = lookup(path);
+  VNROS_CHECK(ino.ok());
+  inodes_.at(ino.value()).data = std::move(data);
+}
+
 Result<Unit> MemFs::mkdir(std::string_view path) {
   std::lock_guard<std::mutex> lock(*mu_);
   auto r = do_mkdir(path);
@@ -631,7 +653,12 @@ Result<Unit> MemFs::mkdir(std::string_view path) {
   Writer w;
   w.put_u8(static_cast<u8>(FsOp::kMkdir));
   w.put_string(path);
-  return journal_append(w.bytes());
+  auto j = journal_append(w.bytes());
+  if (!j.ok()) {
+    VNROS_CHECK(do_rmdir(path).ok());
+    return j;
+  }
+  return j;
 }
 
 Result<Unit> MemFs::rmdir(std::string_view path) {
@@ -643,7 +670,12 @@ Result<Unit> MemFs::rmdir(std::string_view path) {
   Writer w;
   w.put_u8(static_cast<u8>(FsOp::kRmdir));
   w.put_string(path);
-  return journal_append(w.bytes());
+  auto j = journal_append(w.bytes());
+  if (!j.ok()) {
+    VNROS_CHECK(do_mkdir(path).ok());
+    return j;
+  }
+  return j;
 }
 
 Result<Unit> MemFs::create(std::string_view path) {
@@ -655,11 +687,21 @@ Result<Unit> MemFs::create(std::string_view path) {
   Writer w;
   w.put_u8(static_cast<u8>(FsOp::kCreate));
   w.put_string(path);
-  return journal_append(w.bytes());
+  auto j = journal_append(w.bytes());
+  if (!j.ok()) {
+    VNROS_CHECK(do_unlink(path).ok());
+    return j;
+  }
+  return j;
 }
 
 Result<Unit> MemFs::unlink(std::string_view path) {
   std::lock_guard<std::mutex> lock(*mu_);
+  auto pre = lookup(path);
+  std::vector<u8> old_data;
+  if (pre.ok() && !inodes_.at(pre.value()).is_dir) {
+    old_data = inodes_.at(pre.value()).data;
+  }
   auto r = do_unlink(path);
   if (!r.ok()) {
     return r;
@@ -667,7 +709,13 @@ Result<Unit> MemFs::unlink(std::string_view path) {
   Writer w;
   w.put_u8(static_cast<u8>(FsOp::kUnlink));
   w.put_string(path);
-  return journal_append(w.bytes());
+  auto j = journal_append(w.bytes());
+  if (!j.ok()) {
+    VNROS_CHECK(do_create(path).ok());
+    set_file_data_locked(path, std::move(old_data));
+    return j;
+  }
+  return j;
 }
 
 Result<Unit> MemFs::rename(std::string_view from, std::string_view to) {
@@ -680,11 +728,21 @@ Result<Unit> MemFs::rename(std::string_view from, std::string_view to) {
   w.put_u8(static_cast<u8>(FsOp::kRename));
   w.put_string(from);
   w.put_string(to);
-  return journal_append(w.bytes());
+  auto j = journal_append(w.bytes());
+  if (!j.ok()) {
+    VNROS_CHECK(do_rename(to, from).ok());
+    return j;
+  }
+  return j;
 }
 
 Result<u64> MemFs::write(std::string_view path, u64 offset, std::span<const u8> data) {
   std::lock_guard<std::mutex> lock(*mu_);
+  auto pre = lookup(path);
+  std::vector<u8> old_data;
+  if (pre.ok() && !inodes_.at(pre.value()).is_dir) {
+    old_data = inodes_.at(pre.value()).data;
+  }
   auto r = do_write(path, offset, data);
   if (!r.ok()) {
     return r;
@@ -696,6 +754,7 @@ Result<u64> MemFs::write(std::string_view path, u64 offset, std::span<const u8> 
   w.put_bytes(data);
   auto j = journal_append(w.bytes());
   if (!j.ok()) {
+    set_file_data_locked(path, std::move(old_data));
     return j.error();
   }
   return r;
@@ -703,6 +762,11 @@ Result<u64> MemFs::write(std::string_view path, u64 offset, std::span<const u8> 
 
 Result<Unit> MemFs::truncate(std::string_view path, u64 new_size) {
   std::lock_guard<std::mutex> lock(*mu_);
+  auto pre = lookup(path);
+  std::vector<u8> old_data;
+  if (pre.ok() && !inodes_.at(pre.value()).is_dir) {
+    old_data = inodes_.at(pre.value()).data;
+  }
   auto r = do_truncate(path, new_size);
   if (!r.ok()) {
     return r;
@@ -711,7 +775,12 @@ Result<Unit> MemFs::truncate(std::string_view path, u64 new_size) {
   w.put_u8(static_cast<u8>(FsOp::kTruncate));
   w.put_string(path);
   w.put_u64(new_size);
-  return journal_append(w.bytes());
+  auto j = journal_append(w.bytes());
+  if (!j.ok()) {
+    set_file_data_locked(path, std::move(old_data));
+    return j;
+  }
+  return j;
 }
 
 Result<Unit> MemFs::fsync() {

@@ -130,6 +130,13 @@ class MemFs {
   Result<u64> do_write(std::string_view path, u64 offset, std::span<const u8> data);
   Result<Unit> do_truncate(std::string_view path, u64 new_size);
 
+  // Undo support: when a mutation applied in memory but its journal record
+  // could not be written (device I/O error), the mutation is rolled back so
+  // a failed operation is never visible — I/O errors propagate without
+  // corrupting metadata (kernel/fs_io_error_* VCs).
+  std::vector<u8> file_data_locked(std::string_view path) const;
+  void set_file_data_locked(std::string_view path, std::vector<u8> data);
+
   // Journaling.
   Result<Unit> journal_append(std::span<const u8> payload);
   Result<Unit> write_superblock();

@@ -40,6 +40,12 @@ struct KernelConfig {
   Network* network = nullptr; // attach to a shared fabric (multi-host setups)
   BlockDevice* disk = nullptr;  // attach an existing disk (reboot scenarios)
   bool recover_fs = false;      // mount via journal recovery instead of mkfs
+  // Reboot support (chaos harness): reclaim a fixed fabric address instead
+  // of attaching at the end, so peers keep working addresses across the
+  // crash; and optionally fall back to mkfs when recovery finds the disk
+  // unrecoverable (the node is re-imaged and repopulated by anti-entropy).
+  std::optional<LinkAddr> link_addr;
+  bool format_on_recovery_failure = false;
 };
 
 class Kernel {
@@ -58,11 +64,14 @@ class Kernel {
         irq_(config.cores),
         owned_net_(config.network == nullptr ? std::make_unique<Network>() : nullptr),
         net_(config.network != nullptr ? *config.network : *owned_net_),
-        nic_(net_.attach()),
+        nic_(config.link_addr ? net_.attach_at(*config.link_addr) : net_.attach()),
         ip_(nic_),
         udp_(ip_),
         rtp_(ip_, clock_) {
     auto fs = config.recover_fs ? MemFs::recover(disk_) : MemFs::format(disk_);
+    if (!fs.ok() && config.recover_fs && config.format_on_recovery_failure) {
+      fs = MemFs::format(disk_);
+    }
     VNROS_CHECK(fs.ok());
     fs_ = std::move(fs.value());
     simfutex_ = std::make_unique<SimFutex>(sched_);

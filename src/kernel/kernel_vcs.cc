@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/fault.h"
 #include "src/base/rng.h"
 #include "src/kernel/frame_alloc.h"
 #include "src/kernel/fs.h"
@@ -1441,6 +1442,190 @@ VcOutcome vc_nrfs_concurrent_convergence(u64 seed) {
   return VcOutcome::pass();
 }
 
+// --- Fault injection -------------------------------------------------------------
+
+// A mutating op that dies on an injected device error must be invisible: it
+// returns the error AND leaves the abstract state exactly as it was (the
+// journal-failure rollback). The filesystem keeps working afterwards.
+VcOutcome vc_fs_io_error_rollback(u64 seed) {
+  auto& reg = FaultRegistry::global();
+  reg.reseed(seed);
+  BlockDevice dev(4096, seed, "vc/fsfaultdev");
+  auto made = MemFs::format(dev);
+  if (!made.ok()) {
+    return VcOutcome::fail("format failed");
+  }
+  MemFs fs = std::move(made.value());
+  if (!fs.mkdir("/d").ok() || !fs.create("/d/base").ok() ||
+      !fs.write("/d/base", 0, std::vector<u8>(64, 0x5A)).ok()) {
+    return VcOutcome::fail("setup failed");
+  }
+
+  FaultSpec one_shot;
+  one_shot.probability_ppm = 1'000'000;
+  one_shot.one_shot = true;
+  Rng rng(seed);
+  for (int i = 0; i < 30; ++i) {
+    FsAbsState before = fs.view();
+    reg.arm("vc/fsfaultdev/write_error", one_shot);
+    ErrorCode err = ErrorCode::kOk;
+    switch (rng.next_below(5)) {
+      case 0:
+        err = fs.mkdir("/d/dir" + std::to_string(i)).error();
+        break;
+      case 1:
+        err = fs.create("/d/file" + std::to_string(i)).error();
+        break;
+      case 2: {
+        std::vector<u8> data(rng.next_range(1, 200));
+        for (auto& b : data) {
+          b = static_cast<u8>(rng.next_u64());
+        }
+        auto w = fs.write("/d/base", rng.next_below(64), data);
+        err = w.error();
+        break;
+      }
+      case 3:
+        err = fs.truncate("/d/base", rng.next_below(128)).error();
+        break;
+      default:
+        err = fs.rename("/d/base", "/d/moved").error();
+        break;
+    }
+    if (err == ErrorCode::kOk) {
+      return VcOutcome::fail("mutating op succeeded with a write fault armed");
+    }
+    if (err != ErrorCode::kIoError) {
+      return VcOutcome::fail(std::string("wrong error surfaced: ") + error_name(err));
+    }
+    if (!(fs.view() == before)) {
+      return VcOutcome::fail("failed op mutated the abstract state");
+    }
+  }
+  // The same ops succeed once the faults are gone, and the state persists.
+  if (!fs.create("/d/after").ok() || !fs.write("/d/after", 0, std::vector<u8>{1, 2, 3}).ok() ||
+      !fs.fsync().ok()) {
+    return VcOutcome::fail("filesystem broken after injected faults");
+  }
+  FsAbsState final_state = fs.view();
+  auto rec = MemFs::recover(dev);
+  if (!rec.ok()) {
+    return VcOutcome::fail("recovery failed after injected-fault run");
+  }
+  if (!(rec.value().view() == final_state)) {
+    return VcOutcome::fail("recovered state diverged after injected-fault run");
+  }
+  return VcOutcome::pass();
+}
+
+// Recovery must propagate device read errors, never silently treat them as
+// end-of-journal (that would resurrect a stale prefix as if it were the
+// acknowledged state).
+VcOutcome vc_fs_recovery_error_propagates(u64 seed) {
+  auto& reg = FaultRegistry::global();
+  reg.reseed(seed);
+  BlockDevice dev(4096, seed, "vc/recfaultdev");
+  FsAbsState expected;
+  {
+    auto made = MemFs::format(dev);
+    if (!made.ok()) {
+      return VcOutcome::fail("format failed");
+    }
+    MemFs fs = std::move(made.value());
+    if (!fs.create("/f").ok() || !fs.write("/f", 0, std::vector<u8>(100, 0x77)).ok() ||
+        !fs.fsync().ok()) {
+      return VcOutcome::fail("setup failed");
+    }
+    expected = fs.view();
+  }
+  FaultSpec one_shot;
+  one_shot.probability_ppm = 1'000'000;
+  one_shot.one_shot = true;
+  reg.arm("vc/recfaultdev/read_error", one_shot);
+  auto rec = MemFs::recover(dev);
+  if (rec.ok()) {
+    return VcOutcome::fail("recovery swallowed a device read error");
+  }
+  auto clean = MemFs::recover(dev);
+  if (!clean.ok()) {
+    return VcOutcome::fail("clean retry of recovery failed");
+  }
+  if (!(clean.value().view() == expected)) {
+    return VcOutcome::fail("recovered state lost acknowledged data");
+  }
+  return VcOutcome::pass();
+}
+
+// Schedulable allocator OOM: the armed site makes exactly one allocation
+// fail with kNoMemory (counted), and the allocator is unharmed afterwards.
+VcOutcome vc_frame_alloc_injected_oom() {
+  auto& reg = FaultRegistry::global();
+  PhysMem mem(256);
+  Topology topo(2, 1);
+  FrameAllocator alloc(mem, topo);
+  FaultSpec one_shot;
+  one_shot.probability_ppm = 1'000'000;
+  one_shot.one_shot = true;
+  one_shot.error = ErrorCode::kNoMemory;
+  reg.arm("frame_alloc/oom", one_shot);
+  auto denied = alloc.alloc_frame();
+  if (denied.ok() || denied.error() != ErrorCode::kNoMemory) {
+    return VcOutcome::fail("armed OOM did not surface as kNoMemory");
+  }
+  if (alloc.stats().injected_oom != 1) {
+    return VcOutcome::fail("injected OOM not counted");
+  }
+  auto granted = alloc.alloc_frame();
+  if (!granted.ok()) {
+    return VcOutcome::fail("allocation failed after the one-shot disarmed");
+  }
+  alloc.free(granted.value());
+  return VcOutcome::pass();
+}
+
+// Syscall-boundary injection: an armed site turns the next eligible syscall
+// into a clean typed error at the contract boundary — the app sees kIoError
+// or kNoMemory exactly as if the kernel had hit the fault internally, and
+// the next call succeeds.
+VcOutcome vc_sys_fault_injection() {
+  auto& reg = FaultRegistry::global();
+  Kernel kernel;
+  SyscallDispatcher disp(kernel);
+  Sys boot(disp, kInvalidPid, 0);
+  auto proc = boot.spawn();
+  if (!proc.ok()) {
+    return VcOutcome::fail("spawn failed");
+  }
+  Sys sys(disp, proc.value(), 0);
+
+  FaultSpec one_shot;
+  one_shot.probability_ppm = 1'000'000;
+  one_shot.one_shot = true;
+  reg.arm("syscall/io_error", one_shot);
+  auto denied = sys.open("/victim", kOpenCreate);
+  if (denied.ok() || denied.error() != ErrorCode::kIoError) {
+    return VcOutcome::fail("armed io_error did not surface on open");
+  }
+  auto fd = sys.open("/victim", kOpenCreate);
+  if (!fd.ok()) {
+    return VcOutcome::fail("open failed after the one-shot disarmed");
+  }
+  (void)sys.close(fd.value());
+
+  one_shot.error = ErrorCode::kNoMemory;
+  reg.arm("syscall/no_memory", one_shot);
+  auto mm = sys.mmap(4096, /*writable=*/true);
+  if (mm.ok() || mm.error() != ErrorCode::kNoMemory) {
+    return VcOutcome::fail("armed no_memory did not surface on mmap");
+  }
+  auto mm2 = sys.mmap(4096, /*writable=*/true);
+  if (!mm2.ok()) {
+    return VcOutcome::fail("mmap failed after the one-shot disarmed");
+  }
+  (void)sys.munmap(mm2.value());
+  return VcOutcome::pass();
+}
+
 }  // namespace
 
 void register_kernel_vcs(VcRegistry& reg) {
@@ -1551,6 +1736,19 @@ void register_kernel_vcs(VcRegistry& reg) {
     reg.add("kernel/nrfs_concurrent_convergence_seed" + std::to_string(seed),
             VcCategory::kConcurrency, [seed] { return vc_nrfs_concurrent_convergence(seed); });
   }
+
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    reg.add("kernel/fs_io_error_rollback_seed" + std::to_string(seed), VcCategory::kFilesystem,
+            [seed] { return vc_fs_io_error_rollback(seed); });
+  }
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("kernel/fs_recovery_error_propagates_seed" + std::to_string(seed),
+            VcCategory::kFilesystem, [seed] { return vc_fs_recovery_error_propagates(seed); });
+  }
+  reg.add("kernel/frame_alloc_injected_oom", VcCategory::kMemoryManagement,
+          [] { return vc_frame_alloc_injected_oom(); });
+  reg.add("kernel/sys_fault_injection", VcCategory::kRefinement,
+          [] { return vc_sys_fault_injection(); });
 }
 
 }  // namespace vnros

@@ -14,6 +14,35 @@ constexpr Port kEphemeralBase = 49152;
 // (prevents a hostile length field from driving giant kernel allocations).
 constexpr u64 kMaxIoBytes = u64{16} << 20;
 
+// Syscalls eligible for "syscall/io_error" injection: the filesystem ops
+// whose contract already includes a device-failure branch.
+bool io_error_eligible(SysNr nr) {
+  switch (nr) {
+    case SysNr::kOpen:
+    case SysNr::kRead:
+    case SysNr::kWrite:
+    case SysNr::kFstat:
+    case SysNr::kMkdir:
+    case SysNr::kUnlink:
+    case SysNr::kRmdir:
+    case SysNr::kReaddir:
+    case SysNr::kRename:
+    case SysNr::kTruncate:
+    case SysNr::kFsync:
+    case SysNr::kReadUser:
+    case SysNr::kWriteUser:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Syscalls eligible for "syscall/no_memory" injection: the ones whose
+// contract already has a kNoMemory branch (frame exhaustion).
+bool no_memory_eligible(SysNr nr) {
+  return nr == SysNr::kMmap || nr == SysNr::kSpawn;
+}
+
 void put_fd(Writer& w, Fd fd) { w.put_u32(static_cast<u32>(fd)); }
 
 std::optional<Fd> get_fd(Reader& r) {
@@ -77,6 +106,20 @@ std::vector<u8> SyscallDispatcher::handle(Pid pid, CoreId core, std::span<const 
   auto nr = args.get_u32();
   ErrorCode err = ErrorCode::kInvalidArgument;
   Writer payload;
+  if (nr && io_error_eligible(static_cast<SysNr>(*nr))) {
+    if (auto injected = io_fault_site_->fire()) {
+      Writer failed;
+      failed.put_u32(static_cast<u32>(*injected));
+      return failed.take();
+    }
+  }
+  if (nr && no_memory_eligible(static_cast<SysNr>(*nr))) {
+    if (auto injected = mem_fault_site_->fire()) {
+      Writer failed;
+      failed.put_u32(static_cast<u32>(*injected));
+      return failed.take();
+    }
+  }
   if (nr) {
     switch (static_cast<SysNr>(*nr)) {
       case SysNr::kGetPid:

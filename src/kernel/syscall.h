@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/fault.h"
 #include "src/base/result.h"
 #include "src/base/serde.h"
 #include "src/kernel/kernel.h"
@@ -167,6 +168,13 @@ class SyscallDispatcher {
   ErrorCode do_console_write(Pid pid, Reader& args, Writer& reply);
 
   Kernel& kernel_;
+  // Transient-error injection at the contract boundary: "syscall/io_error"
+  // fails filesystem syscalls with kIoError, "syscall/no_memory" fails
+  // mmap/spawn with kNoMemory — errors the §3 contract already allows, so
+  // a correct application must tolerate them (and the chaos harness checks
+  // that it does).
+  FaultSite* io_fault_site_ = &FaultRegistry::global().site("syscall/io_error");
+  FaultSite* mem_fault_site_ = &FaultRegistry::global().site("syscall/no_memory");
   mutable std::mutex mu_;
   std::map<Pid, std::unique_ptr<ProcState>> procs_;
   u64 next_ephemeral_ = 0;  // ephemeral UDP port counter

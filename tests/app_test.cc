@@ -173,6 +173,63 @@ TEST(BlockStoreCrashTest, AckedPutsSurviveReboot) {
   EXPECT_EQ(node.get("persist-me").value(), bytes("durable"));
 }
 
+// Crash during the replication push: the primary acks a put whose push to
+// the replica is lost (partitioned fabric), then the primary's disk crashes.
+// Whatever fraction of un-flushed sectors survives the crash, the acked put
+// must still be readable after recovery — put() fsyncs before acking — and
+// anti-entropy (sync_into) must bring the replica back in sync. Swept over
+// the crash persistence spectrum with fixed seeds so failures replay.
+TEST(BlockStoreCrashTest, AckedPutSurvivesCrashDuringReplicationPush) {
+  struct Case {
+    u64 persist_ppm;
+    u64 disk_seed;
+  };
+  const Case kMatrix[] = {
+      {0, 0x0AC3ull},          // nothing un-flushed survives
+      {250'000, 0x1AC3ull},    // a quarter of cached sectors survive
+      {500'000, 0x2AC3ull},    // half survive
+      {1'000'000, 0x3AC3ull},  // crash behaves like flush
+  };
+  for (const auto& c : kMatrix) {
+    SCOPED_TRACE("persist_ppm=" + std::to_string(c.persist_ppm));
+    Network net;
+    BlockDevice disk(16384, c.disk_seed);
+    Host replica_host(&net);
+    BlockStoreNode replica(replica_host.sys, 7001);
+    ASSERT_TRUE(replica.init().ok());
+
+    {
+      Host primary_host(&net, &disk);
+      BlockStoreNode primary(primary_host.sys, 7000,
+                             {BsPeer{replica_host.kernel.net_addr(), 7001}});
+      ASSERT_TRUE(primary.init().ok());
+      // Cut the primary<->replica link so the replication push is lost in
+      // flight, then crash the primary after it acks.
+      net.partition(primary_host.kernel.net_addr(), replica_host.kernel.net_addr());
+      ASSERT_TRUE(primary.put("acked", bytes("must-survive")).ok());
+      replica.serve_once();
+      EXPECT_EQ(replica.get("acked").error(), ErrorCode::kNotFound);
+      disk.crash(c.persist_ppm);
+    }
+    net.heal_all();
+
+    Host rebooted(&net, &disk, /*recover=*/true);
+    BlockStoreNode primary(rebooted.sys, 7000,
+                           {BsPeer{replica_host.kernel.net_addr(), 7001}});
+    ASSERT_TRUE(primary.init().ok());
+    EXPECT_EQ(primary.get("acked").value(), bytes("must-survive"));
+
+    Host client_host(&net);
+    BlockStoreClient client(client_host.sys, rebooted.kernel.net_addr(), 7000,
+                            [&] { primary.serve_once(); });
+    ASSERT_TRUE(client.init().ok());
+    auto repaired = client.sync_into(replica);
+    ASSERT_TRUE(repaired.ok());
+    EXPECT_GE(repaired.value(), 1u);
+    EXPECT_EQ(replica.get("acked").value(), bytes("must-survive"));
+  }
+}
+
 TEST(BlockStoreReplicationTest, PutPropagatesToPeer) {
   Network net;
   Host primary_host(&net);

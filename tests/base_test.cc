@@ -1,4 +1,4 @@
-// Unit tests for src/base: types, Result, contracts, RNG, CRC, serde.
+// Unit tests for src/base: types, Result, contracts, RNG, CRC, serde, faults.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -7,6 +7,7 @@
 
 #include "src/base/contracts.h"
 #include "src/base/crc.h"
+#include "src/base/fault.h"
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/base/serde.h"
@@ -237,6 +238,98 @@ TEST(SerdeTest, RawRoundTrip) {
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(*back, raw);
   EXPECT_FALSE(r.get_raw(1).has_value());
+}
+
+// --- Fault registry ----------------------------------------------------------
+
+TEST(FaultTest, UnarmedSiteNeverFires) {
+  auto& reg = FaultRegistry::global();
+  auto& site = reg.site("test/unarmed");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(site.fire().has_value());
+  }
+  EXPECT_FALSE(site.armed());
+}
+
+TEST(FaultTest, OneShotFiresExactlyOnceThenDisarms) {
+  auto& reg = FaultRegistry::global();
+  FaultSpec spec;
+  spec.probability_ppm = 1'000'000;
+  spec.one_shot = true;
+  spec.error = ErrorCode::kNoMemory;
+  reg.arm("test/oneshot", spec);
+  auto& site = reg.site("test/oneshot");
+  auto first = site.fire();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, ErrorCode::kNoMemory);
+  EXPECT_FALSE(site.armed());
+  EXPECT_FALSE(site.fire().has_value());
+  EXPECT_EQ(site.stats().fires, 1u);
+}
+
+TEST(FaultTest, NthCallFiresOnExactlyThatCall) {
+  auto& reg = FaultRegistry::global();
+  FaultSpec spec;
+  spec.nth_call = 3;
+  reg.arm("test/nth", spec);
+  auto& site = reg.site("test/nth");
+  EXPECT_FALSE(site.fire().has_value());
+  EXPECT_FALSE(site.fire().has_value());
+  auto third = site.fire();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(*third, ErrorCode::kIoError);
+  // nth_call schedules auto-disarm after firing.
+  EXPECT_FALSE(site.fire().has_value());
+}
+
+TEST(FaultTest, ProbabilisticScheduleReplaysFromSeed) {
+  auto& reg = FaultRegistry::global();
+  FaultSpec spec;
+  spec.probability_ppm = 400'000;
+  auto run = [&] {
+    reg.reseed(0xD5);
+    reg.arm("test/prob", spec);
+    auto& site = reg.site("test/prob");
+    std::string bits;
+    for (int i = 0; i < 64; ++i) {
+      bits.push_back(site.fire() ? 'x' : '.');
+    }
+    reg.disarm("test/prob");
+    return bits;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultTest, DisarmPrefixOnlyHitsMatchingSites) {
+  auto& reg = FaultRegistry::global();
+  FaultSpec spec;
+  spec.probability_ppm = 1'000'000;
+  reg.arm("test/prefix/a", spec);
+  reg.arm("test/prefix/b", spec);
+  reg.arm("test/other", spec);
+  EXPECT_EQ(reg.disarm_prefix("test/prefix/"), 2u);
+  EXPECT_FALSE(reg.site("test/prefix/a").armed());
+  EXPECT_FALSE(reg.site("test/prefix/b").armed());
+  EXPECT_TRUE(reg.site("test/other").armed());
+  reg.disarm_all();
+  EXPECT_FALSE(reg.site("test/other").armed());
+}
+
+TEST(FaultTest, StatsCountEvaluationsAndFires) {
+  auto& reg = FaultRegistry::global();
+  reg.disarm_all();
+  reg.reset_stats();
+  FaultSpec spec;
+  spec.probability_ppm = 1'000'000;
+  reg.arm("test/stats", spec);
+  auto& site = reg.site("test/stats");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(site.fire().has_value());
+  }
+  EXPECT_EQ(site.stats().evaluations, 5u);
+  EXPECT_EQ(site.stats().fires, 5u);
+  EXPECT_GE(reg.total_fires(), 5u);
+  reg.disarm_all();
 }
 
 }  // namespace

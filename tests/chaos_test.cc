@@ -1,0 +1,102 @@
+// Chaos harness tests (ctest label: chaos).
+//
+// Each test runs one seeded adversarial schedule against a 3-node block-store
+// cluster: crashes with torn/partial persistence, network partitions, injected
+// disk/syscall/OOM faults — then checks the durability invariant (see
+// src/app/chaos.h). A failure prints the seed; replay it with
+//   VNROS_CHAOS_SEED=0x... ./chaos_test --gtest_filter=ChaosTest.ReplayFromEnv
+#include "src/app/chaos.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/base/fault.h"
+
+namespace vnros {
+namespace {
+
+ChaosConfig config_for_seed(u64 seed) {
+  ChaosConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_clean_run(u64 seed) {
+  ChaosReport report = run_chaos(config_for_seed(seed));
+  EXPECT_TRUE(report.ok) << report.message;
+  // A schedule that exercised nothing proves nothing: the fixed seeds below
+  // were picked so every run performs real work under real adversity.
+  EXPECT_GT(report.ops, 0u);
+  EXPECT_GT(report.ops_ok, 0u);
+  EXPECT_GT(report.checks, 0u);
+}
+
+// The N=8 fixed-seed matrix. Deterministic: the same seed replays the same
+// schedule, so these either always pass or always fail.
+TEST(ChaosTest, Seed1) { expect_clean_run(0x0001); }
+TEST(ChaosTest, Seed2) { expect_clean_run(0x00C2); }
+TEST(ChaosTest, Seed3) { expect_clean_run(0x0303); }
+TEST(ChaosTest, Seed4) { expect_clean_run(0xBEEF); }
+TEST(ChaosTest, Seed5) { expect_clean_run(0xD00D); }
+TEST(ChaosTest, Seed6) { expect_clean_run(0xFEED5EED); }
+TEST(ChaosTest, Seed7) { expect_clean_run(0xCAFE0007); }
+TEST(ChaosTest, Seed8) { expect_clean_run(0xA11C0DE8); }
+
+// The aggregate schedule coverage across the matrix must include every
+// adversity class the harness models — otherwise the matrix has silently
+// stopped testing what it claims to.
+TEST(ChaosTest, MatrixCoversAllAdversityClasses) {
+  const u64 seeds[] = {0x0001, 0x00C2, 0x0303, 0xBEEF, 0xD00D, 0xFEED5EED, 0xCAFE0007, 0xA11C0DE8};
+  ChaosReport total;
+  for (u64 seed : seeds) {
+    ChaosReport r = run_chaos(config_for_seed(seed));
+    ASSERT_TRUE(r.ok) << r.message;
+    total.ops += r.ops;
+    total.crashes += r.crashes;
+    total.partitions += r.partitions;
+    total.heals += r.heals;
+    total.faults_armed += r.faults_armed;
+    total.fault_fires += r.fault_fires;
+    total.client_retries += r.client_retries;
+  }
+  EXPECT_GT(total.crashes, 0u) << "no schedule ever crashed a node";
+  EXPECT_GT(total.partitions, 0u) << "no schedule ever cut a link";
+  EXPECT_GT(total.heals, 0u) << "no schedule ever healed a cut";
+  EXPECT_GT(total.faults_armed, 0u) << "no schedule ever armed a fault";
+  EXPECT_GT(total.fault_fires, 0u) << "armed faults never fired";
+}
+
+// Replay hook: VNROS_CHAOS_SEED=<decimal or 0x-hex> reruns exactly that
+// schedule (the one printed by a failing run). Without the env var this test
+// is a no-op, so it is safe in the fixed matrix.
+TEST(ChaosTest, ReplayFromEnv) {
+  const char* env = std::getenv("VNROS_CHAOS_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set VNROS_CHAOS_SEED to replay a failing schedule";
+  }
+  u64 seed = std::stoull(std::string(env), nullptr, 0);
+  ChaosReport report = run_chaos(config_for_seed(seed));
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+// Determinism is the contract that makes the printed seed useful: two runs
+// of the same seed must produce identical schedules and identical outcomes.
+TEST(ChaosTest, SameSeedSameSchedule) {
+  ChaosReport a = run_chaos(config_for_seed(0xBEEF));
+  ChaosReport b = run_chaos(config_for_seed(0xBEEF));
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.ops_ok, b.ops_ok);
+  EXPECT_EQ(a.ops_failed, b.ops_failed);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.reimages, b.reimages);
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.faults_armed, b.faults_armed);
+  EXPECT_EQ(a.fault_fires, b.fault_fires);
+  EXPECT_EQ(a.message, b.message);
+}
+
+}  // namespace
+}  // namespace vnros

@@ -321,6 +321,86 @@ TEST(BlockDeviceTest, SnapshotMatchesStableOnly) {
   EXPECT_EQ(snap[0], 0xEE);
 }
 
+TEST(BlockDeviceTest, OutOfRangeIsTypedErrorNeverClamps) {
+  BlockDevice dev(16);
+  std::vector<u8> buf(kSectorSize, 0xAB);
+  auto r = dev.read(16, buf);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), ErrorCode::kOutOfRange);
+  auto w = dev.write(u64{1} << 40, buf);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error(), ErrorCode::kOutOfRange);
+  // The failed calls touched nothing: the last valid sector is intact.
+  std::vector<u8> back(kSectorSize, 0xFF);
+  ASSERT_TRUE(dev.read(15, back).ok());
+  EXPECT_EQ(back, std::vector<u8>(kSectorSize, 0));
+}
+
+TEST(BlockDeviceTest, WrongSizeSpanIsInvalidArgument) {
+  BlockDevice dev(16);
+  std::vector<u8> small(kSectorSize - 1, 0);
+  std::vector<u8> big(kSectorSize + 1, 0);
+  EXPECT_EQ(dev.read(0, small).error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dev.write(0, small).error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dev.read(0, big).error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dev.write(0, big).error(), ErrorCode::kInvalidArgument);
+}
+
+TEST(BlockDeviceTest, InjectedReadAndWriteErrors) {
+  BlockDevice dev(16, 0x5EC70Full, "hwtest/dev");
+  auto& reg = FaultRegistry::global();
+  std::vector<u8> data(kSectorSize, 0x11);
+  ASSERT_TRUE(dev.write(2, data).ok());
+
+  FaultSpec spec;
+  spec.probability_ppm = 1'000'000;
+  spec.one_shot = true;
+  reg.arm("hwtest/dev/read_error", spec);
+  std::vector<u8> back(kSectorSize);
+  auto r = dev.read(2, back);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), ErrorCode::kIoError);
+  ASSERT_TRUE(dev.read(2, back).ok());  // one-shot: next read succeeds
+  EXPECT_EQ(back, data);
+
+  reg.arm("hwtest/dev/write_error", spec);
+  auto w = dev.write(3, data);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error(), ErrorCode::kIoError);
+  // A plain injected write error drops the write entirely.
+  ASSERT_TRUE(dev.read(3, back).ok());
+  EXPECT_EQ(back, std::vector<u8>(kSectorSize, 0));
+
+  EXPECT_EQ(dev.stats().injected_read_errors, 1u);
+  EXPECT_EQ(dev.stats().injected_write_errors, 1u);
+  reg.disarm_prefix("hwtest/dev/");
+}
+
+TEST(BlockDeviceTest, TornWriteAppliesStrictPrefixThenFails) {
+  BlockDevice dev(16, 0x7EA4ull, "hwtest/torndev");
+  auto& reg = FaultRegistry::global();
+  std::vector<u8> old_data(kSectorSize, 0x22);
+  ASSERT_TRUE(dev.write(5, old_data).ok());
+
+  FaultSpec spec;
+  spec.probability_ppm = 1'000'000;
+  spec.one_shot = true;
+  reg.arm("hwtest/torndev/torn_write", spec);
+  std::vector<u8> new_data(kSectorSize, 0x33);
+  auto w = dev.write(5, new_data);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error(), ErrorCode::kIoError);
+
+  // The sector now holds a nonempty strict prefix of the new data over the
+  // old content: first byte is new, last byte is still old.
+  std::vector<u8> back(kSectorSize);
+  ASSERT_TRUE(dev.read(5, back).ok());
+  EXPECT_EQ(back[0], 0x33);
+  EXPECT_EQ(back[kSectorSize - 1], 0x22);
+  EXPECT_EQ(dev.stats().torn_writes, 1u);
+  reg.disarm_prefix("hwtest/torndev/");
+}
+
 // --- Network fabric -------------------------------------------------------------------------
 
 TEST(NetworkTest, PointToPoint) {
