@@ -6,9 +6,13 @@
 //   {
 //     "name": "fig1b_map_latency",
 //     "config": { "ops_per_thread": 1000, ... },
-//     "series": { "verified_us_per_op": [[1, 2.53], [2, 3.10], ...], ... }
+//     "series": { "verified_us_per_op": [[1, 2.53], [2, 3.10], ...], ... },
+//     "obs": { "counters": {...}, "histograms": {...}, "spans": {...} }
 //   }
 // Series rows are (x, y) pairs — typically (core count, median latency).
+// The "obs" section is the process-global ObsRegistry snapshot at write()
+// time, so every bench run ships its kernel/app counters alongside the
+// measured series (empty shells when built with VNROS_METRICS=OFF).
 #ifndef VNROS_BENCH_BENCH_JSON_H_
 #define VNROS_BENCH_BENCH_JSON_H_
 
@@ -18,6 +22,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/obs/registry.h"
 
 namespace vnros {
 
@@ -75,7 +81,8 @@ class BenchJson {
       }
       out << "]";
     }
-    out << (series_.empty() ? "" : "\n  ") << "}\n}\n";
+    out << (series_.empty() ? "" : "\n  ") << "},\n  \"obs\": " << ObsRegistry::global().json()
+        << "\n}\n";
     std::printf("# wrote %s\n", path.c_str());
   }
 

@@ -16,11 +16,30 @@ cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure
 
 echo
-echo "== tier-1: TSan build (nr_test + nr_log_wraparound_test) =="
+echo "== tier-1: TSan build (nr_test + nr_log_wraparound_test + obs_test) =="
 cmake -B build-tsan -S . -DVNROS_SAN=thread >/dev/null
-cmake --build build-tsan -j"${JOBS}" --target nr_test nr_log_wraparound_test
+cmake --build build-tsan -j"${JOBS}" --target nr_test nr_log_wraparound_test obs_test
 ./build-tsan/tests/nr_test
 ./build-tsan/tests/nr_log_wraparound_test
+./build-tsan/tests/obs_test
+
+echo
+echo "== tier-1: metrics-off build (VNROS_METRICS=OFF) =="
+# The observability substrate must compile out cleanly: every instrumented
+# site becomes a no-op and the whole tree still builds. build-nometrics is
+# owned by this stage (it is regenerated here; safe to delete any time).
+# Only the metrics-agnostic suites run — tests that assert nonzero counters
+# (NR batch stats, TLB shootdown counts, fs checkpoint stats, blockstore
+# corrupt-read accounting and the stat-asserting VCs) legitimately read 0
+# when metrics are compiled out, and obs_test gates those expectations on
+# kMetricsEnabled itself.
+cmake -B build-nometrics -S . -DVNROS_METRICS=OFF >/dev/null
+cmake --build build-nometrics -j"${JOBS}"
+./build-nometrics/tests/obs_test
+./build-nometrics/tests/base_test
+./build-nometrics/tests/kernel_test
+./build-nometrics/tests/syscall_test
+./build-nometrics/tests/integration_test
 
 echo
 echo "== tier-1: ASan+UBSan build (fs_test + app_test + chaos_test) =="

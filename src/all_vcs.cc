@@ -7,6 +7,7 @@
 #include "src/kernel/vcs.h"
 #include "src/net/vcs.h"
 #include "src/nr/vcs.h"
+#include "src/obs/vcs.h"
 #include "src/pt/vcs.h"
 #include "src/spec/self_vcs.h"
 #include "src/spec/vc.h"
@@ -16,6 +17,7 @@ namespace vnros {
 
 void register_all_vcs(VcRegistry& registry) {
   register_spec_vcs(registry);
+  register_obs_vcs(registry);
   register_hw_vcs(registry);
   register_nr_vcs(registry);
   register_pt_vcs(registry);

@@ -32,6 +32,7 @@
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/kernel/syscall.h"
+#include "src/obs/registry.h"
 
 namespace vnros {
 
@@ -59,6 +60,7 @@ struct BsPeer {
   Port port = 0;
 };
 
+// Snapshot of a node's obs counters (see stats()).
 struct BlockStoreStats {
   u64 puts = 0;
   u64 gets = 0;
@@ -104,8 +106,19 @@ class BlockStoreNode {
   // Anti-entropy inventory: (key, crc32c) for every intact block.
   std::vector<BlockKeyInfo> list() const;
 
-  const BlockStoreStats& stats() const { return stats_; }
+  // Thin view over the obs counters ("bs<N>/..."): race-free merged reads.
+  BlockStoreStats stats() const {
+    return BlockStoreStats{c_puts_.value(),           c_gets_.value(),
+                           c_dels_.value(),           c_corrupt_reads_.value(),
+                           c_replicas_pushed_.value(), c_replicas_applied_.value(),
+                           c_read_repairs_.value(),   c_failed_repairs_.value()};
+  }
   Port port() const { return port_; }
+
+  // Reads one of the kernel's contract counters (e.g. "fs/fsyncs") through
+  // the kstat syscall — the §3 way for the application to introspect the OS.
+  // The node never touches kernel internals, here or anywhere.
+  Result<u64> kernel_stat(std::string_view name) const { return sys_.kstat(name); }
 
   // Path of the file backing `key` ("/blocks/<hex>"): public so tests can
   // inject storage corruption at the right place.
@@ -125,7 +138,19 @@ class BlockStoreNode {
                                  // datagrams destined for the service socket
   bool in_repair_ = false;       // re-entrancy guard (pump may recurse into us)
   u64 next_repair_req_id_ = 1;
-  mutable BlockStoreStats stats_;
+
+  // Metrics ("bs<N>/..."): registry-owned per-core counters — mutable from
+  // const readers (get() counts), race-free for concurrent observers.
+  const std::string obs_prefix_;
+  Counter& c_puts_;
+  Counter& c_gets_;
+  Counter& c_dels_;
+  Counter& c_corrupt_reads_;
+  Counter& c_replicas_pushed_;
+  Counter& c_replicas_applied_;
+  Counter& c_read_repairs_;
+  Counter& c_failed_repairs_;
+  const u32 span_serve_;
 };
 
 // Client retry behaviour. All waiting is measured in pump polls — the
@@ -141,7 +166,8 @@ struct RetryPolicy {
 };
 
 // Visible retry behaviour, for tests and for kDebug logging: how hard did
-// the client have to work to get an answer?
+// the client have to work to get an answer? Snapshot of the client's obs
+// counters (see retry_stats()).
 struct RetryStats {
   u64 attempts = 0;          // request datagrams sent
   u64 retries = 0;           // attempts beyond the first, per rpc
@@ -181,8 +207,14 @@ class BlockStoreClient {
   // writing it into `target` via its local API. Returns blocks repaired.
   Result<u64> sync_into(BlockStoreNode& target);
 
-  u64 retries() const { return stats_.retries; }
-  const RetryStats& retry_stats() const { return stats_; }
+  u64 retries() const { return c_retries_.value(); }
+
+  // Thin view over the obs counters ("bsc<N>/..."): race-free merged reads.
+  RetryStats retry_stats() const {
+    return RetryStats{c_attempts_.value(),         c_retries_.value(),
+                      c_backoff_polls_.value(),    c_failovers_.value(),
+                      c_transient_errors_.value(), c_send_errors_.value()};
+  }
   const RetryPolicy& policy() const { return policy_; }
 
   // The target the next rpc will be sent to (index 0 = the constructor's
@@ -204,7 +236,19 @@ class BlockStoreClient {
   Rng rng_{0xC11E47ull};  // jitter; fixed seed keeps runs replayable
   Fd sock_ = kInvalidFd;
   u64 next_req_id_ = 1;
-  RetryStats stats_;
+
+  // Metrics ("bsc<N>/..."): per-core counters plus a span per rpc and a
+  // histogram of pump polls per rpc (the simulation's latency unit, so the
+  // distribution replays bit-identically from a seed).
+  const std::string obs_prefix_;
+  Counter& c_attempts_;
+  Counter& c_retries_;
+  Counter& c_backoff_polls_;
+  Counter& c_failovers_;
+  Counter& c_transient_errors_;
+  Counter& c_send_errors_;
+  Histogram& h_rpc_polls_;
+  const u32 span_rpc_;
 };
 
 }  // namespace vnros

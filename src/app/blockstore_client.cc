@@ -10,7 +10,18 @@ namespace vnros {
 
 BlockStoreClient::BlockStoreClient(Sys& sys, NetAddr server, Port server_port,
                                    std::function<void()> pump, RetryPolicy policy)
-    : sys_(sys), pump_(std::move(pump)), policy_(policy) {
+    : sys_(sys),
+      pump_(std::move(pump)),
+      policy_(policy),
+      obs_prefix_(ObsRegistry::global().instance_prefix("bsc")),
+      c_attempts_(ObsRegistry::global().counter(obs_prefix_ + "attempts")),
+      c_retries_(ObsRegistry::global().counter(obs_prefix_ + "retries")),
+      c_backoff_polls_(ObsRegistry::global().counter(obs_prefix_ + "backoff_polls")),
+      c_failovers_(ObsRegistry::global().counter(obs_prefix_ + "failovers")),
+      c_transient_errors_(ObsRegistry::global().counter(obs_prefix_ + "transient_errors")),
+      c_send_errors_(ObsRegistry::global().counter(obs_prefix_ + "send_errors")),
+      h_rpc_polls_(ObsRegistry::global().histogram(obs_prefix_ + "rpc_polls")),
+      span_rpc_(ObsRegistry::global().tracer().intern_site("bs/rpc")) {
   targets_.push_back(BsPeer{server, server_port});
 }
 
@@ -42,9 +53,9 @@ void BlockStoreClient::fail_over() {
     return;
   }
   current_target_ = (current_target_ + 1) % targets_.size();
-  ++stats_.failovers;
+  c_failovers_.inc();
   VNROS_LOG_DEBUG("blockstore", "client failover -> target %zu (%llu so far)", current_target_,
-                  static_cast<unsigned long long>(stats_.failovers));
+                  static_cast<unsigned long long>(c_failovers_.value()));
 }
 
 Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
@@ -55,6 +66,7 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
       return r.error();
     }
   }
+  SpanScope span(ObsRegistry::global().tracer(), span_rpc_);
   u64 req_id = next_req_id_++;
   Writer w;
   w.put_u8(static_cast<u8>(op));
@@ -75,7 +87,7 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
   ErrorCode last_err = ErrorCode::kTimedOut;
   for (usize attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      ++stats_.retries;
+      c_retries_.inc();
       // Exponential backoff with additive jitter, in pump polls. Jitter
       // decorrelates retries from concurrent clients without breaking
       // determinism (the jitter Rng is seeded).
@@ -86,7 +98,7 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
           wait += rng_.next_range(0, span);
         }
       }
-      stats_.backoff_polls += wait;
+      c_backoff_polls_.add(wait);
       for (u64 i = 0; i < wait; ++i) {
         pump_once();
       }
@@ -98,13 +110,13 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     if (policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls) {
       break;
     }
-    ++stats_.attempts;
+    c_attempts_.inc();
     const BsPeer& target = targets_[current_target_];
     auto sent = sys_.udp_sendto(sock_, target.addr, target.port, w.bytes());
     if (!sent.ok()) {
       // Local send failure (e.g. injected syscall fault): count it, back
       // off, and retry — the op has definitely not reached any server.
-      ++stats_.send_errors;
+      c_send_errors_.inc();
       last_err = sent.error();
       fail_over();
       continue;
@@ -131,16 +143,18 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
       }
       ErrorCode code = static_cast<ErrorCode>(*err);
       if (code == ErrorCode::kOk) {
+        h_rpc_polls_.record(polls_used);
         return std::move(*payload);
       }
       if (transient(code)) {
-        ++stats_.transient_errors;
+        c_transient_errors_.inc();
         last_err = code;
         transient_reply = true;
         VNROS_LOG_DEBUG("blockstore", "transient %s from target %zu (attempt %zu), retrying",
                         error_name(code), current_target_, attempt);
         break;  // next attempt, possibly after failover
       }
+      h_rpc_polls_.record(polls_used);
       return code;
     }
     // Timed out or bounced with a transient error: rotate targets so a
@@ -150,12 +164,13 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
       last_err = ErrorCode::kTimedOut;
     }
   }
+  h_rpc_polls_.record(polls_used);
   VNROS_LOG_DEBUG("blockstore",
                   "rpc gave up: %s (attempts=%llu retries=%llu backoff=%llu failovers=%llu)",
-                  error_name(last_err), static_cast<unsigned long long>(stats_.attempts),
-                  static_cast<unsigned long long>(stats_.retries),
-                  static_cast<unsigned long long>(stats_.backoff_polls),
-                  static_cast<unsigned long long>(stats_.failovers));
+                  error_name(last_err), static_cast<unsigned long long>(c_attempts_.value()),
+                  static_cast<unsigned long long>(c_retries_.value()),
+                  static_cast<unsigned long long>(c_backoff_polls_.value()),
+                  static_cast<unsigned long long>(c_failovers_.value()));
   return last_err == ErrorCode::kOk ? ErrorCode::kTimedOut : last_err;
 }
 

@@ -28,7 +28,20 @@ std::string BlockStoreNode::key_path(std::string_view key) {
 
 BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers,
                                std::function<void()> pump)
-    : sys_(sys), port_(port), peers_(std::move(peers)), pump_(std::move(pump)) {}
+    : sys_(sys),
+      port_(port),
+      peers_(std::move(peers)),
+      pump_(std::move(pump)),
+      obs_prefix_(ObsRegistry::global().instance_prefix("bs")),
+      c_puts_(ObsRegistry::global().counter(obs_prefix_ + "puts")),
+      c_gets_(ObsRegistry::global().counter(obs_prefix_ + "gets")),
+      c_dels_(ObsRegistry::global().counter(obs_prefix_ + "dels")),
+      c_corrupt_reads_(ObsRegistry::global().counter(obs_prefix_ + "corrupt_reads")),
+      c_replicas_pushed_(ObsRegistry::global().counter(obs_prefix_ + "replicas_pushed")),
+      c_replicas_applied_(ObsRegistry::global().counter(obs_prefix_ + "replicas_applied")),
+      c_read_repairs_(ObsRegistry::global().counter(obs_prefix_ + "read_repairs")),
+      c_failed_repairs_(ObsRegistry::global().counter(obs_prefix_ + "failed_repairs")),
+      span_serve_(ObsRegistry::global().tracer().intern_site("bs/serve")) {}
 
 Result<Unit> BlockStoreNode::init() {
   auto md = sys_.mkdir("/blocks");
@@ -48,8 +61,14 @@ Result<Unit> BlockStoreNode::init() {
 }
 
 Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8> value) {
+  // Write-temp-then-rename: the new bytes go to a sidecar file and replace
+  // the block in one atomic (journaled) rename, so a fault anywhere mid-put
+  // leaves the previously acknowledged value intact. The ".tmp" suffix can
+  // never collide with a block: keys encode to pure hex and view() skips
+  // non-hex names.
   std::string path = key_path(key);
-  auto fd = sys_.open(path, kOpenCreate | kOpenTrunc);
+  std::string tmp = path + ".tmp";
+  auto fd = sys_.open(tmp, kOpenCreate | kOpenTrunc);
   if (!fd.ok()) {
     return fd.error();
   }
@@ -59,11 +78,14 @@ Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8>
   w.put_raw(value);
   auto written = sys_.write(fd.value(), w.bytes());
   (void)sys_.close(fd.value());
-  if (!written.ok()) {
-    return written.error();
+  if (!written.ok() || written.value() != w.size()) {
+    (void)sys_.unlink(tmp);  // best effort; a stale .tmp is inert
+    return written.ok() ? ErrorCode::kNoSpace : written.error();
   }
-  if (written.value() != w.size()) {
-    return ErrorCode::kNoSpace;
+  auto renamed = sys_.rename(tmp, path);
+  if (!renamed.ok()) {
+    (void)sys_.unlink(tmp);
+    return renamed.error();
   }
   // Durability before acknowledgement: the put is only acked after fsync, so
   // an acked put survives any later crash (app/crash_recovery VCs).
@@ -75,7 +97,7 @@ Result<Unit> BlockStoreNode::put(std::string_view key, std::span<const u8> value
   if (!r.ok()) {
     return r;
   }
-  ++stats_.puts;
+  c_puts_.inc();
   push_replicas(key, value);
   return Unit{};
 }
@@ -91,7 +113,7 @@ void BlockStoreNode::push_replicas(std::string_view key, std::span<const u8> val
   w.put_bytes(value);
   for (const auto& peer : peers_) {
     if (sys_.udp_sendto(sock_, peer.addr, peer.port, w.bytes()).ok()) {
-      ++stats_.replicas_pushed;
+      c_replicas_pushed_.inc();
     }
   }
 }
@@ -112,17 +134,17 @@ Result<std::vector<u8>> BlockStoreNode::get(std::string_view key) const {
   if (!raw.ok()) {
     return raw.error();
   }
-  ++stats_.gets;
+  c_gets_.inc();
   Reader r(raw.value());
   auto crc = r.get_u32();
   auto len = r.get_u32();
   if (!crc || !len || raw.value().size() != kBlockHeader + *len) {
-    ++stats_.corrupt_reads;
+    c_corrupt_reads_.inc();
     return ErrorCode::kCorrupted;
   }
   std::span<const u8> payload(raw.value().data() + kBlockHeader, *len);
   if (crc32c(payload) != *crc) {
-    ++stats_.corrupt_reads;
+    c_corrupt_reads_.inc();
     return ErrorCode::kCorrupted;  // never return bytes that fail the checksum
   }
   return std::vector<u8>(payload.begin(), payload.end());
@@ -196,12 +218,12 @@ Result<std::vector<u8>> BlockStoreNode::get_or_repair(std::string_view key) {
   }
   in_repair_ = false;
   if (!repaired.ok()) {
-    ++stats_.failed_repairs;
+    c_failed_repairs_.inc();
     return local;  // every peer failed: the honest answer is still kCorrupted
   }
   auto stored = put_local(key, repaired.value());
   if (stored.ok()) {
-    ++stats_.read_repairs;
+    c_read_repairs_.inc();
     VNROS_LOG_DEBUG("blockstore", "read-repaired %zu-byte block from peer",
                     repaired.value().size());
   }
@@ -218,7 +240,7 @@ Result<Unit> BlockStoreNode::del(std::string_view key) {
   if (!r.ok() && r.error() != ErrorCode::kNotFound) {
     return r;
   }
-  ++stats_.dels;
+  c_dels_.inc();
   return sys_.fsync();
 }
 
@@ -274,6 +296,7 @@ bool BlockStoreNode::serve_once() {
   if (!dgram.ok()) {
     return false;
   }
+  SpanScope span(ObsRegistry::global().tracer(), span_serve_);
   Reader r(dgram.value().payload);
   auto op = r.get_u8();
   auto req_id = r.get_u64();
@@ -297,7 +320,7 @@ bool BlockStoreNode::serve_once() {
       if (value && r.exhausted()) {
         err = put_local(*key, *value).error();
         if (err == ErrorCode::kOk) {
-          ++stats_.replicas_applied;
+          c_replicas_applied_.inc();
         }
       }
       // Replication pushes carry req_id 0: apply silently, no reply.

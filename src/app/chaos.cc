@@ -16,6 +16,7 @@
 #include "src/hw/network.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscall.h"
+#include "src/obs/registry.h"
 
 namespace vnros {
 namespace {
@@ -88,6 +89,14 @@ class ChaosRunner {
 
     boot_cluster();
 
+    // Arm the span tracer on the client kernel's virtual clock for the whole
+    // schedule: spans (blockstore RPCs, fs journal commits, RTP retransmits)
+    // replay bit-identically from the seed like everything else.
+    SpanTracer& tracer = ObsRegistry::global().tracer();
+    const u64 spans_before = tracer.recorded();
+    tracer.set_clock(&client_host_->kernel.clock());
+    tracer.set_enabled(true);
+
     for (usize step = 0; step < cfg_.steps && report_.message.empty(); ++step) {
       schedule_events(step);
       if (!report_.message.empty()) {
@@ -103,6 +112,9 @@ class ChaosRunner {
     }
 
     finalize_report();
+    report_.spans_recorded = tracer.recorded() - spans_before;
+    tracer.set_enabled(false);
+    tracer.set_clock(nullptr);
     reg.disarm_all();
     return report_;
   }
@@ -413,6 +425,25 @@ class ChaosRunner {
         }
       }
     }
+
+    // Obs coherence across the cluster's whole history (incarnations are
+    // accumulated at crash time). Every applied replica was pushed by some
+    // peer — the runner's fabric never duplicates datagrams, so applications
+    // can only lag, not lead — and every read repair was triggered by a
+    // corrupt local read.
+    BlockStoreStats total = cumulative_stats();
+    if (total.replicas_applied > total.replicas_pushed) {
+      fail(step, "obs incoherence: " + std::to_string(total.replicas_applied) +
+                     " replicas applied > " + std::to_string(total.replicas_pushed) +
+                     " pushed");
+      return;
+    }
+    if (total.read_repairs > total.corrupt_reads) {
+      fail(step, "obs incoherence: " + std::to_string(total.read_repairs) +
+                     " read repairs > " + std::to_string(total.corrupt_reads) +
+                     " corrupt reads");
+      return;
+    }
     ++report_.checks;
   }
 
@@ -425,10 +456,38 @@ class ChaosRunner {
                       " — replay with ChaosConfig{.seed = " + seed_hex + "}";
   }
 
+  // Folds a node incarnation's obs counters into the run-cumulative totals.
+  // Called right before a crash destroys the incarnation (its registry
+  // counters stay put, but the rebooted node gets a fresh instance prefix)
+  // and once per surviving node at finalize.
   void harvest_node_stats(const NodeSlot& slot) {
     if (slot.node) {
-      report_.read_repairs += slot.node->stats().read_repairs;
+      BlockStoreStats s = slot.node->stats();
+      report_.read_repairs += s.read_repairs;
+      report_.replicas_pushed += s.replicas_pushed;
+      report_.replicas_applied += s.replicas_applied;
+      report_.corrupt_reads += s.corrupt_reads;
     }
+  }
+
+  // Run-cumulative counter totals at this instant: everything harvested from
+  // dead incarnations plus the live nodes' current values.
+  BlockStoreStats cumulative_stats() const {
+    BlockStoreStats total;
+    total.replicas_pushed = report_.replicas_pushed;
+    total.replicas_applied = report_.replicas_applied;
+    total.corrupt_reads = report_.corrupt_reads;
+    total.read_repairs = report_.read_repairs;
+    for (const auto& slot : slots_) {
+      if (slot.node) {
+        BlockStoreStats s = slot.node->stats();
+        total.replicas_pushed += s.replicas_pushed;
+        total.replicas_applied += s.replicas_applied;
+        total.corrupt_reads += s.corrupt_reads;
+        total.read_repairs += s.read_repairs;
+      }
+    }
+    return total;
   }
 
   void finalize_report() {

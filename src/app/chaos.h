@@ -27,7 +27,14 @@
 //      *successful* put, the acked bytes are present on at least one node
 //      (keys touched by failed/timed-out ops become "uncertain" — any
 //      historical value or absence is acceptable, but never garbage);
-//   3. detectability: reads never return bytes that fail the block CRC.
+//   3. detectability: reads never return bytes that fail the block CRC;
+//   4. obs coherence: the nodes' obs counters stay mutually consistent across
+//      crashes — replicas applied never exceed replicas pushed (the fabric
+//      never duplicates), and read repairs never exceed corrupt reads.
+//
+// The global span tracer runs armed for the whole schedule, timestamped by
+// the client kernel's virtual clock, so the span trace replays
+// bit-identically from the seed along with everything else.
 #ifndef VNROS_SRC_APP_CHAOS_H_
 #define VNROS_SRC_APP_CHAOS_H_
 
@@ -76,6 +83,12 @@ struct ChaosReport {
   u64 faults_armed = 0;
   u64 fault_fires = 0;  // FaultRegistry fires attributable to this run
   u64 read_repairs = 0;
+  // Cumulative across node reboots (obs counters are per-instance, so the
+  // runner accumulates each incarnation's totals at crash/finalize time).
+  u64 replicas_pushed = 0;
+  u64 replicas_applied = 0;
+  u64 corrupt_reads = 0;
+  u64 spans_recorded = 0;  // span tracer events committed during the run
   u64 client_failovers = 0;
   u64 client_retries = 0;
   u64 checks = 0;       // invariant checkpoints passed

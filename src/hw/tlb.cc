@@ -70,7 +70,12 @@ void CoreTlb::flush_all() {
   ++stats_.flushes;
 }
 
-TlbSystem::TlbSystem(const Topology& topo, usize capacity_per_core) {
+TlbSystem::TlbSystem(const Topology& topo, usize capacity_per_core)
+    : obs_prefix_(ObsRegistry::global().instance_prefix("tlb")),
+      c_shootdowns_(ObsRegistry::global().counter(obs_prefix_ + "shootdowns")),
+      c_ipis_(ObsRegistry::global().counter(obs_prefix_ + "ipis")),
+      c_batched_pages_(ObsRegistry::global().counter(obs_prefix_ + "batched_pages")),
+      c_full_flushes_(ObsRegistry::global().counter(obs_prefix_ + "full_flushes")) {
   for (u32 i = 0; i < topo.num_cores(); ++i) {
     tlbs_.emplace_back(capacity_per_core);
   }
@@ -119,11 +124,8 @@ void TlbSystem::charge_ipi() const {
 }
 
 void TlbSystem::shootdown(CoreId initiator, VAddr page) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++shootdown_stats_.shootdowns;
-    shootdown_stats_.ipis += tlbs_.size() > 0 ? tlbs_.size() - 1 : 0;
-  }
+  c_shootdowns_.inc();
+  c_ipis_.add(tlbs_.size() > 0 ? tlbs_.size() - 1 : 0);
   for (usize i = 0; i < tlbs_.size(); ++i) {
     tlbs_[i].invalidate_page(page);
     if (i != initiator && ipi_cost_cycles_ > 0) {
@@ -137,14 +139,11 @@ void TlbSystem::shootdown_batch(CoreId initiator, std::span<const VAddr> pages) 
     return;
   }
   const bool promote = pages.size() >= batch_flush_threshold_;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++shootdown_stats_.shootdowns;
-    shootdown_stats_.ipis += tlbs_.size() > 0 ? tlbs_.size() - 1 : 0;
-    shootdown_stats_.batched_pages += pages.size();
-    if (promote) {
-      ++shootdown_stats_.full_flushes;
-    }
+  c_shootdowns_.inc();
+  c_ipis_.add(tlbs_.size() > 0 ? tlbs_.size() - 1 : 0);
+  c_batched_pages_.add(pages.size());
+  if (promote) {
+    c_full_flushes_.inc();
   }
   for (usize i = 0; i < tlbs_.size(); ++i) {
     if (promote) {
@@ -167,13 +166,10 @@ void TlbSystem::shootdown_range(CoreId initiator, VAddr base, u64 num_pages) {
   if (num_pages >= batch_flush_threshold_) {
     // Delegate through the batch path with an empty-list-free promotion:
     // build no list, flush every core in one round.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++shootdown_stats_.shootdowns;
-      shootdown_stats_.ipis += tlbs_.size() > 0 ? tlbs_.size() - 1 : 0;
-      shootdown_stats_.batched_pages += num_pages;
-      ++shootdown_stats_.full_flushes;
-    }
+    c_shootdowns_.inc();
+    c_ipis_.add(tlbs_.size() > 0 ? tlbs_.size() - 1 : 0);
+    c_batched_pages_.add(num_pages);
+    c_full_flushes_.inc();
     for (usize i = 0; i < tlbs_.size(); ++i) {
       tlbs_[i].flush_all();
       if (i != initiator && ipi_cost_cycles_ > 0) {

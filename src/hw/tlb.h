@@ -14,11 +14,13 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 
 #include "src/base/types.h"
 #include "src/hw/mmu.h"
 #include "src/hw/topology.h"
+#include "src/obs/registry.h"
 
 namespace vnros {
 
@@ -62,7 +64,8 @@ class CoreTlb {
   std::mutex mu_;  // serializes owner accesses with remote shootdowns
 };
 
-// All cores' TLBs plus the shootdown protocol.
+// All cores' TLBs plus the shootdown protocol. Snapshot of the per-core obs
+// counters (see shootdown_stats()).
 struct ShootdownStats {
   u64 shootdowns = 0;     // shootdown operations initiated (single or batch)
   u64 ipis = 0;           // per-target-core interrupts delivered
@@ -102,7 +105,12 @@ class TlbSystem {
   // Full flush on all cores (e.g. address-space teardown).
   void flush_all();
 
-  const ShootdownStats& shootdown_stats() const { return shootdown_stats_; }
+  // Thin view over the obs counters ("tlb<N>/..."): race-free merged reads,
+  // no lock shared with the shootdown path.
+  ShootdownStats shootdown_stats() const {
+    return ShootdownStats{c_shootdowns_.value(), c_ipis_.value(), c_batched_pages_.value(),
+                          c_full_flushes_.value()};
+  }
 
   // Optional cost model: busy-work cycles charged per remote IPI, so
   // benchmarks can show the shootdown component of unmap latency
@@ -121,8 +129,11 @@ class TlbSystem {
 
   // deque: CoreTlb holds a mutex and is immovable.
   std::deque<CoreTlb> tlbs_;
-  ShootdownStats shootdown_stats_;
-  std::mutex stats_mu_;
+  const std::string obs_prefix_;
+  Counter& c_shootdowns_;
+  Counter& c_ipis_;
+  Counter& c_batched_pages_;
+  Counter& c_full_flushes_;
   u64 ipi_cost_cycles_ = 0;
   usize batch_flush_threshold_ = 64;
 };

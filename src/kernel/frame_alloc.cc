@@ -5,7 +5,12 @@
 namespace vnros {
 
 FrameAllocator::FrameAllocator(PhysMem& mem, const Topology& topo, u64 reserved_low)
-    : mem_(mem) {
+    : mem_(mem),
+      obs_prefix_(ObsRegistry::global().instance_prefix("frames")),
+      c_allocations_(ObsRegistry::global().counter(obs_prefix_ + "allocations")),
+      c_frees_(ObsRegistry::global().counter(obs_prefix_ + "frees")),
+      c_remote_fallbacks_(ObsRegistry::global().counter(obs_prefix_ + "remote_fallbacks")),
+      c_injected_oom_(ObsRegistry::global().counter(obs_prefix_ + "injected_oom")) {
   const u64 first = reserved_low;
   const u64 managed = mem.num_frames() > first ? mem.num_frames() - first : 0;
   total_frames_ = managed;
@@ -27,16 +32,16 @@ Result<PAddr> FrameAllocator::alloc_on_node(NodeId preferred) {
   std::lock_guard<std::mutex> lock(mu_);
   VNROS_CHECK(preferred < pools_.size());
   if (oom_site_->fire()) {
-    ++stats_.injected_oom;
+    c_injected_oom_.inc();
     return ErrorCode::kNoMemory;
   }
   for (usize attempt = 0; attempt < pools_.size(); ++attempt) {
     usize idx = (preferred + attempt) % pools_.size();
     auto r = alloc_from_pool(pools_[idx]);
     if (r.ok()) {
-      ++stats_.allocations;
+      c_allocations_.inc();
       if (attempt != 0) {
-        ++stats_.remote_fallbacks;
+        c_remote_fallbacks_.inc();
       }
       mem_.zero_frame(r.value());
       return r;
@@ -91,7 +96,7 @@ void FrameAllocator::free(PAddr frame) {
       pool.bitmap[rel / 64] &= ~bit;
       pool.freelist.push_back(fn);
       ++pool.free_count;
-      ++stats_.frees;
+      c_frees_.inc();
       return;
     }
   }
@@ -117,11 +122,6 @@ bool FrameAllocator::is_allocated(PAddr frame) const {
     }
   }
   return false;
-}
-
-FrameAllocStats FrameAllocator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
 }
 
 }  // namespace vnros

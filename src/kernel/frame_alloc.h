@@ -14,17 +14,20 @@
 #define VNROS_SRC_KERNEL_FRAME_ALLOC_H_
 
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/base/fault.h"
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/hw/phys_mem.h"
+#include "src/obs/registry.h"
 #include "src/hw/topology.h"
 #include "src/pt/frame_source.h"
 
 namespace vnros {
 
+// Snapshot of the allocator's obs counters (see stats()).
 struct FrameAllocStats {
   u64 allocations = 0;
   u64 frees = 0;
@@ -51,7 +54,12 @@ class FrameAllocator final : public FrameSource {
   u64 total_frames() const { return total_frames_; }
   bool is_allocated(PAddr frame) const;
 
-  FrameAllocStats stats() const;
+  // Thin view over the obs counters ("frames<N>/..."): race-free merged
+  // reads, no lock shared with the allocation path.
+  FrameAllocStats stats() const {
+    return FrameAllocStats{c_allocations_.value(), c_frees_.value(),
+                           c_remote_fallbacks_.value(), c_injected_oom_.value()};
+  }
 
   // A FrameSource view that prefers a fixed node (handed to per-replica page
   // tables so their directory frames are node-local).
@@ -82,7 +90,11 @@ class FrameAllocator final : public FrameSource {
   u64 total_frames_;
   mutable std::mutex mu_;
   std::vector<Pool> pools_;
-  FrameAllocStats stats_;
+  const std::string obs_prefix_;
+  Counter& c_allocations_;
+  Counter& c_frees_;
+  Counter& c_remote_fallbacks_;
+  Counter& c_injected_oom_;
   // Schedulable OOM: the "frame_alloc/oom" site makes alloc fail with
   // kNoMemory exactly where the spec already allows it (empty-set case).
   FaultSite* oom_site_ = &FaultRegistry::global().site("frame_alloc/oom");

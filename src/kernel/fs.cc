@@ -45,6 +45,15 @@ bool valid_name(std::string_view name) {
 MemFs::MemFs() : MemFs(nullptr) {}
 
 MemFs::MemFs(BlockDevice* dev) : dev_(dev) {
+  ObsRegistry& reg = ObsRegistry::global();
+  const std::string prefix = reg.instance_prefix("fs");
+  c_journal_records_ = &reg.counter(prefix + "journal_records");
+  c_journal_bytes_ = &reg.counter(prefix + "journal_bytes");
+  c_checkpoints_ = &reg.counter(prefix + "checkpoints");
+  c_fsyncs_ = &reg.counter(prefix + "fsyncs");
+  h_journal_record_bytes_ = &reg.histogram(prefix + "journal_record_bytes");
+  span_journal_commit_ = reg.tracer().intern_site("fs/journal_commit");
+  span_fsync_ = reg.tracer().intern_site("fs/fsync");
   inodes_[kRootIno] = Inode{.is_dir = true, .data = {}, .entries = {}};
 }
 
@@ -383,7 +392,7 @@ Result<Unit> MemFs::checkpoint_locked() {
   dev_->flush();  // superblock switch is the commit point
 
   journal_head_ = journal_start_sector();
-  ++stats_.checkpoints;
+  c_checkpoints_->inc();
   return Unit{};
 }
 
@@ -391,6 +400,7 @@ Result<Unit> MemFs::journal_append(std::span<const u8> payload) {
   if (dev_ == nullptr) {
     return Unit{};  // in-memory mode
   }
+  SpanScope span(ObsRegistry::global().tracer(), span_journal_commit_);
   u64 total = kRecHeaderBytes + payload.size();
   u64 need = sectors_for(total);
   if (journal_head_ + need > dev_->num_sectors()) {
@@ -418,8 +428,9 @@ Result<Unit> MemFs::journal_append(std::span<const u8> payload) {
     }
   }
   journal_head_ += need;
-  ++stats_.journal_records;
-  stats_.journal_bytes += total;
+  c_journal_records_->inc();
+  c_journal_bytes_->add(total);
+  h_journal_record_bytes_->record(total);
   return Unit{};
 }
 
@@ -586,8 +597,21 @@ Result<Unit> MemFs::do_rename(std::string_view from, std::string_view to) {
   }
   u64 moving = it->second;
   Inode& dst_dir = inodes_.at(dst_ino);
-  if (dst_dir.entries.count(dst_name) != 0) {
-    return ErrorCode::kAlreadyExists;
+  auto existing = dst_dir.entries.find(dst_name);
+  if (existing != dst_dir.entries.end()) {
+    // POSIX replace semantics for files: rename atomically unlinks the old
+    // destination file (this is what makes write-temp-then-rename a crash-safe
+    // publish). Directories are never replaced.
+    if (inodes_.at(existing->second).is_dir) {
+      return ErrorCode::kIsDirectory;
+    }
+    if (inodes_.at(moving).is_dir) {
+      return ErrorCode::kNotDirectory;
+    }
+    // Renaming a path onto itself is a no-op, not a self-unlink.
+    if (existing->second == moving) {
+      return Unit{};
+    }
   }
   // Moving a directory under itself would orphan the subtree.
   if (inodes_.at(moving).is_dir) {
@@ -595,6 +619,10 @@ Result<Unit> MemFs::do_rename(std::string_view from, std::string_view to) {
     if (std::string(to).rfind(from_prefix, 0) == 0) {
       return ErrorCode::kInvalidArgument;
     }
+  }
+  if (existing != dst_dir.entries.end()) {
+    inodes_.erase(existing->second);
+    dst_dir.entries.erase(existing);
   }
   src_dir.entries.erase(it);
   inodes_.at(dst_ino).entries[dst_name] = moving;
@@ -720,6 +748,17 @@ Result<Unit> MemFs::unlink(std::string_view path) {
 
 Result<Unit> MemFs::rename(std::string_view from, std::string_view to) {
   std::lock_guard<std::mutex> lock(*mu_);
+  // If this rename will replace an existing destination file, capture its
+  // bytes so a failed journal append can roll the replacement back too.
+  bool replaced = false;
+  std::vector<u8> old_dest;
+  auto from_ino = lookup(from);
+  auto to_ino = lookup(to);
+  if (from_ino.ok() && to_ino.ok() && from_ino.value() != to_ino.value() &&
+      !inodes_.at(to_ino.value()).is_dir) {
+    replaced = true;
+    old_dest = inodes_.at(to_ino.value()).data;
+  }
   auto r = do_rename(from, to);
   if (!r.ok()) {
     return r;
@@ -731,6 +770,10 @@ Result<Unit> MemFs::rename(std::string_view from, std::string_view to) {
   auto j = journal_append(w.bytes());
   if (!j.ok()) {
     VNROS_CHECK(do_rename(to, from).ok());
+    if (replaced) {
+      VNROS_CHECK(do_create(to).ok());
+      set_file_data_locked(to, std::move(old_dest));
+    }
     return j;
   }
   return j;
@@ -785,7 +828,8 @@ Result<Unit> MemFs::truncate(std::string_view path, u64 new_size) {
 
 Result<Unit> MemFs::fsync() {
   std::lock_guard<std::mutex> lock(*mu_);
-  ++stats_.fsyncs;
+  SpanScope span(ObsRegistry::global().tracer(), span_fsync_);
+  c_fsyncs_->inc();
   if (dev_ != nullptr) {
     dev_->flush();
   }
@@ -866,11 +910,6 @@ FsAbsState MemFs::view() const {
     }
   }
   return state;
-}
-
-FsStats MemFs::stats() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  return stats_;
 }
 
 }  // namespace vnros

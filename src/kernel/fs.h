@@ -36,6 +36,7 @@
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/hw/block_device.h"
+#include "src/obs/registry.h"
 
 namespace vnros {
 
@@ -55,6 +56,7 @@ struct FsAbsState {
   bool operator==(const FsAbsState&) const = default;
 };
 
+// Snapshot of the filesystem's obs counters (see stats()).
 struct FsStats {
   u64 journal_records = 0;
   u64 journal_bytes = 0;
@@ -82,6 +84,11 @@ class MemFs {
   Result<Unit> rmdir(std::string_view path);            // must be empty
   Result<Unit> create(std::string_view path);           // empty regular file
   Result<Unit> unlink(std::string_view path);           // remove regular file
+  // POSIX replace semantics: an existing destination *file* is atomically
+  // replaced (old bytes unreachable from the instant the rename commits),
+  // which is what makes write-temp-then-rename a crash-safe publish. A
+  // directory destination is rejected with kIsDirectory; a directory source
+  // never replaces a file (kNotDirectory).
   Result<Unit> rename(std::string_view from, std::string_view to);
   Result<std::vector<std::string>> readdir(std::string_view path) const;
   Result<FileStat> stat(std::string_view path) const;
@@ -102,7 +109,12 @@ class MemFs {
 
   // --- Introspection ----------------------------------------------------------
   FsAbsState view() const;
-  FsStats stats() const;
+
+  // Thin view over the obs counters ("fs<N>/..."): race-free merged reads.
+  FsStats stats() const {
+    return FsStats{c_journal_records_->value(), c_journal_bytes_->value(),
+                   c_checkpoints_->value(), c_fsyncs_->value()};
+  }
   bool has_device() const { return dev_ != nullptr; }
   u64 journal_head_sector() const { return journal_head_; }
 
@@ -157,7 +169,15 @@ class MemFs {
   bool ckpt_valid_ = false;
   u64 ckpt_sectors_ = 0;
   u64 journal_head_ = 0;  // absolute sector of the next record
-  FsStats stats_;
+  // Metrics ("fs<N>/..."). Pointers (registry-owned, process lifetime) so
+  // MemFs stays movable; journal commits and fsyncs are also traced as spans.
+  Counter* c_journal_records_ = nullptr;
+  Counter* c_journal_bytes_ = nullptr;
+  Counter* c_checkpoints_ = nullptr;
+  Counter* c_fsyncs_ = nullptr;
+  Histogram* h_journal_record_bytes_ = nullptr;
+  u32 span_journal_commit_ = 0;
+  u32 span_fsync_ = 0;
 };
 
 }  // namespace vnros

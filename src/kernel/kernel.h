@@ -10,8 +10,13 @@
 #define VNROS_SRC_KERNEL_KERNEL_H_
 
 #include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "src/base/contracts.h"
+#include "src/base/result.h"
 #include "src/hw/block_device.h"
 #include "src/hw/interrupts.h"
 #include "src/hw/mmu.h"
@@ -100,6 +105,34 @@ class Kernel {
 
   NetAddr net_addr() const { return nic_.addr(); }
 
+  // --- kstat: the kernel's contract counter surface ---------------------------
+  // The stable names an application may query through the kstat syscall
+  // (Sys::kstat). Each name reads a per-core obs counter of *this* kernel
+  // instance via the subsystem's thin-view accessor; the names — not registry
+  // internals — are the ABI, so the table below is the whole contract.
+  struct KstatEntry {
+    const char* name;
+    u64 (*read)(const Kernel&);
+  };
+  static std::span<const KstatEntry> kstat_table();
+
+  Result<u64> kstat(std::string_view name) const {
+    for (const KstatEntry& e : kstat_table()) {
+      if (name == e.name) {
+        return e.read(*this);
+      }
+    }
+    return ErrorCode::kNotFound;
+  }
+
+  std::vector<std::string> kstat_names() const {
+    std::vector<std::string> out;
+    for (const KstatEntry& e : kstat_table()) {
+      out.emplace_back(e.name);
+    }
+    return out;
+  }
+
  private:
   Topology topo_;
   PhysMem mem_;
@@ -124,6 +157,33 @@ class Kernel {
   UdpStack udp_;
   RtpStack rtp_;
 };
+
+inline std::span<const Kernel::KstatEntry> Kernel::kstat_table() {
+  static const KstatEntry table[] = {
+      {"fs/journal_records", [](const Kernel& k) { return k.fs_.stats().journal_records; }},
+      {"fs/journal_bytes", [](const Kernel& k) { return k.fs_.stats().journal_bytes; }},
+      {"fs/checkpoints", [](const Kernel& k) { return k.fs_.stats().checkpoints; }},
+      {"fs/fsyncs", [](const Kernel& k) { return k.fs_.stats().fsyncs; }},
+      {"rtp/segments_tx", [](const Kernel& k) { return k.rtp_.stats().segments_tx; }},
+      {"rtp/segments_rx", [](const Kernel& k) { return k.rtp_.stats().segments_rx; }},
+      {"rtp/retransmits", [](const Kernel& k) { return k.rtp_.stats().retransmits; }},
+      {"rtp/out_of_order_dropped",
+       [](const Kernel& k) { return k.rtp_.stats().out_of_order_dropped; }},
+      {"rtp/duplicate_data", [](const Kernel& k) { return k.rtp_.stats().duplicate_data; }},
+      {"tlb/shootdowns", [](const Kernel& k) { return k.tlbs_.shootdown_stats().shootdowns; }},
+      {"tlb/ipis", [](const Kernel& k) { return k.tlbs_.shootdown_stats().ipis; }},
+      {"tlb/batched_pages",
+       [](const Kernel& k) { return k.tlbs_.shootdown_stats().batched_pages; }},
+      {"tlb/full_flushes",
+       [](const Kernel& k) { return k.tlbs_.shootdown_stats().full_flushes; }},
+      {"frames/allocations", [](const Kernel& k) { return k.frames_.stats().allocations; }},
+      {"frames/frees", [](const Kernel& k) { return k.frames_.stats().frees; }},
+      {"frames/remote_fallbacks",
+       [](const Kernel& k) { return k.frames_.stats().remote_fallbacks; }},
+      {"frames/injected_oom", [](const Kernel& k) { return k.frames_.stats().injected_oom; }},
+  };
+  return table;
+}
 
 }  // namespace vnros
 

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -583,6 +584,50 @@ struct FsModel {
     it->second.resize(size, 0);
     return ErrorCode::kOk;
   }
+  // POSIX-style rename: a file destination is atomically replaced; a
+  // directory destination is never replaced. Mirrors MemFs::do_rename's check
+  // order so error codes agree step-by-step.
+  ErrorCode rename(const std::string& from, const std::string& to) {
+    if (!parent_ok(s, from)) return ErrorCode::kNotFound;
+    bool from_is_dir = s.dirs.count(from) != 0;
+    if (!from_is_dir && s.files.count(from) == 0) return ErrorCode::kNotFound;
+    if (!parent_ok(s, to)) return ErrorCode::kNotFound;
+    if (exists(s, to)) {
+      if (s.dirs.count(to) != 0) return ErrorCode::kIsDirectory;
+      if (from_is_dir) return ErrorCode::kNotDirectory;
+      if (from == to) return ErrorCode::kOk;
+    }
+    if (from_is_dir && to.rfind(from + "/", 0) == 0) return ErrorCode::kInvalidArgument;
+    if (!from_is_dir) {
+      auto node = std::move(s.files[from]);
+      s.files.erase(from);
+      s.files[to] = std::move(node);  // replaces any existing destination file
+      return ErrorCode::kOk;
+    }
+    // Directory: move the dir and rewrite every path under it.
+    std::string prefix = from + "/";
+    std::set<std::string> dirs;
+    std::map<std::string, std::vector<u8>> files;
+    for (const auto& d : s.dirs) {
+      if (d == from) {
+        dirs.insert(to);
+      } else if (d.rfind(prefix, 0) == 0) {
+        dirs.insert(to + "/" + d.substr(prefix.size()));
+      } else {
+        dirs.insert(d);
+      }
+    }
+    for (auto& [f, bytes] : s.files) {
+      if (f.rfind(prefix, 0) == 0) {
+        files[to + "/" + f.substr(prefix.size())] = std::move(bytes);
+      } else {
+        files[f] = std::move(bytes);
+      }
+    }
+    s.dirs = std::move(dirs);
+    s.files = std::move(files);
+    return ErrorCode::kOk;
+  }
 };
 
 // Random path pool: small so collisions are common.
@@ -600,7 +645,7 @@ std::string pick_dir(Rng& rng) {
 // Applies one random op to both fs and model, comparing results.
 // Returns empty string on agreement, a diagnostic otherwise.
 std::string fs_step(MemFs& fs, FsModel& model, Rng& rng) {
-  switch (rng.next_below(7)) {
+  switch (rng.next_below(8)) {
     case 0: {
       std::string p = pick_dir(rng);
       ErrorCode a = fs.mkdir(p).error();
@@ -670,6 +715,27 @@ std::string fs_step(MemFs& fs, FsModel& model, Rng& rng) {
       }
       break;
     }
+    case 7: {
+      // File renames (incl. replace-onto-existing, since the small path pool
+      // collides often) plus occasional directory renames. pick_path and
+      // pick_dir pools are disjoint, so files stay files and dirs stay dirs —
+      // the model's parent_ok can't express a file used as a directory.
+      std::string from;
+      std::string to;
+      if (rng.chance(1, 4)) {
+        from = pick_dir(rng);
+        to = pick_dir(rng);
+      } else {
+        from = pick_path(rng);
+        to = pick_path(rng);
+      }
+      ErrorCode a = fs.rename(from, to).error();
+      ErrorCode b = model.rename(from, to);
+      if (a != b) {
+        return "rename(" + from + ", " + to + "): " + error_name(a) + " vs " + error_name(b);
+      }
+      break;
+    }
     default:
       break;
   }
@@ -688,6 +754,61 @@ VcOutcome vc_fs_model_equivalence(u64 seed, usize steps) {
     if (fs.view() != model.s) {
       return VcOutcome::fail("abstract state diverged at step " + std::to_string(i));
     }
+  }
+  return VcOutcome::pass();
+}
+
+// Directed check of the rename replace semantics (POSIX): a file destination
+// is atomically replaced (its old inode is gone, the source bytes are served
+// under the new name), a directory destination is rejected, and the replace
+// survives recovery (journal replay runs the same do_rename).
+VcOutcome vc_fs_rename_replace() {
+  BlockDevice dev(8192);
+  auto fsr = MemFs::format(dev);
+  if (!fsr.ok()) {
+    return VcOutcome::fail("format failed");
+  }
+  MemFs fs = std::move(fsr.value());
+  std::vector<u8> a_bytes{1, 2, 3, 4};
+  std::vector<u8> b_bytes{9, 9};
+  if (!fs.mkdir("/d").ok() || !fs.create("/d/a").ok() || !fs.create("/d/b").ok() ||
+      !fs.write("/d/a", 0, a_bytes).ok() || !fs.write("/d/b", 0, b_bytes).ok()) {
+    return VcOutcome::fail("setup failed");
+  }
+  // File onto existing file: replaces.
+  if (fs.rename("/d/a", "/d/b").error() != ErrorCode::kOk) {
+    return VcOutcome::fail("rename onto existing file refused");
+  }
+  FsAbsState v = fs.view();
+  if (v.files.count("/d/a") != 0) {
+    return VcOutcome::fail("source path survived the rename");
+  }
+  auto it = v.files.find("/d/b");
+  if (it == v.files.end() || it->second != a_bytes) {
+    return VcOutcome::fail("destination does not carry the source bytes");
+  }
+  // Self-rename is a no-op, not a self-unlink.
+  if (fs.rename("/d/b", "/d/b").error() != ErrorCode::kOk || fs.view() != v) {
+    return VcOutcome::fail("self-rename not a no-op");
+  }
+  // Directory destinations are never replaced; a directory never replaces a file.
+  if (!fs.mkdir("/e").ok() || !fs.create("/f").ok()) {
+    return VcOutcome::fail("setup 2 failed");
+  }
+  if (fs.rename("/d/b", "/e").error() != ErrorCode::kIsDirectory) {
+    return VcOutcome::fail("file onto directory not rejected with kIsDirectory");
+  }
+  if (fs.rename("/e", "/f").error() != ErrorCode::kNotDirectory) {
+    return VcOutcome::fail("directory onto file not rejected with kNotDirectory");
+  }
+  // The replace persists: recovery replays the same journaled rename.
+  if (!fs.fsync().ok()) {
+    return VcOutcome::fail("fsync failed");
+  }
+  FsAbsState before = fs.view();
+  auto rec = MemFs::recover(dev);
+  if (!rec.ok() || rec.value().view() != before) {
+    return VcOutcome::fail("rename replace did not survive recovery");
   }
   return VcOutcome::pass();
 }
@@ -1050,6 +1171,70 @@ VcOutcome vc_sys_open_flag_matrix() {
   auto again = sys.open("/f", kOpenCreate);
   if (sys.fstat(again.value()).value().size != 10) {
     return VcOutcome::fail("create-on-existing clobbered the file");
+  }
+  return VcOutcome::pass();
+}
+
+// kstat refinement: the counter an application reads through the kstat
+// syscall refines the kernel's own thin-view stats. For every published name,
+// a value read through Sys between two kernel-side reads is bounded by them;
+// reads are monotone in program order; unknown names report kNotFound rather
+// than a value. This VC lives with the kernel VCs (obs cannot depend on the
+// kernel) but belongs to the obs/* suite by name.
+VcOutcome vc_obs_kstat_refinement() {
+  Kernel kernel;
+  SyscallDispatcher disp(kernel);
+  Sys boot(disp, kInvalidPid, 0);
+  auto pid = boot.spawn();
+  Sys sys(disp, pid.value(), 0);
+
+  // Generate activity that moves fs/frames counters.
+  (void)sys.mkdir("/k");
+  for (int i = 0; i < 8; ++i) {
+    auto fd = sys.open("/k/f" + std::to_string(i), kOpenCreate);
+    if (fd.ok()) {
+      std::vector<u8> data(32, static_cast<u8>(i));
+      (void)sys.write(fd.value(), data);
+      (void)sys.close(fd.value());
+    }
+    (void)sys.fsync();
+  }
+
+  auto names = sys.kstat_list();
+  if (!names.ok() || names.value().empty()) {
+    return VcOutcome::fail("kstat_list failed or empty");
+  }
+  std::map<std::string, u64> first_read;
+  for (const auto& name : names.value()) {
+    auto pre = kernel.kstat(name);
+    auto via_sys = sys.kstat(name);
+    auto post = kernel.kstat(name);
+    if (!pre.ok() || !via_sys.ok() || !post.ok()) {
+      return VcOutcome::fail("published name not readable: " + name);
+    }
+    if (via_sys.value() < pre.value() || via_sys.value() > post.value()) {
+      return VcOutcome::fail("kstat(" + name + ") outside kernel-side bounds");
+    }
+    first_read[name] = via_sys.value();
+  }
+  // More activity, then re-read: counters are monotone in program order.
+  (void)sys.fsync();
+  for (const auto& name : names.value()) {
+    auto again = sys.kstat(name);
+    if (!again.ok() || again.value() < first_read[name]) {
+      return VcOutcome::fail("kstat(" + name + ") went backwards");
+    }
+  }
+  if constexpr (kMetricsEnabled) {
+    auto pre = sys.kstat("fs/fsyncs");
+    (void)sys.fsync();
+    auto post = sys.kstat("fs/fsyncs");
+    if (!pre.ok() || !post.ok() || post.value() < pre.value() + 1) {
+      return VcOutcome::fail("fs/fsyncs did not count an fsync");
+    }
+  }
+  if (sys.kstat("no/such_counter").error() != ErrorCode::kNotFound) {
+    return VcOutcome::fail("unknown kstat name did not report kNotFound");
   }
   return VcOutcome::pass();
 }
@@ -1684,6 +1869,8 @@ void register_kernel_vcs(VcRegistry& reg) {
   }
   reg.add("kernel/fs_checkpoint_compaction", VcCategory::kFilesystem,
           [] { return vc_fs_checkpoint_compaction(); });
+  reg.add("kernel/fs_rename_replace", VcCategory::kFilesystem,
+          [] { return vc_fs_rename_replace(); });
 
   for (u64 seed = 1; seed <= 2; ++seed) {
     reg.add("kernel/sys_read_contract_seed" + std::to_string(seed), VcCategory::kRefinement,
@@ -1702,6 +1889,8 @@ void register_kernel_vcs(VcRegistry& reg) {
           [] { return vc_sys_fd_not_recycled(); });
   reg.add("kernel/sys_open_flag_matrix", VcCategory::kFilesystem,
           [] { return vc_sys_open_flag_matrix(); });
+  reg.add("obs/kstat_refinement", VcCategory::kRefinement,
+          [] { return vc_obs_kstat_refinement(); });
 
   reg.add("kernel/futex_value_check", VcCategory::kThreadsSync,
           [] { return vc_futex_value_check(); });

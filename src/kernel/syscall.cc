@@ -191,6 +191,8 @@ std::vector<u8> SyscallDispatcher::handle(Pid pid, CoreId core, std::span<const 
       case SysNr::kRtpRecv: err = do_rtp_recv(pid, args, payload); break;
       case SysNr::kRtpClose: err = do_rtp_close(pid, args, payload); break;
       case SysNr::kConsoleWrite: err = do_console_write(pid, args, payload); break;
+      case SysNr::kKstat: err = do_kstat(pid, args, payload); break;
+      case SysNr::kKstatList: err = do_kstat_list(pid, args, payload); break;
       default:
         err = ErrorCode::kUnsupported;
         break;
@@ -907,6 +909,31 @@ ErrorCode SyscallDispatcher::do_console_write(Pid, Reader& args, Writer&) {
   return ErrorCode::kOk;
 }
 
+ErrorCode SyscallDispatcher::do_kstat(Pid, Reader& args, Writer& reply) {
+  auto name = args.get_string();
+  if (!name || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto value = kernel_.kstat(*name);
+  if (!value.ok()) {
+    return value.error();
+  }
+  reply.put_u64(value.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_kstat_list(Pid, Reader& args, Writer& reply) {
+  if (!args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto names = kernel_.kstat_names();
+  reply.put_u32(static_cast<u32>(names.size()));
+  for (const auto& n : names) {
+    reply.put_string(n);
+  }
+  return ErrorCode::kOk;
+}
+
 // --- User-side facade ------------------------------------------------------------------
 
 Result<std::vector<u8>> Sys::invoke(Writer& frame) {
@@ -1402,6 +1429,46 @@ Result<Unit> Sys::console_write(std::string_view text) {
   w.put_string(text);
   auto reply = invoke(w);
   return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
+}
+
+Result<u64> Sys::kstat(std::string_view name) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kKstat));
+  w.put_string(name);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto value = r.get_u64();
+  if (!value) {
+    return ErrorCode::kCorrupted;
+  }
+  return *value;
+}
+
+Result<std::vector<std::string>> Sys::kstat_list() {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kKstatList));
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto count = r.get_u32();
+  if (!count) {
+    return ErrorCode::kCorrupted;
+  }
+  std::vector<std::string> names;
+  names.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto name = r.get_string();
+    if (!name) {
+      return ErrorCode::kCorrupted;
+    }
+    names.push_back(std::move(*name));
+  }
+  return names;
 }
 
 }  // namespace vnros

@@ -80,6 +80,9 @@ enum class SysNr : u32 {
   kRtpClose = 75,
   // Console.
   kConsoleWrite = 80,
+  // Introspection: the kernel's contract counters (read-only).
+  kKstat = 90,
+  kKstatList = 91,
 };
 
 inline constexpr u32 kOpenCreate = 1u << 0;   // create if missing
@@ -166,6 +169,8 @@ class SyscallDispatcher {
   ErrorCode do_rtp_recv(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_rtp_close(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_console_write(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_kstat(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_kstat_list(Pid pid, Reader& args, Writer& reply);
 
   Kernel& kernel_;
   // Transient-error injection at the contract boundary: "syscall/io_error"
@@ -245,6 +250,15 @@ class Sys {
 
   // --- Console ---------------------------------------------------------------------
   Result<Unit> console_write(std::string_view text);
+
+  // --- Introspection ----------------------------------------------------------------
+  // Reads one of the kernel's contract counters by stable name (e.g.
+  // "fs/fsyncs"); kNotFound for names outside the published table. The value
+  // is monotone in program order: a kstat read is never less than an earlier
+  // read of the same name (obs/kstat_refinement VC).
+  Result<u64> kstat(std::string_view name);
+  // Enumerates every published counter name.
+  Result<std::vector<std::string>> kstat_list();
 
  private:
   // Sends a frame, returns the reply reader payload (after the error word).

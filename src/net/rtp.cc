@@ -32,7 +32,17 @@ std::optional<RtpHeader> RtpHeader::decode(Reader& r) {
   return RtpHeader{*src, *dst, static_cast<RtpType>(*type), *seq, *ack, *csum};
 }
 
-RtpStack::RtpStack(IpStack& ip, VirtualClock& clock) : ip_(ip), clock_(clock) {
+RtpStack::RtpStack(IpStack& ip, VirtualClock& clock)
+    : ip_(ip),
+      clock_(clock),
+      obs_prefix_(ObsRegistry::global().instance_prefix("rtp")),
+      c_segments_tx_(ObsRegistry::global().counter(obs_prefix_ + "segments_tx")),
+      c_segments_rx_(ObsRegistry::global().counter(obs_prefix_ + "segments_rx")),
+      c_retransmits_(ObsRegistry::global().counter(obs_prefix_ + "retransmits")),
+      c_out_of_order_dropped_(
+          ObsRegistry::global().counter(obs_prefix_ + "out_of_order_dropped")),
+      c_duplicate_data_(ObsRegistry::global().counter(obs_prefix_ + "duplicate_data")),
+      span_retransmit_(ObsRegistry::global().tracer().intern_site("rtp/retransmit")) {
   ip_.register_proto(IpProto::kRtp, [this](const IpHeader& hdr, std::span<const u8> payload) {
     on_segment(hdr, payload);
   });
@@ -130,7 +140,7 @@ void RtpStack::transmit(Conn& conn, RtpType type, u64 seq, u64 ack,
   RtpHeader hdr{conn.local_port, conn.peer_port, type, seq, ack, crc32c(payload)};
   hdr.encode(w);
   w.put_raw(payload);
-  ++stats_.segments_tx;
+  c_segments_tx_.inc();
   (void)ip_.send(conn.peer, IpProto::kRtp, w.bytes());
 }
 
@@ -166,14 +176,16 @@ void RtpStack::tick() {
     switch (conn.state) {
       case RtpState::kSynSent:
         if (now - conn.last_tx_tick >= kRtoTicks) {
-          ++stats_.retransmits;
+          c_retransmits_.inc();
+          ObsRegistry::global().tracer().point(span_retransmit_);
           transmit(conn, RtpType::kSyn, 0, 0, {});
           conn.last_tx_tick = now;
         }
         break;
       case RtpState::kSynRcvd:
         if (now - conn.last_tx_tick >= kRtoTicks) {
-          ++stats_.retransmits;
+          c_retransmits_.inc();
+          ObsRegistry::global().tracer().point(span_retransmit_);
           transmit(conn, RtpType::kSynAck, 0, 1, {});
           conn.last_tx_tick = now;
         }
@@ -185,7 +197,8 @@ void RtpStack::tick() {
         const bool has_unacked = conn.snd_una < buffered_end ||
                                  (conn.fin_queued && !conn.fin_acked);
         if (has_unacked && now - conn.last_tx_tick >= kRtoTicks) {
-          ++stats_.retransmits;
+          c_retransmits_.inc();
+          ObsRegistry::global().tracer().point(span_retransmit_);
           send_window(id, conn);
         } else if (conn.snd_una < buffered_end &&
                    conn.last_tx_tick + 1 <= now) {
@@ -208,7 +221,7 @@ void RtpStack::on_segment(const IpHeader& ip, std::span<const u8> payload) {
   Reader r(payload);
   auto hdr = RtpHeader::decode(r);
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.segments_rx;
+  c_segments_rx_.inc();
   if (!hdr) {
     return;
   }
@@ -298,9 +311,9 @@ void RtpStack::on_segment(const IpHeader& ip, std::span<const u8> payload) {
         conn.rcv_ready.insert(conn.rcv_ready.end(), data.begin(), data.end());
         conn.rcv_nxt += data.size();
       } else if (hdr->seq < conn.rcv_nxt) {
-        ++stats_.duplicate_data;  // retransmission we already have
+        c_duplicate_data_.inc();  // retransmission we already have
       } else {
-        ++stats_.out_of_order_dropped;  // Go-Back-N: receiver drops gaps
+        c_out_of_order_dropped_.inc();  // Go-Back-N: receiver drops gaps
       }
       transmit(conn, RtpType::kAck, 0, conn.rcv_nxt, {});
       return;

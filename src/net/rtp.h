@@ -16,11 +16,13 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/base/result.h"
 #include "src/hw/timer.h"
 #include "src/net/ip.h"
+#include "src/obs/registry.h"
 
 namespace vnros {
 
@@ -36,6 +38,7 @@ enum class RtpState : u8 {
   kPeerClosed,  // peer sent FIN; reads drain then report PipeClosed
 };
 
+// Point-in-time snapshot of a stack's obs counters (see stats()).
 struct RtpStats {
   u64 segments_tx = 0;
   u64 segments_rx = 0;
@@ -73,7 +76,14 @@ class RtpStack {
 
   bool is_established(ConnId id) const;
   u64 unacked_bytes(ConnId id) const;
-  const RtpStats& stats() const { return stats_; }
+
+  // Thin view over the per-core obs counters ("rtp<N>/..."): race-free by
+  // construction — each field is a merged relaxed read, no lock shared with
+  // the datapath.
+  RtpStats stats() const {
+    return RtpStats{c_segments_tx_.value(), c_segments_rx_.value(), c_retransmits_.value(),
+                    c_out_of_order_dropped_.value(), c_duplicate_data_.value()};
+  }
 
  private:
   struct Conn {
@@ -109,7 +119,16 @@ class RtpStack {
   std::map<ConnId, Conn> conns_;
   std::map<Port, std::deque<ConnId>> accept_queues_;  // listening ports
   ConnId next_id_ = 1;
-  RtpStats stats_;
+
+  // Metrics: registry-owned per-core counters plus an instant span per
+  // retransmission (the protocol's interesting event for traces).
+  const std::string obs_prefix_;
+  Counter& c_segments_tx_;
+  Counter& c_segments_rx_;
+  Counter& c_retransmits_;
+  Counter& c_out_of_order_dropped_;
+  Counter& c_duplicate_data_;
+  const u32 span_retransmit_;
 };
 
 }  // namespace vnros

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/base/contracts.h"
@@ -32,6 +33,7 @@
 #include "src/nr/dispatch.h"
 #include "src/nr/log.h"
 #include "src/nr/rwlock.h"
+#include "src/obs/registry.h"
 
 namespace vnros {
 
@@ -66,7 +68,13 @@ class NodeReplicated {
   NodeReplicated(const Topology& topo, const D& initial, NrConfig config = {})
       : topo_(topo),
         config_(config),
-        log_(config.log_capacity, topo.num_nodes()) {
+        log_(config.log_capacity, topo.num_nodes()),
+        obs_prefix_(ObsRegistry::global().instance_prefix("nr")),
+        c_combines_(ObsRegistry::global().counter(obs_prefix_ + "combines")),
+        c_combined_ops_(ObsRegistry::global().counter(obs_prefix_ + "combined_ops")),
+        c_helps_(ObsRegistry::global().counter(obs_prefix_ + "helps")),
+        h_batch_ops_(ObsRegistry::global().histogram(obs_prefix_ + "batch_ops")),
+        span_combine_(ObsRegistry::global().tracer().intern_site("nr/combine")) {
     for (u32 n = 0; n < topo.num_nodes(); ++n) {
       replicas_.emplace_back(initial, config.max_threads_per_replica);
     }
@@ -154,11 +162,12 @@ class NodeReplicated {
   // quiesced concurrent mutators (tests only).
   const D& peek(usize replica) const { return replicas_[replica].structure; }
 
+  // Thin view over the obs counters ("nr<N>/..."): race-free merged reads.
   NrStats stats_snapshot() const {
     NrStats s;
-    s.combines = stats_combines_.load(std::memory_order_relaxed);
-    s.combined_ops = stats_ops_.load(std::memory_order_relaxed);
-    s.helps = stats_helps_.load(std::memory_order_relaxed);
+    s.combines = c_combines_.value();
+    s.combined_ops = c_combined_ops_.value();
+    s.helps = c_helps_.value();
     return s;
   }
 
@@ -198,13 +207,14 @@ class NodeReplicated {
   // Runs one combining session on replica `ri` (combiner lock held).
   void combine(usize ri) {
     Replica& r = replicas_[ri];
+    SpanScope span(ObsRegistry::global().tracer(), span_combine_);
     // Collect pending ops into a batch. `want` bounds the scan: once that
     // many pending slots are found there is no point sweeping the rest.
     // (Ops announced after this load are simply left for the next session.)
     // Count-before-announce makes `pending >= collected` at any lock
     // acquisition, so the subtraction cannot underflow.
     usize want = r.pending.load(std::memory_order_acquire) - r.collected;
-    stats_combines_.fetch_add(1, std::memory_order_relaxed);
+    c_combines_.inc();
     if (config_.max_combiner_batch != 0 && want > config_.max_combiner_batch) {
       want = config_.max_combiner_batch;
     }
@@ -229,7 +239,8 @@ class NodeReplicated {
       return;
     }
     r.collected += batch.size();
-    stats_ops_.fetch_add(batch.size(), std::memory_order_relaxed);
+    c_combined_ops_.add(batch.size());
+    h_batch_ops_.record(batch.size());
 
     u64 start = log_.reserve(batch.size(), [this, ri] { help(ri); });
     if (config_.batched_publish) {
@@ -282,7 +293,7 @@ class NodeReplicated {
   // Log-full help: drain our own replica first (we may be the laggard), then
   // try-lock other laggards and replay the log into them.
   void help(usize self) {
-    stats_helps_.fetch_add(1, std::memory_order_relaxed);
+    c_helps_.inc();
     apply_up_to(self, log_.tail(), 0, nullptr, 0);
     for (usize ri = 0; ri < replicas_.size(); ++ri) {
       if (ri == self) {
@@ -303,9 +314,14 @@ class NodeReplicated {
   const NrConfig config_;
   NrLog<WriteOp> log_;
   std::deque<Replica> replicas_;  // deque: Replica is immovable
-  std::atomic<u64> stats_combines_{0};
-  std::atomic<u64> stats_ops_{0};
-  std::atomic<u64> stats_helps_{0};
+  // Metrics ("nr<N>/..."): combiner sessions are also traced as spans so the
+  // batching behaviour is visible in a chaos trace.
+  const std::string obs_prefix_;
+  Counter& c_combines_;
+  Counter& c_combined_ops_;
+  Counter& c_helps_;
+  Histogram& h_batch_ops_;
+  const u32 span_combine_;
 };
 
 }  // namespace vnros

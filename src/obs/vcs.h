@@ -1,0 +1,17 @@
+// Verification conditions for the observability substrate itself: the
+// paper's discipline applied to the measurement layer — counters, histograms
+// and the span tracer carry checkable invariants just like the subsystems
+// they observe. (The kstat refinement VC lives with the kernel VCs, since it
+// drives a real Kernel through the Sys facade.)
+#ifndef VNROS_SRC_OBS_VCS_H_
+#define VNROS_SRC_OBS_VCS_H_
+
+#include "src/spec/vc.h"
+
+namespace vnros {
+
+void register_obs_vcs(VcRegistry& registry);
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_OBS_VCS_H_

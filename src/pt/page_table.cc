@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/base/contracts.h"
+#include "src/obs/registry.h"
 #include "src/pt/hl_spec.h"
 
 namespace vnros {
@@ -187,6 +188,8 @@ Result<PAddr> PageTable::walk_to_pt_find(VAddr va, WalkCache& cache) const {
 template <typename FrameOf>
 Result<Unit> PageTable::map_range_impl(VAddr vbase, u64 num_pages, FrameOf&& frame_of,
                                        Perms perms) {
+  static const u32 obs_site = ObsRegistry::global().tracer().intern_site("pt/map_range");
+  SpanScope span(ObsRegistry::global().tracer(), obs_site);
   if (num_pages == 0 || !vbase.is_page_aligned() || !vbase.is_canonical() ||
       num_pages > (kMaxVaddrExclusive - vbase.value) / kPageSize) {
     return ErrorCode::kInvalidArgument;
@@ -253,6 +256,8 @@ Result<Unit> PageTable::map_range(VAddr vbase, std::span<const PAddr> frames, Pe
 }
 
 Result<Unit> PageTable::unmap_range(VAddr vbase, u64 num_pages) {
+  static const u32 obs_site = ObsRegistry::global().tracer().intern_site("pt/unmap_range");
+  SpanScope span(ObsRegistry::global().tracer(), obs_site);
   if (num_pages == 0) {
     return ErrorCode::kInvalidArgument;
   }

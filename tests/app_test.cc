@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/app/blockstore.h"
+#include "src/base/fault.h"
 #include "src/base/rng.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/syscall.h"
@@ -98,6 +99,48 @@ TEST(BlockStoreNodeTest, ViewSkipsCorruptBlocks) {
   EXPECT_EQ(view.count("good"), 1u);
   EXPECT_EQ(view.count("bad"), 0u);
   EXPECT_GE(node.stats().corrupt_reads, 1u);
+}
+
+// A device-write fault injected at every successive stage of the put
+// pipeline (tmp-file create, tmp data write, publish rename — each a
+// journaled device write) must never destroy the previously acked value.
+// put_local's write-temp-then-rename plus MemFs's journal rollback are
+// exactly what this sweeps: whichever write dies, get() must return the
+// last value a put acked, byte-identical, never a torn mixture.
+TEST(BlockStoreNodeTest, FaultMidPutPreservesAckedValue) {
+  auto& faults = FaultRegistry::global();
+  faults.disarm_all();
+  Network net;
+  BlockDevice disk(16384, 0x9A7Full, "apptest_midput");
+  Host host(&net, &disk);
+  BlockStoreNode node(host.sys, 7000);
+  ASSERT_TRUE(node.init().ok());
+  std::vector<u8> acked = bytes("acked-original-value");
+  ASSERT_TRUE(node.put("k", acked).ok());
+
+  u64 failures = 0;
+  for (u64 nth = 1; nth <= 8; ++nth) {
+    SCOPED_TRACE("nth_device_write=" + std::to_string(nth));
+    std::vector<u8> next = bytes("overwrite-attempt-#" + std::to_string(nth));
+    FaultSpec spec;
+    spec.nth_call = nth;  // fire on exactly the nth device write after arming
+    spec.one_shot = true;
+    faults.arm("apptest_midput/write_error", spec);
+    auto r = node.put("k", next);
+    faults.disarm_all();
+
+    auto got = node.get("k");
+    ASSERT_TRUE(got.ok());
+    if (r.ok()) {
+      acked = next;  // the fault landed past the put's last device write
+    } else {
+      ++failures;
+    }
+    EXPECT_EQ(got.value(), acked);
+  }
+  // The sweep must actually have hit the pipeline, not fired into the void.
+  EXPECT_GT(failures, 0u);
+  faults.disarm_all();
 }
 
 TEST(BlockStoreWireTest, EndToEndOverFabric) {

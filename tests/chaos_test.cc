@@ -95,6 +95,11 @@ TEST(ChaosTest, SameSeedSameSchedule) {
   EXPECT_EQ(a.partitions, b.partitions);
   EXPECT_EQ(a.faults_armed, b.faults_armed);
   EXPECT_EQ(a.fault_fires, b.fault_fires);
+  // The span trace rides the client kernel's virtual clock, so even the
+  // tracer's event count replays bit-identically from the seed.
+  EXPECT_EQ(a.spans_recorded, b.spans_recorded);
+  EXPECT_EQ(a.replicas_pushed, b.replicas_pushed);
+  EXPECT_EQ(a.replicas_applied, b.replicas_applied);
   EXPECT_EQ(a.message, b.message);
 }
 

@@ -94,11 +94,28 @@ TEST(MemFsTest, RenameIntoOwnSubtreeRejected) {
   EXPECT_EQ(fs.rename("/a", "/a/b/c").error(), ErrorCode::kInvalidArgument);
 }
 
-TEST(MemFsTest, RenameOntoExistingRejected) {
+TEST(MemFsTest, RenameReplacesExistingFile) {
   MemFs fs;
   ASSERT_TRUE(fs.create("/a").ok());
+  ASSERT_TRUE(fs.write("/a", 0, bytes("new")).ok());
   ASSERT_TRUE(fs.create("/b").ok());
-  EXPECT_EQ(fs.rename("/a", "/b").error(), ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(fs.write("/b", 0, bytes("old-longer")).ok());
+  // POSIX replace semantics: the destination file is atomically replaced.
+  ASSERT_TRUE(fs.rename("/a", "/b").ok());
+  EXPECT_EQ(fs.stat("/a").error(), ErrorCode::kNotFound);
+  std::vector<u8> buf(16);
+  auto n = fs.read("/b", 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3u);
+  EXPECT_EQ(buf[0], 'n');
+}
+
+TEST(MemFsTest, RenameNeverReplacesDirectory) {
+  MemFs fs;
+  ASSERT_TRUE(fs.create("/f").ok());
+  ASSERT_TRUE(fs.mkdir("/d").ok());
+  EXPECT_EQ(fs.rename("/f", "/d").error(), ErrorCode::kIsDirectory);
+  EXPECT_EQ(fs.rename("/d", "/f").error(), ErrorCode::kNotDirectory);
 }
 
 // --- Data path -----------------------------------------------------------------
