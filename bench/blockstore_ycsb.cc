@@ -1,0 +1,368 @@
+// Closed-loop YCSB-style load generator against the sharded blockstore
+// cluster: N virtual clients (each its own socket + seeded op stream, 50/50
+// read/update over a hot-spotted key universe, YCSB-A shape) drive a 3-node
+// ring-placed cluster, swept over client counts with the admission gate OFF
+// and ON.
+//
+// The point of the experiment (DESIGN.md §9, EXPERIMENTS.md A7): past the
+// cluster's service capacity, the UNGATED cluster's tail latency collapses —
+// queues grow without bound, timeouts dominate — while the GATED cluster
+// sheds the excess with typed kOverloaded replies, holding goodput near
+// capacity and the tail near its uncontended value. Shedding is visible,
+// bounded degradation; queue collapse is not.
+//
+// Time is virtual: one tick = one serve_once() per node (the cluster's fixed
+// service capacity) + one state-machine step per client. Latency is measured
+// in ticks, so the whole sweep replays bit-identically — no wall clock
+// anywhere. Emits BENCH_blockstore_ycsb.json. Honors VNROS_BENCH_QUICK.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/app/blockstore.h"
+#include "src/base/contracts.h"
+#include "src/base/rng.h"
+#include "src/base/serde.h"
+#include "src/hw/network.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall.h"
+
+namespace vnros {
+namespace {
+
+constexpr Port kPort = 9300;
+
+struct Host {
+  Kernel kernel;
+  SyscallDispatcher disp;
+  Pid pid;
+  Sys sys;
+
+  explicit Host(Network* net) : kernel(config_of(net)), disp(kernel), pid(spawn(disp)),
+                                sys(disp, pid, 0) {}
+
+  static KernelConfig config_of(Network* net) {
+    KernelConfig c;
+    c.network = net;
+    return c;
+  }
+
+  static Pid spawn(SyscallDispatcher& disp) {
+    Sys boot(disp, kInvalidPid, 0);
+    auto p = boot.spawn();
+    VNROS_CHECK(p.ok());
+    return p.value();
+  }
+};
+
+struct SweepConfig {
+  usize nodes = 3;
+  usize replication = 2;
+  usize keys = 64;
+  usize value_bytes = 128;
+  usize ticks = 30'000;
+  usize warmup_ticks = 2'000;
+  u64 reply_timeout_ticks = 600;
+  // Gated runs: tokens granted per node per tick, and bucket capacity.
+  u64 admission_rate_ppm = 400'000;  // 0.4 ops/tick/node, below the 1/tick serve rate
+  u64 admission_burst = 8;
+};
+
+// One closed-loop virtual client: send, await the reply, account it, repeat.
+// kOverloaded replies trigger multiplicative backoff on the same owner —
+// the same discipline BlockStoreClient implements — so a gated sweep models
+// well-behaved tenants, not a retry stampede.
+class VClient {
+ public:
+  VClient(Sys& sys, const ClusterView& view, const SweepConfig& cfg, u64 seed)
+      : sys_(sys), view_(view), cfg_(cfg), rng_(seed) {
+    auto sock = sys_.udp_socket();
+    VNROS_CHECK(sock.ok());
+    sock_ = sock.value();
+    value_.resize(cfg_.value_bytes);
+    for (auto& b : value_) {
+      b = static_cast<u8>(rng_.next_u64());
+    }
+  }
+
+  void step(u64 tick) {
+    switch (state_) {
+      case State::kIdle:
+        begin_op(tick);
+        break;
+      case State::kBackoff:
+        if (tick >= resume_tick_) {
+          send(tick);  // re-issue the shed op
+        }
+        break;
+      case State::kWaiting:
+        poll(tick);
+        break;
+    }
+  }
+
+  u64 completed = 0;   // acked ops (goodput numerator)
+  u64 sheds = 0;       // kOverloaded replies absorbed
+  u64 timeouts = 0;    // re-sends after a silent reply window
+  u64 errors = 0;      // non-shed error replies (kNotFound on a cold key, ...)
+  std::vector<u64> latencies;  // ticks from first send to the final ack
+
+ private:
+  enum class State { kIdle, kWaiting, kBackoff };
+
+  void begin_op(u64 tick) {
+    // YCSB-A: 50/50 read/update; 80% of ops land on the hottest 20% of keys.
+    read_ = rng_.chance(1, 2);
+    usize universe = rng_.chance(8, 10) ? std::max<usize>(cfg_.keys / 5, 1) : cfg_.keys;
+    key_ = "ycsb" + std::to_string(rng_.next_below(universe));
+    op_start_ = tick;
+    backoff_ = 16;
+    send(tick);
+  }
+
+  void send(u64 tick) {
+    req_id_ = next_req_id_++;
+    Writer w;
+    w.put_u8(static_cast<u8>(read_ ? BsOp::kGet : BsOp::kPut));
+    w.put_u64(req_id_);
+    w.put_string(key_);
+    if (!read_) {
+      w.put_u64(++put_seq_);  // write-sequence stamp (see BlockStoreClient::rpc)
+      w.put_bytes(value_);
+    }
+    BsNodeId owner = view_.owners(key_).front();
+    const BsPeer& peer = view_.directory.at(owner);
+    (void)sys_.udp_sendto(sock_, peer.addr, peer.port, w.bytes());
+    sent_tick_ = tick;
+    state_ = State::kWaiting;
+  }
+
+  void poll(u64 tick) {
+    auto reply = sys_.udp_recvfrom(sock_);
+    if (!reply.ok()) {
+      if (tick - sent_tick_ >= cfg_.reply_timeout_ticks) {
+        ++timeouts;
+        send(tick);  // resend with a fresh req id; ops are idempotent
+      }
+      return;
+    }
+    Reader r(reply.value().payload);
+    auto rid = r.get_u64();
+    auto err = r.get_u32();
+    if (!rid || !err || *rid != req_id_) {
+      return;  // malformed or stale: keep waiting
+    }
+    ErrorCode code = static_cast<ErrorCode>(*err);
+    if (code == ErrorCode::kOverloaded) {
+      ++sheds;
+      resume_tick_ = tick + backoff_;
+      backoff_ = std::min<u64>(backoff_ * 2, 256);
+      state_ = State::kBackoff;
+      return;
+    }
+    if (code != ErrorCode::kOk && code != ErrorCode::kNotFound) {
+      ++errors;
+    }
+    ++completed;
+    latencies.push_back(tick - op_start_);
+    state_ = State::kIdle;
+  }
+
+  Sys& sys_;
+  const ClusterView& view_;
+  const SweepConfig& cfg_;
+  Rng rng_;
+  Fd sock_ = kInvalidFd;
+  State state_ = State::kIdle;
+  std::string key_;
+  bool read_ = false;
+  std::vector<u8> value_;
+  u64 next_req_id_ = 1;
+  u64 put_seq_ = 0;
+  u64 req_id_ = 0;
+  u64 op_start_ = 0;
+  u64 sent_tick_ = 0;
+  u64 backoff_ = 16;
+  u64 resume_tick_ = 0;
+};
+
+u64 percentile(std::vector<u64>& v, double p) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  usize idx = static_cast<usize>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct SweepPoint {
+  double goodput_per_kilotick = 0;
+  u64 p50 = 0;
+  u64 p95 = 0;
+  u64 p99 = 0;
+  double shed_rate = 0;
+  u64 timeouts = 0;
+};
+
+SweepPoint run_sweep(const SweepConfig& cfg, usize num_clients, bool gated) {
+  Network net;
+  std::vector<std::unique_ptr<Host>> hosts;
+  std::vector<std::unique_ptr<BlockStoreNode>> nodes;
+  ClusterView view;
+  view.ring = PlacementRing(32);
+  view.replication = cfg.replication;
+  for (usize i = 0; i < cfg.nodes; ++i) {
+    hosts.push_back(std::make_unique<Host>(&net));
+  }
+  for (usize i = 0; i < cfg.nodes; ++i) {
+    nodes.push_back(std::make_unique<BlockStoreNode>(
+        hosts[i]->sys, kPort, std::vector<BsPeer>{}, [&nodes, i] {
+          for (usize j = 0; j < nodes.size(); ++j) {
+            if (j != i) {
+              nodes[j]->serve_once();
+            }
+          }
+        }));
+    VNROS_CHECK(nodes[i]->init().ok());
+    view.ring.add_node(static_cast<BsNodeId>(i));
+    view.directory[static_cast<BsNodeId>(i)] =
+        BsPeer{hosts[i]->kernel.net_addr(), kPort};
+  }
+  for (usize i = 0; i < cfg.nodes; ++i) {
+    ClusterConfig cc;
+    cc.self = static_cast<BsNodeId>(i);
+    nodes[i]->configure_cluster(cc, view);
+  }
+
+  // Preload the key universe (ungated, local API) so reads hit.
+  {
+    Rng rng(0x9C5Bull);
+    std::vector<u8> v(cfg.value_bytes);
+    for (usize k = 0; k < cfg.keys; ++k) {
+      for (auto& b : v) {
+        b = static_cast<u8>(rng.next_u64());
+      }
+      std::string key = "ycsb" + std::to_string(k);
+      BsNodeId owner = view.owners(key).front();
+      VNROS_CHECK(nodes[owner]->put(key, v).ok());
+    }
+  }
+  if (gated) {
+    for (auto& node : nodes) {
+      AdmissionConfig ac;
+      ac.enabled = true;
+      ac.burst_ops = cfg.admission_burst;
+      node->set_admission(ac);
+      node->grant_tokens(cfg.admission_burst * 1'000'000);
+    }
+  }
+
+  // One shared client kernel, one socket per virtual client.
+  Host client_host(&net);
+  std::vector<std::unique_ptr<VClient>> clients;
+  for (usize c = 0; c < num_clients; ++c) {
+    clients.push_back(std::make_unique<VClient>(client_host.sys, view, cfg,
+                                                0x5EEDull * (c + 1) + 17));
+  }
+
+  auto tick_once = [&](u64 tick) {
+    for (auto& node : nodes) {
+      if (gated) {
+        node->grant_tokens(cfg.admission_rate_ppm);
+      }
+      node->serve_once();
+    }
+    for (auto& c : clients) {
+      c->step(tick);
+    }
+  };
+  for (u64 t = 0; t < cfg.warmup_ticks; ++t) {
+    tick_once(t);
+  }
+  for (auto& c : clients) {  // drop warmup accounting
+    c->completed = 0;
+    c->sheds = 0;
+    c->timeouts = 0;
+    c->errors = 0;
+    c->latencies.clear();
+  }
+  for (u64 t = cfg.warmup_ticks; t < cfg.warmup_ticks + cfg.ticks; ++t) {
+    tick_once(t);
+  }
+
+  SweepPoint pt;
+  u64 completed = 0;
+  u64 sheds = 0;
+  std::vector<u64> all_latencies;
+  for (auto& c : clients) {
+    completed += c->completed;
+    sheds += c->sheds;
+    pt.timeouts += c->timeouts;
+    all_latencies.insert(all_latencies.end(), c->latencies.begin(), c->latencies.end());
+  }
+  pt.goodput_per_kilotick =
+      static_cast<double>(completed) * 1000.0 / static_cast<double>(cfg.ticks);
+  pt.p50 = percentile(all_latencies, 0.50);
+  pt.p95 = percentile(all_latencies, 0.95);
+  pt.p99 = percentile(all_latencies, 0.99);
+  pt.shed_rate = completed + sheds == 0
+                     ? 0
+                     : static_cast<double>(sheds) / static_cast<double>(completed + sheds);
+  return pt;
+}
+
+}  // namespace
+}  // namespace vnros
+
+int main() {
+  using namespace vnros;
+  const bool quick = std::getenv("VNROS_BENCH_QUICK") != nullptr;
+  SweepConfig cfg;
+  std::vector<usize> client_counts;
+  if (quick) {
+    cfg.ticks = 6'000;
+    cfg.warmup_ticks = 500;
+    client_counts = {4, 16, 64};
+  } else {
+    client_counts = {8, 32, 128, 256};
+  }
+
+  BenchJson json("blockstore_ycsb");
+  json.config("nodes", static_cast<unsigned long long>(cfg.nodes));
+  json.config("replication", static_cast<unsigned long long>(cfg.replication));
+  json.config("keys", static_cast<unsigned long long>(cfg.keys));
+  json.config("value_bytes", static_cast<unsigned long long>(cfg.value_bytes));
+  json.config("ticks", static_cast<unsigned long long>(cfg.ticks));
+  json.config("admission_rate_ppm", static_cast<unsigned long long>(cfg.admission_rate_ppm));
+  json.config("admission_burst", static_cast<unsigned long long>(cfg.admission_burst));
+  json.config("quick", quick);
+
+  std::printf("# blockstore_ycsb: closed-loop YCSB-A over the sharded cluster\n");
+  std::printf("# %8s %7s %12s %8s %8s %8s %10s %9s\n", "clients", "gate", "goodput/kt",
+              "p50", "p95", "p99", "shed_rate", "timeouts");
+  for (bool gated : {false, true}) {
+    for (usize n : client_counts) {
+      SweepPoint pt = run_sweep(cfg, n, gated);
+      const char* tag = gated ? "gated" : "open";
+      std::printf("  %8zu %7s %12.1f %8llu %8llu %8llu %10.3f %9llu\n", n, tag,
+                  pt.goodput_per_kilotick, static_cast<unsigned long long>(pt.p50),
+                  static_cast<unsigned long long>(pt.p95),
+                  static_cast<unsigned long long>(pt.p99), pt.shed_rate,
+                  static_cast<unsigned long long>(pt.timeouts));
+      std::string prefix = gated ? "gated_" : "open_";
+      double x = static_cast<double>(n);
+      json.row(prefix + "goodput_per_kilotick", x, pt.goodput_per_kilotick);
+      json.row(prefix + "p50_ticks", x, static_cast<double>(pt.p50));
+      json.row(prefix + "p95_ticks", x, static_cast<double>(pt.p95));
+      json.row(prefix + "p99_ticks", x, static_cast<double>(pt.p99));
+      json.row(prefix + "shed_rate", x, pt.shed_rate);
+      json.row(prefix + "timeouts", x, static_cast<double>(pt.timeouts));
+    }
+  }
+  json.write();
+  return 0;
+}

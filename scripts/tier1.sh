@@ -42,14 +42,21 @@ cmake --build build-nometrics -j"${JOBS}"
 ./build-nometrics/tests/integration_test
 
 echo
-echo "== tier-1: ASan+UBSan build (fs_test + app_test + chaos_test) =="
+echo "== tier-1: membership-churn chaos (ctest -L chaos-churn) =="
+# The cluster churn schedules (join/leave/delay/admission under the PR 3
+# fault matrix) are labeled so they can be invoked as a stage of their own.
+ctest --test-dir build -L chaos-churn --output-on-failure
+
+echo
+echo "== tier-1: ASan+UBSan build (fs_test + app_test + chaos_test + chaos_churn_test) =="
 # The fault-injection and chaos paths unwind through error branches the
 # happy-path suite never touches; run them under address+UB sanitizers.
 cmake -B build-asan -S . -DVNROS_SAN=address >/dev/null
-cmake --build build-asan -j"${JOBS}" --target fs_test app_test chaos_test
+cmake --build build-asan -j"${JOBS}" --target fs_test app_test chaos_test chaos_churn_test
 ./build-asan/tests/fs_test
 ./build-asan/tests/app_test
 ./build-asan/tests/chaos_test
+./build-asan/tests/chaos_churn_test
 
 echo
 echo "tier1: OK"

@@ -547,6 +547,288 @@ VcOutcome vc_retry_transient(u64 seed) {
   return VcOutcome::pass();
 }
 
+// --- Cluster placement / rebalancing ---------------------------------------------
+
+// N simulated machines, each running a cluster-mode node on its own kernel,
+// sharing one fabric. Node i's pump drains every other active node, the
+// same topology the chaos harness uses, so acked replica pushes complete
+// inside a single caller poll.
+struct MiniCluster {
+  Network net;
+  std::vector<std::unique_ptr<Host>> hosts;
+  std::vector<std::unique_ptr<BlockStoreNode>> nodes;
+  std::vector<bool> active;
+  ClusterView view;
+
+  MiniCluster(usize n, usize replication) {
+    view.replication = replication;
+    for (usize i = 0; i < n; ++i) {
+      add_member();
+    }
+    announce();
+  }
+
+  // Boots a new member and adds it to the shared view. Existing members
+  // keep their old belief on purpose: a join is only complete once they
+  // rebalance() into (or are announce()d) the new view — exactly the diff
+  // rebalance needs to compute which shards move.
+  BsNodeId add_member() {
+    BsNodeId id = static_cast<BsNodeId>(nodes.size());
+    Port port = static_cast<Port>(9100 + id);
+    usize slot = nodes.size();
+    hosts.push_back(std::make_unique<Host>(&net));
+    nodes.push_back(std::make_unique<BlockStoreNode>(hosts[slot]->sys, port,
+                                                    std::vector<BsPeer>{},
+                                                    [this, slot] { pump_except(slot); }));
+    active.push_back(true);
+    VNROS_CHECK(nodes[slot]->init().ok());
+    view.ring.add_node(id);
+    view.directory[id] = BsPeer{hosts[slot]->kernel.net_addr(), port};
+    ClusterConfig cfg;
+    cfg.self = id;
+    nodes[slot]->configure_cluster(cfg, view);
+    return id;
+  }
+
+  // Adopts the current view everywhere without moving data.
+  void announce() {
+    for (usize i = 0; i < nodes.size(); ++i) {
+      if (active[i]) {
+        nodes[i]->set_cluster_view(view);
+      }
+    }
+  }
+
+  void pump_except(usize skip) {
+    for (usize i = 0; i < nodes.size(); ++i) {
+      if (i != skip && active[i]) {
+        nodes[i]->serve_once();
+      }
+    }
+  }
+  void pump_all() { pump_except(nodes.size()); }
+
+  void drain(usize polls = 64) {
+    for (usize i = 0; i < polls; ++i) {
+      pump_all();
+    }
+  }
+
+  bool is_owner(const std::string& key, BsNodeId id) const {
+    for (BsNodeId o : view.owners(key)) {
+      if (o == id) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// app/placement_refines: after a seeded op mix against a clean 4-node
+// cluster, (a) every node's belief about the ring (version + fingerprint)
+// matches the coordinator view, (b) every model key is byte-identical on
+// every ring owner, (c) non-owners do not hold the key, and (d) nothing
+// needed hinted handoff — on a clean fabric the owner function and the data
+// placement agree exactly.
+VcOutcome vc_placement_refines(u64 seed) {
+  MiniCluster c(4, 2);
+  Host client_host(&c.net);
+  BlockStoreClient client(client_host.sys, c.hosts[0]->kernel.net_addr(), 9100,
+                          [&] { c.pump_all(); });
+  (void)client.init();
+  client.set_cluster(c.view);
+
+  Rng rng(seed);
+  std::map<std::string, std::vector<u8>> model;
+  for (usize i = 0; i < 40; ++i) {
+    std::string key = random_key(rng);
+    if (rng.chance(7, 10)) {
+      auto value = random_value(rng, 400);
+      if (!client.put(key, value).ok()) {
+        return VcOutcome::fail("clustered put failed");
+      }
+      model[key] = value;
+    } else {
+      if (!client.del(key).ok()) {
+        return VcOutcome::fail("clustered del failed");
+      }
+      model.erase(key);
+    }
+  }
+  c.drain();
+
+  for (usize i = 0; i < c.nodes.size(); ++i) {
+    if (c.nodes[i]->ring_version() != c.view.ring.version() ||
+        c.nodes[i]->ring_fingerprint() != c.view.ring.fingerprint()) {
+      return VcOutcome::fail("node " + std::to_string(i) + " belief diverged from the view");
+    }
+    if (c.nodes[i]->stats().hints_written != 0) {
+      return VcOutcome::fail("clean fabric should never need hinted handoff");
+    }
+  }
+  for (const auto& [key, value] : model) {
+    auto owners = c.view.owners(key);
+    if (owners.size() != 2) {
+      return VcOutcome::fail("owner set has wrong arity");
+    }
+    for (usize i = 0; i < c.nodes.size(); ++i) {
+      auto got = c.nodes[i]->get(key);
+      if (c.is_owner(key, static_cast<BsNodeId>(i))) {
+        if (!got.ok() || got.value() != value) {
+          return VcOutcome::fail("owner " + std::to_string(i) + " missing/divergent for " + key);
+        }
+      } else if (got.ok() || got.error() != ErrorCode::kNotFound) {
+        return VcOutcome::fail("non-owner " + std::to_string(i) + " holds " + key);
+      }
+    }
+  }
+  // Deleted keys are gone everywhere (kDelReplica reached every owner).
+  for (usize i = 0; i < c.nodes.size(); ++i) {
+    for (const auto& [key, value] : c.nodes[i]->view()) {
+      if (model.count(key) == 0) {
+        return VcOutcome::fail("deleted key survives on node " + std::to_string(i));
+      }
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// app/rebalance_preserves_durability: every acked put stays readable (on
+// its current owner set and through the client) across a node join, a
+// graceful leave, and a hinted handoff through a partition.
+VcOutcome vc_rebalance_preserves_durability(u64 seed) {
+  MiniCluster c(3, 2);
+  Host client_host(&c.net);
+  BlockStoreClient client(client_host.sys, c.hosts[0]->kernel.net_addr(), 9100,
+                          [&] { c.pump_all(); });
+  (void)client.init();
+  client.set_cluster(c.view);
+
+  Rng rng(seed);
+  std::map<std::string, std::vector<u8>> model;
+  for (usize i = 0; i < 12; ++i) {
+    std::string key = "shard" + std::to_string(i);
+    auto value = random_value(rng, 300);
+    if (!client.put(key, value).ok()) {
+      return VcOutcome::fail("seed put failed");
+    }
+    model[key] = value;
+  }
+
+  auto check_placement = [&](const char* phase) -> std::optional<std::string> {
+    for (const auto& [key, value] : model) {
+      for (usize i = 0; i < c.nodes.size(); ++i) {
+        if (!c.active[i]) {
+          continue;
+        }
+        if (c.is_owner(key, static_cast<BsNodeId>(i))) {
+          auto got = c.nodes[i]->get(key);
+          if (!got.ok() || got.value() != value) {
+            return std::string(phase) + ": owner " + std::to_string(i) + " lost " + key;
+          }
+        }
+      }
+      auto via_client = client.get(key);
+      if (!via_client.ok() || via_client.value() != value) {
+        return std::string(phase) + ": client cannot read " + key;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // --- Join: a fourth node enters; everyone rebalances to the new view.
+  BsNodeId joined = c.add_member();
+  for (usize i = 0; i < c.nodes.size(); ++i) {
+    if (static_cast<BsNodeId>(i) == joined) {
+      continue;
+    }
+    auto st = c.nodes[i]->rebalance(c.view);
+    if (!st.ok() || st.value().failed != 0) {
+      return VcOutcome::fail("join rebalance failed on node " + std::to_string(i));
+    }
+  }
+  client.set_cluster(c.view);
+  c.drain();
+  if (auto err = check_placement("after join")) {
+    return VcOutcome::fail(*err);
+  }
+  // Shards actually moved onto the joiner (it owns ~replication/n of keys).
+  if (c.nodes[joined]->view().empty()) {
+    return VcOutcome::fail("joiner received no shards");
+  }
+  // Non-owners released their copies after the acked handoff.
+  for (const auto& [key, value] : model) {
+    for (usize i = 0; i < c.nodes.size(); ++i) {
+      if (c.active[i] && !c.is_owner(key, static_cast<BsNodeId>(i)) &&
+          c.nodes[i]->get(key).ok()) {
+        return VcOutcome::fail("node " + std::to_string(i) + " kept a dropped shard: " + key);
+      }
+    }
+  }
+
+  // --- Graceful leave: node 0 hands everything off, aborting if any shard
+  // could not be placed (failed > 0 would mean walking off with data).
+  ClusterView candidate = c.view;
+  candidate.ring.remove_node(0);
+  candidate.directory.erase(0);
+  auto leave = c.nodes[0]->rebalance(candidate);
+  if (!leave.ok()) {
+    return VcOutcome::fail("leave rebalance errored");
+  }
+  if (leave.value().failed != 0) {
+    return VcOutcome::fail("graceful leave would strand shards; abort path taken");
+  }
+  c.view = candidate;
+  c.active[0] = false;
+  for (usize i = 1; i < c.nodes.size(); ++i) {
+    auto st = c.nodes[i]->rebalance(c.view);
+    if (!st.ok() || st.value().failed != 0) {
+      return VcOutcome::fail("post-leave rebalance failed on node " + std::to_string(i));
+    }
+  }
+  client.set_cluster(c.view);
+  c.drain();
+  if (auto err = check_placement("after leave")) {
+    return VcOutcome::fail(*err);
+  }
+
+  // --- Hinted handoff: cut the link between one key's two owners, write
+  // through the primary (ack + parked hint), heal, deliver.
+  std::string hkey = "hinted-key";
+  auto owners = c.view.owners(hkey);
+  if (owners.size() != 2) {
+    return VcOutcome::fail("expected 2 owners for the hint scenario");
+  }
+  BsNodeId p = owners[0], q = owners[1];
+  c.net.partition(c.hosts[p]->kernel.net_addr(), c.hosts[q]->kernel.net_addr());
+  std::vector<u8> hval = random_value(rng, 200);
+  if (!client.put(hkey, hval).ok()) {
+    return VcOutcome::fail("put through a partitioned owner pair failed");
+  }
+  model[hkey] = hval;
+  if (c.nodes[p]->stats().hints_written == 0) {
+    return VcOutcome::fail("partitioned co-owner did not produce a hint");
+  }
+  if (c.nodes[q]->get(hkey).ok()) {
+    return VcOutcome::fail("partitioned co-owner mysteriously holds the value");
+  }
+  c.net.heal_all();
+  if (c.nodes[p]->deliver_hints() == 0) {
+    return VcOutcome::fail("hint delivery after heal delivered nothing");
+  }
+  auto cured = c.nodes[q]->get(hkey);
+  if (!cured.ok() || cured.value() != hval) {
+    return VcOutcome::fail("co-owner lacks the value after hint delivery");
+  }
+  if (c.nodes[p]->stats().hints_delivered == 0) {
+    return VcOutcome::fail("hint delivery not counted");
+  }
+  if (auto err = check_placement("after heal")) {
+    return VcOutcome::fail(*err);
+  }
+  return VcOutcome::pass();
+}
+
 }  // namespace
 
 void register_app_vcs(VcRegistry& reg) {
@@ -586,6 +868,12 @@ void register_app_vcs(VcRegistry& reg) {
   for (u64 seed = 1; seed <= 2; ++seed) {
     reg.add("app/retry_transient_seed" + std::to_string(seed), VcCategory::kApplication,
             [seed] { return vc_retry_transient(seed); });
+  }
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("app/placement_refines_seed" + std::to_string(seed), VcCategory::kApplication,
+            [seed] { return vc_placement_refines(seed); });
+    reg.add("app/rebalance_preserves_durability_seed" + std::to_string(seed),
+            VcCategory::kApplication, [seed] { return vc_rebalance_preserves_durability(seed); });
   }
 }
 

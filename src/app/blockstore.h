@@ -19,7 +19,8 @@
 //   del(k):     ack  =>  get(k) returns kNotFound.
 //
 // Replication: a put to the primary is forwarded to its peers (best-effort
-// push; the client retries end-to-end, so at-least-once overall).
+// push in the static-peer configuration; acked pushes to the ring owner set
+// with hinted handoff in cluster mode — see ClusterView below).
 #ifndef VNROS_SRC_APP_BLOCKSTORE_H_
 #define VNROS_SRC_APP_BLOCKSTORE_H_
 
@@ -29,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "src/app/ring.h"
+#include "src/base/fault.h"
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/kernel/syscall.h"
@@ -44,6 +47,7 @@ enum class BsOp : u8 {
   kPing = 4,
   kPutReplica = 5,  // replication push: applied locally, never re-forwarded
   kList = 6,        // anti-entropy: enumerate (key, crc32c) pairs
+  kDelReplica = 7,  // replicated delete: applied locally, never re-forwarded
 };
 
 // One entry of a kList reply: enough to detect a missing or divergent block
@@ -58,6 +62,49 @@ struct BlockKeyInfo {
 struct BsPeer {
   NetAddr addr = 0;
   Port port = 0;
+
+  bool operator==(const BsPeer&) const = default;
+};
+
+// Shared cluster belief: the placement ring plus the directory mapping each
+// member to its wire endpoint. Every node and every client holds a copy;
+// the app/placement_refines VC and the chaos churn schedules check that all
+// copies agree (ring version + fingerprint) at every quiesce point.
+struct ClusterView {
+  PlacementRing ring;
+  std::map<BsNodeId, BsPeer> directory;
+  usize replication = 2;  // owners per key (capped by cluster size)
+
+  std::vector<BsNodeId> owners(std::string_view key) const {
+    return ring.owners(key, replication);
+  }
+};
+
+// Per-node cluster parameters (fixed at configure_cluster time).
+struct ClusterConfig {
+  BsNodeId self = 0;
+  usize push_ack_polls = 96;  // pump polls awaiting each replica ack
+  usize push_attempts = 2;    // sends per acked push before hinting
+};
+
+// Admission control: a token bucket over served storage ops. Tokens are in
+// millionths of an op so sub-op/tick refill rates are expressible; the
+// *clock* is external — the harness (or a deployment's timer) calls
+// grant_tokens() per tick, keeping the node itself free of wall-clock
+// dependencies and every overload schedule replayable.
+struct AdmissionConfig {
+  bool enabled = false;
+  u64 burst_ops = 4;  // bucket capacity, in whole ops
+};
+
+// Outcome of one rebalance() pass (shard movement after a view change).
+struct RebalanceStats {
+  u64 scanned = 0;  // intact local blocks examined
+  u64 moved = 0;    // acked handoffs to new owners
+  u64 dropped = 0;  // local copies released (no longer an owner, ack held)
+  u64 hinted = 0;   // unreachable new owner: durable hint written instead
+  u64 failed = 0;   // no new owner acked AND we are not an owner: kept local,
+                    // flagged so graceful leave can abort instead of losing data
 };
 
 // Snapshot of a node's obs counters (see stats()).
@@ -70,6 +117,11 @@ struct BlockStoreStats {
   u64 replicas_applied = 0;
   u64 read_repairs = 0;        // corrupt blocks restored from a peer
   u64 failed_repairs = 0;      // corrupt blocks no peer could supply
+  u64 sheds = 0;               // requests refused with kOverloaded
+  u64 hints_written = 0;       // handoffs parked for a partitioned owner
+  u64 hints_delivered = 0;     // parked handoffs later delivered + acked
+  u64 handoffs = 0;            // blocks moved to a new owner by rebalance()
+  u64 stale_ignored = 0;       // replica writes refused: local copy was newer
 };
 
 class BlockStoreNode {
@@ -78,13 +130,53 @@ class BlockStoreNode {
   // `pump` (optional) advances the simulated world; when set and peers are
   // configured, a kCorrupted local read triggers read-repair: the block is
   // fetched from a peer, re-persisted locally, and served instead of the
-  // corruption error.
+  // corruption error. `fault_prefix` (optional) registers a
+  // "<prefix>/serve_delay" latency injection site: when armed with a
+  // FaultSpec whose delay is nonzero, serve_once() stalls for that many
+  // calls before touching its socket — a deterministic slow peer.
   BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers = {},
-                 std::function<void()> pump = {});
+                 std::function<void()> pump = {}, std::string fault_prefix = {});
 
-  // Creates /blocks and binds the service socket. Idempotent across
-  // restarts of the same filesystem (recovery path).
+  // Creates /blocks (and /hints) and binds the service socket. Idempotent
+  // across restarts of the same filesystem (recovery path).
   Result<Unit> init();
+
+  // Switches the node to cluster mode: placement and replication follow
+  // `view`'s ring instead of the static peer list. Call again after a
+  // reboot to restore the node's belief about the cluster.
+  void configure_cluster(const ClusterConfig& cfg, const ClusterView& view);
+
+  // Adopts `next` and moves shards: every intact local block whose owner set
+  // changed is pushed (acked, carrying its write sequence) to its new owners;
+  // unreachable owners get a durable hint; blocks this node no longer owns
+  // are released only once at least one new owner acked. An ack means "I
+  // durably hold this key at a sequence >= yours" (stale pushes are refused
+  // but still acked), so dropping after an ack can never lose the newest
+  // write. Safe to call on every member after any membership change — a node
+  // whose placement is unaffected does no work.
+  Result<RebalanceStats> rebalance(const ClusterView& next);
+
+  // Adopts a view without moving data (reboot/recovery path).
+  void set_cluster_view(const ClusterView& view);
+
+  // Attempts delivery of parked handoffs (hinted handoff). For each hint:
+  // stale owners (gone from the view) are dropped; reachable owners receive
+  // the hinted bytes with their original write sequence — the owner applies
+  // only if the hint is at least as new as its own copy (a hint can never
+  // regress a newer value) and acks either way. The hint is unlinked only
+  // after that ack. Returns hints delivered (applied) this pass.
+  u64 deliver_hints();
+
+  bool clustered() const { return clustered_; }
+  BsNodeId self_id() const { return cluster_.self; }
+  const ClusterView& cluster_view() const { return view_; }
+  u64 ring_version() const { return view_.ring.version(); }
+  u64 ring_fingerprint() const { return view_.ring.fingerprint(); }
+
+  // Admission control. grant_tokens() is the external clock: adds
+  // `ops_ppm` millionths of an op to the bucket (capped at burst_ops).
+  void set_admission(const AdmissionConfig& cfg) { admission_ = cfg; }
+  void grant_tokens(u64 ops_ppm);
 
   // Serves at most one pending request; returns whether one was served.
   bool serve_once();
@@ -111,7 +203,10 @@ class BlockStoreNode {
     return BlockStoreStats{c_puts_.value(),           c_gets_.value(),
                            c_dels_.value(),           c_corrupt_reads_.value(),
                            c_replicas_pushed_.value(), c_replicas_applied_.value(),
-                           c_read_repairs_.value(),   c_failed_repairs_.value()};
+                           c_read_repairs_.value(),   c_failed_repairs_.value(),
+                           c_sheds_.value(),          c_hints_written_.value(),
+                           c_hints_delivered_.value(), c_handoffs_.value(),
+                           c_stale_ignored_.value()};
   }
   Port port() const { return port_; }
 
@@ -125,9 +220,46 @@ class BlockStoreNode {
   static std::string key_path(std::string_view key);
 
  private:
-  Result<Unit> put_local(std::string_view key, std::span<const u8> value);
-  void push_replicas(std::string_view key, std::span<const u8> value);
-  Result<std::vector<u8>> fetch_from_peer(const BsPeer& peer, std::string_view key);
+  // One fetched/decoded block: payload bytes plus the write sequence stamped
+  // by the client (or assigned locally) when the bytes were stored.
+  struct BlockData {
+    std::vector<u8> bytes;
+    u64 seq = 0;
+  };
+
+  Result<Unit> put_local(std::string_view key, std::span<const u8> value, u64 seq);
+  Result<Unit> del_local(std::string_view key);
+  // The coordinator write path with an explicit sequence (serve_once passes
+  // the client's stamp; the seq-less public put() assigns local_seq + 1).
+  Result<Unit> put_stamped(std::string_view key, std::span<const u8> value, u64 seq);
+  // Apply-if-newer: persists (value, seq) unless the local intact copy has a
+  // strictly newer sequence, in which case the write is refused as stale but
+  // still reported kOk (the caller's bytes are durably superseded). Sets
+  // `applied` so callers can count real applies apart from stale refusals.
+  Result<Unit> apply_replica(std::string_view key, std::span<const u8> value, u64 seq,
+                             bool* applied);
+  // Sequence of the local intact copy; 0 when missing or corrupt (so any
+  // incoming write, including a re-pushed seq-0 legacy block, may land).
+  u64 local_seq(std::string_view key) const;
+  void push_replicas(std::string_view key, std::span<const u8> value, u64 seq);
+  Result<BlockData> fetch_from_peer(const BsPeer& peer, std::string_view key);
+  Result<BlockData> get_or_repair_block(std::string_view key);
+
+  // Cluster-mode plumbing.
+  void replicate_put(std::string_view key, std::span<const u8> value, u64 seq);
+  void replicate_del(std::string_view key);
+  // Sends `op` to `peer` over the repair socket and waits (pumping) for an
+  // ack: cluster_.push_attempts sends x push_ack_polls polls each.
+  Result<Unit> push_acked(const BsPeer& peer, BsOp op, std::string_view key,
+                          std::span<const u8> value, u64 seq);
+  Result<Unit> write_hint(BsNodeId owner, std::string_view key, std::span<const u8> value,
+                          u64 seq);
+  // Replica peers consulted by get_or_repair: the key's other ring owners
+  // in cluster mode, the static peer list otherwise.
+  std::vector<BsPeer> repair_peers(std::string_view key) const;
+  // Admission gate for one served op: true = admitted (a token was taken),
+  // false = shed. Always admits when admission is disabled.
+  bool admit_op();
 
   Sys& sys_;
   Port port_;
@@ -138,6 +270,14 @@ class BlockStoreNode {
                                  // datagrams destined for the service socket
   bool in_repair_ = false;       // re-entrancy guard (pump may recurse into us)
   u64 next_repair_req_id_ = 1;
+
+  bool clustered_ = false;
+  ClusterConfig cluster_;
+  ClusterView view_;
+  AdmissionConfig admission_;
+  u64 tokens_ppm_ = 0;   // admission bucket (millionths of an op)
+  u64 stall_polls_ = 0;  // serve_once calls left to sit out (latency fault)
+  FaultSite* delay_site_ = nullptr;
 
   // Metrics ("bs<N>/..."): registry-owned per-core counters — mutable from
   // const readers (get() counts), race-free for concurrent observers.
@@ -150,6 +290,11 @@ class BlockStoreNode {
   Counter& c_replicas_applied_;
   Counter& c_read_repairs_;
   Counter& c_failed_repairs_;
+  Counter& c_sheds_;
+  Counter& c_hints_written_;
+  Counter& c_hints_delivered_;
+  Counter& c_handoffs_;
+  Counter& c_stale_ignored_;
   const u32 span_serve_;
 };
 
@@ -163,6 +308,11 @@ struct RetryPolicy {
   u64 backoff_max_polls = 0;     // exponential backoff cap (0 = uncapped)
   u64 jitter_ppm = 0;            // additive jitter: up to this fraction of the backoff
   u64 deadline_polls = 0;        // total poll budget per rpc (0 = unlimited)
+  // kOverloaded backpressure: the server is alive and explicitly shedding,
+  // so do NOT fail over — wait (multiplicatively growing, jittered like the
+  // timeout backoff) and retry the same target.
+  u64 overload_base_polls = 8;
+  u64 overload_max_polls = 256;
 };
 
 // Visible retry behaviour, for tests and for kDebug logging: how hard did
@@ -175,6 +325,9 @@ struct RetryStats {
   u64 failovers = 0;         // switches to a different target
   u64 transient_errors = 0;  // kIoError/kNoMemory/kBusy replies absorbed by retry
   u64 send_errors = 0;       // local sendto failures absorbed by retry
+  u64 overloads = 0;         // kOverloaded replies absorbed by backpressure
+  u64 sticky_resumes = 0;    // rpcs that resumed on the last known-live target
+                             // instead of re-probing a dead rotation residue
 };
 
 // Client library: request/response over UDP with timeout + retry (the
@@ -196,6 +349,11 @@ class BlockStoreClient {
   // out or keeps returning transient errors.
   void add_failover(NetAddr addr, Port port);
 
+  // Switches keyed ops (put/get/del) to ring routing: each rpc is sent to
+  // the key's owner list (primary first), falling back to the static target
+  // list when the view maps to nothing. Ping/list keep the static targets.
+  void set_cluster(const ClusterView& view) { view_ = view; }
+
   Result<Unit> put(std::string_view key, std::span<const u8> value);
   Result<std::vector<u8>> get(std::string_view key);
   Result<Unit> del(std::string_view key);
@@ -213,7 +371,8 @@ class BlockStoreClient {
   RetryStats retry_stats() const {
     return RetryStats{c_attempts_.value(),         c_retries_.value(),
                       c_backoff_polls_.value(),    c_failovers_.value(),
-                      c_transient_errors_.value(), c_send_errors_.value()};
+                      c_transient_errors_.value(), c_send_errors_.value(),
+                      c_overloads_.value(),        c_sticky_resumes_.value()};
   }
   const RetryPolicy& policy() const { return policy_; }
 
@@ -226,16 +385,20 @@ class BlockStoreClient {
 
   // Sends `request` until a reply with its req_id arrives; returns payload.
   Result<std::vector<u8>> rpc(BsOp op, std::string_view key, std::span<const u8> value);
-  void fail_over();
 
   Sys& sys_;
   std::vector<BsPeer> targets_;  // [0] = primary, rest = failover replicas
   usize current_target_ = 0;
+  bool have_last_good_ = false;  // stickiness: resume rpcs on the last target
+  usize last_good_target_ = 0;   // that actually answered (static routing only)
+  std::optional<ClusterView> view_;  // set_cluster: ring routing for keyed ops
   std::function<void()> pump_;
   RetryPolicy policy_;
   Rng rng_{0xC11E47ull};  // jitter; fixed seed keeps runs replayable
   Fd sock_ = kInvalidFd;
   u64 next_req_id_ = 1;
+  u64 put_seq_ = 0;  // write-sequence stamp: orders this client's puts per key
+                     // across replicas (apply-if-newer on every server path)
 
   // Metrics ("bsc<N>/..."): per-core counters plus a span per rpc and a
   // histogram of pump polls per rpc (the simulation's latency unit, so the
@@ -247,6 +410,8 @@ class BlockStoreClient {
   Counter& c_failovers_;
   Counter& c_transient_errors_;
   Counter& c_send_errors_;
+  Counter& c_overloads_;
+  Counter& c_sticky_resumes_;
   Histogram& h_rpc_polls_;
   const u32 span_rpc_;
 };

@@ -20,6 +20,8 @@ BlockStoreClient::BlockStoreClient(Sys& sys, NetAddr server, Port server_port,
       c_failovers_(ObsRegistry::global().counter(obs_prefix_ + "failovers")),
       c_transient_errors_(ObsRegistry::global().counter(obs_prefix_ + "transient_errors")),
       c_send_errors_(ObsRegistry::global().counter(obs_prefix_ + "send_errors")),
+      c_overloads_(ObsRegistry::global().counter(obs_prefix_ + "overloads")),
+      c_sticky_resumes_(ObsRegistry::global().counter(obs_prefix_ + "sticky_resumes")),
       h_rpc_polls_(ObsRegistry::global().histogram(obs_prefix_ + "rpc_polls")),
       span_rpc_(ObsRegistry::global().tracer().intern_site("bs/rpc")) {
   targets_.push_back(BsPeer{server, server_port});
@@ -48,16 +50,6 @@ bool BlockStoreClient::transient(ErrorCode err) {
          err == ErrorCode::kBusy || err == ErrorCode::kWouldBlock;
 }
 
-void BlockStoreClient::fail_over() {
-  if (targets_.size() < 2) {
-    return;
-  }
-  current_target_ = (current_target_ + 1) % targets_.size();
-  c_failovers_.inc();
-  VNROS_LOG_DEBUG("blockstore", "client failover -> target %zu (%llu so far)", current_target_,
-                  static_cast<unsigned long long>(c_failovers_.value()));
-}
-
 Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
                                               std::span<const u8> value) {
   if (sock_ == kInvalidFd) {
@@ -73,52 +65,127 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
   w.put_u64(req_id);
   w.put_string(key);
   if (op == BsOp::kPut || op == BsOp::kPutReplica) {
+    // Write-sequence stamp: servers order replica applies by it (retries of
+    // this rpc reuse the same stamp, so at-least-once delivery stays
+    // idempotent; a newer put always carries a higher stamp).
+    w.put_u64(++put_seq_);
     w.put_bytes(value);
   }
 
+  // Routing. Ring mode (set_cluster + a keyed op): the route is the key's
+  // owner list, primary first — placement is the same pure function the
+  // servers use, so a fresh view sends every op straight to its owner.
+  // Static mode: the constructor/add_failover targets, resuming on the last
+  // target that actually answered (stickiness) rather than wherever a failed
+  // rpc's rotation happened to stop — re-probing a known-dead primary every
+  // call would pay the full timeout on every op.
+  std::vector<BsPeer> ring_route;
+  bool keyed = op == BsOp::kPut || op == BsOp::kGet || op == BsOp::kDel;
+  if (view_.has_value() && keyed) {
+    for (BsNodeId id : view_->owners(key)) {
+      auto it = view_->directory.find(id);
+      if (it != view_->directory.end()) {
+        ring_route.push_back(it->second);
+      }
+    }
+  }
+  const bool ring_mode = !ring_route.empty();
+  const std::vector<BsPeer>& route = ring_mode ? ring_route : targets_;
+  usize idx = 0;
+  if (!ring_mode) {
+    if (have_last_good_ && last_good_target_ < targets_.size() &&
+        current_target_ != last_good_target_) {
+      current_target_ = last_good_target_;
+      c_sticky_resumes_.inc();
+    }
+    idx = current_target_;
+  }
+  auto rotate = [&] {
+    if (route.size() < 2) {
+      return;
+    }
+    idx = (idx + 1) % route.size();
+    if (!ring_mode) {
+      current_target_ = idx;
+    }
+    c_failovers_.inc();
+  };
+  auto mark_live = [&] {
+    // Any reply with our req_id proves this target is up and reachable.
+    if (!ring_mode) {
+      have_last_good_ = true;
+      last_good_target_ = idx;
+    }
+  };
+
   u64 polls_used = 0;
   u64 backoff = policy_.backoff_base_polls;
+  u64 overload_backoff = policy_.overload_base_polls;
   auto pump_once = [&] {
     if (pump_) {
       pump_();
     }
     ++polls_used;
   };
+  auto deadline_hit = [&] {
+    return policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls;
+  };
+  // Idles `wait` jittered polls; false if the rpc deadline expired mid-wait.
+  auto idle = [&](u64 wait) {
+    if (wait > 0 && policy_.jitter_ppm > 0) {
+      u64 jspan = wait * policy_.jitter_ppm / 1'000'000;
+      if (jspan > 0) {
+        wait += rng_.next_range(0, jspan);
+      }
+    }
+    for (u64 i = 0; i < wait; ++i) {
+      if (deadline_hit()) {
+        return false;
+      }
+      pump_once();
+      c_backoff_polls_.inc();
+    }
+    return !deadline_hit();
+  };
   ErrorCode last_err = ErrorCode::kTimedOut;
+  bool overload_wait = false;  // next attempt is backpressure, not a retry probe
   for (usize attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
       c_retries_.inc();
       // Exponential backoff with additive jitter, in pump polls. Jitter
       // decorrelates retries from concurrent clients without breaking
-      // determinism (the jitter Rng is seeded).
-      u64 wait = backoff;
-      if (wait > 0 && policy_.jitter_ppm > 0) {
-        u64 span = wait * policy_.jitter_ppm / 1'000'000;
-        if (span > 0) {
-          wait += rng_.next_range(0, span);
+      // determinism (the jitter Rng is seeded). kOverloaded replies use
+      // their own (multiplicative) ladder: the server is alive and asking
+      // for space, which is different from a timeout probing for liveness.
+      u64 wait = overload_wait ? overload_backoff : backoff;
+      if (overload_wait) {
+        overload_backoff *= 2;
+        if (policy_.overload_max_polls != 0) {
+          overload_backoff = std::min(overload_backoff, policy_.overload_max_polls);
+        }
+      } else {
+        backoff *= 2;
+        if (policy_.backoff_max_polls != 0) {
+          backoff = std::min(backoff, policy_.backoff_max_polls);
         }
       }
-      c_backoff_polls_.add(wait);
-      for (u64 i = 0; i < wait; ++i) {
-        pump_once();
-      }
-      backoff *= 2;
-      if (policy_.backoff_max_polls != 0) {
-        backoff = std::min(backoff, policy_.backoff_max_polls);
+      if (!idle(wait)) {
+        break;  // deadline expired mid-backoff
       }
     }
-    if (policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls) {
+    if (deadline_hit()) {
       break;
     }
     c_attempts_.inc();
-    const BsPeer& target = targets_[current_target_];
+    overload_wait = false;
+    const BsPeer& target = route[idx];
     auto sent = sys_.udp_sendto(sock_, target.addr, target.port, w.bytes());
     if (!sent.ok()) {
       // Local send failure (e.g. injected syscall fault): count it, back
       // off, and retry — the op has definitely not reached any server.
       c_send_errors_.inc();
       last_err = sent.error();
-      fail_over();
+      rotate();
       continue;
     }
     bool transient_reply = false;
@@ -126,7 +193,7 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
       pump_once();
       auto reply = sys_.udp_recvfrom(sock_);
       if (!reply.ok()) {
-        if (policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls) {
+        if (deadline_hit()) {
           break;
         }
         continue;
@@ -142,16 +209,27 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
         continue;  // stale reply from an earlier (retried) request
       }
       ErrorCode code = static_cast<ErrorCode>(*err);
+      mark_live();
       if (code == ErrorCode::kOk) {
         h_rpc_polls_.record(polls_used);
         return std::move(*payload);
+      }
+      if (code == ErrorCode::kOverloaded) {
+        // Backpressure, not failure: the target is alive and shedding.
+        // Stay on it and yield (multiplicative backoff) instead of
+        // stampeding a healthy-but-busy replica's peers.
+        c_overloads_.inc();
+        last_err = code;
+        transient_reply = true;
+        overload_wait = true;
+        break;
       }
       if (transient(code)) {
         c_transient_errors_.inc();
         last_err = code;
         transient_reply = true;
         VNROS_LOG_DEBUG("blockstore", "transient %s from target %zu (attempt %zu), retrying",
-                        error_name(code), current_target_, attempt);
+                        error_name(code), idx, attempt);
         break;  // next attempt, possibly after failover
       }
       h_rpc_polls_.record(polls_used);
@@ -159,7 +237,10 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     }
     // Timed out or bounced with a transient error: rotate targets so a
     // crashed/partitioned/faulting replica does not absorb every attempt.
-    fail_over();
+    // kOverloaded stays put — that target will have tokens again soon.
+    if (!overload_wait) {
+      rotate();
+    }
     if (!transient_reply) {
       last_err = ErrorCode::kTimedOut;
     }

@@ -1,5 +1,7 @@
 #include "src/app/blockstore.h"
 
+#include <algorithm>
+
 #include "src/base/contracts.h"
 #include "src/base/crc.h"
 #include "src/base/log.h"
@@ -8,12 +10,83 @@
 namespace vnros {
 namespace {
 
-// Block file layout: [u32 crc32c(payload)][u32 len][payload]. The length is
-// stored (not derived from file size) so truncation is detected as
-// corruption, not silently returned short.
-constexpr usize kBlockHeader = 8;
+// Block file layout: [u32 crc32c(seq||payload)][u32 len][u64 seq][payload].
+// The length is stored (not derived from file size) so truncation is
+// detected as corruption, not silently returned short. `seq` is the write
+// sequence stamped when the bytes were written (client stamp on coordinated
+// puts, local_seq + 1 on direct ones); every replica-apply path refuses
+// bytes older than its local copy, so a handoff, hint, or replication push
+// can never regress a key to a stale value. The crc covers the sequence so
+// ordering decisions are never made on torn metadata.
+constexpr usize kBlockHeader = 16;
 
 constexpr char kHexDigits[] = "0123456789abcdef";
+
+// One admitted op, in admission-bucket units (millionths of an op).
+constexpr u64 kOpCostPpm = 1'000'000;
+
+// Decodes a pure-hex name back into the key it encodes; nullopt for names
+// that are not hex (".tmp" sidecars, foreign files).
+std::optional<std::string> decode_hex_key(std::string_view name) {
+  if (name.size() % 2 != 0) {
+    return std::nullopt;
+  }
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string key;
+  for (usize i = 0; i < name.size(); i += 2) {
+    int hi = nib(name[i]);
+    int lo = nib(name[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return std::nullopt;
+    }
+    key.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return key;
+}
+
+// One decoded block-format file: the payload plus its write sequence.
+struct DecodedBlock {
+  u64 seq = 0;
+  std::vector<u8> bytes;
+};
+
+// Reads and checksum-verifies one block-format file
+// ([crc][len][seq][payload]); kCorrupted on any framing or checksum
+// mismatch. Shared by get() and hint delivery (hints use the same layout).
+Result<DecodedBlock> read_block_file(Sys& sys, const std::string& path) {
+  auto fd = sys.open(path, 0);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  auto st = sys.fstat(fd.value());
+  if (!st.ok()) {
+    (void)sys.close(fd.value());
+    return st.error();
+  }
+  auto raw = sys.read(fd.value(), st.value().size);
+  (void)sys.close(fd.value());
+  if (!raw.ok()) {
+    return raw.error();
+  }
+  Reader r(raw.value());
+  auto crc = r.get_u32();
+  auto len = r.get_u32();
+  auto seq = r.get_u64();
+  if (!crc || !len || !seq || raw.value().size() != kBlockHeader + *len) {
+    return ErrorCode::kCorrupted;
+  }
+  // The crc covers [seq][payload] so a torn sequence is corruption too.
+  std::span<const u8> covered(raw.value().data() + 8, 8 + *len);
+  if (crc32c(covered) != *crc) {
+    return ErrorCode::kCorrupted;  // never return bytes that fail the checksum
+  }
+  std::span<const u8> payload(raw.value().data() + kBlockHeader, *len);
+  return DecodedBlock{*seq, std::vector<u8>(payload.begin(), payload.end())};
+}
 
 }  // namespace
 
@@ -27,7 +100,7 @@ std::string BlockStoreNode::key_path(std::string_view key) {
 }
 
 BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers,
-                               std::function<void()> pump)
+                               std::function<void()> pump, std::string fault_prefix)
     : sys_(sys),
       port_(port),
       peers_(std::move(peers)),
@@ -41,12 +114,25 @@ BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers,
       c_replicas_applied_(ObsRegistry::global().counter(obs_prefix_ + "replicas_applied")),
       c_read_repairs_(ObsRegistry::global().counter(obs_prefix_ + "read_repairs")),
       c_failed_repairs_(ObsRegistry::global().counter(obs_prefix_ + "failed_repairs")),
-      span_serve_(ObsRegistry::global().tracer().intern_site("bs/serve")) {}
+      c_sheds_(ObsRegistry::global().counter(obs_prefix_ + "sheds")),
+      c_hints_written_(ObsRegistry::global().counter(obs_prefix_ + "hints_written")),
+      c_hints_delivered_(ObsRegistry::global().counter(obs_prefix_ + "hints_delivered")),
+      c_handoffs_(ObsRegistry::global().counter(obs_prefix_ + "handoffs")),
+      c_stale_ignored_(ObsRegistry::global().counter(obs_prefix_ + "stale_ignored")),
+      span_serve_(ObsRegistry::global().tracer().intern_site("bs/serve")) {
+  if (!fault_prefix.empty()) {
+    delay_site_ = &FaultRegistry::global().site(fault_prefix + "/serve_delay");
+  }
+}
 
 Result<Unit> BlockStoreNode::init() {
   auto md = sys_.mkdir("/blocks");
   if (!md.ok() && md.error() != ErrorCode::kAlreadyExists) {
     return md.error();
+  }
+  auto hints = sys_.mkdir("/hints");
+  if (!hints.ok() && hints.error() != ErrorCode::kAlreadyExists) {
+    return hints.error();
   }
   auto sock = sys_.udp_socket();
   if (!sock.ok()) {
@@ -60,7 +146,25 @@ Result<Unit> BlockStoreNode::init() {
   return Unit{};
 }
 
-Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8> value) {
+namespace {
+
+// Serializes one block-format file: [crc(seq||payload)][len][seq][payload].
+// Shared by put_local and write_hint (hints use the same layout).
+Writer encode_block(std::span<const u8> value, u64 seq) {
+  Writer body;
+  body.put_u64(seq);
+  body.put_raw(value);
+  Writer w;
+  w.put_u32(crc32c(body.bytes()));
+  w.put_u32(static_cast<u32>(value.size()));
+  w.put_raw(body.bytes());
+  return w;
+}
+
+}  // namespace
+
+Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8> value,
+                                       u64 seq) {
   // Write-temp-then-rename: the new bytes go to a sidecar file and replace
   // the block in one atomic (journaled) rename, so a fault anywhere mid-put
   // leaves the previously acknowledged value intact. The ".tmp" suffix can
@@ -72,10 +176,7 @@ Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8>
   if (!fd.ok()) {
     return fd.error();
   }
-  Writer w;
-  w.put_u32(crc32c(value));
-  w.put_u32(static_cast<u32>(value.size()));
-  w.put_raw(value);
+  Writer w = encode_block(value, seq);
   auto written = sys_.write(fd.value(), w.bytes());
   (void)sys_.close(fd.value());
   if (!written.ok() || written.value() != w.size()) {
@@ -93,16 +194,60 @@ Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8>
 }
 
 Result<Unit> BlockStoreNode::put(std::string_view key, std::span<const u8> value) {
-  auto r = put_local(key, value);
+  // Direct (unstamped) puts order after whatever this node already holds.
+  return put_stamped(key, value, local_seq(key) + 1);
+}
+
+Result<Unit> BlockStoreNode::put_stamped(std::string_view key, std::span<const u8> value,
+                                         u64 seq) {
+  bool applied = false;
+  auto r = apply_replica(key, value, seq, &applied);
   if (!r.ok()) {
     return r;
   }
   c_puts_.inc();
-  push_replicas(key, value);
+  if (!applied) {
+    return Unit{};  // superseded by a newer local write: nothing to replicate
+  }
+  if (clustered_) {
+    replicate_put(key, value, seq);
+  } else {
+    push_replicas(key, value, seq);
+  }
   return Unit{};
 }
 
-void BlockStoreNode::push_replicas(std::string_view key, std::span<const u8> value) {
+Result<Unit> BlockStoreNode::apply_replica(std::string_view key, std::span<const u8> value,
+                                           u64 seq, bool* applied) {
+  auto local = read_block_file(sys_, key_path(key));
+  if (!local.ok() && local.error() != ErrorCode::kNotFound &&
+      local.error() != ErrorCode::kCorrupted) {
+    // Ordering needs the local copy's sequence; a faulting read (as opposed
+    // to clean absence or detected corruption) must surface, not guess.
+    return local.error();
+  }
+  if (local.ok() && local.value().seq > seq) {
+    // The local intact copy is strictly newer: refusing the write is the
+    // success path (the caller's bytes are durably superseded here).
+    c_stale_ignored_.inc();
+    if (applied != nullptr) {
+      *applied = false;
+    }
+    return Unit{};
+  }
+  auto r = put_local(key, value, seq);
+  if (applied != nullptr) {
+    *applied = r.ok();
+  }
+  return r;
+}
+
+u64 BlockStoreNode::local_seq(std::string_view key) const {
+  auto r = read_block_file(sys_, key_path(key));
+  return r.ok() ? r.value().seq : 0;
+}
+
+void BlockStoreNode::push_replicas(std::string_view key, std::span<const u8> value, u64 seq) {
   if (peers_.empty() || sock_ == kInvalidFd) {
     return;
   }
@@ -110,6 +255,7 @@ void BlockStoreNode::push_replicas(std::string_view key, std::span<const u8> val
   w.put_u8(static_cast<u8>(BsOp::kPutReplica));
   w.put_u64(0);  // replication pushes are unacked (client-level retries cover loss)
   w.put_string(key);
+  w.put_u64(seq);
   w.put_bytes(value);
   for (const auto& peer : peers_) {
     if (sys_.udp_sendto(sock_, peer.addr, peer.port, w.bytes()).ok()) {
@@ -119,39 +265,20 @@ void BlockStoreNode::push_replicas(std::string_view key, std::span<const u8> val
 }
 
 Result<std::vector<u8>> BlockStoreNode::get(std::string_view key) const {
-  std::string path = key_path(key);
-  auto fd = sys_.open(path, 0);
-  if (!fd.ok()) {
-    return fd.error();
-  }
-  auto st = sys_.fstat(fd.value());
-  if (!st.ok()) {
-    (void)sys_.close(fd.value());
-    return st.error();
-  }
-  auto raw = sys_.read(fd.value(), st.value().size);
-  (void)sys_.close(fd.value());
-  if (!raw.ok()) {
-    return raw.error();
+  auto r = read_block_file(sys_, key_path(key));
+  if (!r.ok() && r.error() != ErrorCode::kCorrupted) {
+    return r.error();  // missing / io error: nothing was decoded
   }
   c_gets_.inc();
-  Reader r(raw.value());
-  auto crc = r.get_u32();
-  auto len = r.get_u32();
-  if (!crc || !len || raw.value().size() != kBlockHeader + *len) {
+  if (!r.ok()) {
     c_corrupt_reads_.inc();
     return ErrorCode::kCorrupted;
   }
-  std::span<const u8> payload(raw.value().data() + kBlockHeader, *len);
-  if (crc32c(payload) != *crc) {
-    c_corrupt_reads_.inc();
-    return ErrorCode::kCorrupted;  // never return bytes that fail the checksum
-  }
-  return std::vector<u8>(payload.begin(), payload.end());
+  return std::move(r.value().bytes);
 }
 
-Result<std::vector<u8>> BlockStoreNode::fetch_from_peer(const BsPeer& peer,
-                                                        std::string_view key) {
+Result<BlockStoreNode::BlockData> BlockStoreNode::fetch_from_peer(const BsPeer& peer,
+                                                                  std::string_view key) {
   if (repair_sock_ == kInvalidFd) {
     auto sock = sys_.udp_socket();
     if (!sock.ok()) {
@@ -190,26 +317,45 @@ Result<std::vector<u8>> BlockStoreNode::fetch_from_peer(const BsPeer& peer,
       if (static_cast<ErrorCode>(*err) != ErrorCode::kOk) {
         return static_cast<ErrorCode>(*err);
       }
-      return std::move(*payload);
+      // kGet replies carry the block's write sequence after the payload so a
+      // read-repair re-persists the bytes at their true position in the
+      // write order (not as a fresh write that could shadow a newer value).
+      auto seq = r.get_u64();
+      return BlockData{std::move(*payload), seq.value_or(0)};
     }
   }
   return ErrorCode::kTimedOut;
 }
 
 Result<std::vector<u8>> BlockStoreNode::get_or_repair(std::string_view key) {
-  auto local = get(key);
-  if (local.ok() || local.error() != ErrorCode::kCorrupted) {
-    return local;
+  auto r = get_or_repair_block(key);
+  if (!r.ok()) {
+    return r.error();
   }
+  return std::move(r.value().bytes);
+}
+
+Result<BlockStoreNode::BlockData> BlockStoreNode::get_or_repair_block(std::string_view key) {
+  auto local = read_block_file(sys_, key_path(key));
+  if (local.ok()) {
+    c_gets_.inc();
+    return BlockData{std::move(local.value().bytes), local.value().seq};
+  }
+  if (local.error() != ErrorCode::kCorrupted) {
+    return local.error();
+  }
+  c_gets_.inc();
+  c_corrupt_reads_.inc();
   // Local copy failed its checksum. Without peers (or while already inside a
   // repair — pump() can recurse into serve_once) the error stands; otherwise
   // pull the block from a replica, re-persist it, and serve the cured bytes.
-  if (in_repair_ || peers_.empty() || pump_ == nullptr) {
-    return local;
+  std::vector<BsPeer> repair_from = repair_peers(key);
+  if (in_repair_ || repair_from.empty() || pump_ == nullptr) {
+    return ErrorCode::kCorrupted;
   }
   in_repair_ = true;
-  Result<std::vector<u8>> repaired = ErrorCode::kCorrupted;
-  for (const auto& peer : peers_) {
+  Result<BlockData> repaired = ErrorCode::kCorrupted;
+  for (const auto& peer : repair_from) {
     auto fetched = fetch_from_peer(peer, key);
     if (fetched.ok()) {
       repaired = std::move(fetched);
@@ -219,20 +365,22 @@ Result<std::vector<u8>> BlockStoreNode::get_or_repair(std::string_view key) {
   in_repair_ = false;
   if (!repaired.ok()) {
     c_failed_repairs_.inc();
-    return local;  // every peer failed: the honest answer is still kCorrupted
+    return ErrorCode::kCorrupted;  // every peer failed: the honest answer stands
   }
-  auto stored = put_local(key, repaired.value());
+  // Re-persist at the peer's sequence: the cure restores the block's true
+  // place in the write order instead of minting a new one.
+  auto stored = put_local(key, repaired.value().bytes, repaired.value().seq);
   if (stored.ok()) {
     c_read_repairs_.inc();
     VNROS_LOG_DEBUG("blockstore", "read-repaired %zu-byte block from peer",
-                    repaired.value().size());
+                    repaired.value().bytes.size());
   }
   // Even if re-persisting failed (e.g. injected disk fault) the fetched
   // bytes are checksum-verified by the peer's get(); serve them.
   return repaired;
 }
 
-Result<Unit> BlockStoreNode::del(std::string_view key) {
+Result<Unit> BlockStoreNode::del_local(std::string_view key) {
   // "Ensure absent" semantics (like S3 DELETE): deleting a missing key is a
   // success. This is what makes DEL idempotent, so the client's at-least-once
   // retries (a reply can be lost after the delete applied) stay correct.
@@ -240,8 +388,19 @@ Result<Unit> BlockStoreNode::del(std::string_view key) {
   if (!r.ok() && r.error() != ErrorCode::kNotFound) {
     return r;
   }
-  c_dels_.inc();
   return sys_.fsync();
+}
+
+Result<Unit> BlockStoreNode::del(std::string_view key) {
+  auto r = del_local(key);
+  if (!r.ok()) {
+    return r;
+  }
+  c_dels_.inc();
+  if (clustered_) {
+    replicate_del(key);
+  }
+  return Unit{};
 }
 
 std::vector<BlockKeyInfo> BlockStoreNode::list() const {
@@ -260,38 +419,357 @@ std::map<std::string, std::vector<u8>> BlockStoreNode::view() const {
   }
   for (const auto& name : names.value()) {
     // Decode the hex filename back into the key.
-    std::string key;
-    if (name.size() % 2 != 0) {
+    auto key = decode_hex_key(name);
+    if (!key) {
       continue;
     }
-    bool ok = true;
-    for (usize i = 0; i < name.size(); i += 2) {
-      auto nib = [&](char c) -> int {
-        if (c >= '0' && c <= '9') return c - '0';
-        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-        return -1;
-      };
-      int hi = nib(name[i]);
-      int lo = nib(name[i + 1]);
-      if (hi < 0 || lo < 0) {
-        ok = false;
-        break;
-      }
-      key.push_back(static_cast<char>((hi << 4) | lo));
-    }
-    if (!ok) {
-      continue;
-    }
-    auto value = get(key);
+    auto value = get(*key);
     if (value.ok()) {
-      out[key] = value.value();
+      out[*key] = value.value();
     }
   }
   return out;
 }
 
+void BlockStoreNode::configure_cluster(const ClusterConfig& cfg, const ClusterView& view) {
+  cluster_ = cfg;
+  view_ = view;
+  clustered_ = true;
+}
+
+void BlockStoreNode::set_cluster_view(const ClusterView& view) {
+  view_ = view;
+  clustered_ = true;
+}
+
+void BlockStoreNode::grant_tokens(u64 ops_ppm) {
+  tokens_ppm_ = std::min(tokens_ppm_ + ops_ppm, admission_.burst_ops * kOpCostPpm);
+}
+
+bool BlockStoreNode::admit_op() {
+  if (!admission_.enabled) {
+    return true;
+  }
+  if (tokens_ppm_ < kOpCostPpm) {
+    c_sheds_.inc();
+    return false;
+  }
+  tokens_ppm_ -= kOpCostPpm;
+  return true;
+}
+
+std::vector<BsPeer> BlockStoreNode::repair_peers(std::string_view key) const {
+  if (!clustered_) {
+    return peers_;
+  }
+  std::vector<BsPeer> out;
+  for (BsNodeId id : view_.owners(key)) {
+    if (id == cluster_.self) {
+      continue;
+    }
+    auto it = view_.directory.find(id);
+    if (it != view_.directory.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+Result<Unit> BlockStoreNode::push_acked(const BsPeer& peer, BsOp op, std::string_view key,
+                                        std::span<const u8> value, u64 seq) {
+  if (pump_ == nullptr) {
+    return ErrorCode::kUnsupported;  // cannot await an ack without a world pump
+  }
+  if (repair_sock_ == kInvalidFd) {
+    auto sock = sys_.udp_socket();
+    if (!sock.ok()) {
+      return sock.error();
+    }
+    repair_sock_ = sock.value();
+  }
+  u64 req_id = next_repair_req_id_++;
+  Writer w;
+  w.put_u8(static_cast<u8>(op));
+  w.put_u64(req_id);
+  w.put_string(key);
+  if (op == BsOp::kPutReplica) {
+    w.put_u64(seq);
+    w.put_bytes(value);
+  }
+  ErrorCode last = ErrorCode::kTimedOut;
+  for (usize attempt = 0; attempt < cluster_.push_attempts; ++attempt) {
+    auto sent = sys_.udp_sendto(repair_sock_, peer.addr, peer.port, w.bytes());
+    if (!sent.ok()) {
+      last = sent.error();
+      continue;
+    }
+    // Every replica datagram put on the wire counts as pushed; the receiver
+    // counts at most one apply per datagram, so applied <= pushed (the PR 5
+    // obs-coherence invariant) is preserved by construction.
+    c_replicas_pushed_.inc();
+    for (usize poll = 0; poll < cluster_.push_ack_polls; ++poll) {
+      pump_();
+      auto reply = sys_.udp_recvfrom(repair_sock_);
+      if (!reply.ok()) {
+        continue;
+      }
+      Reader r(reply.value().payload);
+      auto rid = r.get_u64();
+      auto err = r.get_u32();
+      if (!rid || !err || *rid != req_id) {
+        continue;  // stale reply from an earlier push/fetch on this socket
+      }
+      ErrorCode code = static_cast<ErrorCode>(*err);
+      if (code == ErrorCode::kOk) {
+        return Unit{};
+      }
+      last = code;
+      break;  // the peer answered with an error; maybe the next attempt cures it
+    }
+  }
+  return last;
+}
+
+Result<Unit> BlockStoreNode::write_hint(BsNodeId owner, std::string_view key,
+                                        std::span<const u8> value, u64 seq) {
+  // Hints live beside blocks as "/hints/<owner>_<hexkey>" in block format
+  // (the write sequence rides along so delivery keeps its ordering). No
+  // fsync: a hint is an availability optimization, not the durability
+  // story — the coordinator keeps its own fsynced copy, and anti-entropy
+  // remains the backstop if a crash eats parked hints.
+  std::string path = "/hints/" + std::to_string(owner) + "_";
+  for (char c : key) {
+    path.push_back(kHexDigits[(static_cast<u8>(c) >> 4) & 0xF]);
+    path.push_back(kHexDigits[static_cast<u8>(c) & 0xF]);
+  }
+  auto fd = sys_.open(path, kOpenCreate | kOpenTrunc);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  Writer w = encode_block(value, seq);
+  auto written = sys_.write(fd.value(), w.bytes());
+  (void)sys_.close(fd.value());
+  if (!written.ok() || written.value() != w.size()) {
+    (void)sys_.unlink(path);
+    return written.ok() ? ErrorCode::kNoSpace : written.error();
+  }
+  c_hints_written_.inc();
+  return Unit{};
+}
+
+void BlockStoreNode::replicate_put(std::string_view key, std::span<const u8> value,
+                                   u64 seq) {
+  for (BsNodeId owner : view_.owners(key)) {
+    if (owner == cluster_.self) {
+      continue;
+    }
+    auto it = view_.directory.find(owner);
+    if (it == view_.directory.end()) {
+      continue;
+    }
+    if (!push_acked(it->second, BsOp::kPutReplica, key, value, seq).ok()) {
+      // Owner unreachable (partition/crash/overload): park the handoff.
+      (void)write_hint(owner, key, value, seq);
+    }
+  }
+}
+
+void BlockStoreNode::replicate_del(std::string_view key) {
+  // Deletes are replicated best-effort and never hinted: with no versioning
+  // there are no tombstones, and anti-entropy resolves divergence in favor
+  // of presence (DESIGN §9 limitation). We do drop any parked hint for the
+  // key so delivery cannot resurrect the value we just deleted.
+  for (const auto& [owner, peer] : view_.directory) {
+    if (owner == cluster_.self) {
+      continue;
+    }
+    std::string hint = "/hints/" + std::to_string(owner) + "_";
+    for (char c : key) {
+      hint.push_back(kHexDigits[(static_cast<u8>(c) >> 4) & 0xF]);
+      hint.push_back(kHexDigits[static_cast<u8>(c) & 0xF]);
+    }
+    (void)sys_.unlink(hint);
+  }
+  for (BsNodeId owner : view_.owners(key)) {
+    if (owner == cluster_.self) {
+      continue;
+    }
+    auto it = view_.directory.find(owner);
+    if (it != view_.directory.end()) {
+      (void)push_acked(it->second, BsOp::kDelReplica, key, {}, 0);
+    }
+  }
+}
+
+Result<RebalanceStats> BlockStoreNode::rebalance(const ClusterView& next) {
+  ClusterView old = view_;
+  bool was_clustered = clustered_;
+  view_ = next;
+  clustered_ = true;
+  auto had = [](const std::vector<BsNodeId>& owners, BsNodeId id) {
+    for (BsNodeId o : owners) {
+      if (o == id) {
+        return true;
+      }
+    }
+    return false;
+  };
+  RebalanceStats st;
+  auto names = sys_.readdir("/blocks");
+  if (!names.ok()) {
+    return names.error();
+  }
+  for (const auto& name : names.value()) {
+    auto decoded_key = decode_hex_key(name);
+    if (!decoded_key) {
+      continue;  // ".tmp" sidecars and foreign files are not blocks
+    }
+    const std::string& key = *decoded_key;
+    auto block = read_block_file(sys_, "/blocks/" + name);
+    if (!block.ok()) {
+      continue;  // corrupt local copy: read-repair's problem, not rebalance's
+    }
+    const std::vector<u8>& value = block.value().bytes;
+    u64 seq = block.value().seq;
+    ++st.scanned;
+    std::vector<BsNodeId> new_owners = view_.owners(key);
+    std::vector<BsNodeId> old_owners = was_clustered ? old.owners(key) : std::vector<BsNodeId>{};
+    bool self_owner = had(new_owners, cluster_.self);
+    // Owners gained by the view change lack the shard; everyone else already
+    // got it on the write path (or will via hints/anti-entropy).
+    std::vector<BsNodeId> targets;
+    for (BsNodeId id : new_owners) {
+      if (id != cluster_.self && !had(old_owners, id)) {
+        targets.push_back(id);
+      }
+    }
+    // Losing ownership with no newly-joined owner still requires proof of
+    // placement before dropping: confirm with the primary. The push carries
+    // our copy's sequence, so a primary holding something newer refuses the
+    // bytes but still acks — either way its ack certifies "I durably hold
+    // this key at a sequence >= yours", which is what makes dropping safe.
+    if (!self_owner && targets.empty() && !new_owners.empty()) {
+      targets.push_back(new_owners[0]);
+    }
+    usize acks = 0;
+    for (BsNodeId id : targets) {
+      auto it = view_.directory.find(id);
+      if (it == view_.directory.end()) {
+        continue;
+      }
+      if (push_acked(it->second, BsOp::kPutReplica, key, value, seq).ok()) {
+        ++acks;
+        ++st.moved;
+        c_handoffs_.inc();
+      } else if (write_hint(id, key, value, seq).ok()) {
+        ++st.hinted;
+      }
+    }
+    if (!self_owner) {
+      if (acks > 0) {
+        // The shard provably lives on a current owner; release our copy.
+        (void)sys_.unlink(key_path(key));
+        ++st.dropped;
+      } else {
+        // No owner acked: keep the bytes and flag it — a graceful leave
+        // must abort rather than walk away with the only copy.
+        ++st.failed;
+      }
+    }
+  }
+  auto synced = sys_.fsync();
+  if (!synced.ok()) {
+    return synced.error();
+  }
+  return st;
+}
+
+u64 BlockStoreNode::deliver_hints() {
+  if (!clustered_) {
+    return 0;
+  }
+  auto names = sys_.readdir("/hints");
+  if (!names.ok()) {
+    return 0;
+  }
+  u64 delivered = 0;
+  for (const auto& name : names.value()) {
+    auto us = name.find('_');
+    if (us == std::string::npos || us == 0) {
+      continue;
+    }
+    u64 owner_raw = 0;
+    bool digits = true;
+    for (usize i = 0; i < us; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      owner_raw = owner_raw * 10 + static_cast<u64>(name[i] - '0');
+    }
+    auto key = decode_hex_key(std::string_view(name).substr(us + 1));
+    if (!digits || !key) {
+      continue;
+    }
+    BsNodeId owner = static_cast<BsNodeId>(owner_raw);
+    std::string path = "/hints/" + name;
+    auto it = view_.directory.find(owner);
+    if (!view_.ring.contains(owner) || it == view_.directory.end()) {
+      (void)sys_.unlink(path);  // owner left the cluster: the hint is stale
+      continue;
+    }
+    auto hint = read_block_file(sys_, path);
+    if (!hint.ok()) {
+      (void)sys_.unlink(path);  // torn/corrupt hint (no fsync): drop it
+      continue;
+    }
+    if (owner == cluster_.self) {
+      // A view change made us the owner: apply locally (if-newer — our own
+      // copy may already have overtaken the parked bytes).
+      bool applied = false;
+      if (!apply_replica(*key, hint.value().bytes, hint.value().seq, &applied).ok()) {
+        continue;  // disk fault: retry on a later pass
+      }
+      (void)sys_.unlink(path);
+      if (applied) {
+        c_hints_delivered_.inc();
+        ++delivered;
+      }
+      continue;
+    }
+    if (pump_ == nullptr) {
+      continue;
+    }
+    // The hint rides with its original write sequence, so delivery cannot
+    // regress a newer value: the owner applies if-newer and acks either way
+    // (a stale refusal still certifies the owner durably holds the key).
+    // No ack (unreachable, shedding) keeps the hint parked for a later pass.
+    if (push_acked(it->second, BsOp::kPutReplica, *key, hint.value().bytes,
+                   hint.value().seq)
+            .ok()) {
+      (void)sys_.unlink(path);
+      c_hints_delivered_.inc();
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
 bool BlockStoreNode::serve_once() {
   VNROS_CHECK(sock_ != kInvalidFd);
+  // Latency injection: a fired "<prefix>/serve_delay" fault stalls this node
+  // for `delay` serve calls. The datagram stays queued in the rx ring — a
+  // slow peer, not a dead one.
+  if (stall_polls_ > 0) {
+    --stall_polls_;
+    return false;
+  }
+  if (delay_site_ != nullptr) {
+    if (auto d = delay_site_->fire_delay()) {
+      stall_polls_ = *d - 1;
+      return false;
+    }
+  }
   auto dgram = sys_.udp_recvfrom(sock_);
   if (!dgram.ok()) {
     return false;
@@ -305,21 +783,43 @@ bool BlockStoreNode::serve_once() {
     return true;  // malformed request: drop (no reply address semantics)
   }
 
+  // Admission control: storage ops (not ping/list — the control plane stays
+  // responsive) cost one token. An empty bucket sheds the request with a
+  // typed kOverloaded so clients back off instead of failing over.
+  BsOp opcode = static_cast<BsOp>(*op);
+  bool storage_op = opcode == BsOp::kPut || opcode == BsOp::kGet || opcode == BsOp::kDel ||
+                    opcode == BsOp::kPutReplica || opcode == BsOp::kDelReplica;
+  if (storage_op && !admit_op()) {
+    if (*req_id == 0) {
+      return true;  // unacked replica push: shed silently
+    }
+    Writer shed;
+    shed.put_u64(*req_id);
+    shed.put_u32(static_cast<u32>(ErrorCode::kOverloaded));
+    shed.put_bytes(std::span<const u8>());
+    (void)sys_.udp_sendto(sock_, dgram.value().src_addr, dgram.value().src_port, shed.bytes());
+    return true;
+  }
+
   ErrorCode err = ErrorCode::kInvalidArgument;
   std::vector<u8> value_out;
+  u64 seq_out = 0;  // kGet replies carry the block's write sequence
   switch (static_cast<BsOp>(*op)) {
     case BsOp::kPut: {
+      auto seq = r.get_u64();
       auto value = r.get_bytes();
-      if (value && r.exhausted()) {
-        err = put(*key, *value).error();
+      if (seq && value && r.exhausted()) {
+        err = put_stamped(*key, *value, *seq).error();
       }
       break;
     }
     case BsOp::kPutReplica: {
+      auto seq = r.get_u64();
       auto value = r.get_bytes();
-      if (value && r.exhausted()) {
-        err = put_local(*key, *value).error();
-        if (err == ErrorCode::kOk) {
+      if (seq && value && r.exhausted()) {
+        bool applied = false;
+        err = apply_replica(*key, *value, *seq, &applied).error();
+        if (applied) {
           c_replicas_applied_.inc();
         }
       }
@@ -331,11 +831,12 @@ bool BlockStoreNode::serve_once() {
     }
     case BsOp::kGet: {
       if (r.exhausted()) {
-        auto v = get_or_repair(*key);
+        auto v = get_or_repair_block(*key);
         err = v.error();
         if (v.ok()) {
           err = ErrorCode::kOk;
-          value_out = std::move(v.value());
+          value_out = std::move(v.value().bytes);
+          seq_out = v.value().seq;
         }
       }
       break;
@@ -343,6 +844,20 @@ bool BlockStoreNode::serve_once() {
     case BsOp::kDel: {
       if (r.exhausted()) {
         err = del(*key).error();
+      }
+      break;
+    }
+    case BsOp::kDelReplica: {
+      if (r.exhausted()) {
+        err = del_local(*key).error();
+        if (err == ErrorCode::kOk) {
+          c_replicas_applied_.inc();
+        }
+      }
+      // Like kPutReplica: applied locally, never re-forwarded; req_id 0
+      // means the sender is not waiting for an ack.
+      if (*req_id == 0) {
+        return true;
       }
       break;
     }
@@ -374,6 +889,7 @@ bool BlockStoreNode::serve_once() {
   reply.put_u64(*req_id);
   reply.put_u32(static_cast<u32>(err));
   reply.put_bytes(value_out);
+  reply.put_u64(seq_out);  // trailing write sequence (meaningful for kGet)
   (void)sys_.udp_sendto(sock_, dgram.value().src_addr, dgram.value().src_port, reply.bytes());
   return true;
 }

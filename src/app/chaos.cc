@@ -1,5 +1,6 @@
 #include "src/app/chaos.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -125,19 +126,38 @@ class ChaosRunner {
     std::unique_ptr<ChaosHost> host;
     std::unique_ptr<BlockStoreNode> node;
     LinkAddr addr = 0;
+    BsNodeId id = 0;
+    bool active = true;  // false once the member gracefully left (slots are
+                         // never reused, so id == slot index forever)
     std::string fault_prefix;
+    std::string node_prefix;  // serve_delay latency-injection site prefix
   };
 
+  void boot_slot_machine(usize i) {
+    auto& slot = slots_[i];
+    slot.id = static_cast<BsNodeId>(i);
+    slot.active = true;
+    slot.fault_prefix = "chaos/disk" + std::to_string(i);
+    slot.node_prefix = "chaos/node" + std::to_string(i);
+    slot.disk = std::make_unique<BlockDevice>(kDiskSectors, cfg_.seed * 1000003ull + i,
+                                              slot.fault_prefix);
+    slot.host = std::make_unique<ChaosHost>(&net_, slot.disk.get(), /*recover=*/false,
+                                            std::nullopt);
+    slot.addr = slot.host->kernel.net_addr();
+  }
+
   void boot_cluster() {
+    if (cfg_.cluster) {
+      view_.ring = PlacementRing(cfg_.vnodes);
+      view_.replication = std::min(cfg_.replication, cfg_.nodes);
+    }
     slots_.resize(cfg_.nodes);
     for (usize i = 0; i < cfg_.nodes; ++i) {
-      auto& slot = slots_[i];
-      slot.fault_prefix = "chaos/disk" + std::to_string(i);
-      slot.disk = std::make_unique<BlockDevice>(kDiskSectors, cfg_.seed * 1000003ull + i,
-                                                slot.fault_prefix);
-      slot.host = std::make_unique<ChaosHost>(&net_, slot.disk.get(), /*recover=*/false,
-                                              std::nullopt);
-      slot.addr = slot.host->kernel.net_addr();
+      boot_slot_machine(i);
+      if (cfg_.cluster) {
+        view_.ring.add_node(slots_[i].id);
+        view_.directory[slots_[i].id] = BsPeer{slots_[i].addr, kPort};
+      }
     }
     for (usize i = 0; i < cfg_.nodes; ++i) {
       make_node(i);
@@ -157,20 +177,60 @@ class ChaosRunner {
     for (usize i = 1; i < cfg_.nodes; ++i) {
       client_->add_failover(slots_[i].addr, kPort);
     }
+    if (cfg_.cluster) {
+      client_->set_cluster(view_);
+    }
     VNROS_CHECK(client_->init().ok());
   }
 
   void make_node(usize i) {
     auto& slot = slots_[i];
     std::vector<BsPeer> peers;
-    for (usize j = 0; j < cfg_.nodes; ++j) {
-      if (j != i) {
-        peers.push_back(BsPeer{slots_[j].addr, kPort});
+    if (!cfg_.cluster) {
+      for (usize j = 0; j < cfg_.nodes; ++j) {
+        if (j != i) {
+          peers.push_back(BsPeer{slots_[j].addr, kPort});
+        }
       }
     }
     slot.node = std::make_unique<BlockStoreNode>(slot.host->sys, kPort, std::move(peers),
-                                                 [this, i] { pump_except(i); });
+                                                 [this, i] { pump_except(i); }, slot.node_prefix);
     VNROS_CHECK(slot.node->init().ok());
+    if (cfg_.cluster) {
+      ClusterConfig cc;
+      cc.self = slot.id;
+      slot.node->configure_cluster(cc, view_);
+      if (cfg_.admission_rate_ppm > 0) {
+        AdmissionConfig ac;
+        ac.enabled = true;
+        ac.burst_ops = cfg_.admission_burst;
+        slot.node->set_admission(ac);
+        slot.node->grant_tokens(cfg_.admission_burst * 1'000'000);  // boot with a full bucket
+      }
+    }
+  }
+
+  usize active_count() const {
+    usize n = 0;
+    for (const auto& slot : slots_) {
+      if (slot.active) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  // Picks a uniformly random active slot. In legacy (non-cluster) runs every
+  // slot is active forever, so this draws exactly the stream the fixed seed
+  // matrix was recorded against.
+  usize pick_active() {
+    std::vector<usize> idx;
+    for (usize i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].active) {
+        idx.push_back(i);
+      }
+    }
+    return idx[sched_rng_.next_below(idx.size())];
   }
 
   void pump_all() {
@@ -195,17 +255,29 @@ class ChaosRunner {
 
   void schedule_events(usize step) {
     auto& reg = FaultRegistry::global();
+    if (cfg_.cluster && cfg_.admission_rate_ppm > 0) {
+      // The admission clock: one tick of tokens per schedule step. Ops that
+      // outrun the rate are shed with kOverloaded and absorbed by the
+      // client's backpressure ladder (or fail, leaving the key uncertain).
+      for (auto& slot : slots_) {
+        if (slot.active && slot.node) {
+          slot.node->grant_tokens(cfg_.admission_rate_ppm);
+        }
+      }
+    }
     if (sched_rng_.chance_ppm(cfg_.crash_ppm)) {
-      crash_node(sched_rng_.next_below(cfg_.nodes), step);
+      crash_node(pick_active(), step);
       if (!report_.message.empty()) {
         return;
       }
     }
     if (sched_rng_.chance_ppm(cfg_.partition_ppm)) {
-      // Cut a random pair among {nodes, client}.
+      // Cut a random pair among {active nodes, client}.
       std::vector<LinkAddr> ends;
       for (const auto& slot : slots_) {
-        ends.push_back(slot.addr);
+        if (slot.active) {
+          ends.push_back(slot.addr);
+        }
       }
       ends.push_back(client_addr_);
       LinkAddr a = ends[sched_rng_.next_below(ends.size())];
@@ -226,13 +298,13 @@ class ChaosRunner {
     one_shot.probability_ppm = 1'000'000;
     one_shot.one_shot = true;
     if (sched_rng_.chance_ppm(cfg_.disk_fault_ppm)) {
-      const auto& slot = slots_[sched_rng_.next_below(cfg_.nodes)];
+      const auto& slot = slots_[pick_active()];
       const char* kind = sched_rng_.chance_ppm(500'000) ? "/write_error" : "/read_error";
       reg.arm(slot.fault_prefix + kind, one_shot);
       ++report_.faults_armed;
     }
     if (sched_rng_.chance_ppm(cfg_.torn_write_ppm)) {
-      const auto& slot = slots_[sched_rng_.next_below(cfg_.nodes)];
+      const auto& slot = slots_[pick_active()];
       reg.arm(slot.fault_prefix + "/torn_write", one_shot);
       ++report_.faults_armed;
     }
@@ -250,6 +322,98 @@ class ChaosRunner {
       if (probe.ok()) {
         (void)client_host_->sys.munmap(probe.value());
       }
+    }
+    // Cluster-mode events last, each gated on `cluster` *before* touching the
+    // schedule Rng, so legacy configs draw the exact legacy stream.
+    if (cfg_.cluster && cfg_.join_ppm > 0 && slots_.size() < cfg_.max_nodes &&
+        sched_rng_.chance_ppm(cfg_.join_ppm)) {
+      join_node(step);
+    }
+    if (cfg_.cluster && cfg_.leave_ppm > 0 &&
+        active_count() > std::max<usize>(2, view_.replication) &&
+        sched_rng_.chance_ppm(cfg_.leave_ppm)) {
+      leave_node(step);
+    }
+    if (cfg_.cluster && cfg_.delay_ppm > 0 && sched_rng_.chance_ppm(cfg_.delay_ppm)) {
+      const auto& slot = slots_[pick_active()];
+      FaultSpec stall;
+      stall.probability_ppm = 1'000'000;
+      stall.one_shot = true;
+      stall.delay = sched_rng_.next_range(8, cfg_.delay_polls_max);
+      reg.arm(slot.node_prefix + "/serve_delay", stall);
+      ++report_.faults_armed;
+      ++report_.delays_armed;
+    }
+  }
+
+  // Boots a brand-new member mid-schedule: the joiner starts with the grown
+  // view; every pre-existing member rebalances against it, streaming the
+  // shards whose owner set now includes the joiner (in-flight client ops keep
+  // pumping underneath via the nodes' pump callbacks).
+  void join_node(usize step) {
+    usize i = slots_.size();
+    slots_.emplace_back();
+    boot_slot_machine(i);
+    auto& slot = slots_[i];
+    view_.ring.add_node(slot.id);
+    view_.directory[slot.id] = BsPeer{slot.addr, kPort};
+    make_node(i);  // configures the joiner with the grown view
+    for (usize j = 0; j < slots_.size(); ++j) {
+      if (j != i && slots_[j].active && slots_[j].node) {
+        rebalance_slot(j, step);
+      }
+    }
+    client_->add_failover(slot.addr, kPort);
+    client_->set_cluster(view_);
+    ++report_.joins;
+    VNROS_LOG_DEBUG("chaos", "node %zu joined at step %zu", i, step);
+  }
+
+  // Graceful leave: the leaver rebalances into a view without itself, which
+  // moves (acked) every shard it holds to the surviving owners. If any shard
+  // could not be acked anywhere (partition, injected faults), the leave is
+  // ABORTED — the member stays, keeping its data — rather than risking the
+  // last intact copy.
+  void leave_node(usize step) {
+    usize i = pick_active();
+    auto& slot = slots_[i];
+    ClusterView candidate = view_;
+    candidate.ring.remove_node(slot.id);
+    candidate.directory.erase(slot.id);
+    auto moved = slot.node->rebalance(candidate);
+    if (!moved.ok() || moved.value().failed > 0) {
+      slot.node->set_cluster_view(view_);  // restore membership belief
+      ++report_.aborted_leaves;
+      VNROS_LOG_DEBUG("chaos", "node %zu leave aborted at step %zu", i, step);
+      return;
+    }
+    view_ = candidate;
+    harvest_node_stats(slot);
+    auto& reg = FaultRegistry::global();
+    reg.disarm_prefix(slot.fault_prefix);
+    reg.disarm(slot.node_prefix + "/serve_delay");
+    slot.node.reset();
+    slot.host.reset();
+    slot.active = false;
+    for (usize j = 0; j < slots_.size(); ++j) {
+      if (slots_[j].active && slots_[j].node) {
+        rebalance_slot(j, step);
+      }
+    }
+    client_->set_cluster(view_);
+    ++report_.leaves;
+    VNROS_LOG_DEBUG("chaos", "node %zu left at step %zu", i, step);
+  }
+
+  // One member adopts the runner's current view and moves its shards.
+  // Errors (an injected fault mid-rebalance) are survivable: the member has
+  // adopted the view and keeps any block it failed to move, so the next
+  // quiesce still finds every acked byte somewhere.
+  void rebalance_slot(usize j, usize step) {
+    auto st = slots_[j].node->rebalance(view_);
+    if (!st.ok()) {
+      VNROS_LOG_DEBUG("chaos", "node %zu rebalance error at step %zu: %s", j, step,
+                      error_name(st.error()));
     }
   }
 
@@ -269,6 +433,9 @@ class ChaosRunner {
     if (!dirty_reboot) {
       reg.disarm_prefix(slot.fault_prefix);
     }
+    // A crash kills the (possibly stalled) serving process; its armed
+    // serve_delay dies with it.
+    reg.disarm(slot.node_prefix + "/serve_delay");
 
     harvest_node_stats(slot);
     slot.node.reset();
@@ -295,12 +462,20 @@ class ChaosRunner {
   }
 
   // Repopulates a re-imaged node from the surviving replicas' local views.
+  // In cluster mode only the keys the node actually owns are restored —
+  // placement, not mirroring.
   void anti_entropy_into(usize i) {
     for (usize j = 0; j < slots_.size(); ++j) {
       if (j == i || !slots_[j].node) {
         continue;
       }
       for (const auto& [key, value] : slots_[j].node->view()) {
+        if (cfg_.cluster) {
+          auto owners = view_.owners(key);
+          if (std::find(owners.begin(), owners.end(), slots_[i].id) == owners.end()) {
+            continue;
+          }
+        }
         auto have = slots_[i].node->get(key);
         if (have.ok() && have.value() == value) {
           continue;
@@ -320,7 +495,9 @@ class ChaosRunner {
   void downgrade_lost_keys() {
     std::vector<std::map<std::string, std::vector<u8>>> views;
     for (const auto& slot : slots_) {
-      views.push_back(slot.node->view());
+      if (slot.node) {
+        views.push_back(slot.node->view());
+      }
     }
     for (auto& [key, belief] : beliefs_) {
       if (!belief.certain) {
@@ -397,10 +574,28 @@ class ChaosRunner {
     for (int i = 0; i < 256; ++i) {
       pump_all();  // drain every in-flight datagram through the servers
     }
+    if (cfg_.cluster) {
+      // Hinted-handoff convergence: with the fabric healed, a few delivery
+      // passes must land every parked hint whose owner is still a member.
+      // Quiesce is not an overload test, so refill admission buckets first.
+      for (int round = 0; round < 4; ++round) {
+        for (auto& slot : slots_) {
+          if (slot.active && slot.node) {
+            slot.node->grant_tokens(64 * 1'000'000);
+            (void)slot.node->deliver_hints();
+          }
+        }
+        for (int i = 0; i < 32; ++i) {
+          pump_all();
+        }
+      }
+    }
 
     std::vector<std::map<std::string, std::vector<u8>>> views;
     for (const auto& slot : slots_) {
-      views.push_back(slot.node->view());
+      if (slot.node) {
+        views.push_back(slot.node->view());
+      }
     }
     for (const auto& [key, belief] : beliefs_) {
       for (usize j = 0; j < views.size(); ++j) {
@@ -420,6 +615,15 @@ class ChaosRunner {
           }
         }
         if (!held) {
+          for (usize j = 0; j < slots_.size(); ++j) {
+            if (!slots_[j].node) {
+              VNROS_LOG_DEBUG("chaos", "  slot %zu: departed", j);
+              continue;
+            }
+            auto local = slots_[j].node->get(key);
+            VNROS_LOG_DEBUG("chaos", "  slot %zu: get(%s) -> %s", j, key.c_str(),
+                            local.ok() ? "stale bytes" : error_name(local.error()));
+          }
           fail(step, "acked put of " + key + " readable on no node after quiesce");
           return;
         }
@@ -444,6 +648,30 @@ class ChaosRunner {
                      " corrupt reads");
       return;
     }
+    if (cfg_.cluster) {
+      // Membership belief agreement: after churn quiesces, every live member
+      // holds the same ring (version + order-insensitive fingerprint) as the
+      // runner's authoritative view.
+      for (usize j = 0; j < slots_.size(); ++j) {
+        if (!slots_[j].active || !slots_[j].node) {
+          continue;
+        }
+        if (slots_[j].node->ring_version() != view_.ring.version() ||
+            slots_[j].node->ring_fingerprint() != view_.ring.fingerprint()) {
+          fail(step, "node " + std::to_string(j) + " ring belief diverged (version " +
+                         std::to_string(slots_[j].node->ring_version()) + " vs " +
+                         std::to_string(view_.ring.version()) + ")");
+          return;
+        }
+      }
+      // Hint coherence: a delivered hint was once written (across all
+      // incarnations — the same park-then-drain shape as pushed/applied).
+      if (total.hints_delivered > total.hints_written) {
+        fail(step, "obs incoherence: " + std::to_string(total.hints_delivered) +
+                       " hints delivered > " + std::to_string(total.hints_written) + " written");
+        return;
+      }
+    }
     ++report_.checks;
   }
 
@@ -467,6 +695,11 @@ class ChaosRunner {
       report_.replicas_pushed += s.replicas_pushed;
       report_.replicas_applied += s.replicas_applied;
       report_.corrupt_reads += s.corrupt_reads;
+      report_.sheds += s.sheds;
+      report_.stale_ignored += s.stale_ignored;
+      report_.hints_written += s.hints_written;
+      report_.hints_delivered += s.hints_delivered;
+      report_.rebalanced += s.handoffs;
     }
   }
 
@@ -478,6 +711,10 @@ class ChaosRunner {
     total.replicas_applied = report_.replicas_applied;
     total.corrupt_reads = report_.corrupt_reads;
     total.read_repairs = report_.read_repairs;
+    total.sheds = report_.sheds;
+    total.stale_ignored = report_.stale_ignored;
+    total.hints_written = report_.hints_written;
+    total.hints_delivered = report_.hints_delivered;
     for (const auto& slot : slots_) {
       if (slot.node) {
         BlockStoreStats s = slot.node->stats();
@@ -485,6 +722,10 @@ class ChaosRunner {
         total.replicas_applied += s.replicas_applied;
         total.corrupt_reads += s.corrupt_reads;
         total.read_repairs += s.read_repairs;
+        total.sheds += s.sheds;
+        total.stale_ignored += s.stale_ignored;
+        total.hints_written += s.hints_written;
+        total.hints_delivered += s.hints_delivered;
       }
     }
     return total;
@@ -512,6 +753,7 @@ class ChaosRunner {
   std::unique_ptr<BlockStoreClient> client_;
   std::vector<std::pair<LinkAddr, LinkAddr>> cuts_;
   std::map<std::string, KeyBelief> beliefs_;
+  ClusterView view_;  // cluster mode: the runner's authoritative membership
   ChaosReport report_;
 };
 

@@ -65,6 +65,22 @@ struct ChaosConfig {
   // surviving unflushed sector is torn to a prefix.
   u64 persist_ppm = 500'000;
   u64 torn_crash_ppm = 150'000;
+
+  // --- Cluster mode (membership churn) -------------------------------------
+  // Off by default; a legacy config draws exactly the legacy schedule from
+  // its seed (every new event is gated on `cluster` before touching the
+  // schedule Rng), so the fixed seed matrix replays unchanged.
+  bool cluster = false;        // consistent-hash placement instead of static peers
+  usize replication = 2;       // ring owners per key
+  usize vnodes = 32;           // virtual nodes per member
+  usize max_nodes = 6;         // join cap (slots are never reused)
+  u64 join_ppm = 0;            // per-step: boot a new member + rebalance all
+  u64 leave_ppm = 0;           // per-step: graceful leave (aborts if it would
+                               // strand a shard: rebalance reports failed > 0)
+  u64 delay_ppm = 0;           // per-step: arm a one-shot serve_delay stall
+  u64 delay_polls_max = 80;    // stall length drawn from [8, delay_polls_max]
+  u64 admission_rate_ppm = 0;  // tokens/step granted to every node (0 = gate off)
+  u64 admission_burst = 4;     // admission bucket capacity, in ops
 };
 
 struct ChaosReport {
@@ -92,6 +108,17 @@ struct ChaosReport {
   u64 client_failovers = 0;
   u64 client_retries = 0;
   u64 checks = 0;       // invariant checkpoints passed
+
+  // Cluster-mode accounting.
+  u64 joins = 0;
+  u64 leaves = 0;
+  u64 aborted_leaves = 0;  // graceful leaves that would have stranded a shard
+  u64 rebalanced = 0;      // shards moved by join/leave rebalancing
+  u64 hints_written = 0;
+  u64 hints_delivered = 0;
+  u64 sheds = 0;           // requests refused by admission control
+  u64 stale_ignored = 0;   // replica writes refused as older than the local copy
+  u64 delays_armed = 0;    // serve_delay stalls injected
 };
 
 // Runs one seeded chaos schedule to completion (or first invariant

@@ -1,0 +1,115 @@
+#include "src/app/ring.h"
+
+#include "src/base/contracts.h"
+
+namespace vnros {
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and a fixed function — placement
+// must be identical across processes, so no seeding.
+u64 mix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PlacementRing::PlacementRing(usize vnodes_per_node) : vnodes_per_node_(vnodes_per_node) {
+  VNROS_CHECK(vnodes_per_node_ > 0);
+}
+
+u64 PlacementRing::hash_point(BsNodeId id, u32 replica_idx) {
+  return mix64((u64{id} << 32) | replica_idx);
+}
+
+u64 PlacementRing::hash_key(std::string_view key) {
+  // FNV-1a over the bytes, then a splitmix finalizer to spread short keys
+  // across the full circle.
+  u64 h = 0xCBF29CE484222325ull;
+  for (char c : key) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001B3ull;
+  }
+  return mix64(h);
+}
+
+void PlacementRing::add_node(BsNodeId id) {
+  if (members_.count(id) != 0) {
+    return;
+  }
+  usize added = 0;
+  for (u32 r = 0; r < vnodes_per_node_; ++r) {
+    // On the (astronomically unlikely) point collision the earlier member
+    // keeps the point; the ring stays a function, just slightly unbalanced.
+    added += points_.emplace(hash_point(id, r), id).second ? 1 : 0;
+  }
+  members_[id] = added;
+  ++version_;
+}
+
+void PlacementRing::remove_node(BsNodeId id) {
+  auto it = members_.find(id);
+  if (it == members_.end()) {
+    return;
+  }
+  for (auto p = points_.begin(); p != points_.end();) {
+    p = (p->second == id) ? points_.erase(p) : std::next(p);
+  }
+  members_.erase(it);
+  ++version_;
+}
+
+bool PlacementRing::contains(BsNodeId id) const { return members_.count(id) != 0; }
+
+std::vector<BsNodeId> PlacementRing::nodes() const {
+  std::vector<BsNodeId> out;
+  out.reserve(members_.size());
+  for (const auto& [id, pts] : members_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<BsNodeId> PlacementRing::owners(std::string_view key, usize n) const {
+  std::vector<BsNodeId> out;
+  if (points_.empty() || n == 0) {
+    return out;
+  }
+  usize want = n < members_.size() ? n : members_.size();
+  out.reserve(want);
+  auto it = points_.lower_bound(hash_key(key));
+  while (out.size() < want) {
+    if (it == points_.end()) {
+      it = points_.begin();  // wrap the circle
+    }
+    bool seen = false;
+    for (BsNodeId got : out) {
+      seen = seen || got == it->second;
+    }
+    if (!seen) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+BsNodeId PlacementRing::primary(std::string_view key) const {
+  auto first = owners(key, 1);
+  VNROS_CHECK(!first.empty());
+  return first[0];
+}
+
+u64 PlacementRing::fingerprint() const {
+  // XOR of per-point digests: order-insensitive, so rings that reached the
+  // same membership via different histories agree.
+  u64 fp = 0;
+  for (const auto& [point, id] : points_) {
+    fp ^= mix64(point ^ (u64{id} + 1));
+  }
+  return fp;
+}
+
+}  // namespace vnros

@@ -1,0 +1,80 @@
+// Consistent-hash placement ring with virtual nodes.
+//
+// Placement — who owns which key — is a pure function of the ring's
+// membership set, so two parties holding equal rings compute equal owner
+// lists for every key. That is what makes placement a *checkable
+// proposition* rather than a config file: the app/placement_refines VC
+// compares the ring's owner function against what every replica actually
+// stores at each quiesce point, and the chaos harness asserts that every
+// node's ring fingerprint matches the coordinator's after membership churn.
+//
+// Each member contributes `vnodes_per_node` points on a 64-bit hash circle;
+// owners(key, n) walks clockwise from hash(key) collecting the first n
+// distinct members. Virtual nodes smooth the load split (see
+// RingTest.BalancedSplit) and bound the reshuffle on join/leave to roughly
+// 1/|members| of the keyspace (RingTest.MinimalDisruption).
+//
+// Everything here is deterministic and seed-free: hashes are fixed
+// functions of (member id, replica index) and of the key bytes, so a ring
+// built from the same membership events is bit-identical across processes
+// and across runs — the property fingerprint() summarizes.
+#ifndef VNROS_SRC_APP_RING_H_
+#define VNROS_SRC_APP_RING_H_
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+// Identity of a blockstore cluster member. Distinct from the NUMA NodeId in
+// base/types.h: this names a storage node in the application-level cluster.
+using BsNodeId = u32;
+
+class PlacementRing {
+ public:
+  explicit PlacementRing(usize vnodes_per_node = 64);
+
+  // Membership. Both are idempotent (re-adding a present member or removing
+  // an absent one is a no-op) and bump version() only on actual change.
+  void add_node(BsNodeId id);
+  void remove_node(BsNodeId id);
+
+  bool contains(BsNodeId id) const;
+  usize num_nodes() const { return members_.size(); }
+  std::vector<BsNodeId> nodes() const;  // sorted by id
+
+  // The first `n` distinct members clockwise from hash(key); fewer when the
+  // ring has fewer members. owners(key, n)[0] == primary(key).
+  std::vector<BsNodeId> owners(std::string_view key, usize n) const;
+  BsNodeId primary(std::string_view key) const;  // ring must be non-empty
+
+  // Monotone membership-change counter. Two rings that applied the same
+  // change sequence agree on it; chaos uses it as the cheap belief check
+  // before comparing fingerprints.
+  u64 version() const { return version_; }
+
+  // Order-insensitive digest of the point set: equal membership ⇒ equal
+  // fingerprint, regardless of join/leave history. The strong belief check.
+  u64 fingerprint() const;
+
+  bool operator==(const PlacementRing& other) const {
+    return points_ == other.points_;
+  }
+
+  // Pure hash functions, exposed for tests/VCs that re-derive placement.
+  static u64 hash_point(BsNodeId id, u32 replica_idx);
+  static u64 hash_key(std::string_view key);
+
+ private:
+  usize vnodes_per_node_;
+  u64 version_ = 0;
+  std::map<u64, BsNodeId> points_;       // hash circle, sorted by point
+  std::map<BsNodeId, usize> members_;    // id -> points contributed
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_APP_RING_H_

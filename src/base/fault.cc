@@ -90,7 +90,7 @@ u64 FaultRegistry::total_fires() const {
   return total;
 }
 
-std::optional<ErrorCode> FaultSite::fire() {
+std::optional<FaultSpec> FaultSite::roll() {
   if (!armed_.load(std::memory_order_relaxed)) {
     return std::nullopt;
   }
@@ -113,9 +113,26 @@ std::optional<ErrorCode> FaultSite::fire() {
   if (spec_.one_shot || spec_.nth_call != 0) {
     armed_.store(false, std::memory_order_relaxed);
   }
-  VNROS_LOG_DEBUG("fault", "%s fired -> %s (fire #%llu)", name_.c_str(), error_name(spec_.error),
-                  static_cast<unsigned long long>(stats_.fires));
-  return spec_.error;
+  VNROS_LOG_DEBUG("fault", "%s fired -> %s (fire #%llu, delay=%llu)", name_.c_str(),
+                  error_name(spec_.error), static_cast<unsigned long long>(stats_.fires),
+                  static_cast<unsigned long long>(spec_.delay));
+  return spec_;
+}
+
+std::optional<ErrorCode> FaultSite::fire() {
+  auto spec = roll();
+  if (!spec) {
+    return std::nullopt;
+  }
+  return spec->error;
+}
+
+std::optional<u64> FaultSite::fire_delay() {
+  auto spec = roll();
+  if (!spec || spec->delay == 0) {
+    return std::nullopt;
+  }
+  return spec->delay;
 }
 
 FaultSiteStats FaultSite::stats() const {

@@ -39,6 +39,7 @@ struct FaultSpec {
   u64 nth_call = 0;                        // 1-based: fire on exactly this call
   bool one_shot = false;                   // disarm after the first fire
   ErrorCode error = ErrorCode::kIoError;   // what the site surfaces
+  u64 delay = 0;                           // latency sites: stall duration (virtual polls)
 };
 
 struct FaultSiteStats {
@@ -56,6 +57,13 @@ class FaultSite {
   // proceed normally. Fast path when disarmed: one relaxed load.
   std::optional<ErrorCode> fire();
 
+  // Latency variant: returns the configured stall duration (virtual polls)
+  // if this call should be delayed, nullopt to proceed at full speed. Used
+  // by sites that model slow peers rather than hard failures; a spec with
+  // delay == 0 never stalls. Shares the trigger machinery (and stats) with
+  // fire(), so delay schedules replay bit-identically too.
+  std::optional<u64> fire_delay();
+
   const std::string& name() const { return name_; }
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
   FaultSiteStats stats() const;
@@ -64,6 +72,10 @@ class FaultSite {
   friend class FaultRegistry;
   FaultSite(FaultRegistry& registry, std::string name)
       : registry_(registry), name_(std::move(name)) {}
+
+  // Trigger evaluation shared by fire()/fire_delay(): returns the armed spec
+  // when this call hits, nullopt otherwise. Takes the registry mutex.
+  std::optional<FaultSpec> roll();
 
   FaultRegistry& registry_;
   const std::string name_;

@@ -41,6 +41,7 @@ enum class ErrorCode : u32 {
   kUnsupported,       // operation not implemented for this object
   kIoError,           // transient device I/O failure (retryable)
   kOutOfRange,        // index/sector beyond the object's bounds
+  kOverloaded,        // admission control shed the request (back off, retry)
 };
 
 // Human-readable error name, stable for logs and tests.
@@ -72,6 +73,7 @@ constexpr const char* error_name(ErrorCode e) {
     case ErrorCode::kUnsupported: return "Unsupported";
     case ErrorCode::kIoError: return "IoError";
     case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

@@ -273,6 +273,184 @@ TEST(BlockStoreCrashTest, AckedPutSurvivesCrashDuringReplicationPush) {
   }
 }
 
+// --- RetryPolicy edge cases --------------------------------------------------
+
+// With jitter off, the backoff ladder is exact: base, then doubling, capped.
+// A dead server forces every attempt to back off, so the client's
+// backoff_polls counter must equal the closed-form sum.
+TEST(RetryPolicyTest, BackoffRespectsCap) {
+  Network net;
+  Host server(&net);  // bound to the fabric but nothing serves
+  Host client_host(&net);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.polls_per_attempt = 4;
+  policy.backoff_base_polls = 4;
+  policy.backoff_max_polls = 8;
+  policy.jitter_ppm = 0;
+  BlockStoreClient client(client_host.sys, server.kernel.net_addr(), 7000, {}, policy);
+  EXPECT_EQ(client.get("k").error(), ErrorCode::kTimedOut);
+  // Four retries backed off 4, 8, 8, 8 polls (doubling clamps at the cap).
+  EXPECT_EQ(client.retry_stats().retries, 4u);
+  EXPECT_EQ(client.retry_stats().backoff_polls, 4u + 8u + 8u + 8u);
+}
+
+// With jitter on, every wait lands in [w, w * (1 + jitter_ppm/1e6)].
+TEST(RetryPolicyTest, JitterBounded) {
+  Network net;
+  Host server(&net);
+  Host client_host(&net);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.polls_per_attempt = 4;
+  policy.backoff_base_polls = 8;
+  policy.backoff_max_polls = 0;  // uncapped
+  policy.jitter_ppm = 500'000;   // up to +50%
+  BlockStoreClient client(client_host.sys, server.kernel.net_addr(), 7000, {}, policy);
+  EXPECT_FALSE(client.get("k").ok());
+  // Two retries: waits drawn from [8, 12] and [16, 24].
+  EXPECT_GE(client.retry_stats().backoff_polls, 8u + 16u);
+  EXPECT_LE(client.retry_stats().backoff_polls, 12u + 24u);
+}
+
+// A deadline that expires mid-backoff must abort the rpc instead of sitting
+// out the rest of the ladder and burning the remaining attempts.
+TEST(RetryPolicyTest, DeadlineExpiresMidRetry) {
+  Network net;
+  Host server(&net);
+  Host client_host(&net);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.polls_per_attempt = 20;
+  policy.backoff_base_polls = 64;  // longer than the whole deadline
+  policy.jitter_ppm = 0;
+  policy.deadline_polls = 30;      // expires during the first backoff
+  BlockStoreClient client(client_host.sys, server.kernel.net_addr(), 7000, {}, policy);
+  EXPECT_EQ(client.get("k").error(), ErrorCode::kTimedOut);
+  EXPECT_EQ(client.retry_stats().attempts, 1u);  // never reached attempt 2 of 10
+  EXPECT_LE(client.retry_stats().backoff_polls, policy.deadline_polls);
+}
+
+// kOverloaded is backpressure, not failure: the client must wait out the
+// shed on the SAME target — zero failovers even with a healthy standby
+// configured — and succeed once the bucket refills.
+TEST(RetryPolicyTest, OverloadedBacksOffWithoutFailover) {
+  Network net;
+  Host server(&net);
+  Host standby_host(&net);
+  Host client_host(&net);
+  BlockStoreNode node(server.sys, 7000);
+  ASSERT_TRUE(node.init().ok());
+  BlockStoreNode standby(standby_host.sys, 7001);
+  ASSERT_TRUE(standby.init().ok());
+  AdmissionConfig admission;
+  admission.enabled = true;
+  admission.burst_ops = 1;
+  node.set_admission(admission);
+  node.grant_tokens(1'000'000);  // exactly one op in the bucket
+
+  usize polls = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.polls_per_attempt = 16;
+  policy.overload_base_polls = 8;
+  policy.overload_max_polls = 64;
+  BlockStoreClient client(
+      client_host.sys, server.kernel.net_addr(), 7000,
+      [&] {
+        node.serve_once();
+        standby.serve_once();
+        if (++polls == 60) {
+          node.grant_tokens(1'000'000);  // the bucket refills mid-backoff
+        }
+      },
+      policy);
+  client.add_failover(standby_host.kernel.net_addr(), 7001);
+
+  ASSERT_TRUE(client.put("a", bytes("first")).ok());   // consumes the token
+  ASSERT_TRUE(client.put("b", bytes("second")).ok());  // shed, then admitted
+  EXPECT_GT(client.retry_stats().overloads, 0u);
+  EXPECT_EQ(client.retry_stats().failovers, 0u);
+  EXPECT_GT(node.stats().sheds, 0u);
+  EXPECT_EQ(standby.get("b").error(), ErrorCode::kNotFound);  // never stampeded
+}
+
+// Failover stickiness: an rpc resumes on the last target that actually
+// answered, not on whatever a failed rpc's rotation residue points at.
+TEST(RetryPolicyTest, FailoverStickinessResumesOnLastGoodTarget) {
+  Network net;
+  Host h0(&net);
+  Host h1(&net);
+  Host h2(&net);
+  Host client_host(&net);
+  BlockStoreNode n0(h0.sys, 7000);
+  BlockStoreNode n1(h1.sys, 7001);
+  BlockStoreNode n2(h2.sys, 7002);
+  ASSERT_TRUE(n0.init().ok());
+  ASSERT_TRUE(n1.init().ok());
+  ASSERT_TRUE(n2.init().ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.polls_per_attempt = 12;
+  BlockStoreClient client(
+      client_host.sys, h0.kernel.net_addr(), 7000,
+      [&] {
+        n0.serve_once();
+        n1.serve_once();
+        n2.serve_once();
+      },
+      policy);
+  client.add_failover(h1.kernel.net_addr(), 7001);
+  client.add_failover(h2.kernel.net_addr(), 7002);
+  LinkAddr cl = client_host.kernel.net_addr();
+
+  // Only target 1 is reachable: the first op fails over 0 -> 1 and records
+  // 1 as last-good.
+  net.partition(cl, h0.kernel.net_addr());
+  net.partition(cl, h2.kernel.net_addr());
+  ASSERT_TRUE(client.put("k", bytes("v1")).ok());
+  EXPECT_EQ(client.current_target(), 1u);
+
+  // Everything dark: the op fails and its rotation parks elsewhere.
+  net.partition(cl, h1.kernel.net_addr());
+  EXPECT_FALSE(client.put("k", bytes("v2")).ok());
+  EXPECT_NE(client.current_target(), 1u);
+
+  // Target 1 comes back: the next op must resume there directly.
+  net.heal(cl, h1.kernel.net_addr());
+  u64 attempts_before = client.retry_stats().attempts;
+  ASSERT_TRUE(client.put("k", bytes("v3")).ok());
+  EXPECT_EQ(client.retry_stats().attempts - attempts_before, 1u);  // first try hit
+  EXPECT_GT(client.retry_stats().sticky_resumes, 0u);
+  EXPECT_EQ(n1.get("k").value(), bytes("v3"));
+}
+
+// A serve_delay latency fault stalls the node (the datagram stays queued —
+// nothing is lost) and the client's retry budget rides it out.
+TEST(BlockStoreFaultTest, LatencyFaultStallsServeWithoutLoss) {
+  auto& reg = FaultRegistry::global();
+  reg.disarm_all();
+  Network net;
+  Host server(&net);
+  Host client_host(&net);
+  BlockStoreNode node(server.sys, 7000, {}, {}, "slownode");
+  ASSERT_TRUE(node.init().ok());
+  BlockStoreClient client(client_host.sys, server.kernel.net_addr(), 7000,
+                          [&] { node.serve_once(); });
+  ASSERT_TRUE(client.put("warm", bytes("up")).ok());
+
+  FaultSpec stall;
+  stall.probability_ppm = 1'000'000;
+  stall.one_shot = true;
+  stall.delay = 12;
+  reg.arm("slownode/serve_delay", stall);
+  ASSERT_TRUE(client.put("slow", bytes("but-served")).ok());
+  EXPECT_EQ(node.get("slow").value(), bytes("but-served"));
+  EXPECT_EQ(reg.site("slownode/serve_delay").stats().fires, 1u);
+  reg.disarm_all();
+}
+
 TEST(BlockStoreReplicationTest, PutPropagatesToPeer) {
   Network net;
   Host primary_host(&net);

@@ -300,6 +300,34 @@ TEST(FaultTest, ProbabilisticScheduleReplaysFromSeed) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(FaultTest, DelaySiteStallsOnceThenRunsFullSpeed) {
+  auto& reg = FaultRegistry::global();
+  FaultSpec spec;
+  spec.probability_ppm = 1'000'000;
+  spec.one_shot = true;
+  spec.delay = 7;
+  reg.arm("test/delay", spec);
+  auto& site = reg.site("test/delay");
+  auto stall = site.fire_delay();
+  ASSERT_TRUE(stall.has_value());
+  EXPECT_EQ(*stall, 7u);
+  EXPECT_FALSE(site.armed());  // one_shot consumed the schedule
+  EXPECT_FALSE(site.fire_delay().has_value());
+  EXPECT_EQ(site.stats().fires, 1u);
+}
+
+TEST(FaultTest, ZeroDelaySpecNeverStallsButStillErrors) {
+  auto& reg = FaultRegistry::global();
+  FaultSpec spec;
+  spec.probability_ppm = 1'000'000;
+  spec.delay = 0;  // an error schedule, not a latency schedule
+  reg.arm("test/delay0", spec);
+  auto& site = reg.site("test/delay0");
+  EXPECT_FALSE(site.fire_delay().has_value());
+  EXPECT_TRUE(site.fire().has_value());
+  reg.disarm("test/delay0");
+}
+
 TEST(FaultTest, DisarmPrefixOnlyHitsMatchingSites) {
   auto& reg = FaultRegistry::global();
   FaultSpec spec;
