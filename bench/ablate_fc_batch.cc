@@ -6,13 +6,16 @@
 // the realized average batch, showing how much of NR's write path comes
 // from batching.
 //
+// Throughput comes from a timed window with warmup (bench/timed.h); the
+// batching columns (avg_batch, combines) are whole-run NR stats, which is
+// what they describe — the combiner has no warmup/steady distinction.
+//
 //   ./build/bench/ablate_fc_batch
-#include <chrono>
 #include <cstdio>
-#include <thread>
-#include <vector>
+#include <string>
 
 #include "bench/bench_json.h"
+#include "bench/timed.h"
 #include "src/hw/topology.h"
 #include "src/nr/node_replicated.h"
 
@@ -49,27 +52,18 @@ struct SlowCounterDs {
 };
 
 template <typename Ds>
-void run(usize batch_cap, u32 threads, u64 ops_per_thread, BenchJson& json,
-         const char* series_prefix) {
+void run(usize batch_cap, u32 threads, BenchJson& json, const char* series_prefix) {
   Topology topo(threads, threads);  // one replica: pure combining pressure
   NrConfig config;
   config.max_combiner_batch = batch_cap;
   NodeReplicated<Ds> nr(topo, Ds{}, config);
 
-  std::vector<std::thread> workers;
-  auto start = std::chrono::steady_clock::now();
-  for (u32 t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      auto token = nr.register_thread(t);
-      for (u64 i = 0; i < ops_per_thread; ++i) {
-        nr.execute_mut(token, typename Ds::WriteOp{1});
-      }
-    });
-  }
-  for (auto& w : workers) {
-    w.join();
-  }
-  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  TimedResult r = timed_run(threads, [&](u32 t, TimedLoop& loop) {
+    auto token = nr.register_thread(t);
+    while (loop.next()) {
+      nr.execute_mut(token, typename Ds::WriteOp{1});
+    }
+  });
   auto stats = nr.stats_snapshot();
   double avg_batch = stats.combines == 0
                          ? 0.0
@@ -77,12 +71,11 @@ void run(usize batch_cap, u32 threads, u64 ops_per_thread, BenchJson& json,
                                static_cast<double>(stats.combines);
   // Combining sessions that batched >1 op (lower bound from the counters).
   u64 multi = stats.combined_ops - stats.combines;
-  double kops = static_cast<double>(threads) * ops_per_thread / secs / 1000.0;
   std::printf("%-10s %-14.0f %-12.3f %-10lu %lu\n",
-              batch_cap == 0 ? "unbounded" : std::to_string(batch_cap).c_str(), kops,
+              batch_cap == 0 ? "unbounded" : std::to_string(batch_cap).c_str(), r.kops(),
               avg_batch, stats.combines, multi);
   // x = cap (0 encodes "unbounded").
-  json.row(std::string(series_prefix) + "_kops", static_cast<double>(batch_cap), kops);
+  json.row(std::string(series_prefix) + "_kops", static_cast<double>(batch_cap), r.kops());
   json.row(std::string(series_prefix) + "_avg_batch", static_cast<double>(batch_cap),
            avg_batch);
 }
@@ -94,21 +87,21 @@ int main() {
   std::printf("# Ablation A2: flat-combining batch-size cap (%u threads)\n", kThreads);
   vnros::BenchJson json("ablate_fc_batch");
   json.config("threads", kThreads);
-  json.config("cheap_ops_per_thread", 30'000);
-  json.config("slow_ops_per_thread", 2'000);
+  json.config("warmup_ms", vnros::bench_warmup_ms());
+  json.config("window_ms", vnros::bench_window_ms());
   std::printf("\n== cheap ops (counter increment) ==\n");
   std::printf("%-10s %-14s %-12s %-10s %s\n", "batch_cap", "kops/s", "avg_batch", "combines",
               "batched_extra_ops");
   for (vnros::usize cap : {vnros::usize{1}, vnros::usize{2}, vnros::usize{4}, vnros::usize{8},
                            vnros::usize{0}}) {
-    vnros::run<vnros::CounterDs>(cap, kThreads, 30'000, json, "cheap");
+    vnros::run<vnros::CounterDs>(cap, kThreads, json, "cheap");
   }
   std::printf("\n== slow ops (~1 us each; wider combining window) ==\n");
   std::printf("%-10s %-14s %-12s %-10s %s\n", "batch_cap", "kops/s", "avg_batch", "combines",
               "batched_extra_ops");
   for (vnros::usize cap : {vnros::usize{1}, vnros::usize{2}, vnros::usize{4}, vnros::usize{8},
                            vnros::usize{0}}) {
-    vnros::run<vnros::SlowCounterDs>(cap, kThreads, 2'000, json, "slow");
+    vnros::run<vnros::SlowCounterDs>(cap, kThreads, json, "slow");
   }
   json.write();
   std::printf(

@@ -1,0 +1,173 @@
+// Ablation A8b: one unified NR log vs per-subsystem log shards.
+//
+// The kernel could funnel every subsystem's mutations through ONE
+// NodeReplicated instance whose WriteOp is a variant over all subsystems
+// (one log tail, one combiner domain), or give each subsystem its own
+// NrLogShard (src/kernel/nr_shards.h) — own log, own tail cacheline, own
+// combiner. This bench runs both layouts under the same mixed load: half
+// the threads issue slow "fs-ish" writes (~1 us replay), half issue cheap
+// "vm-ish" writes, and the per-class throughput shows the interference. In
+// the unified layout a cheap vm op parks behind whatever fs batch the
+// shared combiner is draining; sharded, the vm combiner never waits for fs.
+//
+//   ./build/bench/ablate_log_sharding
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <variant>
+
+#include "bench/bench_json.h"
+#include "bench/timed.h"
+#include "src/hw/topology.h"
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+namespace {
+
+constexpr u32 kThreads = 8;  // first half: fs-ish writers; second half: vm-ish
+
+inline u64 slow_replay() {
+  volatile u64 sink = 0;
+  for (int i = 0; i < 1500; ++i) {
+    sink = sink + 1;
+  }
+  return sink & 0;
+}
+
+struct FsishDs {
+  struct WriteOp {
+    u64 delta = 0;
+  };
+  struct ReadOp {};
+  using Response = u64;
+  u64 value = 0;
+  Response dispatch(ReadOp) const { return value; }
+  Response dispatch_mut(const WriteOp& op) { return value += op.delta + slow_replay(); }
+};
+
+struct VmishDs {
+  struct WriteOp {
+    u64 delta = 0;
+  };
+  struct ReadOp {};
+  using Response = u64;
+  u64 value = 0;
+  Response dispatch(ReadOp) const { return value; }
+  Response dispatch_mut(const WriteOp& op) { return value += op.delta; }
+};
+
+// The unified alternative: both subsystems' ops share one log as a variant.
+struct UnifiedDs {
+  struct FsWrite {
+    u64 delta = 0;
+  };
+  struct VmWrite {
+    u64 delta = 0;
+  };
+  struct WriteOp {
+    std::variant<std::monostate, FsWrite, VmWrite> op;
+  };
+  struct ReadOp {};
+  using Response = u64;
+  u64 fs_value = 0;
+  u64 vm_value = 0;
+  Response dispatch(ReadOp) const { return fs_value + vm_value; }
+  Response dispatch_mut(const WriteOp& op) {
+    if (const auto* f = std::get_if<FsWrite>(&op.op)) {
+      return fs_value += f->delta + slow_replay();
+    }
+    if (const auto* v = std::get_if<VmWrite>(&op.op)) {
+      return vm_value += v->delta;
+    }
+    return 0;
+  }
+};
+
+struct ClassKops {
+  double fs = 0;
+  double vm = 0;
+};
+
+ClassKops run_unified() {
+  Topology topo(kThreads, kThreads);
+  NodeReplicated<UnifiedDs> nr(topo, UnifiedDs{});
+  std::array<std::atomic<u64>, 2> cls{};
+  TimedResult r = timed_run(kThreads, [&](u32 t, TimedLoop& loop) {
+    auto token = nr.register_thread(t);
+    bool fs = t < kThreads / 2;
+    while (loop.next()) {
+      UnifiedDs::WriteOp op;
+      if (fs) {
+        op.op = UnifiedDs::FsWrite{1};
+      } else {
+        op.op = UnifiedDs::VmWrite{1};
+      }
+      nr.execute_mut(token, op);
+    }
+    cls[fs ? 0 : 1].fetch_add(loop.measured_ops(), std::memory_order_relaxed);
+  });
+  ClassKops k;
+  k.fs = static_cast<double>(cls[0].load()) / r.secs / 1000.0;
+  k.vm = static_cast<double>(cls[1].load()) / r.secs / 1000.0;
+  return k;
+}
+
+ClassKops run_sharded() {
+  Topology topo(kThreads, kThreads);
+  NrConfig fs_cfg;
+  fs_cfg.shard = NrLogShard{"fsish", usize{1} << 12};
+  NrConfig vm_cfg;
+  vm_cfg.shard = NrLogShard{"vmish", usize{1} << 14};
+  NodeReplicated<FsishDs> fs_nr(topo, FsishDs{}, fs_cfg);
+  NodeReplicated<VmishDs> vm_nr(topo, VmishDs{}, vm_cfg);
+  std::array<std::atomic<u64>, 2> cls{};
+  TimedResult r = timed_run(kThreads, [&](u32 t, TimedLoop& loop) {
+    bool fs = t < kThreads / 2;
+    if (fs) {
+      auto token = fs_nr.register_thread(t);
+      while (loop.next()) {
+        fs_nr.execute_mut(token, FsishDs::WriteOp{1});
+      }
+    } else {
+      auto token = vm_nr.register_thread(t);
+      while (loop.next()) {
+        vm_nr.execute_mut(token, VmishDs::WriteOp{1});
+      }
+    }
+    cls[fs ? 0 : 1].fetch_add(loop.measured_ops(), std::memory_order_relaxed);
+  });
+  ClassKops k;
+  k.fs = static_cast<double>(cls[0].load()) / r.secs / 1000.0;
+  k.vm = static_cast<double>(cls[1].load()) / r.secs / 1000.0;
+  return k;
+}
+
+}  // namespace
+}  // namespace vnros
+
+int main() {
+  std::printf("# Ablation A8b: unified NR log vs per-subsystem shards (%u threads,\n",
+              vnros::kThreads);
+  std::printf("# half slow fs-ish writers, half cheap vm-ish writers)\n\n");
+  vnros::BenchJson json("ablate_log_sharding");
+  json.config("threads", vnros::kThreads);
+  json.config("warmup_ms", vnros::bench_warmup_ms());
+  json.config("window_ms", vnros::bench_window_ms());
+  auto uni = vnros::run_unified();
+  auto shd = vnros::run_sharded();
+  std::printf("%-10s %-16s %-16s\n", "layout", "fs_kops/s", "vm_kops/s");
+  std::printf("%-10s %-16.1f %-16.1f\n", "unified", uni.fs, uni.vm);
+  std::printf("%-10s %-16.1f %-16.1f\n", "sharded", shd.fs, shd.vm);
+  json.row("unified_fs_kops", 0, uni.fs);
+  json.row("unified_vm_kops", 0, uni.vm);
+  json.row("sharded_fs_kops", 0, shd.fs);
+  json.row("sharded_vm_kops", 0, shd.vm);
+  json.write();
+  std::printf(
+      "\n# interpretation: the vm row is the one to read — cheap ops behind a\n"
+      "# shared combiner inherit the fs batches' replay latency; with its own\n"
+      "# shard the vm combiner drains its announcers without ever waiting on\n"
+      "# an fs apply. The fs rate barely moves: slow replays dominate it in\n"
+      "# either layout.\n");
+  return 0;
+}

@@ -6,14 +6,19 @@
 // claim: "conventional OS designs suffer from degraded performance due to
 // lock contention" while NR "achieves near-linear scalability".
 //
+// Measurement is a timed window with warmup (bench/timed.h); the write
+// workload alternates map/unmap over a bounded per-thread region so the
+// loop runs indefinitely without exhausting frames, and every op is a real
+// state transition (no failing-map fast paths).
+//
 //   ./build/bench/ablate_nr_vs_locks
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/timed.h"
 
 #include "src/kernel/frame_alloc.h"
 #include "src/nr/baselines.h"
@@ -22,11 +27,19 @@
 namespace vnros {
 namespace {
 
-constexpr u32 kMaxCores = 16;
-constexpr u64 kOpsPerThread = 300;
+constexpr u32 kMaxCores = 32;
+// Per-thread page slots the write mix cycles through (map then unmap each).
+constexpr u64 kSlotsPerThread = 1024;
+
+// Best-of-N over independent runs: on a shared (and possibly single-core)
+// host a 400 ms window can lose a big slice to unrelated load, and that
+// noise exceeds the effects under measurement. The max over fresh runs is
+// the standard de-noised throughput estimate; every wrapper gets the same
+// treatment.
+inline u32 bench_reps() { return bench_quick() ? 1 : 3; }
 
 template <template <typename> class Repl>
-double throughput_kops(u32 threads, bool read_heavy) {
+double throughput_kops_once(u32 threads, bool read_heavy) {
   Topology topo(kMaxCores, kMaxCores / 2);
   PhysMem mem(1u << 15);
   FrameAllocator frames(mem, topo);
@@ -39,37 +52,64 @@ double throughput_kops(u32 threads, bool read_heavy) {
                  kPageSize, Perms::rw());
   }
 
-  std::vector<std::thread> workers;
-  auto start = std::chrono::steady_clock::now();
+  // Register every worker up front ("at boot"): NR requires a node's first
+  // registration to precede the first log wraparound — passive replicas are
+  // skip-forwarded, not replayed, once the log fills.
+  std::vector<decltype(tok0)> tokens;
+  tokens.reserve(threads);
   for (u32 t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      auto token = as.register_thread(t % kMaxCores);
-      for (u64 i = 0; i < kOpsPerThread; ++i) {
-        if (read_heavy && i % 10 != 0) {
-          // 90% resolves: where NR's per-replica read path shines.
-          (void)as.resolve(token, VAddr{u64{1} << 40 | ((i % 64) * kPageSize)});
+    tokens.push_back(as.register_thread(t % kMaxCores));
+  }
+
+  TimedResult r = timed_run(threads, [&](u32 t, TimedLoop& loop) {
+    auto token = tokens[t];
+    u64 i = 0;
+    u64 w = 0;  // write-op counter: map/unmap must alternate per WRITE, not per op
+    while (loop.next()) {
+      if (read_heavy && i % 1000 != 0) {
+        // 99.9% resolves / 0.1% maps. Resolves model per-access translation
+        // and map/unmap model mmap-rate events; real address spaces see an
+        // mmap once per ~1e5..1e6 accesses, so even 1000:1 overweights
+        // writes. Anything much hotter (90:10, even 99:1) is a diluted
+        // write benchmark (the write-only sweep already covers that axis) —
+        // replica replay cost drowns the read path this mix exists to probe.
+        (void)as.resolve(token, VAddr{u64{1} << 40 | ((i % 64) * kPageSize)});
+      } else {
+        // Map a fresh slot, unmap it on the next write op: the table stays
+        // bounded and every write really mutates (a stale parity here would
+        // degenerate the mix into always-failing re-maps).
+        u64 slot = (w / 2) % kSlotsPerThread;
+        VAddr va{(u64{t} + 2) << 34 | (slot * kPageSize)};
+        if (w % 2 == 0) {
+          (void)as.map(token, va, PAddr::from_frame((slot % 1000) + 100), kPageSize, Perms::rw());
         } else {
-          VAddr va{(u64{t} + 2) << 34 | (i * kPageSize)};
-          (void)as.map(token, va, PAddr::from_frame((i % 1000) + 100), kPageSize, Perms::rw());
+          (void)as.unmap(token, va);
         }
+        ++w;
       }
-    });
-  }
-  for (auto& w : workers) {
-    w.join();
-  }
-  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return static_cast<double>(threads) * kOpsPerThread / secs / 1000.0;
+      ++i;
+    }
+  });
+  return r.kops();
 }
 
 void sweep(bool read_heavy, BenchJson& json) {
-  std::printf("\n== %s workload ==\n", read_heavy ? "read-heavy (90% resolve)" : "write-only (map)");
+  std::printf("\n== %s workload ==\n", read_heavy ? "read-heavy (99.9% resolve)" : "write-only (map)");
   std::printf("%-8s %-16s %-16s %-16s\n", "threads", "NR_kops/s", "mutex_kops/s", "rwlock_kops/s");
   std::string suffix = read_heavy ? "_read_heavy" : "_write_only";
-  for (u32 threads : {1u, 2u, 4u, 8u, 16u}) {
-    double nr = throughput_kops<NodeReplicated>(threads, read_heavy);
-    double mu = throughput_kops<MutexReplicated>(threads, read_heavy);
-    double rw = throughput_kops<RwLockReplicated>(threads, read_heavy);
+  for (u32 threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    // Reps are interleaved across the wrappers (NR, mutex, rwlock, NR, ...)
+    // rather than blocked per wrapper: host-load drift over the ~10 s a row
+    // takes then biases all three estimates equally instead of whichever
+    // wrapper happened to run during the quiet stretch.
+    double nr = 0;
+    double mu = 0;
+    double rw = 0;
+    for (u32 rep = 0; rep < bench_reps(); ++rep) {
+      nr = std::max(nr, throughput_kops_once<NodeReplicated>(threads, read_heavy));
+      mu = std::max(mu, throughput_kops_once<MutexReplicated>(threads, read_heavy));
+      rw = std::max(rw, throughput_kops_once<RwLockReplicated>(threads, read_heavy));
+    }
     std::printf("%-8u %-16.1f %-16.1f %-16.1f\n", threads, nr, mu, rw);
     json.row("nr_kops" + suffix, threads, nr);
     json.row("mutex_kops" + suffix, threads, mu);
@@ -85,7 +125,10 @@ int main() {
   std::printf("# (same verified page table under each concurrency wrapper)\n");
   vnros::BenchJson json("ablate_nr_vs_locks");
   json.config("max_cores", vnros::kMaxCores);
-  json.config("ops_per_thread", static_cast<unsigned long long>(vnros::kOpsPerThread));
+  json.config("warmup_ms", vnros::bench_warmup_ms());
+  json.config("window_ms", vnros::bench_window_ms());
+  json.config("slots_per_thread", static_cast<unsigned long long>(vnros::kSlotsPerThread));
+  json.config("best_of_reps", vnros::bench_reps());
   vnros::sweep(false, json);
   vnros::sweep(true, json);
   json.write();

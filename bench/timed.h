@@ -1,0 +1,101 @@
+// Timed measurement harness for the bench binaries.
+//
+// The first generation of these benches ran a fixed (small) op count per
+// thread and divided by wall time — at 300 ops/thread the measured interval
+// was dominated by thread creation and first-touch table population, which
+// is how a bench can "show" a mutex at 8x or 1/8x its steady-state rate from
+// run to run. This harness measures the only thing that means anything on a
+// shared host: ops completed inside a fixed wall-clock window, after a
+// warmup phase has populated tables, faulted in memory, and let the workers
+// reach steady state.
+//
+// Usage:
+//   TimedResult r = timed_run(threads, [&](u32 t, TimedLoop& loop) {
+//     auto token = as.register_thread(t);       // per-thread setup (unmeasured)
+//     u64 i = 0;
+//     while (loop.next()) { op(token, i++); }   // body runs until the window closes
+//   });
+//   printf("%.1f kops/s\n", r.kops());
+//
+// Phases: workers spin through their body immediately (warmup, ops
+// discarded), the driver flips to "measuring" after bench_warmup_ms, closes
+// the window after bench_window_ms, and kops() is window-ops over the
+// driver's measured interval. VNROS_BENCH_QUICK=1 shrinks both phases so
+// scripts/bench_quick.sh stays CI-sized.
+#ifndef VNROS_BENCH_TIMED_H_
+#define VNROS_BENCH_TIMED_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+inline bool bench_quick() { return std::getenv("VNROS_BENCH_QUICK") != nullptr; }
+inline u32 bench_warmup_ms() { return bench_quick() ? 20 : 100; }
+inline u32 bench_window_ms() { return bench_quick() ? 60 : 400; }
+
+struct TimedResult {
+  u64 ops = 0;      // ops started inside the measurement window (all threads)
+  double secs = 0;  // the driver's measured window length
+  double kops() const { return secs > 0 ? static_cast<double>(ops) / secs / 1000.0 : 0.0; }
+};
+
+// Per-worker loop handle: next() is the phase gate each iteration passes
+// through. An op is counted iff it *starts* while the window is open (the
+// one op straddling each boundary is noise at any sane window length).
+class TimedLoop {
+ public:
+  explicit TimedLoop(const std::atomic<int>& phase) : phase_(phase) {}
+
+  bool next() {
+    int p = phase_.load(std::memory_order_relaxed);
+    if (p == 2) {
+      return false;
+    }
+    ops_ += (p == 1) ? 1 : 0;
+    return true;
+  }
+
+  u64 measured_ops() const { return ops_; }
+
+ private:
+  const std::atomic<int>& phase_;
+  u64 ops_ = 0;
+};
+
+template <typename Body>
+TimedResult timed_run(u32 threads, Body&& body) {
+  std::atomic<int> phase{0};  // 0 = warmup, 1 = measuring, 2 = done
+  std::atomic<u64> total{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (u32 t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      TimedLoop loop(phase);
+      body(t, loop);
+      total.fetch_add(loop.measured_ops(), std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(bench_warmup_ms()));
+  auto t0 = std::chrono::steady_clock::now();
+  phase.store(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(bench_window_ms()));
+  phase.store(2, std::memory_order_relaxed);
+  auto t1 = std::chrono::steady_clock::now();
+  for (auto& w : workers) {
+    w.join();
+  }
+  TimedResult r;
+  r.ops = total.load(std::memory_order_relaxed);
+  r.secs = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace vnros
+
+#endif  // VNROS_BENCH_TIMED_H_

@@ -16,8 +16,8 @@ if [[ ! -d "${BUILD}/bench" ]]; then
 fi
 
 export VNROS_BENCH_QUICK=1
-for b in fig1a_vc_cdf ablate_nr_vs_locks ablate_fc_batch ablate_tlb_shootdown \
-         ablate_range_ops ablate_obs_overhead blockstore_ycsb; do
+for b in fig1a_vc_cdf ablate_nr_vs_locks ablate_fc_batch ablate_log_sharding \
+         ablate_tlb_shootdown ablate_range_ops ablate_obs_overhead blockstore_ycsb; do
   echo "== ${b} =="
   "./${BUILD}/bench/${b}" | tail -3
 done

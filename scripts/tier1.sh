@@ -24,6 +24,14 @@ cmake --build build-tsan -j"${JOBS}" --target nr_test nr_log_wraparound_test obs
 ./build-tsan/tests/obs_test
 
 echo
+echo "== tier-1: NR perf smoke (combining distribution) =="
+# Batching regressions are silent: NR stays correct as a slow ticket lock.
+# The smoke binary drives 16 writers through the wait window and fails if
+# batch_ops p99 < 8, combines > combined_ops, or no handoffs happened.
+cmake --build build -j"${JOBS}" --target nr_perf_smoke
+./build/bench/nr_perf_smoke
+
+echo
 echo "== tier-1: metrics-off build (VNROS_METRICS=OFF) =="
 # The observability substrate must compile out cleanly: every instrumented
 # site becomes a no-op and the whole tree still builds. build-nometrics is

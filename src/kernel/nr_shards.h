@@ -1,0 +1,45 @@
+// The kernel's NR log shard plan (DESIGN.md §10.4).
+//
+// Every NR-replicated kernel subsystem appends to its own NrLogShard: the
+// scheduler, the process directory, the filesystem and the vm/address-space
+// layer each get an independent log (own tail cacheline, capacity tuned to
+// the subsystem's op size and rate), so a burst of fs writes never delays a
+// vm map through tail contention, and a stall in one subsystem's replicas
+// never wedges another subsystem's garbage collection. The shard name also
+// namespaces the obs instruments ("nr.fs0/batch_ops", "nr.vm0/...") so the
+// tier-1 perf smoke and the chaos traces can attribute combiner behaviour to
+// a subsystem.
+//
+// Capacities: entries are full WriteOp values, so capacity is a memory knob
+// too. fs ops carry payload vectors (keep the log small); sched/vm ops are a
+// few words (deeper logs tolerate laggard replicas without forcing help()).
+#ifndef VNROS_SRC_KERNEL_NR_SHARDS_H_
+#define VNROS_SRC_KERNEL_NR_SHARDS_H_
+
+#include "src/nr/node_replicated.h"
+
+namespace vnros {
+
+struct KernelNrShards {
+  static NrConfig sched() {
+    NrConfig c;
+    c.shard = NrLogShard{"sched", usize{1} << 14};
+    return c;
+  }
+  static NrConfig procs() {
+    NrConfig c;
+    c.shard = NrLogShard{"procs", usize{1} << 12};
+    return c;
+  }
+  static NrConfig fs() {
+    NrConfig c;
+    c.shard = NrLogShard{"fs", usize{1} << 12};
+    return c;
+  }
+  // The vm shard default lives with its owner: AddressSpace::default_config()
+  // in src/pt/address_space.h (the pt layer cannot see kernel headers).
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_KERNEL_NR_SHARDS_H_

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/kernel/fs.h"
+#include "src/kernel/nr_shards.h"
 #include "src/nr/node_replicated.h"
 
 namespace vnros {
@@ -138,11 +139,11 @@ struct FsDs {
     } else if (const auto* rn = std::get_if<RenameOp>(&op.op)) {
       resp.err = fs.rename(rn->from, rn->to).error();
     } else if (const auto* w = std::get_if<WriteDataOp>(&op.op)) {
-      auto r = fs.write(w->path, w->offset, w->data);
-      resp.err = r.error();
-      if (r.ok()) {
+      auto wr = fs.write(w->path, w->offset, w->data);
+      resp.err = wr.error();
+      if (wr.ok()) {
         resp.err = ErrorCode::kOk;
-        resp.length = r.value();
+        resp.length = wr.value();
       }
     } else if (const auto* t = std::get_if<TruncateOp>(&op.op)) {
       resp.err = fs.truncate(t->path, t->size).error();
@@ -156,7 +157,7 @@ struct FsDs {
 // User-facing replicated filesystem with a MemFs-shaped API.
 class NrFs {
  public:
-  explicit NrFs(const Topology& topo, NrConfig config = {})
+  explicit NrFs(const Topology& topo, NrConfig config = KernelNrShards::fs())
       : repl_(topo, FsDs{}, config) {}
 
   ThreadToken register_thread(CoreId core) { return repl_.register_thread(core); }

@@ -25,6 +25,7 @@
 
 #include "src/base/result.h"
 #include "src/base/types.h"
+#include "src/kernel/nr_shards.h"
 #include "src/kernel/vm.h"
 #include "src/nr/node_replicated.h"
 
@@ -113,7 +114,7 @@ class Process {
 class ProcessManager {
  public:
   ProcessManager(PhysMem& mem, FrameAllocator& frames, const Topology& topo,
-                 NrConfig config = {})
+                 NrConfig config = KernelNrShards::procs())
       : mem_(mem), frames_(frames), dir_(topo, ProcessDirectoryDs{}, config) {}
 
   ThreadToken register_core(CoreId core) { return dir_.register_thread(core); }

@@ -25,6 +25,7 @@
 #include "src/base/result.h"
 #include "src/base/types.h"
 #include "src/hw/topology.h"
+#include "src/kernel/nr_shards.h"
 #include "src/nr/node_replicated.h"
 
 namespace vnros {
@@ -103,7 +104,7 @@ struct SchedulerDs {
 // The kernel-facing scheduler: SchedulerDs replicated with NR.
 class Scheduler {
  public:
-  Scheduler(const Topology& topo, NrConfig config = {})
+  Scheduler(const Topology& topo, NrConfig config = KernelNrShards::sched())
       : repl_(topo, SchedulerDs(topo.num_cores()), config) {}
 
   ThreadToken register_core(CoreId core) { return repl_.register_thread(core); }

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/base/contracts.h"
@@ -35,6 +36,20 @@
 #endif
 
 namespace vnros {
+
+// One shard of the system's NR log space. Independent subsystems (fs, vm,
+// scheduler, process directory) replicate independent sequential structures;
+// giving each its own shard means each gets its own NrLog — its own tail
+// cacheline and a capacity tuned to its op mix — so fs appends never
+// serialize behind vm appends the way they would through one kernel-wide
+// log. The shard name also namespaces the owning NodeReplicated's obs
+// instruments ("nr.<name><K>/..." instead of the anonymous "nr<K>/"), which
+// is what lets the tier-1 perf smoke attribute degenerate batch sizes to a
+// subsystem. The kernel's shard plan lives in src/kernel/nr_shards.h.
+struct NrLogShard {
+  std::string name;                     // "" = anonymous shard ("nr<K>/")
+  usize log_capacity = usize{1} << 16;  // entries (power of two)
+};
 
 template <typename WriteOp>
 class NrLog {

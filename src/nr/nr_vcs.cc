@@ -106,12 +106,13 @@ struct CounterModel {
   }
 };
 
-VcOutcome vc_counter_linearizable(u64 seed, u32 threads, u32 ops_per_thread) {
+VcOutcome vc_counter_linearizable(u64 seed, u32 threads, u32 ops_per_thread,
+                                  NrConfig config = NrConfig{}) {
   // Several independent rounds: small histories keep the checker exact.
   Rng seeder(seed);
   for (int round = 0; round < 12; ++round) {
     Topology topo(4, 2);
-    NodeReplicated<CounterDs> nr(topo, CounterDs{});
+    NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
     HistoryRecorder<CounterModel::Op, u64> recorder;
 
     std::vector<std::thread> workers;
@@ -175,18 +176,24 @@ VcOutcome vc_replicas_converge(u64 seed) {
 
 // GC liveness: a log far smaller than the op count forces wraparound and
 // laggard helping; nothing may deadlock and no op may be lost.
-VcOutcome vc_log_wraparound(u64 seed) {
+VcOutcome vc_log_wraparound(u64 seed, NrConfig config = NrConfig{}) {
   Topology topo(4, 2);
-  NrConfig config;
-  config.log_capacity = 64;
+  config.shard.log_capacity = 64;
   NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
   const u32 threads = 4;
   const u32 per_thread = 20'000;
   Rng rng(seed);
+  // Register every thread before the storm: node activation must precede the
+  // first wraparound (passive replicas are skip-forwarded once the log is
+  // full, and a skip-forwarded replica can no longer be activated).
+  std::vector<ThreadToken> tokens;
+  for (u32 t = 0; t < threads; ++t) {
+    tokens.push_back(nr.register_thread(t));
+  }
   std::vector<std::thread> workers;
   for (u32 t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      auto token = nr.register_thread(t);
+      auto token = tokens[t];
       for (u32 i = 0; i < per_thread; ++i) {
         nr.execute_mut(token, CounterDs::WriteOp{1});
       }
@@ -398,6 +405,26 @@ void register_nr_vcs(VcRegistry& reg) {
             [seed] { return vc_dispatch_determinism(seed); });
     reg.add("nr/agrees_with_mutex_baseline_seed" + std::to_string(seed),
             VcCategory::kConcurrency, [seed] { return vc_agrees_with_mutex_baseline(seed); });
+  }
+  // The wait-window / handoff / patience machinery must preserve
+  // linearizability and GC liveness under its most aggressive settings: a
+  // maximal wait window (combiner deliberately dawdles with the lock held)
+  // plus announce patience (losers park instead of contending). These
+  // configs maximize batching, handoff and rescan traffic — the paths the
+  // default config exercises only lightly.
+  {
+    NrConfig aggressive;
+    aggressive.combiner_wait_spins = 4096;
+    aggressive.announce_patience = 3;
+    for (u64 seed = 1; seed <= 2; ++seed) {
+      reg.add("nr/wait_window_linearizable_seed" + std::to_string(seed),
+              VcCategory::kConcurrency, [seed, aggressive] {
+                return vc_counter_linearizable(seed, 3, 3, aggressive);
+              });
+      reg.add("nr/wait_window_wraparound_seed" + std::to_string(seed),
+              VcCategory::kConcurrency,
+              [seed, aggressive] { return vc_log_wraparound(seed, aggressive); });
+    }
   }
   reg.add("nr/read_sees_prior_writes", VcCategory::kConcurrency,
           [] { return vc_read_sees_prior_writes(); });

@@ -68,29 +68,50 @@ class DistRwLock {
     readers_[slot].flag.store(0, std::memory_order_release);
   }
 
+  // `active_readers` bounds the drain scan: only slots [0, active_readers)
+  // can hold the read lock. Callers that hand out slots sequentially (NR's
+  // register_thread) pass their registration counter instead of paying a
+  // max_readers-slot cacheline sweep per acquisition — the dominant cost of
+  // a replica apply when few threads are registered.
+  //
+  // Why the counter is loaded HERE, after the writer flag is raised, and
+  // must be incremented with seq_cst before a new reader's first flag
+  // store: in the seq_cst total order, a reader that entered without
+  // waiting saw writer_ == false, so its flag store (and, by program
+  // order, its registration increment) precede our exchange — and hence
+  // precede this load, which therefore covers its slot. A count loaded
+  // before the exchange has no such guarantee: the registration could
+  // land entirely between that load and the exchange, and the scan would
+  // skip a slot that holds the read lock.
+  void write_lock(const std::atomic<usize>& active_readers) {
+    Backoff backoff;
+    while (writer_.exchange(true, std::memory_order_acq_rel)) {
+      backoff.pause();
+    }
+    drain(active_readers.load(std::memory_order_seq_cst), backoff);
+  }
   void write_lock() {
     Backoff backoff;
     while (writer_.exchange(true, std::memory_order_acq_rel)) {
       backoff.pause();
     }
-    // Wait for in-flight readers to drain.
-    for (auto& r : readers_) {
-      while (r.flag.load(std::memory_order_acquire) != 0) {
-        backoff.pause();
-      }
-    }
+    drain(readers_.size(), backoff);
   }
 
+  bool try_write_lock(const std::atomic<usize>& active_readers) {
+    if (writer_.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    Backoff backoff;
+    drain(active_readers.load(std::memory_order_seq_cst), backoff);
+    return true;
+  }
   bool try_write_lock() {
     if (writer_.exchange(true, std::memory_order_acq_rel)) {
       return false;
     }
     Backoff backoff;
-    for (auto& r : readers_) {
-      while (r.flag.load(std::memory_order_acquire) != 0) {
-        backoff.pause();
-      }
-    }
+    drain(readers_.size(), backoff);
     return true;
   }
 
@@ -105,6 +126,18 @@ class DistRwLock {
   }
 
  private:
+  // Wait for in-flight readers (slots [0, limit)) to drain.
+  void drain(usize limit, Backoff& backoff) {
+    if (limit > readers_.size()) {
+      limit = readers_.size();
+    }
+    for (usize i = 0; i < limit; ++i) {
+      while (readers_[i].flag.load(std::memory_order_acquire) != 0) {
+        backoff.pause();
+      }
+    }
+  }
+
   struct alignas(64) ReaderSlot {
     std::atomic<u32> flag{0};
   };

@@ -134,8 +134,16 @@ class AddressSpace {
  public:
   using Ds = VSpaceDs<Table>;
 
+  // The "vm" NR log shard: map/unmap ops are a few words each, so a deeper
+  // log tolerates laggard replicas without forcing help().
+  static NrConfig default_config() {
+    NrConfig c;
+    c.shard = NrLogShard{"vm", usize{1} << 14};
+    return c;
+  }
+
   AddressSpace(PhysMem& mem, FrameSource& frames, const Topology& topo,
-               TlbSystem* tlbs = nullptr, NrConfig config = {})
+               TlbSystem* tlbs = nullptr, NrConfig config = default_config())
       : repl_(topo, Ds(mem, frames), config), tlbs_(tlbs) {}
 
   ThreadToken register_thread(CoreId core) { return repl_.register_thread(core); }

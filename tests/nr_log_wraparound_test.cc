@@ -34,7 +34,7 @@ struct CounterDs {
 TEST(NrLogWraparoundTest, TinyLogForcesHelpAndStaysLinearizable) {
   Topology topo(4, 2);
   NrConfig config;
-  config.log_capacity = 8;
+  config.shard.log_capacity = 8;
   NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
   auto t0 = nr.register_thread(0);  // node 0
   auto t1 = nr.register_thread(2);  // node 1: registered but never operates
@@ -68,15 +68,22 @@ TEST(NrLogWraparoundTest, TinyLogForcesHelpAndStaysLinearizable) {
 TEST(NrLogWraparoundTest, ConcurrentWritersWrapTinyLog) {
   Topology topo(4, 2);
   NrConfig config;
-  config.log_capacity = 8;
+  config.shard.log_capacity = 8;
   NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
 
   constexpr usize kThreads = 4;
   constexpr u64 kOpsPerThread = 400;
+  // Registration happens up front ("at boot"): a node must be activated
+  // before the log first wraps, or its passive replica gets skip-forwarded
+  // and late activation is a contract violation.
+  std::vector<ThreadToken> tokens;
+  for (usize t = 0; t < kThreads; ++t) {
+    tokens.push_back(nr.register_thread(static_cast<CoreId>(t)));
+  }
   std::vector<std::thread> threads;
   for (usize t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&nr, t] {
-      auto tok = nr.register_thread(static_cast<CoreId>(t));
+    threads.emplace_back([&nr, &tokens, t] {
+      auto tok = tokens[t];
       for (u64 i = 0; i < kOpsPerThread; ++i) {
         nr.execute_mut(tok, CounterDs::WriteOp{1});
       }
@@ -97,13 +104,56 @@ TEST(NrLogWraparoundTest, ConcurrentWritersWrapTinyLog) {
   EXPECT_EQ(stats.combined_ops, kThreads * kOpsPerThread);
 }
 
+// Sharded logs are independent: two NodeReplicated instances on distinct
+// named shards, both with tiny logs, wrap concurrently without interfering —
+// each instance's totals are exact and each shard forced its own help path.
+// (One shared log would serialize both subsystems through one tail;
+// src/kernel/nr_shards.h is the per-subsystem catalog this models.)
+TEST(NrLogWraparoundTest, NamedShardsWrapIndependently) {
+  Topology topo(4, 2);
+  NrConfig cfg_a;
+  cfg_a.shard = NrLogShard{"shard_a", 8};
+  NrConfig cfg_b;
+  cfg_b.shard = NrLogShard{"shard_b", 16};
+  NodeReplicated<CounterDs> nr_a(topo, CounterDs{}, cfg_a);
+  NodeReplicated<CounterDs> nr_b(topo, CounterDs{}, cfg_b);
+
+  constexpr usize kThreadsPerInstance = 2;
+  constexpr u64 kOpsPerThread = 600;
+  std::vector<ThreadToken> tok_a;
+  std::vector<ThreadToken> tok_b;
+  for (usize t = 0; t < kThreadsPerInstance; ++t) {
+    tok_a.push_back(nr_a.register_thread(static_cast<CoreId>(t)));
+    tok_b.push_back(nr_b.register_thread(static_cast<CoreId>(t)));
+  }
+  std::vector<std::thread> threads;
+  for (usize t = 0; t < kThreadsPerInstance; ++t) {
+    threads.emplace_back([&, t] {
+      for (u64 i = 0; i < kOpsPerThread; ++i) {
+        nr_a.execute_mut(tok_a[t], CounterDs::WriteOp{1});
+        nr_b.execute_mut(tok_b[t], CounterDs::WriteOp{2});
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(nr_a.execute(tok_a[0], CounterDs::ReadOp{}), kThreadsPerInstance * kOpsPerThread);
+  EXPECT_EQ(nr_b.execute(tok_b[0], CounterDs::ReadOp{}),
+            2 * kThreadsPerInstance * kOpsPerThread);
+  NrStats sa = nr_a.stats_snapshot();
+  NrStats sb = nr_b.stats_snapshot();
+  EXPECT_GT(sa.helps, 0u) << "an 8-entry shard under 1200 ops must wrap";
+  EXPECT_GT(sb.helps, 0u) << "a 16-entry shard under 1200 ops must wrap";
+}
+
 // The batched-publish fence path and the per-entry release-store path must be
 // observationally identical (the ablation knob only changes fence count).
 TEST(NrLogWraparoundTest, BatchedAndUnbatchedPublishAgree) {
   for (bool batched : {true, false}) {
     Topology topo(4, 2);
     NrConfig config;
-    config.log_capacity = 8;
+    config.shard.log_capacity = 8;
     config.batched_publish = batched;
     NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
     auto t0 = nr.register_thread(0);

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <thread>
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/obs/counter.h"
 #include "src/hw/topology.h"
 #include "src/nr/baselines.h"
 #include "src/nr/log.h"
@@ -173,6 +175,106 @@ TEST(NodeReplicatedTest, BatchLimitRespected) {
   auto s = nr.stats_snapshot();
   EXPECT_EQ(s.combined_ops, 100u);
   EXPECT_GE(s.combines, 100u);  // batch cap 1 => one session per op
+}
+
+// The wait window plus announce patience must produce multi-op combining
+// sessions under genuine write contention — this is the distribution check
+// (a broken window degenerates to size-1 sessions and every functional test
+// still passes). 16 threads on one replica, each patient announcer yielding
+// for a combiner before self-combining, is enough contention that p99 of
+// the batch-size histogram must exceed 1 on any host.
+TEST(NodeReplicatedTest, WaitWindowBatchesUnderContention) {
+  constexpr u32 kThreads = 16;
+  constexpr u64 kOps = 500;
+  Topology topo(kThreads, kThreads);  // one replica: maximal combining pressure
+  NrConfig config;
+  config.announce_patience = 2;
+  NodeReplicated<CounterDs> nr(topo, CounterDs{}, config);
+  std::vector<std::thread> threads;
+  for (u32 t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto token = nr.register_thread(t);
+      for (u64 i = 0; i < kOps; ++i) {
+        nr.execute_mut(token, CounterDs::WriteOp{1});
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  auto token = nr.register_thread(0);
+  EXPECT_EQ(nr.execute(token, CounterDs::ReadOp{}), u64{kThreads} * kOps);
+  if (kMetricsEnabled) {
+    auto s = nr.stats_snapshot();
+    EXPECT_EQ(s.combined_ops, u64{kThreads} * kOps);
+    EXPECT_LT(s.combines, s.combined_ops) << "no session ever batched more than one op";
+    EXPECT_GT(s.batch_p99, 1u) << "wait window never formed a multi-op batch";
+    EXPECT_GT(s.handoff_ops, 0u) << "no parked announcer was ever drained by a combiner";
+  }
+}
+
+// Deterministic handoff: a parked announcer's op completes without that
+// thread ever winning the combiner lock. Thread A combines first and blocks
+// inside its own apply (gated dispatch); thread B announces while A holds
+// the combiner lock, so B can only complete via A's wait window or exit
+// re-scan. B's op counting as a handoff (applied from a slot that is not
+// the session owner's) is exactly the "completed without the lock" claim.
+TEST(NodeReplicatedTest, HandoffCompletesParkedOpWithoutLock) {
+  struct GateDs {
+    struct WriteOp {
+      u64 delta = 0;
+      bool block = false;
+    };
+    struct ReadOp {};
+    using Response = u64;
+    std::atomic<bool>* gate = nullptr;
+    std::atomic<bool>* entered = nullptr;
+    u64 value = 0;
+    Response dispatch(ReadOp) const { return value; }
+    Response dispatch_mut(const WriteOp& op) {
+      if (op.block) {
+        entered->store(true, std::memory_order_release);
+        while (!gate->load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+      return value += op.delta;
+    }
+  };
+
+  std::atomic<bool> gate{false};
+  std::atomic<bool> entered{false};
+  Topology topo(2, 2);  // one replica
+  GateDs initial;
+  initial.gate = &gate;
+  initial.entered = &entered;
+  NodeReplicated<GateDs> nr(topo, initial);
+  auto tok_a = nr.register_thread(0);
+  auto tok_b = nr.register_thread(1);
+
+  std::thread a([&] { nr.execute_mut(tok_a, GateDs::WriteOp{1, true}); });
+  // Spawn B only once A is provably inside its gated apply (combiner lock
+  // held): B then cannot win the lock, so its op can only complete by A's
+  // wait window or exit re-scan draining it.
+  while (!entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::thread b([&] { nr.execute_mut(tok_b, GateDs::WriteOp{2, false}); });
+  // B announces within microseconds; the sleep is pure margin — it only
+  // needs B's announcement to precede the gate, not any tight timing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.store(true, std::memory_order_release);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(nr.execute(tok_a, GateDs::ReadOp{}), 3u);
+  if (kMetricsEnabled) {
+    auto s = nr.stats_snapshot();
+    EXPECT_EQ(s.combined_ops, 2u);
+    // Exactly one op (B's) was applied by a session it did not own. A's op
+    // cannot be a handoff: A held the combiner lock for its own session.
+    EXPECT_EQ(s.handoff_ops, 1u);
+  }
 }
 
 // --- Baselines ---------------------------------------------------------------------------
