@@ -1,0 +1,305 @@
+// Ablation: Merkle anti-entropy vs full-inventory sync (EXPERIMENTS.md A9).
+//
+// Two replicas share a seeded keyspace; a fraction of the keys diverge
+// (newer versions and tombstones on one side). The stale node then repairs
+// through the SAME rpc layer and byte accounting (AntiEntropyScheduler)
+// under both strategies:
+//   - merkle: root exchange + top-down descent into divergent subtrees
+//     (sync_with) — wire cost tracks divergence;
+//   - full:   the PR 7 baseline, ship the whole (key, crc, seq) inventory
+//     every pass (sync_full) — wire cost tracks keyspace.
+//
+// Reported per divergence point:
+//   - pass_bytes:  one repair pass that actually fixes the divergence;
+//   - clean_bytes: one pass over the already-converged pair (the steady
+//     state a periodic repair loop spends almost all of its time in);
+//   - epoch_bytes: a repair epoch of `epoch_passes` periodic passes during
+//     which the divergence arises once — the deployment measurand, where
+//     full-inventory pays O(keyspace) every period and Merkle pays one root
+//     exchange;
+//   - fg_p50/p95:  latency (in pump polls) of a closed-loop foreground
+//     reader against the serving node for a fixed poll window that contains
+//     the repair pass — background repair must not move the foreground tail
+//     (compare against the `none` baseline rows).
+//
+// Everything is virtual-time and seeded: the sweep replays bit-identically.
+// Emits BENCH_ablate_anti_entropy.json. Honors VNROS_BENCH_QUICK.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/app/anti_entropy.h"
+#include "src/app/blockstore.h"
+#include "src/base/contracts.h"
+#include "src/base/rng.h"
+#include "src/base/serde.h"
+#include "src/hw/network.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/syscall.h"
+
+namespace vnros {
+namespace {
+
+constexpr Port kPortA = 9400;
+constexpr Port kPortB = 9401;
+
+struct Host {
+  Kernel kernel;
+  SyscallDispatcher disp;
+  Pid pid;
+  Sys sys;
+
+  explicit Host(Network* net) : kernel(config_of(net)), disp(kernel), pid(spawn(disp)),
+                                sys(disp, pid, 0) {}
+
+  static KernelConfig config_of(Network* net) {
+    KernelConfig c;
+    c.network = net;
+    return c;
+  }
+
+  static Pid spawn(SyscallDispatcher& disp) {
+    Sys boot(disp, kInvalidPid, 0);
+    auto p = boot.spawn();
+    VNROS_CHECK(p.ok());
+    return p.value();
+  }
+};
+
+// Closed-loop foreground reader against the node that also serves repair
+// RPCs: one step per pump poll, latency measured in polls from send to
+// reply. Repair is supposed to be invisible here.
+class Foreground {
+ public:
+  Foreground(Sys& sys, const BsPeer& peer, usize keys, u64 seed)
+      : sys_(sys), peer_(peer), keys_(keys), rng_(seed) {
+    auto sock = sys_.udp_socket();
+    VNROS_CHECK(sock.ok());
+    sock_ = sock.value();
+  }
+
+  void step() {
+    ++polls_;
+    if (!waiting_) {
+      send();
+      return;
+    }
+    auto reply = sys_.udp_recvfrom(sock_);
+    if (!reply.ok()) {
+      return;
+    }
+    Reader r(reply.value().payload);
+    auto rid = r.get_u64();
+    auto err = r.get_u32();
+    if (!rid || !err || *rid != req_id_) {
+      return;
+    }
+    latencies.push_back(polls_ - sent_at_);
+    waiting_ = false;
+  }
+
+  u64 polls() const { return polls_; }
+  std::vector<u64> latencies;
+
+ private:
+  void send() {
+    req_id_ = next_id_++;
+    Writer w;
+    w.put_u8(static_cast<u8>(BsOp::kGet));
+    w.put_u64(req_id_);
+    w.put_string("ae" + std::to_string(rng_.next_below(keys_)));
+    (void)sys_.udp_sendto(sock_, peer_.addr, peer_.port, w.bytes());
+    sent_at_ = polls_;
+    waiting_ = true;
+  }
+
+  Sys& sys_;
+  BsPeer peer_;
+  usize keys_;
+  Rng rng_;
+  Fd sock_ = kInvalidFd;
+  u64 polls_ = 0;
+  u64 next_id_ = 1;
+  u64 req_id_ = 0;
+  u64 sent_at_ = 0;
+  bool waiting_ = false;
+};
+
+u64 percentile(std::vector<u64>& v, double p) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  return v[static_cast<usize>(p * static_cast<double>(v.size() - 1))];
+}
+
+enum class Strategy { kNone, kMerkle, kFull };
+
+struct Point {
+  usize divergent = 0;
+  u64 pass_bytes = 0;   // the repairing pass
+  u64 clean_bytes = 0;  // one steady-state pass after convergence
+  u64 pass_rpcs = 0;
+  u64 pulled = 0;
+  u64 fg_p50 = 0;
+  u64 fg_p95 = 0;
+  u64 fg_samples = 0;
+};
+
+// One measured cell: seed `keys` identical blocks on both nodes, diverge
+// `frac` of them on B (newer versions, every 4th a tombstone), repair A
+// against B under `strategy` while a foreground reader hammers B, then run
+// one more (clean) pass for the steady-state cost.
+Point run_cell(Strategy strategy, usize keys, double frac, usize value_bytes,
+               u64 window_polls, u64 seed) {
+  Network net;
+  Host a_host(&net);
+  Host b_host(&net);
+  Host fg_host(&net);
+  BlockStoreNode a(a_host.sys, kPortA);
+  BlockStoreNode b(b_host.sys, kPortB);
+  VNROS_CHECK(a.init().ok() && b.init().ok());
+
+  Rng rng(seed);
+  std::vector<u8> value(value_bytes);
+  for (usize k = 0; k < keys; ++k) {
+    for (auto& byte : value) {
+      byte = static_cast<u8>(rng.next_u64());
+    }
+    std::string key = "ae" + std::to_string(k);
+    VNROS_CHECK(a.apply_remote(key, value, k + 1, false).ok());
+    VNROS_CHECK(b.apply_remote(key, value, k + 1, false).ok());
+  }
+
+  Point pt;
+  pt.divergent = std::max<usize>(static_cast<usize>(static_cast<double>(keys) * frac),
+                                 frac > 0 ? 1 : 0);
+  usize stride = pt.divergent == 0 ? 1 : std::max<usize>(keys / pt.divergent, 1);
+  for (usize i = 0; i < pt.divergent; ++i) {
+    std::string key = "ae" + std::to_string((i * stride) % keys);
+    bool tomb = (i % 4) == 3;
+    if (!tomb) {
+      for (auto& byte : value) {
+        byte = static_cast<u8>(rng.next_u64());
+      }
+    }
+    VNROS_CHECK(b.apply_remote(key, tomb ? std::vector<u8>{} : value,
+                               keys + 1 + i, tomb).ok());
+  }
+
+  BsPeer peer_b{b_host.kernel.net_addr(), kPortB};
+  Foreground fg(fg_host.sys, peer_b, keys, seed ^ 0xF9ull);
+  auto pump = [&] {
+    b.serve_once();
+    fg.step();
+  };
+
+  AntiEntropyConfig cfg;
+  cfg.tokens_per_pass = ~u64{0} >> 1;  // the budget is not under test here
+  AntiEntropyScheduler sched(a_host.sys, a, pump, cfg);
+
+  auto sync_once = [&] {
+    auto r = strategy == Strategy::kMerkle ? sched.sync_with(peer_b) : sched.sync_full(peer_b);
+    VNROS_CHECK(r.ok());
+  };
+  if (strategy != Strategy::kNone) {
+    sync_once();
+    VNROS_CHECK(MerkleTree::build(a.list()).root() == MerkleTree::build(b.list()).root());
+    pt.pass_bytes = sched.stats().bytes_sent + sched.stats().bytes_received;
+    pt.pass_rpcs = sched.stats().rpcs;
+    pt.pulled = sched.stats().pulled;
+    sync_once();  // steady state: the pair is already converged
+    pt.clean_bytes = sched.stats().bytes_sent + sched.stats().bytes_received - pt.pass_bytes;
+  }
+  while (fg.polls() < window_polls) {  // equal-length foreground window per cell
+    pump();
+  }
+  pt.fg_p50 = percentile(fg.latencies, 0.50);
+  pt.fg_p95 = percentile(fg.latencies, 0.95);
+  pt.fg_samples = fg.latencies.size();
+  return pt;
+}
+
+}  // namespace
+}  // namespace vnros
+
+int main() {
+  using namespace vnros;
+  const bool quick = std::getenv("VNROS_BENCH_QUICK") != nullptr;
+  const usize keys = quick ? 256 : 512;
+  const usize value_bytes = 96;
+  const u64 window_polls = quick ? 1024 : 4096;
+  const u64 epoch_passes = 8;  // periodic passes per divergence event
+  const std::vector<double> fractions = quick ? std::vector<double>{0.01, 0.25}
+                                              : std::vector<double>{0.01, 0.05, 0.25};
+
+  BenchJson json("ablate_anti_entropy");
+  json.config("keys", static_cast<unsigned long long>(keys));
+  json.config("value_bytes", static_cast<unsigned long long>(value_bytes));
+  json.config("window_polls", static_cast<unsigned long long>(window_polls));
+  json.config("epoch_passes", static_cast<unsigned long long>(epoch_passes));
+  json.config("quick", quick);
+
+  std::printf("# ablate_anti_entropy: repair bytes should track divergence, not keyspace\n");
+  std::printf("# %8s %10s %9s %11s %11s %11s %7s %7s\n", "strategy", "divergence",
+              "divergent", "pass_bytes", "clean_bytes", "epoch_bytes", "fg_p50", "fg_p95");
+
+  double merkle_epoch_at_1pct = 0;
+  double full_epoch_at_1pct = 0;
+  double merkle_pass_at_1pct = 0;
+  double full_pass_at_1pct = 0;
+  u64 none_p50 = 0;
+
+  for (Strategy strategy : {Strategy::kNone, Strategy::kMerkle, Strategy::kFull}) {
+    const char* tag = strategy == Strategy::kNone    ? "none"
+                      : strategy == Strategy::kMerkle ? "merkle"
+                                                       : "full";
+    for (double frac : fractions) {
+      Point pt = run_cell(strategy, keys, frac, value_bytes, window_polls, 0xAB1A7Eull);
+      // A repair epoch: the divergence arises once, the periodic loop runs
+      // `epoch_passes` times — one repairing pass plus steady-state passes.
+      u64 epoch_bytes = pt.pass_bytes + (epoch_passes - 1) * pt.clean_bytes;
+      double x = frac * 100.0;
+      std::printf("  %8s %9.1f%% %9zu %11llu %11llu %11llu %7llu %7llu\n", tag, x,
+                  pt.divergent, static_cast<unsigned long long>(pt.pass_bytes),
+                  static_cast<unsigned long long>(pt.clean_bytes),
+                  static_cast<unsigned long long>(epoch_bytes),
+                  static_cast<unsigned long long>(pt.fg_p50),
+                  static_cast<unsigned long long>(pt.fg_p95));
+      std::string prefix = std::string(tag) + "_";
+      json.row(prefix + "pass_bytes", x, static_cast<double>(pt.pass_bytes));
+      json.row(prefix + "clean_bytes", x, static_cast<double>(pt.clean_bytes));
+      json.row(prefix + "epoch_bytes", x, static_cast<double>(epoch_bytes));
+      json.row(prefix + "pass_rpcs", x, static_cast<double>(pt.pass_rpcs));
+      json.row(prefix + "pulled", x, static_cast<double>(pt.pulled));
+      json.row(prefix + "fg_p50_polls", x, static_cast<double>(pt.fg_p50));
+      json.row(prefix + "fg_p95_polls", x, static_cast<double>(pt.fg_p95));
+      if (strategy == Strategy::kNone) {
+        none_p50 = pt.fg_p50;
+      }
+      if (frac <= 0.011) {
+        if (strategy == Strategy::kMerkle) {
+          merkle_epoch_at_1pct = static_cast<double>(epoch_bytes);
+          merkle_pass_at_1pct = static_cast<double>(pt.pass_bytes);
+        } else if (strategy == Strategy::kFull) {
+          full_epoch_at_1pct = static_cast<double>(epoch_bytes);
+          full_pass_at_1pct = static_cast<double>(pt.pass_bytes);
+        }
+      }
+    }
+  }
+
+  double epoch_ratio = merkle_epoch_at_1pct > 0 ? full_epoch_at_1pct / merkle_epoch_at_1pct : 0;
+  double pass_ratio = merkle_pass_at_1pct > 0 ? full_pass_at_1pct / merkle_pass_at_1pct : 0;
+  std::printf("# at 1%% divergence: full/merkle = %.1fx per repair pass, %.1fx per epoch "
+              "(baseline fg p50 = %llu polls)\n",
+              pass_ratio, epoch_ratio, static_cast<unsigned long long>(none_p50));
+  json.row("full_over_merkle_pass_ratio", 1.0, pass_ratio);
+  json.row("full_over_merkle_epoch_ratio", 1.0, epoch_ratio);
+  json.write();
+  return 0;
+}

@@ -66,6 +66,7 @@ struct SweepConfig {
   usize value_bytes = 128;
   usize ticks = 30'000;
   usize warmup_ticks = 2'000;
+  bool del_heavy = false;  // 40/35/25 read/update/delete instead of 50/50
   u64 reply_timeout_ticks = 600;
   // Gated runs: tokens granted per node per tick, and bucket capacity.
   u64 admission_rate_ppm = 400'000;  // 0.4 ops/tick/node, below the 1/tick serve rate
@@ -115,8 +116,15 @@ class VClient {
   enum class State { kIdle, kWaiting, kBackoff };
 
   void begin_op(u64 tick) {
-    // YCSB-A: 50/50 read/update; 80% of ops land on the hottest 20% of keys.
-    read_ = rng_.chance(1, 2);
+    // YCSB-A: 50/50 read/update; the delete-heavy variant trades updates and
+    // reads for 25% sequenced deletes (tombstone churn under load, DESIGN
+    // §11). 80% of ops land on the hottest 20% of keys either way.
+    u64 roll = rng_.next_below(100);
+    if (cfg_.del_heavy) {
+      op_ = roll < 40 ? BsOp::kGet : roll < 75 ? BsOp::kPut : BsOp::kDel;
+    } else {
+      op_ = roll < 50 ? BsOp::kGet : BsOp::kPut;
+    }
     usize universe = rng_.chance(8, 10) ? std::max<usize>(cfg_.keys / 5, 1) : cfg_.keys;
     key_ = "ycsb" + std::to_string(rng_.next_below(universe));
     op_start_ = tick;
@@ -127,11 +135,13 @@ class VClient {
   void send(u64 tick) {
     req_id_ = next_req_id_++;
     Writer w;
-    w.put_u8(static_cast<u8>(read_ ? BsOp::kGet : BsOp::kPut));
+    w.put_u8(static_cast<u8>(op_));
     w.put_u64(req_id_);
     w.put_string(key_);
-    if (!read_) {
+    if (op_ != BsOp::kGet) {
       w.put_u64(++put_seq_);  // write-sequence stamp (see BlockStoreClient::rpc)
+    }
+    if (op_ == BsOp::kPut) {
       w.put_bytes(value_);
     }
     BsNodeId owner = view_.owners(key_).front();
@@ -179,7 +189,7 @@ class VClient {
   Fd sock_ = kInvalidFd;
   State state_ = State::kIdle;
   std::string key_;
-  bool read_ = false;
+  BsOp op_ = BsOp::kGet;
   std::vector<u8> value_;
   u64 next_req_id_ = 1;
   u64 put_seq_ = 0;
@@ -328,7 +338,7 @@ int main() {
     cfg.warmup_ticks = 500;
     client_counts = {4, 16, 64};
   } else {
-    client_counts = {8, 32, 128, 256};
+    client_counts = {8, 32, 128, 256, 1024};
   }
 
   BenchJson json("blockstore_ycsb");
@@ -341,26 +351,31 @@ int main() {
   json.config("admission_burst", static_cast<unsigned long long>(cfg.admission_burst));
   json.config("quick", quick);
 
-  std::printf("# blockstore_ycsb: closed-loop YCSB-A over the sharded cluster\n");
-  std::printf("# %8s %7s %12s %8s %8s %8s %10s %9s\n", "clients", "gate", "goodput/kt",
-              "p50", "p95", "p99", "shed_rate", "timeouts");
-  for (bool gated : {false, true}) {
-    for (usize n : client_counts) {
-      SweepPoint pt = run_sweep(cfg, n, gated);
-      const char* tag = gated ? "gated" : "open";
-      std::printf("  %8zu %7s %12.1f %8llu %8llu %8llu %10.3f %9llu\n", n, tag,
-                  pt.goodput_per_kilotick, static_cast<unsigned long long>(pt.p50),
-                  static_cast<unsigned long long>(pt.p95),
-                  static_cast<unsigned long long>(pt.p99), pt.shed_rate,
-                  static_cast<unsigned long long>(pt.timeouts));
-      std::string prefix = gated ? "gated_" : "open_";
-      double x = static_cast<double>(n);
-      json.row(prefix + "goodput_per_kilotick", x, pt.goodput_per_kilotick);
-      json.row(prefix + "p50_ticks", x, static_cast<double>(pt.p50));
-      json.row(prefix + "p95_ticks", x, static_cast<double>(pt.p95));
-      json.row(prefix + "p99_ticks", x, static_cast<double>(pt.p99));
-      json.row(prefix + "shed_rate", x, pt.shed_rate);
-      json.row(prefix + "timeouts", x, static_cast<double>(pt.timeouts));
+  std::printf("# blockstore_ycsb: closed-loop YCSB over the sharded cluster\n");
+  std::printf("# %8s %8s %7s %12s %8s %8s %8s %10s %9s\n", "clients", "mix", "gate",
+              "goodput/kt", "p50", "p95", "p99", "shed_rate", "timeouts");
+  for (bool del_heavy : {false, true}) {
+    cfg.del_heavy = del_heavy;
+    for (bool gated : {false, true}) {
+      for (usize n : client_counts) {
+        SweepPoint pt = run_sweep(cfg, n, gated);
+        const char* mix = del_heavy ? "del" : "a";
+        const char* tag = gated ? "gated" : "open";
+        std::printf("  %8zu %8s %7s %12.1f %8llu %8llu %8llu %10.3f %9llu\n", n, mix, tag,
+                    pt.goodput_per_kilotick, static_cast<unsigned long long>(pt.p50),
+                    static_cast<unsigned long long>(pt.p95),
+                    static_cast<unsigned long long>(pt.p99), pt.shed_rate,
+                    static_cast<unsigned long long>(pt.timeouts));
+        std::string prefix =
+            std::string(del_heavy ? "del_" : "") + (gated ? "gated_" : "open_");
+        double x = static_cast<double>(n);
+        json.row(prefix + "goodput_per_kilotick", x, pt.goodput_per_kilotick);
+        json.row(prefix + "p50_ticks", x, static_cast<double>(pt.p50));
+        json.row(prefix + "p95_ticks", x, static_cast<double>(pt.p95));
+        json.row(prefix + "p99_ticks", x, static_cast<double>(pt.p99));
+        json.row(prefix + "shed_rate", x, pt.shed_rate);
+        json.row(prefix + "timeouts", x, static_cast<double>(pt.timeouts));
+      }
     }
   }
   json.write();

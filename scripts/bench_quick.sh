@@ -17,9 +17,17 @@ fi
 
 export VNROS_BENCH_QUICK=1
 for b in fig1a_vc_cdf ablate_nr_vs_locks ablate_fc_batch ablate_log_sharding \
-         ablate_tlb_shootdown ablate_range_ops ablate_obs_overhead blockstore_ycsb; do
+         ablate_tlb_shootdown ablate_range_ops ablate_obs_overhead \
+         ablate_anti_entropy blockstore_ycsb; do
+  bin="./${BUILD}/bench/${b}"
+  if [[ ! -x "${bin}" ]]; then
+    # A missing binary must fail the refresh, not silently skip its JSON —
+    # a stale BENCH_*.json would masquerade as a fresh measurement.
+    echo "error: ${bin} not built — run: cmake --build ${BUILD} -j --target ${b}" >&2
+    exit 1
+  fi
   echo "== ${b} =="
-  "./${BUILD}/bench/${b}" | tail -3
+  "${bin}" | tail -3
 done
 
 echo

@@ -56,6 +56,13 @@ echo "== tier-1: membership-churn chaos (ctest -L chaos-churn) =="
 ctest --test-dir build -L chaos-churn --output-on-failure
 
 echo
+echo "== tier-1: self-healing chaos (ctest -L chaos-heal) =="
+# The heal schedules (sequenced deletes + tombstone GC, bit-rot, flap
+# storms, slow peers, Merkle anti-entropy) with the per-read linearizability
+# checker and convergence checks at quiesce.
+ctest --test-dir build -L chaos-heal --output-on-failure
+
+echo
 echo "== tier-1: ASan+UBSan build (fs_test + app_test + chaos_test + chaos_churn_test) =="
 # The fault-injection and chaos paths unwind through error branches the
 # happy-path suite never touches; run them under address+UB sanitizers.
@@ -65,6 +72,16 @@ cmake --build build-asan -j"${JOBS}" --target fs_test app_test chaos_test chaos_
 ./build-asan/tests/app_test
 ./build-asan/tests/chaos_test
 ./build-asan/tests/chaos_churn_test
+
+echo
+echo "== tier-1: UBSan build (chaos_heal_test + app_test) =="
+# Pure UBSan (no recovery, no ASan shadow-memory slowdown) over the heal
+# matrix: the repair/GC/bit-rot paths do a lot of byte-level (de)serialization
+# and seq arithmetic — exactly where silent UB would hide.
+cmake -B build-ubsan -S . -DVNROS_SAN=undefined >/dev/null
+cmake --build build-ubsan -j"${JOBS}" --target chaos_heal_test app_test
+./build-ubsan/tests/chaos_heal_test
+./build-ubsan/tests/app_test
 
 echo
 echo "tier1: OK"

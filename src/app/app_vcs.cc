@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/app/anti_entropy.h"
 #include "src/app/blockstore.h"
 #include "src/base/fault.h"
 #include "src/base/rng.h"
@@ -829,6 +830,191 @@ VcOutcome vc_rebalance_preserves_durability(u64 seed) {
   return VcOutcome::pass();
 }
 
+// --- Self-healing: tombstones + Merkle anti-entropy ------------------------------
+
+// app/tombstone_no_resurrection: an acknowledged delete whose replica push
+// was severed by a partition still wins. The tombstone reaches the lagging
+// co-owner through Merkle anti-entropy (not hint delivery — the parked hint
+// must be dropped as superseded, never replayed), acknowledgement-gated GC
+// then reclaims the tombstone on every member, and the deleted bytes never
+// reappear anywhere afterwards.
+VcOutcome vc_tombstone_no_resurrection(u64 seed) {
+  MiniCluster c(2, 2);
+  Host client_host(&c.net);
+  BlockStoreClient client(client_host.sys, c.hosts[0]->kernel.net_addr(), 9100,
+                          [&] { c.pump_all(); });
+  (void)client.init();
+  client.set_cluster(c.view);
+
+  Rng rng(seed);
+  std::vector<u8> value = random_value(rng, 300);
+  if (!client.put("doomed", value).ok()) {
+    return VcOutcome::fail("seed put failed");
+  }
+  c.drain();
+  if (!c.nodes[0]->get("doomed").ok() || !c.nodes[1]->get("doomed").ok()) {
+    return VcOutcome::fail("put did not replicate to both owners");
+  }
+
+  // Partition the owners: the delete acks on the reachable owner and parks
+  // a tombstone hint for the unreachable one.
+  c.net.partition(c.hosts[0]->kernel.net_addr(), c.hosts[1]->kernel.net_addr());
+  if (!client.del("doomed").ok()) {
+    return VcOutcome::fail("del through the partition failed");
+  }
+  u64 tomb_seq = 0;
+  for (const auto& e : c.nodes[0]->list()) {
+    if (e.key == "doomed" && e.tombstone) {
+      tomb_seq = e.seq;
+    }
+  }
+  if (tomb_seq == 0) {
+    return VcOutcome::fail("delete did not leave a sequenced tombstone");
+  }
+  if (c.nodes[0]->get("doomed").error() != ErrorCode::kNotFound) {
+    return VcOutcome::fail("deleting owner still serves the key");
+  }
+  // The lagging co-owner still holds the doomed bytes — resurrection fuel.
+  auto stale = c.nodes[1]->get("doomed");
+  if (!stale.ok() || stale.value() != value) {
+    return VcOutcome::fail("co-owner unexpectedly lost the pre-delete value");
+  }
+
+  // Heal and repair through anti-entropy alone: the tombstone travels as a
+  // first-class sequenced write and supersedes the stale copy.
+  c.net.heal_all();
+  AntiEntropyScheduler ae(c.hosts[0]->sys, *c.nodes[0], [&] { c.pump_except(0); });
+  if (!ae.sync_with(BsPeer{c.hosts[1]->kernel.net_addr(), 9101}).ok()) {
+    return VcOutcome::fail("anti-entropy pass failed");
+  }
+  if (ae.stats().pushed == 0) {
+    return VcOutcome::fail("anti-entropy did not push the tombstone");
+  }
+  if (c.nodes[1]->get("doomed").error() != ErrorCode::kNotFound) {
+    return VcOutcome::fail("tombstone did not supersede the stale copy");
+  }
+
+  // Acknowledgement-gated GC: the deleting owner certifies every member
+  // applied the delete, drops its own superseded hint, reclaims its
+  // tombstone, and tells the peer to reclaim too.
+  if (c.nodes[0]->gc_tombstones() == 0) {
+    return VcOutcome::fail("gc reclaimed nothing despite full acknowledgement");
+  }
+  (void)c.nodes[1]->gc_tombstones();
+  if (c.nodes[0]->stats().tombstones_gced == 0) {
+    return VcOutcome::fail("gc not counted");
+  }
+  for (usize i = 0; i < 2; ++i) {
+    (void)c.nodes[i]->deliver_hints();  // any surviving hint would replay now
+    if (c.nodes[i]->get("doomed").error() != ErrorCode::kNotFound) {
+      return VcOutcome::fail("key resurrected on node " + std::to_string(i));
+    }
+    for (const auto& e : c.nodes[i]->list()) {
+      if (e.key == "doomed") {
+        return VcOutcome::fail("tombstone survives GC on node " + std::to_string(i));
+      }
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// app/anti_entropy_converges: two replicas with seeded random divergence —
+// keys missing on either side, stale versions, and tombstones — converge
+// under bidirectional Merkle exchange to exactly the max-sequence union of
+// their histories: equal roots, every key at its newest version, deletes
+// deleted. A further pass in each direction is a clean root exchange.
+VcOutcome vc_anti_entropy_converges(u64 seed) {
+  Network net;
+  Host a_host(&net);
+  Host b_host(&net);
+  BlockStoreNode a(a_host.sys, 9000);
+  BlockStoreNode b(b_host.sys, 9001);
+  if (!a.init().ok() || !b.init().ok()) {
+    return VcOutcome::fail("init failed");
+  }
+
+  // Build a sequenced history; each version lands on a, on b, or on both,
+  // so `truth` (the newest version per key) is the union both must reach.
+  struct Truth {
+    u64 seq = 0;
+    bool tombstone = false;
+    std::vector<u8> bytes;
+  };
+  Rng rng(seed);
+  std::map<std::string, Truth> truth;
+  u64 seq = 0;
+  for (usize i = 0; i < 24; ++i) {
+    std::string key = "blk" + std::to_string(i);
+    usize versions = rng.chance(1, 3) ? 2 : 1;
+    for (usize v = 0; v < versions; ++v) {
+      ++seq;
+      bool tomb = rng.chance(1, 5);
+      std::vector<u8> bytes = tomb ? std::vector<u8>{} : random_value(rng, 200);
+      u64 where = rng.next_range(0, 2);  // 0 = a only, 1 = b only, 2 = both
+      if (where != 1 && !a.apply_remote(key, bytes, seq, tomb).ok()) {
+        return VcOutcome::fail("apply to a failed");
+      }
+      if (where != 0 && !b.apply_remote(key, bytes, seq, tomb).ok()) {
+        return VcOutcome::fail("apply to b failed");
+      }
+      truth[key] = Truth{seq, tomb, bytes};
+    }
+  }
+
+  AntiEntropyConfig cfg;
+  cfg.tokens_per_pass = 1'000'000;  // convergence VC: budget is not under test
+  AntiEntropyScheduler ab(a_host.sys, a, [&] { b.serve_once(); }, cfg);
+  AntiEntropyScheduler ba(b_host.sys, b, [&] { a.serve_once(); }, cfg);
+  BsPeer peer_a{a_host.kernel.net_addr(), 9000};
+  BsPeer peer_b{b_host.kernel.net_addr(), 9001};
+  if (!ab.sync_with(peer_b).ok() || !ba.sync_with(peer_a).ok()) {
+    return VcOutcome::fail("repair pass failed");
+  }
+  if (ab.stats().pulled + ab.stats().pushed + ba.stats().pulled + ba.stats().pushed == 0) {
+    return VcOutcome::fail("seeded divergence repaired nothing");
+  }
+
+  // Converged: equal roots, and both inventories are exactly the truth map.
+  if (MerkleTree::build(a.list()).root() != MerkleTree::build(b.list()).root()) {
+    return VcOutcome::fail("roots differ after bidirectional repair");
+  }
+  for (BlockStoreNode* n : {&a, &b}) {
+    auto inv = n->list();
+    if (inv.size() != truth.size()) {
+      return VcOutcome::fail("inventory size diverged from the union of histories");
+    }
+    for (const auto& e : inv) {
+      auto it = truth.find(e.key);
+      if (it == truth.end() || e.seq != it->second.seq || e.tombstone != it->second.tombstone) {
+        return VcOutcome::fail("key " + e.key + " did not converge to its newest version");
+      }
+    }
+    for (const auto& [key, t] : truth) {
+      auto got = n->get(key);
+      if (t.tombstone) {
+        if (got.error() != ErrorCode::kNotFound) {
+          return VcOutcome::fail("deleted key " + key + " still readable");
+        }
+      } else if (!got.ok() || got.value() != t.bytes) {
+        return VcOutcome::fail("key " + key + " holds the wrong bytes");
+      }
+    }
+  }
+
+  // Already-converged pair: one root exchange each way, nothing shipped.
+  u64 pulled = ab.stats().pulled + ba.stats().pulled;
+  u64 pushed = ab.stats().pushed + ba.stats().pushed;
+  if (!ab.sync_with(peer_b).ok() || !ba.sync_with(peer_a).ok()) {
+    return VcOutcome::fail("clean pass failed");
+  }
+  if (ab.stats().clean_passes == 0 || ba.stats().clean_passes == 0 ||
+      ab.stats().pulled + ba.stats().pulled != pulled ||
+      ab.stats().pushed + ba.stats().pushed != pushed) {
+    return VcOutcome::fail("pass over a converged pair was not a clean no-op");
+  }
+  return VcOutcome::pass();
+}
+
 }  // namespace
 
 void register_app_vcs(VcRegistry& reg) {
@@ -874,6 +1060,12 @@ void register_app_vcs(VcRegistry& reg) {
             [seed] { return vc_placement_refines(seed); });
     reg.add("app/rebalance_preserves_durability_seed" + std::to_string(seed),
             VcCategory::kApplication, [seed] { return vc_rebalance_preserves_durability(seed); });
+  }
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("app/tombstone_no_resurrection_seed" + std::to_string(seed),
+            VcCategory::kApplication, [seed] { return vc_tombstone_no_resurrection(seed); });
+    reg.add("app/anti_entropy_converges_seed" + std::to_string(seed),
+            VcCategory::kApplication, [seed] { return vc_anti_entropy_converges(seed); });
   }
 }
 

@@ -28,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/app/ring.h"
@@ -43,18 +44,25 @@ namespace vnros {
 enum class BsOp : u8 {
   kPut = 1,
   kGet = 2,
-  kDel = 3,
+  kDel = 3,  // sequenced: carries the client's write-sequence stamp
   kPing = 4,
-  kPutReplica = 5,  // replication push: applied locally, never re-forwarded
-  kList = 6,        // anti-entropy: enumerate (key, crc32c) pairs
-  kDelReplica = 7,  // replicated delete: applied locally, never re-forwarded
+  kPutReplica = 5,   // replication push: applied locally, never re-forwarded
+  kList = 6,         // anti-entropy: enumerate (key, crc, seq, tombstone)
+  kDelReplica = 7,   // replicated (sequenced) delete: tombstone apply-if-newer
+  kGetBlock = 8,     // repair fetch: raw block (tombstone flag + seq + bytes)
+  kMerkleNode = 9,   // anti-entropy: one Merkle node's hash + child hashes
+  kMerkleLeaf = 10,  // anti-entropy: one Merkle leaf bucket's (key, seq, flag)s
+  kTombstoneGc = 11, // tombstone GC: drop your tombstone for key if seq <= S
 };
 
-// One entry of a kList reply: enough to detect a missing or divergent block
-// without shipping its bytes.
+// One entry of a kList reply / local inventory: enough to detect a missing
+// or divergent block without shipping its bytes. Tombstones (sequenced
+// deletes) are first-class entries so divergence over deletion is visible.
 struct BlockKeyInfo {
   std::string key;
-  u32 crc = 0;
+  u32 crc = 0;  // crc32c of the payload bytes (crc of "" for tombstones)
+  u64 seq = 0;  // write sequence of the local copy
+  bool tombstone = false;
 
   bool operator==(const BlockKeyInfo&) const = default;
 };
@@ -85,6 +93,11 @@ struct ClusterConfig {
   BsNodeId self = 0;
   usize push_ack_polls = 96;  // pump polls awaiting each replica ack
   usize push_attempts = 2;    // sends per acked push before hinting
+  // Hinted-handoff bound: at most this many hints parked per unreachable
+  // peer. Past the cap the lowest-sequence (oldest) hint for that peer is
+  // dropped (counted in hints_dropped) — anti-entropy remains the backstop
+  // for whatever a dropped hint would have carried.
+  usize max_hints_per_peer = 64;
 };
 
 // Admission control: a token bucket over served storage ops. Tokens are in
@@ -120,8 +133,11 @@ struct BlockStoreStats {
   u64 sheds = 0;               // requests refused with kOverloaded
   u64 hints_written = 0;       // handoffs parked for a partitioned owner
   u64 hints_delivered = 0;     // parked handoffs later delivered + acked
+  u64 hints_dropped = 0;       // hints evicted by the per-peer cap
   u64 handoffs = 0;            // blocks moved to a new owner by rebalance()
   u64 stale_ignored = 0;       // replica writes refused: local copy was newer
+  u64 tombstones_written = 0;  // sequenced deletes persisted locally
+  u64 tombstones_gced = 0;     // tombstones reclaimed after shard-wide acks
 };
 
 class BlockStoreNode {
@@ -186,16 +202,36 @@ class BlockStoreNode {
   Result<std::vector<u8>> get(std::string_view key) const;
   Result<Unit> del(std::string_view key);
 
+  // Apply-if-newer ingress for repair/anti-entropy: persists (value, seq) —
+  // or a tombstone at seq when `tombstone` — unless the local intact copy is
+  // strictly newer. `applied` (optional) reports whether the bytes landed.
+  // This is the only sanctioned way for an external repair driver to write
+  // into a node: the sequence rides along, so repair can never resurrect a
+  // value the cluster has already superseded.
+  Result<Unit> apply_remote(std::string_view key, std::span<const u8> value, u64 seq,
+                            bool tombstone, bool* applied = nullptr);
+
+  // Bounded tombstone GC (cluster mode). For up to `max_batch` local
+  // tombstones: every other cluster member must ack the tombstone's
+  // sequence (the ack certifies "I durably hold this key at seq >= yours
+  // AND hold no older parked hint for it" — the kDelReplica handler drops
+  // matching hints before acking). Only then is the tombstone dropped,
+  // cluster-wide (kTombstoneGc) then locally — so a lagging replica can
+  // never resurrect the deleted key. Returns tombstones reclaimed.
+  u64 gc_tombstones(usize max_batch = 32);
+
   // get(), but a kCorrupted local block is repaired from the peer list (if
   // any) before failing: fetch from a peer over the repair socket, verify,
   // re-persist locally, return the repaired bytes. This is what serve_once
   // uses for kGet, so clients never see corruption a peer can cure.
   Result<std::vector<u8>> get_or_repair(std::string_view key);
 
-  // Abstract view: every (key, bytes) currently stored and intact.
+  // Abstract view: every live (key, bytes) currently stored and intact
+  // (tombstones are deletion markers, not values — they are excluded).
   std::map<std::string, std::vector<u8>> view() const;
 
-  // Anti-entropy inventory: (key, crc32c) for every intact block.
+  // Anti-entropy inventory: (key, crc, seq, tombstone) for every intact
+  // block, tombstones included — sync must see deletions to propagate them.
   std::vector<BlockKeyInfo> list() const;
 
   // Thin view over the obs counters ("bs<N>/..."): race-free merged reads.
@@ -205,8 +241,9 @@ class BlockStoreNode {
                            c_replicas_pushed_.value(), c_replicas_applied_.value(),
                            c_read_repairs_.value(),   c_failed_repairs_.value(),
                            c_sheds_.value(),          c_hints_written_.value(),
-                           c_hints_delivered_.value(), c_handoffs_.value(),
-                           c_stale_ignored_.value()};
+                           c_hints_delivered_.value(), c_hints_dropped_.value(),
+                           c_handoffs_.value(),       c_stale_ignored_.value(),
+                           c_tombstones_written_.value(), c_tombstones_gced_.value()};
   }
   Port port() const { return port_; }
 
@@ -227,19 +264,24 @@ class BlockStoreNode {
     u64 seq = 0;
   };
 
-  Result<Unit> put_local(std::string_view key, std::span<const u8> value, u64 seq);
-  Result<Unit> del_local(std::string_view key);
+  Result<Unit> put_local(std::string_view key, std::span<const u8> value, u64 seq,
+                         bool tombstone);
   // The coordinator write path with an explicit sequence (serve_once passes
   // the client's stamp; the seq-less public put() assigns local_seq + 1).
   Result<Unit> put_stamped(std::string_view key, std::span<const u8> value, u64 seq);
-  // Apply-if-newer: persists (value, seq) unless the local intact copy has a
-  // strictly newer sequence, in which case the write is refused as stale but
-  // still reported kOk (the caller's bytes are durably superseded). Sets
-  // `applied` so callers can count real applies apart from stale refusals.
+  // The coordinator delete path: a sequenced tombstone write (apply-if-newer
+  // like every other write), replicated with acked pushes + hints like a put.
+  Result<Unit> del_stamped(std::string_view key, u64 seq);
+  // Apply-if-newer: persists (value, seq) — or a tombstone — unless the
+  // local intact copy has a strictly newer sequence, in which case the write
+  // is refused as stale but still reported kOk (the caller's bytes are
+  // durably superseded). Sets `applied` so callers can count real applies
+  // apart from stale refusals.
   Result<Unit> apply_replica(std::string_view key, std::span<const u8> value, u64 seq,
-                             bool* applied);
-  // Sequence of the local intact copy; 0 when missing or corrupt (so any
-  // incoming write, including a re-pushed seq-0 legacy block, may land).
+                             bool tombstone, bool* applied);
+  // Sequence of the local intact copy (live or tombstone); 0 when missing or
+  // corrupt (so any incoming write, including a re-pushed seq-0 legacy
+  // block, may land).
   u64 local_seq(std::string_view key) const;
   void push_replicas(std::string_view key, std::span<const u8> value, u64 seq);
   Result<BlockData> fetch_from_peer(const BsPeer& peer, std::string_view key);
@@ -247,13 +289,23 @@ class BlockStoreNode {
 
   // Cluster-mode plumbing.
   void replicate_put(std::string_view key, std::span<const u8> value, u64 seq);
-  void replicate_del(std::string_view key);
+  void replicate_del(std::string_view key, u64 seq);
   // Sends `op` to `peer` over the repair socket and waits (pumping) for an
   // ack: cluster_.push_attempts sends x push_ack_polls polls each.
   Result<Unit> push_acked(const BsPeer& peer, BsOp op, std::string_view key,
                           std::span<const u8> value, u64 seq);
   Result<Unit> write_hint(BsNodeId owner, std::string_view key, std::span<const u8> value,
-                          u64 seq);
+                          u64 seq, bool tombstone);
+  // "/hints/<owner>_<hexkey>" for this (owner, key) pair.
+  std::string hint_path(BsNodeId owner, std::string_view key) const;
+  // Drops every parked hint for `key` (any owner) whose sequence is <= seq:
+  // the tombstone GC barrier — an ack of a tombstone must also certify no
+  // older hint for the key survives on the acking node.
+  void drop_stale_hints(std::string_view key, u64 seq);
+  // Per-peer hint bound: evicts the lowest-sequence hint for `owner` when
+  // the cap is reached. Returns false when the incoming hint (at `seq`) is
+  // itself the oldest and should be dropped instead of written.
+  bool reserve_hint_slot(BsNodeId owner, std::string_view key, u64 seq);
   // Replica peers consulted by get_or_repair: the key's other ring owners
   // in cluster mode, the static peer list otherwise.
   std::vector<BsPeer> repair_peers(std::string_view key) const;
@@ -293,8 +345,11 @@ class BlockStoreNode {
   Counter& c_sheds_;
   Counter& c_hints_written_;
   Counter& c_hints_delivered_;
+  Counter& c_hints_dropped_;
   Counter& c_handoffs_;
   Counter& c_stale_ignored_;
+  Counter& c_tombstones_written_;
+  Counter& c_tombstones_gced_;
   const u32 span_serve_;
 };
 
@@ -307,7 +362,10 @@ struct RetryPolicy {
   u64 backoff_base_polls = 0;    // idle polls before retry 1; doubles per retry
   u64 backoff_max_polls = 0;     // exponential backoff cap (0 = uncapped)
   u64 jitter_ppm = 0;            // additive jitter: up to this fraction of the backoff
-  u64 deadline_polls = 0;        // total poll budget per rpc (0 = unlimited)
+  u64 deadline_polls = 0;        // total poll budget per rpc (0 = unlimited).
+                                 // Backoffs are clamped to the remaining budget
+                                 // (reserving one attempt window), so the rpc
+                                 // never sleeps a full backoff past its deadline.
   // kOverloaded backpressure: the server is alive and explicitly shedding,
   // so do NOT fail over — wait (multiplicatively growing, jittered like the
   // timeout backoff) and retry the same target.
@@ -356,16 +414,26 @@ class BlockStoreClient {
 
   Result<Unit> put(std::string_view key, std::span<const u8> value);
   Result<std::vector<u8>> get(std::string_view key);
+  // get() plus the write sequence the serving replica stamped on the bytes —
+  // the observable the linearizability checker orders reads by.
+  Result<std::pair<std::vector<u8>, u64>> get_with_seq(std::string_view key);
   Result<Unit> del(std::string_view key);
   Result<Unit> ping();
   Result<std::vector<BlockKeyInfo>> list();
 
-  // Anti-entropy repair: pulls every block that `target` is missing (or
-  // holds with a different checksum) from the server this client talks to,
-  // writing it into `target` via its local API. Returns blocks repaired.
+  // Full-inventory anti-entropy repair (the baseline the Merkle scheduler in
+  // src/app/anti_entropy.h is ablated against): ships the complete remote
+  // inventory, then pulls every entry — tombstones included — that is newer
+  // than `target`'s copy, writing it into `target` at its original sequence.
+  // Returns blocks repaired.
   Result<u64> sync_into(BlockStoreNode& target);
 
   u64 retries() const { return c_retries_.value(); }
+
+  // Stamp of the most recent put/del rpc (retries reuse it). The chaos
+  // linearizability checker reads this right after each write op to learn
+  // the sequence the op occupies in the per-key write order.
+  u64 last_write_seq() const { return put_seq_; }
 
   // Thin view over the obs counters ("bsc<N>/..."): race-free merged reads.
   RetryStats retry_stats() const {
@@ -384,7 +452,10 @@ class BlockStoreClient {
   static bool transient(ErrorCode err);
 
   // Sends `request` until a reply with its req_id arrives; returns payload.
-  Result<std::vector<u8>> rpc(BsOp op, std::string_view key, std::span<const u8> value);
+  // `seq_out` (optional) receives the reply's trailing write sequence
+  // (meaningful for kGet: the serving replica's stamp on the bytes).
+  Result<std::vector<u8>> rpc(BsOp op, std::string_view key, std::span<const u8> value,
+                              u64* seq_out = nullptr);
 
   Sys& sys_;
   std::vector<BsPeer> targets_;  // [0] = primary, rest = failover replicas

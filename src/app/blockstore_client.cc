@@ -51,7 +51,7 @@ bool BlockStoreClient::transient(ErrorCode err) {
 }
 
 Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
-                                              std::span<const u8> value) {
+                                              std::span<const u8> value, u64* seq_out) {
   if (sock_ == kInvalidFd) {
     auto r = init();  // lazy socket creation: init() is optional for callers
     if (!r.ok()) {
@@ -70,6 +70,11 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     // idempotent; a newer put always carries a higher stamp).
     w.put_u64(++put_seq_);
     w.put_bytes(value);
+  } else if (op == BsOp::kDel) {
+    // Deletes are sequenced writes (tombstones) and share the same stamp
+    // counter as puts: a put-then-del (or del-then-put) from this client is
+    // totally ordered on every replica it ever reaches.
+    w.put_u64(++put_seq_);
   }
 
   // Routing. Ring mode (set_cluster + a keyed op): the route is the key's
@@ -137,6 +142,16 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
       if (jspan > 0) {
         wait += rng_.next_range(0, jspan);
       }
+    }
+    if (policy_.deadline_polls != 0 && wait > 0) {
+      // Clamp the backoff to the deadline budget, reserving one attempt's
+      // polling window: an rpc never sleeps its whole remaining budget away
+      // and then fails without having probed the server one last time.
+      // (After the jitter draw, so the rng stream is schedule-independent.)
+      u64 remaining =
+          policy_.deadline_polls > polls_used ? policy_.deadline_polls - polls_used : 0;
+      u64 window = std::min<u64>(policy_.polls_per_attempt, remaining);
+      wait = std::min(wait, remaining - window);
     }
     for (u64 i = 0; i < wait; ++i) {
       if (deadline_hit()) {
@@ -212,6 +227,9 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
       mark_live();
       if (code == ErrorCode::kOk) {
         h_rpc_polls_.record(polls_used);
+        if (seq_out != nullptr) {
+          *seq_out = r.get_u64().value_or(0);
+        }
         return std::move(*payload);
       }
       if (code == ErrorCode::kOverloaded) {
@@ -267,6 +285,15 @@ Result<std::vector<u8>> BlockStoreClient::get(std::string_view key) {
   return rpc(BsOp::kGet, key, {});
 }
 
+Result<std::pair<std::vector<u8>, u64>> BlockStoreClient::get_with_seq(std::string_view key) {
+  u64 seq = 0;
+  auto r = rpc(BsOp::kGet, key, {}, &seq);
+  if (!r.ok()) {
+    return r.error();
+  }
+  return std::make_pair(std::move(r.value()), seq);
+}
+
 Result<Unit> BlockStoreClient::del(std::string_view key) {
   auto r = rpc(BsOp::kDel, key, {});
   if (!r.ok()) {
@@ -290,10 +317,12 @@ Result<std::vector<BlockKeyInfo>> BlockStoreClient::list() {
   for (u32 i = 0; i < *count; ++i) {
     auto key = r.get_string();
     auto crc = r.get_u32();
-    if (!key || !crc) {
+    auto seq = r.get_u64();
+    auto flags = r.get_u8();
+    if (!key || !crc || !seq || !flags) {
       return ErrorCode::kCorrupted;
     }
-    out.push_back(BlockKeyInfo{std::move(*key), *crc});
+    out.push_back(BlockKeyInfo{std::move(*key), *crc, *seq, (*flags & 1) != 0});
   }
   return out;
 }
@@ -303,26 +332,49 @@ Result<u64> BlockStoreClient::sync_into(BlockStoreNode& target) {
   if (!remote.ok()) {
     return remote.error();
   }
-  // What the target already holds, by checksum.
-  std::map<std::string, u32> local;
+  // What the target already holds, by write sequence (tombstones included —
+  // a deletion the target missed must land as a deletion, not linger as the
+  // old value). The crc breaks same-sequence ties: two copies at the same
+  // sequence with different bytes (independently stamped direct writes) are
+  // divergence the full sweep repairs in the source's favor.
+  std::map<std::string, std::pair<u64, u32>> local;
   for (const auto& e : target.list()) {
-    local[e.key] = e.crc;
+    local[e.key] = {e.seq, e.crc};
   }
   u64 repaired = 0;
   for (const auto& e : remote.value()) {
     auto it = local.find(e.key);
-    if (it != local.end() && it->second == e.crc) {
-      continue;  // already in sync
+    if (it != local.end() && (it->second.first > e.seq ||
+                              (it->second.first == e.seq && it->second.second == e.crc))) {
+      continue;  // the target's copy is newer, or identical at the same seq
     }
-    auto value = get(e.key);
-    if (!value.ok()) {
-      return value.error();
+    bool applied = false;
+    if (e.tombstone) {
+      auto r = target.apply_remote(e.key, {}, e.seq, /*tombstone=*/true, &applied);
+      if (!r.ok()) {
+        return r.error();
+      }
+    } else {
+      u64 seq = 0;
+      auto value = rpc(BsOp::kGet, e.key, {}, &seq);
+      if (!value.ok()) {
+        if (value.error() == ErrorCode::kNotFound) {
+          continue;  // deleted between the listing and the fetch
+        }
+        return value.error();
+      }
+      // Write at the source's sequence, not a fresh local stamp: repair must
+      // restore the block's true position in the write order, never reorder
+      // a stale copy above a newer one.
+      auto r = target.apply_remote(e.key, value.value(), seq != 0 ? seq : e.seq,
+                                   /*tombstone=*/false, &applied);
+      if (!r.ok()) {
+        return r.error();
+      }
     }
-    auto put_result = target.put(e.key, value.value());
-    if (!put_result.ok()) {
-      return put_result.error();
+    if (applied) {
+      ++repaired;
     }
-    ++repaired;
   }
   return repaired;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/app/anti_entropy.h"
 #include "src/base/contracts.h"
 #include "src/base/crc.h"
 #include "src/base/log.h"
@@ -10,15 +11,22 @@
 namespace vnros {
 namespace {
 
-// Block file layout: [u32 crc32c(seq||payload)][u32 len][u64 seq][payload].
-// The length is stored (not derived from file size) so truncation is
-// detected as corruption, not silently returned short. `seq` is the write
-// sequence stamped when the bytes were written (client stamp on coordinated
-// puts, local_seq + 1 on direct ones); every replica-apply path refuses
-// bytes older than its local copy, so a handoff, hint, or replication push
-// can never regress a key to a stale value. The crc covers the sequence so
-// ordering decisions are never made on torn metadata.
+// Block file layout: [u32 crc32c(len'||seq||payload)][u32 len'][u64 seq]
+// [payload], where len' is the payload length with bit 31 doubling as the
+// tombstone flag (payloads are far below 2 GiB). The length is stored (not
+// derived from file size) so truncation is detected as corruption, not
+// silently returned short. `seq` is the write sequence stamped when the
+// bytes were written (client stamp on coordinated puts, local_seq + 1 on
+// direct ones); every replica-apply path refuses bytes older than its local
+// copy, so a handoff, hint, or replication push can never regress a key to
+// a stale value. A tombstone is a first-class sequenced write with an empty
+// payload and the flag set — deletes ride the exact same apply-if-newer
+// machinery as puts. The crc covers the flagged length AND the sequence, so
+// neither ordering decisions nor live-vs-deleted decisions are ever made on
+// torn or rotted metadata (a flipped tombstone bit is corruption, not a
+// silent resurrection).
 constexpr usize kBlockHeader = 16;
+constexpr u32 kTombstoneFlag = 0x8000'0000u;
 
 constexpr char kHexDigits[] = "0123456789abcdef";
 
@@ -48,14 +56,16 @@ std::optional<std::string> decode_hex_key(std::string_view name) {
   return key;
 }
 
-// One decoded block-format file: the payload plus its write sequence.
+// One decoded block-format file: the payload plus its write sequence and
+// whether it is a tombstone (a sequenced delete marker).
 struct DecodedBlock {
   u64 seq = 0;
+  bool tombstone = false;
   std::vector<u8> bytes;
 };
 
 // Reads and checksum-verifies one block-format file
-// ([crc][len][seq][payload]); kCorrupted on any framing or checksum
+// ([crc][len'][seq][payload]); kCorrupted on any framing or checksum
 // mismatch. Shared by get() and hint delivery (hints use the same layout).
 Result<DecodedBlock> read_block_file(Sys& sys, const std::string& path) {
   auto fd = sys.open(path, 0);
@@ -74,18 +84,25 @@ Result<DecodedBlock> read_block_file(Sys& sys, const std::string& path) {
   }
   Reader r(raw.value());
   auto crc = r.get_u32();
-  auto len = r.get_u32();
+  auto flagged = r.get_u32();
   auto seq = r.get_u64();
-  if (!crc || !len || !seq || raw.value().size() != kBlockHeader + *len) {
+  if (!crc || !flagged || !seq) {
     return ErrorCode::kCorrupted;
   }
-  // The crc covers [seq][payload] so a torn sequence is corruption too.
-  std::span<const u8> covered(raw.value().data() + 8, 8 + *len);
+  const u32 len = *flagged & ~kTombstoneFlag;
+  const bool tombstone = (*flagged & kTombstoneFlag) != 0;
+  if (raw.value().size() != kBlockHeader + len || (tombstone && len != 0)) {
+    return ErrorCode::kCorrupted;
+  }
+  // The crc covers [len'][seq][payload]: a torn sequence OR a flipped
+  // tombstone bit is corruption — deletion state is never read off
+  // unverified metadata.
+  std::span<const u8> covered(raw.value().data() + 4, 12 + len);
   if (crc32c(covered) != *crc) {
     return ErrorCode::kCorrupted;  // never return bytes that fail the checksum
   }
-  std::span<const u8> payload(raw.value().data() + kBlockHeader, *len);
-  return DecodedBlock{*seq, std::vector<u8>(payload.begin(), payload.end())};
+  std::span<const u8> payload(raw.value().data() + kBlockHeader, len);
+  return DecodedBlock{*seq, tombstone, std::vector<u8>(payload.begin(), payload.end())};
 }
 
 }  // namespace
@@ -117,8 +134,11 @@ BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers,
       c_sheds_(ObsRegistry::global().counter(obs_prefix_ + "sheds")),
       c_hints_written_(ObsRegistry::global().counter(obs_prefix_ + "hints_written")),
       c_hints_delivered_(ObsRegistry::global().counter(obs_prefix_ + "hints_delivered")),
+      c_hints_dropped_(ObsRegistry::global().counter(obs_prefix_ + "hints_dropped")),
       c_handoffs_(ObsRegistry::global().counter(obs_prefix_ + "handoffs")),
       c_stale_ignored_(ObsRegistry::global().counter(obs_prefix_ + "stale_ignored")),
+      c_tombstones_written_(ObsRegistry::global().counter(obs_prefix_ + "tombstones_written")),
+      c_tombstones_gced_(ObsRegistry::global().counter(obs_prefix_ + "tombstones_gced")),
       span_serve_(ObsRegistry::global().tracer().intern_site("bs/serve")) {
   if (!fault_prefix.empty()) {
     delay_site_ = &FaultRegistry::global().site(fault_prefix + "/serve_delay");
@@ -148,15 +168,22 @@ Result<Unit> BlockStoreNode::init() {
 
 namespace {
 
-// Serializes one block-format file: [crc(seq||payload)][len][seq][payload].
-// Shared by put_local and write_hint (hints use the same layout).
-Writer encode_block(std::span<const u8> value, u64 seq) {
+// Serializes one block-format file: [crc(len'||seq||payload)][len'][seq]
+// [payload]. Shared by put_local and write_hint (hints use the same layout).
+// A tombstone always has an empty payload.
+Writer encode_block(std::span<const u8> value, u64 seq, bool tombstone) {
+  u32 flagged = static_cast<u32>(value.size());
+  if (tombstone) {
+    flagged = kTombstoneFlag;  // tombstones carry no payload
+  }
   Writer body;
+  body.put_u32(flagged);
   body.put_u64(seq);
-  body.put_raw(value);
+  if (!tombstone) {
+    body.put_raw(value);
+  }
   Writer w;
   w.put_u32(crc32c(body.bytes()));
-  w.put_u32(static_cast<u32>(value.size()));
   w.put_raw(body.bytes());
   return w;
 }
@@ -164,7 +191,7 @@ Writer encode_block(std::span<const u8> value, u64 seq) {
 }  // namespace
 
 Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8> value,
-                                       u64 seq) {
+                                       u64 seq, bool tombstone) {
   // Write-temp-then-rename: the new bytes go to a sidecar file and replace
   // the block in one atomic (journaled) rename, so a fault anywhere mid-put
   // leaves the previously acknowledged value intact. The ".tmp" suffix can
@@ -176,7 +203,7 @@ Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8>
   if (!fd.ok()) {
     return fd.error();
   }
-  Writer w = encode_block(value, seq);
+  Writer w = encode_block(value, seq, tombstone);
   auto written = sys_.write(fd.value(), w.bytes());
   (void)sys_.close(fd.value());
   if (!written.ok() || written.value() != w.size()) {
@@ -188,9 +215,14 @@ Result<Unit> BlockStoreNode::put_local(std::string_view key, std::span<const u8>
     (void)sys_.unlink(tmp);
     return renamed.error();
   }
-  // Durability before acknowledgement: the put is only acked after fsync, so
-  // an acked put survives any later crash (app/crash_recovery VCs).
-  return sys_.fsync();
+  // Durability before acknowledgement: the put (or sequenced delete) is only
+  // acked after fsync, so an acked op survives any later crash
+  // (app/crash_recovery + app/tombstone_no_resurrection VCs).
+  auto synced = sys_.fsync();
+  if (synced.ok() && tombstone) {
+    c_tombstones_written_.inc();
+  }
+  return synced;
 }
 
 Result<Unit> BlockStoreNode::put(std::string_view key, std::span<const u8> value) {
@@ -201,7 +233,7 @@ Result<Unit> BlockStoreNode::put(std::string_view key, std::span<const u8> value
 Result<Unit> BlockStoreNode::put_stamped(std::string_view key, std::span<const u8> value,
                                          u64 seq) {
   bool applied = false;
-  auto r = apply_replica(key, value, seq, &applied);
+  auto r = apply_replica(key, value, seq, /*tombstone=*/false, &applied);
   if (!r.ok()) {
     return r;
   }
@@ -218,7 +250,7 @@ Result<Unit> BlockStoreNode::put_stamped(std::string_view key, std::span<const u
 }
 
 Result<Unit> BlockStoreNode::apply_replica(std::string_view key, std::span<const u8> value,
-                                           u64 seq, bool* applied) {
+                                           u64 seq, bool tombstone, bool* applied) {
   auto local = read_block_file(sys_, key_path(key));
   if (!local.ok() && local.error() != ErrorCode::kNotFound &&
       local.error() != ErrorCode::kCorrupted) {
@@ -235,11 +267,16 @@ Result<Unit> BlockStoreNode::apply_replica(std::string_view key, std::span<const
     }
     return Unit{};
   }
-  auto r = put_local(key, value, seq);
+  auto r = put_local(key, value, seq, tombstone);
   if (applied != nullptr) {
     *applied = r.ok();
   }
   return r;
+}
+
+Result<Unit> BlockStoreNode::apply_remote(std::string_view key, std::span<const u8> value,
+                                          u64 seq, bool tombstone, bool* applied) {
+  return apply_replica(key, value, seq, tombstone, applied);
 }
 
 u64 BlockStoreNode::local_seq(std::string_view key) const {
@@ -273,6 +310,9 @@ Result<std::vector<u8>> BlockStoreNode::get(std::string_view key) const {
   if (!r.ok()) {
     c_corrupt_reads_.inc();
     return ErrorCode::kCorrupted;
+  }
+  if (r.value().tombstone) {
+    return ErrorCode::kNotFound;  // a sequenced delete reads as clean absence
   }
   return std::move(r.value().bytes);
 }
@@ -339,6 +379,9 @@ Result<BlockStoreNode::BlockData> BlockStoreNode::get_or_repair_block(std::strin
   auto local = read_block_file(sys_, key_path(key));
   if (local.ok()) {
     c_gets_.inc();
+    if (local.value().tombstone) {
+      return ErrorCode::kNotFound;  // deleted: absence is the correct answer
+    }
     return BlockData{std::move(local.value().bytes), local.value().seq};
   }
   if (local.error() != ErrorCode::kCorrupted) {
@@ -369,7 +412,8 @@ Result<BlockStoreNode::BlockData> BlockStoreNode::get_or_repair_block(std::strin
   }
   // Re-persist at the peer's sequence: the cure restores the block's true
   // place in the write order instead of minting a new one.
-  auto stored = put_local(key, repaired.value().bytes, repaired.value().seq);
+  auto stored = put_local(key, repaired.value().bytes, repaired.value().seq,
+                          /*tombstone=*/false);
   if (stored.ok()) {
     c_read_repairs_.inc();
     VNROS_LOG_DEBUG("blockstore", "read-repaired %zu-byte block from peer",
@@ -380,34 +424,51 @@ Result<BlockStoreNode::BlockData> BlockStoreNode::get_or_repair_block(std::strin
   return repaired;
 }
 
-Result<Unit> BlockStoreNode::del_local(std::string_view key) {
-  // "Ensure absent" semantics (like S3 DELETE): deleting a missing key is a
-  // success. This is what makes DEL idempotent, so the client's at-least-once
-  // retries (a reply can be lost after the delete applied) stay correct.
-  auto r = sys_.unlink(key_path(key));
-  if (!r.ok() && r.error() != ErrorCode::kNotFound) {
-    return r;
-  }
-  return sys_.fsync();
+Result<Unit> BlockStoreNode::del(std::string_view key) {
+  // Direct (unstamped) deletes order after whatever this node already holds.
+  return del_stamped(key, local_seq(key) + 1);
 }
 
-Result<Unit> BlockStoreNode::del(std::string_view key) {
-  auto r = del_local(key);
+Result<Unit> BlockStoreNode::del_stamped(std::string_view key, u64 seq) {
+  // A delete is a first-class sequenced write of a tombstone: apply-if-newer
+  // like a put, fsynced before the ack, replicated with acked pushes and
+  // hints. "Ensure absent" semantics (like S3 DELETE) are preserved —
+  // deleting a missing key persists a tombstone and succeeds — and the
+  // client's at-least-once retries stay idempotent (same stamp, same
+  // outcome). A lagging replica pushing the old value later is refused as
+  // stale by the tombstone's sequence: no resurrection.
+  bool applied = false;
+  auto r = apply_replica(key, {}, seq, /*tombstone=*/true, &applied);
   if (!r.ok()) {
     return r;
   }
   c_dels_.inc();
-  if (clustered_) {
-    replicate_del(key);
+  if (applied && clustered_) {
+    replicate_del(key, seq);
   }
   return Unit{};
 }
 
 std::vector<BlockKeyInfo> BlockStoreNode::list() const {
   std::vector<BlockKeyInfo> out;
-  for (const auto& [key, value] : view()) {
-    out.push_back(BlockKeyInfo{key, crc32c(value)});
+  auto names = sys_.readdir("/blocks");
+  if (!names.ok()) {
+    return out;
   }
+  for (const auto& name : names.value()) {
+    auto key = decode_hex_key(name);
+    if (!key) {
+      continue;
+    }
+    auto block = read_block_file(sys_, "/blocks/" + name);
+    if (!block.ok()) {
+      continue;  // corrupt: invisible to sync, so a peer's copy wins
+    }
+    out.push_back(BlockKeyInfo{*key, crc32c(block.value().bytes), block.value().seq,
+                               block.value().tombstone});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockKeyInfo& a, const BlockKeyInfo& b) { return a.key < b.key; });
   return out;
 }
 
@@ -418,7 +479,8 @@ std::map<std::string, std::vector<u8>> BlockStoreNode::view() const {
     return out;
   }
   for (const auto& name : names.value()) {
-    // Decode the hex filename back into the key.
+    // Decode the hex filename back into the key. get() maps tombstones to
+    // kNotFound, so deleted keys are naturally absent from the view.
     auto key = decode_hex_key(name);
     if (!key) {
       continue;
@@ -495,6 +557,8 @@ Result<Unit> BlockStoreNode::push_acked(const BsPeer& peer, BsOp op, std::string
   if (op == BsOp::kPutReplica) {
     w.put_u64(seq);
     w.put_bytes(value);
+  } else if (op == BsOp::kDelReplica || op == BsOp::kTombstoneGc) {
+    w.put_u64(seq);  // sequenced delete / GC horizon: the stamp rides along
   }
   ErrorCode last = ErrorCode::kTimedOut;
   for (usize attempt = 0; attempt < cluster_.push_attempts; ++attempt) {
@@ -530,23 +594,106 @@ Result<Unit> BlockStoreNode::push_acked(const BsPeer& peer, BsOp op, std::string
   return last;
 }
 
-Result<Unit> BlockStoreNode::write_hint(BsNodeId owner, std::string_view key,
-                                        std::span<const u8> value, u64 seq) {
-  // Hints live beside blocks as "/hints/<owner>_<hexkey>" in block format
-  // (the write sequence rides along so delivery keeps its ordering). No
-  // fsync: a hint is an availability optimization, not the durability
-  // story — the coordinator keeps its own fsynced copy, and anti-entropy
-  // remains the backstop if a crash eats parked hints.
+std::string BlockStoreNode::hint_path(BsNodeId owner, std::string_view key) const {
   std::string path = "/hints/" + std::to_string(owner) + "_";
   for (char c : key) {
     path.push_back(kHexDigits[(static_cast<u8>(c) >> 4) & 0xF]);
     path.push_back(kHexDigits[static_cast<u8>(c) & 0xF]);
   }
+  return path;
+}
+
+void BlockStoreNode::drop_stale_hints(std::string_view key, u64 seq) {
+  // The tombstone-GC barrier: once this node acks a tombstone at `seq`, no
+  // parked hint at or below `seq` for the key may survive here — otherwise
+  // GC could reclaim the tombstone everywhere and a later hint delivery
+  // would resurrect the deleted value.
+  auto names = sys_.readdir("/hints");
+  if (!names.ok()) {
+    return;
+  }
+  std::string hexkey;
+  for (char c : key) {
+    hexkey.push_back(kHexDigits[(static_cast<u8>(c) >> 4) & 0xF]);
+    hexkey.push_back(kHexDigits[static_cast<u8>(c) & 0xF]);
+  }
+  for (const auto& name : names.value()) {
+    auto us = name.find('_');
+    if (us == std::string::npos || std::string_view(name).substr(us + 1) != hexkey) {
+      continue;
+    }
+    std::string path = "/hints/" + name;
+    auto hint = read_block_file(sys_, path);
+    if (!hint.ok() || hint.value().seq <= seq) {
+      (void)sys_.unlink(path);
+    }
+  }
+}
+
+bool BlockStoreNode::reserve_hint_slot(BsNodeId owner, std::string_view key, u64 seq) {
+  // Bound the parked-hint queue per unreachable peer: past the cap, evict
+  // the lowest-sequence (oldest) hint — or refuse the incoming one when IT
+  // is the oldest. Either way the drop is counted; anti-entropy is the
+  // backstop that eventually carries what the dropped hint would have.
+  if (cluster_.max_hints_per_peer == 0) {
+    return true;  // unbounded (legacy behaviour, not used by default)
+  }
+  auto names = sys_.readdir("/hints");
+  if (!names.ok()) {
+    return true;  // can't enumerate: fail open, the write may still succeed
+  }
+  const std::string prefix = std::to_string(owner) + "_";
+  const std::string target = hint_path(owner, key);
+  usize count = 0;
+  u64 min_seq = ~u64{0};
+  std::string min_path;
+  for (const auto& name : names.value()) {
+    if (name.size() < prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string path = "/hints/" + name;
+    if (path == target) {
+      return true;  // overwriting this (owner, key)'s own slot: no growth
+    }
+    auto hint = read_block_file(sys_, path);
+    if (!hint.ok()) {
+      (void)sys_.unlink(path);  // corrupt hint: free the slot
+      continue;
+    }
+    ++count;
+    if (hint.value().seq < min_seq) {
+      min_seq = hint.value().seq;
+      min_path = path;
+    }
+  }
+  if (count < cluster_.max_hints_per_peer) {
+    return true;
+  }
+  c_hints_dropped_.inc();
+  if (min_seq <= seq && !min_path.empty()) {
+    (void)sys_.unlink(min_path);  // evict the oldest parked hint
+    return true;
+  }
+  return false;  // the incoming hint is the oldest: drop it instead
+}
+
+Result<Unit> BlockStoreNode::write_hint(BsNodeId owner, std::string_view key,
+                                        std::span<const u8> value, u64 seq, bool tombstone) {
+  // Hints live beside blocks as "/hints/<owner>_<hexkey>" in block format
+  // (the write sequence — and the tombstone flag for sequenced deletes —
+  // rides along so delivery keeps its ordering). No fsync: a hint is an
+  // availability optimization, not the durability story — the coordinator
+  // keeps its own fsynced copy, and anti-entropy remains the backstop if a
+  // crash eats parked hints.
+  if (!reserve_hint_slot(owner, key, seq)) {
+    return Unit{};  // per-peer cap: this hint was dropped (counted)
+  }
+  std::string path = hint_path(owner, key);
   auto fd = sys_.open(path, kOpenCreate | kOpenTrunc);
   if (!fd.ok()) {
     return fd.error();
   }
-  Writer w = encode_block(value, seq);
+  Writer w = encode_block(value, seq, tombstone);
   auto written = sys_.write(fd.value(), w.bytes());
   (void)sys_.close(fd.value());
   if (!written.ok() || written.value() != w.size()) {
@@ -569,34 +716,26 @@ void BlockStoreNode::replicate_put(std::string_view key, std::span<const u8> val
     }
     if (!push_acked(it->second, BsOp::kPutReplica, key, value, seq).ok()) {
       // Owner unreachable (partition/crash/overload): park the handoff.
-      (void)write_hint(owner, key, value, seq);
+      (void)write_hint(owner, key, value, seq, /*tombstone=*/false);
     }
   }
 }
 
-void BlockStoreNode::replicate_del(std::string_view key) {
-  // Deletes are replicated best-effort and never hinted: with no versioning
-  // there are no tombstones, and anti-entropy resolves divergence in favor
-  // of presence (DESIGN §9 limitation). We do drop any parked hint for the
-  // key so delivery cannot resurrect the value we just deleted.
-  for (const auto& [owner, peer] : view_.directory) {
-    if (owner == cluster_.self) {
-      continue;
-    }
-    std::string hint = "/hints/" + std::to_string(owner) + "_";
-    for (char c : key) {
-      hint.push_back(kHexDigits[(static_cast<u8>(c) >> 4) & 0xF]);
-      hint.push_back(kHexDigits[static_cast<u8>(c) & 0xF]);
-    }
-    (void)sys_.unlink(hint);
-  }
+void BlockStoreNode::replicate_del(std::string_view key, u64 seq) {
+  // Sequenced deletes replicate exactly like puts: an acked tombstone push
+  // to every other owner, a parked tombstone hint for whoever is
+  // unreachable. Stale parked hints for the key need no special handling —
+  // delivery is apply-if-newer, and the tombstone's sequence outranks them.
   for (BsNodeId owner : view_.owners(key)) {
     if (owner == cluster_.self) {
       continue;
     }
     auto it = view_.directory.find(owner);
-    if (it != view_.directory.end()) {
-      (void)push_acked(it->second, BsOp::kDelReplica, key, {}, 0);
+    if (it == view_.directory.end()) {
+      continue;
+    }
+    if (!push_acked(it->second, BsOp::kDelReplica, key, {}, seq).ok()) {
+      (void)write_hint(owner, key, {}, seq, /*tombstone=*/true);
     }
   }
 }
@@ -631,6 +770,7 @@ Result<RebalanceStats> BlockStoreNode::rebalance(const ClusterView& next) {
     }
     const std::vector<u8>& value = block.value().bytes;
     u64 seq = block.value().seq;
+    const bool tomb = block.value().tombstone;
     ++st.scanned;
     std::vector<BsNodeId> new_owners = view_.owners(key);
     std::vector<BsNodeId> old_owners = was_clustered ? old.owners(key) : std::vector<BsNodeId>{};
@@ -657,11 +797,16 @@ Result<RebalanceStats> BlockStoreNode::rebalance(const ClusterView& next) {
       if (it == view_.directory.end()) {
         continue;
       }
-      if (push_acked(it->second, BsOp::kPutReplica, key, value, seq).ok()) {
+      // Tombstones migrate too: a new owner that never learns of the delete
+      // would serve kNotFound now but could resurrect the key from a stale
+      // peer later. The sequenced kDelReplica carries the delete's position
+      // in the write order, exactly like a value push carries its own.
+      BsOp push_op = tomb ? BsOp::kDelReplica : BsOp::kPutReplica;
+      if (push_acked(it->second, push_op, key, value, seq).ok()) {
         ++acks;
         ++st.moved;
         c_handoffs_.inc();
-      } else if (write_hint(id, key, value, seq).ok()) {
+      } else if (write_hint(id, key, value, seq, tomb).ok()) {
         ++st.hinted;
       }
     }
@@ -682,6 +827,61 @@ Result<RebalanceStats> BlockStoreNode::rebalance(const ClusterView& next) {
     return synced.error();
   }
   return st;
+}
+
+u64 BlockStoreNode::gc_tombstones(usize max_batch) {
+  // Bounded, acknowledgement-gated tombstone reclamation. A tombstone may
+  // only be unlinked once EVERY directory member has (a) durably applied a
+  // write at or above its sequence and (b) discarded any parked hint that
+  // could re-introduce an older value — both certified by the kDelReplica
+  // ack (see serve_once). Members then drop their own copy on the explicit
+  // kTombstoneGc; one that misses it just keeps an inert tombstone until a
+  // later pass. In-flight writes older than the tombstone are excluded by
+  // the caller running GC at quiesce (the deployment analog of a gc_grace
+  // period); DESIGN §11 spells out the argument.
+  u64 gced = 0;
+  for (const auto& e : list()) {
+    if (!e.tombstone) {
+      continue;
+    }
+    if (gced >= max_batch) {
+      break;
+    }
+    // Our own parked hints at or below the tombstone are superseded; drop
+    // them first so self-delivery can never race the reclamation.
+    drop_stale_hints(e.key, e.seq);
+    if (clustered_) {
+      bool all_acked = true;
+      for (const auto& [id, peer] : view_.directory) {
+        if (id == cluster_.self) {
+          continue;
+        }
+        if (!push_acked(peer, BsOp::kDelReplica, e.key, {}, e.seq).ok()) {
+          all_acked = false;
+          break;
+        }
+      }
+      if (!all_acked) {
+        continue;  // someone unreachable: the tombstone must outlive them
+      }
+      for (const auto& [id, peer] : view_.directory) {
+        if (id == cluster_.self) {
+          continue;
+        }
+        // Best effort: a lost GC message leaves a harmless tombstone that a
+        // later pass (or Merkle repair + next GC) reclaims.
+        (void)push_acked(peer, BsOp::kTombstoneGc, e.key, {}, e.seq);
+      }
+    }
+    if (sys_.unlink(key_path(e.key)).ok()) {
+      c_tombstones_gced_.inc();
+      ++gced;
+    }
+  }
+  if (gced > 0) {
+    (void)sys_.fsync();
+  }
+  return gced;
 }
 
 u64 BlockStoreNode::deliver_hints() {
@@ -727,7 +927,9 @@ u64 BlockStoreNode::deliver_hints() {
       // A view change made us the owner: apply locally (if-newer — our own
       // copy may already have overtaken the parked bytes).
       bool applied = false;
-      if (!apply_replica(*key, hint.value().bytes, hint.value().seq, &applied).ok()) {
+      if (!apply_replica(*key, hint.value().bytes, hint.value().seq,
+                         hint.value().tombstone, &applied)
+               .ok()) {
         continue;  // disk fault: retry on a later pass
       }
       (void)sys_.unlink(path);
@@ -744,9 +946,9 @@ u64 BlockStoreNode::deliver_hints() {
     // regress a newer value: the owner applies if-newer and acks either way
     // (a stale refusal still certifies the owner durably holds the key).
     // No ack (unreachable, shedding) keeps the hint parked for a later pass.
-    if (push_acked(it->second, BsOp::kPutReplica, *key, hint.value().bytes,
-                   hint.value().seq)
-            .ok()) {
+    // A parked tombstone is delivered as the sequenced delete it is.
+    BsOp hint_op = hint.value().tombstone ? BsOp::kDelReplica : BsOp::kPutReplica;
+    if (push_acked(it->second, hint_op, *key, hint.value().bytes, hint.value().seq).ok()) {
       (void)sys_.unlink(path);
       c_hints_delivered_.inc();
       ++delivered;
@@ -788,7 +990,9 @@ bool BlockStoreNode::serve_once() {
   // typed kOverloaded so clients back off instead of failing over.
   BsOp opcode = static_cast<BsOp>(*op);
   bool storage_op = opcode == BsOp::kPut || opcode == BsOp::kGet || opcode == BsOp::kDel ||
-                    opcode == BsOp::kPutReplica || opcode == BsOp::kDelReplica;
+                    opcode == BsOp::kPutReplica || opcode == BsOp::kDelReplica ||
+                    opcode == BsOp::kGetBlock || opcode == BsOp::kMerkleNode ||
+                    opcode == BsOp::kMerkleLeaf || opcode == BsOp::kTombstoneGc;
   if (storage_op && !admit_op()) {
     if (*req_id == 0) {
       return true;  // unacked replica push: shed silently
@@ -818,7 +1022,7 @@ bool BlockStoreNode::serve_once() {
       auto value = r.get_bytes();
       if (seq && value && r.exhausted()) {
         bool applied = false;
-        err = apply_replica(*key, *value, *seq, &applied).error();
+        err = apply_replica(*key, *value, *seq, /*tombstone=*/false, &applied).error();
         if (applied) {
           c_replicas_applied_.inc();
         }
@@ -842,15 +1046,27 @@ bool BlockStoreNode::serve_once() {
       break;
     }
     case BsOp::kDel: {
-      if (r.exhausted()) {
-        err = del(*key).error();
+      auto seq = r.get_u64();
+      if (seq && r.exhausted()) {
+        // Coordinated deletes arrive pre-stamped by the client, exactly like
+        // coordinated puts: retries replay the same stamp, so at-least-once
+        // delivery stays idempotent.
+        err = del_stamped(*key, *seq).error();
       }
       break;
     }
     case BsOp::kDelReplica: {
-      if (r.exhausted()) {
-        err = del_local(*key).error();
-        if (err == ErrorCode::kOk) {
+      auto seq = r.get_u64();
+      if (seq && r.exhausted()) {
+        // The GC barrier: before acking a tombstone we discard every parked
+        // hint for the key at or below its sequence. The ack therefore
+        // certifies BOTH "I durably hold >= seq" and "no stale hint of mine
+        // can resurrect this key" — which is what lets the coordinator
+        // reclaim the tombstone once every member has acked.
+        drop_stale_hints(*key, *seq);
+        bool applied = false;
+        err = apply_replica(*key, {}, *seq, /*tombstone=*/true, &applied).error();
+        if (applied) {
           c_replicas_applied_.inc();
         }
       }
@@ -858,6 +1074,78 @@ bool BlockStoreNode::serve_once() {
       // means the sender is not waiting for an ack.
       if (*req_id == 0) {
         return true;
+      }
+      break;
+    }
+    case BsOp::kGetBlock: {
+      if (r.exhausted()) {
+        // Repair fetch: unlike kGet, tombstones are first-class here — the
+        // reply leads with a tombstone byte so anti-entropy can pull deletes
+        // as faithfully as values. Corrupt local copies surface as
+        // kCorrupted (the puller tries another peer).
+        auto block = read_block_file(sys_, key_path(*key));
+        if (block.ok()) {
+          Writer bw;
+          bw.put_u8(block.value().tombstone ? 1 : 0);
+          bw.put_raw(block.value().bytes);
+          value_out = bw.take();
+          seq_out = block.value().seq;
+          err = ErrorCode::kOk;
+        } else {
+          err = block.error();
+        }
+      }
+      break;
+    }
+    case BsOp::kMerkleNode: {
+      auto idx = r.get_u32();
+      if (idx && r.exhausted() && *idx < MerkleTree::kNodes) {
+        MerkleTree t = MerkleTree::build(list());
+        Writer mw;
+        mw.put_u32(t.hash[*idx]);
+        if (MerkleTree::is_leaf(*idx)) {
+          mw.put_u32(0);
+        } else {
+          mw.put_u32(static_cast<u32>(MerkleTree::kFanout));
+          for (usize c = 0; c < MerkleTree::kFanout; ++c) {
+            mw.put_u32(t.hash[*idx * MerkleTree::kFanout + 1 + c]);
+          }
+        }
+        value_out = mw.take();
+        err = ErrorCode::kOk;
+      }
+      break;
+    }
+    case BsOp::kMerkleLeaf: {
+      auto bucket = r.get_u32();
+      if (bucket && r.exhausted() && *bucket < MerkleTree::kLeaves) {
+        MerkleTree t = MerkleTree::build(list());
+        Writer mw;
+        mw.put_u32(static_cast<u32>(t.buckets[*bucket].size()));
+        for (const auto& e : t.buckets[*bucket]) {
+          mw.put_string(e.key);
+          mw.put_u64(e.seq);
+          mw.put_u8(e.tombstone ? 1 : 0);
+        }
+        value_out = mw.take();
+        err = ErrorCode::kOk;
+      }
+      break;
+    }
+    case BsOp::kTombstoneGc: {
+      auto seq = r.get_u64();
+      if (seq && r.exhausted()) {
+        // "Drop your tombstone for this key if it is no newer than S." Only
+        // ever sent after every member acked the tombstone at S, so removal
+        // cannot re-open a resurrection window. Idempotent: a missing or
+        // newer block is already the desired end state.
+        auto block = read_block_file(sys_, key_path(*key));
+        if (block.ok() && block.value().tombstone && block.value().seq <= *seq) {
+          if (sys_.unlink(key_path(*key)).ok()) {
+            c_tombstones_gced_.inc();
+          }
+        }
+        err = ErrorCode::kOk;
       }
       break;
     }
@@ -875,6 +1163,8 @@ bool BlockStoreNode::serve_once() {
         for (const auto& e : entries) {
           lw.put_string(e.key);
           lw.put_u32(e.crc);
+          lw.put_u64(e.seq);
+          lw.put_u8(e.tombstone ? 1 : 0);  // flags: bit 0 = tombstone
         }
         value_out = lw.take();
         err = ErrorCode::kOk;

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/app/anti_entropy.h"
 #include "src/app/blockstore.h"
 #include "src/base/contracts.h"
 #include "src/base/fault.h"
@@ -75,10 +76,57 @@ struct KeyBelief {
   }
 };
 
+// Heal mode: the per-key op history the linearizability checker validates.
+// The system under test is a replicated sequenced register — not strictly
+// linearizable mid-partition (an acked write can leave a hinted-unreachable
+// replica stale, so reads may serve old values) — so the sound checkable
+// spec is:
+//   - every read that returns (bytes, seq) must return EXACTLY the bytes of
+//     an attempted write with that stamp (failed writes count: at-least-once
+//     delivery means they may have landed);
+//   - at quiesce (fabric healed, hints drained, anti-entropy converged) the
+//     surviving state must carry a stamp >= every acknowledged write's, and
+//     an acknowledged delete with no later attempted write must read as
+//     absent on every node (no resurrection);
+//   - re-image data loss may lower the acknowledged floor (mirrors
+//     downgrade_lost_keys), but only when no surviving copy reaches it.
+struct KeyHistory {
+  struct Write {
+    u64 seq = 0;
+    std::vector<u8> bytes;
+    bool tombstone = false;
+    bool acked = false;
+  };
+  std::vector<Write> writes;  // every attempted write, in invoke order
+  u64 acked_floor = 0;        // highest acknowledged stamp (0 = none)
+  bool acked_is_del = false;  // the op at acked_floor was a delete
+
+  const Write* find_seq(u64 seq) const {
+    for (const auto& w : writes) {
+      if (w.seq == seq) {
+        return &w;
+      }
+    }
+    return nullptr;
+  }
+  u64 max_attempted_seq() const {
+    u64 m = 0;
+    for (const auto& w : writes) {
+      m = std::max(m, w.seq);
+    }
+    return m;
+  }
+};
+
 class ChaosRunner {
  public:
   explicit ChaosRunner(const ChaosConfig& cfg) : cfg_(cfg), sched_rng_(cfg.seed) {
     VNROS_CHECK(cfg_.nodes >= 2);
+    // Heal mode rides on cluster machinery: Merkle repair discovers peers via
+    // the cluster view, and re-image bootstrap must preserve write stamps
+    // (the legacy anti_entropy_into re-stamps, which would invalidate the
+    // linearizability histories).
+    VNROS_CHECK(!cfg_.heal || cfg_.cluster);
     report_.seed = cfg_.seed;
   }
 
@@ -125,6 +173,7 @@ class ChaosRunner {
     std::unique_ptr<BlockDevice> disk;
     std::unique_ptr<ChaosHost> host;
     std::unique_ptr<BlockStoreNode> node;
+    std::unique_ptr<AntiEntropyScheduler> ae;  // heal mode: background Merkle repair
     LinkAddr addr = 0;
     BsNodeId id = 0;
     bool active = true;  // false once the member gracefully left (slots are
@@ -195,7 +244,17 @@ class ChaosRunner {
     }
     slot.node = std::make_unique<BlockStoreNode>(slot.host->sys, kPort, std::move(peers),
                                                  [this, i] { pump_except(i); }, slot.node_prefix);
-    VNROS_CHECK(slot.node->init().ok());
+    // A node booting mid-schedule can absorb a pending one-shot fault (e.g.
+    // global syscall io_error) on its very first syscall. Boot is retried
+    // like an operator would: one-shots are consumed by the failed attempt,
+    // so a bounded number of retries either boots or proves the fault
+    // persistent (which no schedule arms).
+    Result<Unit> booted = ErrorCode::kIoError;
+    for (int attempt = 0; attempt < 3 && !(booted = slot.node->init()).ok(); ++attempt) {
+      VNROS_LOG_DEBUG("chaos", "node %zu init attempt failed: %s", i,
+                      error_name(booted.error()));
+    }
+    VNROS_CHECK(booted.ok());
     if (cfg_.cluster) {
       ClusterConfig cc;
       cc.self = slot.id;
@@ -207,6 +266,18 @@ class ChaosRunner {
         slot.node->set_admission(ac);
         slot.node->grant_tokens(cfg_.admission_burst * 1'000'000);  // boot with a full bucket
       }
+    }
+    if (cfg_.heal && cfg_.cluster) {
+      // Background Merkle repair. One tick per schedule step, so a peer gets
+      // a repair pass every ~64-96 steps. The seed is a pure function of the
+      // run seed and the slot, so a rebooted incarnation re-derives the same
+      // repair schedule and the whole run stays seed-replayable.
+      AntiEntropyConfig ae;
+      ae.interval_polls = 64;
+      ae.jitter_polls = 32;
+      ae.rng_seed = cfg_.seed ^ (0xAE00'0000ull + static_cast<u64>(i) * 0x9E37ull);
+      slot.ae = std::make_unique<AntiEntropyScheduler>(slot.host->sys, *slot.node,
+                                                       [this, i] { pump_except(i); }, ae);
     }
   }
 
@@ -344,6 +415,103 @@ class ChaosRunner {
       ++report_.faults_armed;
       ++report_.delays_armed;
     }
+    // Heal-mode events last, each gated on `heal` *before* touching the
+    // schedule Rng, so legacy and churn configs draw their exact streams.
+    if (cfg_.heal && cfg_.bit_rot_ppm > 0 && sched_rng_.chance_ppm(cfg_.bit_rot_ppm)) {
+      // Silent media decay: the next read of some sector returns flipped
+      // bytes with no I/O error. Only the block CRC stands between this and
+      // serving garbage.
+      const auto& slot = slots_[pick_active()];
+      FaultSpec rot;
+      rot.probability_ppm = 1'000'000;
+      rot.one_shot = true;
+      rot.corrupt_bytes = sched_rng_.next_range(1, cfg_.bit_rot_bytes_max);
+      reg.arm(slot.fault_prefix + "/bit_rot", rot);
+      ++report_.faults_armed;
+    }
+    if (cfg_.heal) {
+      if (cfg_.flap_ppm > 0 && sched_rng_.chance_ppm(cfg_.flap_ppm)) {
+        start_flap();
+      }
+      advance_flaps();
+      if (cfg_.slow_peer_ppm > 0 && sched_rng_.chance_ppm(cfg_.slow_peer_ppm)) {
+        start_slow_spell(step);
+      }
+      expire_slow_spells(step);
+      for (auto& slot : slots_) {
+        if (slot.active && slot.ae) {
+          slot.ae->tick();
+        }
+      }
+    }
+  }
+
+  // A flap storm: one endpoint pair toggles cut/healed on every schedule step
+  // until its toggle budget runs out — the pathological case for repair
+  // protocols that assume a partition is either up or down for a while.
+  void start_flap() {
+    std::vector<LinkAddr> ends;
+    for (const auto& slot : slots_) {
+      if (slot.active) {
+        ends.push_back(slot.addr);
+      }
+    }
+    ends.push_back(client_addr_);
+    LinkAddr a = ends[sched_rng_.next_below(ends.size())];
+    LinkAddr b = ends[sched_rng_.next_below(ends.size())];
+    usize toggles = sched_rng_.next_range(2, cfg_.flap_toggles_max);
+    if (a == b) {
+      return;  // degenerate draw: the storm fizzles (rng already consumed)
+    }
+    flaps_.push_back(Flap{a, b, toggles, false});
+    ++report_.flaps;
+  }
+
+  void advance_flaps() {
+    for (auto it = flaps_.begin(); it != flaps_.end();) {
+      if (it->cut) {
+        net_.heal(it->a, it->b);
+        it->cut = false;
+      } else {
+        net_.partition(it->a, it->b);
+        it->cut = true;
+      }
+      if (--it->toggles_left == 0) {
+        if (it->cut) {
+          net_.heal(it->a, it->b);
+        }
+        it = flaps_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // A sustained slow peer: serve_delay re-arms on EVERY serve for the spell's
+  // length — latency asymmetry (one member consistently slower than the
+  // others), not the one-shot hiccup the churn schedule injects.
+  void start_slow_spell(usize step) {
+    usize i = pick_active();
+    usize len = static_cast<usize>(sched_rng_.next_range(8, cfg_.slow_spell_steps_max));
+    FaultSpec spell;
+    spell.probability_ppm = 1'000'000;
+    spell.one_shot = false;
+    spell.delay = cfg_.slow_peer_polls;
+    FaultRegistry::global().arm(slots_[i].node_prefix + "/serve_delay", spell);
+    slow_until_[i] = step + len;
+    ++report_.slow_spells;
+    ++report_.faults_armed;
+  }
+
+  void expire_slow_spells(usize step) {
+    for (auto it = slow_until_.begin(); it != slow_until_.end();) {
+      if (step >= it->second || !slots_[it->first].active) {
+        FaultRegistry::global().disarm(slots_[it->first].node_prefix + "/serve_delay");
+        it = slow_until_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   // Boots a brand-new member mid-schedule: the joiner starts with the grown
@@ -389,9 +557,11 @@ class ChaosRunner {
     }
     view_ = candidate;
     harvest_node_stats(slot);
+    harvest_ae_stats(slot);
     auto& reg = FaultRegistry::global();
     reg.disarm_prefix(slot.fault_prefix);
     reg.disarm(slot.node_prefix + "/serve_delay");
+    slot.ae.reset();
     slot.node.reset();
     slot.host.reset();
     slot.active = false;
@@ -438,6 +608,8 @@ class ChaosRunner {
     reg.disarm(slot.node_prefix + "/serve_delay");
 
     harvest_node_stats(slot);
+    harvest_ae_stats(slot);
+    slot.ae.reset();
     slot.node.reset();
     slot.host.reset();
     slot.disk->crash(cfg_.persist_ppm, cfg_.torn_crash_ppm);
@@ -456,8 +628,75 @@ class ChaosRunner {
     if (!recoverable) {
       ++report_.reimages;
       VNROS_LOG_DEBUG("chaos", "node %zu unrecoverable at step %zu: re-imaged", i, step);
-      anti_entropy_into(i);
+      if (cfg_.heal) {
+        merkle_bootstrap(i);
+        downgrade_lost_floors();
+      } else {
+        anti_entropy_into(i);
+      }
       downgrade_lost_keys();
+    }
+  }
+
+  // Heal-mode re-image bootstrap: Merkle passes against every live peer pull
+  // the surviving copies back over the wire with their write stamps intact —
+  // unlike anti_entropy_into, which re-stamps through node->put() and would
+  // invalidate the linearizability histories. Best-effort mid-schedule: a
+  // partitioned or shedding peer just leaves divergence for the background
+  // scheduler and the quiesce convergence loop to finish.
+  void merkle_bootstrap(usize i) {
+    auto& slot = slots_[i];
+    if (!slot.ae) {
+      return;
+    }
+    for (int round = 0; round < 2; ++round) {
+      bool all_clean = true;
+      for (auto& peer : slots_) {
+        if (&peer == &slot || !peer.active || !peer.node) {
+          continue;
+        }
+        peer.node->grant_tokens(64 * 1'000'000);
+        const u64 clean_before = slot.ae->stats().clean_passes;
+        (void)slot.ae->sync_with(BsPeer{peer.addr, kPort});
+        if (slot.ae->stats().clean_passes != clean_before + 1) {
+          all_clean = false;
+        }
+      }
+      if (all_clean) {
+        break;
+      }
+    }
+  }
+
+  // The heal-mode analog of downgrade_lost_keys: a re-image may destroy the
+  // only copy that carried a key's acknowledged stamp. If no surviving
+  // inventory entry (live or tombstone) reaches the acked floor, the floor
+  // drops to zero — legitimate data loss under total-disk failure, accounted
+  // separately so the report shows how often the schedule forced it.
+  void downgrade_lost_floors() {
+    std::map<std::string, u64> best;
+    for (const auto& slot : slots_) {
+      if (!slot.node) {
+        continue;
+      }
+      for (const auto& e : slot.node->list()) {
+        auto [it, inserted] = best.try_emplace(e.key, e.seq);
+        if (!inserted) {
+          it->second = std::max(it->second, e.seq);
+        }
+      }
+    }
+    for (auto& [key, h] : histories_) {
+      if (h.acked_floor == 0) {
+        continue;
+      }
+      auto it = best.find(key);
+      if (it == best.end() || it->second < h.acked_floor) {
+        VNROS_LOG_DEBUG("chaos", "acked floor of %s lost with its only replica", key.c_str());
+        h.acked_floor = 0;
+        h.acked_is_del = false;
+        ++report_.acked_floor_drops;
+      }
     }
   }
 
@@ -524,14 +763,22 @@ class ChaosRunner {
     std::string key = "key" + std::to_string(sched_rng_.next_below(cfg_.keys));
     auto& belief = beliefs_[key];
     ++report_.ops;
+    // One draw decides the op; the cut points move for the delete-heavy mix
+    // (5/3/2 put/get/del instead of 6/3/1) without touching the rng stream,
+    // so legacy seeds replay unchanged.
     u64 kind = sched_rng_.next_below(10);
-    if (kind < 6) {
+    const u64 put_cut = cfg_.del_heavy ? 5 : 6;
+    const u64 get_cut = cfg_.del_heavy ? 8 : 9;
+    if (kind < put_cut) {
       std::vector<u8> value(sched_rng_.next_range(1, cfg_.max_value_bytes));
       for (auto& b : value) {
         b = static_cast<u8>(sched_rng_.next_u64());
       }
       belief.history.push_back(value);
       auto r = client_->put(key, value);
+      if (cfg_.heal) {
+        record_write(key, value, /*tombstone=*/false, r.ok());
+      }
       if (r.ok()) {
         ++report_.ops_ok;
         belief.certain = std::move(value);
@@ -542,18 +789,23 @@ class ChaosRunner {
         ++report_.ops_failed;
         belief.certain.reset();
       }
-    } else if (kind < 9) {
-      auto r = client_->get(key);
+    } else if (kind < get_cut) {
+      auto r = client_->get_with_seq(key);
       if (r.ok()) {
         ++report_.ops_ok;
-        if (!belief.in_history(r.value())) {
+        if (!belief.in_history(r.value().first)) {
           fail(step, "get(" + key + ") returned bytes the client never wrote");
+        } else if (cfg_.heal) {
+          check_read(step, key, r.value().first, r.value().second);
         }
       } else {
         ++report_.ops_failed;  // kNotFound/corrupt/timeout: all acceptable
       }
     } else {
       auto r = client_->del(key);
+      if (cfg_.heal) {
+        record_write(key, {}, /*tombstone=*/true, r.ok());
+      }
       if (r.ok()) {
         ++report_.ops_ok;
       } else {
@@ -565,12 +817,46 @@ class ChaosRunner {
     }
   }
 
+  // Heal mode: every attempted write lands in the key's history under the
+  // stamp the client assigned it (retries reuse the stamp, so one op is one
+  // history entry). Acked writes raise the key's acknowledged floor.
+  void record_write(const std::string& key, std::vector<u8> value, bool tombstone, bool acked) {
+    auto& h = histories_[key];
+    const u64 seq = client_->last_write_seq();
+    h.writes.push_back(KeyHistory::Write{seq, std::move(value), tombstone, acked});
+    if (acked && seq > h.acked_floor) {
+      h.acked_floor = seq;
+      h.acked_is_del = tombstone;
+    }
+  }
+
+  // Heal mode, checked at op time: a read that returns (bytes, stamp) must
+  // return EXACTLY the bytes of the attempted write that owns the stamp —
+  // stamps are globally unique, so a mismatch means a node spliced bytes
+  // across writes (or served a tombstone as data).
+  void check_read(usize step, const std::string& key, const std::vector<u8>& bytes, u64 seq) {
+    ++report_.lin_reads_checked;
+    const auto& h = histories_[key];
+    const KeyHistory::Write* w = h.find_seq(seq);
+    if (w == nullptr) {
+      fail(step, "lin: get(" + key + ") returned stamp " + std::to_string(seq) +
+                     " that no write ever carried");
+    } else if (w->tombstone) {
+      fail(step, "lin: get(" + key + ") served bytes under delete stamp " + std::to_string(seq));
+    } else if (w->bytes != bytes) {
+      fail(step, "lin: get(" + key + ") bytes do not match the write at stamp " +
+                     std::to_string(seq));
+    }
+  }
+
   // --- Invariant ------------------------------------------------------------
 
   void quiesce_and_check(usize step) {
     FaultRegistry::global().disarm_all();
     net_.heal_all();
     cuts_.clear();
+    flaps_.clear();        // heal_all() flattened the storms
+    slow_until_.clear();   // disarm_all() ended the spells
     for (int i = 0; i < 256; ++i) {
       pump_all();  // drain every in-flight datagram through the servers
     }
@@ -588,6 +874,27 @@ class ChaosRunner {
         for (int i = 0; i < 32; ++i) {
           pump_all();
         }
+      }
+    }
+    if (cfg_.heal) {
+      // Self-healing convergence: anti-entropy until every pair is clean,
+      // then reclaim acknowledged tombstones (quiesce doubles as the
+      // gc_grace barrier: the fabric is drained and every hint delivered, so
+      // no stale datagram can race the reclaim), then converge again so a
+      // member that missed a best-effort kTombstoneGc re-spreads its
+      // tombstone instead of diverging.
+      ++quiesces_;
+      if (!ae_converge(step)) {
+        return;
+      }
+      if (cfg_.gc_every > 0 && quiesces_ % cfg_.gc_every == 0) {
+        run_tombstone_gc();
+        if (!ae_converge(step)) {
+          return;
+        }
+      }
+      if (!check_heal_invariants(step)) {
+        return;
       }
     }
 
@@ -636,10 +943,24 @@ class ChaosRunner {
     // can only lag, not lead — and every read repair was triggered by a
     // corrupt local read.
     BlockStoreStats total = cumulative_stats();
-    if (total.replicas_applied > total.replicas_pushed) {
+    u64 pushed_bound = total.replicas_pushed;
+    if (cfg_.heal) {
+      // Anti-entropy ships replicas through its own rpc layer, not the
+      // node's push_acked, so its pushes are missing from replicas_pushed.
+      // Each repair rpc puts at most kAeRpcAttempts datagrams on the wire,
+      // bounding the replica applications it can have caused.
+      u64 ae_rpcs = ae_rpcs_harvested_;
+      for (const auto& slot : slots_) {
+        if (slot.ae) {
+          ae_rpcs += slot.ae->stats().rpcs;
+        }
+      }
+      pushed_bound += ae_rpcs * kAeRpcAttempts;
+    }
+    if (total.replicas_applied > pushed_bound) {
       fail(step, "obs incoherence: " + std::to_string(total.replicas_applied) +
-                     " replicas applied > " + std::to_string(total.replicas_pushed) +
-                     " pushed");
+                     " replicas applied > " + std::to_string(pushed_bound) +
+                     " pushed (incl. repair rpc bound)");
       return;
     }
     if (total.read_repairs > total.corrupt_reads) {
@@ -675,6 +996,129 @@ class ChaosRunner {
     ++report_.checks;
   }
 
+  // Runs Merkle exchanges between every ordered pair of live members until a
+  // full round comes back clean (every pass found matching roots). Bounded:
+  // with the fabric healed this converges in a handful of rounds — each pass
+  // strictly raises some key's seq somewhere or is clean — so a round limit
+  // that trips means repair itself is broken.
+  bool ae_converge(usize step) {
+    for (int round = 0; round < 8; ++round) {
+      bool all_clean = true;
+      for (auto& slot : slots_) {
+        if (!slot.active || !slot.ae) {
+          continue;
+        }
+        for (auto& peer : slots_) {
+          if (&peer == &slot || !peer.active || !peer.node) {
+            continue;
+          }
+          peer.node->grant_tokens(64 * 1'000'000);  // quiesce is not an overload test
+          const u64 clean_before = slot.ae->stats().clean_passes;
+          (void)slot.ae->sync_with(BsPeer{peer.addr, kPort});
+          if (slot.ae->stats().clean_passes != clean_before + 1) {
+            all_clean = false;
+          }
+        }
+      }
+      for (int i = 0; i < 32; ++i) {
+        pump_all();
+      }
+      if (all_clean) {
+        return true;
+      }
+    }
+    fail(step, "anti-entropy failed to converge at quiesce");
+    return false;
+  }
+
+  // Every live member reclaims its acknowledged tombstones. The first
+  // member's pass usually clears the cluster (the ack round pushes the
+  // tombstone to every peer and kTombstoneGc reclaims it there), leaving the
+  // rest clean and cheap.
+  void run_tombstone_gc() {
+    for (auto& slot : slots_) {
+      if (!slot.active || !slot.node) {
+        continue;
+      }
+      for (auto& peer : slots_) {
+        if (peer.active && peer.node) {
+          peer.node->grant_tokens(64 * 1'000'000);
+        }
+      }
+      (void)slot.node->gc_tombstones(64);
+      for (int i = 0; i < 32; ++i) {
+        pump_all();
+      }
+    }
+  }
+
+  bool check_heal_invariants(usize step) {
+    // Converged means CONVERGED: every live member's Merkle root must agree
+    // (quiesce anti-entropy runs whole-inventory passes between all pairs, so
+    // at this point the inventories are mirrors).
+    std::vector<std::vector<BlockKeyInfo>> invs;
+    std::vector<usize> inv_slot;
+    for (usize j = 0; j < slots_.size(); ++j) {
+      if (slots_[j].active && slots_[j].node) {
+        invs.push_back(slots_[j].node->list());
+        inv_slot.push_back(j);
+      }
+    }
+    if (invs.empty()) {
+      return true;
+    }
+    const u32 root0 = MerkleTree::build(invs[0]).root();
+    for (usize k = 1; k < invs.size(); ++k) {
+      if (MerkleTree::build(invs[k]).root() != root0) {
+        fail(step, "merkle root of node " + std::to_string(inv_slot[k]) +
+                       " diverges from node " + std::to_string(inv_slot[0]) +
+                       " after anti-entropy");
+        return false;
+      }
+    }
+    // Roots agree, so invs[0] IS the converged cluster state. Check it
+    // against every key's recorded history.
+    std::map<std::string, const BlockKeyInfo*> converged;
+    for (const auto& e : invs[0]) {
+      converged[e.key] = &e;
+    }
+    for (const auto& [key, h] : histories_) {
+      if (h.acked_floor == 0) {
+        continue;  // nothing acknowledged (or the floor was lost to a re-image)
+      }
+      auto it = converged.find(key);
+      if (it == converged.end()) {
+        // Absent everywhere. Legal only if some attempted delete at or above
+        // the floor may have landed and its tombstone has been reclaimed.
+        bool del_covers = false;
+        for (const auto& w : h.writes) {
+          if (w.tombstone && w.seq >= h.acked_floor) {
+            del_covers = true;
+            break;
+          }
+        }
+        if (!del_covers) {
+          fail(step, "acked put of " + key + " vanished from the converged state");
+          return false;
+        }
+        continue;
+      }
+      if (it->second->seq < h.acked_floor) {
+        fail(step, "converged " + key + " at stamp " + std::to_string(it->second->seq) +
+                       " older than acked floor " + std::to_string(h.acked_floor));
+        return false;
+      }
+      if (h.acked_is_del && h.max_attempted_seq() <= h.acked_floor &&
+          !it->second->tombstone) {
+        fail(step, "resurrection: " + key + " live at stamp " +
+                       std::to_string(it->second->seq) + " after acked delete at " +
+                       std::to_string(h.acked_floor) + " with no later write");
+        return false;
+      }
+    }
+    return true;
+  }
+
   void fail(usize step, const std::string& what) {
     char seed_hex[32];
     std::snprintf(seed_hex, sizeof(seed_hex), "0x%llx",
@@ -700,6 +1144,24 @@ class ChaosRunner {
       report_.hints_written += s.hints_written;
       report_.hints_delivered += s.hints_delivered;
       report_.rebalanced += s.handoffs;
+      report_.hints_dropped += s.hints_dropped;
+      report_.tombstones_written += s.tombstones_written;
+      report_.tombstones_gced += s.tombstones_gced;
+    }
+  }
+
+  // Folds a repair scheduler's stats into the run totals (same lifecycle as
+  // harvest_node_stats: at crash/leave before the incarnation dies, and once
+  // per survivor at finalize).
+  void harvest_ae_stats(const NodeSlot& slot) {
+    if (slot.ae) {
+      const RepairStats& s = slot.ae->stats();
+      report_.ae_passes += s.passes;
+      report_.ae_clean_passes += s.clean_passes;
+      report_.ae_pulled += s.pulled;
+      report_.ae_pushed += s.pushed;
+      report_.ae_bytes += s.bytes_sent + s.bytes_received;
+      ae_rpcs_harvested_ += s.rpcs;
     }
   }
 
@@ -734,6 +1196,12 @@ class ChaosRunner {
   void finalize_report() {
     for (const auto& slot : slots_) {
       harvest_node_stats(slot);
+      harvest_ae_stats(slot);
+      if (slot.disk) {
+        // Devices outlive node incarnations, so bit-rot totals are read once
+        // here instead of being harvested per reboot.
+        report_.bit_rot_reads += slot.disk->stats().bit_rot_reads;
+      }
     }
     report_.fault_fires = FaultRegistry::global().total_fires();
     report_.client_failovers = client_->retry_stats().failovers;
@@ -743,6 +1211,17 @@ class ChaosRunner {
       report_.message = "chaos schedule completed, invariant intact";
     }
   }
+
+  // A running partition flap storm: `(a, b)` toggles cut/healed once per
+  // schedule step until the toggle budget is spent.
+  struct Flap {
+    LinkAddr a = 0;
+    LinkAddr b = 0;
+    usize toggles_left = 0;
+    bool cut = false;
+  };
+
+  static constexpr u64 kAeRpcAttempts = 2;  // AntiEntropyConfig default
 
   ChaosConfig cfg_;
   Rng sched_rng_;
@@ -754,6 +1233,11 @@ class ChaosRunner {
   std::vector<std::pair<LinkAddr, LinkAddr>> cuts_;
   std::map<std::string, KeyBelief> beliefs_;
   ClusterView view_;  // cluster mode: the runner's authoritative membership
+  std::vector<Flap> flaps_;              // heal mode: running flap storms
+  std::map<usize, usize> slow_until_;    // heal mode: slot -> spell expiry step
+  std::map<std::string, KeyHistory> histories_;  // heal mode: lin-checker state
+  usize quiesces_ = 0;                   // heal mode: GC cadence counter
+  u64 ae_rpcs_harvested_ = 0;            // repair rpcs from dead incarnations
   ChaosReport report_;
 };
 

@@ -32,6 +32,16 @@
 //      crashes — replicas applied never exceed replicas pushed (the fabric
 //      never duplicates), and read repairs never exceed corrupt reads.
 //
+// Heal mode (ChaosConfig::heal) layers the self-healing storage story on
+// top: sequenced delete tombstones in the workload, silent disk bit-rot,
+// partition flap storms and sustained slow peers in the schedule, Merkle
+// anti-entropy + acknowledgement-gated tombstone GC at quiesce, and a
+// per-key linearizability checker that validates every read against the
+// "replicated sequenced register with quiesce points" spec — at quiesce the
+// converged state must carry the maximum write sequence, deleted keys must
+// stay deleted on every node (no resurrection), and all live members'
+// Merkle roots must agree.
+//
 // The global span tracer runs armed for the whole schedule, timestamped by
 // the client kernel's virtual clock, so the span trace replays
 // bit-identically from the seed along with everything else.
@@ -81,6 +91,23 @@ struct ChaosConfig {
   u64 delay_polls_max = 80;    // stall length drawn from [8, delay_polls_max]
   u64 admission_rate_ppm = 0;  // tokens/step granted to every node (0 = gate off)
   u64 admission_burst = 4;     // admission bucket capacity, in ops
+
+  // --- Heal mode (self-healing storage: tombstones + Merkle anti-entropy) --
+  // Off by default; every heal event is gated on `heal` *before* touching the
+  // schedule Rng, so legacy and churn seed matrices replay unchanged.
+  bool heal = false;           // heal events + lin checker + Merkle repair at quiesce
+  bool del_heavy = false;      // client mix 5/3/2 put/get/del instead of 6/3/1
+  u64 bit_rot_ppm = 0;         // per-step: arm one-shot silent disk corruption
+  u64 bit_rot_bytes_max = 8;   // flipped bytes per fire, drawn from [1, max]
+  u64 flap_ppm = 0;            // per-step: start a partition flap storm (a pair
+                               // toggles cut/healed every step for its length)
+  u64 flap_toggles_max = 8;    // storm length drawn from [2, flap_toggles_max]
+  u64 slow_peer_ppm = 0;       // per-step: start a sustained slow-peer spell
+                               // (serve_delay re-arms on EVERY serve: latency
+                               // asymmetry, not a one-shot hiccup)
+  u64 slow_peer_polls = 12;    // stall per serve during the spell
+  u64 slow_spell_steps_max = 40;  // spell length drawn from [8, max]
+  usize gc_every = 2;          // run tombstone GC at every Nth quiesce (0 = never)
 };
 
 struct ChaosReport {
@@ -119,6 +146,21 @@ struct ChaosReport {
   u64 sheds = 0;           // requests refused by admission control
   u64 stale_ignored = 0;   // replica writes refused as older than the local copy
   u64 delays_armed = 0;    // serve_delay stalls injected
+
+  // Heal-mode accounting.
+  u64 tombstones_written = 0;  // sequenced deletes persisted (all incarnations)
+  u64 tombstones_gced = 0;     // tombstones reclaimed after shard-wide acks
+  u64 hints_dropped = 0;       // hints evicted by the per-peer cap
+  u64 bit_rot_reads = 0;       // reads that silently returned flipped bytes
+  u64 flaps = 0;               // partition flap storms started
+  u64 slow_spells = 0;         // sustained slow-peer spells started
+  u64 ae_passes = 0;           // Merkle exchanges run (background + quiesce)
+  u64 ae_clean_passes = 0;     // exchanges where the roots already matched
+  u64 ae_pulled = 0;           // blocks repaired by pulling from a peer
+  u64 ae_pushed = 0;           // blocks repaired by pushing to a peer
+  u64 ae_bytes = 0;            // repair wire bytes (requests + replies)
+  u64 lin_reads_checked = 0;   // reads validated against the sequenced-register spec
+  u64 acked_floor_drops = 0;   // keys downgraded after re-image data loss
 };
 
 // Runs one seeded chaos schedule to completion (or first invariant

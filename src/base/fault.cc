@@ -135,6 +135,14 @@ std::optional<u64> FaultSite::fire_delay() {
   return spec->delay;
 }
 
+std::optional<u64> FaultSite::fire_corrupt() {
+  auto spec = roll();
+  if (!spec || spec->corrupt_bytes == 0) {
+    return std::nullopt;
+  }
+  return spec->corrupt_bytes;
+}
+
 FaultSiteStats FaultSite::stats() const {
   std::lock_guard<std::mutex> lock(registry_.mu_);
   return stats_;

@@ -40,6 +40,7 @@ struct FaultSpec {
   bool one_shot = false;                   // disarm after the first fire
   ErrorCode error = ErrorCode::kIoError;   // what the site surfaces
   u64 delay = 0;                           // latency sites: stall duration (virtual polls)
+  u64 corrupt_bytes = 0;                   // bit-rot sites: bytes to silently flip
 };
 
 struct FaultSiteStats {
@@ -63,6 +64,13 @@ class FaultSite {
   // delay == 0 never stalls. Shares the trigger machinery (and stats) with
   // fire(), so delay schedules replay bit-identically too.
   std::optional<u64> fire_delay();
+
+  // Silent-corruption variant (disk bit-rot): returns how many bytes the
+  // caller should flip in the data it is about to return — the operation
+  // itself SUCCEEDS, so only end-to-end checksums can catch the damage. A
+  // spec with corrupt_bytes == 0 never corrupts. Same trigger machinery as
+  // fire(), so rot schedules replay bit-identically.
+  std::optional<u64> fire_corrupt();
 
   const std::string& name() const { return name_; }
   bool armed() const { return armed_.load(std::memory_order_relaxed); }

@@ -1,5 +1,6 @@
 #include "src/hw/block_device.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/contracts.h"
@@ -24,6 +25,18 @@ Result<Unit> BlockDevice::read(u64 sector, std::span<u8> out) {
     std::memcpy(out.data(), it->second.data(), kSectorSize);
   } else {
     std::memcpy(out.data(), stable_.data() + sector * kSectorSize, kSectorSize);
+  }
+  if (auto rot = bit_rot_site_->fire_corrupt()) {
+    // Silent media decay: the read SUCCEEDS but some returned bytes are
+    // flipped. The media itself is untouched (decay is modeled per-read so
+    // a later read may see clean bytes again — like a marginal sector).
+    // Only an end-to-end checksum above the device can catch this.
+    ++stats_.bit_rot_reads;
+    u64 n = std::min<u64>(*rot, kSectorSize);
+    for (u64 i = 0; i < n; ++i) {
+      u64 pos = rng_.next_below(kSectorSize);
+      out[pos] ^= static_cast<u8>(rng_.next_range(1, 255));
+    }
   }
   return Unit{};
 }

@@ -48,6 +48,7 @@ struct BlockDeviceStats {
   u64 injected_write_errors = 0;
   u64 torn_writes = 0;        // injected mid-sector write failures
   u64 torn_crash_sectors = 0; // sectors that persisted only a prefix at crash
+  u64 bit_rot_reads = 0;      // reads that silently returned flipped bytes
 };
 
 class BlockDevice {
@@ -61,7 +62,8 @@ class BlockDevice {
         fault_prefix_(std::move(fault_prefix)),
         read_error_site_(&FaultRegistry::global().site(fault_prefix_ + "/read_error")),
         write_error_site_(&FaultRegistry::global().site(fault_prefix_ + "/write_error")),
-        torn_write_site_(&FaultRegistry::global().site(fault_prefix_ + "/torn_write")) {}
+        torn_write_site_(&FaultRegistry::global().site(fault_prefix_ + "/torn_write")),
+        bit_rot_site_(&FaultRegistry::global().site(fault_prefix_ + "/bit_rot")) {}
 
   u64 num_sectors() const { return stable_.size() / kSectorSize; }
   const std::string& fault_prefix() const { return fault_prefix_; }
@@ -105,6 +107,7 @@ class BlockDevice {
   FaultSite* read_error_site_;
   FaultSite* write_error_site_;
   FaultSite* torn_write_site_;
+  FaultSite* bit_rot_site_;
   BlockDeviceStats stats_;
 };
 

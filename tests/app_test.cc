@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "src/app/anti_entropy.h"
 #include "src/app/blockstore.h"
 #include "src/base/fault.h"
 #include "src/base/rng.h"
@@ -313,8 +314,11 @@ TEST(RetryPolicyTest, JitterBounded) {
   EXPECT_LE(client.retry_stats().backoff_polls, 12u + 24u);
 }
 
-// A deadline that expires mid-backoff must abort the rpc instead of sitting
-// out the rest of the ladder and burning the remaining attempts.
+// A backoff that would outlive the deadline is clamped to the remaining
+// budget minus one attempt window: the rpc spends its final polls PROBING
+// the server, never asleep. Here the first attempt leaves exactly one
+// window of budget, so the clamp zeroes the backoff entirely and the
+// second (final) probe runs right up to the deadline.
 TEST(RetryPolicyTest, DeadlineExpiresMidRetry) {
   Network net;
   Host server(&net);
@@ -324,11 +328,31 @@ TEST(RetryPolicyTest, DeadlineExpiresMidRetry) {
   policy.polls_per_attempt = 20;
   policy.backoff_base_polls = 64;  // longer than the whole deadline
   policy.jitter_ppm = 0;
-  policy.deadline_polls = 30;      // expires during the first backoff
+  policy.deadline_polls = 30;      // one window (20) + a partial window (10)
   BlockStoreClient client(client_host.sys, server.kernel.net_addr(), 7000, {}, policy);
   EXPECT_EQ(client.get("k").error(), ErrorCode::kTimedOut);
-  EXPECT_EQ(client.retry_stats().attempts, 1u);  // never reached attempt 2 of 10
-  EXPECT_LE(client.retry_stats().backoff_polls, policy.deadline_polls);
+  EXPECT_EQ(client.retry_stats().attempts, 2u);   // the clamp bought a final probe
+  EXPECT_EQ(client.retry_stats().backoff_polls, 0u);  // and zero polls were slept
+}
+
+// Partial clamp: the backoff shrinks to exactly (remaining - one attempt
+// window), so the ladder never sleeps the rpc past its deadline but still
+// leaves a full probe window. deadline 100 = 20 (attempt 1) + 60 (clamped
+// from 64) + 20 (attempt 2).
+TEST(RetryPolicyTest, DeadlineClampsFinalBackoff) {
+  Network net;
+  Host server(&net);
+  Host client_host(&net);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.polls_per_attempt = 20;
+  policy.backoff_base_polls = 64;  // would overshoot: 20 + 64 + 20 > 100
+  policy.jitter_ppm = 0;
+  policy.deadline_polls = 100;
+  BlockStoreClient client(client_host.sys, server.kernel.net_addr(), 7000, {}, policy);
+  EXPECT_EQ(client.get("k").error(), ErrorCode::kTimedOut);
+  EXPECT_EQ(client.retry_stats().attempts, 2u);
+  EXPECT_EQ(client.retry_stats().backoff_polls, 60u);  // 64 clamped to 60
 }
 
 // kOverloaded is backpressure, not failure: the client must wait out the
@@ -466,6 +490,237 @@ TEST(BlockStoreReplicationTest, PutPropagatesToPeer) {
     replica.serve_once();
   }
   EXPECT_EQ(replica.get("r").value(), bytes("replicated"));
+}
+
+// --- Sequenced delete tombstones -------------------------------------------
+
+TEST(TombstoneTest, DeleteIsSequencedTombstone) {
+  Network net;
+  Host host(&net);
+  BlockStoreNode node(host.sys, 7000);
+  ASSERT_TRUE(node.init().ok());
+  ASSERT_TRUE(node.put("k", bytes("v")).ok());
+  ASSERT_TRUE(node.del("k").ok());
+  EXPECT_EQ(node.get("k").error(), ErrorCode::kNotFound);
+  // The delete is a first-class versioned write: it stays in the inventory
+  // as a tombstone stamped AFTER the put, and leaves the readable view.
+  auto inv = node.list();
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0].key, "k");
+  EXPECT_TRUE(inv[0].tombstone);
+  EXPECT_GT(inv[0].seq, 0u);
+  EXPECT_EQ(node.view().count("k"), 0u);
+  EXPECT_EQ(node.stats().tombstones_written, 1u);
+}
+
+TEST(TombstoneTest, SurvivingTombstoneRefusesStaleWrite) {
+  Network net;
+  Host host(&net);
+  BlockStoreNode node(host.sys, 7000);
+  ASSERT_TRUE(node.init().ok());
+  ASSERT_TRUE(node.apply_remote("k", bytes("old"), 5, /*tombstone=*/false).ok());
+  ASSERT_TRUE(node.apply_remote("k", {}, 7, /*tombstone=*/true).ok());
+  // A lagging replica replaying the old put must NOT resurrect the key: the
+  // tombstone's higher stamp wins, apply-if-newer refuses the stale write.
+  ASSERT_TRUE(node.apply_remote("k", bytes("stale"), 6, /*tombstone=*/false).ok());
+  EXPECT_EQ(node.get("k").error(), ErrorCode::kNotFound);
+  EXPECT_GE(node.stats().stale_ignored, 1u);
+  // A genuinely newer write supersedes the tombstone.
+  ASSERT_TRUE(node.apply_remote("k", bytes("newer"), 8, /*tombstone=*/false).ok());
+  EXPECT_EQ(node.get("k").value(), bytes("newer"));
+}
+
+TEST(TombstoneTest, GcReclaimsAcknowledgedTombstones) {
+  Network net;
+  Host host(&net);
+  BlockStoreNode node(host.sys, 7000);
+  ASSERT_TRUE(node.init().ok());
+  ASSERT_TRUE(node.put("gone", bytes("v")).ok());
+  ASSERT_TRUE(node.del("gone").ok());
+  ASSERT_TRUE(node.put("kept", bytes("w")).ok());
+  // Unclustered: no peers to certify, reclamation is purely local.
+  EXPECT_EQ(node.gc_tombstones(), 1u);
+  EXPECT_EQ(node.stats().tombstones_gced, 1u);
+  auto inv = node.list();
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0].key, "kept");
+  EXPECT_EQ(node.gc_tombstones(), 0u);  // idempotent: nothing left to reclaim
+}
+
+// --- Merkle tree -----------------------------------------------------------
+
+TEST(MerkleTreeTest, EqualInventoriesEqualRoots) {
+  std::vector<BlockKeyInfo> inv;
+  for (int i = 0; i < 20; ++i) {
+    inv.push_back(BlockKeyInfo{"key" + std::to_string(i), 0,
+                               static_cast<u64>(i + 1), (i % 5) == 0});
+  }
+  EXPECT_EQ(MerkleTree::build(inv).root(), MerkleTree::build(inv).root());
+  EXPECT_NE(MerkleTree::build(inv).root(), MerkleTree::build({}).root());
+}
+
+TEST(MerkleTreeTest, DivergenceIsLocalizedToOneBucket) {
+  std::vector<BlockKeyInfo> inv;
+  for (int i = 0; i < 40; ++i) {
+    inv.push_back(BlockKeyInfo{"key" + std::to_string(i), 0, static_cast<u64>(i + 1), false});
+  }
+  MerkleTree a = MerkleTree::build(inv);
+  inv[7].seq = 999;  // one key advances
+  MerkleTree b = MerkleTree::build(inv);
+  EXPECT_NE(a.root(), b.root());
+  // Only the divergent key's bucket (and its ancestors) changed — this is
+  // what makes repair bandwidth scale with divergence, not keyspace.
+  usize differing_leaves = 0;
+  for (usize leaf = 0; leaf < MerkleTree::kLeaves; ++leaf) {
+    if (a.hash[MerkleTree::kFirstLeaf + leaf] != b.hash[MerkleTree::kFirstLeaf + leaf]) {
+      ++differing_leaves;
+    }
+  }
+  EXPECT_EQ(differing_leaves, 1u);
+  EXPECT_NE(a.hash[MerkleTree::kFirstLeaf + MerkleTree::bucket_of("key7")],
+            b.hash[MerkleTree::kFirstLeaf + MerkleTree::bucket_of("key7")]);
+}
+
+TEST(MerkleTreeTest, TombstoneStateIsPartOfTheHash) {
+  std::vector<BlockKeyInfo> live{BlockKeyInfo{"k", 0, 3, false}};
+  std::vector<BlockKeyInfo> dead{BlockKeyInfo{"k", 0, 3, true}};
+  // Same key, same seq, different deletion state: the trees MUST differ, or
+  // anti-entropy would declare a deleted and a live replica converged.
+  EXPECT_NE(MerkleTree::build(live).root(), MerkleTree::build(dead).root());
+}
+
+// --- Anti-entropy scheduler over the fabric --------------------------------
+
+TEST(AntiEntropyTest, SyncConvergesDivergentReplicas) {
+  Network net;
+  Host a_host(&net);
+  Host b_host(&net);
+  BlockStoreNode a(a_host.sys, 7000);
+  BlockStoreNode b(b_host.sys, 7001);
+  ASSERT_TRUE(a.init().ok());
+  ASSERT_TRUE(b.init().ok());
+  // Diverge in both directions plus one key where B is strictly newer.
+  ASSERT_TRUE(a.apply_remote("only-a1", bytes("a1"), 11, false).ok());
+  ASSERT_TRUE(a.apply_remote("only-a2", bytes("a2"), 12, false).ok());
+  ASSERT_TRUE(a.apply_remote("shared", bytes("old"), 1, false).ok());
+  ASSERT_TRUE(b.apply_remote("only-b", bytes("b"), 21, false).ok());
+  ASSERT_TRUE(b.apply_remote("shared", bytes("new"), 9, false).ok());
+  ASSERT_TRUE(b.apply_remote("deleted-on-b", {}, 30, true).ok());
+
+  AntiEntropyScheduler sched(a_host.sys, a, [&] { b.serve_once(); });
+  BsPeer peer{b_host.kernel.net_addr(), 7001};
+  ASSERT_TRUE(sched.sync_with(peer).ok());
+  // A pulled B's copies (incl. the tombstone), pushed its own, and both
+  // inventories now hash identically.
+  EXPECT_EQ(a.get("only-b").value(), bytes("b"));
+  EXPECT_EQ(a.get("shared").value(), bytes("new"));
+  EXPECT_EQ(a.get("deleted-on-b").error(), ErrorCode::kNotFound);
+  EXPECT_EQ(b.get("only-a1").value(), bytes("a1"));
+  EXPECT_EQ(b.get("only-a2").value(), bytes("a2"));
+  EXPECT_EQ(MerkleTree::build(a.list()).root(), MerkleTree::build(b.list()).root());
+  EXPECT_EQ(sched.stats().pulled, 3u);
+  EXPECT_EQ(sched.stats().pushed, 2u);
+  EXPECT_GT(sched.stats().bytes_sent, 0u);
+  EXPECT_GT(sched.stats().bytes_received, 0u);
+  // Converged pair: the next pass is one root exchange, nothing shipped.
+  ASSERT_TRUE(sched.sync_with(peer).ok());
+  EXPECT_EQ(sched.stats().clean_passes, 1u);
+  EXPECT_EQ(sched.stats().pulled, 3u);
+  EXPECT_EQ(sched.stats().pushed, 2u);
+}
+
+TEST(AntiEntropyTest, TokenBudgetParksPassAndResumes) {
+  Network net;
+  Host a_host(&net);
+  Host b_host(&net);
+  BlockStoreNode a(a_host.sys, 7000);
+  BlockStoreNode b(b_host.sys, 7001);
+  ASSERT_TRUE(a.init().ok());
+  ASSERT_TRUE(b.init().ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(b.apply_remote("k" + std::to_string(i), bytes("v"), static_cast<u64>(i + 1),
+                               false).ok());
+  }
+  AntiEntropyConfig cfg;
+  // Enough for the full tree descent (at most 21 interior fetches + root)
+  // but far short of 32 leaf-fetch + pull pairs: the pass must park with
+  // partial progress, not livelock re-walking the tree.
+  cfg.tokens_per_pass = 24;
+  AntiEntropyScheduler sched(a_host.sys, a, [&] { b.serve_once(); }, cfg);
+  BsPeer peer{b_host.kernel.net_addr(), 7001};
+  auto first = sched.sync_with(peer);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error(), ErrorCode::kBusy);
+  EXPECT_EQ(sched.stats().budget_exhausted, 1u);
+  EXPECT_GT(sched.stats().pulled, 0u);  // parked, but not before repairing something
+  // Budget refills per pass; repeated passes make monotone progress until
+  // the replicas converge and a pass comes back clean.
+  for (int pass = 0; pass < 64 && sched.stats().clean_passes == 0; ++pass) {
+    (void)sched.sync_with(peer);
+  }
+  EXPECT_EQ(sched.stats().clean_passes, 1u);
+  EXPECT_EQ(MerkleTree::build(a.list()).root(), MerkleTree::build(b.list()).root());
+}
+
+TEST(AntiEntropyTest, FullInventoryBaselineConvergesThroughSameAccounting) {
+  Network net;
+  Host a_host(&net);
+  Host b_host(&net);
+  BlockStoreNode a(a_host.sys, 7000);
+  BlockStoreNode b(b_host.sys, 7001);
+  ASSERT_TRUE(a.init().ok());
+  ASSERT_TRUE(b.init().ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(a.apply_remote("k" + std::to_string(i), bytes("v"), static_cast<u64>(i + 1),
+                               false).ok());
+  }
+  AntiEntropyScheduler sched(a_host.sys, a, [&] { b.serve_once(); });
+  BsPeer peer{b_host.kernel.net_addr(), 7001};
+  ASSERT_TRUE(sched.sync_full(peer).ok());
+  EXPECT_EQ(MerkleTree::build(a.list()).root(), MerkleTree::build(b.list()).root());
+  EXPECT_EQ(sched.stats().pushed, 6u);
+  EXPECT_GT(sched.stats().bytes_received, 0u);
+}
+
+// --- Hinted-handoff bound --------------------------------------------------
+
+TEST(HintCapTest, PerPeerCapDropsOldestHint) {
+  Network net;
+  Host host(&net);
+  BlockStoreNode node(host.sys, 7000);
+  ASSERT_TRUE(node.init().ok());
+  // Two-member view whose other member does not exist on the fabric: every
+  // replicated put times out and parks a hint for the phantom owner.
+  ClusterView view;
+  view.replication = 2;
+  view.ring = PlacementRing(16);
+  view.ring.add_node(0);
+  view.ring.add_node(1);
+  view.directory[0] = BsPeer{host.kernel.net_addr(), 7000};
+  view.directory[1] = BsPeer{0xDEAD, 7001};  // unreachable phantom
+  ClusterConfig cc;
+  cc.self = 0;
+  cc.push_ack_polls = 4;  // fail fast: the phantom never answers
+  cc.push_attempts = 1;
+  cc.max_hints_per_peer = 4;
+  node.configure_cluster(cc, view);
+
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(node.put("key" + std::to_string(i), bytes("v")).ok());
+  }
+  // The queue is bounded at 4 parked hints; the 3 overflow parks each
+  // evicted the then-oldest hint (drop-oldest, newest data survives).
+  EXPECT_EQ(node.stats().hints_written, 7u);
+  EXPECT_EQ(node.stats().hints_dropped, 3u);
+  auto names = host.sys.readdir("/hints");
+  ASSERT_TRUE(names.ok());
+  usize parked = 0;
+  for (const auto& name : names.value()) {
+    if (name.rfind("1_", 0) == 0) {
+      ++parked;
+    }
+  }
+  EXPECT_EQ(parked, 4u);
 }
 
 }  // namespace

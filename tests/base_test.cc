@@ -360,5 +360,107 @@ TEST(FaultTest, StatsCountEvaluationsAndFires) {
   reg.disarm_all();
 }
 
+// --- Schedule composition on one site --------------------------------------
+// The chaos harness re-arms the same site with different schedules over a
+// run (a ppm storm, then a one-shot, then a counted fault). These pin the
+// composition semantics that replay depends on.
+
+TEST(FaultTest, NthTriggerWinsOverPpmOnTheSameSpec) {
+  auto& reg = FaultRegistry::global();
+  reg.disarm_all();
+  FaultSpec spec;
+  spec.nth_call = 3;
+  spec.probability_ppm = 1'000'000;  // would fire every call if consulted
+  reg.arm("test/compose_nth", spec);
+  auto& site = reg.site("test/compose_nth");
+  // Exactly one trigger is consulted: a nonzero nth_call makes the schedule
+  // deterministic-count, the ppm is ignored.
+  EXPECT_FALSE(site.fire().has_value());
+  EXPECT_FALSE(site.fire().has_value());
+  EXPECT_TRUE(site.fire().has_value());
+  EXPECT_FALSE(site.armed());
+  reg.disarm_all();
+}
+
+TEST(FaultTest, RearmResetsTheCallCounter) {
+  auto& reg = FaultRegistry::global();
+  reg.disarm_all();
+  FaultSpec spec;
+  spec.nth_call = 2;
+  reg.arm("test/compose_rearm", spec);
+  auto& site = reg.site("test/compose_rearm");
+  EXPECT_FALSE(site.fire().has_value());  // call 1 of the first schedule
+  reg.arm("test/compose_rearm", spec);    // re-arm mid-schedule
+  // The counter restarts with the new schedule: the next call is call 1
+  // again, so the fire lands exactly one call later than it would have.
+  EXPECT_FALSE(site.fire().has_value());
+  EXPECT_TRUE(site.fire().has_value());
+  reg.disarm_all();
+}
+
+TEST(FaultTest, ComposedSchedulesReplayAcrossRearms) {
+  auto& reg = FaultRegistry::global();
+  reg.disarm_all();
+  // A chaos-style composition on ONE site: a probabilistic storm, then a
+  // guaranteed one-shot, then a counted fault. The whole composition must
+  // replay bit-identically from the registry seed across the re-arms.
+  auto run = [&] {
+    reg.reseed(0xC0'FFEE);
+    auto& site = reg.site("test/compose_replay");
+    std::string pattern;
+    FaultSpec storm;
+    storm.probability_ppm = 400'000;
+    reg.arm("test/compose_replay", storm);
+    for (int i = 0; i < 24; ++i) {
+      pattern.push_back(site.fire() ? 'x' : '.');
+    }
+    FaultSpec once;
+    once.probability_ppm = 1'000'000;
+    once.one_shot = true;
+    reg.arm("test/compose_replay", once);
+    for (int i = 0; i < 4; ++i) {
+      pattern.push_back(site.fire() ? 'x' : '.');
+    }
+    FaultSpec counted;
+    counted.nth_call = 3;
+    reg.arm("test/compose_replay", counted);
+    for (int i = 0; i < 4; ++i) {
+      pattern.push_back(site.fire() ? 'x' : '.');
+    }
+    reg.disarm("test/compose_replay");
+    return pattern;
+  };
+  std::string first = run();
+  EXPECT_EQ(first, run());
+  // The deterministic tail is schedule-defined: the one-shot fires on its
+  // first call, the counted fault on its third.
+  EXPECT_EQ(first.substr(24), "x.....x.");
+  reg.disarm_all();
+}
+
+TEST(FaultTest, CorruptScheduleFlipsBytesExactlyOnce) {
+  auto& reg = FaultRegistry::global();
+  reg.disarm_all();
+  FaultSpec rot;
+  rot.probability_ppm = 1'000'000;
+  rot.one_shot = true;
+  rot.corrupt_bytes = 5;
+  reg.arm("test/compose_rot", rot);
+  auto& site = reg.site("test/compose_rot");
+  auto flipped = site.fire_corrupt();
+  ASSERT_TRUE(flipped.has_value());
+  EXPECT_EQ(*flipped, 5u);
+  EXPECT_FALSE(site.armed());
+  EXPECT_FALSE(site.fire_corrupt().has_value());
+  // An error schedule is not a corruption schedule: corrupt_bytes == 0
+  // never silently corrupts even while fire() injects errors.
+  FaultSpec err;
+  err.probability_ppm = 1'000'000;
+  reg.arm("test/compose_rot", err);
+  EXPECT_FALSE(site.fire_corrupt().has_value());
+  EXPECT_TRUE(site.fire().has_value());
+  reg.disarm_all();
+}
+
 }  // namespace
 }  // namespace vnros

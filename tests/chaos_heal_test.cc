@@ -1,0 +1,165 @@
+// Self-healing chaos: the heal-mode schedule layers sequenced deletes,
+// silent disk bit-rot, partition flap storms, sustained slow peers and
+// background Merkle anti-entropy on top of the churn matrix — and checks the
+// "replicated sequenced register with quiesce points" spec at every quiesce:
+// every read's (bytes, stamp) matches the write that owns the stamp, the
+// converged state carries at least every acknowledged stamp, acknowledged
+// deletes never resurrect, and all live members' Merkle roots agree after
+// anti-entropy + acknowledgement-gated tombstone GC.
+//
+// The fixed seed matrix mirrors chaos_test.cc / chaos_churn_test.cc: eight
+// arbitrary-but-frozen seeds, each a full adversarial schedule. A failure
+// prints the seed; replay locally with
+//   VNROS_HEAL_SEED=0x... ./chaos_heal_test --gtest_filter='*ReplayFromEnv*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/app/chaos.h"
+
+namespace vnros {
+namespace {
+
+ChaosConfig heal_config(u64 seed) {
+  ChaosConfig c;
+  c.seed = seed;
+  c.nodes = 3;
+  c.steps = 300;
+  c.keys = 12;
+  c.check_every = 60;
+  c.cluster = true;
+  c.replication = 2;
+  c.vnodes = 32;
+  c.max_nodes = 6;
+  c.join_ppm = 25'000;
+  c.leave_ppm = 25'000;
+  c.delay_ppm = 20'000;
+  c.delay_polls_max = 64;
+  c.heal = true;
+  c.del_heavy = true;       // 5/3/2 put/get/del: deletes are first-class load
+  c.bit_rot_ppm = 30'000;
+  c.bit_rot_bytes_max = 8;
+  c.flap_ppm = 15'000;
+  c.flap_toggles_max = 8;
+  c.slow_peer_ppm = 15'000;
+  c.slow_peer_polls = 12;
+  c.slow_spell_steps_max = 40;
+  c.gc_every = 2;
+  return c;
+}
+
+ChaosReport expect_heal_ok(u64 seed) {
+  ChaosReport r = run_chaos(heal_config(seed));
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_GT(r.checks, 0u);
+  EXPECT_GT(r.ops_ok, 0u);
+  return r;
+}
+
+TEST(ChaosHealTest, Seed0001) { expect_heal_ok(0x0001); }
+TEST(ChaosHealTest, Seed00C2) { expect_heal_ok(0x00C2); }
+TEST(ChaosHealTest, Seed0303) { expect_heal_ok(0x0303); }
+TEST(ChaosHealTest, SeedBEEF) { expect_heal_ok(0xBEEF); }
+TEST(ChaosHealTest, SeedD00D) { expect_heal_ok(0xD00D); }
+TEST(ChaosHealTest, SeedFEED5EED) { expect_heal_ok(0xFEED5EED); }
+TEST(ChaosHealTest, SeedCAFE0007) { expect_heal_ok(0xCAFE0007); }
+TEST(ChaosHealTest, SeedA11C0DE8) { expect_heal_ok(0xA11C0DE8); }
+
+// Across the matrix, the schedules must actually exercise the self-healing
+// machinery: tombstones are written AND reclaimed, bit-rot silently flips
+// read bytes (caught by the block crc, never served), flap storms and slow
+// spells run, anti-entropy both pulls and pushes repairs, and the lin
+// checker validates a meaningful number of reads. (Per-seed counts vary —
+// the aggregate is what the matrix guarantees.)
+TEST(ChaosHealTest, MatrixExercisesHealing) {
+  const u64 seeds[] = {0x0001, 0x00C2, 0x0303,     0xBEEF,
+                       0xD00D, 0xFEED5EED, 0xCAFE0007, 0xA11C0DE8};
+  ChaosReport sum;
+  for (u64 seed : seeds) {
+    ChaosReport r = run_chaos(heal_config(seed));
+    ASSERT_TRUE(r.ok) << r.message;
+    sum.tombstones_written += r.tombstones_written;
+    sum.tombstones_gced += r.tombstones_gced;
+    sum.bit_rot_reads += r.bit_rot_reads;
+    sum.flaps += r.flaps;
+    sum.slow_spells += r.slow_spells;
+    sum.ae_passes += r.ae_passes;
+    sum.ae_clean_passes += r.ae_clean_passes;
+    sum.ae_pulled += r.ae_pulled;
+    sum.ae_pushed += r.ae_pushed;
+    sum.ae_bytes += r.ae_bytes;
+    sum.lin_reads_checked += r.lin_reads_checked;
+    sum.crashes += r.crashes;
+    sum.partitions += r.partitions;
+  }
+  EXPECT_GT(sum.tombstones_written, 0u);
+  EXPECT_GT(sum.tombstones_gced, 0u);
+  EXPECT_GT(sum.bit_rot_reads, 0u);
+  EXPECT_GT(sum.flaps, 0u);
+  EXPECT_GT(sum.slow_spells, 0u);
+  EXPECT_GT(sum.ae_passes, 0u);
+  EXPECT_GT(sum.ae_clean_passes, 0u);
+  EXPECT_GT(sum.ae_pulled + sum.ae_pushed, 0u);
+  EXPECT_GT(sum.ae_bytes, 0u);
+  EXPECT_GT(sum.lin_reads_checked, 0u);
+  EXPECT_GT(sum.crashes, 0u);
+  EXPECT_GT(sum.partitions, 0u);
+}
+
+// Bit-identical replay: the same seed must produce the same schedule, the
+// same op outcomes, and the same healing accounting, field for field —
+// including every new heal-mode counter (repair is part of the determinism
+// contract, not an async best-effort sidecar).
+TEST(ChaosHealTest, SameSeedSameSchedule) {
+  ChaosConfig c = heal_config(0xBEEF);
+  ChaosReport a = run_chaos(c);
+  ChaosReport b = run_chaos(c);
+  ASSERT_TRUE(a.ok) << a.message;
+  ASSERT_TRUE(b.ok) << b.message;
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.ops_ok, b.ops_ok);
+  EXPECT_EQ(a.ops_failed, b.ops_failed);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.reimages, b.reimages);
+  EXPECT_EQ(a.partitions, b.partitions);
+  EXPECT_EQ(a.heals, b.heals);
+  EXPECT_EQ(a.faults_armed, b.faults_armed);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.leaves, b.leaves);
+  EXPECT_EQ(a.rebalanced, b.rebalanced);
+  EXPECT_EQ(a.hints_written, b.hints_written);
+  EXPECT_EQ(a.hints_delivered, b.hints_delivered);
+  EXPECT_EQ(a.hints_dropped, b.hints_dropped);
+  EXPECT_EQ(a.replicas_pushed, b.replicas_pushed);
+  EXPECT_EQ(a.replicas_applied, b.replicas_applied);
+  EXPECT_EQ(a.client_retries, b.client_retries);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.tombstones_written, b.tombstones_written);
+  EXPECT_EQ(a.tombstones_gced, b.tombstones_gced);
+  EXPECT_EQ(a.bit_rot_reads, b.bit_rot_reads);
+  EXPECT_EQ(a.flaps, b.flaps);
+  EXPECT_EQ(a.slow_spells, b.slow_spells);
+  EXPECT_EQ(a.ae_passes, b.ae_passes);
+  EXPECT_EQ(a.ae_clean_passes, b.ae_clean_passes);
+  EXPECT_EQ(a.ae_pulled, b.ae_pulled);
+  EXPECT_EQ(a.ae_pushed, b.ae_pushed);
+  EXPECT_EQ(a.ae_bytes, b.ae_bytes);
+  EXPECT_EQ(a.lin_reads_checked, b.lin_reads_checked);
+  EXPECT_EQ(a.acked_floor_drops, b.acked_floor_drops);
+  EXPECT_EQ(a.spans_recorded, b.spans_recorded);
+}
+
+// Replays one heal seed from the environment (failure triage):
+//   VNROS_HEAL_SEED=0xBEEF ./chaos_heal_test --gtest_filter='*ReplayFromEnv*'
+TEST(ChaosHealTest, ReplayFromEnv) {
+  const char* env = std::getenv("VNROS_HEAL_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set VNROS_HEAL_SEED to replay a heal schedule";
+  }
+  u64 seed = std::strtoull(env, nullptr, 0);
+  ChaosReport r = run_chaos(heal_config(seed));
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+}  // namespace
+}  // namespace vnros
