@@ -63,6 +63,21 @@ echo "== tier-1: self-healing chaos (ctest -L chaos-heal) =="
 ctest --test-dir build -L chaos-heal --output-on-failure
 
 echo
+echo "== tier-1: SysRing (ring VCs + edge cases + chaos-ring + TSan) =="
+# The async submission/completion rings sit on the whole blockstore data
+# plane (serve pool, repair RPCs, client reply awaits). Gate on: the ring
+# refinement/uniqueness VCs, the SQ-full/CQ-overflow/parking edge cases,
+# the ring-fault chaos matrix, and a TSan pass over the ring suite (the
+# reactor mutates SQ/CQ state under the kernel lock; TSan checks the
+# completion hand-off to parked waiters).
+./build/tests/vc_suite_test --gtest_filter='*ring*:*Ring*'
+./build/tests/ring_syscall_test
+ctest --test-dir build -L chaos-ring --output-on-failure
+cmake --build build-tsan -j"${JOBS}" --target ring_syscall_test vc_suite_test
+./build-tsan/tests/ring_syscall_test
+./build-tsan/tests/vc_suite_test --gtest_filter='*ring*:*Ring*'
+
+echo
 echo "== tier-1: ASan+UBSan build (fs_test + app_test + chaos_test + chaos_churn_test) =="
 # The fault-injection and chaos paths unwind through error branches the
 # happy-path suite never touches; run them under address+UB sanitizers.

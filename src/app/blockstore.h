@@ -91,8 +91,11 @@ struct ClusterView {
 // Per-node cluster parameters (fixed at configure_cluster time).
 struct ClusterConfig {
   BsNodeId self = 0;
-  usize push_ack_polls = 96;  // pump polls awaiting each replica ack
-  usize push_attempts = 2;    // sends per acked push before hinting
+  // Total pump-poll budget awaiting each replica ack. Replies arrive as ring
+  // completions (the repair socket keeps one recv SQE parked in the kernel),
+  // so this is a deadline, not a spin count: the push is re-sent once at
+  // half the deadline and abandoned (hinted) when the budget runs out.
+  usize ack_deadline_polls = 192;
   // Hinted-handoff bound: at most this many hints parked per unreachable
   // peer. Past the cap the lowest-sequence (oldest) hint for that peer is
   // dropped (counted in hints_dropped) — anti-entropy remains the backstop
@@ -194,7 +197,12 @@ class BlockStoreNode {
   void set_admission(const AdmissionConfig& cfg) { admission_ = cfg; }
   void grant_tokens(u64 ops_ppm);
 
-  // Serves at most one pending request; returns whether one was served.
+  // Drains the serve ring once: reaps every completed receive (a fixed pool
+  // of kServeWorkers recv SQEs parked in the kernel), processes each request,
+  // submits the replies back through the ring, and re-arms the pool. Returns
+  // whether at least one request was served. The name and call discipline are
+  // unchanged from the synchronous era — harness loops still call it per
+  // tick — but a single call now serves up to a whole batch.
   bool serve_once();
 
   // Local storage operations (also reachable via the wire).
@@ -290,8 +298,9 @@ class BlockStoreNode {
   // Cluster-mode plumbing.
   void replicate_put(std::string_view key, std::span<const u8> value, u64 seq);
   void replicate_del(std::string_view key, u64 seq);
-  // Sends `op` to `peer` over the repair socket and waits (pumping) for an
-  // ack: cluster_.push_attempts sends x push_ack_polls polls each.
+  // Sends `op` to `peer` over the repair socket and awaits the ack as a ring
+  // completion, pumping up to cluster_.ack_deadline_polls polls (one re-send
+  // at half the deadline).
   Result<Unit> push_acked(const BsPeer& peer, BsOp op, std::string_view key,
                           std::span<const u8> value, u64 seq);
   Result<Unit> write_hint(BsNodeId owner, std::string_view key, std::span<const u8> value,
@@ -313,6 +322,20 @@ class BlockStoreNode {
   // false = shed. Always admits when admission is disabled.
   bool admit_op();
 
+  // --- Serve/repair rings (async syscall path) ------------------------------
+  // Lazily creates the serve ring and keeps kServeWorkers recv SQEs parked
+  // on the service socket. False when the kernel refuses (ring exhausted).
+  bool ensure_serve_ring();
+  // Handles one received request datagram (the old serve_once body below the
+  // recvfrom). Replies go back through the serve ring tagged kReplyTag.
+  void process_request(NetAddr src, Port src_port, std::span<const u8> payload);
+  // Awaits one repair-socket reply whose leading req_id matches: keeps a
+  // single recv SQE parked on repair_sock_ (via the repair ring), pumping up
+  // to `polls` times. Returns the whole matched reply payload (req_id word
+  // included); kTimedOut when the budget runs out. Stale replies from
+  // earlier timed-out RPCs on this socket are consumed and dropped.
+  Result<std::vector<u8>> await_repair_reply(u64 req_id, usize polls);
+
   Sys& sys_;
   Port port_;
   std::vector<BsPeer> peers_;
@@ -322,6 +345,15 @@ class BlockStoreNode {
                                  // datagrams destined for the service socket
   bool in_repair_ = false;       // re-entrancy guard (pump may recurse into us)
   u64 next_repair_req_id_ = 1;
+
+  // Serve worker pool: a ring with a fixed complement of parked receives.
+  static constexpr usize kServeWorkers = 4;
+  static constexpr u64 kReplyTag = 1ull << 63;  // user_data bit: reply sendto CQE
+  u32 serve_ring_ = 0;        // 0 = not yet set up
+  usize serve_recvs_ = 0;     // recv SQEs currently parked (<= kServeWorkers)
+  u64 next_reply_ud_ = 0;     // user_data minting for reply submissions
+  u32 repair_ring_ = 0;       // dedicated ring for repair/ack RPC replies
+  bool repair_recv_armed_ = false;  // one recv SQE parked on repair_sock_
 
   bool clustered_ = false;
   ClusterConfig cluster_;
@@ -350,6 +382,8 @@ class BlockStoreNode {
   Counter& c_stale_ignored_;
   Counter& c_tombstones_written_;
   Counter& c_tombstones_gced_;
+  Histogram& h_serve_busy_;  // request CQEs reaped per serve_once drain:
+                             // worker-pool occupancy (0..kServeWorkers)
   const u32 span_serve_;
 };
 
@@ -467,6 +501,8 @@ class BlockStoreClient {
   RetryPolicy policy_;
   Rng rng_{0xC11E47ull};  // jitter; fixed seed keeps runs replayable
   Fd sock_ = kInvalidFd;
+  u32 ring_ = 0;             // reply ring: one recv SQE parked on sock_
+  bool recv_armed_ = false;  // armed only after the first send binds sock_
   u64 next_req_id_ = 1;
   u64 put_seq_ = 0;  // write-sequence stamp: orders this client's puts per key
                      // across replicas (apply-if-newer on every server path)

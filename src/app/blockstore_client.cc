@@ -132,6 +132,57 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     }
     ++polls_used;
   };
+  // Reply await rides the client's ring: one recv SQE stays parked on sock_
+  // (armed only after the first send auto-binds it) and each poll reaps
+  // completions instead of spinning on recvfrom.
+  auto arm_recv = [&]() -> bool {
+    if (recv_armed_) {
+      return true;
+    }
+    if (ring_ == 0) {
+      auto r = sys_.ring_setup(/*sq_slots=*/4, /*cq_slots=*/8);
+      if (!r.ok()) {
+        return false;
+      }
+      ring_ = r.value();
+    }
+    RingSqe sqe{req_id, static_cast<u32>(SysNr::kUdpRecvFrom), ring_args::udp_recvfrom(sock_)};
+    auto acc = sys_.ring_submit(ring_, std::span<const RingSqe>(&sqe, 1));
+    if (!acc.ok()) {
+      if (acc.error() == ErrorCode::kNotFound) {
+        ring_ = 0;  // ring torn down (process state rebuilt): recreate
+      }
+      return false;
+    }
+    if (acc.value() != 1) {
+      return false;
+    }
+    recv_armed_ = true;
+    return true;
+  };
+  // The reply datagram's payload, if a completion was ready this poll. At
+  // most one recv is ever parked, so at most one reply per reap.
+  auto reap_reply = [&]() -> std::optional<std::vector<u8>> {
+    auto cqes = sys_.ring_wait(ring_, 0, 4);
+    if (!cqes.ok()) {
+      return std::nullopt;
+    }
+    for (RingCqe& cqe : cqes.value()) {
+      recv_armed_ = false;  // the CQE consumed the parked recv
+      if (static_cast<ErrorCode>(cqe.err) != ErrorCode::kOk) {
+        continue;
+      }
+      Reader dg(cqe.payload);
+      auto src = dg.get_u32();
+      auto sport = dg.get_u16();
+      auto payload = dg.get_bytes();
+      if (!src || !sport || !payload) {
+        continue;
+      }
+      return std::move(*payload);
+    }
+    return std::nullopt;
+  };
   auto deadline_hit = [&] {
     return policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls;
   };
@@ -205,15 +256,26 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     }
     bool transient_reply = false;
     for (usize poll = 0; poll < policy_.polls_per_attempt; ++poll) {
+      bool armed = arm_recv();
       pump_once();
-      auto reply = sys_.udp_recvfrom(sock_);
-      if (!reply.ok()) {
+      std::optional<std::vector<u8>> reply;
+      if (armed) {
+        reply = reap_reply();
+      } else {
+        // Ring unavailable (exhausted kernel table): degrade to the direct
+        // recvfrom so the rpc still makes progress.
+        auto dg = sys_.udp_recvfrom(sock_);
+        if (dg.ok()) {
+          reply = std::move(dg.value().payload);
+        }
+      }
+      if (!reply) {
         if (deadline_hit()) {
           break;
         }
         continue;
       }
-      Reader r(reply.value().payload);
+      Reader r(*reply);
       auto rid = r.get_u64();
       auto err = r.get_u32();
       auto payload = r.get_bytes();

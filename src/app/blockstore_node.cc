@@ -139,6 +139,7 @@ BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers,
       c_stale_ignored_(ObsRegistry::global().counter(obs_prefix_ + "stale_ignored")),
       c_tombstones_written_(ObsRegistry::global().counter(obs_prefix_ + "tombstones_written")),
       c_tombstones_gced_(ObsRegistry::global().counter(obs_prefix_ + "tombstones_gced")),
+      h_serve_busy_(ObsRegistry::global().histogram(obs_prefix_ + "serve_busy")),
       span_serve_(ObsRegistry::global().tracer().intern_site("bs/serve")) {
   if (!fault_prefix.empty()) {
     delay_site_ = &FaultRegistry::global().site(fault_prefix + "/serve_delay");
@@ -339,29 +340,83 @@ Result<BlockStoreNode::BlockData> BlockStoreNode::fetch_from_peer(const BsPeer& 
     if (!sent.ok()) {
       continue;
     }
-    for (usize poll = 0; poll < kRepairPolls; ++poll) {
-      if (pump_) {
-        pump_();
+    auto reply = await_repair_reply(req_id, kRepairPolls);
+    if (!reply.ok()) {
+      continue;  // timed out (or the repair ring is gone): re-send
+    }
+    Reader r(reply.value());
+    (void)r.get_u64();  // req_id, already matched
+    auto err = r.get_u32();
+    auto payload = r.get_bytes();
+    if (!err || !payload) {
+      continue;
+    }
+    if (static_cast<ErrorCode>(*err) != ErrorCode::kOk) {
+      return static_cast<ErrorCode>(*err);
+    }
+    // kGet replies carry the block's write sequence after the payload so a
+    // read-repair re-persists the bytes at their true position in the
+    // write order (not as a fresh write that could shadow a newer value).
+    auto seq = r.get_u64();
+    return BlockData{std::move(*payload), seq.value_or(0)};
+  }
+  return ErrorCode::kTimedOut;
+}
+
+Result<std::vector<u8>> BlockStoreNode::await_repair_reply(u64 req_id, usize polls) {
+  VNROS_CHECK(repair_sock_ != kInvalidFd);
+  for (usize poll = 0; poll < polls; ++poll) {
+    if (repair_ring_ == 0) {
+      auto r = sys_.ring_setup(4, 8);
+      if (!r.ok()) {
+        return r.error();
       }
-      auto reply = sys_.udp_recvfrom(repair_sock_);
-      if (!reply.ok()) {
+      repair_ring_ = r.value();
+      repair_recv_armed_ = false;
+    }
+    if (!repair_recv_armed_) {
+      // One parked recv at a time: the kernel holds the SQE until a
+      // datagram lands, so waiting costs no syscalls beyond the reap below.
+      RingSqe sqe{req_id, static_cast<u32>(SysNr::kUdpRecvFrom),
+                  ring_args::udp_recvfrom(repair_sock_)};
+      auto acc = sys_.ring_submit(repair_ring_, std::span<const RingSqe>(&sqe, 1));
+      if (!acc.ok()) {
+        if (acc.error() == ErrorCode::kNotFound) {
+          repair_ring_ = 0;  // ring torn down (process state rebuilt): retry
+          continue;
+        }
+        return acc.error();
+      }
+      if (acc.value() != 1) {
+        return ErrorCode::kWouldBlock;
+      }
+      repair_recv_armed_ = true;
+    }
+    if (pump_) {
+      pump_();
+    }
+    auto cqes = sys_.ring_wait(repair_ring_, 0, 4);
+    if (!cqes.ok()) {
+      return cqes.error();
+    }
+    for (RingCqe& cqe : cqes.value()) {
+      repair_recv_armed_ = false;  // every CQE consumes the parked recv
+      if (static_cast<ErrorCode>(cqe.err) != ErrorCode::kOk) {
         continue;
       }
-      Reader r(reply.value().payload);
+      Reader dg(cqe.payload);
+      auto src = dg.get_u32();
+      auto sport = dg.get_u16();
+      auto payload = dg.get_bytes();
+      if (!src || !sport || !payload) {
+        continue;
+      }
+      Reader r(*payload);
       auto rid = r.get_u64();
-      auto err = r.get_u32();
-      auto payload = r.get_bytes();
-      if (!rid || !err || !payload || *rid != req_id) {
-        continue;
+      if (!rid || *rid != req_id) {
+        continue;  // stale reply from an earlier push/fetch on this socket
       }
-      if (static_cast<ErrorCode>(*err) != ErrorCode::kOk) {
-        return static_cast<ErrorCode>(*err);
-      }
-      // kGet replies carry the block's write sequence after the payload so a
-      // read-repair re-persists the bytes at their true position in the
-      // write order (not as a fresh write that could shadow a newer value).
-      auto seq = r.get_u64();
-      return BlockData{std::move(*payload), seq.value_or(0)};
+      return std::move(*payload);
     }
   }
   return ErrorCode::kTimedOut;
@@ -560,8 +615,11 @@ Result<Unit> BlockStoreNode::push_acked(const BsPeer& peer, BsOp op, std::string
   } else if (op == BsOp::kDelReplica || op == BsOp::kTombstoneGc) {
     w.put_u64(seq);  // sequenced delete / GC horizon: the stamp rides along
   }
+  // The ack deadline splits into two send windows: one re-send at the half
+  // mark cures a dropped datagram (either direction) without a spin knob.
   ErrorCode last = ErrorCode::kTimedOut;
-  for (usize attempt = 0; attempt < cluster_.push_attempts; ++attempt) {
+  const usize window = std::max<usize>(1, cluster_.ack_deadline_polls / 2);
+  for (usize attempt = 0; attempt < 2; ++attempt) {
     auto sent = sys_.udp_sendto(repair_sock_, peer.addr, peer.port, w.bytes());
     if (!sent.ok()) {
       last = sent.error();
@@ -571,25 +629,21 @@ Result<Unit> BlockStoreNode::push_acked(const BsPeer& peer, BsOp op, std::string
     // counts at most one apply per datagram, so applied <= pushed (the PR 5
     // obs-coherence invariant) is preserved by construction.
     c_replicas_pushed_.inc();
-    for (usize poll = 0; poll < cluster_.push_ack_polls; ++poll) {
-      pump_();
-      auto reply = sys_.udp_recvfrom(repair_sock_);
-      if (!reply.ok()) {
-        continue;
-      }
-      Reader r(reply.value().payload);
-      auto rid = r.get_u64();
-      auto err = r.get_u32();
-      if (!rid || !err || *rid != req_id) {
-        continue;  // stale reply from an earlier push/fetch on this socket
-      }
-      ErrorCode code = static_cast<ErrorCode>(*err);
-      if (code == ErrorCode::kOk) {
-        return Unit{};
-      }
-      last = code;
-      break;  // the peer answered with an error; maybe the next attempt cures it
+    auto reply = await_repair_reply(req_id, window);
+    if (!reply.ok()) {
+      continue;  // no ack inside the window: re-send once, then hint
     }
+    Reader r(reply.value());
+    (void)r.get_u64();  // req_id, already matched
+    auto err = r.get_u32();
+    if (!err) {
+      continue;
+    }
+    ErrorCode code = static_cast<ErrorCode>(*err);
+    if (code == ErrorCode::kOk) {
+      return Unit{};
+    }
+    last = code;  // the peer answered with an error; maybe the re-send cures it
   }
   return last;
 }
@@ -957,11 +1011,34 @@ u64 BlockStoreNode::deliver_hints() {
   return delivered;
 }
 
+bool BlockStoreNode::ensure_serve_ring() {
+  if (serve_ring_ == 0) {
+    auto r = sys_.ring_setup(/*sq_slots=*/16, /*cq_slots=*/64);
+    if (!r.ok()) {
+      return false;
+    }
+    serve_ring_ = r.value();
+    serve_recvs_ = 0;
+  }
+  // Keep the worker complement parked: each recv SQE is one serve worker
+  // waiting in the kernel for a request datagram.
+  while (serve_recvs_ < kServeWorkers) {
+    RingSqe sqe{static_cast<u64>(serve_recvs_), static_cast<u32>(SysNr::kUdpRecvFrom),
+                ring_args::udp_recvfrom(sock_)};
+    auto acc = sys_.ring_submit(serve_ring_, std::span<const RingSqe>(&sqe, 1));
+    if (!acc.ok() || acc.value() != 1) {
+      break;
+    }
+    ++serve_recvs_;
+  }
+  return serve_recvs_ > 0;
+}
+
 bool BlockStoreNode::serve_once() {
   VNROS_CHECK(sock_ != kInvalidFd);
   // Latency injection: a fired "<prefix>/serve_delay" fault stalls this node
-  // for `delay` serve calls. The datagram stays queued in the rx ring — a
-  // slow peer, not a dead one.
+  // for `delay` serve calls. Datagrams stay queued (or parked as completed
+  // CQEs) — a slow peer, not a dead one.
   if (stall_polls_ > 0) {
     --stall_polls_;
     return false;
@@ -972,17 +1049,64 @@ bool BlockStoreNode::serve_once() {
       return false;
     }
   }
-  auto dgram = sys_.udp_recvfrom(sock_);
-  if (!dgram.ok()) {
+  if (!ensure_serve_ring()) {
     return false;
   }
+  auto cqes = sys_.ring_wait(serve_ring_, 0, static_cast<u32>(2 * kServeWorkers + 8));
+  if (!cqes.ok()) {
+    if (cqes.error() == ErrorCode::kNotFound) {
+      serve_ring_ = 0;  // ring torn down (process state rebuilt): recreate
+      serve_recvs_ = 0;
+    }
+    return false;
+  }
+  usize served = 0;
+  for (RingCqe& cqe : cqes.value()) {
+    if ((cqe.user_data & kReplyTag) != 0) {
+      continue;  // a reply sendto completed: nothing to do
+    }
+    if (serve_recvs_ > 0) {
+      --serve_recvs_;  // this worker's recv completed; re-armed below
+    }
+    if (static_cast<ErrorCode>(cqe.err) != ErrorCode::kOk) {
+      continue;  // e.g. socket rebound mid-flight; the pool re-arms below
+    }
+    Reader dg(cqe.payload);
+    auto src = dg.get_u32();
+    auto sport = dg.get_u16();
+    auto payload = dg.get_bytes();
+    if (!src || !sport || !payload) {
+      continue;
+    }
+    process_request(*src, *sport, *payload);
+    ++served;
+  }
+  if (served > 0) {
+    h_serve_busy_.record(served);  // worker-pool occupancy for this drain
+  }
+  ensure_serve_ring();  // re-arm consumed workers for the next drain
+  return served > 0;
+}
+
+void BlockStoreNode::process_request(NetAddr src, Port src_port,
+                                     std::span<const u8> payload) {
   SpanScope span(ObsRegistry::global().tracer(), span_serve_);
-  Reader r(dgram.value().payload);
+  // Replies ride the serve ring too (tagged so their completions are
+  // discarded on reap); a full SQ falls back to the direct send.
+  auto send_reply = [&](std::span<const u8> bytes) {
+    RingSqe sqe{kReplyTag | next_reply_ud_++, static_cast<u32>(SysNr::kUdpSendTo),
+                ring_args::udp_sendto(sock_, src, src_port, bytes)};
+    auto acc = sys_.ring_submit(serve_ring_, std::span<const RingSqe>(&sqe, 1));
+    if (!acc.ok() || acc.value() != 1) {
+      (void)sys_.udp_sendto(sock_, src, src_port, bytes);
+    }
+  };
+  Reader r(payload);
   auto op = r.get_u8();
   auto req_id = r.get_u64();
   auto key = r.get_string();
   if (!op || !req_id || !key) {
-    return true;  // malformed request: drop (no reply address semantics)
+    return;  // malformed request: drop (no reply address semantics)
   }
 
   // Admission control: storage ops (not ping/list — the control plane stays
@@ -995,14 +1119,14 @@ bool BlockStoreNode::serve_once() {
                     opcode == BsOp::kMerkleLeaf || opcode == BsOp::kTombstoneGc;
   if (storage_op && !admit_op()) {
     if (*req_id == 0) {
-      return true;  // unacked replica push: shed silently
+      return;  // unacked replica push: shed silently
     }
     Writer shed;
     shed.put_u64(*req_id);
     shed.put_u32(static_cast<u32>(ErrorCode::kOverloaded));
     shed.put_bytes(std::span<const u8>());
-    (void)sys_.udp_sendto(sock_, dgram.value().src_addr, dgram.value().src_port, shed.bytes());
-    return true;
+    send_reply(shed.bytes());
+    return;
   }
 
   ErrorCode err = ErrorCode::kInvalidArgument;
@@ -1029,7 +1153,7 @@ bool BlockStoreNode::serve_once() {
       }
       // Replication pushes carry req_id 0: apply silently, no reply.
       if (*req_id == 0) {
-        return true;
+        return;
       }
       break;
     }
@@ -1073,7 +1197,7 @@ bool BlockStoreNode::serve_once() {
       // Like kPutReplica: applied locally, never re-forwarded; req_id 0
       // means the sender is not waiting for an ack.
       if (*req_id == 0) {
-        return true;
+        return;
       }
       break;
     }
@@ -1180,8 +1304,7 @@ bool BlockStoreNode::serve_once() {
   reply.put_u32(static_cast<u32>(err));
   reply.put_bytes(value_out);
   reply.put_u64(seq_out);  // trailing write sequence (meaningful for kGet)
-  (void)sys_.udp_sendto(sock_, dgram.value().src_addr, dgram.value().src_port, reply.bytes());
-  return true;
+  send_reply(reply.bytes());
 }
 
 }  // namespace vnros

@@ -383,6 +383,22 @@ class ChaosRunner {
       reg.arm("syscall/io_error", one_shot);
       ++report_.faults_armed;
     }
+    if (cfg_.ring_submit_fault_ppm > 0 && sched_rng_.chance_ppm(cfg_.ring_submit_fault_ppm)) {
+      // Fires on the next accepted SQE anywhere in the cluster (serve pools,
+      // repair RPCs, client reply awaits): it completes immediately with the
+      // injected error instead of executing. Every ring user re-arms its
+      // parked receives, so the op is absorbed like a dropped datagram.
+      reg.arm("syscall/ring_submit", one_shot);
+      ++report_.faults_armed;
+    }
+    if (cfg_.ring_complete_fault_ppm > 0 &&
+        sched_rng_.chance_ppm(cfg_.ring_complete_fault_ppm)) {
+      // Fires on the next pending ring op: its execution is deferred one
+      // reactor pass (completion jitter). Correctness must not depend on
+      // completions landing on the earliest possible pass.
+      reg.arm("syscall/ring_complete", one_shot);
+      ++report_.faults_armed;
+    }
     if (sched_rng_.chance_ppm(cfg_.oom_ppm)) {
       reg.arm("frame_alloc/oom", one_shot);
       ++report_.faults_armed;

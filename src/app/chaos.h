@@ -108,6 +108,18 @@ struct ChaosConfig {
   u64 slow_peer_polls = 12;    // stall per serve during the spell
   u64 slow_spell_steps_max = 40;  // spell length drawn from [8, max]
   usize gc_every = 2;          // run tombstone GC at every Nth quiesce (0 = never)
+
+  // --- Ring faults (async submission/completion syscall rings) --------------
+  // Off by default; both draws are gated on a nonzero ppm *before* touching
+  // the schedule Rng, so every existing seed matrix replays unchanged. All
+  // serve/repair/client traffic rides SysRings, so these sites sit on the
+  // cluster's whole syscall data plane.
+  u64 ring_submit_fault_ppm = 0;    // per-step: arm one-shot syscall/ring_submit
+                                    // (an accepted SQE completes immediately
+                                    // with the injected error, exactly once)
+  u64 ring_complete_fault_ppm = 0;  // per-step: arm one-shot syscall/ring_complete
+                                    // (one pending op is deferred a reactor
+                                    // pass — completion jitter, not an error)
 };
 
 struct ChaosReport {

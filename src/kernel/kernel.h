@@ -30,6 +30,7 @@
 #include "src/kernel/pipe.h"
 #include "src/kernel/futex.h"
 #include "src/kernel/process.h"
+#include "src/kernel/ring.h"
 #include "src/kernel/scheduler.h"
 #include "src/net/ip.h"
 #include "src/net/rtp.h"
@@ -80,6 +81,7 @@ class Kernel {
     VNROS_CHECK(fs.ok());
     fs_ = std::move(fs.value());
     simfutex_ = std::make_unique<SimFutex>(sched_);
+    rings_ = std::make_unique<SysRingTable>(sched_);
   }
 
   const Topology& topo() const { return topo_; }
@@ -94,6 +96,7 @@ class Kernel {
   FutexTable& futex() { return futex_; }
   PipeTable& pipes() { return pipes_; }
   SimFutex& simfutex() { return *simfutex_; }
+  SysRingTable& rings() { return *rings_; }
   VirtualClock& clock() { return clock_; }
   InterruptController& irq() { return irq_; }
   SerialConsole& console() { return console_; }
@@ -147,6 +150,7 @@ class Kernel {
   FutexTable futex_;
   PipeTable pipes_;
   std::unique_ptr<SimFutex> simfutex_;
+  std::unique_ptr<SysRingTable> rings_;
   VirtualClock clock_;
   InterruptController irq_;
   SerialConsole console_;
@@ -181,6 +185,10 @@ inline std::span<const Kernel::KstatEntry> Kernel::kstat_table() {
       {"frames/remote_fallbacks",
        [](const Kernel& k) { return k.frames_.stats().remote_fallbacks; }},
       {"frames/injected_oom", [](const Kernel& k) { return k.frames_.stats().injected_oom; }},
+      {"ring/submitted", [](const Kernel& k) { return k.rings_->submitted(); }},
+      {"ring/completed", [](const Kernel& k) { return k.rings_->completed(); }},
+      {"ring/sq_full", [](const Kernel& k) { return k.rings_->sq_full(); }},
+      {"ring/cq_depth_p99", [](const Kernel& k) { return k.rings_->cq_depth_p99(); }},
   };
   return table;
 }

@@ -1120,27 +1120,53 @@ VcOutcome vc_sys_readdir_sorted() {
   return VcOutcome::pass();
 }
 
-// A closed fd stays invalid forever (fds are never recycled within a
-// process, so stale descriptors cannot silently alias a new file).
-VcOutcome vc_sys_fd_not_recycled() {
+// Descriptor reuse is safe: between close and reuse a stale fd is kBadFd
+// (never silently aliases another file), and a recycled number carries a
+// fresh OpenFile — no offset or path leaks from its previous life. The
+// free list keeps the fd namespace bounded under open/close churn.
+VcOutcome vc_sys_fd_reuse_safe() {
   Kernel kernel;
   SyscallDispatcher disp(kernel);
   Sys boot(disp, kInvalidPid, 0);
   auto pid = boot.spawn();
   Sys sys(disp, pid.value(), 0);
   auto fd1 = sys.open("/a", kOpenCreate);
-  if (!fd1.ok() || !sys.close(fd1.value()).ok()) {
+  if (!fd1.ok() || sys.write(fd1.value(), std::vector<u8>{'A', 'A', 'A'}).error() !=
+                       ErrorCode::kOk) {
     return VcOutcome::fail("setup failed");
+  }
+  if (!sys.close(fd1.value()).ok()) {
+    return VcOutcome::fail("close failed");
+  }
+  // The stale window: closed but not yet reused.
+  if (sys.read(fd1.value(), 1).error() != ErrorCode::kBadFd) {
+    return VcOutcome::fail("stale fd still usable after close");
   }
   auto fd2 = sys.open("/b", kOpenCreate);
   if (!fd2.ok()) {
     return VcOutcome::fail("second open failed");
   }
-  if (fd2.value() == fd1.value()) {
-    return VcOutcome::fail("fd recycled");
+  if (fd2.value() != fd1.value()) {
+    return VcOutcome::fail("closed fd was not recycled");
   }
-  if (sys.read(fd1.value(), 1).error() != ErrorCode::kBadFd) {
-    return VcOutcome::fail("stale fd still usable");
+  // The recycled descriptor must be /b at offset 0 — not /a, not /a's offset.
+  if (sys.write(fd2.value(), std::vector<u8>{'B'}).error() != ErrorCode::kOk ||
+      sys.fstat(fd2.value()).value().size != 1) {
+    return VcOutcome::fail("recycled fd aliased previous file state");
+  }
+  auto check = sys.open("/a", kOpenCreate);
+  if (!check.ok() || sys.fstat(check.value()).value().size != 3) {
+    return VcOutcome::fail("old file disturbed through recycled fd");
+  }
+  (void)sys.close(check.value());
+  // Churn must not grow the namespace: after close, reopen gets the same
+  // number back instead of extending next_fd.
+  for (int i = 0; i < 64; ++i) {
+    auto fd = sys.open("/churn", kOpenCreate);
+    if (!fd.ok() || fd.value() != check.value()) {
+      return VcOutcome::fail("fd namespace grew under open/close churn");
+    }
+    (void)sys.close(fd.value());
   }
   return VcOutcome::pass();
 }
@@ -1811,6 +1837,338 @@ VcOutcome vc_sys_fault_injection() {
   return VcOutcome::pass();
 }
 
+// --- Async rings (src/kernel/ring.h) ------------------------------------------
+
+// [nr][args]: the synchronous frame for the same op a RingSqe carries.
+std::vector<u8> ring_sync_frame(u32 nr, const std::vector<u8>& args) {
+  Writer w;
+  w.put_u32(nr);
+  w.put_raw(args);
+  return w.take();
+}
+
+// Refinement: a random op stream executed synchronously on kernel A and
+// through the ring on identically-prepared kernel B yields byte-identical
+// (err, payload) replies per op and identical final SysAbsState. The ring's
+// executor IS the synchronous switch, so this checks the queueing machinery
+// adds nothing and loses nothing. Ops that would park (recv with an empty
+// queue) are excluded here — parking is the one intended divergence, and
+// ring_completion_unique plus ring_syscall_test cover it.
+VcOutcome vc_ring_refines_sync(u64 seed) {
+  Kernel ka, kb;
+  SyscallDispatcher da(ka), db(kb);
+  Sys boota(da, kInvalidPid, 0), bootb(db, kInvalidPid, 0);
+  auto pa = boota.spawn();
+  auto pb = bootb.spawn();
+  if (!pa.ok() || !pb.ok() || pa.value() != pb.value()) {
+    return VcOutcome::fail("mirrored spawn diverged");
+  }
+  Sys sa(da, pa.value(), 0), sb(db, pb.value(), 0);
+  if (ka.net_addr() != kb.net_addr()) {
+    return VcOutcome::fail("mirrored kernels got different fabric addresses");
+  }
+  auto ring = sb.ring_setup(8, 8);
+  if (!ring.ok()) {
+    return VcOutcome::fail("ring_setup failed");
+  }
+  // One bound UDP socket per side; same fd by identical allocation history.
+  auto ua = sa.udp_socket();
+  auto ub = sb.udp_socket();
+  if (ua.value() != ub.value() || !sa.udp_bind(ua.value(), 7000).ok() ||
+      !sb.udp_bind(ub.value(), 7000).ok()) {
+    return VcOutcome::fail("mirrored socket setup diverged");
+  }
+
+  Rng rng(seed);
+  const std::vector<std::string> paths = {"/r0", "/r1", "/r2"};
+  std::vector<Fd> files;  // fds open on both sides (same numbers)
+  usize queued = 0;       // self-sent datagrams not yet received
+  u64 user_data = 0;
+
+  for (int i = 0; i < 160; ++i) {
+    u32 nr = 0;
+    std::vector<u8> args;
+    switch (rng.next_below(8)) {
+      case 0: {
+        nr = static_cast<u32>(SysNr::kOpen);
+        args = ring_args::open(paths[rng.next_below(paths.size())], kOpenCreate);
+        break;
+      }
+      case 1:
+        if (!files.empty()) {
+          Fd fd = files[rng.next_below(files.size())];
+          std::vector<u8> data(1 + rng.next_below(64), static_cast<u8>('a' + (i % 26)));
+          nr = static_cast<u32>(SysNr::kWrite);
+          args = ring_args::write(fd, data);
+          break;
+        }
+        [[fallthrough]];
+      case 2:
+        if (!files.empty()) {
+          nr = static_cast<u32>(SysNr::kRead);
+          args = ring_args::read(files[rng.next_below(files.size())], 32);
+          break;
+        }
+        [[fallthrough]];
+      case 3: {
+        nr = static_cast<u32>(SysNr::kFsync);
+        args = ring_args::fsync();
+        break;
+      }
+      case 4:
+        if (files.size() > 1) {
+          nr = static_cast<u32>(SysNr::kClose);
+          args = ring_args::close(files.back());
+          break;
+        }
+        [[fallthrough]];
+      case 5: {
+        std::vector<u8> payload(1 + rng.next_below(32), static_cast<u8>(i));
+        nr = static_cast<u32>(SysNr::kUdpSendTo);
+        args = ring_args::udp_sendto(ua.value(), ka.net_addr(), 7000, payload);
+        break;
+      }
+      case 6:
+        if (queued > 0) {
+          nr = static_cast<u32>(SysNr::kUdpRecvFrom);
+          args = ring_args::udp_recvfrom(ua.value());
+          break;
+        }
+        [[fallthrough]];
+      default:
+        if (!files.empty()) {
+          nr = static_cast<u32>(SysNr::kFstat);
+          // fstat's frame is just the fd word — same shape close uses.
+          args = ring_args::close(files[rng.next_below(files.size())]);
+        } else {
+          nr = static_cast<u32>(SysNr::kFsync);
+          args = ring_args::fsync();
+        }
+        break;
+    }
+
+    std::vector<u8> reply_a = da.handle(pa.value(), 0, ring_sync_frame(nr, args));
+    ++user_data;
+    RingSqe sqe{user_data, nr, args};
+    auto accepted = sb.ring_submit(ring.value(), std::span<const RingSqe>(&sqe, 1));
+    if (!accepted.ok() || accepted.value() != 1) {
+      return VcOutcome::fail("single-entry submit not accepted");
+    }
+    auto cqes = sb.ring_wait(ring.value(), 1, 1);
+    if (!cqes.ok() || cqes.value().size() != 1) {
+      return VcOutcome::fail("completion not ready after submit pass");
+    }
+    const RingCqe& cqe = cqes.value()[0];
+    if (cqe.user_data != user_data) {
+      return VcOutcome::fail("user_data correlation broken");
+    }
+    Reader ra(reply_a);
+    auto err_a = ra.get_u32();
+    auto payload_a = ra.get_raw(ra.remaining());
+    if (!err_a || !payload_a || *err_a != cqe.err || *payload_a != cqe.payload) {
+      return VcOutcome::fail("CQE (err, payload) diverges from the synchronous reply");
+    }
+    // Track mirrored state from side A's (identical) reply.
+    if (*err_a == static_cast<u32>(ErrorCode::kOk)) {
+      Reader pr(*payload_a);
+      if (nr == static_cast<u32>(SysNr::kOpen)) {
+        files.push_back(static_cast<Fd>(*pr.get_u32()));
+      } else if (nr == static_cast<u32>(SysNr::kClose)) {
+        files.pop_back();
+      } else if (nr == static_cast<u32>(SysNr::kUdpSendTo)) {
+        ++queued;
+      } else if (nr == static_cast<u32>(SysNr::kUdpRecvFrom)) {
+        --queued;
+      }
+    }
+  }
+
+  // Batched phase: independent writes to distinct files submitted as one
+  // batch complete as a set — same multiset of replies, same final state as
+  // the sequential synchronous execution.
+  std::vector<RingSqe> batch;
+  std::map<u64, std::vector<u8>> expect;  // user_data -> sync reply bytes
+  for (int i = 0; i < 6; ++i) {
+    std::string path = "/batch" + std::to_string(i);
+    auto open_a = sa.open(path, kOpenCreate);
+    auto open_b = sb.open(path, kOpenCreate);
+    if (open_a.value() != open_b.value()) {
+      return VcOutcome::fail("mirrored open diverged before batch");
+    }
+    std::vector<u8> data(8 + i, static_cast<u8>('0' + i));
+    std::vector<u8> args = ring_args::write(open_a.value(), data);
+    std::vector<u8> reply_a =
+        da.handle(pa.value(), 0, ring_sync_frame(static_cast<u32>(SysNr::kWrite), args));
+    ++user_data;
+    expect[user_data] = std::move(reply_a);
+    batch.push_back(RingSqe{user_data, static_cast<u32>(SysNr::kWrite), std::move(args)});
+  }
+  auto accepted = sb.ring_submit(ring.value(), batch);
+  if (!accepted.ok() || accepted.value() != static_cast<u32>(batch.size())) {
+    return VcOutcome::fail("batch submit not fully accepted");
+  }
+  usize reaped = 0;
+  while (reaped < batch.size()) {
+    auto cqes = sb.ring_wait(ring.value(), 1, 4);
+    if (!cqes.ok() || cqes.value().empty()) {
+      return VcOutcome::fail("batch completions missing");
+    }
+    for (const RingCqe& cqe : cqes.value()) {
+      auto it = expect.find(cqe.user_data);
+      if (it == expect.end()) {
+        return VcOutcome::fail("batch CQE with unknown user_data");
+      }
+      Reader ra(it->second);
+      auto err_a = ra.get_u32();
+      auto payload_a = ra.get_raw(ra.remaining());
+      if (*err_a != cqe.err || *payload_a != cqe.payload) {
+        return VcOutcome::fail("batched CQE diverges from synchronous reply");
+      }
+      expect.erase(it);
+      ++reaped;
+    }
+  }
+
+  if (!(da.view(pa.value()) == db.view(pb.value()))) {
+    return VcOutcome::fail("final abstract state diverged between sync and ring");
+  }
+  return VcOutcome::pass();
+}
+
+// Exactly-once: every accepted SQE is reaped exactly once, under forced CQ
+// overflow, parked recvs, and an armed submit fault site. The books balance
+// at every step: accepted == reaped + ready + in_flight.
+VcOutcome vc_ring_completion_unique(u64 seed) {
+  FaultRegistry& freg = FaultRegistry::global();
+  freg.reseed(seed * 0x9E37'79B9'7F4A'7C15ull + 1);
+  Kernel kernel;
+  SyscallDispatcher disp(kernel);
+  Sys boot(disp, kInvalidPid, 0);
+  auto pid = boot.spawn();
+  Sys sys(disp, pid.value(), 0);
+  auto ring = sys.ring_setup(32, 4);  // small CQ: reaping lag must overflow
+  if (!ring.ok()) {
+    return VcOutcome::fail("ring_setup failed");
+  }
+  auto sock = sys.udp_socket();
+  if (!sock.ok() || !sys.udp_bind(sock.value(), 9000).ok()) {
+    return VcOutcome::fail("socket setup failed");
+  }
+  auto file = sys.open("/uniq", kOpenCreate);
+  if (!file.ok()) {
+    return VcOutcome::fail("open failed");
+  }
+
+  FaultSpec flaky;
+  flaky.probability_ppm = 120'000;
+  flaky.error = ErrorCode::kIoError;
+  freg.arm("syscall/ring_submit", flaky);
+
+  Rng rng(seed);
+  u64 user_data = 0;
+  u64 accepted_total = 0;
+  std::set<u64> outstanding;  // accepted, not yet reaped
+  std::set<u64> reaped;
+  usize parked_recvs = 0;
+
+  auto reap_some = [&](u32 max_reap) -> bool {
+    auto cqes = sys.ring_wait(ring.value(), 0, max_reap);
+    if (!cqes.ok()) {
+      return false;
+    }
+    for (const RingCqe& cqe : cqes.value()) {
+      if (reaped.count(cqe.user_data) != 0) {
+        return false;  // duplicate completion
+      }
+      if (outstanding.erase(cqe.user_data) != 1) {
+        return false;  // completion nobody submitted
+      }
+      reaped.insert(cqe.user_data);
+    }
+    return true;
+  };
+
+  for (int round = 0; round < 200; ++round) {
+    u32 choice = static_cast<u32>(rng.next_below(10));
+    if (choice < 4) {
+      // A burst of writes/fsyncs, reaped lazily → CQ overflow pressure.
+      std::vector<RingSqe> batch;
+      usize n = 1 + rng.next_below(4);
+      for (usize i = 0; i < n; ++i) {
+        std::vector<u8> data(4, static_cast<u8>(round));
+        batch.push_back(RingSqe{++user_data, static_cast<u32>(SysNr::kWrite),
+                                ring_args::write(file.value(), data)});
+      }
+      auto acc = sys.ring_submit(ring.value(), batch);
+      if (!acc.ok() && acc.error() != ErrorCode::kWouldBlock) {
+        return VcOutcome::fail("submit failed unexpectedly");
+      }
+      u32 took = acc.ok() ? acc.value() : 0;
+      accepted_total += took;
+      for (u32 i = 0; i < took; ++i) {
+        outstanding.insert(batch[i].user_data);
+      }
+      user_data -= (n - took);  // unaccepted ids are never live
+    } else if (choice < 6) {
+      // A recv with nothing queued: parks in flight until data arrives.
+      RingSqe sqe{++user_data, static_cast<u32>(SysNr::kUdpRecvFrom),
+                  ring_args::udp_recvfrom(sock.value())};
+      auto acc = sys.ring_submit(ring.value(), std::span<const RingSqe>(&sqe, 1));
+      if (acc.ok() && acc.value() == 1) {
+        accepted_total += 1;
+        outstanding.insert(sqe.user_data);
+        ++parked_recvs;
+      } else {
+        --user_data;
+      }
+    } else if (choice < 8 && parked_recvs > 0) {
+      // Feed one parked recv: self-send, next pass completes it.
+      std::vector<u8> payload(3, static_cast<u8>(round));
+      if (sys.udp_sendto(sock.value(), kernel.net_addr(), 9000, payload).ok()) {
+        --parked_recvs;
+      }
+    } else {
+      if (!reap_some(1 + static_cast<u32>(rng.next_below(6)))) {
+        freg.disarm("syscall/ring_submit");
+        return VcOutcome::fail("reap violated exactly-once");
+      }
+    }
+    // The books must balance at every step.
+    usize in_flight = kernel.rings().in_flight(pid.value(), ring.value());
+    usize ready = kernel.rings().ready(pid.value(), ring.value());
+    if (accepted_total != reaped.size() + ready + in_flight) {
+      freg.disarm("syscall/ring_submit");
+      return VcOutcome::fail("accepted != reaped + ready + in_flight");
+    }
+  }
+  freg.disarm("syscall/ring_submit");
+
+  // Drain: feed every parked recv, then reap until empty.
+  while (parked_recvs > 0) {
+    std::vector<u8> payload(2, 0xEE);
+    if (!sys.udp_sendto(sock.value(), kernel.net_addr(), 9000, payload).ok()) {
+      return VcOutcome::fail("drain send failed");
+    }
+    --parked_recvs;
+  }
+  for (int i = 0; i < 64 && !outstanding.empty(); ++i) {
+    if (!reap_some(8)) {
+      return VcOutcome::fail("drain reap violated exactly-once");
+    }
+  }
+  if (!outstanding.empty()) {
+    return VcOutcome::fail("accepted SQEs never completed");
+  }
+  if (kernel.rings().in_flight(pid.value(), ring.value()) != 0 ||
+      kernel.rings().ready(pid.value(), ring.value()) != 0) {
+    return VcOutcome::fail("ring not empty after full drain");
+  }
+  if (kMetricsEnabled && kernel.rings().cq_overflows() == 0) {
+    return VcOutcome::fail("overflow pressure never exercised the overflow path");
+  }
+  return VcOutcome::pass();
+}
+
 }  // namespace
 
 void register_kernel_vcs(VcRegistry& reg) {
@@ -1885,8 +2243,8 @@ void register_kernel_vcs(VcRegistry& reg) {
           [] { return vc_sys_user_copy_roundtrip(); });
   reg.add("kernel/sys_readdir_sorted", VcCategory::kFilesystem,
           [] { return vc_sys_readdir_sorted(); });
-  reg.add("kernel/sys_fd_not_recycled", VcCategory::kProcessManagement,
-          [] { return vc_sys_fd_not_recycled(); });
+  reg.add("kernel/sys_fd_reuse_safe", VcCategory::kProcessManagement,
+          [] { return vc_sys_fd_reuse_safe(); });
   reg.add("kernel/sys_open_flag_matrix", VcCategory::kFilesystem,
           [] { return vc_sys_open_flag_matrix(); });
   reg.add("obs/kstat_refinement", VcCategory::kRefinement,
@@ -1938,6 +2296,13 @@ void register_kernel_vcs(VcRegistry& reg) {
           [] { return vc_frame_alloc_injected_oom(); });
   reg.add("kernel/sys_fault_injection", VcCategory::kRefinement,
           [] { return vc_sys_fault_injection(); });
+
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    reg.add("kernel/ring_refines_sync_seed" + std::to_string(seed), VcCategory::kRefinement,
+            [seed] { return vc_ring_refines_sync(seed); });
+    reg.add("kernel/ring_completion_unique_seed" + std::to_string(seed),
+            VcCategory::kRefinement, [seed] { return vc_ring_completion_unique(seed); });
+  }
 }
 
 }  // namespace vnros

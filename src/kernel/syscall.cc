@@ -67,9 +67,23 @@ SyscallDispatcher::ProcState& SyscallDispatcher::proc_state(Pid pid) {
 }
 
 void SyscallDispatcher::destroy_process_state(Pid pid) {
-  std::lock_guard<std::mutex> lock(mu_);
-  procs_.erase(pid);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    procs_.erase(pid);
+  }
+  kernel_.rings().destroy_rings(pid);
 }
+
+Fd SyscallDispatcher::alloc_fd(ProcState& ps) {
+  if (!ps.free_fds.empty()) {
+    Fd fd = ps.free_fds.back();
+    ps.free_fds.pop_back();
+    return fd;
+  }
+  return ps.next_fd++;
+}
+
+void SyscallDispatcher::release_fd(ProcState& ps, Fd fd) { ps.free_fds.push_back(fd); }
 
 ThreadToken SyscallDispatcher::proc_token(CoreId core) {
   std::lock_guard<std::mutex> lock(token_mu_);
@@ -106,22 +120,34 @@ std::vector<u8> SyscallDispatcher::handle(Pid pid, CoreId core, std::span<const 
   auto nr = args.get_u32();
   ErrorCode err = ErrorCode::kInvalidArgument;
   Writer payload;
-  if (nr && io_error_eligible(static_cast<SysNr>(*nr))) {
-    if (auto injected = io_fault_site_->fire()) {
-      Writer failed;
-      failed.put_u32(static_cast<u32>(*injected));
-      return failed.take();
-    }
-  }
-  if (nr && no_memory_eligible(static_cast<SysNr>(*nr))) {
-    if (auto injected = mem_fault_site_->fire()) {
-      Writer failed;
-      failed.put_u32(static_cast<u32>(*injected));
-      return failed.take();
-    }
-  }
   if (nr) {
-    switch (static_cast<SysNr>(*nr)) {
+    err = exec_syscall(pid, core, *nr, args, payload);
+  }
+  reply.put_u32(static_cast<u32>(err));
+  reply.put_raw(payload.bytes());
+  return reply.take();
+}
+
+// The shared transition function: the synchronous path calls it once per
+// frame; the ring reactor calls it once per execution attempt of a pending
+// SQE. Fault eligibility gates sit here so both paths see the same injected
+// error distribution per executed op.
+ErrorCode SyscallDispatcher::exec_syscall(Pid pid, CoreId core, u32 raw_nr, Reader& args,
+                                          Writer& payload) {
+  const SysNr nr = static_cast<SysNr>(raw_nr);
+  if (io_error_eligible(nr)) {
+    if (auto injected = io_fault_site_->fire()) {
+      return *injected;
+    }
+  }
+  if (no_memory_eligible(nr)) {
+    if (auto injected = mem_fault_site_->fire()) {
+      return *injected;
+    }
+  }
+  ErrorCode err = ErrorCode::kInvalidArgument;
+  {
+    switch (nr) {
       case SysNr::kGetPid:
         payload.put_u64(pid);
         err = ErrorCode::kOk;
@@ -193,14 +219,15 @@ std::vector<u8> SyscallDispatcher::handle(Pid pid, CoreId core, std::span<const 
       case SysNr::kConsoleWrite: err = do_console_write(pid, args, payload); break;
       case SysNr::kKstat: err = do_kstat(pid, args, payload); break;
       case SysNr::kKstatList: err = do_kstat_list(pid, args, payload); break;
+      case SysNr::kRingSetup: err = do_ring_setup(pid, args, payload); break;
+      case SysNr::kRingSubmit: err = do_ring_submit(pid, core, args, payload); break;
+      case SysNr::kRingWait: err = do_ring_wait(pid, core, args, payload); break;
       default:
         err = ErrorCode::kUnsupported;
         break;
     }
   }
-  reply.put_u32(static_cast<u32>(err));
-  reply.put_raw(payload.bytes());
-  return reply.take();
+  return err;
 }
 
 // --- File handlers ------------------------------------------------------------------
@@ -237,7 +264,7 @@ ErrorCode SyscallDispatcher::do_open(Pid pid, Reader& args, Writer& reply) {
   }
   ProcState& ps = proc_state(pid);
   std::lock_guard<std::mutex> lock(mu_);
-  Fd fd = ps.next_fd++;
+  Fd fd = alloc_fd(ps);
   OpenFile of;
   of.kind = OpenFile::Kind::kFile;
   of.path = *path;
@@ -270,6 +297,7 @@ ErrorCode SyscallDispatcher::do_close(Pid pid, Reader& args, Writer&) {
   if (it->second.kind == OpenFile::Kind::kRtp && !it->second.listener) {
     (void)kernel_.rtp().close(it->second.conn);
   }
+  release_fd(ps, it->first);
   ps.fds.erase(it);
   return ErrorCode::kOk;
 }
@@ -439,8 +467,8 @@ ErrorCode SyscallDispatcher::do_pipe_create(Pid pid, Reader& args, Writer& reply
   PipeId id = kernel_.pipes().create();
   ProcState& ps = proc_state(pid);
   std::lock_guard<std::mutex> lock(mu_);
-  Fd rfd = ps.next_fd++;
-  Fd wfd = ps.next_fd++;
+  Fd rfd = alloc_fd(ps);
+  Fd wfd = alloc_fd(ps);
   OpenFile rend;
   rend.kind = OpenFile::Kind::kPipeRead;
   rend.pipe = id;
@@ -677,7 +705,7 @@ ErrorCode SyscallDispatcher::do_udp_socket(Pid pid, Reader& args, Writer& reply)
   }
   ProcState& ps = proc_state(pid);
   std::lock_guard<std::mutex> lock(mu_);
-  Fd fd = ps.next_fd++;
+  Fd fd = alloc_fd(ps);
   OpenFile of;
   of.kind = OpenFile::Kind::kUdp;
   ps.fds[fd] = of;
@@ -777,7 +805,7 @@ ErrorCode SyscallDispatcher::do_rtp_listen(Pid pid, Reader& args, Writer& reply)
   }
   ProcState& ps = proc_state(pid);
   std::lock_guard<std::mutex> lock(mu_);
-  Fd fd = ps.next_fd++;
+  Fd fd = alloc_fd(ps);
   OpenFile of;
   of.kind = OpenFile::Kind::kRtp;
   of.listener = true;
@@ -800,7 +828,7 @@ ErrorCode SyscallDispatcher::do_rtp_connect(Pid pid, Reader& args, Writer& reply
   }
   ProcState& ps = proc_state(pid);
   std::lock_guard<std::mutex> lock(mu_);
-  Fd fd = ps.next_fd++;
+  Fd fd = alloc_fd(ps);
   OpenFile of;
   of.kind = OpenFile::Kind::kRtp;
   of.conn = r.value();
@@ -830,7 +858,7 @@ ErrorCode SyscallDispatcher::do_rtp_accept(Pid pid, Reader& args, Writer& reply)
     return r.error();
   }
   std::lock_guard<std::mutex> lock(mu_);
-  Fd nfd = ps.next_fd++;
+  Fd nfd = alloc_fd(ps);
   OpenFile of;
   of.kind = OpenFile::Kind::kRtp;
   of.conn = r.value();
@@ -896,6 +924,7 @@ ErrorCode SyscallDispatcher::do_rtp_close(Pid pid, Reader& args, Writer&) {
   if (!it->second.listener) {
     (void)kernel_.rtp().close(it->second.conn);
   }
+  release_fd(ps, it->first);
   ps.fds.erase(it);
   return ErrorCode::kOk;
 }
@@ -930,6 +959,78 @@ ErrorCode SyscallDispatcher::do_kstat_list(Pid, Reader& args, Writer& reply) {
   reply.put_u32(static_cast<u32>(names.size()));
   for (const auto& n : names) {
     reply.put_string(n);
+  }
+  return ErrorCode::kOk;
+}
+
+// --- Ring handlers ---------------------------------------------------------------------
+
+ErrorCode SyscallDispatcher::do_ring_setup(Pid pid, Reader& args, Writer& reply) {
+  auto sq_slots = args.get_u32();
+  auto cq_slots = args.get_u32();
+  if (!sq_slots || !cq_slots || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.rings().setup(pid, *sq_slots, *cq_slots);
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_u32(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_ring_submit(Pid pid, CoreId core, Reader& args, Writer& reply) {
+  auto ring_id = args.get_u32();
+  auto count = args.get_u32();
+  if (!ring_id || !count || *count > SysRingTable::kMaxSlots) {
+    return ErrorCode::kInvalidArgument;
+  }
+  std::vector<RingSqe> entries;
+  entries.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto user_data = args.get_u64();
+    auto op = args.get_u32();
+    auto op_args = args.get_bytes();
+    if (!user_data || !op || !op_args) {
+      return ErrorCode::kInvalidArgument;
+    }
+    entries.push_back(RingSqe{*user_data, *op, std::move(*op_args)});
+  }
+  if (!args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto exec = [this, pid, core](u32 op, Reader& a, Writer& p) {
+    return exec_syscall(pid, core, op, a, p);
+  };
+  auto r = kernel_.rings().submit(pid, *ring_id, entries, exec, sched_token(core));
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_u32(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_ring_wait(Pid pid, CoreId core, Reader& args, Writer& reply) {
+  auto ring_id = args.get_u32();
+  auto min_complete = args.get_u32();
+  auto max_reap = args.get_u32();
+  auto tid = args.get_u64();
+  if (!ring_id || !min_complete || !max_reap || !tid || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto exec = [this, pid, core](u32 op, Reader& a, Writer& p) {
+    return exec_syscall(pid, core, op, a, p);
+  };
+  auto r = kernel_.rings().wait(pid, *ring_id, *min_complete, *max_reap, *tid, exec,
+                                sched_token(core));
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_u32(static_cast<u32>(r.value().size()));
+  for (const RingCqe& cqe : r.value()) {
+    reply.put_u64(cqe.user_data);
+    reply.put_u32(cqe.err);
+    reply.put_bytes(cqe.payload);
   }
   return ErrorCode::kOk;
 }
@@ -1469,6 +1570,70 @@ Result<std::vector<std::string>> Sys::kstat_list() {
     names.push_back(std::move(*name));
   }
   return names;
+}
+
+Result<u32> Sys::ring_setup(u32 sq_slots, u32 cq_slots) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRingSetup));
+  w.put_u32(sq_slots);
+  w.put_u32(cq_slots);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto id = r.get_u32();
+  return id ? Result<u32>(*id) : ErrorCode::kCorrupted;
+}
+
+Result<u32> Sys::ring_submit(u32 ring_id, std::span<const RingSqe> entries) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRingSubmit));
+  w.put_u32(ring_id);
+  w.put_u32(static_cast<u32>(entries.size()));
+  for (const RingSqe& e : entries) {
+    w.put_u64(e.user_data);
+    w.put_u32(e.op);
+    w.put_bytes(e.args);
+  }
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto accepted = r.get_u32();
+  return accepted ? Result<u32>(*accepted) : ErrorCode::kCorrupted;
+}
+
+Result<std::vector<RingCqe>> Sys::ring_wait(u32 ring_id, u32 min_complete, u32 max_reap,
+                                            Tid tid) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kRingWait));
+  w.put_u32(ring_id);
+  w.put_u32(min_complete);
+  w.put_u32(max_reap);
+  w.put_u64(tid);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto count = r.get_u32();
+  if (!count) {
+    return ErrorCode::kCorrupted;
+  }
+  std::vector<RingCqe> out;
+  out.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    auto user_data = r.get_u64();
+    auto err = r.get_u32();
+    auto payload = r.get_bytes();
+    if (!user_data || !err || !payload) {
+      return ErrorCode::kCorrupted;
+    }
+    out.push_back(RingCqe{*user_data, *err, std::move(*payload)});
+  }
+  return out;
 }
 
 }  // namespace vnros

@@ -83,6 +83,10 @@ enum class SysNr : u32 {
   // Introspection: the kernel's contract counters (read-only).
   kKstat = 90,
   kKstatList = 91,
+  // Async submission/completion rings (src/kernel/ring.h).
+  kRingSetup = 100,
+  kRingSubmit = 101,
+  kRingWait = 102,
 };
 
 inline constexpr u32 kOpenCreate = 1u << 0;   // create if missing
@@ -133,10 +137,27 @@ class SyscallDispatcher {
   struct ProcState {
     std::map<Fd, OpenFile> fds;
     Fd next_fd = 3;  // 0..2 reserved by convention
+    // Closed descriptors, recycled LIFO before next_fd grows. Between close
+    // and reuse a stale fd stays kBadFd; reuse hands out a fresh OpenFile
+    // (kernel/sys_fd_reuse_safe VC + SyscallTest.FdReuse).
+    std::vector<Fd> free_fds;
     BorrowCell borrow;
   };
 
   ProcState& proc_state(Pid pid);
+  // Allocates a descriptor: pops the free list, else extends next_fd.
+  // Caller holds mu_.
+  static Fd alloc_fd(ProcState& ps);
+  // Returns a closed descriptor to the free list. Caller holds mu_.
+  static void release_fd(ProcState& ps, Fd fd);
+
+  // The shared transition function: executes one syscall by number against
+  // kernel state, appending the reply payload. Both the synchronous path
+  // (handle) and the ring reactor (kernel_.rings()) dispatch through here,
+  // so a ring-executed op refines the synchronous one by construction.
+  // Fault-injection eligibility ("syscall/io_error", "syscall/no_memory")
+  // is applied here, once per execution attempt.
+  ErrorCode exec_syscall(Pid pid, CoreId core, u32 nr, Reader& args, Writer& payload);
 
   // Handlers append their reply payload to `reply` and return the ErrorCode.
   ErrorCode do_open(Pid pid, Reader& args, Writer& reply);
@@ -171,6 +192,9 @@ class SyscallDispatcher {
   ErrorCode do_console_write(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_kstat(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_kstat_list(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_ring_setup(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_ring_submit(Pid pid, CoreId core, Reader& args, Writer& reply);
+  ErrorCode do_ring_wait(Pid pid, CoreId core, Reader& args, Writer& reply);
 
   Kernel& kernel_;
   // Transient-error injection at the contract boundary: "syscall/io_error"
@@ -251,6 +275,19 @@ class Sys {
   // --- Console ---------------------------------------------------------------------
   Result<Unit> console_write(std::string_view text);
 
+  // --- Async rings -------------------------------------------------------------------
+  // io_uring-shaped submission/completion queues (src/kernel/ring.h): setup
+  // returns a ring id; submit accepts a prefix of the batch bounded by free
+  // SQ slots (typed kWouldBlock when none fits); wait reaps up to max_reap
+  // completions, parking on the scheduler when fewer than min_complete are
+  // ready and `tid` is nonzero (kWouldBlock signals the park — nothing
+  // reaped). Args inside each RingSqe use the synchronous frame encoding
+  // minus the leading nr word; see ring_args below.
+  Result<u32> ring_setup(u32 sq_slots, u32 cq_slots);
+  Result<u32> ring_submit(u32 ring_id, std::span<const RingSqe> entries);
+  Result<std::vector<RingCqe>> ring_wait(u32 ring_id, u32 min_complete, u32 max_reap,
+                                         Tid tid = 0);
+
   // --- Introspection ----------------------------------------------------------------
   // Reads one of the kernel's contract counters by stable name (e.g.
   // "fs/fsyncs"); kNotFound for names outside the published table. The value
@@ -268,6 +305,73 @@ class Sys {
   Pid pid_;
   CoreId core_;
 };
+
+// Argument-frame builders for ring submissions: each returns the byte
+// encoding the corresponding synchronous syscall uses after the nr word, so
+// a RingSqe{user_data, nr, ring_args::...} is exactly the synchronous frame
+// split at the nr boundary. Keeping these next to the Sys facade makes the
+// marshalling obligation one definition, not two.
+namespace ring_args {
+
+inline std::vector<u8> open(std::string_view path, u32 flags = 0) {
+  Writer w;
+  w.put_string(path);
+  w.put_u32(flags);
+  return w.take();
+}
+
+inline std::vector<u8> close(Fd fd) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  return w.take();
+}
+
+inline std::vector<u8> read(Fd fd, usize len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  w.put_u64(len);
+  return w.take();
+}
+
+inline std::vector<u8> write(Fd fd, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  w.put_bytes(data);
+  return w.take();
+}
+
+inline std::vector<u8> fsync() { return {}; }
+
+inline std::vector<u8> udp_sendto(Fd fd, NetAddr dst, Port dst_port, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  w.put_u32(dst);
+  w.put_u16(dst_port);
+  w.put_bytes(data);
+  return w.take();
+}
+
+inline std::vector<u8> udp_recvfrom(Fd fd) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  return w.take();
+}
+
+inline std::vector<u8> rtp_send(Fd fd, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  w.put_bytes(data);
+  return w.take();
+}
+
+inline std::vector<u8> rtp_recv(Fd fd, usize max_len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  w.put_u64(max_len);
+  return w.take();
+}
+
+}  // namespace ring_args
 
 }  // namespace vnros
 

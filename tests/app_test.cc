@@ -700,8 +700,7 @@ TEST(HintCapTest, PerPeerCapDropsOldestHint) {
   view.directory[1] = BsPeer{0xDEAD, 7001};  // unreachable phantom
   ClusterConfig cc;
   cc.self = 0;
-  cc.push_ack_polls = 4;  // fail fast: the phantom never answers
-  cc.push_attempts = 1;
+  cc.ack_deadline_polls = 8;  // fail fast: the phantom never answers
   cc.max_hints_per_peer = 4;
   node.configure_cluster(cc, view);
 

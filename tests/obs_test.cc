@@ -179,5 +179,54 @@ TEST(KstatTest, ReadsKernelCountersThroughSyscall) {
   }
 }
 
+TEST(KstatTest, NameTableIsTheAbi) {
+  // The kstat name list IS the contract surface (kernel.h): every name an
+  // application may have shipped against must keep resolving. This test is
+  // the tripwire — removing or renaming an entry below is an ABI break and
+  // must be a deliberate, documented decision, not a refactor side effect.
+  Kernel kernel;
+  const char* kAbi[] = {
+      // Present since the original 17-name table.
+      "fs/journal_records", "fs/journal_bytes", "fs/checkpoints", "fs/fsyncs",
+      "rtp/segments_tx", "rtp/segments_rx", "rtp/retransmits", "rtp/out_of_order_dropped",
+      "rtp/duplicate_data", "tlb/shootdowns", "tlb/ipis", "tlb/batched_pages",
+      "tlb/full_flushes", "frames/allocations", "frames/frees", "frames/remote_fallbacks",
+      "frames/injected_oom",
+      // Added with the SysRing syscalls (async submission/completion queues).
+      "ring/submitted", "ring/completed", "ring/sq_full", "ring/cq_depth_p99"};
+  auto names = kernel.kstat_names();
+  for (const char* name : kAbi) {
+    EXPECT_TRUE(kernel.kstat(name).ok()) << "kstat ABI name missing: " << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAbi)) << "kstat table grew/shrank: update the ABI list";
+}
+
+TEST(KstatTest, RingCountersTrackSubmissionAndCompletion) {
+  if constexpr (!kMetricsEnabled) {
+    GTEST_SKIP() << "counters compiled out";
+  }
+  Kernel kernel;
+  SyscallDispatcher disp(kernel);
+  Sys boot(disp, kInvalidPid, 0);
+  auto pid = boot.spawn();
+  ASSERT_TRUE(pid.ok());
+  Sys sys(disp, pid.value(), 0);
+
+  u64 sub0 = sys.kstat("ring/submitted").value();
+  u64 comp0 = sys.kstat("ring/completed").value();
+  auto ring = sys.ring_setup(8, 8);
+  ASSERT_TRUE(ring.ok());
+  auto fd = sys.open("/k", kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  std::vector<u8> body = {'a', 'b'};
+  std::vector<RingSqe> batch = {
+      RingSqe{1, static_cast<u32>(SysNr::kWrite), ring_args::write(fd.value(), body)},
+      RingSqe{2, static_cast<u32>(SysNr::kFsync), ring_args::fsync()}};
+  ASSERT_EQ(sys.ring_submit(ring.value(), batch).value(), 2u);
+  ASSERT_EQ(sys.ring_wait(ring.value(), 0, 4).value().size(), 2u);
+  EXPECT_EQ(sys.kstat("ring/submitted").value(), sub0 + 2);
+  EXPECT_EQ(sys.kstat("ring/completed").value(), comp0 + 2);
+}
+
 }  // namespace
 }  // namespace vnros

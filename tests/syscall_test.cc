@@ -53,6 +53,34 @@ TEST_F(SysTest, OpenCreateWriteReadClose) {
   EXPECT_EQ(sys.read(fd.value(), 1).error(), ErrorCode::kBadFd);
 }
 
+TEST_F(SysTest, FdReuse) {
+  // The descriptor table runs a LIFO free list (alloc_fd/release_fd): a
+  // closed slot is handed to the very next allocation, so a long-lived
+  // process's fd namespace stays bounded by its peak concurrent opens
+  // instead of growing without bound. Safety is the kernel/sys_fd_reuse_safe
+  // VC; this pins the directed behaviour.
+  auto fd1 = sys.open("/a", kOpenCreate);
+  ASSERT_TRUE(fd1.ok());
+  ASSERT_EQ(sys.write(fd1.value(), bytes("AAA")).value(), 3u);
+  ASSERT_TRUE(sys.close(fd1.value()).ok());
+  EXPECT_EQ(sys.read(fd1.value(), 1).error(), ErrorCode::kBadFd);  // stale handle is dead
+  auto fd2 = sys.open("/b", kOpenCreate);
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_EQ(fd2.value(), fd1.value());  // LIFO reuse of the released slot
+  // The recycled slot is a fresh OpenFile: offset 0, new file, no leakage
+  // from the previous tenant.
+  ASSERT_EQ(sys.write(fd2.value(), bytes("B")).value(), 1u);
+  EXPECT_EQ(sys.fstat(fd2.value()).value().size, 1u);
+  ASSERT_TRUE(sys.close(fd2.value()).ok());
+  // Churn never grows the namespace: the same slot comes back every time.
+  for (int i = 0; i < 64; ++i) {
+    auto fd = sys.open("/churn", kOpenCreate);
+    ASSERT_TRUE(fd.ok());
+    EXPECT_EQ(fd.value(), fd1.value());
+    ASSERT_TRUE(sys.close(fd.value()).ok());
+  }
+}
+
 TEST_F(SysTest, OpenTruncAndAppend) {
   auto fd = sys.open("/f", kOpenCreate);
   (void)sys.write(fd.value(), bytes("0123456789"));
