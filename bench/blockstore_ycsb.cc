@@ -1,5 +1,5 @@
 // Closed-loop YCSB-style load generator against the sharded blockstore
-// cluster: N virtual clients (each its own socket + seeded op stream, 50/50
+// cluster: N virtual clients (each its own streams + seeded op stream, 50/50
 // read/update over a hot-spotted key universe, YCSB-A shape) drive a 3-node
 // ring-placed cluster, swept over client counts with the admission gate OFF
 // and ON.
@@ -12,13 +12,22 @@
 // bounded degradation; queue collapse is not.
 //
 // Time is virtual: one tick = one serve_once() per node (the cluster's fixed
-// service capacity) + one state-machine step per client. Latency is measured
-// in ticks, so the whole sweep replays bit-identically — no wall clock
-// anywhere. Emits BENCH_blockstore_ycsb.json. Honors VNROS_BENCH_QUICK.
+// service capacity) + one VTP clock tick per host + one state-machine step
+// per client. Latency is measured in ticks, so the whole sweep replays
+// bit-identically — no wall clock anywhere.
+//
+// The client-facing RPC plane rides VTP streams: each virtual client keeps
+// one connection per owner node and frames requests/replies as
+// [u32 len][body]; nodes serve them from ring-parked stream recvs. The
+// node-to-node plane (replication pushes) stays on datagrams.
+// Emits BENCH_blockstore_ycsb.json. Honors VNROS_BENCH_QUICK.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,11 +88,9 @@ struct SweepConfig {
 // well-behaved tenants, not a retry stampede.
 class VClient {
  public:
-  VClient(Sys& sys, const ClusterView& view, const SweepConfig& cfg, u64 seed)
-      : sys_(sys), view_(view), cfg_(cfg), rng_(seed) {
-    auto sock = sys_.udp_socket();
-    VNROS_CHECK(sock.ok());
-    sock_ = sock.value();
+  VClient(Sys& sys, const ClusterView& view, const SweepConfig& cfg, u64 seed,
+          Port sport_base)
+      : sys_(sys), view_(view), cfg_(cfg), rng_(seed), sport_base_(sport_base) {
     value_.resize(cfg_.value_bytes);
     for (auto& b : value_) {
       b = static_cast<u8>(rng_.next_u64());
@@ -132,6 +139,79 @@ class VClient {
     send(tick);
   }
 
+  // One VTP stream per owner node, lazily connected; requests and replies
+  // ride it framed as [u32 len][body]. A connection-level failure drops the
+  // channel — the next send() reconnects and the reply-timeout resend covers
+  // anything lost in between.
+  struct Chan {
+    Fd fd = kInvalidFd;
+    std::vector<u8> inbuf;
+    std::vector<u8> outbuf;
+  };
+
+  Chan* chan(BsNodeId owner) {
+    auto it = chans_.find(owner);
+    if (it != chans_.end()) {
+      return &it->second;
+    }
+    const BsPeer& peer = view_.directory.at(owner);
+    Port sport = static_cast<Port>(sport_base_ + (sport_off_++ & 7));
+    auto fd = sys_.vtp_connect(peer.addr, peer.port, sport);
+    if (!fd.ok()) {
+      return nullptr;
+    }
+    Chan& ch = chans_[owner];
+    ch.fd = fd.value();
+    return &ch;
+  }
+
+  void drop_chan(BsNodeId owner) {
+    auto it = chans_.find(owner);
+    if (it == chans_.end()) {
+      return;
+    }
+    if (it->second.fd != kInvalidFd) {
+      (void)sys_.vtp_close(it->second.fd);
+    }
+    chans_.erase(it);
+  }
+
+  // Push queued bytes into the stream. kWouldBlock keeps the remainder queued
+  // (never truncate mid-frame); a terminal error drops the channel.
+  void flush(BsNodeId owner) {
+    auto it = chans_.find(owner);
+    if (it == chans_.end() || it->second.outbuf.empty()) {
+      return;
+    }
+    Chan& ch = it->second;
+    while (!ch.outbuf.empty()) {
+      auto sent = sys_.vtp_send(ch.fd, std::span<const u8>(ch.outbuf));
+      if (sent.ok() && sent.value() > 0) {
+        ch.outbuf.erase(ch.outbuf.begin(),
+                        ch.outbuf.begin() + static_cast<isize>(sent.value()));
+        continue;
+      }
+      if (!sent.ok() && sent.error() != ErrorCode::kWouldBlock) {
+        drop_chan(owner);
+      }
+      return;
+    }
+  }
+
+  static std::optional<std::vector<u8>> pop_frame(Chan& ch) {
+    if (ch.inbuf.size() < 4) {
+      return std::nullopt;
+    }
+    Reader hdr(std::span<const u8>(ch.inbuf.data(), 4));
+    auto len = hdr.get_u32();
+    if (!len || ch.inbuf.size() < 4 + *len) {
+      return std::nullopt;
+    }
+    std::vector<u8> body(ch.inbuf.begin() + 4, ch.inbuf.begin() + 4 + *len);
+    ch.inbuf.erase(ch.inbuf.begin(), ch.inbuf.begin() + 4 + *len);
+    return body;
+  }
+
   void send(u64 tick) {
     req_id_ = next_req_id_++;
     Writer w;
@@ -144,23 +224,45 @@ class VClient {
     if (op_ == BsOp::kPut) {
       w.put_bytes(value_);
     }
-    BsNodeId owner = view_.owners(key_).front();
-    const BsPeer& peer = view_.directory.at(owner);
-    (void)sys_.udp_sendto(sock_, peer.addr, peer.port, w.bytes());
+    owner_ = view_.owners(key_).front();
+    Chan* ch = chan(owner_);
+    if (ch != nullptr) {
+      Writer framed;
+      framed.put_u32(static_cast<u32>(w.bytes().size()));
+      ch->outbuf.insert(ch->outbuf.end(), framed.bytes().begin(), framed.bytes().end());
+      ch->outbuf.insert(ch->outbuf.end(), w.bytes().begin(), w.bytes().end());
+      flush(owner_);
+    }
+    // Connect failure: stay in kWaiting; the timeout resend retries the op.
     sent_tick_ = tick;
     state_ = State::kWaiting;
   }
 
   void poll(u64 tick) {
-    auto reply = sys_.udp_recvfrom(sock_);
-    if (!reply.ok()) {
+    flush(owner_);  // drain any backpressured frames first
+    std::optional<std::vector<u8>> frame;
+    auto it = chans_.find(owner_);
+    if (it != chans_.end()) {
+      Chan& ch = it->second;
+      auto bytes = sys_.vtp_recv(ch.fd, 32 * 1024);
+      if (bytes.ok()) {
+        ch.inbuf.insert(ch.inbuf.end(), bytes.value().begin(), bytes.value().end());
+      } else if (bytes.error() != ErrorCode::kWouldBlock) {
+        drop_chan(owner_);
+      }
+      it = chans_.find(owner_);
+      if (it != chans_.end()) {
+        frame = pop_frame(it->second);
+      }
+    }
+    if (!frame) {
       if (tick - sent_tick_ >= cfg_.reply_timeout_ticks) {
         ++timeouts;
         send(tick);  // resend with a fresh req id; ops are idempotent
       }
       return;
     }
-    Reader r(reply.value().payload);
+    Reader r(*frame);
     auto rid = r.get_u64();
     auto err = r.get_u32();
     if (!rid || !err || *rid != req_id_) {
@@ -186,7 +288,10 @@ class VClient {
   const ClusterView& view_;
   const SweepConfig& cfg_;
   Rng rng_;
-  Fd sock_ = kInvalidFd;
+  Port sport_base_ = 0;
+  u16 sport_off_ = 0;
+  std::map<BsNodeId, Chan> chans_;
+  BsNodeId owner_ = 0;
   State state_ = State::kIdle;
   std::string key_;
   BsOp op_ = BsOp::kGet;
@@ -230,13 +335,15 @@ SweepPoint run_sweep(const SweepConfig& cfg, usize num_clients, bool gated) {
   }
   for (usize i = 0; i < cfg.nodes; ++i) {
     nodes.push_back(std::make_unique<BlockStoreNode>(
-        hosts[i]->sys, kPort, std::vector<BsPeer>{}, [&nodes, i] {
+        hosts[i]->sys, kPort, std::vector<BsPeer>{},
+        [&nodes, i] {
           for (usize j = 0; j < nodes.size(); ++j) {
             if (j != i) {
               nodes[j]->serve_once();
             }
           }
-        }));
+        },
+        std::string{}, BsTransport::kVtp));
     VNROS_CHECK(nodes[i]->init().ok());
     view.ring.add_node(static_cast<BsNodeId>(i));
     view.directory[static_cast<BsNodeId>(i)] =
@@ -271,12 +378,14 @@ SweepPoint run_sweep(const SweepConfig& cfg, usize num_clients, bool gated) {
     }
   }
 
-  // One shared client kernel, one socket per virtual client.
+  // One shared client kernel; each virtual client gets a disjoint source-port
+  // block (8 ports: up to cfg.nodes streams plus reconnect slack).
   Host client_host(&net);
   std::vector<std::unique_ptr<VClient>> clients;
   for (usize c = 0; c < num_clients; ++c) {
     clients.push_back(std::make_unique<VClient>(client_host.sys, view, cfg,
-                                                0x5EEDull * (c + 1) + 17));
+                                                0x5EEDull * (c + 1) + 17,
+                                                static_cast<Port>(20'000 + c * 8)));
   }
 
   auto tick_once = [&](u64 tick) {
@@ -286,6 +395,10 @@ SweepPoint run_sweep(const SweepConfig& cfg, usize num_clients, bool gated) {
       }
       node->serve_once();
     }
+    for (auto& h : hosts) {
+      h->kernel.vtp().tick();
+    }
+    client_host.kernel.vtp().tick();
     for (auto& c : clients) {
       c->step(tick);
     }
@@ -349,6 +462,7 @@ int main() {
   json.config("ticks", static_cast<unsigned long long>(cfg.ticks));
   json.config("admission_rate_ppm", static_cast<unsigned long long>(cfg.admission_rate_ppm));
   json.config("admission_burst", static_cast<unsigned long long>(cfg.admission_burst));
+  json.config("transport", "vtp");
   json.config("quick", quick);
 
   std::printf("# blockstore_ycsb: closed-loop YCSB over the sharded cluster\n");

@@ -78,6 +78,19 @@ cmake --build build-tsan -j"${JOBS}" --target ring_syscall_test vc_suite_test
 ./build-tsan/tests/vc_suite_test --gtest_filter='*ring*:*Ring*'
 
 echo
+echo "== tier-1: VTP transport (VCs + protocol suite + chaos-vtp + TSan) =="
+# The verified stream transport under the blockstore RPC plane. Gate on: the
+# vtp_refines_pipe VC family (stream refines the in-kernel pipe spec under
+# loss/dup/reorder/partition), the protocol unit suite, the adversarial-fabric
+# chaos matrix, and a TSan pass (the stack mutates conn state under its lock
+# from both the syscall and rx paths).
+./build/tests/vc_suite_test --gtest_filter='*vtp*:*Vtp*'
+./build/tests/net_test --gtest_filter='*Vtp*'
+ctest --test-dir build -L chaos-vtp --output-on-failure
+cmake --build build-tsan -j"${JOBS}" --target net_test
+./build-tsan/tests/net_test --gtest_filter='*Vtp*'
+
+echo
 echo "== tier-1: ASan+UBSan build (fs_test + app_test + chaos_test + chaos_churn_test) =="
 # The fault-injection and chaos paths unwind through error branches the
 # happy-path suite never touches; run them under address+UB sanitizers.

@@ -23,6 +23,7 @@ void register_all_vcs(VcRegistry& registry) {
   register_pt_vcs(registry);
   register_kernel_vcs(registry);
   register_net_vcs(registry);
+  register_vtp_vcs(registry);
   register_ulib_vcs(registry);
   register_app_vcs(registry);
 }

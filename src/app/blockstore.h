@@ -55,6 +55,19 @@ enum class BsOp : u8 {
   kTombstoneGc = 11, // tombstone GC: drop your tombstone for key if seq <= S
 };
 
+// Which wire the client-facing RPC plane rides. kDatagram is the original
+// UDP request/reply transport: every loss is the application's problem, paid
+// for with client timeout/retry windows. kVtp moves the client-facing plane
+// onto VTP stream connections: the transport retransmits at its own (much
+// tighter) RTO, requests/replies are length-framed on the byte stream, and
+// the node serves connections through ring-parked accept/recv SQEs. The
+// node-to-node plane (replication pushes, repair fetches, anti-entropy)
+// stays on datagrams in both modes.
+enum class BsTransport : u8 {
+  kDatagram = 0,
+  kVtp = 1,
+};
+
 // One entry of a kList reply / local inventory: enough to detect a missing
 // or divergent block without shipping its bytes. Tombstones (sequenced
 // deletes) are first-class entries so divergence over deletion is visible.
@@ -153,8 +166,10 @@ class BlockStoreNode {
   // "<prefix>/serve_delay" latency injection site: when armed with a
   // FaultSpec whose delay is nonzero, serve_once() stalls for that many
   // calls before touching its socket — a deterministic slow peer.
+  // `transport` selects the client-facing RPC plane (see BsTransport).
   BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers = {},
-                 std::function<void()> pump = {}, std::string fault_prefix = {});
+                 std::function<void()> pump = {}, std::string fault_prefix = {},
+                 BsTransport transport = BsTransport::kDatagram);
 
   // Creates /blocks (and /hints) and binds the service socket. Idempotent
   // across restarts of the same filesystem (recovery path).
@@ -254,6 +269,7 @@ class BlockStoreNode {
                            c_tombstones_written_.value(), c_tombstones_gced_.value()};
   }
   Port port() const { return port_; }
+  BsTransport transport() const { return transport_; }
 
   // Reads one of the kernel's contract counters (e.g. "fs/fsyncs") through
   // the kstat syscall — the §3 way for the application to introspect the OS.
@@ -329,6 +345,29 @@ class BlockStoreNode {
   // Handles one received request datagram (the old serve_once body below the
   // recvfrom). Replies go back through the serve ring tagged kReplyTag.
   void process_request(NetAddr src, Port src_port, std::span<const u8> payload);
+  // The transport-independent request core: decodes one request payload,
+  // executes it, and returns the reply bytes — or nullopt when the request
+  // warrants no reply (malformed, or an unacked replica push).
+  std::optional<std::vector<u8>> handle_request(std::span<const u8> payload);
+
+  // --- VTP stream serve plane (transport == kVtp) ----------------------------
+  // One accepted client connection: inbuf reassembles [u32 len][body] frames
+  // off the byte stream; outbuf holds reply bytes the transport has not yet
+  // accepted (flushed every drain, closed past kVtpOutbufMax — slow consumer).
+  struct VtpServeConn {
+    Fd fd = kInvalidFd;
+    std::vector<u8> inbuf;
+    std::vector<u8> outbuf;
+    bool recv_armed = false;
+  };
+  // Keeps the VTP listener up, one accept SQE parked (kAcceptTag), and one
+  // recv SQE parked per accepted connection (kVtpConnTag | slot).
+  void ensure_vtp_serve();
+  // Consumes newly received stream bytes for `slot`: reassembles frames,
+  // runs handle_request on each, frames the replies into outbuf, flushes.
+  usize on_vtp_bytes(u64 slot, std::span<const u8> bytes);
+  void vtp_flush(VtpServeConn& conn);
+  void close_vtp_conn(u64 slot);
   // Awaits one repair-socket reply whose leading req_id matches: keeps a
   // single recv SQE parked on repair_sock_ (via the repair ring), pumping up
   // to `polls` times. Returns the whole matched reply payload (req_id word
@@ -349,11 +388,25 @@ class BlockStoreNode {
   // Serve worker pool: a ring with a fixed complement of parked receives.
   static constexpr usize kServeWorkers = 4;
   static constexpr u64 kReplyTag = 1ull << 63;  // user_data bit: reply sendto CQE
+  static constexpr u64 kAcceptTag = 1ull << 62;    // the parked VTP accept SQE
+  static constexpr u64 kVtpConnTag = 1ull << 61;   // VTP recv CQE; low bits = slot
+  static constexpr usize kVtpRecvChunk = 32 * 1024;  // per-recv byte bound
+  static constexpr usize kVtpOutbufMax = 1 << 20;    // slow-consumer close bound
+  // Accept-queue + in-progress-handshake bound. Accepts drain one per serve
+  // pass, so the backlog must absorb a whole client fleet connecting at once
+  // (handshakes complete and requests buffer while the conn awaits accept).
+  static constexpr usize kVtpBacklog = 2048;
   u32 serve_ring_ = 0;        // 0 = not yet set up
   usize serve_recvs_ = 0;     // recv SQEs currently parked (<= kServeWorkers)
   u64 next_reply_ud_ = 0;     // user_data minting for reply submissions
   u32 repair_ring_ = 0;       // dedicated ring for repair/ack RPC replies
   bool repair_recv_armed_ = false;  // one recv SQE parked on repair_sock_
+
+  BsTransport transport_ = BsTransport::kDatagram;
+  Fd vtp_listener_ = kInvalidFd;
+  bool accept_armed_ = false;          // one accept SQE parked on the listener
+  std::map<u64, VtpServeConn> vtp_conns_;  // slot -> accepted connection
+  u64 next_vtp_slot_ = 0;
 
   bool clustered_ = false;
   ClusterConfig cluster_;
@@ -432,8 +485,11 @@ class BlockStoreClient {
  public:
   // `pump` advances the simulated world (drives the server and the fabric)
   // between poll attempts — the simulation's stand-in for wall-clock time.
+  // `transport` must match the servers': kVtp rpcs ride one stream
+  // connection per target (lazily connected, reconnected after any terminal
+  // connection error) with [u32 len][body] framing both ways.
   BlockStoreClient(Sys& sys, NetAddr server, Port server_port, std::function<void()> pump,
-                   RetryPolicy policy = {});
+                   RetryPolicy policy = {}, BsTransport transport = BsTransport::kDatagram);
 
   Result<Unit> init();
 
@@ -491,6 +547,17 @@ class BlockStoreClient {
   Result<std::vector<u8>> rpc(BsOp op, std::string_view key, std::span<const u8> value,
                               u64* seq_out = nullptr);
 
+  // One VTP stream to a server (transport == kVtp): the connection plus the
+  // reassembly buffer for reply frames that arrived on it.
+  struct VtpChan {
+    Fd fd = kInvalidFd;
+    std::vector<u8> inbuf;
+  };
+  // The channel to `peer`, connecting on first use. nullptr when connect
+  // fails (the attempt machinery treats that as a send error and retries).
+  VtpChan* vtp_chan(const BsPeer& peer);
+  void drop_vtp_chan(const BsPeer& peer);
+
   Sys& sys_;
   std::vector<BsPeer> targets_;  // [0] = primary, rest = failover replicas
   usize current_target_ = 0;
@@ -503,6 +570,9 @@ class BlockStoreClient {
   Fd sock_ = kInvalidFd;
   u32 ring_ = 0;             // reply ring: one recv SQE parked on sock_
   bool recv_armed_ = false;  // armed only after the first send binds sock_
+  BsTransport transport_ = BsTransport::kDatagram;
+  std::map<std::pair<NetAddr, Port>, VtpChan> chans_;  // kVtp: conn per target
+  std::pair<NetAddr, Port> armed_chan_{};  // target the parked vtp recv is on
   u64 next_req_id_ = 1;
   u64 put_seq_ = 0;  // write-sequence stamp: orders this client's puts per key
                      // across replicas (apply-if-newer on every server path)

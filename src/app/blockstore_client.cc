@@ -8,8 +8,27 @@
 
 namespace vnros {
 
+namespace {
+
+// Each stream connect needs a distinct source port on its host's stack; a
+// process-wide counter keeps concurrent clients from colliding (distinct
+// hosts skipping ports is harmless — the namespace is per-stack).
+u16 next_vtp_sport() {
+  static u16 next = 40000;
+  if (next < 40000 || next >= 60000) {
+    next = 40000;
+  }
+  return next++;
+}
+
+// One parked stream recv pulls up to this much per completion.
+constexpr usize kChanRecvChunk = 32 * 1024;
+
+}  // namespace
+
 BlockStoreClient::BlockStoreClient(Sys& sys, NetAddr server, Port server_port,
-                                   std::function<void()> pump, RetryPolicy policy)
+                                   std::function<void()> pump, RetryPolicy policy,
+                                   BsTransport transport)
     : sys_(sys),
       pump_(std::move(pump)),
       policy_(policy),
@@ -23,8 +42,38 @@ BlockStoreClient::BlockStoreClient(Sys& sys, NetAddr server, Port server_port,
       c_overloads_(ObsRegistry::global().counter(obs_prefix_ + "overloads")),
       c_sticky_resumes_(ObsRegistry::global().counter(obs_prefix_ + "sticky_resumes")),
       h_rpc_polls_(ObsRegistry::global().histogram(obs_prefix_ + "rpc_polls")),
-      span_rpc_(ObsRegistry::global().tracer().intern_site("bs/rpc")) {
+      span_rpc_(ObsRegistry::global().tracer().intern_site("bs/rpc")),
+      transport_(transport) {
   targets_.push_back(BsPeer{server, server_port});
+}
+
+BlockStoreClient::VtpChan* BlockStoreClient::vtp_chan(const BsPeer& peer) {
+  auto key = std::make_pair(peer.addr, peer.port);
+  auto it = chans_.find(key);
+  if (it != chans_.end()) {
+    return &it->second;
+  }
+  // Lazy connect: the SYN goes out asynchronously and send() buffers during
+  // the handshake, so the first request rides out as soon as the stream
+  // establishes — no blocking wait here.
+  auto fd = sys_.vtp_connect(peer.addr, peer.port, next_vtp_sport());
+  if (!fd.ok()) {
+    return nullptr;
+  }
+  VtpChan& ch = chans_[key];
+  ch.fd = fd.value();
+  return &ch;
+}
+
+void BlockStoreClient::drop_vtp_chan(const BsPeer& peer) {
+  auto it = chans_.find(std::make_pair(peer.addr, peer.port));
+  if (it == chans_.end()) {
+    return;
+  }
+  // A recv still parked on this fd completes with a typed error on a later
+  // reap; by then the chan is gone from the table, so the CQE is discarded.
+  (void)sys_.vtp_close(it->second.fd);
+  chans_.erase(it);
 }
 
 Result<Unit> BlockStoreClient::init() {
@@ -183,6 +232,118 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     }
     return std::nullopt;
   };
+  // --- Stream transport (kVtp). One connection per target, [u32 len][body]
+  // frames both ways; the reply await still rides the ring (one vtp_recv SQE
+  // parked on the active target's stream). The transport retransmits lost
+  // segments itself, so loss is paid at the stream's RTO instead of this
+  // loop's full attempt timeout.
+  auto chan_key = [](const BsPeer& p) { return std::make_pair(p.addr, p.port); };
+  auto pop_frame = [](VtpChan& ch) -> std::optional<std::vector<u8>> {
+    if (ch.inbuf.size() < 4) {
+      return std::nullopt;
+    }
+    Reader fr(std::span<const u8>(ch.inbuf.data(), 4));
+    u32 len = fr.get_u32().value_or(0);
+    if (ch.inbuf.size() - 4 < len) {
+      return std::nullopt;  // header seen, body still in flight
+    }
+    std::vector<u8> body(ch.inbuf.begin() + 4,
+                         ch.inbuf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+    ch.inbuf.erase(ch.inbuf.begin(),
+                   ch.inbuf.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+    return body;
+  };
+  auto vtp_send_request = [&](const BsPeer& target) -> ErrorCode {
+    VtpChan* ch = vtp_chan(target);
+    if (ch == nullptr) {
+      return ErrorCode::kBusy;  // connect refused locally (fd/port pressure)
+    }
+    Writer framed;
+    framed.put_u32(static_cast<u32>(w.bytes().size()));
+    framed.put_raw(w.bytes());
+    std::span<const u8> rest = framed.bytes();
+    // send() buffers even mid-handshake, so this normally accepts in one
+    // call; kWouldBlock only means the send buffer is momentarily full.
+    for (usize spin = 0; !rest.empty() && spin < policy_.polls_per_attempt; ++spin) {
+      auto n = sys_.vtp_send(ch->fd, rest);
+      if (!n.ok()) {
+        if (n.error() == ErrorCode::kWouldBlock) {
+          pump_once();
+          continue;
+        }
+        drop_vtp_chan(target);  // terminal: reconnect on the next attempt
+        return n.error();
+      }
+      rest = rest.subspan(static_cast<usize>(n.value()));
+    }
+    return rest.empty() ? ErrorCode::kOk : ErrorCode::kWouldBlock;
+  };
+  auto vtp_poll_reply = [&](const BsPeer& target) -> std::optional<std::vector<u8>> {
+    // Reap ring completions into whichever chan the recv was parked on.
+    if (ring_ != 0) {
+      auto cqes = sys_.ring_wait(ring_, 0, 4);
+      if (cqes.ok()) {
+        for (RingCqe& cqe : cqes.value()) {
+          recv_armed_ = false;
+          auto armed = chans_.find(armed_chan_);
+          if (armed == chans_.end()) {
+            continue;  // chan dropped while the recv was parked
+          }
+          if (static_cast<ErrorCode>(cqe.err) != ErrorCode::kOk) {
+            (void)sys_.vtp_close(armed->second.fd);
+            chans_.erase(armed);  // stream died under the parked recv
+            continue;
+          }
+          Reader sr(cqe.payload);
+          if (auto bytes = sr.get_bytes()) {
+            armed->second.inbuf.insert(armed->second.inbuf.end(), bytes->begin(),
+                                       bytes->end());
+          }
+        }
+      } else if (cqes.error() == ErrorCode::kNotFound) {
+        ring_ = 0;  // ring torn down (process state rebuilt): recreate
+        recv_armed_ = false;
+      }
+    }
+    auto it = chans_.find(chan_key(target));
+    if (it == chans_.end()) {
+      return std::nullopt;
+    }
+    // Park a recv on the active stream. If the single ring slot is still
+    // occupied by another target's stream (failover mid-park — there is no
+    // cancel), read this one directly until that completion drains.
+    bool parked_here = recv_armed_ && armed_chan_ == chan_key(target);
+    if (!recv_armed_) {
+      if (ring_ == 0) {
+        auto r = sys_.ring_setup(/*sq_slots=*/4, /*cq_slots=*/8);
+        if (r.ok()) {
+          ring_ = r.value();
+        }
+      }
+      if (ring_ != 0) {
+        RingSqe sqe{req_id, static_cast<u32>(SysNr::kVtpRecv),
+                    ring_args::vtp_recv(it->second.fd, kChanRecvChunk)};
+        auto acc = sys_.ring_submit(ring_, std::span<const RingSqe>(&sqe, 1));
+        if (acc.ok() && acc.value() == 1) {
+          recv_armed_ = true;
+          armed_chan_ = chan_key(target);
+          parked_here = true;
+        }
+      }
+    }
+    if (!parked_here) {
+      auto got = sys_.vtp_recv(it->second.fd, kChanRecvChunk);
+      if (got.ok()) {
+        it->second.inbuf.insert(it->second.inbuf.end(), got.value().begin(),
+                                got.value().end());
+      } else if (got.error() != ErrorCode::kWouldBlock) {
+        (void)sys_.vtp_close(it->second.fd);
+        chans_.erase(it);
+        return std::nullopt;
+      }
+    }
+    return pop_frame(it->second);
+  };
   auto deadline_hit = [&] {
     return policy_.deadline_polls != 0 && polls_used >= policy_.deadline_polls;
   };
@@ -245,28 +406,39 @@ Result<std::vector<u8>> BlockStoreClient::rpc(BsOp op, std::string_view key,
     c_attempts_.inc();
     overload_wait = false;
     const BsPeer& target = route[idx];
-    auto sent = sys_.udp_sendto(sock_, target.addr, target.port, w.bytes());
-    if (!sent.ok()) {
+    ErrorCode send_err = ErrorCode::kOk;
+    if (transport_ == BsTransport::kVtp) {
+      send_err = vtp_send_request(target);
+    } else {
+      auto sent = sys_.udp_sendto(sock_, target.addr, target.port, w.bytes());
+      send_err = sent.ok() ? ErrorCode::kOk : sent.error();
+    }
+    if (send_err != ErrorCode::kOk) {
       // Local send failure (e.g. injected syscall fault): count it, back
       // off, and retry — the op has definitely not reached any server.
       c_send_errors_.inc();
-      last_err = sent.error();
+      last_err = send_err;
       rotate();
       continue;
     }
     bool transient_reply = false;
     for (usize poll = 0; poll < policy_.polls_per_attempt; ++poll) {
-      bool armed = arm_recv();
-      pump_once();
       std::optional<std::vector<u8>> reply;
-      if (armed) {
-        reply = reap_reply();
+      if (transport_ == BsTransport::kVtp) {
+        pump_once();
+        reply = vtp_poll_reply(target);
       } else {
-        // Ring unavailable (exhausted kernel table): degrade to the direct
-        // recvfrom so the rpc still makes progress.
-        auto dg = sys_.udp_recvfrom(sock_);
-        if (dg.ok()) {
-          reply = std::move(dg.value().payload);
+        bool armed = arm_recv();
+        pump_once();
+        if (armed) {
+          reply = reap_reply();
+        } else {
+          // Ring unavailable (exhausted kernel table): degrade to the direct
+          // recvfrom so the rpc still makes progress.
+          auto dg = sys_.udp_recvfrom(sock_);
+          if (dg.ok()) {
+            reply = std::move(dg.value().payload);
+          }
         }
       }
       if (!reply) {

@@ -117,11 +117,13 @@ std::string BlockStoreNode::key_path(std::string_view key) {
 }
 
 BlockStoreNode::BlockStoreNode(Sys& sys, Port port, std::vector<BsPeer> peers,
-                               std::function<void()> pump, std::string fault_prefix)
+                               std::function<void()> pump, std::string fault_prefix,
+                               BsTransport transport)
     : sys_(sys),
       port_(port),
       peers_(std::move(peers)),
       pump_(std::move(pump)),
+      transport_(transport),
       obs_prefix_(ObsRegistry::global().instance_prefix("bs")),
       c_puts_(ObsRegistry::global().counter(obs_prefix_ + "puts")),
       c_gets_(ObsRegistry::global().counter(obs_prefix_ + "gets")),
@@ -163,6 +165,16 @@ Result<Unit> BlockStoreNode::init() {
   auto bound = sys_.udp_bind(sock_, port_);
   if (!bound.ok()) {
     return bound.error();
+  }
+  if (transport_ == BsTransport::kVtp && vtp_listener_ == kInvalidFd) {
+    // The client-facing stream plane listens on the same port number as the
+    // datagram socket (different protocol, no clash). Eager, so clients can
+    // connect before the first serve_once arms the accept SQE.
+    auto l = sys_.vtp_listen(port_, kVtpBacklog);
+    if (!l.ok()) {
+      return l.error();
+    }
+    vtp_listener_ = l.value();
   }
   return Unit{};
 }
@@ -1013,7 +1025,10 @@ u64 BlockStoreNode::deliver_hints() {
 
 bool BlockStoreNode::ensure_serve_ring() {
   if (serve_ring_ == 0) {
-    auto r = sys_.ring_setup(/*sq_slots=*/16, /*cq_slots=*/64);
+    // Parked SQEs hold their submission slot until they complete, and the
+    // stream plane parks one recv per live connection — so the SQ must be
+    // sized for the connection fan-in, not the datagram worker complement.
+    auto r = sys_.ring_setup(/*sq_slots=*/4096, /*cq_slots=*/256);
     if (!r.ok()) {
       return false;
     }
@@ -1021,15 +1036,19 @@ bool BlockStoreNode::ensure_serve_ring() {
     serve_recvs_ = 0;
   }
   // Keep the worker complement parked: each recv SQE is one serve worker
-  // waiting in the kernel for a request datagram.
-  while (serve_recvs_ < kServeWorkers) {
-    RingSqe sqe{static_cast<u64>(serve_recvs_), static_cast<u32>(SysNr::kUdpRecvFrom),
-                ring_args::udp_recvfrom(sock_)};
-    auto acc = sys_.ring_submit(serve_ring_, std::span<const RingSqe>(&sqe, 1));
-    if (!acc.ok() || acc.value() != 1) {
-      break;
+  // waiting in the kernel for a request datagram. One batched submit — every
+  // ring_submit runs a reactor pass over all parked SQEs, which the stream
+  // plane can grow to thousands.
+  if (serve_recvs_ < kServeWorkers) {
+    std::vector<RingSqe> batch;
+    for (usize w = serve_recvs_; w < kServeWorkers; ++w) {
+      batch.push_back(RingSqe{static_cast<u64>(w), static_cast<u32>(SysNr::kUdpRecvFrom),
+                              ring_args::udp_recvfrom(sock_)});
     }
-    ++serve_recvs_;
+    auto acc = sys_.ring_submit(serve_ring_, batch);
+    if (acc.ok()) {
+      serve_recvs_ += acc.value();
+    }
   }
   return serve_recvs_ > 0;
 }
@@ -1057,6 +1076,11 @@ bool BlockStoreNode::serve_once() {
     if (cqes.error() == ErrorCode::kNotFound) {
       serve_ring_ = 0;  // ring torn down (process state rebuilt): recreate
       serve_recvs_ = 0;
+      // Parked VTP SQEs died with the ring; stream fds did too, so drop the
+      // connection table and let clients reconnect against a fresh listener.
+      accept_armed_ = false;
+      vtp_listener_ = kInvalidFd;
+      vtp_conns_.clear();
     }
     return false;
   }
@@ -1064,6 +1088,37 @@ bool BlockStoreNode::serve_once() {
   for (RingCqe& cqe : cqes.value()) {
     if ((cqe.user_data & kReplyTag) != 0) {
       continue;  // a reply sendto completed: nothing to do
+    }
+    if ((cqe.user_data & kAcceptTag) != 0) {
+      // The parked VTP accept resolved: adopt the connection and let the
+      // re-arm pass below park a recv SQE on it (plus a fresh accept).
+      accept_armed_ = false;
+      if (static_cast<ErrorCode>(cqe.err) == ErrorCode::kOk) {
+        Reader ar(cqe.payload);
+        if (auto fd = ar.get_u32()) {
+          vtp_conns_[next_vtp_slot_++].fd = static_cast<Fd>(*fd);
+        }
+      }
+      continue;
+    }
+    if ((cqe.user_data & kVtpConnTag) != 0) {
+      u64 slot = cqe.user_data & ~kVtpConnTag;
+      auto it = vtp_conns_.find(slot);
+      if (it == vtp_conns_.end()) {
+        continue;  // connection already torn down; drop the stale CQE
+      }
+      it->second.recv_armed = false;
+      if (static_cast<ErrorCode>(cqe.err) != ErrorCode::kOk) {
+        // kPipeClosed (client FIN drained) or a typed terminal error: the
+        // stream is done — release our end.
+        close_vtp_conn(slot);
+        continue;
+      }
+      Reader sr(cqe.payload);
+      if (auto bytes = sr.get_bytes()) {
+        served += on_vtp_bytes(slot, *bytes);
+      }
+      continue;
     }
     if (serve_recvs_ > 0) {
       --serve_recvs_;  // this worker's recv completed; re-armed below
@@ -1084,29 +1139,160 @@ bool BlockStoreNode::serve_once() {
   if (served > 0) {
     h_serve_busy_.record(served);  // worker-pool occupancy for this drain
   }
-  ensure_serve_ring();  // re-arm consumed workers for the next drain
+  // Retry reply bytes the stream transport refused earlier (window opened?),
+  // then re-arm consumed workers, the accept SQE, and per-conn recvs.
+  for (auto it = vtp_conns_.begin(); it != vtp_conns_.end();) {
+    if (!it->second.outbuf.empty() && it->second.fd != kInvalidFd) {
+      vtp_flush(it->second);
+    }
+    it = it->second.fd == kInvalidFd ? vtp_conns_.erase(it) : ++it;
+  }
+  ensure_serve_ring();
+  ensure_vtp_serve();
   return served > 0;
 }
 
 void BlockStoreNode::process_request(NetAddr src, Port src_port,
                                      std::span<const u8> payload) {
-  SpanScope span(ObsRegistry::global().tracer(), span_serve_);
+  auto reply = handle_request(payload);
+  if (!reply) {
+    return;
+  }
+  // On the stream plane only node-to-node datagrams reach this path, and the
+  // serve ring carries a parked recv per client connection — a per-reply
+  // ring_submit would pay a reactor pass over all of them. Send directly.
+  if (transport_ == BsTransport::kVtp) {
+    (void)sys_.udp_sendto(sock_, src, src_port, *reply);
+    return;
+  }
   // Replies ride the serve ring too (tagged so their completions are
   // discarded on reap); a full SQ falls back to the direct send.
-  auto send_reply = [&](std::span<const u8> bytes) {
-    RingSqe sqe{kReplyTag | next_reply_ud_++, static_cast<u32>(SysNr::kUdpSendTo),
-                ring_args::udp_sendto(sock_, src, src_port, bytes)};
-    auto acc = sys_.ring_submit(serve_ring_, std::span<const RingSqe>(&sqe, 1));
-    if (!acc.ok() || acc.value() != 1) {
-      (void)sys_.udp_sendto(sock_, src, src_port, bytes);
+  RingSqe sqe{kReplyTag | next_reply_ud_++, static_cast<u32>(SysNr::kUdpSendTo),
+              ring_args::udp_sendto(sock_, src, src_port, *reply)};
+  auto acc = sys_.ring_submit(serve_ring_, std::span<const RingSqe>(&sqe, 1));
+  if (!acc.ok() || acc.value() != 1) {
+    (void)sys_.udp_sendto(sock_, src, src_port, *reply);
+  }
+}
+
+void BlockStoreNode::ensure_vtp_serve() {
+  if (transport_ != BsTransport::kVtp || serve_ring_ == 0) {
+    return;
+  }
+  if (vtp_listener_ == kInvalidFd) {
+    auto l = sys_.vtp_listen(port_, kVtpBacklog);
+    if (!l.ok()) {
+      return;
     }
-  };
+    vtp_listener_ = l.value();
+  }
+  // One batched submit for everything that needs (re-)arming. Per-SQE
+  // submits would run a reactor pass — O(parked SQEs) — per call, turning a
+  // busy serve pass into O(completions × connections); a single batch pays
+  // one pass total. Acceptance is a strict prefix, so the armed flags are
+  // settled in submission order.
+  std::vector<RingSqe> batch;
+  if (!accept_armed_) {
+    batch.push_back(RingSqe{kAcceptTag, static_cast<u32>(SysNr::kVtpAccept),
+                            ring_args::vtp_accept(vtp_listener_)});
+  }
+  std::vector<VtpServeConn*> armed_order;
+  for (auto& [slot, conn] : vtp_conns_) {
+    if (conn.recv_armed || conn.fd == kInvalidFd) {
+      continue;
+    }
+    batch.push_back(RingSqe{kVtpConnTag | slot, static_cast<u32>(SysNr::kVtpRecv),
+                            ring_args::vtp_recv(conn.fd, kVtpRecvChunk)});
+    armed_order.push_back(&conn);
+  }
+  if (batch.empty()) {
+    return;
+  }
+  auto acc = sys_.ring_submit(serve_ring_, batch);
+  usize accepted = acc.ok() ? acc.value() : 0;
+  usize idx = 0;
+  if (!accept_armed_) {
+    accept_armed_ = accepted > idx;
+    ++idx;
+  }
+  for (VtpServeConn* conn : armed_order) {
+    conn->recv_armed = accepted > idx;
+    ++idx;
+  }
+}
+
+usize BlockStoreNode::on_vtp_bytes(u64 slot, std::span<const u8> bytes) {
+  auto it = vtp_conns_.find(slot);
+  if (it == vtp_conns_.end()) {
+    return 0;
+  }
+  VtpServeConn& conn = it->second;
+  conn.inbuf.insert(conn.inbuf.end(), bytes.begin(), bytes.end());
+  // Reassemble [u32 len][body] frames off the stream; each complete body is
+  // one request, its reply framed back onto the same stream.
+  usize served = 0;
+  usize off = 0;
+  while (conn.inbuf.size() - off >= 4) {
+    Reader fr(std::span<const u8>(conn.inbuf.data() + off, 4));
+    u32 len = fr.get_u32().value_or(0);
+    if (conn.inbuf.size() - off - 4 < len) {
+      break;  // incomplete frame: wait for more stream bytes
+    }
+    auto reply = handle_request(std::span<const u8>(conn.inbuf.data() + off + 4, len));
+    off += 4 + len;
+    ++served;
+    if (reply) {
+      Writer fw;
+      fw.put_u32(static_cast<u32>(reply->size()));
+      conn.outbuf.insert(conn.outbuf.end(), fw.bytes().begin(), fw.bytes().end());
+      conn.outbuf.insert(conn.outbuf.end(), reply->begin(), reply->end());
+    }
+  }
+  conn.inbuf.erase(conn.inbuf.begin(),
+                   conn.inbuf.begin() + static_cast<std::ptrdiff_t>(off));
+  vtp_flush(conn);
+  if (conn.fd != kInvalidFd && conn.outbuf.size() > kVtpOutbufMax) {
+    close_vtp_conn(slot);  // slow consumer: bounded memory beats unbounded queue
+  }
+  return served;
+}
+
+void BlockStoreNode::vtp_flush(VtpServeConn& conn) {
+  while (!conn.outbuf.empty() && conn.fd != kInvalidFd) {
+    auto n = sys_.vtp_send(conn.fd, conn.outbuf);
+    if (!n.ok()) {
+      if (n.error() != ErrorCode::kWouldBlock) {
+        // Terminal connection error: release the fd; the serve loop reaps
+        // the slot on its next pass.
+        (void)sys_.vtp_close(conn.fd);
+        conn.fd = kInvalidFd;
+      }
+      return;  // kWouldBlock: send buffer full, retried next drain
+    }
+    conn.outbuf.erase(conn.outbuf.begin(),
+                      conn.outbuf.begin() + static_cast<std::ptrdiff_t>(n.value()));
+  }
+}
+
+void BlockStoreNode::close_vtp_conn(u64 slot) {
+  auto it = vtp_conns_.find(slot);
+  if (it == vtp_conns_.end()) {
+    return;
+  }
+  if (it->second.fd != kInvalidFd) {
+    (void)sys_.vtp_close(it->second.fd);
+  }
+  vtp_conns_.erase(it);
+}
+
+std::optional<std::vector<u8>> BlockStoreNode::handle_request(std::span<const u8> payload) {
+  SpanScope span(ObsRegistry::global().tracer(), span_serve_);
   Reader r(payload);
   auto op = r.get_u8();
   auto req_id = r.get_u64();
   auto key = r.get_string();
   if (!op || !req_id || !key) {
-    return;  // malformed request: drop (no reply address semantics)
+    return std::nullopt;  // malformed request: drop (no reply semantics)
   }
 
   // Admission control: storage ops (not ping/list — the control plane stays
@@ -1119,14 +1305,13 @@ void BlockStoreNode::process_request(NetAddr src, Port src_port,
                     opcode == BsOp::kMerkleLeaf || opcode == BsOp::kTombstoneGc;
   if (storage_op && !admit_op()) {
     if (*req_id == 0) {
-      return;  // unacked replica push: shed silently
+      return std::nullopt;  // unacked replica push: shed silently
     }
     Writer shed;
     shed.put_u64(*req_id);
     shed.put_u32(static_cast<u32>(ErrorCode::kOverloaded));
     shed.put_bytes(std::span<const u8>());
-    send_reply(shed.bytes());
-    return;
+    return shed.take();
   }
 
   ErrorCode err = ErrorCode::kInvalidArgument;
@@ -1153,7 +1338,7 @@ void BlockStoreNode::process_request(NetAddr src, Port src_port,
       }
       // Replication pushes carry req_id 0: apply silently, no reply.
       if (*req_id == 0) {
-        return;
+        return std::nullopt;
       }
       break;
     }
@@ -1197,7 +1382,7 @@ void BlockStoreNode::process_request(NetAddr src, Port src_port,
       // Like kPutReplica: applied locally, never re-forwarded; req_id 0
       // means the sender is not waiting for an ack.
       if (*req_id == 0) {
-        return;
+        return std::nullopt;
       }
       break;
     }
@@ -1304,7 +1489,7 @@ void BlockStoreNode::process_request(NetAddr src, Port src_port,
   reply.put_u32(static_cast<u32>(err));
   reply.put_bytes(value_out);
   reply.put_u64(seq_out);  // trailing write sequence (meaningful for kGet)
-  send_reply(reply.bytes());
+  return reply.take();
 }
 
 }  // namespace vnros

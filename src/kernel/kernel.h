@@ -35,6 +35,7 @@
 #include "src/net/ip.h"
 #include "src/net/rtp.h"
 #include "src/net/udp.h"
+#include "src/net/vtp.h"
 
 namespace vnros {
 
@@ -73,7 +74,8 @@ class Kernel {
         nic_(config.link_addr ? net_.attach_at(*config.link_addr) : net_.attach()),
         ip_(nic_),
         udp_(ip_),
-        rtp_(ip_, clock_) {
+        rtp_(ip_, clock_),
+        vtp_(ip_, clock_) {
     auto fs = config.recover_fs ? MemFs::recover(disk_) : MemFs::format(disk_);
     if (!fs.ok() && config.recover_fs && config.format_on_recovery_failure) {
       fs = MemFs::format(disk_);
@@ -105,6 +107,7 @@ class Kernel {
   IpStack& ip() { return ip_; }
   UdpStack& udp() { return udp_; }
   RtpStack& rtp() { return rtp_; }
+  VtpStack& vtp() { return vtp_; }
 
   NetAddr net_addr() const { return nic_.addr(); }
 
@@ -160,6 +163,7 @@ class Kernel {
   IpStack ip_;
   UdpStack udp_;
   RtpStack rtp_;
+  VtpStack vtp_;
 };
 
 inline std::span<const Kernel::KstatEntry> Kernel::kstat_table() {
@@ -189,6 +193,10 @@ inline std::span<const Kernel::KstatEntry> Kernel::kstat_table() {
       {"ring/completed", [](const Kernel& k) { return k.rings_->completed(); }},
       {"ring/sq_full", [](const Kernel& k) { return k.rings_->sq_full(); }},
       {"ring/cq_depth_p99", [](const Kernel& k) { return k.rings_->cq_depth_p99(); }},
+      {"vtp/conns_active", [](const Kernel& k) { return static_cast<u64>(k.vtp_.active_conns()); }},
+      {"vtp/retransmits", [](const Kernel& k) { return k.vtp_.stats().retransmits; }},
+      {"vtp/cwnd_halvings", [](const Kernel& k) { return k.vtp_.stats().cwnd_halvings; }},
+      {"vtp/accept_queue_p99", [](const Kernel& k) { return k.vtp_.accept_queue_p99(); }},
   };
   return table;
 }

@@ -22,10 +22,17 @@ constexpr u32 kNrUdpSendTo = 62;
 constexpr u32 kNrUdpRecvFrom = 63;
 constexpr u32 kNrRtpSend = 73;
 constexpr u32 kNrRtpRecv = 74;
+constexpr u32 kNrVtpAccept = 111;
+constexpr u32 kNrVtpSend = 113;
+constexpr u32 kNrVtpRecv = 114;
 
-// Ops whose transient kWouldBlock means "nothing to deliver yet": the ring
-// parks these in flight instead of completing with the error.
-bool parkable(u32 op) { return op == kNrUdpRecvFrom || op == kNrRtpRecv; }
+// Ops whose transient kWouldBlock means "nothing to deliver yet" (or, for
+// vtp_send, "no buffer space yet"): the ring parks these in flight instead
+// of completing with the error.
+bool parkable(u32 op) {
+  return op == kNrUdpRecvFrom || op == kNrRtpRecv || op == kNrVtpAccept ||
+         op == kNrVtpSend || op == kNrVtpRecv;
+}
 
 }  // namespace
 
@@ -42,6 +49,9 @@ bool ring_submittable(u32 op) {
     case kNrUdpRecvFrom:
     case kNrRtpSend:
     case kNrRtpRecv:
+    case kNrVtpAccept:
+    case kNrVtpSend:
+    case kNrVtpRecv:
       return true;
     default:
       return false;

@@ -216,6 +216,12 @@ ErrorCode SyscallDispatcher::exec_syscall(Pid pid, CoreId core, u32 raw_nr, Read
       case SysNr::kRtpSend: err = do_rtp_send(pid, args, payload); break;
       case SysNr::kRtpRecv: err = do_rtp_recv(pid, args, payload); break;
       case SysNr::kRtpClose: err = do_rtp_close(pid, args, payload); break;
+      case SysNr::kVtpListen: err = do_vtp_listen(pid, args, payload); break;
+      case SysNr::kVtpAccept: err = do_vtp_accept(pid, args, payload); break;
+      case SysNr::kVtpConnect: err = do_vtp_connect(pid, args, payload); break;
+      case SysNr::kVtpSend: err = do_vtp_send(pid, args, payload); break;
+      case SysNr::kVtpRecv: err = do_vtp_recv(pid, args, payload); break;
+      case SysNr::kVtpClose: err = do_vtp_close(pid, args, payload); break;
       case SysNr::kConsoleWrite: err = do_console_write(pid, args, payload); break;
       case SysNr::kKstat: err = do_kstat(pid, args, payload); break;
       case SysNr::kKstatList: err = do_kstat_list(pid, args, payload); break;
@@ -296,6 +302,13 @@ ErrorCode SyscallDispatcher::do_close(Pid pid, Reader& args, Writer&) {
   }
   if (it->second.kind == OpenFile::Kind::kRtp && !it->second.listener) {
     (void)kernel_.rtp().close(it->second.conn);
+  }
+  if (it->second.kind == OpenFile::Kind::kVtp) {
+    if (it->second.listener) {
+      (void)kernel_.vtp().unlisten(it->second.port);
+    } else {
+      (void)kernel_.vtp().close(it->second.conn);
+    }
   }
   release_fd(ps, it->first);
   ps.fds.erase(it);
@@ -929,6 +942,149 @@ ErrorCode SyscallDispatcher::do_rtp_close(Pid pid, Reader& args, Writer&) {
   return ErrorCode::kOk;
 }
 
+ErrorCode SyscallDispatcher::do_vtp_listen(Pid pid, Reader& args, Writer& reply) {
+  auto port = args.get_u16();
+  auto backlog = args.get_u64();
+  if (!port || !backlog || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.vtp().listen(*port, *backlog);
+  if (!r.ok()) {
+    return r.error();
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd fd = alloc_fd(ps);
+  OpenFile of;
+  of.kind = OpenFile::Kind::kVtp;
+  of.listener = true;
+  of.port = *port;
+  ps.fds[fd] = of;
+  put_fd(reply, fd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_vtp_connect(Pid pid, Reader& args, Writer& reply) {
+  auto dst = args.get_u32();
+  auto dport = args.get_u16();
+  auto sport = args.get_u16();
+  if (!dst || !dport || !sport || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  auto r = kernel_.vtp().connect(*dst, *dport, *sport);
+  if (!r.ok()) {
+    return r.error();
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd fd = alloc_fd(ps);
+  OpenFile of;
+  of.kind = OpenFile::Kind::kVtp;
+  of.conn = r.value();
+  ps.fds[fd] = of;
+  put_fd(reply, fd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_vtp_accept(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  if (!fd || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  Port port;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kVtp ||
+        !it->second.listener) {
+      return ErrorCode::kBadFd;
+    }
+    port = it->second.port;
+  }
+  auto r = kernel_.vtp().accept(port);
+  if (!r.ok()) {
+    return r.error();  // kWouldBlock while empty: transient, ring-parkable
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Fd nfd = alloc_fd(ps);
+  OpenFile of;
+  of.kind = OpenFile::Kind::kVtp;
+  of.conn = r.value();
+  ps.fds[nfd] = of;
+  put_fd(reply, nfd);
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_vtp_send(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto data = args.get_bytes();
+  if (!fd || !data || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  ConnId conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kVtp || it->second.listener) {
+      return ErrorCode::kBadFd;
+    }
+    conn = it->second.conn;
+  }
+  auto r = kernel_.vtp().send(conn, *data);
+  if (!r.ok()) {
+    return r.error();  // kWouldBlock when the send buffer is full
+  }
+  reply.put_u64(r.value());  // stream semantics: bytes accepted, not all-or-nothing
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_vtp_recv(Pid pid, Reader& args, Writer& reply) {
+  auto fd = get_fd(args);
+  auto max_len = args.get_u64();
+  if (!fd || !max_len || *max_len > kMaxIoBytes || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  ConnId conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ps.fds.find(*fd);
+    if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kVtp || it->second.listener) {
+      return ErrorCode::kBadFd;
+    }
+    conn = it->second.conn;
+  }
+  auto r = kernel_.vtp().recv(conn, *max_len);
+  if (!r.ok()) {
+    return r.error();
+  }
+  reply.put_bytes(r.value());
+  return ErrorCode::kOk;
+}
+
+ErrorCode SyscallDispatcher::do_vtp_close(Pid pid, Reader& args, Writer&) {
+  auto fd = get_fd(args);
+  if (!fd || !args.exhausted()) {
+    return ErrorCode::kInvalidArgument;
+  }
+  ProcState& ps = proc_state(pid);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ps.fds.find(*fd);
+  if (it == ps.fds.end() || it->second.kind != OpenFile::Kind::kVtp) {
+    return ErrorCode::kBadFd;
+  }
+  if (it->second.listener) {
+    (void)kernel_.vtp().unlisten(it->second.port);
+  } else {
+    (void)kernel_.vtp().close(it->second.conn);
+  }
+  release_fd(ps, it->first);
+  ps.fds.erase(it);
+  return ErrorCode::kOk;
+}
+
 ErrorCode SyscallDispatcher::do_console_write(Pid, Reader& args, Writer&) {
   auto text = args.get_string();
   if (!text || !args.exhausted()) {
@@ -1522,6 +1678,99 @@ Result<std::vector<u8>> Sys::rtp_recv(Fd fd, usize max_len) {
     return ErrorCode::kCorrupted;
   }
   return std::move(*data);
+}
+
+Result<Fd> Sys::vtp_listen(Port port, usize backlog) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kVtpListen));
+  w.put_u16(port);
+  w.put_u64(backlog);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<Fd> Sys::vtp_connect(NetAddr dst, Port dst_port, Port src_port) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kVtpConnect));
+  w.put_u32(dst);
+  w.put_u16(dst_port);
+  w.put_u16(src_port);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<Fd> Sys::vtp_accept(Fd listener) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kVtpAccept));
+  put_fd(w, listener);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto fd = r.get_u32();
+  if (!fd) {
+    return ErrorCode::kCorrupted;
+  }
+  return static_cast<Fd>(*fd);
+}
+
+Result<u64> Sys::vtp_send(Fd fd, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kVtpSend));
+  put_fd(w, fd);
+  w.put_bytes(data);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto accepted = r.get_u64();
+  if (!accepted) {
+    return ErrorCode::kCorrupted;
+  }
+  return *accepted;
+}
+
+Result<std::vector<u8>> Sys::vtp_recv(Fd fd, usize max_len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kVtpRecv));
+  put_fd(w, fd);
+  w.put_u64(max_len);
+  auto reply = invoke(w);
+  if (!reply.ok()) {
+    return reply.error();
+  }
+  Reader r(reply.value());
+  auto data = r.get_bytes();
+  if (!data) {
+    return ErrorCode::kCorrupted;
+  }
+  return std::move(*data);
+}
+
+Result<Unit> Sys::vtp_close(Fd fd) {
+  Writer w;
+  w.put_u32(static_cast<u32>(SysNr::kVtpClose));
+  put_fd(w, fd);
+  auto reply = invoke(w);
+  return reply.ok() ? Result<Unit>(Unit{}) : reply.error();
 }
 
 Result<Unit> Sys::console_write(std::string_view text) {

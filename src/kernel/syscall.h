@@ -87,6 +87,15 @@ enum class SysNr : u32 {
   kRingSetup = 100,
   kRingSubmit = 101,
   kRingWait = 102,
+  // Network: VTP (verified stream transport — windowed, AIMD, selective
+  // retransmit; src/net/vtp.h). accept/send/recv are ring-submittable with
+  // transient kWouldBlock parking.
+  kVtpListen = 110,
+  kVtpAccept = 111,
+  kVtpConnect = 112,
+  kVtpSend = 113,
+  kVtpRecv = 114,
+  kVtpClose = 115,
 };
 
 inline constexpr u32 kOpenCreate = 1u << 0;   // create if missing
@@ -98,7 +107,7 @@ enum class SeekWhence : u32 { kSet = 0, kCur = 1, kEnd = 2 };
 // An open descriptor. Files carry the read_spec's (path, offset) pair;
 // socket fds carry their transport identity.
 struct OpenFile {
-  enum class Kind : u8 { kFile, kUdp, kRtp, kPipeRead, kPipeWrite } kind = Kind::kFile;
+  enum class Kind : u8 { kFile, kUdp, kRtp, kVtp, kPipeRead, kPipeWrite } kind = Kind::kFile;
   std::string path;
   u64 offset = 0;
   Port port = 0;      // udp: bound port
@@ -189,6 +198,12 @@ class SyscallDispatcher {
   ErrorCode do_rtp_send(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_rtp_recv(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_rtp_close(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_vtp_listen(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_vtp_accept(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_vtp_connect(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_vtp_send(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_vtp_recv(Pid pid, Reader& args, Writer& reply);
+  ErrorCode do_vtp_close(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_console_write(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_kstat(Pid pid, Reader& args, Writer& reply);
   ErrorCode do_kstat_list(Pid pid, Reader& args, Writer& reply);
@@ -271,6 +286,16 @@ class Sys {
   Result<Fd> rtp_accept(Fd listener);
   Result<Unit> rtp_send(Fd fd, std::span<const u8> data);
   Result<std::vector<u8>> rtp_recv(Fd fd, usize max_len);
+  // VTP stream sockets. vtp_send returns how many bytes the transport
+  // accepted (partial under backpressure, kWouldBlock when none fit);
+  // vtp_accept/vtp_recv return kWouldBlock while nothing is ready — all
+  // three park cleanly when submitted through a ring.
+  Result<Fd> vtp_listen(Port port, usize backlog = 16);
+  Result<Fd> vtp_connect(NetAddr dst, Port dst_port, Port src_port);
+  Result<Fd> vtp_accept(Fd listener);
+  Result<u64> vtp_send(Fd fd, std::span<const u8> data);
+  Result<std::vector<u8>> vtp_recv(Fd fd, usize max_len);
+  Result<Unit> vtp_close(Fd fd);
 
   // --- Console ---------------------------------------------------------------------
   Result<Unit> console_write(std::string_view text);
@@ -365,6 +390,26 @@ inline std::vector<u8> rtp_send(Fd fd, std::span<const u8> data) {
 }
 
 inline std::vector<u8> rtp_recv(Fd fd, usize max_len) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  w.put_u64(max_len);
+  return w.take();
+}
+
+inline std::vector<u8> vtp_accept(Fd listener) {
+  Writer w;
+  w.put_u32(static_cast<u32>(listener));
+  return w.take();
+}
+
+inline std::vector<u8> vtp_send(Fd fd, std::span<const u8> data) {
+  Writer w;
+  w.put_u32(static_cast<u32>(fd));
+  w.put_bytes(data);
+  return w.take();
+}
+
+inline std::vector<u8> vtp_recv(Fd fd, usize max_len) {
   Writer w;
   w.put_u32(static_cast<u32>(fd));
   w.put_u64(max_len);

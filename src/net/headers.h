@@ -24,7 +24,8 @@ using Port = u16;
 
 enum class IpProto : u8 {
   kUdp = 17,
-  kRtp = 142,  // our reliable transport
+  kRtp = 142,  // our reliable transport (datagram-era, Go-Back-N)
+  kVtp = 143,  // verified transport protocol: stream sockets, windowed + AIMD
 };
 
 struct IpHeader {
@@ -72,6 +73,33 @@ struct RtpHeader {
   static std::optional<RtpHeader> decode(Reader& r);
 
   bool operator==(const RtpHeader&) const = default;
+};
+
+// VTP segment types. Same handshake alphabet as RTP; VTP additionally uses
+// kRst as a typed connection abort (the reject reason rides in `seq`).
+enum class VtpType : u8 {
+  kSyn = 1,
+  kSynAck = 2,
+  kData = 3,
+  kAck = 4,
+  kFin = 5,
+  kRst = 6,
+};
+
+struct VtpHeader {
+  Port src_port = 0;
+  Port dst_port = 0;
+  VtpType type = VtpType::kData;
+  u64 seq = 0;   // first payload byte's sequence number (kData), or the
+                 // ErrorCode reject reason (kRst)
+  u64 ack = 0;   // cumulative: next byte expected from the peer
+  u32 wnd = 0;   // receiver-advertised window, in bytes past `ack`
+  u32 checksum = 0;
+
+  void encode(Writer& w) const;
+  static std::optional<VtpHeader> decode(Reader& r);
+
+  bool operator==(const VtpHeader&) const = default;
 };
 
 }  // namespace vnros

@@ -10,6 +10,11 @@ namespace vnros {
 // RTP prefix-delivery under loss/reorder/duplication, handshake convergence.
 void register_net_vcs(VcRegistry& registry);
 
+// Registers net/vtp_* VCs: stream-socket refinement of the reliable FIFO
+// pipe spec under loss/dup/reorder/partition, window safety, handshake
+// convergence under loss, and typed backlog-shed / SYN-timeout contracts.
+void register_vtp_vcs(VcRegistry& registry);
+
 }  // namespace vnros
 
 #endif  // VNROS_SRC_NET_VCS_H_

@@ -1,0 +1,389 @@
+// Verification conditions for VTP, the stream-socket transport.
+//
+// The centerpiece is the net/vtp_refines_pipe family: both directions of a
+// connection, driven through an adversarial fabric (loss + duplication +
+// reordering, plus an explicit partition variant), refine the reliable FIFO
+// pipe spec in src/spec/pipe.h — every byte the application pops is checked
+// against the pushed stream at the instant it is popped (safety), and at
+// quiesce the streams are complete (liveness). Window safety and the
+// handshake contract (backlog shedding with typed kOverloaded, SYN-retry
+// exhaustion with typed kTimedOut) are pinned by their own VCs.
+#include "src/net/vcs.h"
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/hw/network.h"
+#include "src/hw/timer.h"
+#include "src/net/ip.h"
+#include "src/net/vtp.h"
+#include "src/spec/pipe.h"
+
+namespace vnros {
+namespace {
+
+// Two hosts, one fabric, one virtual clock, a VTP stack on each.
+struct VtpPair {
+  Network net;
+  NetDevice& dev_a;
+  NetDevice& dev_b;
+  IpStack ip_a;
+  IpStack ip_b;
+  VirtualClock clock;
+  VtpStack vtp_a;
+  VtpStack vtp_b;
+
+  explicit VtpPair(FabricConfig config = {})
+      : net(config),
+        dev_a(net.attach()),
+        dev_b(net.attach()),
+        ip_a(dev_a),
+        ip_b(dev_b),
+        vtp_a(ip_a, clock),
+        vtp_b(ip_b, clock) {}
+
+  void pump(usize rounds) {
+    for (usize i = 0; i < rounds; ++i) {
+      vtp_a.tick();
+      vtp_b.tick();
+    }
+  }
+};
+
+Result<std::pair<ConnId, ConnId>> establish(VtpPair& pair, usize budget = 600,
+                                            Port sport = 1234) {
+  auto l = pair.vtp_b.listen(80);
+  if (!l.ok() && l.error() != ErrorCode::kAlreadyExists) {
+    return l.error();  // listen is per-pair idempotent across establish calls
+  }
+  auto client = pair.vtp_a.connect(pair.dev_b.addr(), 80, sport);
+  if (!client.ok()) {
+    return client.error();
+  }
+  for (usize i = 0; i < budget; ++i) {
+    pair.pump(1);
+    auto server = pair.vtp_b.accept(80);
+    if (server.ok() && pair.vtp_a.is_established(client.value())) {
+      return std::pair<ConnId, ConnId>{client.value(), server.value()};
+    }
+  }
+  return ErrorCode::kTimedOut;
+}
+
+VcOutcome vc_vtp_header_roundtrip(u64 seed) {
+  Rng rng(seed);
+  const VtpType types[] = {VtpType::kSyn, VtpType::kSynAck, VtpType::kData,
+                           VtpType::kAck, VtpType::kFin, VtpType::kRst};
+  for (int i = 0; i < 200; ++i) {
+    VtpHeader hdr{static_cast<Port>(rng.next_u32()), static_cast<Port>(rng.next_u32()),
+                  types[rng.next_below(6)], rng.next_u64(), rng.next_u64(),
+                  rng.next_u32(), rng.next_u32()};
+    Writer w;
+    hdr.encode(w);
+    Reader r(w.bytes());
+    auto back = VtpHeader::decode(r);
+    if (!back || !(*back == hdr) || !r.exhausted()) {
+      return VcOutcome::fail("VTP header did not round-trip");
+    }
+    for (usize cut = 0; cut < w.size(); ++cut) {
+      Reader rt(std::span<const u8>(w.bytes().data(), cut));
+      if (VtpHeader::decode(rt)) {
+        return VcOutcome::fail("truncated VTP header decoded");
+      }
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// Bidirectional transfer against the fabric adversary, with the application
+// boundary mirrored into a PipeSpec per direction. `partition_at` (nonzero)
+// cuts the fabric for `partition_len` ticks mid-transfer and heals it.
+VcOutcome vc_vtp_refines_pipe(FabricConfig config, u64 seed, usize total_bytes,
+                              usize tick_budget, usize partition_at = 0,
+                              usize partition_len = 0) {
+  VtpPair pair(config);
+  auto conns = establish(pair);
+  if (!conns.ok()) {
+    return VcOutcome::fail("handshake did not converge");
+  }
+  auto [client, server] = conns.value();
+
+  Rng rng(seed);
+  std::vector<u8> stream_ab(total_bytes), stream_ba(total_bytes);
+  for (auto& b : stream_ab) {
+    b = static_cast<u8>(rng.next_u64());
+  }
+  for (auto& b : stream_ba) {
+    b = static_cast<u8>(rng.next_u64());
+  }
+  PipeSpec pipe_ab, pipe_ba;  // one spec instance per direction
+  usize fed_ab = 0, fed_ba = 0;
+  bool cut = false;
+
+  for (usize tick = 0; tick < tick_budget; ++tick) {
+    if (partition_at != 0 && tick == partition_at) {
+      pair.net.partition(pair.dev_a.addr(), pair.dev_b.addr());
+      cut = true;
+    }
+    if (cut && tick == partition_at + partition_len) {
+      pair.net.heal(pair.dev_a.addr(), pair.dev_b.addr());
+      cut = false;
+    }
+    if (fed_ab < total_bytes && rng.chance(2, 3)) {
+      usize chunk = std::min<usize>(static_cast<usize>(rng.next_range(1, 2000)),
+                                    total_bytes - fed_ab);
+      auto n = pair.vtp_a.send(client, std::span<const u8>(stream_ab.data() + fed_ab, chunk));
+      if (n.ok()) {
+        pipe_ab.push(std::span<const u8>(stream_ab.data() + fed_ab, n.value()));
+        fed_ab += n.value();
+      } else if (n.error() != ErrorCode::kWouldBlock) {
+        return VcOutcome::fail("send a->b failed: " + std::string(error_name(n.error())));
+      }
+    }
+    if (fed_ba < total_bytes && rng.chance(2, 3)) {
+      usize chunk = std::min<usize>(static_cast<usize>(rng.next_range(1, 2000)),
+                                    total_bytes - fed_ba);
+      auto n = pair.vtp_b.send(server, std::span<const u8>(stream_ba.data() + fed_ba, chunk));
+      if (n.ok()) {
+        pipe_ba.push(std::span<const u8>(stream_ba.data() + fed_ba, n.value()));
+        fed_ba += n.value();
+      } else if (n.error() != ErrorCode::kWouldBlock) {
+        return VcOutcome::fail("send b->a failed: " + std::string(error_name(n.error())));
+      }
+    }
+    // SAFETY: every popped chunk is checked against the pushed stream.
+    if (auto got = pair.vtp_b.recv(server, static_cast<usize>(rng.next_range(1, 3000)));
+        got.ok() && !pipe_ab.pop(got.value())) {
+      return VcOutcome::fail("a->b violates FIFO pipe: " + pipe_ab.failure());
+    }
+    if (auto got = pair.vtp_a.recv(client, static_cast<usize>(rng.next_range(1, 3000)));
+        got.ok() && !pipe_ba.pop(got.value())) {
+      return VcOutcome::fail("b->a violates FIFO pipe: " + pipe_ba.failure());
+    }
+    pair.pump(1);
+    if (pipe_ab.complete() && pipe_ba.complete() && fed_ab == total_bytes &&
+        fed_ba == total_bytes) {
+      break;
+    }
+  }
+
+  // LIVENESS at quiesce: the adversary was fair (loss is probabilistic,
+  // partitions healed), so the whole stream must have crossed.
+  if (fed_ab != total_bytes || fed_ba != total_bytes || !pipe_ab.complete() ||
+      !pipe_ba.complete()) {
+    return VcOutcome::fail("incomplete at quiesce: a->b " +
+                           std::to_string(pipe_ab.delivered_len()) + "/" +
+                           std::to_string(pipe_ab.sent_len()) + ", b->a " +
+                           std::to_string(pipe_ba.delivered_len()) + "/" +
+                           std::to_string(pipe_ba.sent_len()));
+  }
+
+  // Full lifecycle: both sides close; FIN/ACK retransmissions must converge
+  // and both stacks must reap the connection.
+  (void)pair.vtp_a.close(client);
+  (void)pair.vtp_b.close(server);
+  for (usize i = 0; i < 4000 && (pair.vtp_a.active_conns() + pair.vtp_b.active_conns()) > 0;
+       ++i) {
+    pair.pump(1);
+  }
+  if (pair.vtp_a.active_conns() + pair.vtp_b.active_conns() != 0) {
+    return VcOutcome::fail("close did not converge: conns still live at quiesce");
+  }
+  if (pair.vtp_a.stats().window_violations + pair.vtp_b.stats().window_violations != 0) {
+    return VcOutcome::fail("window safety violated during transfer");
+  }
+  return VcOutcome::pass();
+}
+
+// Window safety as its own VC: a slow reader forces the advertised window to
+// zero; the sender must stall (probing, never shipping bytes past the
+// advertisement) and resume when reads reopen the window.
+VcOutcome vc_vtp_window_safety(u64 seed) {
+  FabricConfig config;
+  config.loss_ppm = 50'000;
+  VtpPair pair(config);
+  auto conns = establish(pair);
+  if (!conns.ok()) {
+    return VcOutcome::fail("handshake did not converge");
+  }
+  auto [client, server] = conns.value();
+
+  Rng rng(seed);
+  const usize total = 3 * VtpStack::kRcvWindow;  // 3x the receive buffer
+  std::vector<u8> stream(total);
+  for (auto& b : stream) {
+    b = static_cast<u8>(rng.next_u64());
+  }
+  PipeSpec pipe;
+  usize fed = 0;
+  for (usize tick = 0; tick < 120'000 && pipe.delivered_len() < total; ++tick) {
+    if (fed < total) {
+      auto n = pair.vtp_a.send(client, std::span<const u8>(stream.data() + fed, total - fed));
+      if (n.ok()) {
+        pipe.push(std::span<const u8>(stream.data() + fed, n.value()));
+        fed += n.value();
+      }
+    }
+    // Slow reader: a tiny read every 8th tick slams the window shut; a total
+    // read blackout for ticks [500, 700) holds it shut across several RTOs so
+    // the sender's zero-window probes (not just the receiver's proactive
+    // window-update ACKs) are exercised.
+    const bool blackout = tick >= 500 && tick < 700;
+    if (tick % 8 == 0 && !blackout) {
+      if (auto got = pair.vtp_b.recv(server, 512); got.ok() && !pipe.pop(got.value())) {
+        return VcOutcome::fail("FIFO violated under zero-window: " + pipe.failure());
+      }
+    }
+    pair.pump(1);
+  }
+  if (!pipe.complete()) {
+    return VcOutcome::fail("transfer did not complete past the zero-window stalls");
+  }
+  if (pair.vtp_b.stats().window_updates == 0) {
+    return VcOutcome::fail("window never closed: VC exercised nothing");
+  }
+  if (pair.vtp_a.stats().window_probes == 0) {
+    return VcOutcome::fail("sender never probed the zero window during the blackout");
+  }
+  if (pair.vtp_a.stats().window_violations + pair.vtp_b.stats().window_violations != 0) {
+    return VcOutcome::fail("sender shipped bytes past the advertised window");
+  }
+  return VcOutcome::pass();
+}
+
+// Handshake-state VC: sequential connects under heavy loss all converge to a
+// symmetric established pair, proven by a byte roundtrip on each connection.
+VcOutcome vc_vtp_handshake_loss(u64 seed) {
+  FabricConfig config;
+  config.loss_ppm = 150'000;
+  config.dup_ppm = 50'000;
+  VtpPair pair(config);
+  Rng rng(seed);
+  for (u32 i = 0; i < 6; ++i) {
+    auto conns = establish(pair, 2'000, static_cast<Port>(2000 + i));
+    if (!conns.ok()) {
+      return VcOutcome::fail("handshake " + std::to_string(i) + " did not converge");
+    }
+    auto [client, server] = conns.value();
+    u8 ping = static_cast<u8>(rng.next_u64());
+    if (!pair.vtp_a.send(client, std::span<const u8>(&ping, 1)).ok()) {
+      return VcOutcome::fail("established conn refused send");
+    }
+    std::vector<u8> got;
+    for (usize t = 0; t < 2'000 && got.empty(); ++t) {
+      pair.pump(1);
+      if (auto r = pair.vtp_b.recv(server, 8); r.ok()) {
+        got = r.value();
+      }
+    }
+    if (got.size() != 1 || got[0] != ping) {
+      return VcOutcome::fail("roundtrip on established conn failed");
+    }
+  }
+  return VcOutcome::pass();
+}
+
+// Backlog shedding is typed: connects beyond the listener's backlog surface
+// kOverloaded at the connecting end, and accepted peers are unaffected.
+VcOutcome vc_vtp_backlog_typed_overload() {
+  VtpPair pair;
+  if (!pair.vtp_b.listen(80, 2).ok()) {
+    return VcOutcome::fail("listen failed");
+  }
+  std::vector<ConnId> conns;
+  for (u32 i = 0; i < 5; ++i) {
+    auto c = pair.vtp_a.connect(pair.dev_b.addr(), 80, static_cast<Port>(3000 + i));
+    if (!c.ok()) {
+      return VcOutcome::fail("connect failed");
+    }
+    conns.push_back(c.value());
+    pair.pump(4);
+  }
+  pair.pump(40);
+  usize established = 0, overloaded = 0;
+  for (ConnId id : conns) {
+    if (pair.vtp_a.is_established(id)) {
+      ++established;
+    } else if (pair.vtp_a.conn_error(id) == ErrorCode::kOverloaded) {
+      ++overloaded;
+    }
+  }
+  if (established != 2) {
+    return VcOutcome::fail("backlog admitted " + std::to_string(established) +
+                           " conns, want 2");
+  }
+  if (overloaded != 3) {
+    return VcOutcome::fail("sheds were not typed kOverloaded (" +
+                           std::to_string(overloaded) + "/3)");
+  }
+  if (pair.vtp_b.stats().accept_shed != 3) {
+    return VcOutcome::fail("listener shed counter disagrees");
+  }
+  return VcOutcome::pass();
+}
+
+// SYN-retry exhaustion is typed: connecting across a partitioned fabric
+// fails with kTimedOut after the retry budget, never silently.
+VcOutcome vc_vtp_syn_timeout_typed() {
+  VtpPair pair;
+  if (!pair.vtp_b.listen(80).ok()) {
+    return VcOutcome::fail("listen failed");
+  }
+  pair.net.partition(pair.dev_a.addr(), pair.dev_b.addr());
+  auto c = pair.vtp_a.connect(pair.dev_b.addr(), 80, 4000);
+  if (!c.ok()) {
+    return VcOutcome::fail("connect failed");
+  }
+  pair.pump((VtpStack::kMaxSynRetries + 2) * VtpStack::kRtoTicks + 8);
+  if (pair.vtp_a.conn_error(c.value()) != ErrorCode::kTimedOut) {
+    return VcOutcome::fail("SYN exhaustion did not surface kTimedOut");
+  }
+  auto r = pair.vtp_a.recv(c.value(), 16);
+  if (r.ok() || r.error() != ErrorCode::kTimedOut) {
+    return VcOutcome::fail("recv on the dead conn is not typed kTimedOut");
+  }
+  return VcOutcome::pass();
+}
+
+}  // namespace
+
+void register_vtp_vcs(VcRegistry& reg) {
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    reg.add("net/vtp_header_roundtrip_seed" + std::to_string(seed), VcCategory::kNetworkStack,
+            [seed] { return vc_vtp_header_roundtrip(seed); });
+  }
+  reg.add("net/vtp_refines_pipe_clean", VcCategory::kNetworkStack, [] {
+    return vc_vtp_refines_pipe(FabricConfig{}, 42, 64 * 1024, 8'000);
+  });
+  for (u64 seed = 1; seed <= 3; ++seed) {
+    reg.add("net/vtp_refines_pipe_seed" + std::to_string(seed), VcCategory::kNetworkStack,
+            [seed] {
+              FabricConfig config;
+              config.loss_ppm = 100'000;    // 10% loss
+              config.dup_ppm = 50'000;      // 5% duplication
+              config.reorder_ppm = 50'000;  // 5% reordering
+              return vc_vtp_refines_pipe(config, seed, 16 * 1024, 60'000);
+            });
+  }
+  reg.add("net/vtp_refines_pipe_partition", VcCategory::kNetworkStack, [] {
+    FabricConfig config;
+    config.loss_ppm = 50'000;
+    config.reorder_ppm = 50'000;
+    // Cut the fabric for 400 ticks mid-transfer; retransmission must carry
+    // the stream across the heal.
+    return vc_vtp_refines_pipe(config, 7, 16 * 1024, 60'000, 120, 400);
+  });
+  for (u64 seed = 1; seed <= 2; ++seed) {
+    reg.add("net/vtp_window_safety_seed" + std::to_string(seed), VcCategory::kNetworkStack,
+            [seed] { return vc_vtp_window_safety(seed); });
+    reg.add("net/vtp_handshake_loss_seed" + std::to_string(seed), VcCategory::kNetworkStack,
+            [seed] { return vc_vtp_handshake_loss(seed); });
+  }
+  reg.add("net/vtp_backlog_typed_overload", VcCategory::kNetworkStack,
+          [] { return vc_vtp_backlog_typed_overload(); });
+  reg.add("net/vtp_syn_timeout_typed", VcCategory::kNetworkStack,
+          [] { return vc_vtp_syn_timeout_typed(); });
+}
+
+}  // namespace vnros

@@ -308,17 +308,28 @@ VcOutcome vc_flat_combining_batches() {
   // Whether a batch forms in any given round depends on the host scheduler
   // (on a single hardware thread a worker can complete all its ops inside
   // one timeslice without ever overlapping another). The property under
-  // check is "batching CAN happen and is accounted"; 25 independent rounds
-  // make a false negative vanishingly unlikely on any host.
+  // check is "batching CAN happen and is accounted", so stack the deck:
+  // announcer patience makes every writer yield-and-wait before seizing the
+  // combiner lock — the policy that piles concurrent announcers into one
+  // session even when the host serializes the threads (the default, patience
+  // 0, only ever batches when the wait window catches a true overlap, which
+  // a starved single-core host may never produce). 25 independent rounds on
+  // top make a false negative vanishingly unlikely.
   const u32 threads = 8;
+  const int ops_per_thread = 100;
   for (int round = 0; round < 25; ++round) {
     Topology topo(8, 8);  // one replica: maximal combining pressure
-    NodeReplicated<SlowCounterDs> nr(topo, SlowCounterDs{});
+    NrConfig cfg;
+    // Kept small: under heavy oversubscription each yield can cost whole
+    // timeslices, and 64 yields is already enough for every peer to announce
+    // when the host round-robins the workers.
+    cfg.announce_patience = 64;
+    NodeReplicated<SlowCounterDs> nr(topo, SlowCounterDs{}, cfg);
     std::vector<std::thread> workers;
     for (u32 t = 0; t < threads; ++t) {
       workers.emplace_back([&, t] {
         auto token = nr.register_thread(t);
-        for (int i = 0; i < 300; ++i) {
+        for (int i = 0; i < ops_per_thread; ++i) {
           nr.execute_mut(token, SlowCounterDs::WriteOp{1});
           if (i % 16 == 0) {
             std::this_thread::yield();  // invite overlap on few-core hosts
@@ -330,7 +341,7 @@ VcOutcome vc_flat_combining_batches() {
       w.join();
     }
     auto s = nr.stats_snapshot();
-    if (s.combined_ops != u64{threads} * 300) {
+    if (s.combined_ops != u64{threads} * ops_per_thread) {
       return VcOutcome::fail("op accounting wrong");
     }
     // Strictly fewer combining sessions than ops == at least one session

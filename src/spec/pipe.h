@@ -1,0 +1,85 @@
+// The reliable FIFO pipe: the abstract spec VTP's byte streams must refine.
+//
+// One direction of a connection is modeled as a pair of byte sequences
+//   sent      — everything the sending application pushed, in order
+//   delivered — everything the receiving application popped, in order
+// with two obligations:
+//
+//   SAFETY (always):    delivered is a *prefix* of sent — no reordering, no
+//                       duplication, no corruption, no invention.
+//   LIVENESS (quiesce): once the fabric is fair (every retransmission has
+//                       nonzero delivery probability, partitions healed) and
+//                       the implementation is driven long enough,
+//                       delivered == sent.
+//
+// The net/vtp_refines_pipe VC family drives the concrete stack through an
+// adversarial fabric (loss + duplication + reorder + partition), mirrors
+// every application-level send/recv into a PipeSpec per direction, and
+// checks the safety clause at every step and the liveness clause at quiesce.
+// This is the same interpretation-function shape as src/spec/refinement.h,
+// specialized to byte streams (the view of a transport is simply "which
+// bytes crossed each endpoint").
+#ifndef VNROS_SRC_SPEC_PIPE_H_
+#define VNROS_SRC_SPEC_PIPE_H_
+
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace vnros {
+
+class PipeSpec {
+ public:
+  // The sending application handed these bytes to the transport.
+  void push(std::span<const u8> bytes) {
+    sent_.insert(sent_.end(), bytes.begin(), bytes.end());
+  }
+
+  // The receiving application popped these bytes out of the transport.
+  // Returns false (and records a diagnosis) on the first safety violation.
+  bool pop(std::span<const u8> bytes) {
+    for (u8 b : bytes) {
+      if (delivered_len_ >= sent_.size()) {
+        fail("delivered more bytes than were ever sent", delivered_len_);
+        return false;
+      }
+      if (sent_[delivered_len_] != b) {
+        fail("delivered byte diverges from the sent stream", delivered_len_);
+        return false;
+      }
+      ++delivered_len_;
+    }
+    return true;
+  }
+
+  // SAFETY: holds by construction after every successful pop().
+  bool prefix_ok() const { return failure_.empty(); }
+  // LIVENESS at quiesce: the whole sent stream came out the far end.
+  bool complete() const { return failure_.empty() && delivered_len_ == sent_.size(); }
+
+  usize sent_len() const { return sent_.size(); }
+  usize delivered_len() const { return delivered_len_; }
+  const std::string& failure() const { return failure_; }
+
+ private:
+  void fail(const char* what, usize at) {
+    if (!failure_.empty()) {
+      return;
+    }
+    std::ostringstream oss;
+    oss << what << " at offset " << at << " (sent=" << sent_.size()
+        << " delivered=" << delivered_len_ << ")";
+    failure_ = oss.str();
+  }
+
+  std::vector<u8> sent_;
+  usize delivered_len_ = 0;
+  std::string failure_;
+};
+
+}  // namespace vnros
+
+#endif  // VNROS_SRC_SPEC_PIPE_H_

@@ -193,7 +193,9 @@ TEST(KstatTest, NameTableIsTheAbi) {
       "tlb/full_flushes", "frames/allocations", "frames/frees", "frames/remote_fallbacks",
       "frames/injected_oom",
       // Added with the SysRing syscalls (async submission/completion queues).
-      "ring/submitted", "ring/completed", "ring/sq_full", "ring/cq_depth_p99"};
+      "ring/submitted", "ring/completed", "ring/sq_full", "ring/cq_depth_p99",
+      // Added with the VTP stream transport.
+      "vtp/conns_active", "vtp/retransmits", "vtp/cwnd_halvings", "vtp/accept_queue_p99"};
   auto names = kernel.kstat_names();
   for (const char* name : kAbi) {
     EXPECT_TRUE(kernel.kstat(name).ok()) << "kstat ABI name missing: " << name;

@@ -12,6 +12,7 @@
 #include "src/ulib/sync.h"
 #include "src/ulib/uring.h"
 #include "src/ulib/uthread.h"
+#include "src/ulib/uvtp.h"
 
 namespace vnros {
 namespace {
@@ -497,6 +498,74 @@ TEST_F(URingUTest, SqFullResolvesAwaiterWithTypedError) {
   EXPECT_EQ(sched.live_tasks(), 0u);
   EXPECT_EQ(blocked_err, ErrorCode::kWouldBlock);
   EXPECT_EQ(got, bytes("relief"));
+}
+
+// --- VTP awaitables (UVtp) -----------------------------------------------------
+
+TEST_F(URingUTest, VtpEchoServerAndClientAsUthreads) {
+  UVtp uvtp(exec, sys);
+  auto listener = uvtp.listen(80, 4);
+  ASSERT_TRUE(listener.ok());
+  std::vector<u8> echoed;
+  // Server uthread: accept parks on the empty queue, recv parks until the
+  // client's bytes arrive, then the payload is sent straight back.
+  sched.spawn([](UVtp& vtp, Fd lfd) -> UTask {
+    auto conn = co_await vtp.accept(lfd);
+    VNROS_CHECK(conn.ok());
+    auto req = co_await vtp.recv(conn.value(), 4096);
+    VNROS_CHECK(req.ok());
+    auto n = co_await vtp.send(conn.value(), req.value());
+    VNROS_CHECK(n.ok() && n.value() == req.value().size());
+  }(uvtp, listener.value()));
+  // Client uthread: connect is synchronous; the loopback handshake completes
+  // as the parked accept retries pump the stack.
+  sched.spawn([](UVtp& vtp, NetAddr self, std::vector<u8>& out) -> UTask {
+    auto conn = vtp.connect(self, 80, 2001);
+    VNROS_CHECK(conn.ok());
+    auto n = co_await vtp.send(conn.value(), bytes("ping over vtp"));
+    VNROS_CHECK(n.ok());
+    auto reply = co_await vtp.recv(conn.value(), 4096);
+    VNROS_CHECK(reply.ok());
+    out = reply.value();
+  }(uvtp, kernel.net_addr(), echoed));
+  pump();
+  EXPECT_EQ(sched.live_tasks(), 0u);
+  EXPECT_EQ(exec.pending(), 0u);
+  EXPECT_EQ(echoed, bytes("ping over vtp"));
+}
+
+TEST_F(URingUTest, VtpSendAllDrainsPastBackpressure) {
+  UVtp uvtp(exec, sys);
+  auto listener = uvtp.listen(81, 4);
+  ASSERT_TRUE(listener.ok());
+  // More than the receive window, so the sender must stall on flow control
+  // mid-stream and resume as the reader drains.
+  std::vector<u8> payload(3 * VtpStack::kRcvWindow);
+  for (usize i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<u8>(i * 31 + 7);
+  }
+  std::vector<u8> received;
+  Result<Unit> sent = ErrorCode::kWouldBlock;
+  sched.spawn([](UVtp& vtp, Fd lfd, usize want, std::vector<u8>& out) -> UTask {
+    auto conn = co_await vtp.accept(lfd);
+    VNROS_CHECK(conn.ok());
+    while (out.size() < want) {
+      auto chunk = co_await vtp.recv(conn.value(), 2048);
+      VNROS_CHECK(chunk.ok());
+      out.insert(out.end(), chunk.value().begin(), chunk.value().end());
+    }
+  }(uvtp, listener.value(), payload.size(), received));
+  sched.spawn([](UVtp& vtp, NetAddr self, std::vector<u8> data, Result<Unit>* done,
+                 UScheduler& sc) -> UTask {
+    auto conn = vtp.connect(self, 81, 2002);
+    VNROS_CHECK(conn.ok());
+    sc.spawn(vtp.send_all(conn.value(), std::move(data), done));
+    co_return;
+  }(uvtp, kernel.net_addr(), payload, &sent, sched));
+  pump();
+  EXPECT_EQ(sched.live_tasks(), 0u);
+  EXPECT_TRUE(sent.ok());
+  EXPECT_EQ(received, payload);
 }
 
 }  // namespace
